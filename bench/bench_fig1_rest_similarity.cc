@@ -1,0 +1,67 @@
+// Figure 1: pairwise similarity of resting-state connectomes.
+//
+// Paper result: the subject-aligned similarity matrix between the L-R and
+// R-L resting sessions has a strong diagonal (intra-subject similarity)
+// and weak off-diagonals; identification accuracy exceeds 94%.
+//
+// This bench regenerates the matrix on the simulated HCP-like cohort,
+// prints its diagonal/off-diagonal statistics and the identification
+// accuracy, and writes the full matrix to CSV.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/matcher.h"
+#include "sim/cohort.h"
+#include "util/stopwatch.h"
+
+using namespace neuroprint;
+
+int main() {
+  bench::PrintHeader("Figure 1", "pairwise similarity of resting-state connectomes");
+
+  sim::CohortConfig config = sim::HcpLikeConfig();
+  if (bench::FastMode()) config.num_subjects = 20;
+  auto cohort = sim::CohortSimulator::Create(config);
+  NP_CHECK(cohort.ok());
+  std::printf("cohort: %zu subjects, %zu regions (features: %zu)\n",
+              config.num_subjects, config.num_regions,
+              config.num_regions * (config.num_regions - 1) / 2);
+
+  Stopwatch clock;
+  auto known =
+      cohort->BuildGroupMatrix(sim::TaskType::kRest, sim::Encoding::kLeftRight);
+  auto anonymous =
+      cohort->BuildGroupMatrix(sim::TaskType::kRest, sim::Encoding::kRightLeft);
+  NP_CHECK(known.ok() && anonymous.ok());
+  std::printf("group matrices built in %.1fs\n", clock.ElapsedSeconds());
+
+  core::AttackOptions options;
+  options.num_features = 100;
+  auto attack = core::DeanonymizationAttack::Fit(*known, options);
+  NP_CHECK(attack.ok());
+  auto result = attack->Identify(*anonymous);
+  NP_CHECK(result.ok());
+  auto stats = core::ComputeSimilarityStats(result->similarity);
+  NP_CHECK(stats.ok());
+
+  std::printf("\n%-28s %8s\n", "metric", "value");
+  std::printf("%-28s %7.1f%%  (paper: > 94%%)\n", "identification accuracy",
+              100.0 * result->accuracy);
+  std::printf("%-28s %8.3f\n", "diagonal mean similarity", stats->diagonal_mean);
+  std::printf("%-28s %8.3f\n", "off-diagonal mean", stats->off_diagonal_mean);
+  std::printf("%-28s %8.3f\n", "contrast (diag - offdiag)", stats->contrast);
+  std::printf("%-28s %8.3f\n", "diagonal min", stats->diagonal_min);
+  std::printf("%-28s %8.3f\n", "off-diagonal max", stats->off_diagonal_max);
+
+  CsvWriter csv;
+  csv.SetHeader({"known_subject", "anonymous_subject", "similarity"});
+  for (std::size_t i = 0; i < result->similarity.rows(); ++i) {
+    for (std::size_t j = 0; j < result->similarity.cols(); ++j) {
+      csv.AddNumericRow({static_cast<double>(i), static_cast<double>(j),
+                         result->similarity(i, j)});
+    }
+  }
+  bench::WriteCsvOrDie(csv, "fig1_rest_similarity.csv");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 4 (the preprocessing pipeline): per-stage wall-clock cost of the
+// full voxel-level pipeline on a rendered synthetic run with planted
+// artifacts. The paper presents the pipeline as a diagram; this bench
+// realizes it and reports where the time goes.
+
+#include <cstdio>
+
+#include "atlas/synthetic_atlas.h"
+#include "bench/bench_util.h"
+#include "preprocess/pipeline.h"
+#include "sim/cohort.h"
+#include "sim/voxel_render.h"
+#include "util/stopwatch.h"
+
+using namespace neuroprint;
+
+int main() {
+  bench::PrintHeader("Figure 4", "preprocessing pipeline stage costs");
+
+  // A Glasser-like atlas on the default grid, one resting scan rendered
+  // to voxels with motion + drift planted.
+  atlas::SyntheticAtlasConfig atlas_config;
+  if (bench::FastMode()) {
+    atlas_config.nx = 20;
+    atlas_config.ny = 24;
+    atlas_config.nz = 20;
+    atlas_config.num_regions = 60;
+  }
+  auto atlas = atlas::GenerateSyntheticAtlas(atlas_config);
+  NP_CHECK(atlas.ok());
+
+  sim::CohortConfig cohort_config = sim::HcpLikeConfig();
+  cohort_config.num_subjects = 2;
+  cohort_config.num_regions = atlas->num_regions();
+  cohort_config.frames_override = bench::FastMode() ? 40 : 120;
+  auto cohort = sim::CohortSimulator::Create(cohort_config);
+  NP_CHECK(cohort.ok());
+  auto series = cohort->SimulateRegionSeries(0, sim::TaskType::kRest,
+                                             sim::Encoding::kLeftRight);
+  NP_CHECK(series.ok());
+
+  Rng rng(2024);
+  sim::VoxelRenderConfig render;
+  render.motion_step = 0.05;
+  render.drift_amplitude = 15.0;
+  Stopwatch clock;
+  auto run = sim::RenderVoxelRun(*atlas, *series, render, rng);
+  NP_CHECK(run.ok());
+  std::printf("rendered %zux%zux%zux%zu run in %.1fs\n", run->nx(), run->ny(),
+              run->nz(), run->nt(), clock.ElapsedSeconds());
+
+  preprocess::PipelineConfig config = preprocess::RestingStateConfig();
+  config.registration.sample_stride = 2;
+  clock.Restart();
+  auto output = preprocess::RunPipeline(*run, *atlas, config);
+  NP_CHECK(output.ok()) << output.status().ToString();
+  const double total = clock.ElapsedSeconds();
+
+  CsvWriter csv;
+  csv.SetHeader({"stage", "seconds", "percent_of_total"});
+  std::printf("\n%-26s %10s %8s\n", "stage", "seconds", "share");
+  for (const auto& [stage, seconds] : output->stage_seconds) {
+    std::printf("%-26s %10.3f %7.1f%%\n", stage.c_str(), seconds,
+                100.0 * seconds / total);
+    csv.AddRow({stage, StrFormat("%.4f", seconds),
+                StrFormat("%.1f", 100.0 * seconds / total)});
+  }
+  std::printf("%-26s %10.3f %7s\n", "TOTAL", total, "100%");
+  std::printf("\nbrain voxels: %zu of %zu; motion estimated on %zu frames\n",
+              output->mask.CountSet(), run->voxels_per_volume(),
+              output->motion.size());
+  bench::WriteCsvOrDie(csv, "fig4_pipeline_stages.csv");
+  return 0;
+}

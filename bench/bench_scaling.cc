@@ -1,0 +1,134 @@
+// Microbenchmarks (google-benchmark) for the computational claims of
+// Section 1: the attack's kernels are "computationally inexpensive and
+// scale to large datasets". Covers the SVD/leverage path, the matcher,
+// the FFT filters, connectome construction, and t-SNE per-iteration cost.
+
+#include <benchmark/benchmark.h>
+
+#include "connectome/connectome.h"
+#include "core/leverage.h"
+#include "core/matcher.h"
+#include "core/row_sampling.h"
+#include "core/tsne.h"
+#include "linalg/stats.h"
+#include "linalg/svd.h"
+#include "signal/filters.h"
+#include "util/random.h"
+
+namespace neuroprint {
+namespace {
+
+linalg::Matrix RandomMatrix(std::size_t rows, std::size_t cols,
+                            std::uint64_t seed) {
+  Rng rng(seed);
+  linalg::Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = rng.Gaussian();
+  }
+  return m;
+}
+
+void BM_ThinSvdTallSkinny(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const auto cols = static_cast<std::size_t>(state.range(1));
+  const linalg::Matrix a = RandomMatrix(rows, cols, 1);
+  for (auto _ : state) {
+    auto svd = linalg::Svd(a);
+    benchmark::DoNotOptimize(svd);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(rows));
+}
+BENCHMARK(BM_ThinSvdTallSkinny)
+    ->Args({2000, 50})
+    ->Args({16000, 100})
+    ->Args({64620, 100})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LeverageScores(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const linalg::Matrix a = RandomMatrix(rows, 100, 2);
+  for (auto _ : state) {
+    auto scores = core::ComputeLeverageScores(a);
+    benchmark::DoNotOptimize(scores);
+  }
+}
+BENCHMARK(BM_LeverageScores)
+    ->Arg(6670)
+    ->Arg(64620)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RowSampling(benchmark::State& state) {
+  const linalg::Matrix a = RandomMatrix(64620, 100, 3);
+  Rng rng(4);
+  for (auto _ : state) {
+    auto sample =
+        core::SampleRows(a, 100, core::SamplingDistribution::kL2Norm, rng);
+    benchmark::DoNotOptimize(sample);
+  }
+}
+BENCHMARK(BM_RowSampling)->Unit(benchmark::kMillisecond);
+
+void BM_SimilarityMatcher(benchmark::State& state) {
+  const auto subjects = static_cast<std::size_t>(state.range(0));
+  const auto features = static_cast<std::size_t>(state.range(1));
+  const linalg::Matrix a = RandomMatrix(features, subjects, 5);
+  const linalg::Matrix b = RandomMatrix(features, subjects, 6);
+  for (auto _ : state) {
+    auto sim = linalg::ColumnCrossCorrelation(a, b);
+    benchmark::DoNotOptimize(sim);
+  }
+}
+BENCHMARK(BM_SimilarityMatcher)
+    ->Args({100, 100})
+    ->Args({100, 64620})
+    ->Args({1000, 100})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ConnectomeBuild(benchmark::State& state) {
+  const auto regions = static_cast<std::size_t>(state.range(0));
+  const linalg::Matrix series = RandomMatrix(regions, 300, 7);
+  for (auto _ : state) {
+    auto conn = connectome::BuildConnectome(series);
+    benchmark::DoNotOptimize(conn);
+  }
+}
+BENCHMARK(BM_ConnectomeBuild)
+    ->Arg(116)
+    ->Arg(360)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BandPassFilter(benchmark::State& state) {
+  const auto frames = static_cast<std::size_t>(state.range(0));
+  Rng rng(8);
+  std::vector<double> x(frames);
+  for (double& v : x) v = rng.Gaussian();
+  signal::BandPassConfig config;
+  for (auto _ : state) {
+    auto y = signal::BandPassFilter(x, config);
+    benchmark::DoNotOptimize(y);
+  }
+}
+BENCHMARK(BM_BandPassFilter)->Arg(300)->Arg(1200)->Arg(4096);
+
+void BM_TsneIterations(benchmark::State& state) {
+  const auto points = static_cast<std::size_t>(state.range(0));
+  const linalg::Matrix data = RandomMatrix(points, 30, 9);
+  core::TsneOptions options;
+  options.max_iterations = 25;
+  options.exaggeration_iterations = 10;
+  options.perplexity = 10.0;
+  for (auto _ : state) {
+    auto result = core::TsneEmbed(data, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["iters_per_run"] = options.max_iterations;
+}
+BENCHMARK(BM_TsneIterations)
+    ->Arg(100)
+    ->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace neuroprint
+
+BENCHMARK_MAIN();

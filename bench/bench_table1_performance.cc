@@ -1,0 +1,84 @@
+// Table 1: task-performance prediction error (normalized RMSE, percent)
+// for the four HCP conditions with behavioural accuracy metrics, over
+// repeated random 80/20 train/test splits.
+//
+// Paper values: train 0.28-0.57%, test 0.60-2.74% (Language 0.33/1.52,
+// Emotion 0.28/0.60, Relational 0.44/2.74, WM 0.57/1.93).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/task_performance.h"
+#include "sim/cohort.h"
+#include "util/stopwatch.h"
+
+using namespace neuroprint;
+
+int main() {
+  bench::PrintHeader("Table 1", "task-performance prediction nRMSE (train/test)");
+
+  sim::CohortConfig config = sim::HcpLikeConfig();
+  if (bench::FastMode()) config.num_subjects = 30;
+  auto cohort = sim::CohortSimulator::Create(config);
+  NP_CHECK(cohort.ok());
+  const std::size_t subjects = config.num_subjects;
+  const std::size_t train_count = subjects * 4 / 5;  // The paper's 80/20.
+  const int repeats = bench::FastMode() ? 5 : 25;
+
+  const sim::TaskType tasks[] = {
+      sim::TaskType::kLanguage, sim::TaskType::kEmotion,
+      sim::TaskType::kRelational, sim::TaskType::kWorkingMemory};
+  const double paper_train[] = {0.33, 0.28, 0.44, 0.57};
+  const double paper_test[] = {1.52, 0.60, 2.74, 1.93};
+
+  CsvWriter csv;
+  csv.SetHeader({"task", "train_nrmse_mean", "train_nrmse_std",
+                 "test_nrmse_mean", "test_nrmse_std", "paper_train",
+                 "paper_test"});
+  std::printf("\n%-16s %18s %18s   %s\n", "task", "train nRMSE (%)",
+              "test nRMSE (%)", "paper (train/test)");
+
+  for (std::size_t k = 0; k < 4; ++k) {
+    const sim::TaskType task = tasks[k];
+    Stopwatch clock;
+    auto group = cohort->BuildGroupMatrix(task, sim::Encoding::kLeftRight);
+    NP_CHECK(group.ok());
+    linalg::Vector scores(subjects);
+    for (std::size_t s = 0; s < subjects; ++s) {
+      scores[s] = cohort->PerformanceScore(s, task);
+    }
+
+    std::vector<double> train_errors, test_errors;
+    Rng rng(1000 + k);
+    for (int rep = 0; rep < repeats; ++rep) {
+      const auto split = bench::SplitSubjects(subjects, train_count, rng);
+      const auto train_group = bench::SelectSubjects(*group, split.train);
+      const auto test_group = bench::SelectSubjects(*group, split.test);
+      linalg::Vector train_scores, test_scores;
+      for (std::size_t s : split.train) train_scores.push_back(scores[s]);
+      for (std::size_t s : split.test) test_scores.push_back(scores[s]);
+
+      auto eval = core::EvaluatePerformancePrediction(
+          train_group, train_scores, test_group, test_scores);
+      NP_CHECK(eval.ok()) << eval.status().ToString();
+      train_errors.push_back(eval->train_nrmse_percent);
+      test_errors.push_back(eval->test_nrmse_percent);
+    }
+    const auto train_stats = bench::Summarize(train_errors);
+    const auto test_stats = bench::Summarize(test_errors);
+    std::printf("%-16s %9.2f ± %-6.2f %9.2f ± %-6.2f   %.2f / %.2f   (%.0fs)\n",
+                sim::TaskName(task), train_stats.mean, train_stats.stddev,
+                test_stats.mean, test_stats.stddev, paper_train[k],
+                paper_test[k], clock.ElapsedSeconds());
+    csv.AddRow({sim::TaskName(task), StrFormat("%.3f", train_stats.mean),
+                StrFormat("%.3f", train_stats.stddev),
+                StrFormat("%.3f", test_stats.mean),
+                StrFormat("%.3f", test_stats.stddev),
+                StrFormat("%.2f", paper_train[k]),
+                StrFormat("%.2f", paper_test[k])});
+  }
+  std::printf("\npaper shape: train < 1%%, test a few percent, test > train.\n");
+  bench::WriteCsvOrDie(csv, "table1_performance.csv");
+  return 0;
+}

@@ -1,0 +1,79 @@
+#include "bench/bench_util.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace neuroprint::bench {
+
+void PrintHeader(const char* experiment_id, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", experiment_id, description);
+  std::printf("==============================================================\n");
+}
+
+void WriteCsvOrDie(const CsvWriter& csv, const std::string& filename) {
+  const Status status = csv.WriteFile(filename);
+  if (!status.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n", filename.c_str(),
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+  std::printf("\n[csv written: %s]\n", filename.c_str());
+}
+
+double IdentificationAccuracyPercent(const connectome::GroupMatrix& known,
+                                     const connectome::GroupMatrix& anonymous,
+                                     std::size_t num_features) {
+  core::AttackOptions options;
+  options.num_features = num_features;
+  auto attack = core::DeanonymizationAttack::Fit(known, options);
+  NP_CHECK(attack.ok()) << attack.status().ToString();
+  auto result = attack->Identify(anonymous);
+  NP_CHECK(result.ok()) << result.status().ToString();
+  return 100.0 * result->accuracy;
+}
+
+SubjectSplit SplitSubjects(std::size_t n, std::size_t train_count, Rng& rng) {
+  NP_CHECK_LE(train_count, n);
+  std::vector<std::size_t> order = rng.Permutation(n);
+  SubjectSplit split;
+  split.train.assign(order.begin(),
+                     order.begin() + static_cast<std::ptrdiff_t>(train_count));
+  split.test.assign(order.begin() + static_cast<std::ptrdiff_t>(train_count),
+                    order.end());
+  return split;
+}
+
+connectome::GroupMatrix SelectSubjects(
+    const connectome::GroupMatrix& group,
+    const std::vector<std::size_t>& subjects) {
+  std::vector<linalg::Vector> columns;
+  std::vector<std::string> ids;
+  columns.reserve(subjects.size());
+  for (std::size_t s : subjects) {
+    columns.push_back(group.SubjectColumn(s));
+    ids.push_back(group.subject_ids()[s]);
+  }
+  auto result = connectome::GroupMatrix::FromFeatureColumns(columns, ids);
+  NP_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+MeanStd Summarize(const std::vector<double>& values) {
+  MeanStd out;
+  if (values.empty()) return out;
+  out.mean = std::accumulate(values.begin(), values.end(), 0.0) /
+             static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double sum = 0.0;
+    for (double v : values) sum += (v - out.mean) * (v - out.mean);
+    out.stddev = std::sqrt(sum / static_cast<double>(values.size() - 1));
+  }
+  return out;
+}
+
+bool FastMode() { return std::getenv("NEUROPRINT_BENCH_FAST") != nullptr; }
+
+}  // namespace neuroprint::bench

@@ -1,0 +1,58 @@
+// Shared helpers for the experiment benches: each bench binary regenerates
+// one table or figure of the paper (same rows/series), prints it to
+// stdout, and writes a CSV next to the binary.
+
+#ifndef NEUROPRINT_BENCH_BENCH_UTIL_H_
+#define NEUROPRINT_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "connectome/group_matrix.h"
+#include "core/attack.h"
+#include "sim/cohort.h"
+#include "util/csv_writer.h"
+#include "util/string_util.h"
+
+namespace neuroprint::bench {
+
+/// Prints a banner naming the experiment and the paper artifact.
+void PrintHeader(const char* experiment_id, const char* description);
+
+/// Writes the CSV (aborting the bench on I/O failure) and reports the path.
+void WriteCsvOrDie(const CsvWriter& csv, const std::string& filename);
+
+/// Fits on `known` and identifies `anonymous`; returns accuracy in percent.
+double IdentificationAccuracyPercent(const connectome::GroupMatrix& known,
+                                     const connectome::GroupMatrix& anonymous,
+                                     std::size_t num_features = 100);
+
+/// Splits subject indices 0..n-1 into train/test with the given train
+/// count, shuffled by `rng`.
+struct SubjectSplit {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+SubjectSplit SplitSubjects(std::size_t n, std::size_t train_count, Rng& rng);
+
+/// Extracts the sub-group-matrix for the given subject indices.
+connectome::GroupMatrix SelectSubjects(const connectome::GroupMatrix& group,
+                                       const std::vector<std::size_t>& subjects);
+
+/// Mean and sample standard deviation of a series of values.
+struct MeanStd {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+MeanStd Summarize(const std::vector<double>& values);
+
+/// True if NEUROPRINT_BENCH_FAST is set: benches shrink their cohorts so a
+/// full sweep finishes in seconds (used in smoke checks; reported sizes
+/// are printed either way).
+bool FastMode();
+
+}  // namespace neuroprint::bench
+
+#endif  // NEUROPRINT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,103 @@
+// Example: de-anonymizing a clinical cohort (the paper's Section 3.3.4).
+//
+// The ADHD-200-like cohort mixes controls with three ADHD subtypes, uses
+// a different (116-region, AAL2-like) atlas than the HCP experiments, a
+// different TR, and shorter scans — and the same attack still identifies
+// subjects across sessions. The demo also shows the paper's train/test
+// protocol: leverage features selected on one half of the cohort transfer
+// to held-out subjects.
+//
+// Build & run:  ./build/examples/adhd_attack
+
+#include <cstdio>
+#include <vector>
+
+#include "core/attack.h"
+#include "core/matcher.h"
+#include "sim/cohort.h"
+#include "util/random.h"
+
+using namespace neuroprint;
+
+int main() {
+  auto cohort = sim::CohortSimulator::Create(sim::AdhdLikeConfig());
+  if (!cohort.ok()) {
+    std::fprintf(stderr, "cohort: %s\n", cohort.status().ToString().c_str());
+    return 1;
+  }
+  const auto& config = cohort->config();
+  std::printf("ADHD-200-like cohort: %zu subjects (%zu controls + %zu/%zu/%zu "
+              "ADHD subtypes), %zu regions\n",
+              config.num_subjects, config.group_sizes[0],
+              config.group_sizes[1], config.group_sizes[2],
+              config.group_sizes[3], config.num_regions);
+
+  auto session1 =
+      cohort->BuildGroupMatrix(sim::TaskType::kRest, sim::Encoding::kLeftRight);
+  auto session2 =
+      cohort->BuildGroupMatrix(sim::TaskType::kRest, sim::Encoding::kRightLeft);
+  if (!session1.ok() || !session2.ok()) return 1;
+  std::printf("feature space: %zu region-pair correlations (paper: 6670)\n\n",
+              session1->num_features());
+
+  // Whole-cohort session-to-session identification (Figure 9).
+  auto attack = core::DeanonymizationAttack::Fit(*session1);
+  if (!attack.ok()) return 1;
+  auto result = attack->Identify(*session2);
+  if (!result.ok()) return 1;
+  std::printf("full-cohort identification: %.1f%%  (paper: 94.12 ± 3.4%%)\n",
+              100.0 * result->accuracy);
+
+  // Per-group accuracy: cases are as identifiable as controls.
+  std::printf("\nper-group accuracy:\n");
+  const char* group_names[] = {"controls", "ADHD subtype 1", "ADHD subtype 2",
+                               "ADHD subtype 3"};
+  for (std::size_t g = 0; g < 4; ++g) {
+    std::size_t total = 0, correct = 0;
+    for (std::size_t s = 0; s < config.num_subjects; ++s) {
+      if (cohort->GroupOf(s) != g) continue;
+      ++total;
+      if (result->predicted_ids[s] == session2->subject_ids()[s]) ++correct;
+    }
+    std::printf("  %-16s %5.1f%%  (%zu subjects)\n", group_names[g],
+                100.0 * static_cast<double>(correct) / static_cast<double>(total),
+                total);
+  }
+
+  // Train/test transfer: features chosen on half the cohort identify the
+  // other half (paper: 97.2 ± 0.9%).
+  Rng rng(99);
+  auto order = rng.Permutation(config.num_subjects);
+  const std::size_t half = config.num_subjects / 2;
+  std::vector<linalg::Vector> train_cols, test1_cols, test2_cols;
+  std::vector<std::string> train_ids, test_ids;
+  for (std::size_t i = 0; i < config.num_subjects; ++i) {
+    const std::size_t s = order[i];
+    if (i < half) {
+      train_cols.push_back(session1->SubjectColumn(s));
+      train_ids.push_back(session1->subject_ids()[s]);
+    } else {
+      test1_cols.push_back(session1->SubjectColumn(s));
+      test2_cols.push_back(session2->SubjectColumn(s));
+      test_ids.push_back(session1->subject_ids()[s]);
+    }
+  }
+  auto train = connectome::GroupMatrix::FromFeatureColumns(train_cols, train_ids);
+  auto test1 = connectome::GroupMatrix::FromFeatureColumns(test1_cols, test_ids);
+  auto test2 = connectome::GroupMatrix::FromFeatureColumns(test2_cols, test_ids);
+  if (!train.ok() || !test1.ok() || !test2.ok()) return 1;
+
+  auto feature_source = core::DeanonymizationAttack::Fit(*train);
+  if (!feature_source.ok()) return 1;
+  auto k = test1->RestrictToFeatures(feature_source->selected_features());
+  auto a = test2->RestrictToFeatures(feature_source->selected_features());
+  auto similarity = core::SimilarityMatrix(*k, *a);
+  auto accuracy = core::IdentificationAccuracy(core::ArgmaxMatch(*similarity),
+                                               k->subject_ids(),
+                                               a->subject_ids());
+  std::printf("\nheld-out transfer accuracy: %.1f%%  (paper: 97.2 ± 0.9%%)\n",
+              100.0 * *accuracy);
+  std::printf("\ntakeaway: hospital fMRI records of clinical populations are "
+              "as linkable as research scans.\n");
+  return 0;
+}

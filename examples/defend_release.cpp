@@ -1,0 +1,79 @@
+// Example: the DEFENDER's workflow (the paper's Discussion section).
+//
+// A data custodian wants to publish a connectome dataset. The paper's
+// central observation cuts both ways: because leverage scores localize
+// the identity signature, the custodian can (a) see exactly which edges
+// and regions carry identity, and (b) suppress them before release. This
+// demo measures what that buys — and what it costs — against both a
+// static attacker (fitted on clean data from another session) and an
+// attacker who re-fits on the defended release.
+//
+// Build & run:  ./build/examples/defend_release
+
+#include <cstdio>
+
+#include "core/defense.h"
+#include "core/signature_map.h"
+#include "sim/cohort.h"
+
+using namespace neuroprint;
+
+int main() {
+  sim::CohortConfig config = sim::HcpLikeConfig();
+  config.num_subjects = 40;
+  auto cohort = sim::CohortSimulator::Create(config);
+  if (!cohort.ok()) return 1;
+
+  // The attacker holds session 1 with identities; the custodian is about
+  // to release session 2.
+  auto attacker_data =
+      cohort->BuildGroupMatrix(sim::TaskType::kRest, sim::Encoding::kLeftRight);
+  auto release =
+      cohort->BuildGroupMatrix(sim::TaskType::kRest, sim::Encoding::kRightLeft);
+  if (!attacker_data.ok() || !release.ok()) return 1;
+
+  // 1. The custodian localizes the signature in their own data.
+  auto defense_probe = core::DeanonymizationAttack::Fit(*release);
+  if (!defense_probe.ok()) return 1;
+  auto importance = core::ComputeRegionImportance(
+      defense_probe->selected_features(), defense_probe->leverage_scores(),
+      config.num_regions);
+  if (importance.ok()) {
+    std::printf("signature is concentrated: top 5 of %zu regions carry\n",
+                config.num_regions);
+    double top_mass = 0.0, total_mass = 0.0;
+    for (std::size_t i = 0; i < importance->size(); ++i) {
+      if (i < 5) top_mass += (*importance)[i].leverage_mass;
+      total_mass += (*importance)[i].leverage_mass;
+    }
+    std::printf("  %.0f%% of the selected leverage mass\n",
+                100.0 * top_mass / total_mass);
+  }
+
+  // 2. Sweep suppression budgets and report the privacy/utility frontier.
+  std::printf("\n%-18s %12s %10s %10s %12s\n", "suppressed edges",
+              "undefended", "static", "refit", "distortion");
+  for (const std::size_t edges : {200u, 1000u, 5000u, 20000u}) {
+    core::DefenseOptions options;
+    options.mode = core::DefenseMode::kShuffle;
+    options.num_edges = edges;
+    auto eval = core::EvaluateDefense(*attacker_data, *release, options);
+    if (!eval.ok()) {
+      std::fprintf(stderr, "evaluate: %s\n", eval.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-18zu %11.1f%% %9.1f%% %9.1f%% %12.4f\n", edges,
+                100 * eval->accuracy_undefended,
+                100 * eval->accuracy_static_attacker,
+                100 * eval->accuracy_adaptive_attacker, eval->distortion);
+  }
+
+  std::printf(
+      "\ntakeaway: suppressing only the top few hundred edges does NOT stop "
+      "an attacker whose\nfeature set came from a different session — the "
+      "signature is low-rank but spread over\nmany edges. Meaningful "
+      "protection requires suppressing a large fraction of the\nconnectome, "
+      "with the distortion that implies. Defending is much harder than "
+      "attacking.\n");
+  return 0;
+}

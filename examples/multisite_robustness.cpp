@@ -1,0 +1,56 @@
+// Example: robustness of the brain signature to multi-site acquisition
+// (the paper's Section 3.3.5 / Table 2).
+//
+// The second session's time series are degraded with the paper's noising
+// operator (Gaussian noise carrying the signal's mean and a fraction of
+// its variance) plus a structured scanner/site effect, and the attack is
+// re-run at increasing noise levels.
+//
+// Build & run:  ./build/examples/multisite_robustness
+
+#include <cstdio>
+
+#include "core/attack.h"
+#include "util/string_util.h"
+#include "sim/cohort.h"
+
+using namespace neuroprint;
+
+int main() {
+  sim::CohortConfig config = sim::HcpLikeConfig();
+  config.num_subjects = 40;  // Reduced for demo speed; the full-scale
+                             // reproduction is bench/bench_table2_multisite.
+  auto cohort = sim::CohortSimulator::Create(config);
+  if (!cohort.ok()) {
+    std::fprintf(stderr, "cohort: %s\n", cohort.status().ToString().c_str());
+    return 1;
+  }
+
+  auto known =
+      cohort->BuildGroupMatrix(sim::TaskType::kRest, sim::Encoding::kLeftRight);
+  if (!known.ok()) return 1;
+  auto attack = core::DeanonymizationAttack::Fit(*known);
+  if (!attack.ok()) return 1;
+  std::printf("attack fitted on the clean session (%zu subjects)\n\n",
+              config.num_subjects);
+
+  std::printf("%-22s %s\n", "noise variance", "identification accuracy");
+  for (const double fraction : {0.0, 0.05, 0.1, 0.2, 0.3, 0.5}) {
+    auto anonymous = cohort->BuildGroupMatrix(
+        sim::TaskType::kRest, sim::Encoding::kRightLeft, fraction);
+    if (!anonymous.ok()) return 1;
+    auto result = attack->Identify(*anonymous);
+    if (!result.ok()) return 1;
+    std::printf("%-22s %6.1f%%\n",
+                fraction == 0.0 ? "none (same scanner)"
+                                : StrFormat("%.0f%% of signal var",
+                                            100 * fraction)
+                                      .c_str(),
+                100.0 * result->accuracy);
+  }
+  std::printf("\npaper (Table 2, HCP): 91.1%% at 10%%, 86.7%% at 20%%, "
+              "79.1%% at 30%%.\n");
+  std::printf("takeaway: scans taken on different machines at different "
+              "hospitals remain linkable.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Example: predicting WHICH task an anonymous scan comes from
+// (the paper's Section 3.3.2 / Figure 6).
+//
+// All scans — resting state plus seven tasks for every subject — are
+// embedded into two dimensions with t-SNE. Scans cluster by task, not by
+// subject, so a 1-nearest-neighbour rule against the scans with known
+// labels predicts the task of an anonymous scan almost perfectly.
+//
+// Build & run:  ./build/examples/task_identification
+
+#include <cstdio>
+#include <vector>
+
+#include "core/knn.h"
+#include "core/tsne.h"
+#include "sim/cohort.h"
+
+using namespace neuroprint;
+
+int main() {
+  // A reduced cohort keeps this demo under a minute; the full-scale
+  // reproduction is bench/bench_fig6_tsne_task.
+  sim::CohortConfig config = sim::HcpLikeConfig();
+  config.num_subjects = 24;
+  auto cohort = sim::CohortSimulator::Create(config);
+  if (!cohort.ok()) {
+    std::fprintf(stderr, "cohort: %s\n", cohort.status().ToString().c_str());
+    return 1;
+  }
+  const std::size_t subjects = config.num_subjects;
+
+  // Stack every scan's vectorized connectome into one point set.
+  std::vector<linalg::Vector> rows;
+  std::vector<int> labels;
+  for (sim::TaskType task : sim::kAllTasks) {
+    auto group = cohort->BuildGroupMatrix(task, sim::Encoding::kLeftRight);
+    if (!group.ok()) return 1;
+    for (std::size_t s = 0; s < subjects; ++s) {
+      rows.push_back(group->SubjectColumn(s));
+      labels.push_back(static_cast<int>(task));
+    }
+  }
+  linalg::Matrix points(rows.size(), rows[0].size());
+  for (std::size_t i = 0; i < rows.size(); ++i) points.SetRow(i, rows[i]);
+  std::printf("embedding %zu scans (%zu features each) with t-SNE...\n",
+              points.rows(), points.cols());
+
+  core::TsneOptions options;
+  options.perplexity = 20.0;
+  options.max_iterations = 500;
+  auto embedding = core::TsneEmbed(points, options);
+  if (!embedding.ok()) {
+    std::fprintf(stderr, "tsne: %s\n", embedding.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("done: KL divergence %.3f\n\n", embedding->kl_divergence);
+
+  // Even-indexed subjects keep their labels; odd-indexed are "anonymous".
+  std::vector<int> train_labels, test_labels;
+  std::vector<std::size_t> train_rows, test_rows;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if ((i % subjects) % 2 == 0) {
+      train_rows.push_back(i);
+      train_labels.push_back(labels[i]);
+    } else {
+      test_rows.push_back(i);
+      test_labels.push_back(labels[i]);
+    }
+  }
+  linalg::Matrix train(train_rows.size(), 2), test(test_rows.size(), 2);
+  for (std::size_t i = 0; i < train_rows.size(); ++i) {
+    train.SetRow(i, embedding->embedding.RowCopy(train_rows[i]));
+  }
+  for (std::size_t i = 0; i < test_rows.size(); ++i) {
+    test.SetRow(i, embedding->embedding.RowCopy(test_rows[i]));
+  }
+  auto predicted = core::KnnClassify(train, train_labels, test, 1);
+  if (!predicted.ok()) return 1;
+
+  std::printf("per-task prediction accuracy (1-NN in the t-SNE plane):\n");
+  for (sim::TaskType task : sim::kAllTasks) {
+    std::size_t total = 0, correct = 0;
+    for (std::size_t i = 0; i < test_labels.size(); ++i) {
+      if (test_labels[i] != static_cast<int>(task)) continue;
+      ++total;
+      if ((*predicted)[i] == test_labels[i]) ++correct;
+    }
+    std::printf("  %-11s %5.1f%%\n", sim::TaskName(task),
+                100.0 * static_cast<double>(correct) / static_cast<double>(total));
+  }
+  auto overall = core::ClassificationAccuracy(*predicted, test_labels);
+  std::printf("overall: %.1f%%  (paper: 100%% tasks, ~99%% rest)\n",
+              100.0 * *overall);
+  return 0;
+}

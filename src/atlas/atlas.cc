@@ -1,0 +1,45 @@
+#include "atlas/atlas.h"
+
+#include "util/string_util.h"
+
+namespace neuroprint::atlas {
+
+std::vector<std::size_t> Atlas::RegionVoxelCounts() const {
+  std::vector<std::size_t> counts(num_regions_, 0);
+  for (std::int32_t label : labels_) {
+    if (label > 0 && static_cast<std::size_t>(label) <= num_regions_) {
+      ++counts[static_cast<std::size_t>(label) - 1];
+    }
+  }
+  return counts;
+}
+
+std::size_t Atlas::BrainVoxelCount() const {
+  std::size_t count = 0;
+  for (std::int32_t label : labels_) {
+    if (label != kBackground) ++count;
+  }
+  return count;
+}
+
+Status Atlas::Validate() const {
+  for (std::int32_t label : labels_) {
+    if (label < 0 || static_cast<std::size_t>(label) > num_regions_) {
+      return Status::CorruptData(
+          StrFormat("atlas label %d outside [0, %zu]", label, num_regions_));
+    }
+  }
+  const std::vector<std::size_t> counts = RegionVoxelCounts();
+  for (std::size_t r = 0; r < counts.size(); ++r) {
+    if (counts[r] == 0) {
+      return Status::CorruptData(StrFormat("atlas region %zu is empty", r + 1));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Atlas::RegionName(std::size_t region_index) const {
+  return StrFormat("R%03zu", region_index + 1);
+}
+
+}  // namespace neuroprint::atlas

@@ -1,0 +1,76 @@
+// Brain atlas: a label volume assigning each voxel to a parcel (region).
+//
+// The paper uses the Glasser multi-modal parcellation (360 cortical
+// regions) for HCP and AAL2 (116 regions -> 6670 region pairs) for
+// ADHD-200. We model an atlas as a dense int32 label grid where 0 is
+// background (non-brain) and labels 1..num_regions are parcels.
+
+#ifndef NEUROPRINT_ATLAS_ATLAS_H_
+#define NEUROPRINT_ATLAS_ATLAS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/status.h"
+
+namespace neuroprint::atlas {
+
+/// Background (non-brain) label.
+inline constexpr std::int32_t kBackground = 0;
+
+/// Dense voxel-label parcellation.
+class Atlas {
+ public:
+  Atlas() = default;
+
+  /// Grid of the given shape, all background.
+  Atlas(std::size_t nx, std::size_t ny, std::size_t nz,
+        std::size_t num_regions)
+      : nx_(nx), ny_(ny), nz_(nz), num_regions_(num_regions),
+        labels_(nx * ny * nz, kBackground) {}
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  std::size_t nz() const { return nz_; }
+  std::size_t num_regions() const { return num_regions_; }
+  bool empty() const { return labels_.empty(); }
+
+  std::int32_t label(std::size_t x, std::size_t y, std::size_t z) const {
+    NP_DCHECK(x < nx_ && y < ny_ && z < nz_);
+    return labels_[x + nx_ * (y + ny_ * z)];
+  }
+  void set_label(std::size_t x, std::size_t y, std::size_t z,
+                 std::int32_t value) {
+    NP_DCHECK(x < nx_ && y < ny_ && z < nz_);
+    NP_DCHECK(value >= 0 &&
+              value <= static_cast<std::int32_t>(num_regions_));
+    labels_[x + nx_ * (y + ny_ * z)] = value;
+  }
+
+  const std::vector<std::int32_t>& flat() const { return labels_; }
+
+  /// Number of voxels carrying each label 1..num_regions (index 0 of the
+  /// result is region 1).
+  std::vector<std::size_t> RegionVoxelCounts() const;
+
+  /// Number of non-background voxels.
+  std::size_t BrainVoxelCount() const;
+
+  /// Validates invariants: labels within [0, num_regions], every region
+  /// non-empty.
+  Status Validate() const;
+
+  /// Human-readable region name ("R042"-style synthetic names).
+  std::string RegionName(std::size_t region_index) const;
+
+ private:
+  std::size_t nx_ = 0, ny_ = 0, nz_ = 0;
+  std::size_t num_regions_ = 0;
+  std::vector<std::int32_t> labels_;
+};
+
+}  // namespace neuroprint::atlas
+
+#endif  // NEUROPRINT_ATLAS_ATLAS_H_

@@ -1,0 +1,82 @@
+#include "atlas/atlas_io.h"
+
+#include <cmath>
+
+#include "nifti/nifti_io.h"
+#include "util/string_util.h"
+
+namespace neuroprint::atlas {
+
+Result<Atlas> AtlasFromLabelVolume(const image::Volume3D& labels) {
+  if (labels.empty()) {
+    return Status::InvalidArgument("AtlasFromLabelVolume: empty volume");
+  }
+  std::int32_t max_label = 0;
+  for (float v : labels.flat()) {
+    if (!std::isfinite(v) || v < 0.0f) {
+      return Status::CorruptData(
+          "AtlasFromLabelVolume: labels must be non-negative and finite");
+    }
+    const double rounded = std::round(v);
+    if (std::fabs(v - rounded) > 1e-3) {
+      return Status::CorruptData(StrFormat(
+          "AtlasFromLabelVolume: non-integral label value %.4f", v));
+    }
+    max_label = std::max(max_label, static_cast<std::int32_t>(rounded));
+  }
+  if (max_label == 0) {
+    return Status::CorruptData("AtlasFromLabelVolume: no labelled voxels");
+  }
+
+  Atlas atlas(labels.nx(), labels.ny(), labels.nz(),
+              static_cast<std::size_t>(max_label));
+  for (std::size_t z = 0; z < labels.nz(); ++z) {
+    for (std::size_t y = 0; y < labels.ny(); ++y) {
+      for (std::size_t x = 0; x < labels.nx(); ++x) {
+        atlas.set_label(x, y, z,
+                        static_cast<std::int32_t>(std::round(labels.at(x, y, z))));
+      }
+    }
+  }
+  NP_RETURN_IF_ERROR(atlas.Validate());
+  return atlas;
+}
+
+image::Volume3D AtlasToLabelVolume(const Atlas& atlas) {
+  image::Volume3D volume(atlas.nx(), atlas.ny(), atlas.nz());
+  for (std::size_t z = 0; z < atlas.nz(); ++z) {
+    for (std::size_t y = 0; y < atlas.ny(); ++y) {
+      for (std::size_t x = 0; x < atlas.nx(); ++x) {
+        volume.at(x, y, z) = static_cast<float>(atlas.label(x, y, z));
+      }
+    }
+  }
+  return volume;
+}
+
+Result<Atlas> ReadAtlasNifti(const std::string& path) {
+  auto image = nifti::ReadNifti(path);
+  if (!image.ok()) return image.status();
+  if (image->data.nt() != 1) {
+    return Status::InvalidArgument(
+        "ReadAtlasNifti: atlas must be a 3-D label image");
+  }
+  image::Volume3D labels(image->data.nx(), image->data.ny(), image->data.nz());
+  std::copy(image->data.data(), image->data.data() + image->data.size(),
+            labels.data());
+  return AtlasFromLabelVolume(labels);
+}
+
+Status WriteAtlasNifti(const std::string& path, const Atlas& atlas) {
+  if (atlas.empty()) {
+    return Status::InvalidArgument("WriteAtlasNifti: empty atlas");
+  }
+  nifti::WriteOptions options;
+  options.datatype = atlas.num_regions() > 32767 ? nifti::DataType::kInt32
+                                                 : nifti::DataType::kInt16;
+  options.integer_autoscale = false;  // Labels must round-trip exactly.
+  options.description = "neuroprint atlas labels";
+  return nifti::WriteNifti3D(path, AtlasToLabelVolume(atlas), options);
+}
+
+}  // namespace neuroprint::atlas

@@ -1,0 +1,34 @@
+// Atlas <-> NIfTI label-volume conversion. Real parcellations (Glasser,
+// AAL2) ship as integer label images in NIfTI format; these helpers let
+// neuroprint load such files and persist its synthetic atlases the same
+// way, so external tools can inspect them.
+
+#ifndef NEUROPRINT_ATLAS_ATLAS_IO_H_
+#define NEUROPRINT_ATLAS_ATLAS_IO_H_
+
+#include <string>
+
+#include "atlas/atlas.h"
+#include "image/volume.h"
+#include "util/status.h"
+
+namespace neuroprint::atlas {
+
+/// Interprets a 3-D volume of integer labels as an atlas. Labels must be
+/// non-negative integers (values are rounded; 0 is background); the
+/// region count is the maximum label. Fails on negative or non-integral
+/// labels and on empty regions (every label in 1..max must occur).
+Result<Atlas> AtlasFromLabelVolume(const image::Volume3D& labels);
+
+/// Renders the atlas as a float label volume (for WriteNifti).
+image::Volume3D AtlasToLabelVolume(const Atlas& atlas);
+
+/// Reads an atlas from a NIfTI label image (.nii or .nii.gz; must be 3-D).
+Result<Atlas> ReadAtlasNifti(const std::string& path);
+
+/// Writes the atlas as an int16 NIfTI label image.
+Status WriteAtlasNifti(const std::string& path, const Atlas& atlas);
+
+}  // namespace neuroprint::atlas
+
+#endif  // NEUROPRINT_ATLAS_ATLAS_IO_H_

@@ -1,0 +1,43 @@
+#include "atlas/region_timeseries.h"
+
+namespace neuroprint::atlas {
+
+Result<linalg::Matrix> ExtractRegionTimeSeries(const image::Volume4D& run,
+                                               const Atlas& atlas) {
+  if (run.empty()) {
+    return Status::InvalidArgument("ExtractRegionTimeSeries: empty run");
+  }
+  if (run.nx() != atlas.nx() || run.ny() != atlas.ny() ||
+      run.nz() != atlas.nz()) {
+    return Status::InvalidArgument(
+        "ExtractRegionTimeSeries: run and atlas grids differ");
+  }
+  const std::size_t regions = atlas.num_regions();
+  const std::size_t nt = run.nt();
+  linalg::Matrix series(regions, nt);
+  std::vector<std::size_t> counts(regions, 0);
+
+  // Single pass per volume in storage order; label lookups are flat.
+  const std::vector<std::int32_t>& labels = atlas.flat();
+  for (std::size_t t = 0; t < nt; ++t) {
+    const float* vol = run.VolumePtr(t);
+    for (std::size_t i = 0; i < run.voxels_per_volume(); ++i) {
+      const std::int32_t label = labels[i];
+      if (label == kBackground) continue;
+      series(static_cast<std::size_t>(label) - 1, t) += vol[i];
+      if (t == 0) ++counts[static_cast<std::size_t>(label) - 1];
+    }
+  }
+  for (std::size_t r = 0; r < regions; ++r) {
+    if (counts[r] == 0) {
+      return Status::FailedPrecondition(
+          "ExtractRegionTimeSeries: atlas has an empty region");
+    }
+    const double inv = 1.0 / static_cast<double>(counts[r]);
+    double* row = series.RowPtr(r);
+    for (std::size_t t = 0; t < nt; ++t) row[t] *= inv;
+  }
+  return series;
+}
+
+}  // namespace neuroprint::atlas

@@ -1,0 +1,24 @@
+// Collapsing a 4-D run into region-average time series — the atlas step
+// of the paper's pipeline: a voxel x time matrix becomes region x time by
+// averaging all voxels with the same label.
+
+#ifndef NEUROPRINT_ATLAS_REGION_TIMESERIES_H_
+#define NEUROPRINT_ATLAS_REGION_TIMESERIES_H_
+
+#include "atlas/atlas.h"
+#include "image/volume.h"
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace neuroprint::atlas {
+
+/// Averages voxel time series within each atlas region. Output is a
+/// num_regions x nt matrix (row r = region r+1's mean series). Grid
+/// dimensions of run and atlas must match. Empty regions are rejected by
+/// Atlas::Validate at construction, so every row is a true average.
+Result<linalg::Matrix> ExtractRegionTimeSeries(const image::Volume4D& run,
+                                               const Atlas& atlas);
+
+}  // namespace neuroprint::atlas
+
+#endif  // NEUROPRINT_ATLAS_REGION_TIMESERIES_H_

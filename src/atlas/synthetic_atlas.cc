@@ -1,0 +1,115 @@
+#include "atlas/synthetic_atlas.h"
+
+#include <array>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace neuroprint::atlas {
+namespace {
+
+// Ellipsoidal brain mask test in voxel coordinates.
+bool InsideMask(std::size_t x, std::size_t y, std::size_t z,
+                const SyntheticAtlasConfig& config) {
+  const double cx = 0.5 * (static_cast<double>(config.nx) - 1.0);
+  const double cy = 0.5 * (static_cast<double>(config.ny) - 1.0);
+  const double cz = 0.5 * (static_cast<double>(config.nz) - 1.0);
+  const double rx = config.mask_fraction * cx;
+  const double ry = config.mask_fraction * cy;
+  const double rz = config.mask_fraction * cz;
+  if (rx <= 0.0 || ry <= 0.0 || rz <= 0.0) return false;
+  const double dx = (static_cast<double>(x) - cx) / rx;
+  const double dy = (static_cast<double>(y) - cy) / ry;
+  const double dz = (static_cast<double>(z) - cz) / rz;
+  return dx * dx + dy * dy + dz * dz <= 1.0;
+}
+
+}  // namespace
+
+Result<Atlas> GenerateSyntheticAtlas(const SyntheticAtlasConfig& config) {
+  if (config.num_regions == 0) {
+    return Status::InvalidArgument("GenerateSyntheticAtlas: zero regions");
+  }
+  if (config.nx == 0 || config.ny == 0 || config.nz == 0) {
+    return Status::InvalidArgument("GenerateSyntheticAtlas: empty grid");
+  }
+
+  // Collect mask voxels.
+  std::vector<std::array<std::size_t, 3>> mask_voxels;
+  for (std::size_t z = 0; z < config.nz; ++z) {
+    for (std::size_t y = 0; y < config.ny; ++y) {
+      for (std::size_t x = 0; x < config.nx; ++x) {
+        if (InsideMask(x, y, z, config)) mask_voxels.push_back({x, y, z});
+      }
+    }
+  }
+  if (mask_voxels.size() < config.num_regions) {
+    return Status::InvalidArgument(StrFormat(
+        "GenerateSyntheticAtlas: mask has %zu voxels but %zu regions "
+        "requested",
+        mask_voxels.size(), config.num_regions));
+  }
+
+  Atlas atlas(config.nx, config.ny, config.nz, config.num_regions);
+
+  // Sample distinct seed voxels, then grow regions with a multi-source BFS
+  // (discrete Voronoi tessellation under the 6-connected graph metric).
+  Rng rng(config.seed);
+  std::vector<std::size_t> indices = rng.Permutation(mask_voxels.size());
+  std::queue<std::array<std::size_t, 3>> frontier;
+  for (std::size_t r = 0; r < config.num_regions; ++r) {
+    const auto [x, y, z] = mask_voxels[indices[r]];
+    atlas.set_label(x, y, z, static_cast<std::int32_t>(r + 1));
+    frontier.push({x, y, z});
+  }
+
+  const std::ptrdiff_t neighbors[6][3] = {{1, 0, 0},  {-1, 0, 0}, {0, 1, 0},
+                                          {0, -1, 0}, {0, 0, 1},  {0, 0, -1}};
+  while (!frontier.empty()) {
+    const auto [x, y, z] = frontier.front();
+    frontier.pop();
+    const std::int32_t region = atlas.label(x, y, z);
+    for (const auto& d : neighbors) {
+      const std::ptrdiff_t nx_i = static_cast<std::ptrdiff_t>(x) + d[0];
+      const std::ptrdiff_t ny_i = static_cast<std::ptrdiff_t>(y) + d[1];
+      const std::ptrdiff_t nz_i = static_cast<std::ptrdiff_t>(z) + d[2];
+      if (nx_i < 0 || ny_i < 0 || nz_i < 0 ||
+          nx_i >= static_cast<std::ptrdiff_t>(config.nx) ||
+          ny_i >= static_cast<std::ptrdiff_t>(config.ny) ||
+          nz_i >= static_cast<std::ptrdiff_t>(config.nz)) {
+        continue;
+      }
+      const auto ux = static_cast<std::size_t>(nx_i);
+      const auto uy = static_cast<std::size_t>(ny_i);
+      const auto uz = static_cast<std::size_t>(nz_i);
+      if (!InsideMask(ux, uy, uz, config)) continue;
+      if (atlas.label(ux, uy, uz) != kBackground) continue;
+      atlas.set_label(ux, uy, uz, region);
+      frontier.push({ux, uy, uz});
+    }
+  }
+
+  NP_RETURN_IF_ERROR(atlas.Validate());
+  return atlas;
+}
+
+Result<Atlas> GlasserLikeAtlas(std::uint64_t seed) {
+  SyntheticAtlasConfig config;
+  config.num_regions = 360;
+  config.seed = seed;
+  return GenerateSyntheticAtlas(config);
+}
+
+Result<Atlas> Aal2LikeAtlas(std::uint64_t seed) {
+  SyntheticAtlasConfig config;
+  config.nx = 24;
+  config.ny = 28;
+  config.nz = 24;
+  config.num_regions = 116;
+  config.seed = seed;
+  return GenerateSyntheticAtlas(config);
+}
+
+}  // namespace neuroprint::atlas

@@ -1,0 +1,83 @@
+#include "connectome/connectome.h"
+
+#include <cmath>
+
+#include "linalg/stats.h"
+#include "util/string_util.h"
+
+namespace neuroprint::connectome {
+
+Result<linalg::Matrix> BuildConnectome(const linalg::Matrix& region_series) {
+  if (region_series.rows() < 2) {
+    return Status::InvalidArgument(
+        "BuildConnectome: need at least 2 regions");
+  }
+  if (region_series.cols() < 3) {
+    return Status::InvalidArgument(
+        "BuildConnectome: need at least 3 time points");
+  }
+  if (!region_series.AllFinite()) {
+    return Status::InvalidArgument("BuildConnectome: non-finite series");
+  }
+  return linalg::RowCorrelation(region_series);
+}
+
+Result<linalg::Vector> VectorizeUpperTriangle(const linalg::Matrix& m) {
+  const std::size_t n = m.rows();
+  if (m.cols() != n) {
+    return Status::InvalidArgument("VectorizeUpperTriangle: not square");
+  }
+  if (n < 2) {
+    return Status::InvalidArgument(
+        "VectorizeUpperTriangle: need at least 2 regions");
+  }
+  linalg::Vector v;
+  v.reserve(NumEdges(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) v.push_back(m(i, j));
+  }
+  return v;
+}
+
+Result<linalg::Matrix> DevectorizeUpperTriangle(const linalg::Vector& v,
+                                                std::size_t regions) {
+  if (regions < 2) {
+    return Status::InvalidArgument(
+        "DevectorizeUpperTriangle: need at least 2 regions");
+  }
+  if (v.size() != NumEdges(regions)) {
+    return Status::InvalidArgument(StrFormat(
+        "DevectorizeUpperTriangle: %zu features does not match %zu regions "
+        "(expected %zu)",
+        v.size(), regions, NumEdges(regions)));
+  }
+  linalg::Matrix m(regions, regions);
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < regions; ++i) {
+    m(i, i) = 1.0;
+    for (std::size_t j = i + 1; j < regions; ++j, ++k) {
+      m(i, j) = v[k];
+      m(j, i) = v[k];
+    }
+  }
+  return m;
+}
+
+Result<std::pair<std::size_t, std::size_t>> EdgeIndexToRegionPair(
+    std::size_t edge_index, std::size_t regions) {
+  if (regions < 2 || edge_index >= NumEdges(regions)) {
+    return Status::OutOfRange("EdgeIndexToRegionPair: index out of range");
+  }
+  // Row i owns (regions - 1 - i) edges; walk rows until the index fits.
+  std::size_t remaining = edge_index;
+  for (std::size_t i = 0; i + 1 < regions; ++i) {
+    const std::size_t row_edges = regions - 1 - i;
+    if (remaining < row_edges) {
+      return std::make_pair(i, i + 1 + remaining);
+    }
+    remaining -= row_edges;
+  }
+  return Status::Internal("EdgeIndexToRegionPair: unreachable");
+}
+
+}  // namespace neuroprint::connectome

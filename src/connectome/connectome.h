@@ -1,0 +1,40 @@
+// Functional connectome construction: region x region Pearson correlation
+// of region time series, and the vectorization that turns the (symmetric)
+// correlation matrix into the paper's feature vector — the strict upper
+// triangle stacked row-wise, giving n(n-1)/2 features (64620 for 360
+// regions, 6670 for 116).
+
+#ifndef NEUROPRINT_CONNECTOME_CONNECTOME_H_
+#define NEUROPRINT_CONNECTOME_CONNECTOME_H_
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace neuroprint::connectome {
+
+/// Number of region-pair features for `regions` regions.
+constexpr std::size_t NumEdges(std::size_t regions) {
+  return regions * (regions - 1) / 2;
+}
+
+/// Pearson correlation connectome from a regions x time series matrix.
+/// Requires at least 3 time points.
+Result<linalg::Matrix> BuildConnectome(const linalg::Matrix& region_series);
+
+/// Stacks the strict upper triangle of a symmetric n x n matrix into a
+/// vector of n(n-1)/2 entries, ordered (0,1), (0,2), ..., (0,n-1), (1,2),
+/// ... — the paper's feature layout.
+Result<linalg::Vector> VectorizeUpperTriangle(const linalg::Matrix& m);
+
+/// Inverse of VectorizeUpperTriangle: rebuilds the symmetric matrix with
+/// unit diagonal.
+Result<linalg::Matrix> DevectorizeUpperTriangle(const linalg::Vector& v,
+                                                std::size_t regions);
+
+/// Maps a feature index back to its (row, col) region pair.
+Result<std::pair<std::size_t, std::size_t>> EdgeIndexToRegionPair(
+    std::size_t edge_index, std::size_t regions);
+
+}  // namespace neuroprint::connectome
+
+#endif  // NEUROPRINT_CONNECTOME_CONNECTOME_H_

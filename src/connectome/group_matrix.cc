@@ -1,0 +1,76 @@
+#include "connectome/group_matrix.h"
+
+#include "util/string_util.h"
+
+namespace neuroprint::connectome {
+
+Result<GroupMatrix> GroupMatrix::FromConnectomes(
+    const std::vector<linalg::Matrix>& connectomes,
+    std::vector<std::string> subject_ids) {
+  if (connectomes.empty()) {
+    return Status::InvalidArgument("GroupMatrix: no connectomes");
+  }
+  std::vector<linalg::Vector> columns;
+  columns.reserve(connectomes.size());
+  for (const linalg::Matrix& c : connectomes) {
+    auto v = VectorizeUpperTriangle(c);
+    if (!v.ok()) return v.status();
+    columns.push_back(std::move(v).value());
+  }
+  return FromFeatureColumns(columns, std::move(subject_ids));
+}
+
+Result<GroupMatrix> GroupMatrix::FromFeatureColumns(
+    const std::vector<linalg::Vector>& columns,
+    std::vector<std::string> subject_ids) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("GroupMatrix: no feature columns");
+  }
+  if (subject_ids.size() != columns.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "GroupMatrix: %zu subject ids for %zu columns", subject_ids.size(),
+        columns.size()));
+  }
+  const std::size_t features = columns[0].size();
+  if (features == 0) {
+    return Status::InvalidArgument("GroupMatrix: empty feature vectors");
+  }
+  for (std::size_t j = 1; j < columns.size(); ++j) {
+    if (columns[j].size() != features) {
+      return Status::InvalidArgument(StrFormat(
+          "GroupMatrix: column %zu has %zu features, expected %zu", j,
+          columns[j].size(), features));
+    }
+  }
+  GroupMatrix g;
+  g.data_ = linalg::Matrix(features, columns.size());
+  for (std::size_t j = 0; j < columns.size(); ++j) {
+    for (std::size_t i = 0; i < features; ++i) g.data_(i, j) = columns[j][i];
+  }
+  g.subject_ids_ = std::move(subject_ids);
+  return g;
+}
+
+Result<GroupMatrix> GroupMatrix::RestrictToFeatures(
+    const std::vector<std::size_t>& feature_rows) const {
+  if (feature_rows.empty()) {
+    return Status::InvalidArgument("RestrictToFeatures: empty selection");
+  }
+  for (std::size_t row : feature_rows) {
+    if (row >= num_features()) {
+      return Status::OutOfRange(StrFormat(
+          "RestrictToFeatures: row %zu out of %zu", row, num_features()));
+    }
+  }
+  GroupMatrix g;
+  g.data_ = linalg::Matrix(feature_rows.size(), num_subjects());
+  for (std::size_t i = 0; i < feature_rows.size(); ++i) {
+    const double* src = data_.RowPtr(feature_rows[i]);
+    double* dst = g.data_.RowPtr(i);
+    std::copy(src, src + num_subjects(), dst);
+  }
+  g.subject_ids_ = subject_ids_;
+  return g;
+}
+
+}  // namespace neuroprint::connectome

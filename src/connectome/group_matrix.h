@@ -1,0 +1,56 @@
+// Group matrices: vectorized connectomes stacked column-wise, one column
+// per subject (the paper's "A" of Section 3.1.2 — e.g. 64620 x 100).
+
+#ifndef NEUROPRINT_CONNECTOME_GROUP_MATRIX_H_
+#define NEUROPRINT_CONNECTOME_GROUP_MATRIX_H_
+
+#include <string>
+#include <vector>
+
+#include "connectome/connectome.h"
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace neuroprint::connectome {
+
+/// A features x subjects matrix with per-column subject identifiers.
+class GroupMatrix {
+ public:
+  GroupMatrix() = default;
+
+  /// Builds from one connectome (region x region correlation matrix) per
+  /// subject; all must share the region count.
+  static Result<GroupMatrix> FromConnectomes(
+      const std::vector<linalg::Matrix>& connectomes,
+      std::vector<std::string> subject_ids);
+
+  /// Builds from pre-vectorized feature columns.
+  static Result<GroupMatrix> FromFeatureColumns(
+      const std::vector<linalg::Vector>& columns,
+      std::vector<std::string> subject_ids);
+
+  std::size_t num_features() const { return data_.rows(); }
+  std::size_t num_subjects() const { return data_.cols(); }
+
+  const linalg::Matrix& data() const { return data_; }
+  linalg::Matrix& mutable_data() { return data_; }
+  const std::vector<std::string>& subject_ids() const { return subject_ids_; }
+
+  /// One subject's feature column.
+  linalg::Vector SubjectColumn(std::size_t subject) const {
+    return data_.ColCopy(subject);
+  }
+
+  /// Restriction to a subset of feature rows (in the given order) — the
+  /// feature-selection step of the attack. Indices must be in range.
+  Result<GroupMatrix> RestrictToFeatures(
+      const std::vector<std::size_t>& feature_rows) const;
+
+ private:
+  linalg::Matrix data_;
+  std::vector<std::string> subject_ids_;
+};
+
+}  // namespace neuroprint::connectome
+
+#endif  // NEUROPRINT_CONNECTOME_GROUP_MATRIX_H_

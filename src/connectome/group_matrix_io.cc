@@ -1,0 +1,112 @@
+#include "connectome/group_matrix_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace neuroprint::connectome {
+namespace {
+
+constexpr char kMagic[4] = {'N', 'P', 'G', 'M'};
+constexpr std::uint32_t kVersion = 1;
+
+// Bounds protecting the reader from allocating absurd sizes on corrupt
+// input.
+constexpr std::uint64_t kMaxFeatures = 1ull << 32;
+constexpr std::uint64_t kMaxSubjects = 1ull << 24;
+constexpr std::uint32_t kMaxIdLength = 4096;
+
+template <typename T>
+void Append(std::vector<char>& out, const T& value) {
+  const char* bytes = reinterpret_cast<const char*>(&value);
+  out.insert(out.end(), bytes, bytes + sizeof(T));
+}
+
+template <typename T>
+bool ReadValue(std::istream& in, T& value) {
+  return static_cast<bool>(
+      in.read(reinterpret_cast<char*>(&value), sizeof(T)));
+}
+
+}  // namespace
+
+Status WriteGroupMatrix(const std::string& path, const GroupMatrix& group) {
+  if (group.num_subjects() == 0 || group.num_features() == 0) {
+    return Status::InvalidArgument("WriteGroupMatrix: empty group matrix");
+  }
+  std::vector<char> header;
+  header.insert(header.end(), kMagic, kMagic + 4);
+  Append(header, kVersion);
+  Append(header, static_cast<std::uint64_t>(group.num_features()));
+  Append(header, static_cast<std::uint64_t>(group.num_subjects()));
+  for (const std::string& id : group.subject_ids()) {
+    if (id.size() > kMaxIdLength) {
+      return Status::InvalidArgument("WriteGroupMatrix: subject id too long");
+    }
+    Append(header, static_cast<std::uint32_t>(id.size()));
+    header.insert(header.end(), id.begin(), id.end());
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  for (std::size_t j = 0; j < group.num_subjects(); ++j) {
+    const linalg::Vector column = group.SubjectColumn(j);
+    out.write(reinterpret_cast<const char*>(column.data()),
+              static_cast<std::streamsize>(column.size() * sizeof(double)));
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<GroupMatrix> ReadGroupMatrix(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open: " + path);
+
+  char magic[4];
+  if (!in.read(magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::CorruptData("not a group-matrix file: " + path);
+  }
+  std::uint32_t version = 0;
+  std::uint64_t features = 0, subjects = 0;
+  if (!ReadValue(in, version) || !ReadValue(in, features) ||
+      !ReadValue(in, subjects)) {
+    return Status::CorruptData("truncated group-matrix header: " + path);
+  }
+  if (version != kVersion) {
+    return Status::Unimplemented(
+        StrFormat("unsupported group-matrix version %u", version));
+  }
+  if (features == 0 || features > kMaxFeatures || subjects == 0 ||
+      subjects > kMaxSubjects) {
+    return Status::CorruptData("implausible group-matrix dimensions");
+  }
+
+  std::vector<std::string> ids(subjects);
+  for (std::uint64_t j = 0; j < subjects; ++j) {
+    std::uint32_t length = 0;
+    if (!ReadValue(in, length) || length > kMaxIdLength) {
+      return Status::CorruptData("bad subject id in group-matrix file");
+    }
+    ids[j].resize(length);
+    if (length > 0 && !in.read(ids[j].data(), length)) {
+      return Status::CorruptData("truncated subject ids");
+    }
+  }
+
+  std::vector<linalg::Vector> columns(subjects);
+  for (std::uint64_t j = 0; j < subjects; ++j) {
+    columns[j].resize(features);
+    if (!in.read(reinterpret_cast<char*>(columns[j].data()),
+                 static_cast<std::streamsize>(features * sizeof(double)))) {
+      return Status::CorruptData("truncated group-matrix values");
+    }
+  }
+  return GroupMatrix::FromFeatureColumns(columns, std::move(ids));
+}
+
+}  // namespace neuroprint::connectome

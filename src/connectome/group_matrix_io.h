@@ -1,0 +1,29 @@
+// Binary persistence for GroupMatrix: preprocessing a large cohort is
+// the expensive step of the attack (minutes of registration/filtering per
+// scan), so tools cache the extracted feature matrices on disk.
+//
+// Format ("NPGM" v1, little-endian):
+//   magic "NPGM" | u32 version | u64 features | u64 subjects |
+//   per subject: u32 id_length, id bytes |
+//   features*subjects f64 values (column-major: subject by subject).
+
+#ifndef NEUROPRINT_CONNECTOME_GROUP_MATRIX_IO_H_
+#define NEUROPRINT_CONNECTOME_GROUP_MATRIX_IO_H_
+
+#include <string>
+
+#include "connectome/group_matrix.h"
+#include "util/status.h"
+
+namespace neuroprint::connectome {
+
+/// Writes the group matrix to `path`, overwriting.
+Status WriteGroupMatrix(const std::string& path, const GroupMatrix& group);
+
+/// Reads a group matrix previously written by WriteGroupMatrix. Returns
+/// CorruptData for malformed or truncated files.
+Result<GroupMatrix> ReadGroupMatrix(const std::string& path);
+
+}  // namespace neuroprint::connectome
+
+#endif  // NEUROPRINT_CONNECTOME_GROUP_MATRIX_IO_H_

@@ -1,0 +1,64 @@
+#include "connectome/partial_correlation.h"
+
+#include <cmath>
+
+#include "linalg/cholesky.h"
+#include "linalg/lu.h"
+#include "linalg/stats.h"
+
+namespace neuroprint::connectome {
+
+Result<linalg::Matrix> BuildPartialCorrelationConnectome(
+    const linalg::Matrix& region_series,
+    const PartialCorrelationOptions& options) {
+  const std::size_t regions = region_series.rows();
+  if (regions < 2) {
+    return Status::InvalidArgument(
+        "BuildPartialCorrelationConnectome: need at least 2 regions");
+  }
+  if (region_series.cols() < 3) {
+    return Status::InvalidArgument(
+        "BuildPartialCorrelationConnectome: need at least 3 time points");
+  }
+  if (!region_series.AllFinite()) {
+    return Status::InvalidArgument(
+        "BuildPartialCorrelationConnectome: non-finite series");
+  }
+  if (options.shrinkage < 0.0) {
+    return Status::InvalidArgument(
+        "BuildPartialCorrelationConnectome: negative shrinkage");
+  }
+
+  linalg::Matrix cov = linalg::RowCovariance(region_series);
+  double mean_diag = 0.0;
+  for (std::size_t i = 0; i < regions; ++i) mean_diag += cov(i, i);
+  mean_diag /= static_cast<double>(regions);
+  if (mean_diag <= 0.0) {
+    return Status::FailedPrecondition(
+        "BuildPartialCorrelationConnectome: degenerate (constant) series");
+  }
+  for (std::size_t i = 0; i < regions; ++i) {
+    cov(i, i) += options.shrinkage * mean_diag;
+  }
+
+  auto precision = linalg::Inverse(cov);
+  if (!precision.ok()) {
+    return Status::FailedPrecondition(
+        "BuildPartialCorrelationConnectome: covariance not invertible; "
+        "increase shrinkage");
+  }
+
+  linalg::Matrix partial(regions, regions);
+  for (std::size_t i = 0; i < regions; ++i) {
+    partial(i, i) = 1.0;
+    for (std::size_t j = i + 1; j < regions; ++j) {
+      const double denom = std::sqrt((*precision)(i, i) * (*precision)(j, j));
+      const double value = denom > 0.0 ? -(*precision)(i, j) / denom : 0.0;
+      partial(i, j) = value;
+      partial(j, i) = value;
+    }
+  }
+  return partial;
+}
+
+}  // namespace neuroprint::connectome

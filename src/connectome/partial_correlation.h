@@ -1,0 +1,36 @@
+// Partial-correlation connectomes: an alternative region-to-region
+// coherence measure (the paper's method is agnostic to the choice — "for
+// a given measure of region-to-region coherence", Section 3.1.2).
+//
+// The partial correlation between regions i and j conditions out every
+// other region: rho_ij = -P_ij / sqrt(P_ii P_jj) where P is the inverse
+// of the (regularized) covariance. It isolates direct coupling and is the
+// common alternative to Pearson in the connectomics literature; the
+// ablation bench compares both as attack substrates.
+
+#ifndef NEUROPRINT_CONNECTOME_PARTIAL_CORRELATION_H_
+#define NEUROPRINT_CONNECTOME_PARTIAL_CORRELATION_H_
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace neuroprint::connectome {
+
+struct PartialCorrelationOptions {
+  /// Ridge term added to the covariance diagonal before inversion, as a
+  /// fraction of the mean diagonal. Stabilizes the estimate when frames
+  /// are scarce relative to regions (the usual fMRI regime).
+  double shrinkage = 0.1;
+};
+
+/// Partial-correlation connectome from a regions x time series matrix.
+/// Requires at least 3 time points; the shrunk covariance must be
+/// invertible (guaranteed for shrinkage > 0 on non-degenerate data).
+/// Output has unit diagonal and is symmetric.
+Result<linalg::Matrix> BuildPartialCorrelationConnectome(
+    const linalg::Matrix& region_series,
+    const PartialCorrelationOptions& options = {});
+
+}  // namespace neuroprint::connectome
+
+#endif  // NEUROPRINT_CONNECTOME_PARTIAL_CORRELATION_H_

@@ -1,0 +1,64 @@
+#include "core/attack.h"
+
+#include "util/string_util.h"
+
+namespace neuroprint::core {
+
+Result<DeanonymizationAttack> DeanonymizationAttack::Fit(
+    const connectome::GroupMatrix& known, const AttackOptions& options) {
+  if (options.num_features == 0) {
+    return Status::InvalidArgument("AttackOptions: num_features must be > 0");
+  }
+  if (known.num_subjects() < 2) {
+    return Status::InvalidArgument(
+        "DeanonymizationAttack: need at least 2 known subjects");
+  }
+  auto scores = ComputeLeverageScores(known.data(), options.leverage);
+  if (!scores.ok()) return scores.status();
+
+  DeanonymizationAttack attack;
+  attack.leverage_scores_ = std::move(scores).value();
+  attack.selected_features_ =
+      TopKIndices(attack.leverage_scores_, options.num_features);
+  if (attack.selected_features_.size() < 2) {
+    return Status::FailedPrecondition(
+        "DeanonymizationAttack: fewer than 2 usable features");
+  }
+  auto reduced = known.RestrictToFeatures(attack.selected_features_);
+  if (!reduced.ok()) return reduced.status();
+  attack.reduced_known_ = std::move(reduced).value();
+  attack.full_feature_count_ = known.num_features();
+  return attack;
+}
+
+Result<AttackResult> DeanonymizationAttack::Identify(
+    const connectome::GroupMatrix& anonymous) const {
+  if (anonymous.num_features() != full_feature_count_) {
+    return Status::InvalidArgument(StrFormat(
+        "Identify: anonymous dataset has %zu features, attack was fitted "
+        "on %zu — datasets must share a parcellation",
+        anonymous.num_features(), full_feature_count_));
+  }
+  auto reduced = anonymous.RestrictToFeatures(selected_features_);
+  if (!reduced.ok()) return reduced.status();
+
+  AttackResult result;
+  auto similarity = SimilarityMatrix(reduced_known_, *reduced);
+  if (!similarity.ok()) return similarity.status();
+  result.similarity = std::move(similarity).value();
+  result.predicted_index = ArgmaxMatch(result.similarity);
+
+  result.predicted_ids.reserve(result.predicted_index.size());
+  for (std::size_t idx : result.predicted_index) {
+    result.predicted_ids.push_back(reduced_known_.subject_ids()[idx]);
+  }
+  auto accuracy =
+      IdentificationAccuracy(result.predicted_index,
+                             reduced_known_.subject_ids(),
+                             anonymous.subject_ids());
+  if (!accuracy.ok()) return accuracy.status();
+  result.accuracy = *accuracy;
+  return result;
+}
+
+}  // namespace neuroprint::core

@@ -1,0 +1,69 @@
+// The end-to-end de-anonymization attack (the paper's Figure 3 workflow):
+//
+//   1. Fit: compute leverage scores on the de-anonymized group matrix and
+//      keep the top-t features (the principal features subspace).
+//   2. Identify: restrict both group matrices to those features, correlate
+//      every known subject against every anonymous subject, and assign
+//      each anonymous scan to the most-correlated known identity.
+
+#ifndef NEUROPRINT_CORE_ATTACK_H_
+#define NEUROPRINT_CORE_ATTACK_H_
+
+#include <string>
+#include <vector>
+
+#include "connectome/group_matrix.h"
+#include "core/leverage.h"
+#include "core/matcher.h"
+#include "util/status.h"
+
+namespace neuroprint::core {
+
+struct AttackOptions {
+  /// Number of leverage-selected features to keep. The paper reduces the
+  /// 64620-feature resting-state matrices to fewer than 100 rows.
+  std::size_t num_features = 100;
+  LeverageOptions leverage;
+};
+
+/// Outcome of one identification run.
+struct AttackResult {
+  linalg::Matrix similarity;  ///< known subjects x anonymous subjects.
+  std::vector<std::size_t> predicted_index;  ///< Per anonymous subject.
+  std::vector<std::string> predicted_ids;
+  /// Fraction of anonymous subjects assigned their true identity
+  /// (requires the anonymous group matrix to carry ground-truth ids).
+  double accuracy = 0.0;
+};
+
+/// A fitted attack: the selected feature set plus the reduced known-group
+/// matrix, reusable against any number of target datasets.
+class DeanonymizationAttack {
+ public:
+  /// Fits the attack on the de-anonymized dataset.
+  static Result<DeanonymizationAttack> Fit(
+      const connectome::GroupMatrix& known, const AttackOptions& options = {});
+
+  /// Feature rows (into the original feature space) the attack uses.
+  const std::vector<std::size_t>& selected_features() const {
+    return selected_features_;
+  }
+
+  /// Leverage scores the selection was based on (full feature space).
+  const linalg::Vector& leverage_scores() const { return leverage_scores_; }
+
+  /// Identifies every subject of `anonymous` against the known dataset.
+  /// The anonymous matrix must live in the same (full) feature space the
+  /// attack was fitted on.
+  Result<AttackResult> Identify(const connectome::GroupMatrix& anonymous) const;
+
+ private:
+  connectome::GroupMatrix reduced_known_;
+  std::vector<std::size_t> selected_features_;
+  linalg::Vector leverage_scores_;
+  std::size_t full_feature_count_ = 0;
+};
+
+}  // namespace neuroprint::core
+
+#endif  // NEUROPRINT_CORE_ATTACK_H_

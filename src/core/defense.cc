@@ -1,0 +1,184 @@
+#include "core/defense.h"
+
+#include <cmath>
+
+#include "core/leverage.h"
+#include "linalg/vector_ops.h"
+
+namespace neuroprint::core {
+
+Result<SignatureDefense> SignatureDefense::Fit(
+    const connectome::GroupMatrix& reference, const DefenseOptions& options) {
+  if (options.num_edges == 0) {
+    return Status::InvalidArgument("DefenseOptions: num_edges must be > 0");
+  }
+  if (options.noise_scale < 0.0) {
+    return Status::InvalidArgument("DefenseOptions: negative noise_scale");
+  }
+  auto scores = ComputeLeverageScores(reference.data());
+  if (!scores.ok()) return scores.status();
+
+  SignatureDefense defense;
+  defense.target_edges_ = TopKIndices(*scores, options.num_edges);
+  defense.options_ = options;
+  return defense;
+}
+
+Result<connectome::GroupMatrix> SignatureDefense::Apply(
+    const connectome::GroupMatrix& data) const {
+  for (std::size_t edge : target_edges_) {
+    if (edge >= data.num_features()) {
+      return Status::InvalidArgument(
+          "SignatureDefense::Apply: data has a smaller feature space than "
+          "the defense was fitted on");
+    }
+  }
+  connectome::GroupMatrix defended = data;
+  linalg::Matrix& m = defended.mutable_data();
+  const std::size_t subjects = m.cols();
+  Rng rng(options_.seed);
+
+  for (std::size_t edge : target_edges_) {
+    double* row = m.RowPtr(edge);
+    // Across-subject mean and deviation of this edge.
+    double mean = 0.0;
+    for (std::size_t j = 0; j < subjects; ++j) mean += row[j];
+    mean /= static_cast<double>(subjects);
+    double var = 0.0;
+    for (std::size_t j = 0; j < subjects; ++j) {
+      var += (row[j] - mean) * (row[j] - mean);
+    }
+    const double sd =
+        subjects > 1 ? std::sqrt(var / static_cast<double>(subjects - 1)) : 0.0;
+
+    switch (options_.mode) {
+      case DefenseMode::kGaussianNoise: {
+        for (std::size_t j = 0; j < subjects; ++j) {
+          row[j] += rng.Gaussian(0.0, options_.noise_scale * sd);
+        }
+        break;
+      }
+      case DefenseMode::kMeanSubstitute: {
+        for (std::size_t j = 0; j < subjects; ++j) row[j] = mean;
+        break;
+      }
+      case DefenseMode::kShuffle: {
+        linalg::Vector values(row, row + subjects);
+        rng.Shuffle(values);
+        for (std::size_t j = 0; j < subjects; ++j) row[j] = values[j];
+        break;
+      }
+    }
+  }
+  return defended;
+}
+
+Result<DefenseEvaluation> EvaluateDefense(
+    const connectome::GroupMatrix& known,
+    const connectome::GroupMatrix& release, const DefenseOptions& options,
+    const AttackOptions& attack_options) {
+  if (known.num_features() != release.num_features()) {
+    return Status::InvalidArgument("EvaluateDefense: feature-space mismatch");
+  }
+
+  DefenseEvaluation eval;
+
+  // Baseline: no defense.
+  auto attack = DeanonymizationAttack::Fit(known, attack_options);
+  if (!attack.ok()) return attack.status();
+  auto undefended = attack->Identify(release);
+  if (!undefended.ok()) return undefended.status();
+  eval.accuracy_undefended = undefended->accuracy;
+
+  // Defend the release. The defender picks edges from the release itself
+  // (they do not need the attacker's dataset).
+  auto defense = SignatureDefense::Fit(release, options);
+  if (!defense.ok()) return defense.status();
+  auto defended = defense->Apply(release);
+  if (!defended.ok()) return defended.status();
+
+  // Static attacker: same attack, defended release.
+  auto static_result = attack->Identify(*defended);
+  if (!static_result.ok()) return static_result.status();
+  eval.accuracy_static_attacker = static_result->accuracy;
+
+  // Adaptive attacker: re-fits feature selection on the defended release
+  // (the identified dataset stays clean — the attacker owns it).
+  {
+    auto adaptive_features =
+        ComputeLeverageScores(defended->data());
+    if (!adaptive_features.ok()) return adaptive_features.status();
+    const auto features =
+        TopKIndices(*adaptive_features, attack_options.num_features);
+    auto reduced_known = known.RestrictToFeatures(features);
+    auto reduced_release = defended->RestrictToFeatures(features);
+    if (!reduced_known.ok()) return reduced_known.status();
+    if (!reduced_release.ok()) return reduced_release.status();
+    auto similarity = SimilarityMatrix(*reduced_known, *reduced_release);
+    if (!similarity.ok()) return similarity.status();
+    auto accuracy = IdentificationAccuracy(ArgmaxMatch(*similarity),
+                                           reduced_known->subject_ids(),
+                                           reduced_release->subject_ids());
+    if (!accuracy.ok()) return accuracy.status();
+    eval.accuracy_adaptive_attacker = *accuracy;
+  }
+
+  // Distortion and coverage.
+  const double release_norm = release.data().FrobeniusNorm();
+  eval.distortion =
+      release_norm > 0.0
+          ? (defended->data() - release.data()).FrobeniusNorm() / release_norm
+          : 0.0;
+  eval.untouched_fraction =
+      1.0 - static_cast<double>(defense->target_edges().size()) /
+                static_cast<double>(release.num_features());
+  return eval;
+}
+
+
+Result<double> GroupContrastPreservation(
+    const connectome::GroupMatrix& release,
+    const connectome::GroupMatrix& defended,
+    const std::vector<int>& group_of) {
+  if (release.num_features() != defended.num_features() ||
+      release.num_subjects() != defended.num_subjects()) {
+    return Status::InvalidArgument(
+        "GroupContrastPreservation: release/defended shape mismatch");
+  }
+  if (group_of.size() != release.num_subjects()) {
+    return Status::InvalidArgument(
+        "GroupContrastPreservation: one group label per subject required");
+  }
+  std::size_t n0 = 0, n1 = 0;
+  for (int g : group_of) {
+    if (g == 0) {
+      ++n0;
+    } else if (g == 1) {
+      ++n1;
+    } else {
+      return Status::InvalidArgument(
+          "GroupContrastPreservation: group labels must be 0 or 1");
+    }
+  }
+  if (n0 == 0 || n1 == 0) {
+    return Status::InvalidArgument(
+        "GroupContrastPreservation: both groups must be non-empty");
+  }
+
+  auto contrast = [&](const connectome::GroupMatrix& g) {
+    linalg::Vector diff(g.num_features(), 0.0);
+    for (std::size_t e = 0; e < g.num_features(); ++e) {
+      double mean0 = 0.0, mean1 = 0.0;
+      const double* row = g.data().RowPtr(e);
+      for (std::size_t j = 0; j < g.num_subjects(); ++j) {
+        (group_of[j] == 0 ? mean0 : mean1) += row[j];
+      }
+      diff[e] = mean1 / static_cast<double>(n1) -
+                mean0 / static_cast<double>(n0);
+    }
+    return diff;
+  };
+  return linalg::PearsonCorrelation(contrast(release), contrast(defended));
+}
+
+}  // namespace neuroprint::core

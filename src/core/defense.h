@@ -1,0 +1,106 @@
+// Signature-suppression defenses (the paper's Discussion section).
+//
+// The paper argues that because leverage scores localize the identity
+// signature to a small set of connectome edges, a defender can add noise
+// exactly there — suppressing re-identification while leaving the rest of
+// the connectome (and therefore downstream analyses such as case/control
+// contrasts) intact. This module implements that defense and the
+// evaluation machinery for the privacy/utility trade-off, including the
+// adaptive attacker who re-fits leverage scores on already-defended data.
+
+#ifndef NEUROPRINT_CORE_DEFENSE_H_
+#define NEUROPRINT_CORE_DEFENSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "connectome/group_matrix.h"
+#include "core/attack.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace neuroprint::core {
+
+/// How targeted edges are suppressed.
+enum class DefenseMode {
+  /// Add Gaussian noise scaled to each edge's across-subject deviation.
+  kGaussianNoise,
+  /// Replace the edge with its across-subject mean (removes all
+  /// subject-specific variation on that edge).
+  kMeanSubstitute,
+  /// Permute the edge's values across subjects (marginal distribution
+  /// preserved exactly; linkage destroyed).
+  kShuffle,
+};
+
+struct DefenseOptions {
+  /// Number of top-leverage edges to suppress.
+  std::size_t num_edges = 200;
+  /// Noise magnitude in units of the edge's across-subject standard
+  /// deviation (kGaussianNoise only).
+  double noise_scale = 2.0;
+  DefenseMode mode = DefenseMode::kGaussianNoise;
+  std::uint64_t seed = 1234;
+};
+
+/// A fitted defense: the edge set to suppress, chosen by leverage score
+/// on a reference dataset the defender holds (e.g. the dataset being
+/// released).
+class SignatureDefense {
+ public:
+  /// Selects the num_edges highest-leverage edges of `reference`.
+  static Result<SignatureDefense> Fit(const connectome::GroupMatrix& reference,
+                                      const DefenseOptions& options = {});
+
+  const std::vector<std::size_t>& target_edges() const { return target_edges_; }
+
+  /// Returns a defended copy of `data` with the target edges suppressed.
+  /// The defense is randomized per call (fresh draws from the seed).
+  Result<connectome::GroupMatrix> Apply(
+      const connectome::GroupMatrix& data) const;
+
+ private:
+  std::vector<std::size_t> target_edges_;
+  DefenseOptions options_;
+};
+
+/// Privacy/utility evaluation of a defense configuration.
+struct DefenseEvaluation {
+  /// Attack accuracy with no defense (baseline).
+  double accuracy_undefended = 0.0;
+  /// Accuracy of the ORIGINAL attack (fitted on clean data) against the
+  /// defended release.
+  double accuracy_static_attacker = 0.0;
+  /// Accuracy of an attacker who re-fits leverage selection on defended
+  /// data (the stronger, adaptive threat model).
+  double accuracy_adaptive_attacker = 0.0;
+  /// Relative Frobenius distortion of the feature matrix: how much of the
+  /// data the defense changed.
+  double distortion = 0.0;
+  /// Fraction of edges untouched by the defense.
+  double untouched_fraction = 0.0;
+};
+
+/// Runs the full evaluation: `known` is the attacker's identified
+/// dataset; `release` is the dataset being published, which the defense
+/// is applied to. Both must share a feature space and subject alignment.
+Result<DefenseEvaluation> EvaluateDefense(
+    const connectome::GroupMatrix& known,
+    const connectome::GroupMatrix& release, const DefenseOptions& options,
+    const AttackOptions& attack_options = {});
+
+/// Downstream-utility check (the Discussion's open question: does the
+/// noise damage the analyses the data was released for?). Computes the
+/// per-edge mean difference between two subject groups (e.g. cases vs
+/// controls) before and after the defense and returns the Pearson
+/// correlation of the two contrast maps — 1.0 means the group analysis is
+/// untouched. `group_of[j]` assigns release subject j to group 0 or 1;
+/// both groups must be non-empty.
+Result<double> GroupContrastPreservation(
+    const connectome::GroupMatrix& release,
+    const connectome::GroupMatrix& defended,
+    const std::vector<int>& group_of);
+
+}  // namespace neuroprint::core
+
+#endif  // NEUROPRINT_CORE_DEFENSE_H_

@@ -1,0 +1,71 @@
+#include "core/knn.h"
+
+#include <algorithm>
+#include <map>
+
+namespace neuroprint::core {
+
+Result<std::vector<int>> KnnClassify(const linalg::Matrix& train,
+                                     const std::vector<int>& labels,
+                                     const linalg::Matrix& queries,
+                                     std::size_t k) {
+  if (train.rows() == 0 || queries.rows() == 0) {
+    return Status::InvalidArgument("KnnClassify: empty input");
+  }
+  if (labels.size() != train.rows()) {
+    return Status::InvalidArgument("KnnClassify: label count mismatch");
+  }
+  if (train.cols() != queries.cols()) {
+    return Status::InvalidArgument("KnnClassify: dimension mismatch");
+  }
+  if (k == 0 || k > train.rows()) {
+    return Status::InvalidArgument("KnnClassify: k out of range");
+  }
+
+  std::vector<int> predicted(queries.rows());
+  std::vector<std::pair<double, std::size_t>> distances(train.rows());
+  for (std::size_t q = 0; q < queries.rows(); ++q) {
+    const double* query = queries.RowPtr(q);
+    for (std::size_t i = 0; i < train.rows(); ++i) {
+      const double* point = train.RowPtr(i);
+      double d2 = 0.0;
+      for (std::size_t d = 0; d < train.cols(); ++d) {
+        const double diff = query[d] - point[d];
+        d2 += diff * diff;
+      }
+      distances[i] = {d2, i};
+    }
+    std::partial_sort(distances.begin(),
+                      distances.begin() + static_cast<std::ptrdiff_t>(k),
+                      distances.end());
+    // Majority vote; on ties the label of the nearer neighbour wins
+    // because votes are tallied in distance order.
+    std::map<int, std::size_t> votes;
+    int best_label = labels[distances[0].second];
+    std::size_t best_votes = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const int label = labels[distances[i].second];
+      const std::size_t count = ++votes[label];
+      if (count > best_votes) {
+        best_votes = count;
+        best_label = label;
+      }
+    }
+    predicted[q] = best_label;
+  }
+  return predicted;
+}
+
+Result<double> ClassificationAccuracy(const std::vector<int>& predicted,
+                                      const std::vector<int>& truth) {
+  if (predicted.size() != truth.size() || predicted.empty()) {
+    return Status::InvalidArgument("ClassificationAccuracy: size mismatch");
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] == truth[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(predicted.size());
+}
+
+}  // namespace neuroprint::core

@@ -1,0 +1,29 @@
+// Exact k-nearest-neighbour classification in the t-SNE plane (the
+// paper's Section 3.3.2 assigns task labels to anonymous scans from their
+// nearest labelled neighbour in the 2-D embedding).
+
+#ifndef NEUROPRINT_CORE_KNN_H_
+#define NEUROPRINT_CORE_KNN_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace neuroprint::core {
+
+/// Classifies each row of `queries` by majority vote among its k nearest
+/// rows of `train` (Euclidean; ties broken toward the closest neighbour's
+/// label). labels.size() must equal train.rows().
+Result<std::vector<int>> KnnClassify(const linalg::Matrix& train,
+                                     const std::vector<int>& labels,
+                                     const linalg::Matrix& queries,
+                                     std::size_t k = 1);
+
+/// Fraction of predictions equal to truth.
+Result<double> ClassificationAccuracy(const std::vector<int>& predicted,
+                                      const std::vector<int>& truth);
+
+}  // namespace neuroprint::core
+
+#endif  // NEUROPRINT_CORE_KNN_H_

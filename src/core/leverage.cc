@@ -1,0 +1,114 @@
+#include "core/leverage.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/eig_sym.h"
+#include "linalg/svd.h"
+#include "util/string_util.h"
+
+namespace neuroprint::core {
+namespace {
+
+// Gram-matrix fast path: A = U S V^T implies A^T A = V S^2 V^T, so
+// U = A V S^{-1} and the leverage scores are the squared row norms of
+// A V S^{-1} over the leading k columns. Costs two m*n^2 gemm-like passes
+// plus an n x n eigendecomposition instead of an m x n SVD.
+Result<linalg::Vector> LeverageViaGram(const linalg::Matrix& a,
+                                       const LeverageOptions& options) {
+  auto eig = linalg::EigSym(linalg::Gram(a));
+  if (!eig.ok()) return eig.status();
+  const linalg::Vector& eigenvalues = eig->eigenvalues;
+  if (eigenvalues.empty() || eigenvalues[0] <= 0.0) {
+    return Status::FailedPrecondition(
+        "ComputeLeverageScores: matrix is numerically zero");
+  }
+  // Rank cutoff: eigenvalues of A^T A are squared singular values, so the
+  // relative tolerance is squared as well.
+  const double cutoff = 1e-24 * eigenvalues[0];
+  std::size_t k = 0;
+  while (k < eigenvalues.size() && eigenvalues[k] > cutoff) ++k;
+  if (options.rank > 0) k = std::min(k, options.rank);
+
+  // Scaled projection basis: V diag(1/sigma) over the leading k columns.
+  linalg::Matrix basis(a.cols(), k);
+  for (std::size_t j = 0; j < k; ++j) {
+    const double inv_sigma = 1.0 / std::sqrt(eigenvalues[j]);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      basis(i, j) = eig->eigenvectors(i, j) * inv_sigma;
+    }
+  }
+  const linalg::Matrix u = linalg::MatMul(a, basis);
+  linalg::Vector scores(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* row = u.RowPtr(i);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < k; ++j) sum += row[j] * row[j];
+    scores[i] = sum;
+  }
+  return scores;
+}
+
+}  // namespace
+
+Result<linalg::Vector> ComputeLeverageScores(const linalg::Matrix& a,
+                                             const LeverageOptions& options) {
+  if (a.rows() == 0 || a.cols() == 0) {
+    return Status::InvalidArgument("ComputeLeverageScores: empty matrix");
+  }
+  if (a.rows() < a.cols()) {
+    return Status::InvalidArgument(
+        "ComputeLeverageScores: expects a tall features-by-subjects matrix");
+  }
+  if (options.allow_gram_fast_path && a.rows() >= 4 * a.cols()) {
+    auto fast = LeverageViaGram(a, options);
+    if (fast.ok()) return fast;
+    // Fall through to the exact path on numerical failure.
+  }
+  auto svd = linalg::Svd(a);
+  if (!svd.ok()) return svd.status();
+
+  // Columns of U beyond the numerical rank correspond to zero singular
+  // values; their directions are arbitrary and must not contribute.
+  std::size_t k = svd->Rank(1e-12);
+  if (options.rank > 0) k = std::min(k, options.rank);
+  if (k == 0) {
+    return Status::FailedPrecondition(
+        "ComputeLeverageScores: matrix is numerically zero");
+  }
+
+  linalg::Vector scores(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < k; ++j) sum += svd->u(i, j) * svd->u(i, j);
+    scores[i] = sum;
+  }
+  return scores;
+}
+
+std::vector<std::size_t> TopKIndices(const linalg::Vector& scores,
+                                     std::size_t t) {
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  const std::size_t keep = std::min(t, scores.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(keep),
+                    order.end(), [&](std::size_t a, std::size_t b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  order.resize(keep);
+  return order;
+}
+
+Result<std::vector<std::size_t>> TopLeverageFeatures(
+    const linalg::Matrix& a, std::size_t t, const LeverageOptions& options) {
+  if (t == 0) {
+    return Status::InvalidArgument("TopLeverageFeatures: t must be positive");
+  }
+  auto scores = ComputeLeverageScores(a, options);
+  if (!scores.ok()) return scores.status();
+  return TopKIndices(*scores, t);
+}
+
+}  // namespace neuroprint::core

@@ -1,0 +1,173 @@
+#include "core/matcher.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "linalg/stats.h"
+#include "util/string_util.h"
+
+namespace neuroprint::core {
+
+Result<linalg::Matrix> SimilarityMatrix(
+    const connectome::GroupMatrix& known,
+    const connectome::GroupMatrix& anonymous) {
+  if (known.num_features() != anonymous.num_features()) {
+    return Status::InvalidArgument(StrFormat(
+        "SimilarityMatrix: feature mismatch (%zu vs %zu) — restrict both "
+        "group matrices to the same feature set first",
+        known.num_features(), anonymous.num_features()));
+  }
+  if (known.num_features() < 2) {
+    return Status::InvalidArgument(
+        "SimilarityMatrix: need at least 2 features for correlation");
+  }
+  return linalg::ColumnCrossCorrelation(known.data(), anonymous.data());
+}
+
+std::vector<std::size_t> ArgmaxMatch(const linalg::Matrix& similarity) {
+  std::vector<std::size_t> predicted(similarity.cols(), 0);
+  for (std::size_t j = 0; j < similarity.cols(); ++j) {
+    double best = -std::numeric_limits<double>::infinity();
+    std::size_t best_row = 0;
+    for (std::size_t i = 0; i < similarity.rows(); ++i) {
+      if (similarity(i, j) > best) {
+        best = similarity(i, j);
+        best_row = i;
+      }
+    }
+    predicted[j] = best_row;
+  }
+  return predicted;
+}
+
+Result<double> IdentificationAccuracy(
+    const std::vector<std::size_t>& predicted,
+    const std::vector<std::string>& known_ids,
+    const std::vector<std::string>& anonymous_ids) {
+  if (predicted.size() != anonymous_ids.size()) {
+    return Status::InvalidArgument(
+        "IdentificationAccuracy: prediction/id count mismatch");
+  }
+  if (predicted.empty()) {
+    return Status::InvalidArgument("IdentificationAccuracy: no predictions");
+  }
+  std::size_t correct = 0;
+  for (std::size_t j = 0; j < predicted.size(); ++j) {
+    if (predicted[j] >= known_ids.size()) {
+      return Status::OutOfRange(
+          "IdentificationAccuracy: predicted index out of range");
+    }
+    if (known_ids[predicted[j]] == anonymous_ids[j]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(predicted.size());
+}
+
+Result<SimilarityStats> ComputeSimilarityStats(const linalg::Matrix& similarity) {
+  if (similarity.rows() != similarity.cols() || similarity.rows() == 0) {
+    return Status::InvalidArgument(
+        "ComputeSimilarityStats: expects an aligned square matrix");
+  }
+  const std::size_t n = similarity.rows();
+  SimilarityStats stats;
+  stats.diagonal_min = std::numeric_limits<double>::infinity();
+  stats.off_diagonal_max = -std::numeric_limits<double>::infinity();
+  double diag_sum = 0.0, off_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double v = similarity(i, j);
+      if (i == j) {
+        diag_sum += v;
+        stats.diagonal_min = std::min(stats.diagonal_min, v);
+      } else {
+        off_sum += v;
+        stats.off_diagonal_max = std::max(stats.off_diagonal_max, v);
+      }
+    }
+  }
+  stats.diagonal_mean = diag_sum / static_cast<double>(n);
+  stats.off_diagonal_mean =
+      n > 1 ? off_sum / static_cast<double>(n * n - n) : 0.0;
+  stats.contrast = stats.diagonal_mean - stats.off_diagonal_mean;
+  if (n == 1) stats.off_diagonal_max = 0.0;
+  return stats;
+}
+
+Result<linalg::Vector> MatchMargins(const linalg::Matrix& similarity) {
+  if (similarity.rows() < 2 || similarity.cols() == 0) {
+    return Status::InvalidArgument(
+        "MatchMargins: need at least 2 candidates and 1 target");
+  }
+  linalg::Vector margins(similarity.cols(), 0.0);
+  for (std::size_t j = 0; j < similarity.cols(); ++j) {
+    double best = -std::numeric_limits<double>::infinity();
+    double second = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < similarity.rows(); ++i) {
+      const double v = similarity(i, j);
+      if (v > best) {
+        second = best;
+        best = v;
+      } else if (v > second) {
+        second = v;
+      }
+    }
+    margins[j] = best - second;
+  }
+  return margins;
+}
+
+
+Result<std::vector<std::size_t>> TrueMatchRanks(
+    const linalg::Matrix& similarity,
+    const std::vector<std::string>& known_ids,
+    const std::vector<std::string>& anonymous_ids) {
+  if (known_ids.size() != similarity.rows() ||
+      anonymous_ids.size() != similarity.cols()) {
+    return Status::InvalidArgument("TrueMatchRanks: id count mismatch");
+  }
+  if (similarity.rows() == 0 || similarity.cols() == 0) {
+    return Status::InvalidArgument("TrueMatchRanks: empty similarity matrix");
+  }
+  std::vector<std::size_t> ranks(similarity.cols());
+  for (std::size_t j = 0; j < similarity.cols(); ++j) {
+    // Locate the true identity's row (first occurrence).
+    std::size_t true_row = similarity.rows();
+    for (std::size_t i = 0; i < similarity.rows(); ++i) {
+      if (known_ids[i] == anonymous_ids[j]) {
+        true_row = i;
+        break;
+      }
+    }
+    if (true_row == similarity.rows()) {
+      ranks[j] = similarity.rows() + 1;  // Identity not in the gallery.
+      continue;
+    }
+    const double true_score = similarity(true_row, j);
+    std::size_t rank = 1;
+    for (std::size_t i = 0; i < similarity.rows(); ++i) {
+      if (i != true_row && similarity(i, j) > true_score) ++rank;
+    }
+    ranks[j] = rank;
+  }
+  return ranks;
+}
+
+Result<linalg::Vector> CumulativeMatchCurve(
+    const linalg::Matrix& similarity,
+    const std::vector<std::string>& known_ids,
+    const std::vector<std::string>& anonymous_ids, std::size_t max_rank) {
+  if (max_rank == 0) {
+    return Status::InvalidArgument("CumulativeMatchCurve: max_rank must be > 0");
+  }
+  auto ranks = TrueMatchRanks(similarity, known_ids, anonymous_ids);
+  if (!ranks.ok()) return ranks.status();
+  const std::size_t depth = std::min(max_rank, similarity.rows());
+  linalg::Vector curve(depth, 0.0);
+  for (std::size_t rank : *ranks) {
+    for (std::size_t k = rank; k <= depth; ++k) curve[k - 1] += 1.0;
+  }
+  const double n = static_cast<double>(anonymous_ids.size());
+  for (double& v : curve) v /= n;
+  return curve;
+}
+
+}  // namespace neuroprint::core

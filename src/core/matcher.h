@@ -1,0 +1,75 @@
+// Cross-dataset subject matching: Pearson similarity between subjects of
+// two (feature-restricted) group matrices, argmax assignment, and the
+// accuracy / diagonal-contrast statistics the paper's Figures 1, 2, 5, 7,
+// 8, 9 report.
+
+#ifndef NEUROPRINT_CORE_MATCHER_H_
+#define NEUROPRINT_CORE_MATCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "connectome/group_matrix.h"
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace neuroprint::core {
+
+/// Pearson correlation between every subject of `known` and every subject
+/// of `anonymous` (rows = known subjects, cols = anonymous subjects).
+/// Feature dimensions must match (restrict both to the same features
+/// first).
+Result<linalg::Matrix> SimilarityMatrix(const connectome::GroupMatrix& known,
+                                        const connectome::GroupMatrix& anonymous);
+
+/// For each column (anonymous subject) the row index of the most similar
+/// known subject.
+std::vector<std::size_t> ArgmaxMatch(const linalg::Matrix& similarity);
+
+/// Fraction of anonymous subjects whose argmax row carries the same
+/// subject id. Sizes: predicted.size() == anonymous_ids.size().
+Result<double> IdentificationAccuracy(
+    const std::vector<std::size_t>& predicted,
+    const std::vector<std::string>& known_ids,
+    const std::vector<std::string>& anonymous_ids);
+
+/// Diagonal-vs-off-diagonal statistics of a similarity matrix whose rows
+/// and columns are aligned by subject (Figures 1/2/7/8).
+struct SimilarityStats {
+  double diagonal_mean = 0.0;
+  double off_diagonal_mean = 0.0;
+  double diagonal_min = 0.0;
+  double off_diagonal_max = 0.0;
+  /// diagonal_mean - off_diagonal_mean: the identifiability contrast.
+  double contrast = 0.0;
+};
+
+Result<SimilarityStats> ComputeSimilarityStats(const linalg::Matrix& similarity);
+
+/// Per-target match confidence: for each column, the gap between the best
+/// and second-best row similarity. A small margin flags an unreliable
+/// match (useful when reporting attack results on real releases).
+/// Requires at least 2 rows.
+Result<linalg::Vector> MatchMargins(const linalg::Matrix& similarity);
+
+/// Rank of the true identity in each anonymous subject's candidate list
+/// (1 = best match; standard biometric evaluation). A subject whose true
+/// identity is absent from `known_ids` gets rank known_ids.size() + 1.
+Result<std::vector<std::size_t>> TrueMatchRanks(
+    const linalg::Matrix& similarity,
+    const std::vector<std::string>& known_ids,
+    const std::vector<std::string>& anonymous_ids);
+
+/// Cumulative match characteristic: entry k-1 is the fraction of
+/// anonymous subjects whose true identity ranks within the top k
+/// candidates. Entry 0 equals the plain identification accuracy; the
+/// curve is non-decreasing. `max_rank` bounds the curve length (clamped
+/// to the candidate count).
+Result<linalg::Vector> CumulativeMatchCurve(
+    const linalg::Matrix& similarity,
+    const std::vector<std::string>& known_ids,
+    const std::vector<std::string>& anonymous_ids, std::size_t max_rank = 10);
+
+}  // namespace neuroprint::core
+
+#endif  // NEUROPRINT_CORE_MATCHER_H_

@@ -1,0 +1,86 @@
+#include "core/row_sampling.h"
+
+#include <cmath>
+
+#include "core/leverage.h"
+#include "linalg/stats.h"
+
+namespace neuroprint::core {
+
+Result<linalg::Vector> SamplingProbabilities(const linalg::Matrix& a,
+                                             SamplingDistribution dist) {
+  const std::size_t m = a.rows();
+  if (m == 0) {
+    return Status::InvalidArgument("SamplingProbabilities: empty matrix");
+  }
+  linalg::Vector p(m, 0.0);
+  switch (dist) {
+    case SamplingDistribution::kUniform: {
+      const double uniform = 1.0 / static_cast<double>(m);
+      for (double& v : p) v = uniform;
+      return p;
+    }
+    case SamplingDistribution::kL2Norm: {
+      p = linalg::RowNormsSquared(a);
+      break;
+    }
+    case SamplingDistribution::kLeverage: {
+      auto scores = ComputeLeverageScores(a);
+      if (!scores.ok()) return scores.status();
+      p = std::move(scores).value();
+      break;
+    }
+  }
+  double total = 0.0;
+  for (double v : p) total += v;
+  if (total <= 0.0) {
+    return Status::FailedPrecondition(
+        "SamplingProbabilities: all sampling weights are zero");
+  }
+  for (double& v : p) v /= total;
+  return p;
+}
+
+Result<RowSample> SampleRows(const linalg::Matrix& a, std::size_t s,
+                             SamplingDistribution dist, Rng& rng) {
+  if (s == 0) {
+    return Status::InvalidArgument("SampleRows: s must be positive");
+  }
+  auto probabilities = SamplingProbabilities(a, dist);
+  if (!probabilities.ok()) return probabilities.status();
+  const linalg::Vector& p = *probabilities;
+
+  // Inverse-CDF sampling over the cumulative distribution.
+  linalg::Vector cdf(p.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    acc += p[i];
+    cdf[i] = acc;
+  }
+  cdf.back() = 1.0;  // Guard against rounding shortfall.
+
+  RowSample out;
+  out.sketch = linalg::Matrix(s, a.cols());
+  out.indices.resize(s);
+  out.probabilities = p;
+  for (std::size_t t = 0; t < s; ++t) {
+    const double u = rng.Uniform();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    std::size_t row = static_cast<std::size_t>(it - cdf.begin());
+    // Skip any zero-probability rows the binary search may have landed on.
+    while (row + 1 < p.size() && p[row] == 0.0) ++row;
+    out.indices[t] = row;
+    const double scale = 1.0 / std::sqrt(static_cast<double>(s) * p[row]);
+    const double* src = a.RowPtr(row);
+    double* dst = out.sketch.RowPtr(t);
+    for (std::size_t j = 0; j < a.cols(); ++j) dst[j] = scale * src[j];
+  }
+  return out;
+}
+
+double GramApproximationError(const linalg::Matrix& a,
+                              const linalg::Matrix& sketch) {
+  return (linalg::Gram(a) - linalg::Gram(sketch)).FrobeniusNorm();
+}
+
+}  // namespace neuroprint::core

@@ -1,0 +1,49 @@
+// The randomized row-sampling meta-algorithm (the paper's Algorithm 1,
+// after Drineas, Kannan & Mahoney 2006): draw s rows i.i.d. from a
+// distribution P and rescale each picked row by 1/sqrt(s * p_i), so that
+// E[A~^T A~] = A^T A. Three distributions are provided — uniform, l2-norm
+// (Eq. 1), and leverage (Eq. 3) — plus helpers to measure the sketch
+// error the paper's bounds (Eq. 2 / Eq. 4) speak about.
+
+#ifndef NEUROPRINT_CORE_ROW_SAMPLING_H_
+#define NEUROPRINT_CORE_ROW_SAMPLING_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace neuroprint::core {
+
+enum class SamplingDistribution {
+  kUniform,
+  kL2Norm,    ///< p_i proportional to ||A_{i,*}||^2 (Eq. 1).
+  kLeverage,  ///< p_i proportional to the leverage score (Eq. 3).
+};
+
+/// The sketch plus provenance: which source row each sketch row came from.
+struct RowSample {
+  linalg::Matrix sketch;             ///< s x n, rescaled rows of A.
+  std::vector<std::size_t> indices;  ///< Source row of each sketch row.
+  linalg::Vector probabilities;      ///< The distribution P used.
+};
+
+/// Builds the sampling distribution for `a` under `dist`. Fails if every
+/// weight is zero (e.g. l2 sampling on a zero matrix).
+Result<linalg::Vector> SamplingProbabilities(const linalg::Matrix& a,
+                                             SamplingDistribution dist);
+
+/// Algorithm 1: samples `s` rows i.i.d. with replacement from P and
+/// rescales. Deterministic given the Rng state.
+Result<RowSample> SampleRows(const linalg::Matrix& a, std::size_t s,
+                             SamplingDistribution dist, Rng& rng);
+
+/// ||A^T A - A~^T A~||_F — the approximation error the Drineas bound
+/// (Eq. 2) controls.
+double GramApproximationError(const linalg::Matrix& a,
+                              const linalg::Matrix& sketch);
+
+}  // namespace neuroprint::core
+
+#endif  // NEUROPRINT_CORE_ROW_SAMPLING_H_

@@ -1,0 +1,78 @@
+#include "core/signature_map.h"
+
+#include <algorithm>
+
+#include "connectome/connectome.h"
+#include "util/string_util.h"
+
+namespace neuroprint::core {
+
+Result<std::vector<RegionImportance>> ComputeRegionImportance(
+    const std::vector<std::size_t>& selected_edges,
+    const linalg::Vector& leverage_scores, std::size_t regions) {
+  if (regions < 2) {
+    return Status::InvalidArgument(
+        "ComputeRegionImportance: need at least 2 regions");
+  }
+  const std::size_t expected_features = connectome::NumEdges(regions);
+  if (leverage_scores.size() != expected_features) {
+    return Status::InvalidArgument(StrFormat(
+        "ComputeRegionImportance: %zu leverage scores for %zu regions "
+        "(expected %zu edges)",
+        leverage_scores.size(), regions, expected_features));
+  }
+
+  std::vector<RegionImportance> importance(regions);
+  for (std::size_t r = 0; r < regions; ++r) importance[r].region_index = r;
+
+  for (std::size_t edge : selected_edges) {
+    if (edge >= expected_features) {
+      return Status::OutOfRange(
+          StrFormat("ComputeRegionImportance: edge %zu out of range", edge));
+    }
+    auto pair = connectome::EdgeIndexToRegionPair(edge, regions);
+    if (!pair.ok()) return pair.status();
+    const double half_mass = 0.5 * leverage_scores[edge];
+    for (const std::size_t endpoint : {pair->first, pair->second}) {
+      ++importance[endpoint].edge_count;
+      importance[endpoint].leverage_mass += half_mass;
+    }
+  }
+
+  std::stable_sort(importance.begin(), importance.end(),
+                   [](const RegionImportance& a, const RegionImportance& b) {
+                     return a.leverage_mass > b.leverage_mass;
+                   });
+  return importance;
+}
+
+Result<image::Volume3D> RenderSignatureMap(
+    const std::vector<RegionImportance>& importance,
+    const atlas::Atlas& atlas) {
+  if (atlas.empty()) {
+    return Status::InvalidArgument("RenderSignatureMap: empty atlas");
+  }
+  linalg::Vector mass_by_region(atlas.num_regions(), 0.0);
+  for (const RegionImportance& entry : importance) {
+    if (entry.region_index >= atlas.num_regions()) {
+      return Status::OutOfRange(
+          "RenderSignatureMap: region index outside the atlas");
+    }
+    mass_by_region[entry.region_index] = entry.leverage_mass;
+  }
+  image::Volume3D map(atlas.nx(), atlas.ny(), atlas.nz());
+  for (std::size_t z = 0; z < atlas.nz(); ++z) {
+    for (std::size_t y = 0; y < atlas.ny(); ++y) {
+      for (std::size_t x = 0; x < atlas.nx(); ++x) {
+        const std::int32_t label = atlas.label(x, y, z);
+        if (label != atlas::kBackground) {
+          map.at(x, y, z) = static_cast<float>(
+              mass_by_region[static_cast<std::size_t>(label) - 1]);
+        }
+      }
+    }
+  }
+  return map;
+}
+
+}  // namespace neuroprint::core

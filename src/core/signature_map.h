@@ -1,0 +1,52 @@
+// Signature localization (the paper's Section 3.1.2 and Discussion): the
+// leverage-selected connectome edges map back to pairs of atlas parcels,
+// identifying WHICH brain regions carry the identity signature. The paper
+// argues this localization is the actionable output for defenders — it
+// says where protective noise must go.
+//
+// This module aggregates selected edges into per-region importance
+// scores and can render them as a NIfTI heat map over an atlas, so the
+// localization is inspectable in standard neuroimaging viewers.
+
+#ifndef NEUROPRINT_CORE_SIGNATURE_MAP_H_
+#define NEUROPRINT_CORE_SIGNATURE_MAP_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "atlas/atlas.h"
+#include "image/volume.h"
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace neuroprint::core {
+
+/// Per-region participation in the identity signature.
+struct RegionImportance {
+  std::size_t region_index = 0;  ///< 0-based (atlas label - 1).
+  /// Number of selected edges incident to the region.
+  std::size_t edge_count = 0;
+  /// Sum of the leverage scores of those edges (halved per endpoint so
+  /// the total over regions equals the total selected leverage mass).
+  double leverage_mass = 0.0;
+};
+
+/// Aggregates selected feature (edge) indices into per-region importance,
+/// sorted by descending leverage mass. `leverage_scores` must cover the
+/// full feature space the edges index into; `regions` is the atlas region
+/// count (features must equal regions*(regions-1)/2).
+Result<std::vector<RegionImportance>> ComputeRegionImportance(
+    const std::vector<std::size_t>& selected_edges,
+    const linalg::Vector& leverage_scores, std::size_t regions);
+
+/// Renders per-region importance as a voxel heat map over the atlas:
+/// every voxel of region r gets that region's leverage mass (background
+/// voxels get 0). Write with nifti::WriteNifti3D to inspect externally.
+Result<image::Volume3D> RenderSignatureMap(
+    const std::vector<RegionImportance>& importance,
+    const atlas::Atlas& atlas);
+
+}  // namespace neuroprint::core
+
+#endif  // NEUROPRINT_CORE_SIGNATURE_MAP_H_

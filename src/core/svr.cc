@@ -1,0 +1,137 @@
+#include "core/svr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/random.h"
+
+namespace neuroprint::core {
+
+Result<LinearSvr> LinearSvr::Fit(const linalg::Matrix& x,
+                                 const linalg::Vector& y,
+                                 const SvrOptions& options) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  if (n == 0 || d == 0) {
+    return Status::InvalidArgument("LinearSvr::Fit: empty training data");
+  }
+  if (y.size() != n) {
+    return Status::InvalidArgument("LinearSvr::Fit: target size mismatch");
+  }
+  if (!x.AllFinite()) {
+    return Status::InvalidArgument("LinearSvr::Fit: non-finite features");
+  }
+  if (options.cost <= 0.0 || options.epsilon < 0.0) {
+    return Status::InvalidArgument("LinearSvr::Fit: bad cost/epsilon");
+  }
+
+  // The bias is folded in as an implicit constant feature of value 1
+  // (regularized bias, standard for dual coordinate descent).
+  const std::size_t dim = d + 1;
+  linalg::Vector w(dim, 0.0);
+  linalg::Vector beta(n, 0.0);  // Dual coefficients in [-C, C].
+  linalg::Vector qii(n, 0.0);   // Diagonal of the Gram matrix.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = x.RowPtr(i);
+    double sum = 1.0;  // Bias feature.
+    for (std::size_t j = 0; j < d; ++j) sum += row[j] * row[j];
+    qii[i] = sum;
+  }
+
+  Rng rng(options.seed);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  int epoch = 0;
+  for (; epoch < options.max_epochs; ++epoch) {
+    rng.Shuffle(order);
+    double max_step = 0.0;
+    for (std::size_t idx : order) {
+      const double* row = x.RowPtr(idx);
+      // g = w . x_i - y_i (gradient of the smooth dual part).
+      double g = w[d];  // Bias feature contribution.
+      for (std::size_t j = 0; j < d; ++j) g += w[j] * row[j];
+      g -= y[idx];
+
+      const double b_old = beta[idx];
+      // Closed-form coordinate minimizer of
+      //   0.5 Qii (b - b_old)^2 + g (b - b_old) + eps |b|  over [-C, C].
+      double b_new;
+      if (g + options.epsilon < qii[idx] * b_old) {
+        b_new = b_old - (g + options.epsilon) / qii[idx];
+      } else if (g - options.epsilon > qii[idx] * b_old) {
+        b_new = b_old - (g - options.epsilon) / qii[idx];
+      } else {
+        b_new = 0.0;
+      }
+      b_new = std::clamp(b_new, -options.cost, options.cost);
+
+      const double delta = b_new - b_old;
+      if (delta != 0.0) {
+        beta[idx] = b_new;
+        for (std::size_t j = 0; j < d; ++j) w[j] += delta * row[j];
+        w[d] += delta;
+        max_step = std::max(max_step, std::fabs(delta));
+      }
+    }
+    if (max_step < options.tolerance) {
+      ++epoch;
+      break;
+    }
+  }
+
+  LinearSvr model;
+  model.weights_.assign(w.begin(), w.begin() + static_cast<std::ptrdiff_t>(d));
+  model.bias_ = w[d];
+  model.epochs_run_ = epoch;
+  return model;
+}
+
+double LinearSvr::Predict(const linalg::Vector& features) const {
+  NP_CHECK_EQ(features.size(), weights_.size());
+  double sum = bias_;
+  for (std::size_t j = 0; j < weights_.size(); ++j) {
+    sum += weights_[j] * features[j];
+  }
+  return sum;
+}
+
+Result<linalg::Vector> LinearSvr::PredictBatch(const linalg::Matrix& x) const {
+  if (x.cols() != weights_.size()) {
+    return Status::InvalidArgument("LinearSvr::PredictBatch: dim mismatch");
+  }
+  linalg::Vector out(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const double* row = x.RowPtr(i);
+    double sum = bias_;
+    for (std::size_t j = 0; j < weights_.size(); ++j) sum += weights_[j] * row[j];
+    out[i] = sum;
+  }
+  return out;
+}
+
+Result<double> NormalizedRmsePercent(const linalg::Vector& predicted,
+                                     const linalg::Vector& truth) {
+  if (predicted.size() != truth.size() || predicted.empty()) {
+    return Status::InvalidArgument("NormalizedRmsePercent: size mismatch");
+  }
+  double sum = 0.0;
+  double mean = 0.0;
+  double lo = truth[0], hi = truth[0];
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double diff = predicted[i] - truth[i];
+    sum += diff * diff;
+    mean += truth[i];
+    lo = std::min(lo, truth[i]);
+    hi = std::max(hi, truth[i]);
+  }
+  const double rmse = std::sqrt(sum / static_cast<double>(truth.size()));
+  mean = std::fabs(mean) / static_cast<double>(truth.size());
+  if (mean > 0.0) return 100.0 * rmse / mean;
+  const double range = hi - lo;
+  return 100.0 * (range > 0.0 ? rmse / range : rmse);
+}
+
+}  // namespace neuroprint::core

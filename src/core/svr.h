@@ -1,0 +1,57 @@
+// Linear epsilon-insensitive support vector regression, trained by dual
+// coordinate descent (Ho & Lin 2012, the LIBLINEAR L1-loss SVR solver).
+// The paper's Section 3.3.3 regresses task-performance metrics on the
+// leverage-selected connectome features with an SVM regressor; for the
+// linear kernel this solver is exact and dependency-free.
+
+#ifndef NEUROPRINT_CORE_SVR_H_
+#define NEUROPRINT_CORE_SVR_H_
+
+#include <cstdint>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace neuroprint::core {
+
+struct SvrOptions {
+  double cost = 1.0;        ///< C: upper bound on |dual coefficient|.
+  double epsilon = 0.1;     ///< Width of the insensitive tube.
+  int max_epochs = 1000;
+  double tolerance = 1e-6;  ///< Stop when the largest coefficient step is below.
+  std::uint64_t seed = 7;   ///< Coordinate order shuffling.
+};
+
+/// A fitted linear SVR model: y ~ w . x + b.
+class LinearSvr {
+ public:
+  /// Fits on samples-by-features `x` and targets `y` (y.size() == x.rows()).
+  static Result<LinearSvr> Fit(const linalg::Matrix& x, const linalg::Vector& y,
+                               const SvrOptions& options = {});
+
+  double Predict(const linalg::Vector& features) const;
+
+  /// Predicts every row of `x`.
+  Result<linalg::Vector> PredictBatch(const linalg::Matrix& x) const;
+
+  const linalg::Vector& weights() const { return weights_; }
+  double bias() const { return bias_; }
+  int epochs_run() const { return epochs_run_; }
+
+ private:
+  linalg::Vector weights_;
+  double bias_ = 0.0;
+  int epochs_run_ = 0;
+};
+
+/// Root-mean-squared error of predictions vs truth, normalized by the
+/// mean of `truth` and expressed in percent — the nRMSE of Table 1 (the
+/// performance metrics are percent-correct values near 80-90, so
+/// mean-normalization matches the paper's sub-1% train errors). Falls
+/// back to range normalization when the mean is zero, then to plain RMSE.
+Result<double> NormalizedRmsePercent(const linalg::Vector& predicted,
+                                     const linalg::Vector& truth);
+
+}  // namespace neuroprint::core
+
+#endif  // NEUROPRINT_CORE_SVR_H_

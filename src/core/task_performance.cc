@@ -1,0 +1,120 @@
+#include "core/task_performance.h"
+
+#include <cmath>
+
+namespace neuroprint::core {
+namespace {
+
+// Subjects-as-rows design matrix from a (reduced) group matrix.
+linalg::Matrix DesignFromGroup(const connectome::GroupMatrix& group) {
+  return group.data().Transposed();
+}
+
+// Column-wise (x - mean) / sd with the given statistics; sd 0 maps to 0.
+void Standardize(linalg::Matrix& design, const linalg::Vector& means,
+                 const linalg::Vector& sds) {
+  for (std::size_t i = 0; i < design.rows(); ++i) {
+    double* row = design.RowPtr(i);
+    for (std::size_t j = 0; j < design.cols(); ++j) {
+      row[j] = sds[j] > 0.0 ? (row[j] - means[j]) / sds[j] : 0.0;
+    }
+  }
+}
+
+}  // namespace
+
+Result<PerformanceRegressor> PerformanceRegressor::Fit(
+    const connectome::GroupMatrix& train, const linalg::Vector& scores,
+    const PerformanceRegressionOptions& options) {
+  if (scores.size() != train.num_subjects()) {
+    return Status::InvalidArgument(
+        "PerformanceRegressor::Fit: one score per subject required");
+  }
+  if (options.num_features == 0) {
+    return Status::InvalidArgument(
+        "PerformanceRegressor::Fit: num_features must be > 0");
+  }
+  auto lev_scores = ComputeLeverageScores(train.data());
+  if (!lev_scores.ok()) return lev_scores.status();
+
+  PerformanceRegressor regressor;
+  regressor.selected_features_ = TopKIndices(*lev_scores, options.num_features);
+  regressor.full_feature_count_ = train.num_features();
+
+  auto reduced = train.RestrictToFeatures(regressor.selected_features_);
+  if (!reduced.ok()) return reduced.status();
+  linalg::Matrix design = DesignFromGroup(*reduced);
+
+  // Standardize features / centre the target using training statistics.
+  const std::size_t p = design.cols();
+  regressor.feature_means_.assign(p, 0.0);
+  regressor.feature_sds_.assign(p, 0.0);
+  for (std::size_t j = 0; j < p; ++j) {
+    double mean = 0.0;
+    for (std::size_t i = 0; i < design.rows(); ++i) mean += design(i, j);
+    mean /= static_cast<double>(design.rows());
+    double var = 0.0;
+    for (std::size_t i = 0; i < design.rows(); ++i) {
+      const double d = design(i, j) - mean;
+      var += d * d;
+    }
+    regressor.feature_means_[j] = mean;
+    regressor.feature_sds_[j] =
+        design.rows() > 1
+            ? std::sqrt(var / static_cast<double>(design.rows() - 1))
+            : 0.0;
+  }
+  Standardize(design, regressor.feature_means_, regressor.feature_sds_);
+
+  double score_mean = 0.0;
+  for (double s : scores) score_mean += s;
+  score_mean /= static_cast<double>(scores.size());
+  regressor.score_mean_ = score_mean;
+  linalg::Vector centred = scores;
+  for (double& s : centred) s -= score_mean;
+
+  auto model = LinearSvr::Fit(design, centred, options.svr);
+  if (!model.ok()) return model.status();
+  regressor.model_ = std::move(model).value();
+  return regressor;
+}
+
+Result<linalg::Vector> PerformanceRegressor::Predict(
+    const connectome::GroupMatrix& group) const {
+  if (group.num_features() != full_feature_count_) {
+    return Status::InvalidArgument(
+        "PerformanceRegressor::Predict: feature-space mismatch");
+  }
+  auto reduced = group.RestrictToFeatures(selected_features_);
+  if (!reduced.ok()) return reduced.status();
+  linalg::Matrix design = DesignFromGroup(*reduced);
+  Standardize(design, feature_means_, feature_sds_);
+  auto predicted = model_.PredictBatch(design);
+  if (!predicted.ok()) return predicted.status();
+  for (double& v : *predicted) v += score_mean_;
+  return predicted;
+}
+
+Result<PerformanceEvaluation> EvaluatePerformancePrediction(
+    const connectome::GroupMatrix& train, const linalg::Vector& train_scores,
+    const connectome::GroupMatrix& test, const linalg::Vector& test_scores,
+    const PerformanceRegressionOptions& options) {
+  auto regressor = PerformanceRegressor::Fit(train, train_scores, options);
+  if (!regressor.ok()) return regressor.status();
+
+  auto train_pred = regressor->Predict(train);
+  if (!train_pred.ok()) return train_pred.status();
+  auto test_pred = regressor->Predict(test);
+  if (!test_pred.ok()) return test_pred.status();
+
+  PerformanceEvaluation eval;
+  auto train_nrmse = NormalizedRmsePercent(*train_pred, train_scores);
+  if (!train_nrmse.ok()) return train_nrmse.status();
+  eval.train_nrmse_percent = *train_nrmse;
+  auto test_nrmse = NormalizedRmsePercent(*test_pred, test_scores);
+  if (!test_nrmse.ok()) return test_nrmse.status();
+  eval.test_nrmse_percent = *test_nrmse;
+  return eval;
+}
+
+}  // namespace neuroprint::core

@@ -1,0 +1,70 @@
+// Task-performance prediction (the paper's Section 3.3.3 / Table 1):
+// leverage-score feature selection on the training group matrix, then a
+// linear epsilon-SVR from the reduced connectome features to the
+// behavioural performance metric, scored as normalized RMSE (percent).
+
+#ifndef NEUROPRINT_CORE_TASK_PERFORMANCE_H_
+#define NEUROPRINT_CORE_TASK_PERFORMANCE_H_
+
+#include <vector>
+
+#include "connectome/group_matrix.h"
+#include "core/leverage.h"
+#include "core/svr.h"
+#include "util/status.h"
+
+namespace neuroprint::core {
+
+struct PerformanceRegressionOptions {
+  /// More features than the identification attack uses: the behavioural
+  /// signal is spread over many task-network edges, and the SVR's
+  /// regularization handles the width.
+  std::size_t num_features = 1000;
+  SvrOptions svr{.cost = 1.0, .epsilon = 0.25, .max_epochs = 2000,
+                 .tolerance = 1e-6, .seed = 7};
+};
+
+/// A fitted performance model: selected features + SVR coefficients.
+class PerformanceRegressor {
+ public:
+  /// Fits on a training group matrix (features x subjects) and one
+  /// performance score per subject.
+  static Result<PerformanceRegressor> Fit(
+      const connectome::GroupMatrix& train, const linalg::Vector& scores,
+      const PerformanceRegressionOptions& options = {});
+
+  /// Predicts the score of every subject in `group` (same full feature
+  /// space as training).
+  Result<linalg::Vector> Predict(const connectome::GroupMatrix& group) const;
+
+  const std::vector<std::size_t>& selected_features() const {
+    return selected_features_;
+  }
+
+ private:
+  LinearSvr model_;
+  std::vector<std::size_t> selected_features_;
+  std::size_t full_feature_count_ = 0;
+  // Training-set standardization: features are z-scored and the target is
+  // centred before the SVR sees them (the SVR's regularized bias would
+  // otherwise fight the target's mean level).
+  linalg::Vector feature_means_;
+  linalg::Vector feature_sds_;
+  double score_mean_ = 0.0;
+};
+
+/// One train/test evaluation: fit on train, report nRMSE% on both splits
+/// (the two columns of Table 1).
+struct PerformanceEvaluation {
+  double train_nrmse_percent = 0.0;
+  double test_nrmse_percent = 0.0;
+};
+
+Result<PerformanceEvaluation> EvaluatePerformancePrediction(
+    const connectome::GroupMatrix& train, const linalg::Vector& train_scores,
+    const connectome::GroupMatrix& test, const linalg::Vector& test_scores,
+    const PerformanceRegressionOptions& options = {});
+
+}  // namespace neuroprint::core
+
+#endif  // NEUROPRINT_CORE_TASK_PERFORMANCE_H_

@@ -1,0 +1,253 @@
+#include "core/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace neuroprint::core {
+namespace {
+
+constexpr double kMinProbability = 1e-12;
+
+// Squared Euclidean distances between rows of `points` via the Gram trick:
+// ||x_i - x_j||^2 = G_ii + G_jj - 2 G_ij. One gemm instead of n^2 loops
+// over the (possibly 64620-long) feature axis.
+linalg::Matrix PairwiseSquaredDistances(const linalg::Matrix& points) {
+  const linalg::Matrix gram = linalg::MatMulT(points, points);
+  const std::size_t n = points.rows();
+  linalg::Matrix d2(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      d2(i, j) = std::max(0.0, gram(i, i) + gram(j, j) - 2.0 * gram(i, j));
+    }
+  }
+  return d2;
+}
+
+// Conditional probabilities p_{j|i} for one row given precision beta
+// (beta = 1 / (2 sigma^2)); returns the Shannon entropy (nats). Distances
+// are shifted by the row minimum before exponentiating — softmax shift
+// invariance — so large absolute distances cannot underflow every term.
+double RowConditional(const linalg::Matrix& d2, std::size_t i, double beta,
+                      linalg::Vector& row) {
+  const std::size_t n = d2.rows();
+  double min_d2 = std::numeric_limits<double>::infinity();
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j != i) min_d2 = std::min(min_d2, d2(i, j));
+  }
+  double sum = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    row[j] = j == i ? 0.0 : std::exp(-beta * (d2(i, j) - min_d2));
+    sum += row[j];
+  }
+  double entropy = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    row[j] /= sum;
+    if (row[j] > kMinProbability) entropy -= row[j] * std::log(row[j]);
+  }
+  return entropy;
+}
+
+}  // namespace
+
+Result<linalg::Matrix> TsneJointProbabilities(
+    const linalg::Matrix& squared_distances, double perplexity) {
+  const std::size_t n = squared_distances.rows();
+  if (squared_distances.cols() != n) {
+    return Status::InvalidArgument(
+        "TsneJointProbabilities: distance matrix not square");
+  }
+  if (n < 4) {
+    return Status::InvalidArgument("TsneJointProbabilities: need >= 4 points");
+  }
+  if (perplexity < 1.0 ||
+      3.0 * perplexity > static_cast<double>(n - 1)) {
+    return Status::InvalidArgument(StrFormat(
+        "TsneJointProbabilities: perplexity %.1f unusable for %zu points",
+        perplexity, n));
+  }
+
+  const double target_entropy = std::log(perplexity);
+  linalg::Matrix conditional(n, n);
+  linalg::Vector row(n, 0.0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Bisection on beta to match the target entropy. Entropy decreases
+    // monotonically in beta.
+    double beta = 1.0;
+    double beta_min = 0.0;
+    double beta_max = std::numeric_limits<double>::infinity();
+    double entropy = RowConditional(squared_distances, i, beta, row);
+    for (int iter = 0; iter < 64 && std::fabs(entropy - target_entropy) > 1e-7;
+         ++iter) {
+      if (entropy > target_entropy) {
+        beta_min = beta;
+        beta = std::isinf(beta_max) ? beta * 2.0 : 0.5 * (beta + beta_max);
+      } else {
+        beta_max = beta;
+        beta = 0.5 * (beta + beta_min);
+      }
+      entropy = RowConditional(squared_distances, i, beta, row);
+    }
+    conditional.SetRow(i, row);
+  }
+
+  // Symmetrize: p_ij = (p_{j|i} + p_{i|j}) / 2n, floored away from zero so
+  // outliers keep influence on the cost (Section 3.1.3 of the paper).
+  linalg::Matrix joint(n, n);
+  const double inv_2n = 1.0 / (2.0 * static_cast<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      joint(i, j) =
+          std::max((conditional(i, j) + conditional(j, i)) * inv_2n,
+                   kMinProbability);
+    }
+  }
+  return joint;
+}
+
+Result<TsneResult> TsneEmbedFromSquaredDistances(
+    const linalg::Matrix& squared_distances, const TsneOptions& options) {
+  if (options.output_dims == 0) {
+    return Status::InvalidArgument("TsneOptions: output_dims must be > 0");
+  }
+  if (options.max_iterations <= 0) {
+    return Status::InvalidArgument("TsneOptions: max_iterations must be > 0");
+  }
+  if (!squared_distances.AllFinite()) {
+    return Status::InvalidArgument("TsneEmbed: non-finite distances");
+  }
+  auto joint = TsneJointProbabilities(squared_distances, options.perplexity);
+  if (!joint.ok()) return joint.status();
+  linalg::Matrix p = std::move(joint).value();
+  const std::size_t n = p.rows();
+  const std::size_t dims = options.output_dims;
+
+  // Early exaggeration.
+  p *= options.early_exaggeration;
+
+  Rng rng(options.seed);
+  linalg::Matrix y(n, dims);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t d = 0; d < dims; ++d) y(i, d) = rng.Gaussian(0.0, 1e-2);
+  }
+  linalg::Matrix velocity(n, dims);
+  linalg::Matrix gains(n, dims, 1.0);
+  linalg::Matrix gradient(n, dims);
+  linalg::Matrix weights(n, n);  // (1 + ||y_i - y_j||^2)^{-1}.
+
+  double kl = 0.0;
+  int iteration = 0;
+  for (; iteration < options.max_iterations; ++iteration) {
+    if (iteration == options.exaggeration_iterations) {
+      p *= 1.0 / options.early_exaggeration;
+    }
+
+    // Student-t kernel and its normalizer.
+    double weight_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      weights(i, i) = 0.0;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        double d2 = 0.0;
+        for (std::size_t d = 0; d < dims; ++d) {
+          const double diff = y(i, d) - y(j, d);
+          d2 += diff * diff;
+        }
+        const double w = 1.0 / (1.0 + d2);
+        weights(i, j) = w;
+        weights(j, i) = w;
+        weight_sum += 2.0 * w;
+      }
+    }
+    const double inv_weight_sum = weight_sum > 0.0 ? 1.0 / weight_sum : 0.0;
+
+    // Gradient (Eq. 12): 4 sum_j (p_ij - q_ij) w_ij (y_i - y_j).
+    gradient.Fill(0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double q = std::max(weights(i, j) * inv_weight_sum,
+                                  kMinProbability);
+        const double coeff = 4.0 * (p(i, j) - q) * weights(i, j);
+        for (std::size_t d = 0; d < dims; ++d) {
+          gradient(i, d) += coeff * (y(i, d) - y(j, d));
+        }
+      }
+    }
+
+    // Momentum update with per-parameter gains.
+    const double momentum = iteration < options.momentum_switch_iteration
+                                ? options.initial_momentum
+                                : options.final_momentum;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t d = 0; d < dims; ++d) {
+        const bool same_sign =
+            (gradient(i, d) > 0.0) == (velocity(i, d) > 0.0);
+        gains(i, d) = same_sign ? std::max(0.01, gains(i, d) * 0.8)
+                                : gains(i, d) + 0.2;
+        velocity(i, d) = momentum * velocity(i, d) -
+                         options.learning_rate * gains(i, d) * gradient(i, d);
+        y(i, d) += velocity(i, d);
+      }
+    }
+
+    // Keep the embedding centred.
+    for (std::size_t d = 0; d < dims; ++d) {
+      double mean = 0.0;
+      for (std::size_t i = 0; i < n; ++i) mean += y(i, d);
+      mean /= static_cast<double>(n);
+      for (std::size_t i = 0; i < n; ++i) y(i, d) -= mean;
+    }
+  }
+
+  // Final KL(P || Q) on the un-exaggerated P.
+  {
+    double weight_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        double d2 = 0.0;
+        for (std::size_t d = 0; d < dims; ++d) {
+          const double diff = y(i, d) - y(j, d);
+          d2 += diff * diff;
+        }
+        const double w = 1.0 / (1.0 + d2);
+        weights(i, j) = w;
+        weights(j, i) = w;
+        weight_sum += 2.0 * w;
+      }
+    }
+    kl = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double q =
+            std::max(weights(i, j) / weight_sum, kMinProbability);
+        kl += p(i, j) * std::log(p(i, j) / q);
+      }
+    }
+  }
+
+  TsneResult result;
+  result.embedding = std::move(y);
+  result.kl_divergence = kl;
+  result.iterations = iteration;
+  return result;
+}
+
+Result<TsneResult> TsneEmbed(const linalg::Matrix& points,
+                             const TsneOptions& options) {
+  if (points.rows() < 4) {
+    return Status::InvalidArgument("TsneEmbed: need at least 4 points");
+  }
+  if (!points.AllFinite()) {
+    return Status::InvalidArgument("TsneEmbed: non-finite input");
+  }
+  return TsneEmbedFromSquaredDistances(PairwiseSquaredDistances(points),
+                                       options);
+}
+
+}  // namespace neuroprint::core

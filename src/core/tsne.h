@@ -1,0 +1,56 @@
+// t-distributed Stochastic Neighbor Embedding (the paper's Algorithm 2,
+// after van der Maaten & Hinton 2008).
+//
+// Exact O(n^2) implementation: the paper's experiment embeds 800 scans, a
+// size where the exact gradient is both faithful to Algorithm 2 and fast.
+// Perplexity calibration uses bisection on the per-point Gaussian
+// precision; the optimizer is gradient descent with momentum, early
+// exaggeration, and per-parameter gains (the reference implementation's
+// additions to the simplified pseudocode).
+
+#ifndef NEUROPRINT_CORE_TSNE_H_
+#define NEUROPRINT_CORE_TSNE_H_
+
+#include <cstdint>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace neuroprint::core {
+
+struct TsneOptions {
+  std::size_t output_dims = 2;
+  double perplexity = 30.0;
+  int max_iterations = 1000;
+  double learning_rate = 200.0;
+  double early_exaggeration = 12.0;
+  int exaggeration_iterations = 250;
+  double initial_momentum = 0.5;
+  double final_momentum = 0.8;
+  int momentum_switch_iteration = 250;
+  std::uint64_t seed = 42;
+};
+
+struct TsneResult {
+  linalg::Matrix embedding;  ///< n x output_dims.
+  double kl_divergence = 0.0;  ///< Final KL(P || Q).
+  int iterations = 0;
+};
+
+/// Embeds the rows of `points` (n x d). Requires n >= 4 and perplexity
+/// < (n - 1) / 3 (each point needs enough neighbours to calibrate).
+Result<TsneResult> TsneEmbed(const linalg::Matrix& points,
+                             const TsneOptions& options = {});
+
+/// Same, starting from a precomputed n x n squared-distance matrix.
+Result<TsneResult> TsneEmbedFromSquaredDistances(
+    const linalg::Matrix& squared_distances, const TsneOptions& options = {});
+
+/// The symmetric joint probabilities P used by t-SNE (exposed for tests:
+/// rows of the conditional matrix must hit the target perplexity).
+Result<linalg::Matrix> TsneJointProbabilities(
+    const linalg::Matrix& squared_distances, double perplexity);
+
+}  // namespace neuroprint::core
+
+#endif  // NEUROPRINT_CORE_TSNE_H_

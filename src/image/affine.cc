@@ -1,0 +1,61 @@
+#include "image/affine.h"
+
+#include <cmath>
+
+#include "linalg/lu.h"
+
+namespace neuroprint::image {
+
+bool RigidTransform::IsApproxIdentity(double tol) const {
+  for (double p : AsArray()) {
+    if (std::fabs(p) > tol) return false;
+  }
+  return true;
+}
+
+linalg::Matrix RigidToAffine(const RigidTransform& t, double cx, double cy,
+                             double cz) {
+  const double cx_r = std::cos(t.rotate_x), sx = std::sin(t.rotate_x);
+  const double cy_r = std::cos(t.rotate_y), sy = std::sin(t.rotate_y);
+  const double cz_r = std::cos(t.rotate_z), sz = std::sin(t.rotate_z);
+
+  // R = Rz * Ry * Rx.
+  linalg::Matrix r = linalg::Matrix::Identity(4);
+  r(0, 0) = cz_r * cy_r;
+  r(0, 1) = cz_r * sy * sx - sz * cx_r;
+  r(0, 2) = cz_r * sy * cx_r + sz * sx;
+  r(1, 0) = sz * cy_r;
+  r(1, 1) = sz * sy * sx + cz_r * cx_r;
+  r(1, 2) = sz * sy * cx_r - cz_r * sx;
+  r(2, 0) = -sy;
+  r(2, 1) = cy_r * sx;
+  r(2, 2) = cy_r * cx_r;
+
+  // Full transform: translate centre to origin, rotate, translate back,
+  // then apply the motion translation.
+  linalg::Matrix affine = r;
+  const double ox = cx - (r(0, 0) * cx + r(0, 1) * cy + r(0, 2) * cz);
+  const double oy = cy - (r(1, 0) * cx + r(1, 1) * cy + r(1, 2) * cz);
+  const double oz = cz - (r(2, 0) * cx + r(2, 1) * cy + r(2, 2) * cz);
+  affine(0, 3) = ox + t.translate_x;
+  affine(1, 3) = oy + t.translate_y;
+  affine(2, 3) = oz + t.translate_z;
+  return affine;
+}
+
+void ApplyAffine(const linalg::Matrix& affine, double x, double y, double z,
+                 double& out_x, double& out_y, double& out_z) {
+  NP_DCHECK(affine.rows() == 4 && affine.cols() == 4);
+  out_x = affine(0, 0) * x + affine(0, 1) * y + affine(0, 2) * z + affine(0, 3);
+  out_y = affine(1, 0) * x + affine(1, 1) * y + affine(1, 2) * z + affine(1, 3);
+  out_z = affine(2, 0) * x + affine(2, 1) * y + affine(2, 2) * z + affine(2, 3);
+}
+
+Result<linalg::Matrix> InvertAffine(const linalg::Matrix& affine) {
+  if (affine.rows() != 4 || affine.cols() != 4) {
+    return Status::InvalidArgument("InvertAffine: expected a 4x4 matrix");
+  }
+  return linalg::Inverse(affine);
+}
+
+}  // namespace neuroprint::image

@@ -1,0 +1,51 @@
+// Rigid-body (6 degree-of-freedom) transforms and 4x4 affine algebra in
+// voxel space. Motion correction and registration estimate and apply these.
+
+#ifndef NEUROPRINT_IMAGE_AFFINE_H_
+#define NEUROPRINT_IMAGE_AFFINE_H_
+
+#include <array>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace neuroprint::image {
+
+/// A rigid-body motion: rotations (radians, applied as Rz * Ry * Rx about
+/// the volume centre) followed by a translation (in voxels).
+struct RigidTransform {
+  double translate_x = 0.0;
+  double translate_y = 0.0;
+  double translate_z = 0.0;
+  double rotate_x = 0.0;
+  double rotate_y = 0.0;
+  double rotate_z = 0.0;
+
+  /// The six parameters as an array (order: tx, ty, tz, rx, ry, rz).
+  std::array<double, 6> AsArray() const {
+    return {translate_x, translate_y, translate_z,
+            rotate_x, rotate_y, rotate_z};
+  }
+  static RigidTransform FromArray(const std::array<double, 6>& p) {
+    return {p[0], p[1], p[2], p[3], p[4], p[5]};
+  }
+
+  /// True if every parameter magnitude is below `tol`.
+  bool IsApproxIdentity(double tol = 1e-12) const;
+};
+
+/// Homogeneous 4x4 matrix for the rigid transform, rotating about the
+/// given centre point (voxel coordinates).
+linalg::Matrix RigidToAffine(const RigidTransform& t, double cx, double cy,
+                             double cz);
+
+/// Applies a 4x4 affine to a point (x, y, z, 1).
+void ApplyAffine(const linalg::Matrix& affine, double x, double y, double z,
+                 double& out_x, double& out_y, double& out_z);
+
+/// Inverse of a 4x4 affine; fails on singular matrices.
+Result<linalg::Matrix> InvertAffine(const linalg::Matrix& affine);
+
+}  // namespace neuroprint::image
+
+#endif  // NEUROPRINT_IMAGE_AFFINE_H_

@@ -1,0 +1,111 @@
+#include "image/mask.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace neuroprint::image {
+namespace {
+
+// 98th percentile of the positive intensities (robust max: ignores hot
+// pixels that a plain max would latch onto).
+double RobustMax(const std::vector<float>& values) {
+  std::vector<float> positive;
+  positive.reserve(values.size());
+  for (float v : values) {
+    if (v > 0.0f) positive.push_back(v);
+  }
+  if (positive.empty()) return 0.0;
+  const std::size_t k =
+      std::min(positive.size() - 1,
+               static_cast<std::size_t>(0.98 * static_cast<double>(positive.size())));
+  std::nth_element(positive.begin(), positive.begin() + static_cast<std::ptrdiff_t>(k),
+                   positive.end());
+  return positive[k];
+}
+
+Result<Mask> MaskFromMeanVolume(const Volume3D& mean, double fraction) {
+  if (fraction <= 0.0 || fraction >= 1.0) {
+    return Status::InvalidArgument(
+        "ComputeBrainMask: fraction must be in (0, 1)");
+  }
+  const double robust_max = RobustMax(mean.flat());
+  if (robust_max <= 0.0) {
+    return Status::FailedPrecondition(
+        "ComputeBrainMask: no positive intensities (empty image?)");
+  }
+  const double threshold = fraction * robust_max;
+  Mask mask(mean.nx(), mean.ny(), mean.nz());
+  for (std::size_t z = 0; z < mean.nz(); ++z) {
+    for (std::size_t y = 0; y < mean.ny(); ++y) {
+      for (std::size_t x = 0; x < mean.nx(); ++x) {
+        mask.set(x, y, z, mean.at(x, y, z) > threshold);
+      }
+    }
+  }
+  return mask;
+}
+
+}  // namespace
+
+std::size_t Mask::CountSet() const {
+  std::size_t count = 0;
+  for (std::uint8_t v : data_) count += v != 0 ? 1 : 0;
+  return count;
+}
+
+Result<Mask> ComputeBrainMask(const Volume4D& run, double fraction) {
+  if (run.empty()) return Status::InvalidArgument("ComputeBrainMask: empty run");
+  Volume3D mean(run.nx(), run.ny(), run.nz());
+  const double inv_nt = 1.0 / static_cast<double>(run.nt());
+  for (std::size_t t = 0; t < run.nt(); ++t) {
+    const float* vol = run.VolumePtr(t);
+    for (std::size_t i = 0; i < run.voxels_per_volume(); ++i) {
+      mean.flat()[i] += static_cast<float>(vol[i] * inv_nt);
+    }
+  }
+  return MaskFromMeanVolume(mean, fraction);
+}
+
+Result<Mask> ComputeBrainMask3D(const Volume3D& volume, double fraction) {
+  if (volume.empty()) {
+    return Status::InvalidArgument("ComputeBrainMask3D: empty volume");
+  }
+  return MaskFromMeanVolume(volume, fraction);
+}
+
+Mask Erode(const Mask& mask) {
+  Mask out(mask.nx(), mask.ny(), mask.nz());
+  for (std::size_t z = 0; z < mask.nz(); ++z) {
+    for (std::size_t y = 0; y < mask.ny(); ++y) {
+      for (std::size_t x = 0; x < mask.nx(); ++x) {
+        if (!mask.at(x, y, z)) continue;
+        const bool interior =
+            x > 0 && x + 1 < mask.nx() && y > 0 && y + 1 < mask.ny() && z > 0 &&
+            z + 1 < mask.nz() && mask.at(x - 1, y, z) && mask.at(x + 1, y, z) &&
+            mask.at(x, y - 1, z) && mask.at(x, y + 1, z) &&
+            mask.at(x, y, z - 1) && mask.at(x, y, z + 1);
+        out.set(x, y, z, interior);
+      }
+    }
+  }
+  return out;
+}
+
+void ApplyMask(Volume4D& run, const Mask& mask) {
+  NP_CHECK(run.nx() == mask.nx() && run.ny() == mask.ny() &&
+           run.nz() == mask.nz())
+      << "ApplyMask: dimension mismatch";
+  for (std::size_t t = 0; t < run.nt(); ++t) {
+    float* vol = run.VolumePtr(t);
+    std::size_t i = 0;
+    for (std::size_t z = 0; z < run.nz(); ++z) {
+      for (std::size_t y = 0; y < run.ny(); ++y) {
+        for (std::size_t x = 0; x < run.nx(); ++x, ++i) {
+          if (!mask.at(x, y, z)) vol[i] = 0.0f;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace neuroprint::image

@@ -1,0 +1,60 @@
+// Brain masking (the skull-stripping analogue): classifies voxels as
+// brain / non-brain from the mean image intensity, with optional erosion
+// to drop partial-volume edge voxels.
+
+#ifndef NEUROPRINT_IMAGE_MASK_H_
+#define NEUROPRINT_IMAGE_MASK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "image/volume.h"
+#include "util/status.h"
+
+namespace neuroprint::image {
+
+/// Binary voxel mask over a 3-D grid (1 = brain).
+class Mask {
+ public:
+  Mask() = default;
+  Mask(std::size_t nx, std::size_t ny, std::size_t nz, std::uint8_t fill = 0)
+      : nx_(nx), ny_(ny), nz_(nz), data_(nx * ny * nz, fill) {}
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  std::size_t nz() const { return nz_; }
+  bool empty() const { return data_.empty(); }
+
+  bool at(std::size_t x, std::size_t y, std::size_t z) const {
+    NP_DCHECK(x < nx_ && y < ny_ && z < nz_);
+    return data_[x + nx_ * (y + ny_ * z)] != 0;
+  }
+  void set(std::size_t x, std::size_t y, std::size_t z, bool value) {
+    NP_DCHECK(x < nx_ && y < ny_ && z < nz_);
+    data_[x + nx_ * (y + ny_ * z)] = value ? 1 : 0;
+  }
+
+  /// Number of brain voxels.
+  std::size_t CountSet() const;
+
+ private:
+  std::size_t nx_ = 0, ny_ = 0, nz_ = 0;
+  std::vector<std::uint8_t> data_;
+};
+
+/// Thresholds the mean volume of a run at `fraction` of its robust maximum
+/// (98th percentile): voxels above are brain.
+Result<Mask> ComputeBrainMask(const Volume4D& run, double fraction = 0.25);
+
+/// Same on one volume.
+Result<Mask> ComputeBrainMask3D(const Volume3D& volume, double fraction = 0.25);
+
+/// Morphological erosion by one 6-connected step (removes edge voxels).
+Mask Erode(const Mask& mask);
+
+/// Zeros every non-brain voxel across all time points.
+void ApplyMask(Volume4D& run, const Mask& mask);
+
+}  // namespace neuroprint::image
+
+#endif  // NEUROPRINT_IMAGE_MASK_H_

@@ -1,0 +1,56 @@
+// Rigid-body registration: estimates the 6-DoF transform aligning a moving
+// volume to a reference by minimizing mean squared intensity error with a
+// derivative-free coordinate-descent search (Powell-style, multi-resolution
+// step schedule). This is the estimation half of head-motion correction.
+
+#ifndef NEUROPRINT_IMAGE_REGISTRATION_H_
+#define NEUROPRINT_IMAGE_REGISTRATION_H_
+
+#include <vector>
+
+#include "image/affine.h"
+#include "image/volume.h"
+#include "util/status.h"
+
+namespace neuroprint::image {
+
+struct RegistrationOptions {
+  /// Initial search steps: voxels for translations, radians for rotations.
+  double initial_translation_step = 1.0;
+  double initial_rotation_step = 0.02;
+  /// The search halves the steps this many times (resolution levels).
+  int refinement_levels = 5;
+  /// Coordinate-descent passes per level.
+  int passes_per_level = 4;
+  /// Evaluate the cost on every k-th voxel per axis (speed knob).
+  std::size_t sample_stride = 1;
+};
+
+struct RegistrationResult {
+  RigidTransform transform;  ///< Maps reference space onto the moving image.
+  double final_cost = 0.0;   ///< Mean squared error at the optimum.
+};
+
+/// Mean squared error between `reference` and `moving` resampled under `t`.
+double RegistrationCost(const Volume3D& reference, const Volume3D& moving,
+                        const RigidTransform& t, std::size_t sample_stride = 1);
+
+/// Estimates the rigid transform such that resampling `moving` by it best
+/// matches `reference`. Dimensions must agree.
+Result<RegistrationResult> RegisterRigid(
+    const Volume3D& reference, const Volume3D& moving,
+    const RegistrationOptions& options = {});
+
+/// Motion parameters and the corrected run: every volume is registered to
+/// the first and resampled.
+struct MotionCorrectionResult {
+  Volume4D corrected;
+  std::vector<RigidTransform> motion;  ///< Per-frame estimates; motion[0] = I.
+};
+
+Result<MotionCorrectionResult> MotionCorrect(
+    const Volume4D& run, const RegistrationOptions& options = {});
+
+}  // namespace neuroprint::image
+
+#endif  // NEUROPRINT_IMAGE_REGISTRATION_H_

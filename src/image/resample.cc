@@ -1,0 +1,72 @@
+#include "image/resample.h"
+
+#include "image/interpolate.h"
+
+namespace neuroprint::image {
+
+Result<Volume3D> ResampleRigid(const Volume3D& v, const RigidTransform& t) {
+  if (v.empty()) return Status::InvalidArgument("ResampleRigid: empty volume");
+  const double cx = 0.5 * (static_cast<double>(v.nx()) - 1.0);
+  const double cy = 0.5 * (static_cast<double>(v.ny()) - 1.0);
+  const double cz = 0.5 * (static_cast<double>(v.nz()) - 1.0);
+  const linalg::Matrix forward = RigidToAffine(t, cx, cy, cz);
+  auto inverse = InvertAffine(forward);
+  if (!inverse.ok()) return inverse.status();
+  return ResampleAffine(v, *inverse);
+}
+
+Result<Volume3D> ResampleAffine(const Volume3D& v,
+                                const linalg::Matrix& out_to_in) {
+  if (v.empty()) return Status::InvalidArgument("ResampleAffine: empty volume");
+  if (out_to_in.rows() != 4 || out_to_in.cols() != 4) {
+    return Status::InvalidArgument("ResampleAffine: expected a 4x4 affine");
+  }
+  Volume3D out(v.nx(), v.ny(), v.nz());
+  out.spacing() = v.spacing();
+  for (std::size_t z = 0; z < v.nz(); ++z) {
+    for (std::size_t y = 0; y < v.ny(); ++y) {
+      for (std::size_t x = 0; x < v.nx(); ++x) {
+        double sx, sy, sz;
+        ApplyAffine(out_to_in, static_cast<double>(x), static_cast<double>(y),
+                    static_cast<double>(z), sx, sy, sz);
+        out.at(x, y, z) = static_cast<float>(SampleTrilinear(v, sx, sy, sz));
+      }
+    }
+  }
+  return out;
+}
+
+Result<Volume3D> ResampleToGrid(const Volume3D& v, std::size_t nx,
+                                std::size_t ny, std::size_t nz) {
+  if (v.empty()) return Status::InvalidArgument("ResampleToGrid: empty volume");
+  if (nx == 0 || ny == 0 || nz == 0) {
+    return Status::InvalidArgument("ResampleToGrid: zero output dimension");
+  }
+  Volume3D out(nx, ny, nz);
+  out.spacing() = v.spacing();
+  out.spacing().dx_mm *= static_cast<double>(v.nx()) / static_cast<double>(nx);
+  out.spacing().dy_mm *= static_cast<double>(v.ny()) / static_cast<double>(ny);
+  out.spacing().dz_mm *= static_cast<double>(v.nz()) / static_cast<double>(nz);
+  const double sx = nx > 1 ? static_cast<double>(v.nx() - 1) /
+                                 static_cast<double>(nx - 1)
+                           : 0.0;
+  const double sy = ny > 1 ? static_cast<double>(v.ny() - 1) /
+                                 static_cast<double>(ny - 1)
+                           : 0.0;
+  const double sz = nz > 1 ? static_cast<double>(v.nz() - 1) /
+                                 static_cast<double>(nz - 1)
+                           : 0.0;
+  for (std::size_t z = 0; z < nz; ++z) {
+    for (std::size_t y = 0; y < ny; ++y) {
+      for (std::size_t x = 0; x < nx; ++x) {
+        out.at(x, y, z) = static_cast<float>(
+            SampleTrilinear(v, static_cast<double>(x) * sx,
+                            static_cast<double>(y) * sy,
+                            static_cast<double>(z) * sz));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace neuroprint::image

@@ -1,0 +1,30 @@
+// Applying rigid transforms to volumes (the "apply" half of motion
+// correction and registration-to-standard-space).
+
+#ifndef NEUROPRINT_IMAGE_RESAMPLE_H_
+#define NEUROPRINT_IMAGE_RESAMPLE_H_
+
+#include "image/affine.h"
+#include "image/volume.h"
+#include "util/status.h"
+
+namespace neuroprint::image {
+
+/// Resamples `v` under the rigid transform `t`: output voxel p receives
+/// the input intensity at T^{-1}(p), trilinearly interpolated. Rotations
+/// are about the volume centre.
+Result<Volume3D> ResampleRigid(const Volume3D& v, const RigidTransform& t);
+
+/// Resamples `v` through an arbitrary 4x4 affine mapping output voxel
+/// coordinates to input voxel coordinates.
+Result<Volume3D> ResampleAffine(const Volume3D& v,
+                                const linalg::Matrix& out_to_in);
+
+/// Resizes `v` to new grid dimensions by scaling coordinates (the spatial
+/// normalization step: all brains onto a standard grid).
+Result<Volume3D> ResampleToGrid(const Volume3D& v, std::size_t nx,
+                                std::size_t ny, std::size_t nz);
+
+}  // namespace neuroprint::image
+
+#endif  // NEUROPRINT_IMAGE_RESAMPLE_H_

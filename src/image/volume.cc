@@ -1,0 +1,67 @@
+#include "image/volume.h"
+
+#include <cmath>
+
+namespace neuroprint::image {
+
+double Volume3D::Mean() const {
+  if (data_.empty()) return 0.0;
+  double sum = 0.0;
+  for (float v : data_) sum += v;
+  return sum / static_cast<double>(data_.size());
+}
+
+bool Volume3D::AllFinite() const {
+  for (float v : data_) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+Volume3D Volume4D::ExtractVolume(std::size_t t) const {
+  NP_CHECK_LT(t, nt_);
+  Volume3D v(nx_, ny_, nz_);
+  const float* src = VolumePtr(t);
+  std::copy(src, src + voxels_per_volume(), v.data());
+  v.spacing() = spacing_;
+  return v;
+}
+
+void Volume4D::SetVolume(std::size_t t, const Volume3D& v) {
+  NP_CHECK_LT(t, nt_);
+  NP_CHECK(v.nx() == nx_ && v.ny() == ny_ && v.nz() == nz_)
+      << "SetVolume: dimension mismatch";
+  std::copy(v.data(), v.data() + voxels_per_volume(), VolumePtr(t));
+}
+
+std::vector<double> Volume4D::VoxelTimeSeries(std::size_t x, std::size_t y,
+                                              std::size_t z) const {
+  NP_CHECK(x < nx_ && y < ny_ && z < nz_);
+  std::vector<double> series(nt_);
+  const std::size_t stride = voxels_per_volume();
+  const std::size_t base = x + nx_ * (y + ny_ * z);
+  for (std::size_t t = 0; t < nt_; ++t) {
+    series[t] = data_[base + t * stride];
+  }
+  return series;
+}
+
+void Volume4D::SetVoxelTimeSeries(std::size_t x, std::size_t y, std::size_t z,
+                                  const std::vector<double>& series) {
+  NP_CHECK(x < nx_ && y < ny_ && z < nz_);
+  NP_CHECK_EQ(series.size(), nt_);
+  const std::size_t stride = voxels_per_volume();
+  const std::size_t base = x + nx_ * (y + ny_ * z);
+  for (std::size_t t = 0; t < nt_; ++t) {
+    data_[base + t * stride] = static_cast<float>(series[t]);
+  }
+}
+
+bool Volume4D::AllFinite() const {
+  for (float v : data_) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace neuroprint::image

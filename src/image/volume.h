@@ -1,0 +1,139 @@
+// Volumetric image types: Volume3D (one brain snapshot) and Volume4D (an
+// fMRI run: three spatial dimensions plus time).
+//
+// Voxel data is float (a 64x64x40x400 run is ~26M voxels; double would
+// double the footprint for no analytical benefit — all statistics are
+// accumulated in double). Storage is x-fastest ("Fortran order", the NIfTI
+// on-disk convention): index = x + nx*(y + ny*(z + nz*t)).
+
+#ifndef NEUROPRINT_IMAGE_VOLUME_H_
+#define NEUROPRINT_IMAGE_VOLUME_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.h"
+
+namespace neuroprint::image {
+
+/// Physical voxel geometry: spacing in millimetres and the repetition time
+/// (seconds) separating consecutive volumes of a 4-D run.
+struct VoxelSpacing {
+  double dx_mm = 2.0;
+  double dy_mm = 2.0;
+  double dz_mm = 2.0;
+  double tr_seconds = 0.72;
+};
+
+/// A single 3-D volume of float voxels.
+class Volume3D {
+ public:
+  Volume3D() = default;
+
+  Volume3D(std::size_t nx, std::size_t ny, std::size_t nz, float fill = 0.0f)
+      : nx_(nx), ny_(ny), nz_(nz), data_(nx * ny * nz, fill) {}
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  std::size_t nz() const { return nz_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(std::size_t x, std::size_t y, std::size_t z) {
+    NP_DCHECK(x < nx_ && y < ny_ && z < nz_);
+    return data_[x + nx_ * (y + ny_ * z)];
+  }
+  float at(std::size_t x, std::size_t y, std::size_t z) const {
+    NP_DCHECK(x < nx_ && y < ny_ && z < nz_);
+    return data_[x + nx_ * (y + ny_ * z)];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& flat() { return data_; }
+  const std::vector<float>& flat() const { return data_; }
+
+  VoxelSpacing& spacing() { return spacing_; }
+  const VoxelSpacing& spacing() const { return spacing_; }
+
+  /// Mean over all voxels (0 for empty).
+  double Mean() const;
+
+  /// True if every voxel is finite.
+  bool AllFinite() const;
+
+ private:
+  std::size_t nx_ = 0, ny_ = 0, nz_ = 0;
+  std::vector<float> data_;
+  VoxelSpacing spacing_;
+};
+
+/// A 4-D fMRI run: nt volumes of nx * ny * nz voxels.
+class Volume4D {
+ public:
+  Volume4D() = default;
+
+  Volume4D(std::size_t nx, std::size_t ny, std::size_t nz, std::size_t nt,
+           float fill = 0.0f)
+      : nx_(nx), ny_(ny), nz_(nz), nt_(nt), data_(nx * ny * nz * nt, fill) {}
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  std::size_t nz() const { return nz_; }
+  std::size_t nt() const { return nt_; }
+  std::size_t voxels_per_volume() const { return nx_ * ny_ * nz_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(std::size_t x, std::size_t y, std::size_t z, std::size_t t) {
+    NP_DCHECK(x < nx_ && y < ny_ && z < nz_ && t < nt_);
+    return data_[x + nx_ * (y + ny_ * (z + nz_ * t))];
+  }
+  float at(std::size_t x, std::size_t y, std::size_t z, std::size_t t) const {
+    NP_DCHECK(x < nx_ && y < ny_ && z < nz_ && t < nt_);
+    return data_[x + nx_ * (y + ny_ * (z + nz_ * t))];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& flat() { return data_; }
+  const std::vector<float>& flat() const { return data_; }
+
+  /// Pointer to the start of volume t's voxel block.
+  float* VolumePtr(std::size_t t) {
+    NP_DCHECK(t < nt_);
+    return data_.data() + t * voxels_per_volume();
+  }
+  const float* VolumePtr(std::size_t t) const {
+    NP_DCHECK(t < nt_);
+    return data_.data() + t * voxels_per_volume();
+  }
+
+  /// Copies volume t out as a Volume3D (spacing carried over).
+  Volume3D ExtractVolume(std::size_t t) const;
+
+  /// Overwrites volume t with `v` (dimensions must match).
+  void SetVolume(std::size_t t, const Volume3D& v);
+
+  /// The time series of one voxel as a double vector.
+  std::vector<double> VoxelTimeSeries(std::size_t x, std::size_t y,
+                                      std::size_t z) const;
+
+  /// Writes `series` (length nt) into the voxel's time axis.
+  void SetVoxelTimeSeries(std::size_t x, std::size_t y, std::size_t z,
+                          const std::vector<double>& series);
+
+  VoxelSpacing& spacing() { return spacing_; }
+  const VoxelSpacing& spacing() const { return spacing_; }
+
+  bool AllFinite() const;
+
+ private:
+  std::size_t nx_ = 0, ny_ = 0, nz_ = 0, nt_ = 0;
+  std::vector<float> data_;
+  VoxelSpacing spacing_;
+};
+
+}  // namespace neuroprint::image
+
+#endif  // NEUROPRINT_IMAGE_VOLUME_H_

@@ -1,0 +1,53 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+#include "linalg/qr.h"
+#include "util/string_util.h"
+
+namespace neuroprint::linalg {
+
+Result<Matrix> CholeskyDecompose(const Matrix& a) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n) {
+    return Status::InvalidArgument("CholeskyDecompose: matrix not square");
+  }
+  if (!a.AllFinite()) {
+    return Status::InvalidArgument("CholeskyDecompose: non-finite input");
+  }
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return Status::FailedPrecondition(StrFormat(
+          "CholeskyDecompose: not positive definite at column %zu "
+          "(pivot %.3e)",
+          j, diag));
+    }
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      l(i, j) = sum / ljj;
+    }
+  }
+  return l;
+}
+
+Result<Matrix> CholeskyDecomposeWithJitter(const Matrix& a, double jitter) {
+  Matrix shifted = a;
+  for (std::size_t i = 0; i < shifted.rows() && i < shifted.cols(); ++i) {
+    shifted(i, i) += jitter;
+  }
+  return CholeskyDecompose(shifted);
+}
+
+Result<Vector> CholeskySolve(const Matrix& l, const Vector& b) {
+  Result<Vector> y = SolveLowerTriangular(l, b);
+  if (!y.ok()) return y.status();
+  return SolveUpperTriangular(l.Transposed(), *y);
+}
+
+}  // namespace neuroprint::linalg

@@ -1,0 +1,29 @@
+// Cholesky factorization of symmetric positive-definite matrices.
+//
+// The cohort simulator uses L from Sigma = L L^T to draw correlated region
+// time series; the SVR and regression code uses CholeskySolve for normal
+// equations.
+
+#ifndef NEUROPRINT_LINALG_CHOLESKY_H_
+#define NEUROPRINT_LINALG_CHOLESKY_H_
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace neuroprint::linalg {
+
+/// Lower-triangular L with A = L L^T. Fails with FailedPrecondition if A is
+/// not (numerically) positive definite.
+Result<Matrix> CholeskyDecompose(const Matrix& a);
+
+/// CholeskyDecompose(A + jitter * I): convenience for covariance matrices
+/// assembled from data that may be only positive semi-definite.
+Result<Matrix> CholeskyDecomposeWithJitter(const Matrix& a, double jitter);
+
+/// Solves A x = b given the Cholesky factor L of A (forward + back
+/// substitution).
+Result<Vector> CholeskySolve(const Matrix& l, const Vector& b);
+
+}  // namespace neuroprint::linalg
+
+#endif  // NEUROPRINT_LINALG_CHOLESKY_H_

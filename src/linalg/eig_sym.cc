@@ -1,0 +1,106 @@
+#include "linalg/eig_sym.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace neuroprint::linalg {
+
+Result<SymmetricEigenDecomposition> EigSym(const Matrix& a, int max_sweeps) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n) {
+    return Status::InvalidArgument("EigSym: matrix not square");
+  }
+  if (!a.AllFinite()) {
+    return Status::InvalidArgument("EigSym: non-finite input");
+  }
+  const double scale = a.MaxAbs();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (std::fabs(a(i, j) - a(j, i)) > 1e-8 * std::max(1.0, scale)) {
+        return Status::InvalidArgument(
+            StrFormat("EigSym: input not symmetric at (%zu,%zu)", i, j));
+      }
+    }
+  }
+
+  Matrix m = a;
+  Matrix v = Matrix::Identity(n);
+
+  auto off_diagonal_norm = [&]() {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) sum += m(i, j) * m(i, j);
+    }
+    return std::sqrt(2.0 * sum);
+  };
+
+  const double tol = 1e-14 * std::max(1.0, m.FrobeniusNorm());
+  bool converged = n < 2 || off_diagonal_norm() <= tol;
+  for (int sweep = 0; sweep < max_sweeps && !converged; ++sweep) {
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = m(p, q);
+        if (std::fabs(apq) <= tol / static_cast<double>(n)) continue;
+        const double app = m(p, p);
+        const double aqq = m(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // Apply the rotation J(p, q, theta) on both sides: M <- J^T M J.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mkp = m(k, p);
+          const double mkq = m(k, q);
+          m(k, p) = c * mkp - s * mkq;
+          m(k, q) = s * mkp + c * mkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mpk = m(p, k);
+          const double mqk = m(q, k);
+          m(p, k) = c * mpk - s * mqk;
+          m(q, k) = s * mpk + c * mqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+    converged = off_diagonal_norm() <= tol;
+  }
+  if (!converged) {
+    return Status::NotConverged(
+        StrFormat("EigSym: not converged after %d sweeps", max_sweeps));
+  }
+
+  SymmetricEigenDecomposition out;
+  out.eigenvalues.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) out.eigenvalues[i] = m(i, i);
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return out.eigenvalues[x] > out.eigenvalues[y];
+  });
+  Vector sorted_values(n);
+  Matrix sorted_vectors(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    sorted_values[j] = out.eigenvalues[order[j]];
+    for (std::size_t i = 0; i < n; ++i) {
+      sorted_vectors(i, j) = v(i, order[j]);
+    }
+  }
+  out.eigenvalues = std::move(sorted_values);
+  out.eigenvectors = std::move(sorted_vectors);
+  return out;
+}
+
+}  // namespace neuroprint::linalg

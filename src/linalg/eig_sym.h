@@ -1,0 +1,31 @@
+// Symmetric eigendecomposition via the cyclic Jacobi rotation method.
+//
+// Used for the Gram-matrix fast path (eigenvectors of A^T A give the right
+// singular vectors of A) and as an independent check of the SVD. Jacobi is
+// O(n^3) per sweep but extremely robust and accurate for the small dense
+// symmetric matrices that arise here (n <= a few hundred).
+
+#ifndef NEUROPRINT_LINALG_EIG_SYM_H_
+#define NEUROPRINT_LINALG_EIG_SYM_H_
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace neuroprint::linalg {
+
+/// Eigendecomposition A = V diag(lambda) V^T of a symmetric matrix, with
+/// eigenvalues sorted in descending order and orthonormal columns in V.
+struct SymmetricEigenDecomposition {
+  Vector eigenvalues;
+  Matrix eigenvectors;  ///< Column j pairs with eigenvalues[j].
+};
+
+/// Computes the eigendecomposition of a symmetric matrix. Fails on
+/// non-square, non-finite, or materially asymmetric input (relative
+/// asymmetry > 1e-8), and if rotation sweeps do not converge.
+Result<SymmetricEigenDecomposition> EigSym(const Matrix& a,
+                                           int max_sweeps = 100);
+
+}  // namespace neuroprint::linalg
+
+#endif  // NEUROPRINT_LINALG_EIG_SYM_H_

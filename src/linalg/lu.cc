@@ -1,0 +1,116 @@
+#include "linalg/lu.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace neuroprint::linalg {
+
+Result<LuDecomposition> LuDecomposition::Compute(const Matrix& a) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n) {
+    return Status::InvalidArgument("LuDecomposition: matrix not square");
+  }
+  if (!a.AllFinite()) {
+    return Status::InvalidArgument("LuDecomposition: non-finite input");
+  }
+  Matrix lu = a;
+  std::vector<std::size_t> pivots(n);
+  int sign = 1;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: largest magnitude in column k at or below the diagonal.
+    std::size_t pivot = k;
+    double best = std::fabs(lu(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double mag = std::fabs(lu(i, k));
+      if (mag > best) {
+        best = mag;
+        pivot = i;
+      }
+    }
+    if (best == 0.0) {
+      return Status::FailedPrecondition(
+          StrFormat("LuDecomposition: singular matrix at column %zu", k));
+    }
+    pivots[k] = pivot;
+    if (pivot != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(lu(k, j), lu(pivot, j));
+      sign = -sign;
+    }
+    const double inv_pivot = 1.0 / lu(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double factor = lu(i, k) * inv_pivot;
+      lu(i, k) = factor;
+      if (factor == 0.0) continue;
+      for (std::size_t j = k + 1; j < n; ++j) lu(i, j) -= factor * lu(k, j);
+    }
+  }
+  return LuDecomposition(std::move(lu), std::move(pivots), sign);
+}
+
+Result<Vector> LuDecomposition::Solve(const Vector& b) const {
+  const std::size_t n = lu_.rows();
+  if (b.size() != n) {
+    return Status::InvalidArgument("LuDecomposition::Solve: size mismatch");
+  }
+  Vector x = b;
+  // Apply the row permutation.
+  for (std::size_t k = 0; k < n; ++k) {
+    if (pivots_[k] != k) std::swap(x[k], x[pivots_[k]]);
+  }
+  // Forward substitution with the unit-lower factor.
+  for (std::size_t i = 1; i < n; ++i) {
+    double sum = x[i];
+    for (std::size_t j = 0; j < i; ++j) sum -= lu_(i, j) * x[j];
+    x[i] = sum;
+  }
+  // Back substitution with U.
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double sum = x[i];
+    for (std::size_t j = i + 1; j < n; ++j) sum -= lu_(i, j) * x[j];
+    x[i] = sum / lu_(i, i);
+  }
+  return x;
+}
+
+Result<Matrix> LuDecomposition::Solve(const Matrix& b) const {
+  const std::size_t n = lu_.rows();
+  if (b.rows() != n) {
+    return Status::InvalidArgument("LuDecomposition::Solve: size mismatch");
+  }
+  Matrix x(n, b.cols());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    Result<Vector> col = Solve(b.ColCopy(j));
+    if (!col.ok()) return col.status();
+    x.SetCol(j, *col);
+  }
+  return x;
+}
+
+double LuDecomposition::Determinant() const {
+  double det = pivot_sign_;
+  for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+Result<Vector> LuSolve(const Matrix& a, const Vector& b) {
+  Result<LuDecomposition> lu = LuDecomposition::Compute(a);
+  if (!lu.ok()) return lu.status();
+  return lu->Solve(b);
+}
+
+Result<Matrix> Inverse(const Matrix& a) {
+  Result<LuDecomposition> lu = LuDecomposition::Compute(a);
+  if (!lu.ok()) return lu.status();
+  return lu->Solve(Matrix::Identity(a.rows()));
+}
+
+double Determinant(const Matrix& a) {
+  Result<LuDecomposition> lu = LuDecomposition::Compute(a);
+  if (!lu.ok()) return 0.0;
+  return lu->Determinant();
+}
+
+}  // namespace neuroprint::linalg

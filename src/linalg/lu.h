@@ -1,0 +1,49 @@
+// LU factorization with partial pivoting: general linear solves, inverse,
+// and determinant for small dense systems (affine transforms, registration).
+
+#ifndef NEUROPRINT_LINALG_LU_H_
+#define NEUROPRINT_LINALG_LU_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace neuroprint::linalg {
+
+/// Packed LU factorization P A = L U with partial pivoting.
+class LuDecomposition {
+ public:
+  /// Factors `a`; fails on singular input.
+  static Result<LuDecomposition> Compute(const Matrix& a);
+
+  /// Solves A x = b.
+  Result<Vector> Solve(const Vector& b) const;
+
+  /// Solves A X = B column-by-column.
+  Result<Matrix> Solve(const Matrix& b) const;
+
+  /// det(A), including the pivot sign.
+  double Determinant() const;
+
+ private:
+  LuDecomposition(Matrix lu, std::vector<std::size_t> pivots, int pivot_sign)
+      : lu_(std::move(lu)), pivots_(std::move(pivots)), pivot_sign_(pivot_sign) {}
+
+  Matrix lu_;  ///< L (unit diagonal, strictly lower) and U packed together.
+  std::vector<std::size_t> pivots_;
+  int pivot_sign_;
+};
+
+/// Solves A x = b via LU.
+Result<Vector> LuSolve(const Matrix& a, const Vector& b);
+
+/// Matrix inverse via LU; fails on singular input.
+Result<Matrix> Inverse(const Matrix& a);
+
+/// Determinant via LU (0 for singular).
+double Determinant(const Matrix& a);
+
+}  // namespace neuroprint::linalg
+
+#endif  // NEUROPRINT_LINALG_LU_H_

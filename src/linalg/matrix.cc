@@ -1,0 +1,257 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace neuroprint::linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    NP_CHECK_EQ(row.size(), cols_) << "ragged initializer list";
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::Identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Diagonal(const Vector& diag) {
+  Matrix m(diag.size(), diag.size());
+  for (std::size_t i = 0; i < diag.size(); ++i) m(i, i) = diag[i];
+  return m;
+}
+
+Vector Matrix::RowCopy(std::size_t i) const {
+  NP_CHECK_LT(i, rows_);
+  return Vector(RowPtr(i), RowPtr(i) + cols_);
+}
+
+Vector Matrix::ColCopy(std::size_t j) const {
+  NP_CHECK_LT(j, cols_);
+  Vector col(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) col[i] = (*this)(i, j);
+  return col;
+}
+
+void Matrix::SetRow(std::size_t i, const Vector& values) {
+  NP_CHECK_LT(i, rows_);
+  NP_CHECK_EQ(values.size(), cols_);
+  std::copy(values.begin(), values.end(), RowPtr(i));
+}
+
+void Matrix::SetCol(std::size_t j, const Vector& values) {
+  NP_CHECK_LT(j, cols_);
+  NP_CHECK_EQ(values.size(), rows_);
+  for (std::size_t i = 0; i < rows_; ++i) (*this)(i, j) = values[i];
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* src = RowPtr(i);
+    for (std::size_t j = 0; j < cols_; ++j) t(j, i) = src[j];
+  }
+  return t;
+}
+
+Matrix Matrix::Block(std::size_t row0, std::size_t col0, std::size_t row_count,
+                     std::size_t col_count) const {
+  NP_CHECK_LE(row0 + row_count, rows_);
+  NP_CHECK_LE(col0 + col_count, cols_);
+  Matrix b(row_count, col_count);
+  for (std::size_t i = 0; i < row_count; ++i) {
+    const double* src = RowPtr(row0 + i) + col0;
+    std::copy(src, src + col_count, b.RowPtr(i));
+  }
+  return b;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double Matrix::MaxAbs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+bool Matrix::AllFinite() const {
+  for (double v : data_) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  NP_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t k = 0; k < data_.size(); ++k) data_[k] += other.data_[k];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  NP_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t k = 0; k < data_.size(); ++k) data_[k] -= other.data_[k];
+  return *this;
+}
+
+void Matrix::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+std::string Matrix::ToString(std::size_t max_rows, std::size_t max_cols) const {
+  std::ostringstream os;
+  os << "[" << rows_ << "x" << cols_ << "]";
+  const std::size_t show_rows = std::min(rows_, max_rows);
+  const std::size_t show_cols = std::min(cols_, max_cols);
+  for (std::size_t i = 0; i < show_rows; ++i) {
+    os << "\n ";
+    for (std::size_t j = 0; j < show_cols; ++j) {
+      os << StrFormat("% .4g ", (*this)(i, j));
+    }
+    if (show_cols < cols_) os << "...";
+  }
+  if (show_rows < rows_) os << "\n ...";
+  return os.str();
+}
+
+Matrix operator+(const Matrix& a, const Matrix& b) {
+  Matrix c = a;
+  c += b;
+  return c;
+}
+
+Matrix operator-(const Matrix& a, const Matrix& b) {
+  Matrix c = a;
+  c -= b;
+  return c;
+}
+
+Matrix operator*(const Matrix& a, double s) {
+  Matrix c = a;
+  c *= s;
+  return c;
+}
+
+Matrix operator*(double s, const Matrix& a) { return a * s; }
+
+bool AlmostEqual(const Matrix& a, const Matrix& b, double tol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      if (std::fabs(a(i, j) - b(i, j)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  NP_CHECK_EQ(a.cols(), b.rows())
+      << "MatMul shape mismatch: " << a.rows() << "x" << a.cols() << " * "
+      << b.rows() << "x" << b.cols();
+  Matrix c(a.rows(), b.cols());
+  // i-k-j loop order streams both B and C rows; good locality for row-major.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double* crow = c.RowPtr(i);
+    const double* arow = a.RowPtr(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = arow[k];
+      if (aik == 0.0) continue;
+      const double* brow = b.RowPtr(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatTMul(const Matrix& a, const Matrix& b) {
+  NP_CHECK_EQ(a.rows(), b.rows());
+  Matrix c(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const double* arow = a.RowPtr(k);
+    const double* brow = b.RowPtr(k);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double aki = arow[i];
+      if (aki == 0.0) continue;
+      double* crow = c.RowPtr(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulT(const Matrix& a, const Matrix& b) {
+  NP_CHECK_EQ(a.cols(), b.cols());
+  Matrix c(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.RowPtr(i);
+    double* crow = c.RowPtr(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const double* brow = b.RowPtr(j);
+      double sum = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) sum += arow[k] * brow[k];
+      crow[j] = sum;
+    }
+  }
+  return c;
+}
+
+Vector MatVec(const Matrix& a, const Vector& x) {
+  NP_CHECK_EQ(a.cols(), x.size());
+  Vector y(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.RowPtr(i);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) sum += row[j] * x[j];
+    y[i] = sum;
+  }
+  return y;
+}
+
+Vector MatTVec(const Matrix& a, const Vector& x) {
+  NP_CHECK_EQ(a.rows(), x.size());
+  Vector y(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    const double* row = a.RowPtr(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += row[j] * xi;
+  }
+  return y;
+}
+
+Matrix Gram(const Matrix& a) {
+  const std::size_t n = a.cols();
+  Matrix g(n, n);
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const double* row = a.RowPtr(k);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ri = row[i];
+      if (ri == 0.0) continue;
+      double* grow = g.RowPtr(i);
+      for (std::size_t j = i; j < n; ++j) grow[j] += ri * row[j];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+  }
+  return g;
+}
+
+}  // namespace neuroprint::linalg

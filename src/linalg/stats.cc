@@ -1,0 +1,177 @@
+#include "linalg/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace neuroprint::linalg {
+
+Vector RowMeans(const Matrix& m) {
+  Vector means(m.rows(), 0.0);
+  if (m.cols() == 0) return means;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const double* row = m.RowPtr(i);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < m.cols(); ++j) sum += row[j];
+    means[i] = sum / static_cast<double>(m.cols());
+  }
+  return means;
+}
+
+Vector ColMeans(const Matrix& m) {
+  Vector means(m.cols(), 0.0);
+  if (m.rows() == 0) return means;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const double* row = m.RowPtr(i);
+    for (std::size_t j = 0; j < m.cols(); ++j) means[j] += row[j];
+  }
+  for (double& v : means) v /= static_cast<double>(m.rows());
+  return means;
+}
+
+Vector RowStdDevs(const Matrix& m) {
+  Vector sds(m.rows(), 0.0);
+  if (m.cols() < 2) return sds;
+  const Vector means = RowMeans(m);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const double* row = m.RowPtr(i);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      const double d = row[j] - means[i];
+      sum += d * d;
+    }
+    sds[i] = std::sqrt(sum / static_cast<double>(m.cols() - 1));
+  }
+  return sds;
+}
+
+void ZScoreRowsInPlace(Matrix& m) {
+  if (m.cols() == 0) return;
+  const Vector means = RowMeans(m);
+  const Vector sds = RowStdDevs(m);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    double* row = m.RowPtr(i);
+    if (sds[i] <= 0.0) {
+      std::fill(row, row + m.cols(), 0.0);
+      continue;
+    }
+    const double inv = 1.0 / sds[i];
+    for (std::size_t j = 0; j < m.cols(); ++j) row[j] = (row[j] - means[i]) * inv;
+  }
+}
+
+void ZScoreColsInPlace(Matrix& m) {
+  if (m.rows() == 0) return;
+  for (std::size_t j = 0; j < m.cols(); ++j) {
+    double mean = 0.0;
+    for (std::size_t i = 0; i < m.rows(); ++i) mean += m(i, j);
+    mean /= static_cast<double>(m.rows());
+    double var = 0.0;
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+      const double d = m(i, j) - mean;
+      var += d * d;
+    }
+    const double sd =
+        m.rows() > 1 ? std::sqrt(var / static_cast<double>(m.rows() - 1)) : 0.0;
+    if (sd <= 0.0) {
+      for (std::size_t i = 0; i < m.rows(); ++i) m(i, j) = 0.0;
+      continue;
+    }
+    const double inv = 1.0 / sd;
+    for (std::size_t i = 0; i < m.rows(); ++i) m(i, j) = (m(i, j) - mean) * inv;
+  }
+}
+
+Vector RowNormsSquared(const Matrix& m) {
+  Vector norms(m.rows(), 0.0);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const double* row = m.RowPtr(i);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < m.cols(); ++j) sum += row[j] * row[j];
+    norms[i] = sum;
+  }
+  return norms;
+}
+
+Matrix RowCovariance(const Matrix& m) {
+  const std::size_t p = m.rows();
+  const std::size_t n = m.cols();
+  Matrix cov(p, p);
+  if (n < 2) return cov;
+  Matrix centered = m;
+  const Vector means = RowMeans(m);
+  for (std::size_t i = 0; i < p; ++i) {
+    double* row = centered.RowPtr(i);
+    for (std::size_t j = 0; j < n; ++j) row[j] -= means[i];
+  }
+  cov = MatMulT(centered, centered);
+  cov *= 1.0 / static_cast<double>(n - 1);
+  return cov;
+}
+
+Matrix RowCorrelation(const Matrix& m) {
+  const std::size_t p = m.rows();
+  Matrix centered = m;
+  const Vector means = RowMeans(m);
+  Vector norms(p, 0.0);
+  for (std::size_t i = 0; i < p; ++i) {
+    double* row = centered.RowPtr(i);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      row[j] -= means[i];
+      sum += row[j] * row[j];
+    }
+    norms[i] = std::sqrt(sum);
+  }
+  Matrix corr = MatMulT(centered, centered);
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = 0; j < p; ++j) {
+      const double denom = norms[i] * norms[j];
+      if (i == j) {
+        corr(i, j) = 1.0;
+      } else if (denom > 0.0) {
+        corr(i, j) = std::clamp(corr(i, j) / denom, -1.0, 1.0);
+      } else {
+        corr(i, j) = 0.0;
+      }
+    }
+  }
+  return corr;
+}
+
+Matrix ColumnCrossCorrelation(const Matrix& a, const Matrix& b) {
+  NP_CHECK_EQ(a.rows(), b.rows())
+      << "ColumnCrossCorrelation: feature dimension mismatch";
+  const std::size_t features = a.rows();
+
+  // Center and norm the columns of both matrices, then one gemm.
+  auto centered_with_norms = [features](const Matrix& m, Vector& norms) {
+    Matrix c = m;
+    norms.assign(m.cols(), 0.0);
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      double mean = 0.0;
+      for (std::size_t i = 0; i < features; ++i) mean += c(i, j);
+      if (features > 0) mean /= static_cast<double>(features);
+      double sum = 0.0;
+      for (std::size_t i = 0; i < features; ++i) {
+        c(i, j) -= mean;
+        sum += c(i, j) * c(i, j);
+      }
+      norms[j] = std::sqrt(sum);
+    }
+    return c;
+  };
+
+  Vector norms_a, norms_b;
+  const Matrix ca = centered_with_norms(a, norms_a);
+  const Matrix cb = centered_with_norms(b, norms_b);
+  Matrix corr = MatTMul(ca, cb);
+  for (std::size_t i = 0; i < corr.rows(); ++i) {
+    for (std::size_t j = 0; j < corr.cols(); ++j) {
+      const double denom = norms_a[i] * norms_b[j];
+      corr(i, j) = denom > 0.0 ? std::clamp(corr(i, j) / denom, -1.0, 1.0) : 0.0;
+    }
+  }
+  return corr;
+}
+
+}  // namespace neuroprint::linalg

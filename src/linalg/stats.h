@@ -1,0 +1,48 @@
+// Matrix-level statistics: row/column moments, z-scoring, covariance and
+// Pearson correlation matrices. These are the primitives the connectome
+// builder and the matcher are written in terms of.
+
+#ifndef NEUROPRINT_LINALG_STATS_H_
+#define NEUROPRINT_LINALG_STATS_H_
+
+#include "linalg/matrix.h"
+
+namespace neuroprint::linalg {
+
+/// Mean of each row (length rows()).
+Vector RowMeans(const Matrix& m);
+
+/// Mean of each column (length cols()).
+Vector ColMeans(const Matrix& m);
+
+/// Sample standard deviation (n-1) of each row.
+Vector RowStdDevs(const Matrix& m);
+
+/// Z-scores every row in place ((x - mean) / sd per row); constant rows
+/// become all zeros. This is the paper's normalization of voxel/region
+/// time-series matrices (rows are signals, columns are time points).
+void ZScoreRowsInPlace(Matrix& m);
+
+/// Z-scores every column in place.
+void ZScoreColsInPlace(Matrix& m);
+
+/// Squared L2 norm of each row (the l2 sampling weights of Eq. 1).
+Vector RowNormsSquared(const Matrix& m);
+
+/// Sample covariance of the rows-as-variables layout: m is
+/// variables x observations; result is variables x variables.
+Matrix RowCovariance(const Matrix& m);
+
+/// Pearson correlation matrix of the rows of `m` (variables x observations
+/// layout). Rows with zero variance correlate 0 with everything and 1 with
+/// themselves. This is the connectome kernel: rows are region time series.
+Matrix RowCorrelation(const Matrix& m);
+
+/// Pearson correlation between every column of `a` and every column of `b`
+/// (both feature-major: features x items). Result is a.cols() x b.cols().
+/// This is the cross-dataset similarity matrix of the attack.
+Matrix ColumnCrossCorrelation(const Matrix& a, const Matrix& b);
+
+}  // namespace neuroprint::linalg
+
+#endif  // NEUROPRINT_LINALG_STATS_H_

@@ -1,0 +1,117 @@
+#include "linalg/vector_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace neuroprint::linalg {
+
+double Dot(const Vector& x, const Vector& y) {
+  NP_CHECK_EQ(x.size(), y.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) sum += x[i] * y[i];
+  return sum;
+}
+
+double Norm2(const Vector& x) { return std::sqrt(Norm2Squared(x)); }
+
+double Norm2Squared(const Vector& x) {
+  double sum = 0.0;
+  for (double v : x) sum += v * v;
+  return sum;
+}
+
+double Norm1(const Vector& x) {
+  double sum = 0.0;
+  for (double v : x) sum += std::fabs(v);
+  return sum;
+}
+
+double NormInf(const Vector& x) {
+  double m = 0.0;
+  for (double v : x) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+void Axpy(double alpha, const Vector& x, Vector& y) {
+  NP_CHECK_EQ(x.size(), y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void Scale(double alpha, Vector& x) {
+  for (double& v : x) v *= alpha;
+}
+
+double NormalizeInPlace(Vector& x) {
+  const double n = Norm2(x);
+  if (n > 0.0) Scale(1.0 / n, x);
+  return n;
+}
+
+double Mean(const Vector& x) {
+  if (x.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : x) sum += v;
+  return sum / static_cast<double>(x.size());
+}
+
+double Variance(const Vector& x) {
+  if (x.size() < 2) return 0.0;
+  const double mu = Mean(x);
+  double sum = 0.0;
+  for (double v : x) {
+    const double d = v - mu;
+    sum += d * d;
+  }
+  return sum / static_cast<double>(x.size() - 1);
+}
+
+double StdDev(const Vector& x) { return std::sqrt(Variance(x)); }
+
+double PearsonCorrelation(const Vector& x, const Vector& y) {
+  NP_CHECK_EQ(x.size(), y.size());
+  const std::size_t n = x.size();
+  if (n < 2) return 0.0;
+  const double mx = Mean(x);
+  const double my = Mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+void CenterInPlace(Vector& x) {
+  const double mu = Mean(x);
+  for (double& v : x) v -= mu;
+}
+
+void ZScoreInPlace(Vector& x) {
+  const double mu = Mean(x);
+  const double sd = StdDev(x);
+  if (sd <= 0.0) {
+    std::fill(x.begin(), x.end(), 0.0);
+    return;
+  }
+  for (double& v : x) v = (v - mu) / sd;
+}
+
+Vector Add(const Vector& x, const Vector& y) {
+  NP_CHECK_EQ(x.size(), y.size());
+  Vector z(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) z[i] = x[i] + y[i];
+  return z;
+}
+
+Vector Subtract(const Vector& x, const Vector& y) {
+  NP_CHECK_EQ(x.size(), y.size());
+  Vector z(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) z[i] = x[i] - y[i];
+  return z;
+}
+
+}  // namespace neuroprint::linalg

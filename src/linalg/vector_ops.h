@@ -1,0 +1,65 @@
+// Free functions on linalg::Vector: dot products, norms, scaling,
+// elementary statistics. These are the level-1 kernels used throughout the
+// preprocessing and attack code.
+
+#ifndef NEUROPRINT_LINALG_VECTOR_OPS_H_
+#define NEUROPRINT_LINALG_VECTOR_OPS_H_
+
+#include <cstddef>
+
+#include "linalg/matrix.h"
+
+namespace neuroprint::linalg {
+
+/// <x, y>. Sizes must match.
+double Dot(const Vector& x, const Vector& y);
+
+/// Euclidean norm ||x||_2.
+double Norm2(const Vector& x);
+
+/// Squared Euclidean norm.
+double Norm2Squared(const Vector& x);
+
+/// L1 norm.
+double Norm1(const Vector& x);
+
+/// max |x_i| (0 for empty).
+double NormInf(const Vector& x);
+
+/// y += alpha * x.
+void Axpy(double alpha, const Vector& x, Vector& y);
+
+/// x *= alpha.
+void Scale(double alpha, Vector& x);
+
+/// Normalizes x to unit 2-norm in place; returns the original norm.
+/// A zero vector is left unchanged (returns 0).
+double NormalizeInPlace(Vector& x);
+
+/// Arithmetic mean (0 for empty).
+double Mean(const Vector& x);
+
+/// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+double Variance(const Vector& x);
+
+/// sqrt(Variance).
+double StdDev(const Vector& x);
+
+/// Pearson correlation of two equal-length vectors. Returns 0 when either
+/// input has zero variance (the degenerate-signal convention used for
+/// constant fMRI time series).
+double PearsonCorrelation(const Vector& x, const Vector& y);
+
+/// Subtracts the mean in place.
+void CenterInPlace(Vector& x);
+
+/// (x - mean) / stddev in place; a zero-variance vector becomes all zeros.
+void ZScoreInPlace(Vector& x);
+
+/// Element-wise sum / difference.
+Vector Add(const Vector& x, const Vector& y);
+Vector Subtract(const Vector& x, const Vector& y);
+
+}  // namespace neuroprint::linalg
+
+#endif  // NEUROPRINT_LINALG_VECTOR_OPS_H_

@@ -1,0 +1,289 @@
+#include "nifti/nifti_header.h"
+
+#include <cstring>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace neuroprint::nifti {
+namespace {
+
+// Little-endian byte-buffer writer with fixed-offset puts.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::size_t size) : bytes_(size, 0) {}
+
+  void PutI16(std::size_t offset, std::int16_t v) {
+    PutBytes(offset, &v, sizeof(v));
+  }
+  void PutI32(std::size_t offset, std::int32_t v) {
+    PutBytes(offset, &v, sizeof(v));
+  }
+  void PutF32(std::size_t offset, float v) { PutBytes(offset, &v, sizeof(v)); }
+  void PutBytesRaw(std::size_t offset, const void* src, std::size_t n) {
+    PutBytes(offset, src, n);
+  }
+
+  std::vector<std::uint8_t> Take() { return std::move(bytes_); }
+
+ private:
+  void PutBytes(std::size_t offset, const void* src, std::size_t n) {
+    NP_CHECK_LE(offset + n, bytes_.size());
+    // Host is assumed little-endian (x86/ARM Linux); a static_assert-style
+    // runtime check guards the assumption in DecodeHeader.
+    std::memcpy(bytes_.data() + offset, src, n);
+  }
+
+  std::vector<std::uint8_t> bytes_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const std::vector<std::uint8_t>& bytes, bool swap)
+      : bytes_(bytes), swap_(swap) {}
+
+  std::int16_t GetI16(std::size_t offset) const {
+    std::uint8_t b[2];
+    Copy(offset, b, 2);
+    return static_cast<std::int16_t>(static_cast<std::uint16_t>(b[0]) |
+                                     (static_cast<std::uint16_t>(b[1]) << 8));
+  }
+  std::int32_t GetI32(std::size_t offset) const {
+    std::uint8_t b[4];
+    Copy(offset, b, 4);
+    return static_cast<std::int32_t>(
+        static_cast<std::uint32_t>(b[0]) |
+        (static_cast<std::uint32_t>(b[1]) << 8) |
+        (static_cast<std::uint32_t>(b[2]) << 16) |
+        (static_cast<std::uint32_t>(b[3]) << 24));
+  }
+  float GetF32(std::size_t offset) const {
+    const std::int32_t bits = GetI32(offset);
+    float out;
+    std::memcpy(&out, &bits, sizeof(out));
+    return out;
+  }
+  void GetRaw(std::size_t offset, void* dst, std::size_t n) const {
+    NP_CHECK_LE(offset + n, bytes_.size());
+    std::memcpy(dst, bytes_.data() + offset, n);
+  }
+
+ private:
+  void Copy(std::size_t offset, std::uint8_t* dst, std::size_t n) const {
+    NP_CHECK_LE(offset + n, bytes_.size());
+    if (!swap_) {
+      std::memcpy(dst, bytes_.data() + offset, n);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        dst[i] = bytes_[offset + n - 1 - i];
+      }
+    }
+  }
+
+  const std::vector<std::uint8_t>& bytes_;
+  bool swap_;
+};
+
+// Header field offsets (NIfTI-1 specification).
+constexpr std::size_t kOffSizeofHdr = 0;
+constexpr std::size_t kOffDim = 40;
+constexpr std::size_t kOffDatatype = 70;
+constexpr std::size_t kOffBitpix = 72;
+constexpr std::size_t kOffPixdim = 76;
+constexpr std::size_t kOffVoxOffset = 108;
+constexpr std::size_t kOffSclSlope = 112;
+constexpr std::size_t kOffSclInter = 116;
+constexpr std::size_t kOffXyztUnits = 123;
+constexpr std::size_t kOffCalMax = 124;
+constexpr std::size_t kOffCalMin = 128;
+constexpr std::size_t kOffToffset = 136;
+constexpr std::size_t kOffDescrip = 148;
+constexpr std::size_t kOffQformCode = 252;
+constexpr std::size_t kOffSformCode = 254;
+constexpr std::size_t kOffSrowX = 280;
+constexpr std::size_t kOffSrowY = 296;
+constexpr std::size_t kOffSrowZ = 312;
+constexpr std::size_t kOffMagic = 344;
+
+}  // namespace
+
+Result<int> BitsPerVoxel(DataType type) {
+  switch (type) {
+    case DataType::kUint8:
+      return 8;
+    case DataType::kInt16:
+      return 16;
+    case DataType::kInt32:
+    case DataType::kFloat32:
+      return 32;
+    case DataType::kFloat64:
+      return 64;
+  }
+  return Status::InvalidArgument(
+      StrFormat("unsupported NIfTI datatype code %d", static_cast<int>(type)));
+}
+
+bool IsSupportedDataType(std::int16_t code) {
+  switch (static_cast<DataType>(code)) {
+    case DataType::kUint8:
+    case DataType::kInt16:
+    case DataType::kInt32:
+    case DataType::kFloat32:
+    case DataType::kFloat64:
+      return true;
+  }
+  return false;
+}
+
+Result<std::size_t> NiftiHeader::VoxelCount() const {
+  if (dim[0] < 1 || dim[0] > 7) {
+    return Status::CorruptData(
+        StrFormat("NIfTI dim[0] out of range: %d", dim[0]));
+  }
+  std::size_t count = 1;
+  for (int d = 1; d <= dim[0]; ++d) {
+    if (dim[d] < 1) {
+      return Status::CorruptData(
+          StrFormat("NIfTI dim[%d] non-positive: %d", d, dim[d]));
+    }
+    count *= static_cast<std::size_t>(dim[d]);
+  }
+  return count;
+}
+
+Status NiftiHeader::Validate() const {
+  Result<std::size_t> count = VoxelCount();
+  if (!count.ok()) return count.status();
+  if (!IsSupportedDataType(static_cast<std::int16_t>(datatype))) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported NIfTI datatype code %d",
+                  static_cast<int>(datatype)));
+  }
+  if (vox_offset < static_cast<float>(kNiftiHeaderSize)) {
+    return Status::CorruptData(
+        StrFormat("NIfTI vox_offset %.1f overlaps the header", vox_offset));
+  }
+  for (int d = 5; d <= 7; ++d) {
+    if (dim[0] >= d && dim[d] > 1) {
+      return Status::Unimplemented(
+          "NIfTI images with more than 4 dimensions are not supported");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::uint8_t> EncodeHeader(const NiftiHeader& header) {
+  ByteWriter w(kNiftiHeaderSize);
+  w.PutI32(kOffSizeofHdr, static_cast<std::int32_t>(kNiftiHeaderSize));
+  for (std::size_t d = 0; d < 8; ++d) {
+    w.PutI16(kOffDim + 2 * d, header.dim[d]);
+  }
+  w.PutI16(kOffDatatype, static_cast<std::int16_t>(header.datatype));
+  const Result<int> bits = BitsPerVoxel(header.datatype);
+  w.PutI16(kOffBitpix, static_cast<std::int16_t>(bits.ok() ? *bits : 0));
+  for (std::size_t d = 0; d < 8; ++d) {
+    w.PutF32(kOffPixdim + 4 * d, header.pixdim[d]);
+  }
+  w.PutF32(kOffVoxOffset, header.vox_offset);
+  w.PutF32(kOffSclSlope, header.scl_slope);
+  w.PutF32(kOffSclInter, header.scl_inter);
+  char units = header.xyzt_units;
+  w.PutBytesRaw(kOffXyztUnits, &units, 1);
+  w.PutF32(kOffCalMax, header.cal_max);
+  w.PutF32(kOffCalMin, header.cal_min);
+  w.PutF32(kOffToffset, header.toffset);
+  char descrip[80] = {0};
+  std::snprintf(descrip, sizeof(descrip), "%s", header.description.c_str());
+  w.PutBytesRaw(kOffDescrip, descrip, sizeof(descrip));
+  w.PutI16(kOffQformCode, header.qform_code);
+  w.PutI16(kOffSformCode, header.sform_code);
+  const std::size_t srow_offsets[3] = {kOffSrowX, kOffSrowY, kOffSrowZ};
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      w.PutF32(srow_offsets[r] + 4 * c, header.srow[r][c]);
+    }
+  }
+  const char magic[4] = {'n', '+', '1', '\0'};
+  w.PutBytesRaw(kOffMagic, magic, 4);
+  return w.Take();
+}
+
+Result<NiftiHeader> DecodeHeader(const std::vector<std::uint8_t>& bytes,
+                                 bool* swapped) {
+  // Codec assumes a little-endian host.
+  const std::uint16_t probe = 1;
+  std::uint8_t probe_bytes[2];
+  std::memcpy(probe_bytes, &probe, 2);
+  NP_CHECK_EQ(probe_bytes[0], 1) << "big-endian hosts are not supported";
+
+  if (bytes.size() < kNiftiHeaderSize) {
+    return Status::CorruptData(
+        StrFormat("NIfTI header truncated: %zu bytes (need %zu)",
+                  bytes.size(), kNiftiHeaderSize));
+  }
+
+  // sizeof_hdr doubles as the endianness sentinel: 348 read straight means
+  // native order; 348 after swapping means the file is byte-swapped.
+  ByteReader native(bytes, /*swap=*/false);
+  bool swap = false;
+  if (native.GetI32(kOffSizeofHdr) != static_cast<std::int32_t>(kNiftiHeaderSize)) {
+    ByteReader swapped_reader(bytes, /*swap=*/true);
+    if (swapped_reader.GetI32(kOffSizeofHdr) !=
+        static_cast<std::int32_t>(kNiftiHeaderSize)) {
+      return Status::CorruptData("not a NIfTI-1 file (bad sizeof_hdr)");
+    }
+    swap = true;
+  }
+  ByteReader r(bytes, swap);
+
+  char magic[4];
+  r.GetRaw(kOffMagic, magic, 4);
+  const bool single_file = std::memcmp(magic, "n+1", 4) == 0;
+  const bool pair_file = std::memcmp(magic, "ni1", 4) == 0;
+  if (!single_file && !pair_file) {
+    return Status::CorruptData("not a NIfTI-1 file (bad magic)");
+  }
+  if (pair_file) {
+    return Status::Unimplemented(
+        "two-file NIfTI (.hdr/.img) pairs are not supported; use .nii");
+  }
+
+  NiftiHeader header;
+  for (std::size_t d = 0; d < 8; ++d) {
+    header.dim[d] = r.GetI16(kOffDim + 2 * d);
+  }
+  const std::int16_t datatype_code = r.GetI16(kOffDatatype);
+  if (!IsSupportedDataType(datatype_code)) {
+    return Status::Unimplemented(
+        StrFormat("unsupported NIfTI datatype code %d", datatype_code));
+  }
+  header.datatype = static_cast<DataType>(datatype_code);
+  for (std::size_t d = 0; d < 8; ++d) {
+    header.pixdim[d] = r.GetF32(kOffPixdim + 4 * d);
+  }
+  header.vox_offset = r.GetF32(kOffVoxOffset);
+  header.scl_slope = r.GetF32(kOffSclSlope);
+  header.scl_inter = r.GetF32(kOffSclInter);
+  r.GetRaw(kOffXyztUnits, &header.xyzt_units, 1);
+  header.cal_max = r.GetF32(kOffCalMax);
+  header.cal_min = r.GetF32(kOffCalMin);
+  header.toffset = r.GetF32(kOffToffset);
+  char descrip[81] = {0};
+  r.GetRaw(kOffDescrip, descrip, 80);
+  header.description = descrip;
+  header.qform_code = r.GetI16(kOffQformCode);
+  header.sform_code = r.GetI16(kOffSformCode);
+  const std::size_t srow_offsets[3] = {kOffSrowX, kOffSrowY, kOffSrowZ};
+  for (std::size_t row = 0; row < 3; ++row) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      header.srow[row][c] = r.GetF32(srow_offsets[row] + 4 * c);
+    }
+  }
+
+  const Status valid = header.Validate();
+  if (!valid.ok()) return valid;
+  if (swapped != nullptr) *swapped = swap;
+  return header;
+}
+
+}  // namespace neuroprint::nifti

@@ -1,0 +1,82 @@
+// NIfTI-1 header model and its 348-byte binary codec.
+//
+// The header is serialized field-by-field (no struct memcpy) so the codec
+// is layout- and endianness-portable: files written by big-endian scanners
+// are detected via the sizeof_hdr sentinel and byte-swapped on read.
+
+#ifndef NEUROPRINT_NIFTI_NIFTI_HEADER_H_
+#define NEUROPRINT_NIFTI_NIFTI_HEADER_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace neuroprint::nifti {
+
+/// On-disk voxel data type codes (the NIfTI-1 subset neuroprint supports).
+enum class DataType : std::int16_t {
+  kUint8 = 2,
+  kInt16 = 4,
+  kInt32 = 8,
+  kFloat32 = 16,
+  kFloat64 = 64,
+};
+
+/// Bits per voxel for a data type code.
+Result<int> BitsPerVoxel(DataType type);
+
+/// True if `code` is one of the supported DataType values.
+bool IsSupportedDataType(std::int16_t code);
+
+/// Size of the NIfTI-1 header on disk.
+inline constexpr std::size_t kNiftiHeaderSize = 348;
+
+/// Decoded NIfTI-1 header. Only the fields the library acts on are modelled
+/// explicitly; everything else round-trips through defaults.
+struct NiftiHeader {
+  /// dim[0] = number of dimensions; dim[1..7] = extent per dimension.
+  std::array<std::int16_t, 8> dim = {3, 1, 1, 1, 1, 1, 1, 1};
+  DataType datatype = DataType::kFloat32;
+  /// pixdim[1..3] voxel size (mm), pixdim[4] TR (seconds by convention
+  /// here; xyzt_units records the actual units).
+  std::array<float, 8> pixdim = {1.f, 1.f, 1.f, 1.f, 1.f, 1.f, 1.f, 1.f};
+  float vox_offset = 352.0f;  ///< Data offset in a single .nii file.
+  float scl_slope = 1.0f;     ///< Stored-to-real scaling: real = slope*v + inter.
+  float scl_inter = 0.0f;
+  float cal_min = 0.0f;
+  float cal_max = 0.0f;
+  float toffset = 0.0f;
+  std::string description;  ///< Up to 79 chars.
+  std::int16_t qform_code = 0;
+  std::int16_t sform_code = 1;
+  /// sform affine rows (voxel indices -> mm coordinates).
+  std::array<std::array<float, 4>, 3> srow = {{{1, 0, 0, 0},
+                                               {0, 1, 0, 0},
+                                               {0, 0, 1, 0}}};
+  char xyzt_units = 0x0A;  ///< NIFTI_UNITS_MM | NIFTI_UNITS_SEC.
+
+  /// Number of voxels implied by dim (product over dim[1..dim[0]]).
+  Result<std::size_t> VoxelCount() const;
+
+  /// Validates structural invariants (dim range, supported datatype,
+  /// positive extents, sane vox_offset).
+  Status Validate() const;
+};
+
+/// Serializes to exactly kNiftiHeaderSize bytes (little-endian, "n+1"
+/// single-file magic).
+std::vector<std::uint8_t> EncodeHeader(const NiftiHeader& header);
+
+/// Parses a header from `bytes` (at least kNiftiHeaderSize). Detects and
+/// handles byte-swapped (big-endian) headers. `swapped` (optional out)
+/// reports whether swapping was applied — the voxel data needs the same
+/// treatment.
+Result<NiftiHeader> DecodeHeader(const std::vector<std::uint8_t>& bytes,
+                                 bool* swapped = nullptr);
+
+}  // namespace neuroprint::nifti
+
+#endif  // NEUROPRINT_NIFTI_NIFTI_HEADER_H_

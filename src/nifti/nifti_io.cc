@@ -1,0 +1,312 @@
+#include "nifti/nifti_io.h"
+
+#include <zlib.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <limits>
+
+#include "util/string_util.h"
+
+namespace neuroprint::nifti {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Raw / gzip file slurping
+
+Result<std::vector<std::uint8_t>> ReadWholeFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary | std::ios::ate);
+  if (!file) return Status::IOError("cannot open: " + path);
+  const std::streamsize size = file.tellg();
+  file.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  if (size > 0 &&
+      !file.read(reinterpret_cast<char*>(bytes.data()), size)) {
+    return Status::IOError("read failed: " + path);
+  }
+  return bytes;
+}
+
+bool LooksGzipped(const std::vector<std::uint8_t>& bytes) {
+  return bytes.size() >= 2 && bytes[0] == 0x1f && bytes[1] == 0x8b;
+}
+
+Result<std::vector<std::uint8_t>> GunzipFile(const std::string& path) {
+  gzFile gz = gzopen(path.c_str(), "rb");
+  if (gz == nullptr) return Status::IOError("cannot open gzip file: " + path);
+  std::vector<std::uint8_t> out;
+  std::vector<std::uint8_t> chunk(1 << 20);
+  while (true) {
+    const int n = gzread(gz, chunk.data(), static_cast<unsigned>(chunk.size()));
+    if (n < 0) {
+      gzclose(gz);
+      return Status::CorruptData("gzip decompression failed: " + path);
+    }
+    if (n == 0) break;
+    out.insert(out.end(), chunk.begin(), chunk.begin() + n);
+  }
+  gzclose(gz);
+  return out;
+}
+
+Status WriteBytes(const std::string& path, const std::vector<std::uint8_t>& bytes,
+                  bool gzip) {
+  if (gzip) {
+    gzFile gz = gzopen(path.c_str(), "wb6");
+    if (gz == nullptr) return Status::IOError("cannot open for write: " + path);
+    std::size_t written = 0;
+    while (written < bytes.size()) {
+      const unsigned chunk = static_cast<unsigned>(
+          std::min<std::size_t>(bytes.size() - written, 1u << 20));
+      if (gzwrite(gz, bytes.data() + written, chunk) !=
+          static_cast<int>(chunk)) {
+        gzclose(gz);
+        return Status::IOError("gzip write failed: " + path);
+      }
+      written += chunk;
+    }
+    if (gzclose(gz) != Z_OK) return Status::IOError("gzip close failed: " + path);
+    return Status::OK();
+  }
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return Status::IOError("cannot open for write: " + path);
+  file.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  if (!file) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Voxel decoding
+
+template <typename T>
+double DecodeValue(const std::uint8_t* src, bool swap) {
+  std::uint8_t buf[sizeof(T)];
+  if (!swap) {
+    std::memcpy(buf, src, sizeof(T));
+  } else {
+    for (std::size_t i = 0; i < sizeof(T); ++i) buf[i] = src[sizeof(T) - 1 - i];
+  }
+  T value;
+  std::memcpy(&value, buf, sizeof(T));
+  return static_cast<double>(value);
+}
+
+Status DecodeVoxels(const std::vector<std::uint8_t>& bytes,
+                    std::size_t offset, const NiftiHeader& header, bool swap,
+                    std::vector<float>& out) {
+  const Result<std::size_t> count_result = header.VoxelCount();
+  if (!count_result.ok()) return count_result.status();
+  const std::size_t count = *count_result;
+  const Result<int> bits = BitsPerVoxel(header.datatype);
+  if (!bits.ok()) return bits.status();
+  const std::size_t voxel_bytes = static_cast<std::size_t>(*bits) / 8;
+  if (offset + count * voxel_bytes > bytes.size()) {
+    return Status::CorruptData(StrFormat(
+        "NIfTI voxel data truncated: need %zu bytes at offset %zu, have %zu",
+        count * voxel_bytes, offset, bytes.size()));
+  }
+  // scl_slope == 0 means "no scaling" per the NIfTI spec.
+  const double slope = header.scl_slope != 0.0f ? header.scl_slope : 1.0;
+  const double inter = header.scl_slope != 0.0f ? header.scl_inter : 0.0;
+
+  out.resize(count);
+  const std::uint8_t* src = bytes.data() + offset;
+  for (std::size_t i = 0; i < count; ++i, src += voxel_bytes) {
+    double raw = 0.0;
+    switch (header.datatype) {
+      case DataType::kUint8:
+        raw = static_cast<double>(*src);
+        break;
+      case DataType::kInt16:
+        raw = DecodeValue<std::int16_t>(src, swap);
+        break;
+      case DataType::kInt32:
+        raw = DecodeValue<std::int32_t>(src, swap);
+        break;
+      case DataType::kFloat32:
+        raw = DecodeValue<float>(src, swap);
+        break;
+      case DataType::kFloat64:
+        raw = DecodeValue<double>(src, swap);
+        break;
+    }
+    out[i] = static_cast<float>(slope * raw + inter);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Voxel encoding
+
+template <typename T>
+void EncodeValue(double v, std::uint8_t* dst) {
+  T value;
+  if constexpr (std::is_integral_v<T>) {
+    const double lo = static_cast<double>(std::numeric_limits<T>::min());
+    const double hi = static_cast<double>(std::numeric_limits<T>::max());
+    value = static_cast<T>(std::llround(std::clamp(v, lo, hi)));
+  } else {
+    value = static_cast<T>(v);
+  }
+  std::memcpy(dst, &value, sizeof(T));
+}
+
+// Chooses slope/inter so the data range maps onto the integer range.
+void IntegerScaling(const std::vector<float>& data, double type_min,
+                    double type_max, float& slope, float& inter) {
+  float lo = std::numeric_limits<float>::max();
+  float hi = std::numeric_limits<float>::lowest();
+  for (float v : data) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (data.empty() || hi <= lo) {
+    slope = 1.0f;
+    inter = data.empty() ? 0.0f : lo;
+    return;
+  }
+  slope = static_cast<float>((static_cast<double>(hi) - lo) /
+                             (type_max - type_min));
+  inter = static_cast<float>(lo - slope * type_min);
+}
+
+}  // namespace
+
+Result<NiftiImage> ReadNifti(const std::string& path) {
+  Result<std::vector<std::uint8_t>> raw = ReadWholeFile(path);
+  if (!raw.ok()) return raw.status();
+  std::vector<std::uint8_t> bytes = std::move(raw).value();
+  if (LooksGzipped(bytes)) {
+    Result<std::vector<std::uint8_t>> inflated = GunzipFile(path);
+    if (!inflated.ok()) return inflated.status();
+    bytes = std::move(inflated).value();
+  }
+
+  bool swapped = false;
+  Result<NiftiHeader> header_result = DecodeHeader(bytes, &swapped);
+  if (!header_result.ok()) return header_result.status();
+  const NiftiHeader& header = *header_result;
+
+  std::vector<float> voxels;
+  NP_RETURN_IF_ERROR(DecodeVoxels(
+      bytes, static_cast<std::size_t>(header.vox_offset), header, swapped,
+      voxels));
+
+  const std::size_t nx = static_cast<std::size_t>(header.dim[1]);
+  const std::size_t ny = header.dim[0] >= 2 ? static_cast<std::size_t>(header.dim[2]) : 1;
+  const std::size_t nz = header.dim[0] >= 3 ? static_cast<std::size_t>(header.dim[3]) : 1;
+  const std::size_t nt = header.dim[0] >= 4 ? static_cast<std::size_t>(header.dim[4]) : 1;
+
+  NiftiImage image;
+  image.header = header;
+  image.data = image::Volume4D(nx, ny, nz, nt);
+  NP_CHECK_EQ(image.data.size(), voxels.size());
+  std::copy(voxels.begin(), voxels.end(), image.data.data());
+  image.data.spacing().dx_mm = header.pixdim[1];
+  image.data.spacing().dy_mm = header.pixdim[2];
+  image.data.spacing().dz_mm = header.pixdim[3];
+  image.data.spacing().tr_seconds = header.pixdim[4];
+  return image;
+}
+
+Status WriteNifti(const std::string& path, const image::Volume4D& volume,
+                  const WriteOptions& options) {
+  if (volume.empty()) {
+    return Status::InvalidArgument("WriteNifti: empty volume");
+  }
+  const Result<int> bits = BitsPerVoxel(options.datatype);
+  if (!bits.ok()) return bits.status();
+
+  NiftiHeader header;
+  const bool four_d = volume.nt() > 1;
+  header.dim = {static_cast<std::int16_t>(four_d ? 4 : 3),
+                static_cast<std::int16_t>(volume.nx()),
+                static_cast<std::int16_t>(volume.ny()),
+                static_cast<std::int16_t>(volume.nz()),
+                static_cast<std::int16_t>(volume.nt()),
+                1, 1, 1};
+  header.datatype = options.datatype;
+  header.pixdim = {1.0f,
+                   static_cast<float>(volume.spacing().dx_mm),
+                   static_cast<float>(volume.spacing().dy_mm),
+                   static_cast<float>(volume.spacing().dz_mm),
+                   static_cast<float>(volume.spacing().tr_seconds),
+                   1.0f, 1.0f, 1.0f};
+  header.description = options.description;
+
+  float slope = 1.0f, inter = 0.0f;
+  if (options.integer_autoscale) {
+    switch (options.datatype) {
+      case DataType::kUint8:
+        IntegerScaling(volume.flat(), 0.0, 255.0, slope, inter);
+        break;
+      case DataType::kInt16:
+        IntegerScaling(volume.flat(), -32768.0, 32767.0, slope, inter);
+        break;
+      case DataType::kInt32:
+        IntegerScaling(volume.flat(), -2147483648.0, 2147483647.0, slope, inter);
+        break;
+      case DataType::kFloat32:
+      case DataType::kFloat64:
+        break;
+    }
+  }
+  header.scl_slope = slope;
+  header.scl_inter = inter;
+
+  const std::size_t voxel_bytes = static_cast<std::size_t>(*bits) / 8;
+  std::vector<std::uint8_t> bytes = EncodeHeader(header);
+  bytes.resize(352, 0);  // 4 bytes of extension flags (all zero).
+  const std::size_t data_start = bytes.size();
+  bytes.resize(data_start + volume.size() * voxel_bytes);
+
+  const double inv_slope = slope != 0.0f ? 1.0 / slope : 1.0;
+  std::uint8_t* dst = bytes.data() + data_start;
+  for (std::size_t i = 0; i < volume.size(); ++i, dst += voxel_bytes) {
+    const double stored = (static_cast<double>(volume.flat()[i]) - inter) * inv_slope;
+    switch (options.datatype) {
+      case DataType::kUint8:
+        EncodeValue<std::uint8_t>(stored, dst);
+        break;
+      case DataType::kInt16:
+        EncodeValue<std::int16_t>(stored, dst);
+        break;
+      case DataType::kInt32:
+        EncodeValue<std::int32_t>(stored, dst);
+        break;
+      case DataType::kFloat32:
+        EncodeValue<float>(stored, dst);
+        break;
+      case DataType::kFloat64:
+        EncodeValue<double>(stored, dst);
+        break;
+    }
+  }
+
+  bool gzip = false;
+  switch (options.compression) {
+    case WriteOptions::Compression::kAuto:
+      gzip = EndsWith(path, ".gz");
+      break;
+    case WriteOptions::Compression::kNever:
+      gzip = false;
+      break;
+    case WriteOptions::Compression::kAlways:
+      gzip = true;
+      break;
+  }
+  return WriteBytes(path, bytes, gzip);
+}
+
+Status WriteNifti3D(const std::string& path, const image::Volume3D& volume,
+                    const WriteOptions& options) {
+  image::Volume4D run(volume.nx(), volume.ny(), volume.nz(), 1);
+  std::copy(volume.data(), volume.data() + volume.size(), run.data());
+  run.spacing() = volume.spacing();
+  return WriteNifti(path, run, options);
+}
+
+}  // namespace neuroprint::nifti

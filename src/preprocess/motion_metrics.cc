@@ -1,0 +1,77 @@
+#include "preprocess/motion_metrics.h"
+
+#include <cmath>
+
+namespace neuroprint::preprocess {
+
+Result<std::vector<double>> FramewiseDisplacement(
+    const std::vector<image::RigidTransform>& motion, double head_radius_mm) {
+  if (motion.empty()) {
+    return Status::InvalidArgument("FramewiseDisplacement: no motion params");
+  }
+  if (head_radius_mm <= 0.0) {
+    return Status::InvalidArgument(
+        "FramewiseDisplacement: head radius must be positive");
+  }
+  std::vector<double> fd(motion.size(), 0.0);
+  for (std::size_t t = 1; t < motion.size(); ++t) {
+    const auto current = motion[t].AsArray();
+    const auto previous = motion[t - 1].AsArray();
+    double sum = 0.0;
+    for (std::size_t p = 0; p < 6; ++p) {
+      const double delta = std::fabs(current[p] - previous[p]);
+      // Parameters 3..5 are rotations (radians): convert to arc length.
+      sum += p < 3 ? delta : delta * head_radius_mm;
+    }
+    fd[t] = sum;
+  }
+  return fd;
+}
+
+Result<std::vector<bool>> CensorMask(const std::vector<double>& displacement,
+                                     double threshold,
+                                     std::size_t extend_after) {
+  if (displacement.empty()) {
+    return Status::InvalidArgument("CensorMask: empty displacement series");
+  }
+  if (threshold <= 0.0) {
+    return Status::InvalidArgument("CensorMask: threshold must be positive");
+  }
+  std::vector<bool> censored(displacement.size(), false);
+  for (std::size_t t = 0; t < displacement.size(); ++t) {
+    if (displacement[t] > threshold) {
+      const std::size_t end =
+          std::min(displacement.size(), t + extend_after + 1);
+      for (std::size_t k = t; k < end; ++k) censored[k] = true;
+    }
+  }
+  return censored;
+}
+
+Result<linalg::Matrix> DropCensoredFrames(const linalg::Matrix& series,
+                                          const std::vector<bool>& censored) {
+  if (censored.size() != series.cols()) {
+    return Status::InvalidArgument(
+        "DropCensoredFrames: one censor flag per frame required");
+  }
+  std::size_t kept = 0;
+  for (bool c : censored) {
+    if (!c) ++kept;
+  }
+  if (kept < 3) {
+    return Status::FailedPrecondition(
+        "DropCensoredFrames: fewer than 3 frames survive censoring");
+  }
+  linalg::Matrix out(series.rows(), kept);
+  std::size_t column = 0;
+  for (std::size_t t = 0; t < series.cols(); ++t) {
+    if (censored[t]) continue;
+    for (std::size_t r = 0; r < series.rows(); ++r) {
+      out(r, column) = series(r, t);
+    }
+    ++column;
+  }
+  return out;
+}
+
+}  // namespace neuroprint::preprocess

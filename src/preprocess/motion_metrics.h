@@ -1,0 +1,44 @@
+// Motion quality-control metrics: framewise displacement (Power et al.'s
+// summary of how much the head moved between consecutive frames) and
+// frame censoring ("scrubbing"). High-motion frames corrupt correlation
+// estimates — ADHD-200's paediatric cohort is the paper's motivating
+// example of a motion-heavy population — so pipelines flag and drop them
+// before computing connectomes.
+
+#ifndef NEUROPRINT_PREPROCESS_MOTION_METRICS_H_
+#define NEUROPRINT_PREPROCESS_MOTION_METRICS_H_
+
+#include <vector>
+
+#include "image/affine.h"
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace neuroprint::preprocess {
+
+/// Framewise displacement per frame: the sum of absolute differences of
+/// the six rigid parameters between consecutive frames, with rotations
+/// converted to arc length on a sphere of `head_radius_mm` (Power et al.
+/// 2012 use 50 mm). Entry 0 is 0 by convention. Translations are taken
+/// in the same unit they were estimated in (multiply by the voxel size
+/// first if they are in voxels).
+Result<std::vector<double>> FramewiseDisplacement(
+    const std::vector<image::RigidTransform>& motion,
+    double head_radius_mm = 50.0);
+
+/// Frames whose framewise displacement exceeds `threshold`, plus
+/// `extend_after` frames following each exceedance (motion artifacts
+/// linger through the haemodynamic response).
+Result<std::vector<bool>> CensorMask(const std::vector<double>& displacement,
+                                     double threshold,
+                                     std::size_t extend_after = 0);
+
+/// Removes the censored columns (frames) from a regions x time series
+/// matrix. Fails if fewer than 3 frames survive (no correlation can be
+/// estimated). Returns the retained series.
+Result<linalg::Matrix> DropCensoredFrames(const linalg::Matrix& series,
+                                          const std::vector<bool>& censored);
+
+}  // namespace neuroprint::preprocess
+
+#endif  // NEUROPRINT_PREPROCESS_MOTION_METRICS_H_

@@ -1,0 +1,219 @@
+#include "preprocess/pipeline.h"
+
+#include <cmath>
+#include <utility>
+
+#include "linalg/stats.h"
+#include "util/stopwatch.h"
+
+namespace neuroprint::preprocess {
+namespace {
+
+// Mean intensity across brain voxels over the whole run.
+double GrandMean(const image::Volume4D& run, const image::Mask& mask) {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t t = 0; t < run.nt(); ++t) {
+    const float* vol = run.VolumePtr(t);
+    std::size_t i = 0;
+    for (std::size_t z = 0; z < run.nz(); ++z) {
+      for (std::size_t y = 0; y < run.ny(); ++y) {
+        for (std::size_t x = 0; x < run.nx(); ++x, ++i) {
+          if (mask.at(x, y, z)) {
+            sum += vol[i];
+            ++count;
+          }
+        }
+      }
+    }
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+// Mean brain-voxel intensity per frame: the global signal.
+std::vector<double> GlobalSignal(const image::Volume4D& run,
+                                 const image::Mask& mask) {
+  std::vector<double> global(run.nt(), 0.0);
+  std::size_t count = 0;
+  for (std::size_t t = 0; t < run.nt(); ++t) {
+    const float* vol = run.VolumePtr(t);
+    double sum = 0.0;
+    std::size_t frame_count = 0;
+    std::size_t i = 0;
+    for (std::size_t z = 0; z < run.nz(); ++z) {
+      for (std::size_t y = 0; y < run.ny(); ++y) {
+        for (std::size_t x = 0; x < run.nx(); ++x, ++i) {
+          if (mask.at(x, y, z)) {
+            sum += vol[i];
+            ++frame_count;
+          }
+        }
+      }
+    }
+    count = frame_count;
+    global[t] = frame_count > 0 ? sum / static_cast<double>(frame_count) : 0.0;
+  }
+  (void)count;
+  return global;
+}
+
+}  // namespace
+
+PipelineConfig RestingStateConfig() {
+  PipelineConfig config;
+  config.temporal_filter = TemporalFilter::kRestingStateBandPass;
+  config.global_signal_regression = true;
+  return config;
+}
+
+PipelineConfig TaskConfig() {
+  PipelineConfig config;
+  config.temporal_filter = TemporalFilter::kTaskHighPass;
+  config.global_signal_regression = false;
+  return config;
+}
+
+Status CleanRegionSeries(linalg::Matrix& series, const PipelineConfig& config,
+                         double tr_seconds,
+                         const std::vector<double>& global_signal) {
+  const std::size_t regions = series.rows();
+  const std::size_t nt = series.cols();
+  if (regions == 0 || nt == 0) {
+    return Status::InvalidArgument("CleanRegionSeries: empty series matrix");
+  }
+
+  // Detrend.
+  if (config.detrend_degree >= 0 &&
+      static_cast<std::size_t>(config.detrend_degree) < nt) {
+    for (std::size_t r = 0; r < regions; ++r) {
+      auto detrended =
+          signal::DetrendPolynomial(series.RowCopy(r), config.detrend_degree);
+      if (!detrended.ok()) return detrended.status();
+      series.SetRow(r, *detrended);
+    }
+  }
+
+  // Temporal filter.
+  if (config.temporal_filter != TemporalFilter::kNone) {
+    signal::BandPassConfig band;
+    band.tr_seconds = tr_seconds;
+    if (config.temporal_filter == TemporalFilter::kRestingStateBandPass) {
+      band.low_cutoff_hz = 0.008;
+      band.high_cutoff_hz = 0.1;
+    } else {
+      band.low_cutoff_hz = 1.0 / 200.0;
+      band.high_cutoff_hz = 0.0;
+      band.transition_width_hz = 0.25 / 200.0;
+    }
+    // Skip filtering when the scan is too short/coarse to resolve the band
+    // (the filter itself rejects cutoffs above Nyquist).
+    const double nyquist = 0.5 / tr_seconds;
+    if (band.high_cutoff_hz < nyquist) {
+      for (std::size_t r = 0; r < regions; ++r) {
+        auto filtered = signal::BandPassFilter(series.RowCopy(r), band);
+        if (!filtered.ok()) return filtered.status();
+        series.SetRow(r, *filtered);
+      }
+    }
+  }
+
+  // Global-signal regression. The regressor gets the same detrend/filter
+  // treatment implicitly when derived from the cleaned series; an external
+  // (voxel-derived) global signal is used as given.
+  if (config.global_signal_regression) {
+    std::vector<double> global = global_signal;
+    if (global.empty()) {
+      const linalg::Vector col_means = linalg::ColMeans(series);
+      global.assign(col_means.begin(), col_means.end());
+    }
+    if (global.size() != nt) {
+      return Status::InvalidArgument(
+          "CleanRegionSeries: global signal length mismatch");
+    }
+    for (std::size_t r = 0; r < regions; ++r) {
+      auto residual = signal::RegressOut(series.RowCopy(r), global);
+      if (!residual.ok()) return residual.status();
+      series.SetRow(r, *residual);
+    }
+  }
+
+  if (config.zscore_series) {
+    linalg::ZScoreRowsInPlace(series);
+  }
+  return Status::OK();
+}
+
+Result<PipelineOutput> RunPipeline(const image::Volume4D& raw,
+                                   const atlas::Atlas& atlas,
+                                   const PipelineConfig& config) {
+  if (raw.empty()) return Status::InvalidArgument("RunPipeline: empty run");
+  if (!raw.AllFinite()) {
+    return Status::InvalidArgument("RunPipeline: non-finite voxels in input");
+  }
+  if (raw.nx() != atlas.nx() || raw.ny() != atlas.ny() ||
+      raw.nz() != atlas.nz()) {
+    return Status::InvalidArgument("RunPipeline: run and atlas grids differ");
+  }
+
+  PipelineOutput output;
+  image::Volume4D run = raw;
+  Stopwatch stage_clock;
+  auto log_stage = [&](const char* name) {
+    output.stage_seconds.emplace_back(name, stage_clock.ElapsedSeconds());
+    stage_clock.Restart();
+  };
+
+  if (config.slice_time_correction && run.nz() > 1 && run.nt() > 2) {
+    auto corrected = SliceTimeCorrect(run, config.slice_order);
+    if (!corrected.ok()) return corrected.status();
+    run = std::move(corrected).value();
+    log_stage("slice_timing");
+  }
+
+  if (config.motion_correction && run.nt() > 1) {
+    auto corrected = image::MotionCorrect(run, config.registration);
+    if (!corrected.ok()) return corrected.status();
+    run = std::move(corrected->corrected);
+    output.motion = std::move(corrected->motion);
+    log_stage("motion_correction");
+  }
+
+  auto mask = image::ComputeBrainMask(run, config.mask_fraction);
+  if (!mask.ok()) return mask.status();
+  output.mask = std::move(mask).value();
+  image::ApplyMask(run, output.mask);
+  log_stage("masking");
+
+  if (config.smoothing_fwhm_mm > 0.0) {
+    auto smoothed = image::GaussianSmooth4D(run, config.smoothing_fwhm_mm);
+    if (!smoothed.ok()) return smoothed.status();
+    run = std::move(smoothed).value();
+    log_stage("smoothing");
+  }
+
+  // Global signal is taken after masking/smoothing, before scaling (the
+  // regression is scale-invariant either way).
+  const std::vector<double> global = GlobalSignal(run, output.mask);
+
+  if (config.intensity_normalization) {
+    const double grand_mean = GrandMean(run, output.mask);
+    if (grand_mean > 0.0) {
+      const float scale =
+          static_cast<float>(config.grand_mean_target / grand_mean);
+      for (float& v : run.flat()) v *= scale;
+    }
+    log_stage("intensity_normalization");
+  }
+
+  auto series = atlas::ExtractRegionTimeSeries(run, atlas);
+  if (!series.ok()) return series.status();
+  output.region_series = std::move(series).value();
+  log_stage("region_averaging");
+
+  NP_RETURN_IF_ERROR(CleanRegionSeries(output.region_series, config,
+                                       run.spacing().tr_seconds, global));
+  log_stage("temporal_cleanup");
+  return output;
+}
+
+}  // namespace neuroprint::preprocess

@@ -1,0 +1,99 @@
+// The fMRI preprocessing pipeline of the paper's Figure 4, as a composable
+// stage sequence:
+//
+//   raw 4-D run
+//     -> slice-time correction           (temporal resampling per slice)
+//     -> head-motion correction          (rigid registration per frame)
+//     -> brain masking                   (skull-strip analogue)
+//     -> spatial smoothing               (Gaussian, FWHM in mm)
+//     -> intensity normalization         (grand-mean scaling to 1000)
+//     -> region averaging by atlas       (voxel x time -> region x time)
+//     -> temporal cleanup on region series:
+//          detrending, band-pass / high-pass, global-signal regression
+//     -> z-score normalization
+//
+// Detrending, filtering, and regression are linear maps applied uniformly
+// to every series, so they commute with region averaging; applying them
+// after the atlas step is exact and orders of magnitude cheaper than
+// filtering every voxel.
+
+#ifndef NEUROPRINT_PREPROCESS_PIPELINE_H_
+#define NEUROPRINT_PREPROCESS_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "atlas/atlas.h"
+#include "atlas/region_timeseries.h"
+#include "image/mask.h"
+#include "image/registration.h"
+#include "image/smooth.h"
+#include "image/volume.h"
+#include "linalg/matrix.h"
+#include "preprocess/slice_timing.h"
+#include "signal/filters.h"
+#include "util/status.h"
+
+namespace neuroprint::preprocess {
+
+/// Temporal filtering profile.
+enum class TemporalFilter {
+  kNone,
+  kRestingStateBandPass,  ///< 0.008–0.1 Hz (the paper's resting-state band).
+  kTaskHighPass,          ///< 1/200 Hz high-pass (the paper's task cutoff).
+};
+
+struct PipelineConfig {
+  bool slice_time_correction = true;
+  SliceOrder slice_order = SliceOrder::kInterleavedOdd;
+
+  bool motion_correction = true;
+  image::RegistrationOptions registration;
+
+  double mask_fraction = 0.25;
+
+  double smoothing_fwhm_mm = 4.0;  ///< 0 disables smoothing.
+
+  bool intensity_normalization = true;
+  double grand_mean_target = 1000.0;
+
+  int detrend_degree = 1;  ///< < 0 disables detrending.
+
+  TemporalFilter temporal_filter = TemporalFilter::kRestingStateBandPass;
+
+  bool global_signal_regression = true;
+
+  bool zscore_series = true;
+};
+
+/// Preset matching the paper's resting-state processing.
+PipelineConfig RestingStateConfig();
+
+/// Preset matching the paper's task processing (high-pass, no GSR).
+PipelineConfig TaskConfig();
+
+/// Everything the pipeline produces besides the series: provenance that
+/// downstream QC and the benches report.
+struct PipelineOutput {
+  linalg::Matrix region_series;  ///< regions x time, cleaned (+ z-scored).
+  image::Mask mask;
+  std::vector<image::RigidTransform> motion;  ///< Empty if correction off.
+  std::vector<std::pair<std::string, double>> stage_seconds;  ///< Timing log.
+};
+
+/// Runs the full pipeline. The atlas grid must match the run grid.
+Result<PipelineOutput> RunPipeline(const image::Volume4D& raw,
+                                   const atlas::Atlas& atlas,
+                                   const PipelineConfig& config);
+
+/// The temporal-cleanup tail of the pipeline on an existing region x time
+/// matrix (used by the simulator's region-level fast path so both paths
+/// share one implementation). `global_signal` may be empty to derive it
+/// from the series themselves (mean across regions).
+Status CleanRegionSeries(linalg::Matrix& series, const PipelineConfig& config,
+                         double tr_seconds,
+                         const std::vector<double>& global_signal = {});
+
+}  // namespace neuroprint::preprocess
+
+#endif  // NEUROPRINT_PREPROCESS_PIPELINE_H_

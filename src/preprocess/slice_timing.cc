@@ -1,0 +1,68 @@
+#include "preprocess/slice_timing.h"
+
+namespace neuroprint::preprocess {
+
+std::vector<double> SliceAcquisitionFractions(std::size_t nz,
+                                              SliceOrder order) {
+  std::vector<double> fractions(nz, 0.0);
+  if (nz == 0) return fractions;
+  const double step = 1.0 / static_cast<double>(nz);
+  switch (order) {
+    case SliceOrder::kSequentialAscending:
+      for (std::size_t z = 0; z < nz; ++z) {
+        fractions[z] = static_cast<double>(z) * step;
+      }
+      break;
+    case SliceOrder::kSequentialDescending:
+      for (std::size_t z = 0; z < nz; ++z) {
+        fractions[z] = static_cast<double>(nz - 1 - z) * step;
+      }
+      break;
+    case SliceOrder::kInterleavedOdd: {
+      std::size_t position = 0;
+      for (std::size_t z = 0; z < nz; z += 2) {
+        fractions[z] = static_cast<double>(position++) * step;
+      }
+      for (std::size_t z = 1; z < nz; z += 2) {
+        fractions[z] = static_cast<double>(position++) * step;
+      }
+      break;
+    }
+  }
+  return fractions;
+}
+
+Result<image::Volume4D> SliceTimeCorrect(const image::Volume4D& run,
+                                         SliceOrder order,
+                                         std::size_t reference_slice,
+                                         signal::InterpKind interp) {
+  if (run.empty()) {
+    return Status::InvalidArgument("SliceTimeCorrect: empty run");
+  }
+  if (reference_slice >= run.nz()) {
+    return Status::InvalidArgument(
+        "SliceTimeCorrect: reference slice out of range");
+  }
+  const std::vector<double> fractions =
+      SliceAcquisitionFractions(run.nz(), order);
+
+  image::Volume4D out = run;
+  for (std::size_t z = 0; z < run.nz(); ++z) {
+    // A slice acquired `delta` TRs later than the reference holds sample
+    // s(t + delta) at index t; the value aligned to the reference's time
+    // grid is s(t), i.e. the series evaluated at index t - delta.
+    const double delta = fractions[z] - fractions[reference_slice];
+    if (delta == 0.0) continue;
+    for (std::size_t y = 0; y < run.ny(); ++y) {
+      for (std::size_t x = 0; x < run.nx(); ++x) {
+        auto shifted =
+            signal::ShiftSeries(run.VoxelTimeSeries(x, y, z), -delta, interp);
+        if (!shifted.ok()) return shifted.status();
+        out.SetVoxelTimeSeries(x, y, z, *shifted);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace neuroprint::preprocess

@@ -1,0 +1,129 @@
+#include "signal/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.h"
+
+namespace neuroprint::signal {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+// Iterative radix-2 Cooley–Tukey; `data` length must be a power of two.
+// `invert` flips the exponent sign (normalization handled by the caller).
+void FftRadix2(ComplexVector& data, bool invert) {
+  const std::size_t n = data.size();
+  if (n < 2) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = 2.0 * kPi / static_cast<double>(len) * (invert ? 1 : -1);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+// Bluestein's algorithm: expresses a length-n DFT as a convolution, which
+// is evaluated with power-of-two FFTs. Handles any n.
+void FftBluestein(ComplexVector& data, bool invert) {
+  const std::size_t n = data.size();
+  const std::size_t m = NextPowerOfTwo(2 * n + 1);
+  const double sign = invert ? 1.0 : -1.0;
+
+  // Chirp factors w_k = exp(sign * i * pi * k^2 / n).
+  ComplexVector chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // k^2 mod 2n avoids precision loss for large k.
+    const std::size_t k2 = (k * k) % (2 * n);
+    const double angle = kPi * static_cast<double>(k2) / static_cast<double>(n);
+    chirp[k] = Complex(std::cos(angle), sign * std::sin(angle));
+  }
+
+  ComplexVector a(m, Complex(0, 0));
+  ComplexVector b(m, Complex(0, 0));
+  for (std::size_t k = 0; k < n; ++k) a[k] = data[k] * chirp[k];
+  b[0] = std::conj(chirp[0]);
+  for (std::size_t k = 1; k < n; ++k) {
+    b[k] = b[m - k] = std::conj(chirp[k]);
+  }
+
+  FftRadix2(a, false);
+  FftRadix2(b, false);
+  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
+  FftRadix2(a, true);
+  const double scale = 1.0 / static_cast<double>(m);
+  for (std::size_t k = 0; k < n; ++k) {
+    data[k] = a[k] * scale * chirp[k];
+  }
+}
+
+void FftImpl(ComplexVector& data, bool invert) {
+  const std::size_t n = data.size();
+  if (n < 2) return;
+  if (IsPowerOfTwo(n)) {
+    FftRadix2(data, invert);
+  } else {
+    FftBluestein(data, invert);
+  }
+}
+
+}  // namespace
+
+bool IsPowerOfTwo(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+std::size_t NextPowerOfTwo(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void Fft(ComplexVector& data) { FftImpl(data, false); }
+
+void Ifft(ComplexVector& data) {
+  FftImpl(data, true);
+  const double scale = 1.0 / static_cast<double>(data.empty() ? 1 : data.size());
+  for (Complex& c : data) c *= scale;
+}
+
+ComplexVector RealFft(const std::vector<double>& x) {
+  ComplexVector data(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) data[i] = Complex(x[i], 0.0);
+  Fft(data);
+  return data;
+}
+
+std::vector<double> RealIfft(const ComplexVector& spectrum) {
+  ComplexVector data = spectrum;
+  Ifft(data);
+  std::vector<double> out(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) out[i] = data[i].real();
+  return out;
+}
+
+std::vector<double> CircularConvolve(const std::vector<double>& a,
+                                     const std::vector<double>& b) {
+  NP_CHECK_EQ(a.size(), b.size());
+  ComplexVector fa = RealFft(a);
+  const ComplexVector fb = RealFft(b);
+  for (std::size_t i = 0; i < fa.size(); ++i) fa[i] *= fb[i];
+  return RealIfft(fa);
+}
+
+}  // namespace neuroprint::signal

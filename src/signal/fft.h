@@ -1,0 +1,44 @@
+// Fast Fourier transform: iterative radix-2 Cooley–Tukey for power-of-two
+// lengths and Bluestein's chirp-z algorithm for arbitrary lengths, so the
+// temporal filters work on any scan length (HCP resting scans have 1200
+// frames; task scans range from 176 to 405).
+
+#ifndef NEUROPRINT_SIGNAL_FFT_H_
+#define NEUROPRINT_SIGNAL_FFT_H_
+
+#include <complex>
+#include <vector>
+
+namespace neuroprint::signal {
+
+using Complex = std::complex<double>;
+using ComplexVector = std::vector<Complex>;
+
+/// In-place forward DFT (engineering sign convention, no normalization).
+/// Works for any length via Bluestein when the size is not a power of two.
+void Fft(ComplexVector& data);
+
+/// In-place inverse DFT with 1/n normalization (Ifft(Fft(x)) == x).
+void Ifft(ComplexVector& data);
+
+/// Forward DFT of a real signal; returns the full complex spectrum
+/// (length n, conjugate-symmetric).
+ComplexVector RealFft(const std::vector<double>& x);
+
+/// Real part of the inverse DFT of `spectrum` (the caller guarantees
+/// conjugate symmetry; any residual imaginary part is dropped).
+std::vector<double> RealIfft(const ComplexVector& spectrum);
+
+/// True if n is a power of two (n >= 1).
+bool IsPowerOfTwo(std::size_t n);
+
+/// Smallest power of two >= n.
+std::size_t NextPowerOfTwo(std::size_t n);
+
+/// Circular convolution of two equal-length real signals via FFT.
+std::vector<double> CircularConvolve(const std::vector<double>& a,
+                                     const std::vector<double>& b);
+
+}  // namespace neuroprint::signal
+
+#endif  // NEUROPRINT_SIGNAL_FFT_H_

@@ -1,0 +1,194 @@
+#include "signal/filters.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "linalg/matrix.h"
+#include "linalg/qr.h"
+#include "signal/fft.h"
+
+namespace neuroprint::signal {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+bool AllFinite(const std::vector<double>& x) {
+  for (double v : x) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+// Raised-cosine gain for one band edge: 0 below (edge - width), 1 above
+// (edge + width) for a rising edge (and mirrored for a falling edge).
+double RisingEdgeGain(double freq, double edge, double width) {
+  if (width <= 0.0) return freq >= edge ? 1.0 : 0.0;
+  if (freq <= edge - width) return 0.0;
+  if (freq >= edge + width) return 1.0;
+  const double t = (freq - (edge - width)) / (2.0 * width);
+  return 0.5 * (1.0 - std::cos(kPi * t));
+}
+
+}  // namespace
+
+Result<std::vector<double>> BandPassFilter(const std::vector<double>& x,
+                                           const BandPassConfig& config) {
+  const std::size_t n = x.size();
+  if (n == 0) return Status::InvalidArgument("BandPassFilter: empty input");
+  if (!AllFinite(x)) {
+    return Status::InvalidArgument("BandPassFilter: non-finite input");
+  }
+  if (config.tr_seconds <= 0.0) {
+    return Status::InvalidArgument("BandPassFilter: TR must be positive");
+  }
+  const double nyquist = 0.5 / config.tr_seconds;
+  if (config.high_cutoff_hz > nyquist) {
+    return Status::InvalidArgument(
+        "BandPassFilter: high cutoff above Nyquist frequency");
+  }
+  if (config.low_cutoff_hz > 0.0 && config.high_cutoff_hz > 0.0 &&
+      config.low_cutoff_hz >= config.high_cutoff_hz) {
+    return Status::InvalidArgument(
+        "BandPassFilter: low cutoff must be below high cutoff");
+  }
+  if (n == 1) return std::vector<double>{config.low_cutoff_hz > 0.0 ? 0.0 : x[0]};
+
+  ComplexVector spectrum = RealFft(x);
+  const double df = 1.0 / (config.tr_seconds * static_cast<double>(n));
+  for (std::size_t k = 0; k < n; ++k) {
+    // Two-sided spectrum: bin k corresponds to frequency min(k, n-k) * df.
+    const std::size_t kk = std::min(k, n - k);
+    const double freq = static_cast<double>(kk) * df;
+    double gain = 1.0;
+    if (config.low_cutoff_hz > 0.0) {
+      gain *= RisingEdgeGain(freq, config.low_cutoff_hz,
+                             config.transition_width_hz);
+      if (k == 0) gain = 0.0;  // Always remove DC with a high-pass edge.
+    }
+    if (config.high_cutoff_hz > 0.0) {
+      gain *= 1.0 - RisingEdgeGain(freq, config.high_cutoff_hz,
+                                   config.transition_width_hz);
+    }
+    spectrum[k] *= gain;
+  }
+  return RealIfft(spectrum);
+}
+
+Result<std::vector<double>> HighPassFilter(const std::vector<double>& x,
+                                           double cutoff_hz,
+                                           double tr_seconds) {
+  BandPassConfig config;
+  config.low_cutoff_hz = cutoff_hz;
+  config.high_cutoff_hz = 0.0;
+  config.transition_width_hz = 0.25 * cutoff_hz;
+  config.tr_seconds = tr_seconds;
+  return BandPassFilter(x, config);
+}
+
+Result<std::vector<double>> DetrendPolynomial(const std::vector<double>& x,
+                                              int degree) {
+  const std::size_t n = x.size();
+  if (n == 0) return Status::InvalidArgument("DetrendPolynomial: empty input");
+  if (degree < 0) {
+    return Status::InvalidArgument("DetrendPolynomial: negative degree");
+  }
+  if (static_cast<std::size_t>(degree) >= n) {
+    return Status::InvalidArgument(
+        "DetrendPolynomial: degree must be < series length");
+  }
+  if (!AllFinite(x)) {
+    return Status::InvalidArgument("DetrendPolynomial: non-finite input");
+  }
+
+  // Design matrix of scaled time powers (t in [-1, 1] for conditioning).
+  const std::size_t p = static_cast<std::size_t>(degree) + 1;
+  linalg::Matrix design(n, p);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t =
+        n > 1 ? 2.0 * static_cast<double>(i) / static_cast<double>(n - 1) - 1.0
+              : 0.0;
+    double power = 1.0;
+    for (std::size_t j = 0; j < p; ++j) {
+      design(i, j) = power;
+      power *= t;
+    }
+  }
+  auto coeffs = linalg::LeastSquares(design, x);
+  if (!coeffs.ok()) return coeffs.status();
+  const linalg::Vector fitted = linalg::MatVec(design, *coeffs);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = x[i] - fitted[i];
+  return out;
+}
+
+Result<std::vector<double>> DetrendLinear(const std::vector<double>& x) {
+  return DetrendPolynomial(x, 1);
+}
+
+Result<std::vector<double>> RegressOut(const std::vector<double>& x,
+                                       const std::vector<double>& confound) {
+  return RegressOutMany(x, {confound});
+}
+
+Result<std::vector<double>> RegressOutMany(
+    const std::vector<double>& x,
+    const std::vector<std::vector<double>>& confounds) {
+  const std::size_t n = x.size();
+  if (n == 0) return Status::InvalidArgument("RegressOutMany: empty input");
+  for (const auto& c : confounds) {
+    if (c.size() != n) {
+      return Status::InvalidArgument(
+          "RegressOutMany: confound length mismatch");
+    }
+  }
+  const std::size_t p = confounds.size() + 1;
+  if (p >= n) {
+    return Status::InvalidArgument(
+        "RegressOutMany: more regressors than time points");
+  }
+  linalg::Matrix design(n, p);
+  for (std::size_t i = 0; i < n; ++i) {
+    design(i, 0) = 1.0;
+    for (std::size_t j = 0; j < confounds.size(); ++j) {
+      design(i, j + 1) = confounds[j][i];
+    }
+  }
+  auto coeffs = linalg::LeastSquares(design, x);
+  if (!coeffs.ok()) {
+    // Degenerate confounds (e.g. an all-zero global signal): fall back to
+    // demeaning only, which is the no-op regression with intercept.
+    std::vector<double> out = x;
+    double mean = 0.0;
+    for (double v : out) mean += v;
+    mean /= static_cast<double>(n);
+    for (double& v : out) v -= mean;
+    return out;
+  }
+  const linalg::Vector fitted = linalg::MatVec(design, *coeffs);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = x[i] - fitted[i];
+  return out;
+}
+
+double BandPower(const std::vector<double>& x, double low_hz, double high_hz,
+                 double tr_seconds) {
+  const std::size_t n = x.size();
+  if (n == 0 || tr_seconds <= 0.0) return 0.0;
+  const ComplexVector spectrum = RealFft(x);
+  const double df = 1.0 / (tr_seconds * static_cast<double>(n));
+  double power = 0.0;
+  std::size_t bins = 0;
+  for (std::size_t k = 0; k <= n / 2; ++k) {
+    const double freq = static_cast<double>(k) * df;
+    if (freq >= low_hz && freq < high_hz) {
+      power += std::norm(spectrum[k]);
+      ++bins;
+    }
+  }
+  if (bins == 0) return 0.0;
+  return power / (static_cast<double>(bins) * static_cast<double>(n) *
+                  static_cast<double>(n));
+}
+
+}  // namespace neuroprint::signal

@@ -1,0 +1,66 @@
+// Temporal filtering and detrending of fMRI time series.
+//
+// The paper band-passes resting-state signals to 0.008–0.1 Hz (the
+// haemodynamic fluctuation band), high-passes task data (cutoff 1/200 s),
+// and detrends scanner drift. Filters here are zero-phase FFT-domain
+// filters with a raised-cosine transition band ("slow roll off", matching
+// the HCP pipeline description in the paper's Section 3.2.1).
+
+#ifndef NEUROPRINT_SIGNAL_FILTERS_H_
+#define NEUROPRINT_SIGNAL_FILTERS_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace neuroprint::signal {
+
+/// Frequency-domain band-pass specification. Frequencies in Hz; the
+/// sampling interval tr_seconds is the fMRI repetition time (TR).
+struct BandPassConfig {
+  double low_cutoff_hz = 0.008;   ///< Passband lower edge; <= 0 disables.
+  double high_cutoff_hz = 0.1;    ///< Passband upper edge; <= 0 disables.
+  double transition_width_hz = 0.002;  ///< Raised-cosine roll-off width.
+  double tr_seconds = 0.72;       ///< Sampling interval.
+};
+
+/// Zero-phase band-pass of a single series. The DC bin is always removed
+/// when low_cutoff_hz > 0. Returns InvalidArgument for empty/non-finite
+/// input or cutoffs above Nyquist.
+Result<std::vector<double>> BandPassFilter(const std::vector<double>& x,
+                                           const BandPassConfig& config);
+
+/// High-pass with the given cutoff (implemented as a band-pass with the
+/// upper edge disabled): the paper's task-fMRI detrending filter
+/// (cutoff 1/200 Hz).
+Result<std::vector<double>> HighPassFilter(const std::vector<double>& x,
+                                           double cutoff_hz,
+                                           double tr_seconds);
+
+/// Removes the least-squares polynomial of the given degree (0 = demean,
+/// 1 = linear detrend, ...). Degree must be < x.size().
+Result<std::vector<double>> DetrendPolynomial(const std::vector<double>& x,
+                                              int degree);
+
+/// Linear detrend (degree-1 polynomial removal).
+Result<std::vector<double>> DetrendLinear(const std::vector<double>& x);
+
+/// Regresses `confound` (and an intercept) out of x, returning the
+/// residual. This is the paper's global-signal-regression primitive.
+Result<std::vector<double>> RegressOut(const std::vector<double>& x,
+                                       const std::vector<double>& confound);
+
+/// Regresses several confounds (plus intercept) out of x.
+Result<std::vector<double>> RegressOutMany(
+    const std::vector<double>& x,
+    const std::vector<std::vector<double>>& confounds);
+
+/// Mean power of x in [low_hz, high_hz), via the periodogram. Used by
+/// tests to verify filter passbands and by the simulator to calibrate
+/// drift. Returns 0 for empty input.
+double BandPower(const std::vector<double>& x, double low_hz, double high_hz,
+                 double tr_seconds);
+
+}  // namespace neuroprint::signal
+
+#endif  // NEUROPRINT_SIGNAL_FILTERS_H_

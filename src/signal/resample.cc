@@ -1,0 +1,90 @@
+#include "signal/resample.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace neuroprint::signal {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+constexpr int kLanczosA = 4;
+
+double Sinc(double x) {
+  if (x == 0.0) return 1.0;
+  const double px = kPi * x;
+  return std::sin(px) / px;
+}
+
+double LanczosKernel(double x) {
+  if (std::fabs(x) >= kLanczosA) return 0.0;
+  return Sinc(x) * Sinc(x / kLanczosA);
+}
+
+double SampleClamped(const std::vector<double>& x, std::ptrdiff_t i) {
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(x.size());
+  return x[static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(i, 0, n - 1))];
+}
+
+double EvaluateAt(const std::vector<double>& x, double t, InterpKind kind) {
+  const double n_minus_1 = static_cast<double>(x.size() - 1);
+  const double tc = std::clamp(t, 0.0, n_minus_1);
+  switch (kind) {
+    case InterpKind::kLinear: {
+      const double floor_t = std::floor(tc);
+      const auto i0 = static_cast<std::ptrdiff_t>(floor_t);
+      const double frac = tc - floor_t;
+      return (1.0 - frac) * SampleClamped(x, i0) +
+             frac * SampleClamped(x, i0 + 1);
+    }
+    case InterpKind::kWindowedSinc: {
+      const auto center = static_cast<std::ptrdiff_t>(std::floor(tc));
+      double value = 0.0;
+      double weight_sum = 0.0;
+      for (std::ptrdiff_t k = center - kLanczosA + 1; k <= center + kLanczosA;
+           ++k) {
+        const double w = LanczosKernel(tc - static_cast<double>(k));
+        value += w * SampleClamped(x, k);
+        weight_sum += w;
+      }
+      // Renormalize near boundaries where the kernel is truncated.
+      return weight_sum != 0.0 ? value / weight_sum : value;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Result<std::vector<double>> ShiftSeries(const std::vector<double>& x,
+                                        double shift, InterpKind kind) {
+  if (x.empty()) return Status::InvalidArgument("ShiftSeries: empty input");
+  if (!std::isfinite(shift)) {
+    return Status::InvalidArgument("ShiftSeries: non-finite shift");
+  }
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = EvaluateAt(x, static_cast<double>(i) + shift, kind);
+  }
+  return out;
+}
+
+Result<std::vector<double>> ResampleSeries(const std::vector<double>& x,
+                                           double tr_in, double tr_out,
+                                           InterpKind kind) {
+  if (x.empty()) return Status::InvalidArgument("ResampleSeries: empty input");
+  if (tr_in <= 0.0 || tr_out <= 0.0) {
+    return Status::InvalidArgument("ResampleSeries: intervals must be positive");
+  }
+  const double span = tr_in * static_cast<double>(x.size() - 1);
+  const std::size_t n_out =
+      1 + static_cast<std::size_t>(std::floor(span / tr_out + 1e-9));
+  std::vector<double> out(n_out);
+  for (std::size_t i = 0; i < n_out; ++i) {
+    const double t = static_cast<double>(i) * tr_out / tr_in;
+    out[i] = EvaluateAt(x, t, kind);
+  }
+  return out;
+}
+
+}  // namespace neuroprint::signal

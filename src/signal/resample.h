@@ -1,0 +1,34 @@
+// Temporal resampling of one series onto shifted sample times — the
+// primitive behind slice-time correction (each axial slice of an fMRI
+// volume is acquired at a slightly different moment within the TR; slice
+// timing shifts every slice's series onto a common time grid).
+
+#ifndef NEUROPRINT_SIGNAL_RESAMPLE_H_
+#define NEUROPRINT_SIGNAL_RESAMPLE_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace neuroprint::signal {
+
+/// Interpolation kernels for ShiftSeries.
+enum class InterpKind {
+  kLinear,        ///< Piecewise-linear; cheap, slight high-frequency loss.
+  kWindowedSinc,  ///< Lanczos-windowed sinc (a = 4); near-ideal for smooth series.
+};
+
+/// Evaluates the series at t = i + shift (in samples) for every index i,
+/// clamping at the boundaries. `shift` in (-1, 1) covers slice timing.
+Result<std::vector<double>> ShiftSeries(const std::vector<double>& x,
+                                        double shift, InterpKind kind);
+
+/// Resamples `x` (sampled at interval tr_in) onto a grid with interval
+/// tr_out, covering the same time span.
+Result<std::vector<double>> ResampleSeries(const std::vector<double>& x,
+                                           double tr_in, double tr_out,
+                                           InterpKind kind);
+
+}  // namespace neuroprint::signal
+
+#endif  // NEUROPRINT_SIGNAL_RESAMPLE_H_

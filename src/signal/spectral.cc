@@ -1,0 +1,119 @@
+#include "signal/spectral.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "signal/fft.h"
+#include "util/string_util.h"
+
+namespace neuroprint::signal {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+}  // namespace
+
+Result<std::vector<double>> MakeWindow(WindowKind kind, std::size_t n) {
+  if (n == 0) return Status::InvalidArgument("MakeWindow: empty window");
+  std::vector<double> w(n, 1.0);
+  if (n == 1) return w;
+  const double denom = static_cast<double>(n - 1);
+  switch (kind) {
+    case WindowKind::kRectangular:
+      break;
+    case WindowKind::kHann:
+      for (std::size_t i = 0; i < n; ++i) {
+        w[i] = 0.5 * (1.0 - std::cos(2.0 * kPi * static_cast<double>(i) / denom));
+      }
+      break;
+    case WindowKind::kHamming:
+      for (std::size_t i = 0; i < n; ++i) {
+        w[i] = 0.54 - 0.46 * std::cos(2.0 * kPi * static_cast<double>(i) / denom);
+      }
+      break;
+  }
+  return w;
+}
+
+double PowerSpectrum::BandPower(double low_hz, double high_hz) const {
+  double total = 0.0;
+  for (std::size_t k = 0; k < frequency_hz.size(); ++k) {
+    if (frequency_hz[k] >= low_hz && frequency_hz[k] < high_hz) {
+      total += power[k];
+    }
+  }
+  return total;
+}
+
+Result<PowerSpectrum> WelchPsd(const std::vector<double>& x,
+                               const WelchOptions& options) {
+  const std::size_t n = x.size();
+  const std::size_t seg = options.segment_length;
+  if (seg < 2) {
+    return Status::InvalidArgument("WelchPsd: segment_length must be >= 2");
+  }
+  if (n < seg) {
+    return Status::InvalidArgument(StrFormat(
+        "WelchPsd: series length %zu shorter than segment %zu", n, seg));
+  }
+  if (options.overlap < 0.0 || options.overlap > 0.95) {
+    return Status::InvalidArgument("WelchPsd: overlap must be in [0, 0.95]");
+  }
+  if (options.tr_seconds <= 0.0) {
+    return Status::InvalidArgument("WelchPsd: TR must be positive");
+  }
+  for (double v : x) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument("WelchPsd: non-finite input");
+    }
+  }
+
+  auto window_result = MakeWindow(options.window, seg);
+  if (!window_result.ok()) return window_result.status();
+  const std::vector<double>& window = *window_result;
+  double window_power = 0.0;
+  for (double w : window) window_power += w * w;
+
+  const std::size_t hop = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::lround(static_cast<double>(seg) * (1.0 - options.overlap))));
+
+  const std::size_t bins = seg / 2 + 1;
+  PowerSpectrum spectrum;
+  spectrum.frequency_hz.resize(bins);
+  spectrum.power.assign(bins, 0.0);
+  const double df =
+      1.0 / (options.tr_seconds * static_cast<double>(seg));
+  for (std::size_t k = 0; k < bins; ++k) {
+    spectrum.frequency_hz[k] = static_cast<double>(k) * df;
+  }
+
+  std::size_t segments = 0;
+  std::vector<double> buffer(seg);
+  for (std::size_t start = 0; start + seg <= n; start += hop) {
+    // Demean and window the segment.
+    double mean = 0.0;
+    for (std::size_t i = 0; i < seg; ++i) mean += x[start + i];
+    mean /= static_cast<double>(seg);
+    for (std::size_t i = 0; i < seg; ++i) {
+      buffer[i] = (x[start + i] - mean) * window[i];
+    }
+    const ComplexVector fft = RealFft(buffer);
+    for (std::size_t k = 0; k < bins; ++k) {
+      // One-sided: double the interior bins.
+      const double scale = (k == 0 || 2 * k == seg) ? 1.0 : 2.0;
+      spectrum.power[k] += scale * std::norm(fft[k]);
+    }
+    ++segments;
+  }
+  // Normalize by segment count, window energy, and segment length, so
+  // the total power approximates the signal variance (discrete Parseval:
+  // sum_k |X_k|^2 = seg * sum_i x_i^2).
+  const double norm =
+      1.0 / (static_cast<double>(segments) * window_power *
+             static_cast<double>(seg));
+  for (double& p : spectrum.power) p *= norm;
+  return spectrum;
+}
+
+}  // namespace neuroprint::signal

@@ -1,0 +1,51 @@
+// Spectral estimation: window functions and Welch's averaged-periodogram
+// power spectral density. Used as a diagnostic for the temporal filters
+// (verifying pass/stop bands on real signals) and for characterizing the
+// spectra of simulated and preprocessed fMRI series.
+
+#ifndef NEUROPRINT_SIGNAL_SPECTRAL_H_
+#define NEUROPRINT_SIGNAL_SPECTRAL_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace neuroprint::signal {
+
+enum class WindowKind {
+  kRectangular,
+  kHann,
+  kHamming,
+};
+
+/// Window of length n (symmetric form). n >= 1.
+Result<std::vector<double>> MakeWindow(WindowKind kind, std::size_t n);
+
+struct WelchOptions {
+  std::size_t segment_length = 128;
+  /// Overlap between consecutive segments, as a fraction of the segment
+  /// length in [0, 0.95]. 0.5 is the classic Welch choice.
+  double overlap = 0.5;
+  WindowKind window = WindowKind::kHann;
+  double tr_seconds = 0.72;
+};
+
+/// One-sided PSD estimate.
+struct PowerSpectrum {
+  std::vector<double> frequency_hz;  ///< Bin centres, 0 .. Nyquist.
+  std::vector<double> power;         ///< Power density per bin.
+
+  /// Integrated power over [low_hz, high_hz).
+  double BandPower(double low_hz, double high_hz) const;
+};
+
+/// Welch PSD of `x`. The series must be at least one segment long;
+/// segments are demeaned and windowed before their periodograms are
+/// averaged. The estimate satisfies (discrete) Parseval: the sum of
+/// `power` approximates the signal variance.
+Result<PowerSpectrum> WelchPsd(const std::vector<double>& x,
+                               const WelchOptions& options = {});
+
+}  // namespace neuroprint::signal
+
+#endif  // NEUROPRINT_SIGNAL_SPECTRAL_H_

@@ -1,0 +1,390 @@
+#include "sim/cohort.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "connectome/connectome.h"
+#include "linalg/cholesky.h"
+#include "sim/hemodynamics.h"
+#include "linalg/vector_ops.h"
+#include "util/string_util.h"
+
+namespace neuroprint::sim {
+namespace {
+
+// SplitMix64 finalizer: decorrelates derived seeds.
+std::uint64_t MixSeed(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t ScanSeed(std::uint64_t base, std::size_t subject, TaskType task,
+                       Encoding encoding, std::uint64_t salt) {
+  std::uint64_t s = MixSeed(base ^ salt);
+  s = MixSeed(s ^ (static_cast<std::uint64_t>(subject) + 1));
+  s = MixSeed(s ^ (static_cast<std::uint64_t>(static_cast<int>(task)) + 101));
+  s = MixSeed(s ^
+              (static_cast<std::uint64_t>(static_cast<int>(encoding)) + 977));
+  return s;
+}
+
+// Random low-rank PSD component G G^T / rank: diagonal expectation 1, so
+// mixture weights read as relative variance contributions.
+linalg::Matrix RandomPsdComponent(std::size_t regions, std::size_t rank,
+                                  Rng& rng) {
+  linalg::Matrix g(regions, rank);
+  for (std::size_t i = 0; i < regions; ++i) {
+    for (std::size_t j = 0; j < rank; ++j) g(i, j) = rng.Gaussian();
+  }
+  linalg::Matrix m = linalg::MatMulT(g, g);
+  m *= 1.0 / static_cast<double>(rank);
+  return m;
+}
+
+}  // namespace
+
+const char* EncodingName(Encoding encoding) {
+  return encoding == Encoding::kLeftRight ? "LR" : "RL";
+}
+
+CohortConfig HcpLikeConfig(std::uint64_t seed) {
+  CohortConfig config;
+  config.seed = seed;
+  return config;
+}
+
+CohortConfig AdhdLikeConfig(std::uint64_t seed) {
+  CohortConfig config;
+  config.num_subjects = 60;
+  config.num_regions = 116;
+  config.frames_override = 150;  // Shorter paediatric scans.
+  config.tr_seconds = 2.0;       // Typical ADHD-200 site TR.
+  config.signature_scale = 1.5;  // AAL2's coarse parcels average more
+                                 // voxels per region, boosting edge SNR.
+  config.session_noise = 0.20;
+  config.measurement_noise = 0.32;
+  // 30 controls + three ADHD subtypes (combined inattentive/hyperactive,
+  // hyperactive-impulsive, inattentive), echoing ADHD-200's label set.
+  config.group_sizes = {30, 12, 8, 10};
+  config.group_strength = 0.25;
+  config.seed = seed;
+  return config;
+}
+
+Result<CohortSimulator> CohortSimulator::Create(const CohortConfig& config) {
+  if (config.num_subjects < 2) {
+    return Status::InvalidArgument("CohortConfig: need at least 2 subjects");
+  }
+  if (config.num_regions < 4) {
+    return Status::InvalidArgument("CohortConfig: need at least 4 regions");
+  }
+  if (config.component_rank == 0) {
+    return Status::InvalidArgument("CohortConfig: component_rank must be > 0");
+  }
+  if (config.idiosyncratic_variance <= 0.0) {
+    return Status::InvalidArgument(
+        "CohortConfig: idiosyncratic_variance must be positive (it keeps "
+        "the covariance positive definite)");
+  }
+  if (!config.group_sizes.empty()) {
+    std::size_t total = 0;
+    for (std::size_t s : config.group_sizes) total += s;
+    if (total != config.num_subjects) {
+      return Status::InvalidArgument(StrFormat(
+          "CohortConfig: group sizes sum to %zu but num_subjects is %zu",
+          total, config.num_subjects));
+    }
+  }
+
+  CohortSimulator sim;
+  sim.config_ = config;
+
+  sim.subject_ids_.reserve(config.num_subjects);
+  for (std::size_t s = 0; s < config.num_subjects; ++s) {
+    sim.subject_ids_.push_back(StrFormat("S%04zu", s + 1));
+  }
+
+  sim.group_of_.assign(config.num_subjects, 0);
+  if (!config.group_sizes.empty()) {
+    std::size_t subject = 0;
+    for (std::size_t g = 0; g < config.group_sizes.size(); ++g) {
+      for (std::size_t i = 0; i < config.group_sizes[g]; ++i) {
+        sim.group_of_[subject++] = g;
+      }
+    }
+  }
+
+  // Shared components.
+  Rng base_rng(MixSeed(config.seed ^ 0xc0507eULL));
+  sim.baseline_ =
+      RandomPsdComponent(config.num_regions, config.component_rank * 3, base_rng);
+
+  sim.task_comp_.resize(kAllTasks.size());
+  sim.perf_comp_.resize(kAllTasks.size());
+  sim.task_loading_.resize(kAllTasks.size());
+  for (std::size_t k = 0; k < kAllTasks.size(); ++k) {
+    Rng task_rng(MixSeed(config.seed ^ (0x7a5c ^ (k * 131))));
+    sim.task_comp_[k] =
+        RandomPsdComponent(config.num_regions, config.component_rank, task_rng);
+    sim.perf_comp_[k] =
+        RandomPsdComponent(config.num_regions,
+                           std::max<std::size_t>(2, config.component_rank / 2),
+                           task_rng);
+    // Evoked activation loading: localized to ~20% of regions (task
+    // activations are confined to the lobes serving the task).
+    linalg::Vector loading(config.num_regions, 0.0);
+    for (double& v : loading) {
+      if (task_rng.Uniform() < 0.2) v = std::fabs(task_rng.Gaussian());
+    }
+    sim.task_loading_[k] = std::move(loading);
+  }
+  // Gambling's activation pattern partially shares resting-state structure
+  // (the paper observes rest scans misclassified as gambling, never the
+  // other tasks).
+  {
+    const std::size_t rest = static_cast<std::size_t>(TaskType::kRest);
+    const std::size_t gambling = static_cast<std::size_t>(TaskType::kGambling);
+    linalg::Matrix blended = sim.task_comp_[gambling];
+    blended *= 0.5;
+    linalg::Matrix rest_part = sim.task_comp_[rest];
+    rest_part *= 0.5;
+    blended += rest_part;
+    sim.task_comp_[gambling] = std::move(blended);
+  }
+
+  sim.signature_.resize(config.num_subjects);
+  sim.skill_.resize(config.num_subjects);
+  for (std::size_t s = 0; s < config.num_subjects; ++s) {
+    Rng subject_rng(MixSeed(config.seed ^ (0x51d0 + s * 2654435761ULL)));
+    sim.signature_[s] =
+        RandomPsdComponent(config.num_regions, config.component_rank, subject_rng);
+    sim.skill_[s] = std::clamp(subject_rng.Gaussian(), -2.0, 2.0);
+  }
+
+  const std::size_t num_groups =
+      config.group_sizes.empty() ? 1 : config.group_sizes.size();
+  sim.group_comp_.resize(num_groups);
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    Rng group_rng(MixSeed(config.seed ^ (0x96f1 + g * 40503ULL)));
+    sim.group_comp_[g] =
+        RandomPsdComponent(config.num_regions, config.component_rank, group_rng);
+  }
+  return sim;
+}
+
+std::size_t CohortSimulator::GroupOf(std::size_t subject) const {
+  NP_CHECK_LT(subject, group_of_.size());
+  return group_of_[subject];
+}
+
+double CohortSimulator::PerformanceScore(std::size_t subject,
+                                         TaskType task) const {
+  NP_CHECK_LT(subject, skill_.size());
+  // Task-specific offset plus the latent skill: percent-correct in
+  // [50, 100], the range of the HCP accuracy metrics.
+  const double base = 78.0 + 2.0 * static_cast<double>(static_cast<int>(task));
+  return std::clamp(base + 7.5 * skill_[subject], 50.0, 100.0);
+}
+
+linalg::Matrix CohortSimulator::StableCovariance(std::size_t subject,
+                                                 TaskType task) const {
+  const std::size_t k = static_cast<std::size_t>(static_cast<int>(task));
+  const TaskProperties props = DefaultTaskProperties(task);
+  const double a_k = config_.task_scale * props.task_strength;
+  const double b_k = config_.signature_scale * props.signature_strength;
+
+  linalg::Matrix sigma =
+      linalg::Matrix::Identity(config_.num_regions);
+  sigma *= config_.idiosyncratic_variance;
+
+  linalg::Matrix term = baseline_;
+  term *= config_.baseline_strength;
+  sigma += term;
+
+  // The subject's latent skill modulates how strongly they engage the
+  // task network (better performers activate it more coherently) — a
+  // coherent shift across all task-component edges, which is the signal
+  // Table 1's regression recovers. The multiplier stays positive for
+  // |skill| <= 2, keeping Sigma PSD.
+  const double engagement =
+      1.0 + 0.25 * config_.performance_coupling * skill_[subject];
+  term = task_comp_[k];
+  term *= a_k * std::max(0.05, engagement);
+  sigma += term;
+
+  term = signature_[subject];
+  term *= b_k;
+  sigma += term;
+
+  if (config_.performance_coupling > 0.0) {
+    // Additive behaviour-linked component on its own edge set;
+    // (2 + skill) / 2 stays positive for |skill| <= 2, keeping Sigma PSD.
+    term = perf_comp_[k];
+    term *= config_.performance_coupling * (2.0 + skill_[subject]) * 0.5;
+    sigma += term;
+  }
+
+  if (config_.group_strength > 0.0 && !group_comp_.empty()) {
+    term = group_comp_[group_of_[subject]];
+    term *= config_.group_strength;
+    sigma += term;
+  }
+  return sigma;
+}
+
+Result<linalg::Matrix> CohortSimulator::SimulateRegionSeries(
+    std::size_t subject, TaskType task, Encoding encoding) const {
+  if (subject >= config_.num_subjects) {
+    return Status::OutOfRange(
+        StrFormat("SimulateRegionSeries: subject %zu out of %zu", subject,
+                  config_.num_subjects));
+  }
+  const TaskProperties props = DefaultTaskProperties(task);
+  const std::size_t frames = config_.frames_override > 0
+                                 ? config_.frames_override
+                                 : props.num_frames;
+
+  linalg::Matrix sigma = StableCovariance(subject, task);
+
+  // Session-specific component: differs between the L-R and R-L scans, so
+  // intra-subject similarity is high but not trivially 1.
+  Rng scan_rng(ScanSeed(config_.seed, subject, task, encoding, 0xabcdef));
+  if (config_.session_noise > 0.0) {
+    linalg::Matrix session = RandomPsdComponent(
+        config_.num_regions, config_.component_rank, scan_rng);
+    session *= config_.session_noise;
+    sigma += session;
+  }
+
+  auto chol = linalg::CholeskyDecomposeWithJitter(sigma, 1e-9);
+  if (!chol.ok()) return chol.status();
+
+  // X = L Z with Z ~ N(0, I), plus white measurement noise.
+  linalg::Matrix z(config_.num_regions, frames);
+  for (std::size_t i = 0; i < z.rows(); ++i) {
+    for (std::size_t t = 0; t < frames; ++t) z(i, t) = scan_rng.Gaussian();
+  }
+  linalg::Matrix series = linalg::MatMul(*chol, z);
+
+  // Evoked stimulus-locked response for task scans: a block design
+  // convolved with the canonical HRF, projected onto the task's localized
+  // region loading. Shared across subjects (the stimulus schedule is),
+  // with the subject's engagement modulating the amplitude.
+  if (config_.evoked_amplitude > 0.0 && task != TaskType::kRest) {
+    const std::size_t block_frames = std::max<std::size_t>(
+        1, static_cast<std::size_t>(15.0 / config_.tr_seconds));
+    auto design = BlockDesign(frames, block_frames, block_frames);
+    auto kernel = HrfKernel(config_.tr_seconds);
+    if (design.ok() && kernel.ok()) {
+      auto bold = ConvolveDesign(*design, *kernel);
+      if (bold.ok()) {
+        const double engagement =
+            1.0 + 0.25 * config_.performance_coupling * skill_[subject];
+        const std::size_t k = static_cast<std::size_t>(static_cast<int>(task));
+        for (std::size_t r = 0; r < config_.num_regions; ++r) {
+          const double gain = config_.evoked_amplitude *
+                              std::max(0.05, engagement) *
+                              task_loading_[k][r];
+          if (gain == 0.0) continue;
+          double* row = series.RowPtr(r);
+          for (std::size_t t = 0; t < frames; ++t) {
+            row[t] += gain * (*bold)[t];
+          }
+        }
+      }
+    }
+  }
+
+  if (config_.measurement_noise > 0.0) {
+    for (std::size_t i = 0; i < series.rows(); ++i) {
+      double* row = series.RowPtr(i);
+      for (std::size_t t = 0; t < frames; ++t) {
+        row[t] += scan_rng.Gaussian(0.0, config_.measurement_noise);
+      }
+    }
+  }
+  return series;
+}
+
+Result<connectome::GroupMatrix> CohortSimulator::BuildGroupMatrix(
+    TaskType task, Encoding encoding, double multisite_noise_fraction) const {
+  std::vector<linalg::Vector> columns;
+  columns.reserve(config_.num_subjects);
+  for (std::size_t s = 0; s < config_.num_subjects; ++s) {
+    auto series = SimulateRegionSeries(s, task, encoding);
+    if (!series.ok()) return series.status();
+    if (multisite_noise_fraction > 0.0) {
+      Rng site_rng(ScanSeed(config_.seed, s, task, encoding, 0x517eULL));
+      NP_RETURN_IF_ERROR(
+          AddMultisiteNoise(*series, multisite_noise_fraction, site_rng));
+      NP_RETURN_IF_ERROR(
+          AddSiteEffect(*series, multisite_noise_fraction, site_rng));
+    }
+    auto conn = connectome::BuildConnectome(*series);
+    if (!conn.ok()) return conn.status();
+    auto features = connectome::VectorizeUpperTriangle(*conn);
+    if (!features.ok()) return features.status();
+    columns.push_back(std::move(features).value());
+  }
+  return connectome::GroupMatrix::FromFeatureColumns(columns, subject_ids_);
+}
+
+Status AddMultisiteNoise(linalg::Matrix& series, double variance_fraction,
+                         Rng& rng) {
+  if (variance_fraction < 0.0) {
+    return Status::InvalidArgument(
+        "AddMultisiteNoise: negative variance fraction");
+  }
+  if (variance_fraction == 0.0) return Status::OK();
+  for (std::size_t i = 0; i < series.rows(); ++i) {
+    linalg::Vector row = series.RowCopy(i);
+    const double mean = linalg::Mean(row);
+    const double sd = std::sqrt(variance_fraction * linalg::Variance(row));
+    double* data = series.RowPtr(i);
+    for (std::size_t t = 0; t < series.cols(); ++t) {
+      data[t] += rng.Gaussian(mean, sd);
+    }
+  }
+  return Status::OK();
+}
+
+Status AddSiteEffect(linalg::Matrix& series, double variance_fraction,
+                     Rng& rng) {
+  if (variance_fraction < 0.0) {
+    return Status::InvalidArgument("AddSiteEffect: negative variance fraction");
+  }
+  if (variance_fraction == 0.0 || series.cols() == 0) return Status::OK();
+
+  // Site gain couples proportionally to the noise *amplitude* (sqrt of the
+  // variance fraction), spread over a few independent site signals — a
+  // low-rank perturbation of the scan covariance.
+  constexpr std::size_t kSiteComponents = 4;
+  constexpr double kSiteCoupling = 0.45;  // Calibrated against Table 2.
+  const double per_component_variance =
+      kSiteCoupling * std::sqrt(std::sqrt(variance_fraction)) /
+      static_cast<double>(kSiteComponents);
+
+  std::vector<linalg::Vector> site_signals(kSiteComponents);
+  for (auto& signal : site_signals) {
+    signal.resize(series.cols());
+    for (double& v : signal) v = rng.Gaussian();
+  }
+
+  for (std::size_t i = 0; i < series.rows(); ++i) {
+    linalg::Vector row = series.RowCopy(i);
+    const double base_sd =
+        std::sqrt(per_component_variance * linalg::Variance(row));
+    double* data = series.RowPtr(i);
+    for (const auto& signal : site_signals) {
+      const double amplitude = rng.Gaussian() * base_sd;
+      for (std::size_t t = 0; t < series.cols(); ++t) {
+        data[t] += amplitude * signal[t];
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace neuroprint::sim

@@ -1,0 +1,159 @@
+// Generative cohort simulator — the data substrate substituting for the
+// restricted HCP and ADHD-200 datasets (see DESIGN.md, Section 1).
+//
+// Model. Each scan's region time series are drawn from a zero-mean
+// Gaussian process with covariance
+//
+//   Sigma(s, k, e) =  delta I
+//                   + w_base  * C0           (population-shared baseline)
+//                   + a_k     * T_k          (task activation component)
+//                   + b_k     * S_s          (subject identity signature)
+//                   + w_skill * skill * P_k  (behaviour-linked component)
+//                   + w_sess  * E_{s,k,e}    (session-specific component)
+//
+// where every component is a normalized random low-rank PSD matrix. The
+// identity signature S_s is the invariant the attack exploits: it is the
+// same matrix for subject s in every task, session, and site, scaled by a
+// task-dependent expressivity b_k. Sampling a finite scan and computing
+// Pearson correlations adds O(1/sqrt(frames)) estimation noise, which is
+// what makes identification non-trivial, exactly as in real fMRI.
+//
+// Everything is deterministic given the config seed: per-(subject, task,
+// session) generators are derived by hashing, so scans can be generated
+// in any order.
+
+#ifndef NEUROPRINT_SIM_COHORT_H_
+#define NEUROPRINT_SIM_COHORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "connectome/group_matrix.h"
+#include "linalg/matrix.h"
+#include "sim/task.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace neuroprint::sim {
+
+/// Scan session / phase-encoding of the HCP protocol: each subject has an
+/// L-R and an R-L scan of every condition, acquired on different days.
+enum class Encoding { kLeftRight = 0, kRightLeft = 1 };
+
+const char* EncodingName(Encoding encoding);
+
+struct CohortConfig {
+  std::size_t num_subjects = 100;
+  std::size_t num_regions = 360;
+  /// 0 keeps each task's default frame count; otherwise overrides all.
+  std::size_t frames_override = 0;
+  double tr_seconds = 0.72;
+
+  // Covariance mixture weights (see file comment).
+  double idiosyncratic_variance = 1.0;  ///< delta.
+  double baseline_strength = 0.6;       ///< w_base.
+  double task_scale = 1.0;              ///< Multiplies each a_k.
+  double signature_scale = 1.0;         ///< Multiplies each b_k.
+  double session_noise = 0.22;          ///< w_sess.
+  double performance_coupling = 0.6;    ///< w_skill.
+
+  /// Extra white noise added to every series sample (scanner noise).
+  double measurement_noise = 0.25;
+
+  /// Amplitude of the evoked (stimulus-locked) BOLD response added to
+  /// task scans: each task activates a localized subset of regions with a
+  /// block design convolved with the canonical HRF (sim/hemodynamics.h).
+  /// 0 disables evoked responses (the covariance-only model); the
+  /// evoked-response ablation bench sweeps this.
+  double evoked_amplitude = 0.0;
+
+  /// Rank of each random PSD component.
+  std::size_t component_rank = 6;
+
+  /// Optional sub-cohort structure (e.g. ADHD subtypes): sizes must sum to
+  /// num_subjects when non-empty; members share a group component.
+  std::vector<std::size_t> group_sizes;
+  double group_strength = 0.0;
+
+  std::uint64_t seed = 2026;
+};
+
+/// Preset approximating the HCP healthy-young-adult cohort used in the
+/// paper (100 unrelated subjects, 360-region atlas).
+CohortConfig HcpLikeConfig(std::uint64_t seed = 2026);
+
+/// Preset approximating ADHD-200: 116 regions, children (noisier, shorter
+/// scans), controls + three ADHD subtypes.
+CohortConfig AdhdLikeConfig(std::uint64_t seed = 4051);
+
+class CohortSimulator {
+ public:
+  /// Validates the config and precomputes shared components.
+  static Result<CohortSimulator> Create(const CohortConfig& config);
+
+  const CohortConfig& config() const { return config_; }
+
+  /// Stable synthetic subject identifiers ("S0001", ...).
+  const std::vector<std::string>& subject_ids() const { return subject_ids_; }
+
+  /// Group index of a subject (0 when group_sizes is empty).
+  std::size_t GroupOf(std::size_t subject) const;
+
+  /// Region x frames series for one scan, including measurement noise.
+  /// Deterministic in (subject, task, encoding) for a fixed config.
+  Result<linalg::Matrix> SimulateRegionSeries(std::size_t subject,
+                                              TaskType task,
+                                              Encoding encoding) const;
+
+  /// Ground-truth behavioural metric (% correct in [50, 100]) for the
+  /// subject on a task; the same latent skill perturbs the covariance.
+  double PerformanceScore(std::size_t subject, TaskType task) const;
+
+  /// Connectome feature columns for every subject under one condition:
+  /// simulate -> Pearson connectome -> vectorize -> stack. Optional
+  /// multi-site noise (the paper's Section 3.3.5 operator) is applied to
+  /// the series before correlation.
+  Result<connectome::GroupMatrix> BuildGroupMatrix(
+      TaskType task, Encoding encoding,
+      double multisite_noise_fraction = 0.0) const;
+
+ private:
+  CohortSimulator() = default;
+
+  /// The scan covariance Sigma(s, k, e) without the session component.
+  linalg::Matrix StableCovariance(std::size_t subject, TaskType task) const;
+
+  CohortConfig config_;
+  std::vector<std::string> subject_ids_;
+  std::vector<std::size_t> group_of_;
+  linalg::Matrix baseline_;                 ///< C0.
+  std::vector<linalg::Matrix> task_comp_;   ///< T_k, indexed by task.
+  std::vector<linalg::Vector> task_loading_;  ///< Evoked loadings per task.
+  std::vector<linalg::Matrix> perf_comp_;   ///< P_k, indexed by task.
+  std::vector<linalg::Matrix> signature_;   ///< S_s, indexed by subject.
+  std::vector<linalg::Matrix> group_comp_;  ///< Per group.
+  std::vector<double> skill_;               ///< Latent skill per subject.
+};
+
+/// The paper's multi-site acquisition simulation (Section 3.3.5,
+/// verbatim): to every row (time series) of `series`, adds i.i.d.
+/// Gaussian noise with mean equal to the row mean and variance equal to
+/// `variance_fraction` times the row variance.
+Status AddMultisiteNoise(linalg::Matrix& series, double variance_fraction,
+                         Rng& rng);
+
+/// Structured scanner/site effect at the same variance fraction: a shared
+/// site signal g(t) coupled into every region with a random per-region
+/// gain, i.e. a rank-one perturbation of the scan covariance. This models
+/// the part of inter-site variation (gain fields, site-specific
+/// physiological filtering) that i.i.d. noise cannot express — i.i.d.
+/// noise only shrinks all correlations uniformly, which correlation-based
+/// matching is invariant to. BuildGroupMatrix applies both operators when
+/// multisite_noise_fraction > 0 (see DESIGN.md / EXPERIMENTS.md).
+Status AddSiteEffect(linalg::Matrix& series, double variance_fraction,
+                     Rng& rng);
+
+}  // namespace neuroprint::sim
+
+#endif  // NEUROPRINT_SIM_COHORT_H_

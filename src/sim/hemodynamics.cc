@@ -1,0 +1,85 @@
+#include "sim/hemodynamics.h"
+
+#include <cmath>
+
+namespace neuroprint::sim {
+namespace {
+
+// Unnormalized gamma-density shape t^(k-1) e^(-t/theta).
+double GammaShape(double t, double shape, double scale) {
+  if (t <= 0.0) return 0.0;
+  return std::pow(t / scale, shape - 1.0) * std::exp(-t / scale);
+}
+
+}  // namespace
+
+double DoubleGammaHrf(double t_seconds) {
+  // SPM canonical parameters: response peak ~5 s (shape 6, scale 1),
+  // undershoot ~15 s (shape 16, scale 1), undershoot ratio 1/6.
+  constexpr double kPeakShape = 6.0;
+  constexpr double kUndershootShape = 16.0;
+  constexpr double kScale = 1.0;
+  constexpr double kUndershootRatio = 1.0 / 6.0;
+  if (t_seconds <= 0.0) return 0.0;
+  // Normalize each gamma by its mode value so the difference peaks near 1.
+  const double peak_mode = GammaShape((kPeakShape - 1.0) * kScale, kPeakShape, kScale);
+  const double under_mode =
+      GammaShape((kUndershootShape - 1.0) * kScale, kUndershootShape, kScale);
+  return GammaShape(t_seconds, kPeakShape, kScale) / peak_mode -
+         kUndershootRatio * GammaShape(t_seconds, kUndershootShape, kScale) /
+             under_mode;
+}
+
+Result<std::vector<double>> HrfKernel(double tr_seconds,
+                                      double duration_seconds) {
+  if (tr_seconds <= 0.0 || duration_seconds <= 0.0) {
+    return Status::InvalidArgument("HrfKernel: intervals must be positive");
+  }
+  const std::size_t samples =
+      static_cast<std::size_t>(duration_seconds / tr_seconds) + 1;
+  std::vector<double> kernel(samples);
+  double peak = 0.0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    kernel[i] = DoubleGammaHrf(static_cast<double>(i) * tr_seconds);
+    peak = std::max(peak, kernel[i]);
+  }
+  if (peak <= 0.0) {
+    return Status::FailedPrecondition(
+        "HrfKernel: kernel degenerate (TR too coarse for the HRF)");
+  }
+  for (double& v : kernel) v /= peak;
+  return kernel;
+}
+
+Result<std::vector<double>> BlockDesign(std::size_t frames,
+                                        std::size_t block_frames,
+                                        std::size_t rest_frames) {
+  if (frames == 0 || block_frames == 0) {
+    return Status::InvalidArgument("BlockDesign: empty design");
+  }
+  std::vector<double> design(frames, 0.0);
+  const std::size_t period = block_frames + rest_frames;
+  for (std::size_t t = 0; t < frames; ++t) {
+    design[t] = (t % period) >= rest_frames ? 1.0 : 0.0;
+  }
+  return design;
+}
+
+Result<std::vector<double>> ConvolveDesign(const std::vector<double>& design,
+                                           const std::vector<double>& kernel) {
+  if (design.empty() || kernel.empty()) {
+    return Status::InvalidArgument("ConvolveDesign: empty input");
+  }
+  std::vector<double> out(design.size(), 0.0);
+  for (std::size_t t = 0; t < design.size(); ++t) {
+    double acc = 0.0;
+    const std::size_t kmax = std::min(t + 1, kernel.size());
+    for (std::size_t k = 0; k < kmax; ++k) {
+      acc += kernel[k] * design[t - k];
+    }
+    out[t] = acc;
+  }
+  return out;
+}
+
+}  // namespace neuroprint::sim

@@ -1,0 +1,65 @@
+#include "sim/task.h"
+
+namespace neuroprint::sim {
+
+const char* TaskName(TaskType task) {
+  switch (task) {
+    case TaskType::kRest:
+      return "REST";
+    case TaskType::kWorkingMemory:
+      return "WM";
+    case TaskType::kGambling:
+      return "GAMBLING";
+    case TaskType::kMotor:
+      return "MOTOR";
+    case TaskType::kLanguage:
+      return "LANGUAGE";
+    case TaskType::kSocial:
+      return "SOCIAL";
+    case TaskType::kRelational:
+      return "RELATIONAL";
+    case TaskType::kEmotion:
+      return "EMOTION";
+  }
+  return "UNKNOWN";
+}
+
+TaskProperties DefaultTaskProperties(TaskType task) {
+  // signature_strength ordering mirrors Figure 5's diagonal:
+  // REST > LANGUAGE ~ RELATIONAL > SOCIAL > EMOTION ~ GAMBLING >> WM ~ MOTOR.
+  // Frame counts are scaled-down analogues of the HCP run lengths
+  // (rest 1200 frames, tasks 176-405).
+  switch (task) {
+    case TaskType::kRest:
+      return {0.55, 0.40, 300};
+    case TaskType::kWorkingMemory:
+      return {0.10, 0.85, 150};
+    case TaskType::kGambling:
+      return {0.37, 0.60, 120};
+    case TaskType::kMotor:
+      return {0.08, 0.90, 110};
+    case TaskType::kLanguage:
+      return {0.46, 0.55, 180};
+    case TaskType::kSocial:
+      return {0.47, 0.65, 130};
+    case TaskType::kRelational:
+      return {0.50, 0.60, 140};
+    case TaskType::kEmotion:
+      return {0.42, 0.70, 110};
+  }
+  return {};
+}
+
+bool HasPerformanceMetric(TaskType task) {
+  switch (task) {
+    case TaskType::kLanguage:
+    case TaskType::kEmotion:
+    case TaskType::kRelational:
+    case TaskType::kWorkingMemory:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace neuroprint::sim

@@ -1,0 +1,56 @@
+// The eight HCP scan conditions (resting state plus the seven tasks of
+// Barch et al. 2013) and their simulation properties.
+
+#ifndef NEUROPRINT_SIM_TASK_H_
+#define NEUROPRINT_SIM_TASK_H_
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace neuroprint::sim {
+
+enum class TaskType : int {
+  kRest = 0,
+  kWorkingMemory = 1,
+  kGambling = 2,
+  kMotor = 3,
+  kLanguage = 4,
+  kSocial = 5,
+  kRelational = 6,
+  kEmotion = 7,
+};
+
+inline constexpr std::array<TaskType, 8> kAllTasks = {
+    TaskType::kRest,     TaskType::kWorkingMemory, TaskType::kGambling,
+    TaskType::kMotor,    TaskType::kLanguage,      TaskType::kSocial,
+    TaskType::kRelational, TaskType::kEmotion,
+};
+
+/// "REST", "WM", "GAMBLING", ... (the paper's labels).
+const char* TaskName(TaskType task);
+
+/// Per-condition simulation properties. The two strengths are the SNR
+/// knobs calibrated against the paper's reported accuracies: the paper
+/// finds resting-state scans most identifying, language/relational strong,
+/// social moderate, and motor/working-memory weak (Figure 5); and every
+/// task's scans cluster tightly by task under t-SNE (Figure 6).
+struct TaskProperties {
+  /// How strongly the subject's identity component expresses in scans of
+  /// this condition.
+  double signature_strength = 0.3;
+  /// How strongly the condition's shared activation component expresses
+  /// (what makes scans cluster by task).
+  double task_strength = 0.6;
+  /// Frames per scan (scaled-down analogues of the HCP run lengths).
+  std::size_t num_frames = 200;
+};
+
+TaskProperties DefaultTaskProperties(TaskType task);
+
+/// True for the four tasks HCP publishes accuracy metrics for (Table 1).
+bool HasPerformanceMetric(TaskType task);
+
+}  // namespace neuroprint::sim
+
+#endif  // NEUROPRINT_SIM_TASK_H_

@@ -1,0 +1,121 @@
+#include "sim/voxel_render.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "image/resample.h"
+#include "util/string_util.h"
+
+namespace neuroprint::sim {
+
+Result<image::Volume4D> RenderVoxelRun(const atlas::Atlas& atlas,
+                                       const linalg::Matrix& region_series,
+                                       const VoxelRenderConfig& config,
+                                       Rng& rng) {
+  if (atlas.empty()) {
+    return Status::InvalidArgument("RenderVoxelRun: empty atlas");
+  }
+  if (region_series.rows() != atlas.num_regions()) {
+    return Status::InvalidArgument(StrFormat(
+        "RenderVoxelRun: %zu series rows for %zu atlas regions",
+        region_series.rows(), atlas.num_regions()));
+  }
+  const std::size_t frames = region_series.cols();
+  if (frames == 0) {
+    return Status::InvalidArgument("RenderVoxelRun: no frames");
+  }
+
+  image::Volume4D run(atlas.nx(), atlas.ny(), atlas.nz(), frames);
+  run.spacing().tr_seconds = config.tr_seconds;
+
+  // Fixed anatomical baseline per voxel.
+  std::vector<float> anatomy(run.voxels_per_volume(), 0.0f);
+  {
+    std::size_t i = 0;
+    for (std::size_t z = 0; z < atlas.nz(); ++z) {
+      for (std::size_t y = 0; y < atlas.ny(); ++y) {
+        for (std::size_t x = 0; x < atlas.nx(); ++x, ++i) {
+          if (atlas.label(x, y, z) != atlas::kBackground) {
+            anatomy[i] = static_cast<float>(
+                config.baseline_intensity +
+                rng.Gaussian(0.0, config.anatomy_noise));
+          }
+        }
+      }
+    }
+  }
+
+  // Slow scanner drift shared across voxels: quadratic with random shape.
+  const double drift_a = rng.Gaussian(0.0, 1.0);
+  const double drift_b = rng.Gaussian(0.0, 1.0);
+  std::vector<double> drift(frames, 0.0);
+  for (std::size_t t = 0; t < frames; ++t) {
+    const double u =
+        frames > 1 ? 2.0 * static_cast<double>(t) / static_cast<double>(frames - 1) - 1.0
+                   : 0.0;
+    drift[t] = config.drift_amplitude * (drift_a * u + drift_b * u * u);
+  }
+
+  // With slice timing planted, slice z sees the signal evaluated at
+  // t + f_z (it is acquired f_z of a TR late); one shifted copy of the
+  // region series per slice.
+  std::vector<linalg::Matrix> per_slice_series;
+  if (config.plant_slice_timing) {
+    const std::vector<double> fractions =
+        preprocess::SliceAcquisitionFractions(atlas.nz(), config.slice_order);
+    per_slice_series.reserve(atlas.nz());
+    for (std::size_t z = 0; z < atlas.nz(); ++z) {
+      linalg::Matrix shifted(region_series.rows(), frames);
+      for (std::size_t r = 0; r < region_series.rows(); ++r) {
+        auto row = signal::ShiftSeries(region_series.RowCopy(r), fractions[z],
+                                       signal::InterpKind::kWindowedSinc);
+        if (!row.ok()) return row.status();
+        shifted.SetRow(r, *row);
+      }
+      per_slice_series.push_back(std::move(shifted));
+    }
+  }
+
+  const std::vector<std::int32_t>& labels = atlas.flat();
+  for (std::size_t t = 0; t < frames; ++t) {
+    float* vol = run.VolumePtr(t);
+    std::size_t i = 0;
+    for (std::size_t z = 0; z < atlas.nz(); ++z) {
+      const linalg::Matrix& slice_series =
+          config.plant_slice_timing ? per_slice_series[z] : region_series;
+      for (std::size_t y = 0; y < atlas.ny(); ++y) {
+        for (std::size_t x = 0; x < atlas.nx(); ++x, ++i) {
+          if (labels[i] == atlas::kBackground) {
+            vol[i] = 0.0f;
+            continue;
+          }
+          const double signal =
+              slice_series(static_cast<std::size_t>(labels[i]) - 1, t);
+          vol[i] = static_cast<float>(
+              anatomy[i] + config.signal_scale * signal + drift[t] +
+              rng.Gaussian(0.0, config.voxel_noise));
+        }
+      }
+    }
+  }
+
+  // Head motion: a bounded random walk over translations, applied to each
+  // frame after the first.
+  if (config.motion_step > 0.0) {
+    image::RigidTransform pose;
+    for (std::size_t t = 1; t < frames; ++t) {
+      pose.translate_x = std::clamp(
+          pose.translate_x + rng.Gaussian(0.0, config.motion_step), -1.5, 1.5);
+      pose.translate_y = std::clamp(
+          pose.translate_y + rng.Gaussian(0.0, config.motion_step), -1.5, 1.5);
+      pose.translate_z = std::clamp(
+          pose.translate_z + rng.Gaussian(0.0, config.motion_step), -1.5, 1.5);
+      auto moved = image::ResampleRigid(run.ExtractVolume(t), pose);
+      if (!moved.ok()) return moved.status();
+      run.SetVolume(t, *moved);
+    }
+  }
+  return run;
+}
+
+}  // namespace neuroprint::sim

@@ -1,0 +1,51 @@
+// Rendering simulated region time series into raw 4-D voxel runs with
+// planted acquisition artifacts (baseline anatomy, voxel noise, scanner
+// drift, slice-timing offsets, head motion), so the full NIfTI ->
+// preprocessing -> connectome path is exercised on data where every
+// pipeline stage has real work to do.
+
+#ifndef NEUROPRINT_SIM_VOXEL_RENDER_H_
+#define NEUROPRINT_SIM_VOXEL_RENDER_H_
+
+#include "atlas/atlas.h"
+#include "image/volume.h"
+#include "linalg/matrix.h"
+#include "preprocess/slice_timing.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace neuroprint::sim {
+
+struct VoxelRenderConfig {
+  /// Mean tissue intensity of brain voxels.
+  double baseline_intensity = 800.0;
+  /// Scale applied to the (unit-variance) region signal.
+  double signal_scale = 25.0;
+  /// Per-voxel anatomical variation of the baseline (fixed across time).
+  double anatomy_noise = 60.0;
+  /// White measurement noise per voxel per frame.
+  double voxel_noise = 8.0;
+  /// Amplitude of a slow polynomial scanner drift shared by all voxels.
+  double drift_amplitude = 15.0;
+  /// If > 0, applies a random-walk rigid head motion with this step size
+  /// (voxels per frame); the pipeline's motion correction must undo it.
+  double motion_step = 0.0;
+  /// If true, each slice's signal is sampled at its acquisition time
+  /// within the TR (per `slice_order`), so the pipeline's slice-time
+  /// correction has a real offset to undo. Running slice-time correction
+  /// on data WITHOUT planted offsets would itself inject misalignment.
+  bool plant_slice_timing = false;
+  preprocess::SliceOrder slice_order = preprocess::SliceOrder::kInterleavedOdd;
+  double tr_seconds = 0.72;
+};
+
+/// Paints `region_series` (regions x frames, from CohortSimulator) onto
+/// the atlas grid and adds the configured artifacts.
+Result<image::Volume4D> RenderVoxelRun(const atlas::Atlas& atlas,
+                                       const linalg::Matrix& region_series,
+                                       const VoxelRenderConfig& config,
+                                       Rng& rng);
+
+}  // namespace neuroprint::sim
+
+#endif  // NEUROPRINT_SIM_VOXEL_RENDER_H_

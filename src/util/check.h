@@ -1,0 +1,77 @@
+// Fail-fast precondition macros.
+//
+// NP_CHECK is for programmer errors (violated invariants, out-of-contract
+// calls): it aborts with a message. It is always on, in all build types;
+// NP_DCHECK compiles out in NDEBUG builds and is meant for hot loops.
+// Recoverable conditions (bad input files, non-convergence) must use
+// Status/Result instead.
+
+#ifndef NEUROPRINT_UTIL_CHECK_H_
+#define NEUROPRINT_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace neuroprint::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "Check failed at %s:%d: %s%s%s\n", file, line, expr,
+               message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+// Builds the optional streamed message for a failed check lazily.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  ~CheckMessageBuilder() { CheckFailed(file_, line_, expr_, stream_.str()); }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+// Swallows the builder so the ternary's branches both have type void;
+// `&` binds more loosely than `<<`, so streamed context is applied first.
+struct CheckVoidify {
+  void operator&(const CheckMessageBuilder&) {}
+};
+
+}  // namespace neuroprint::internal
+
+/// Aborts with a diagnostic if `cond` is false. Supports streaming extra
+/// context: NP_CHECK(i < n) << "i=" << i;
+#define NP_CHECK(cond)                                          \
+  (cond) ? (void)0                                              \
+         : ::neuroprint::internal::CheckVoidify() &             \
+               ::neuroprint::internal::CheckMessageBuilder(     \
+                   __FILE__, __LINE__, #cond)
+
+#define NP_CHECK_EQ(a, b) NP_CHECK((a) == (b))
+#define NP_CHECK_NE(a, b) NP_CHECK((a) != (b))
+#define NP_CHECK_LT(a, b) NP_CHECK((a) < (b))
+#define NP_CHECK_LE(a, b) NP_CHECK((a) <= (b))
+#define NP_CHECK_GT(a, b) NP_CHECK((a) > (b))
+#define NP_CHECK_GE(a, b) NP_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define NP_DCHECK(cond) NP_CHECK(true || (cond))
+#else
+#define NP_DCHECK(cond) NP_CHECK(cond)
+#endif
+
+#endif  // NEUROPRINT_UTIL_CHECK_H_

@@ -1,0 +1,78 @@
+#include "util/csv_writer.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/check.h"
+
+namespace neuroprint {
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void AppendField(const std::string& field, std::string& out) {
+  if (!NeedsQuoting(field)) {
+    out += field;
+    return;
+  }
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+}
+
+void AppendRow(const std::vector<std::string>& row, std::string& out) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ',';
+    AppendField(row[i], out);
+  }
+  out += '\n';
+}
+
+}  // namespace
+
+void CsvWriter::SetHeader(std::vector<std::string> header) {
+  NP_CHECK(rows_.empty()) << "SetHeader must precede AddRow";
+  header_ = std::move(header);
+}
+
+void CsvWriter::AddRow(std::vector<std::string> row) {
+  if (!header_.empty()) {
+    NP_CHECK_EQ(row.size(), header_.size())
+        << "row width " << row.size() << " != header width " << header_.size();
+  }
+  rows_.push_back(std::move(row));
+}
+
+void CsvWriter::AddNumericRow(const std::vector<double>& row) {
+  std::vector<std::string> fields;
+  fields.reserve(row.size());
+  char buf[64];
+  for (double v : row) {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    fields.emplace_back(buf);
+  }
+  AddRow(std::move(fields));
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  if (!header_.empty()) AppendRow(header_, out);
+  for (const auto& row : rows_) AppendRow(row, out);
+  return out;
+}
+
+Status CsvWriter::WriteFile(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return Status::IOError("cannot open for write: " + path);
+  const std::string contents = ToString();
+  file.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  if (!file) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace neuroprint

@@ -1,0 +1,42 @@
+// Small CSV writer used by the bench harnesses to persist the rows/series
+// that regenerate the paper's tables and figures.
+
+#ifndef NEUROPRINT_UTIL_CSV_WRITER_H_
+#define NEUROPRINT_UTIL_CSV_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace neuroprint {
+
+/// Accumulates rows in memory and writes them out as RFC-4180-ish CSV
+/// (fields containing comma, quote, or newline are quoted and escaped).
+class CsvWriter {
+ public:
+  /// Sets the header row. Must be called before the first AddRow.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a row; its width must match the header if one was set.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with %.6g.
+  void AddNumericRow(const std::vector<double>& row);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Serializes header + rows to a string.
+  std::string ToString() const;
+
+  /// Writes the CSV to `path`, overwriting.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace neuroprint
+
+#endif  // NEUROPRINT_UTIL_CSV_WRITER_H_

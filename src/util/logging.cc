@@ -1,0 +1,49 @@
+#include "util/logging.h"
+
+#include <cstring>
+
+namespace neuroprint {
+
+LogSeverity& MinLogSeverity() {
+  static LogSeverity severity = LogSeverity::kWarning;
+  return severity;
+}
+
+namespace internal {
+namespace {
+
+const char* SeverityTag(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kDebug:
+      return "D";
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+
+}  // namespace
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : enabled_(severity >= MinLogSeverity()), severity_(severity) {
+  if (enabled_) {
+    stream_ << "[" << SeverityTag(severity) << " " << Basename(file) << ":"
+            << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) std::cerr << stream_.str() << "\n";
+}
+
+}  // namespace internal
+}  // namespace neuroprint

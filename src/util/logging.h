@@ -1,0 +1,47 @@
+// Minimal leveled logging to stderr.
+//
+// NP_LOG(INFO) << "fitted " << n << " subjects";
+// Severity below the global threshold is skipped cheaply. Not thread-safe
+// by design (the library itself is single-threaded per pipeline).
+
+#ifndef NEUROPRINT_UTIL_LOGGING_H_
+#define NEUROPRINT_UTIL_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace neuroprint {
+
+enum class LogSeverity { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Returns the mutable global log threshold; messages below it are dropped.
+LogSeverity& MinLogSeverity();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace neuroprint
+
+#define NP_LOG(severity)                                        \
+  ::neuroprint::internal::LogMessage(                           \
+      ::neuroprint::LogSeverity::k##severity, __FILE__, __LINE__)
+
+#endif  // NEUROPRINT_UTIL_LOGGING_H_

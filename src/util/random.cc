@@ -1,0 +1,25 @@
+#include "util/random.h"
+
+namespace neuroprint {
+
+std::size_t Rng::Categorical(const std::vector<double>& weights) {
+  NP_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    NP_DCHECK(w >= 0.0);
+    total += w;
+  }
+  NP_CHECK(total > 0.0) << "Categorical requires a positive total weight";
+  double u = Uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return i;
+  }
+  // Floating-point slack: fall back to the last positively weighted index.
+  for (std::size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0.0) return i - 1;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace neuroprint

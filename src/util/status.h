@@ -1,0 +1,177 @@
+// Status and Result<T>: exception-free error propagation for neuroprint.
+//
+// Library code never throws. Fallible operations return Status (no payload)
+// or Result<T> (payload or error), in the style of arrow::Status /
+// rocksdb::Status. Programmer errors (violated preconditions) use the
+// NP_CHECK macros from check.h instead.
+
+#ifndef NEUROPRINT_UTIL_STATUS_H_
+#define NEUROPRINT_UTIL_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace neuroprint {
+
+/// Machine-readable classification of an error.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kFailedPrecondition,
+  kNotFound,
+  kAlreadyExists,
+  kIOError,
+  kCorruptData,
+  kNotConverged,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Human-readable name of a StatusCode ("InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: OK, or a code plus message.
+///
+/// A Status is cheap to copy in the OK case (no allocation). Use the
+/// factory functions (`Status::OK()`, `Status::InvalidArgument(...)`) to
+/// construct one, and `ok()` / `code()` / `message()` to inspect it.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status CorruptData(std::string msg) {
+    return Status(StatusCode::kCorruptData, std::move(msg));
+  }
+  static Status NotConverged(std::string msg) {
+    return Status(StatusCode::kNotConverged, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// A value of type T, or the Status explaining why it could not be produced.
+///
+/// Usage:
+///   Result<Matrix> r = LoadMatrix(path);
+///   if (!r.ok()) return r.status();
+///   Matrix m = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result. `status` must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access to the value. Requires ok(); aborts otherwise.
+  const T& value() const& { return CheckedValue(); }
+  T& value() & { return CheckedMutableValue(); }
+  T&& value() && { return std::move(CheckedMutableValue()); }
+
+  const T& operator*() const& { return CheckedValue(); }
+  T& operator*() & { return CheckedMutableValue(); }
+  const T* operator->() const { return &CheckedValue(); }
+  T* operator->() { return &CheckedMutableValue(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  const T& CheckedValue() const;
+  T& CheckedMutableValue();
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+namespace internal {
+[[noreturn]] void DieBadResultAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+const T& Result<T>::CheckedValue() const {
+  if (!ok()) internal::DieBadResultAccess(status_);
+  return *value_;
+}
+
+template <typename T>
+T& Result<T>::CheckedMutableValue() {
+  if (!ok()) internal::DieBadResultAccess(status_);
+  return *value_;
+}
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define NP_RETURN_IF_ERROR(expr)                       \
+  do {                                                 \
+    ::neuroprint::Status _np_status = (expr);          \
+    if (!_np_status.ok()) return _np_status;           \
+  } while (0)
+
+/// Evaluates a Result<T> expression; on error returns its Status, otherwise
+/// move-assigns the value into `lhs` (which must already be declared).
+#define NP_ASSIGN_OR_RETURN(lhs, expr)                 \
+  do {                                                 \
+    auto _np_result = (expr);                          \
+    if (!_np_result.ok()) return _np_result.status();  \
+    lhs = std::move(_np_result).value();               \
+  } while (0)
+
+}  // namespace neuroprint
+
+#endif  // NEUROPRINT_UTIL_STATUS_H_

@@ -1,0 +1,30 @@
+// Small string helpers shared across modules.
+
+#ifndef NEUROPRINT_UTIL_STRING_UTIL_H_
+#define NEUROPRINT_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace neuroprint {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits `text` on `delim`; adjacent delimiters yield empty fields.
+std::vector<std::string> StrSplit(const std::string& text, char delim);
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep);
+
+/// True if `text` ends with `suffix`.
+bool EndsWith(const std::string& text, const std::string& suffix);
+
+/// Strips ASCII whitespace from both ends.
+std::string StrTrim(const std::string& text);
+
+}  // namespace neuroprint
+
+#endif  // NEUROPRINT_UTIL_STRING_UTIL_H_

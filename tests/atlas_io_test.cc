@@ -1,0 +1,67 @@
+// Tests for atlas <-> NIfTI label-volume conversion.
+
+#include <gtest/gtest.h>
+
+#include "atlas/atlas_io.h"
+#include "atlas/synthetic_atlas.h"
+#include "nifti/nifti_io.h"
+
+namespace neuroprint::atlas {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(AtlasIoTest, LabelVolumeRoundTrip) {
+  const auto original = Aal2LikeAtlas(7);
+  ASSERT_TRUE(original.ok());
+  const image::Volume3D labels = AtlasToLabelVolume(*original);
+  const auto restored = AtlasFromLabelVolume(labels);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->num_regions(), original->num_regions());
+  EXPECT_EQ(restored->flat(), original->flat());
+}
+
+TEST(AtlasIoTest, NiftiFileRoundTripExact) {
+  const auto original = GlasserLikeAtlas(13);
+  ASSERT_TRUE(original.ok());
+  const std::string path = TempPath("atlas_roundtrip.nii.gz");
+  ASSERT_TRUE(WriteAtlasNifti(path, *original).ok());
+  const auto restored = ReadAtlasNifti(path);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->num_regions(), 360u);
+  // Labels must be bit-exact (the writer disables integer autoscaling).
+  EXPECT_EQ(restored->flat(), original->flat());
+}
+
+TEST(AtlasIoTest, RejectsNegativeAndFractionalLabels) {
+  image::Volume3D negative(2, 2, 2, 0.0f);
+  negative.at(0, 0, 0) = -1.0f;
+  EXPECT_FALSE(AtlasFromLabelVolume(negative).ok());
+
+  image::Volume3D fractional(2, 2, 2, 0.0f);
+  fractional.at(0, 0, 0) = 1.5f;
+  EXPECT_FALSE(AtlasFromLabelVolume(fractional).ok());
+}
+
+TEST(AtlasIoTest, RejectsAllBackgroundAndGaps) {
+  const image::Volume3D empty(3, 3, 3, 0.0f);
+  EXPECT_FALSE(AtlasFromLabelVolume(empty).ok());
+
+  // Label 2 present but label 1 missing -> empty region 1.
+  image::Volume3D gap(3, 3, 3, 0.0f);
+  gap.at(1, 1, 1) = 2.0f;
+  EXPECT_FALSE(AtlasFromLabelVolume(gap).ok());
+}
+
+TEST(AtlasIoTest, Rejects4DImageAsAtlas) {
+  image::Volume4D run(3, 3, 3, 2, 1.0f);
+  const std::string path = TempPath("atlas_4d.nii");
+  ASSERT_TRUE(::neuroprint::nifti::WriteNifti(path, run).ok());
+  const auto restored = ReadAtlasNifti(path);
+  EXPECT_FALSE(restored.ok());
+}
+
+}  // namespace
+}  // namespace neuroprint::atlas

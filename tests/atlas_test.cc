@@ -1,0 +1,138 @@
+// Tests for the atlas type, the synthetic parcellation generator, and
+// region time-series extraction.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "atlas/atlas.h"
+#include "atlas/region_timeseries.h"
+#include "atlas/synthetic_atlas.h"
+
+namespace neuroprint::atlas {
+namespace {
+
+TEST(AtlasTest, LabelAccessAndCounts) {
+  Atlas atlas(4, 4, 4, 2);
+  atlas.set_label(0, 0, 0, 1);
+  atlas.set_label(1, 0, 0, 1);
+  atlas.set_label(2, 0, 0, 2);
+  EXPECT_EQ(atlas.label(0, 0, 0), 1);
+  EXPECT_EQ(atlas.label(3, 3, 3), kBackground);
+  const auto counts = atlas.RegionVoxelCounts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(atlas.BrainVoxelCount(), 3u);
+}
+
+TEST(AtlasTest, ValidateCatchesEmptyRegion) {
+  Atlas atlas(4, 4, 4, 2);
+  atlas.set_label(0, 0, 0, 1);  // Region 2 never used.
+  EXPECT_FALSE(atlas.Validate().ok());
+  atlas.set_label(1, 1, 1, 2);
+  EXPECT_TRUE(atlas.Validate().ok());
+}
+
+class SyntheticAtlasRegionsTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SyntheticAtlasRegionsTest, TilesTheMaskCompletely) {
+  SyntheticAtlasConfig config;
+  config.num_regions = GetParam();
+  config.seed = 5 + GetParam();
+  const auto atlas = GenerateSyntheticAtlas(config);
+  ASSERT_TRUE(atlas.ok()) << atlas.status();
+  EXPECT_EQ(atlas->num_regions(), GetParam());
+  EXPECT_TRUE(atlas->Validate().ok());
+
+  // Every mask voxel must be labelled (BFS reaches the whole connected
+  // ellipsoid) and all labels in range.
+  std::set<std::int32_t> labels_seen;
+  for (std::int32_t label : atlas->flat()) {
+    if (label != kBackground) labels_seen.insert(label);
+  }
+  EXPECT_EQ(labels_seen.size(), GetParam());
+  // An ellipsoid with semi-axes at 90% of each half-dimension fills
+  // roughly pi/6 * 0.9^3 ~ 38% of the box (less after discretization).
+  EXPECT_GT(atlas->BrainVoxelCount(), atlas->flat().size() / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(RegionCounts, SyntheticAtlasRegionsTest,
+                         ::testing::Values(1, 2, 10, 116, 360));
+
+TEST(SyntheticAtlasTest, DeterministicForSeed) {
+  SyntheticAtlasConfig config;
+  config.num_regions = 20;
+  config.seed = 99;
+  const auto a = GenerateSyntheticAtlas(config);
+  const auto b = GenerateSyntheticAtlas(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->flat(), b->flat());
+  config.seed = 100;
+  const auto c = GenerateSyntheticAtlas(config);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->flat(), c->flat());
+}
+
+TEST(SyntheticAtlasTest, PresetsMatchPaperRegionCounts) {
+  const auto glasser = GlasserLikeAtlas();
+  ASSERT_TRUE(glasser.ok());
+  EXPECT_EQ(glasser->num_regions(), 360u);
+  const auto aal2 = Aal2LikeAtlas();
+  ASSERT_TRUE(aal2.ok());
+  EXPECT_EQ(aal2->num_regions(), 116u);
+  // 116 * 115 / 2 = 6670, the paper's ADHD-200 feature count.
+  EXPECT_EQ(aal2->num_regions() * (aal2->num_regions() - 1) / 2, 6670u);
+}
+
+TEST(SyntheticAtlasTest, RejectsImpossibleConfigs) {
+  SyntheticAtlasConfig config;
+  config.num_regions = 0;
+  EXPECT_FALSE(GenerateSyntheticAtlas(config).ok());
+  config.num_regions = 10;
+  config.nx = 0;
+  EXPECT_FALSE(GenerateSyntheticAtlas(config).ok());
+  config.nx = 2;
+  config.ny = 2;
+  config.nz = 2;
+  config.num_regions = 1000;  // More regions than voxels.
+  EXPECT_FALSE(GenerateSyntheticAtlas(config).ok());
+}
+
+TEST(RegionTimeSeriesTest, AveragesVoxelsWithinRegions) {
+  Atlas atlas(2, 2, 1, 2);
+  atlas.set_label(0, 0, 0, 1);
+  atlas.set_label(1, 0, 0, 1);
+  atlas.set_label(0, 1, 0, 2);
+  // (1,1,0) stays background.
+  image::Volume4D run(2, 2, 1, 3);
+  run.SetVoxelTimeSeries(0, 0, 0, {1, 2, 3});
+  run.SetVoxelTimeSeries(1, 0, 0, {3, 4, 5});
+  run.SetVoxelTimeSeries(0, 1, 0, {10, 20, 30});
+  run.SetVoxelTimeSeries(1, 1, 0, {999, 999, 999});  // Ignored.
+
+  const auto series = ExtractRegionTimeSeries(run, atlas);
+  ASSERT_TRUE(series.ok()) << series.status();
+  ASSERT_EQ(series->rows(), 2u);
+  ASSERT_EQ(series->cols(), 3u);
+  EXPECT_DOUBLE_EQ((*series)(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ((*series)(0, 2), 4.0);
+  EXPECT_DOUBLE_EQ((*series)(1, 1), 20.0);
+}
+
+TEST(RegionTimeSeriesTest, RejectsGridMismatch) {
+  Atlas atlas(3, 3, 3, 1);
+  atlas.set_label(0, 0, 0, 1);
+  const image::Volume4D run(4, 4, 4, 2);
+  EXPECT_FALSE(ExtractRegionTimeSeries(run, atlas).ok());
+}
+
+TEST(RegionTimeSeriesTest, RejectsEmptyRegionAtlas) {
+  Atlas atlas(2, 2, 2, 3);  // All regions empty.
+  const image::Volume4D run(2, 2, 2, 2);
+  EXPECT_FALSE(ExtractRegionTimeSeries(run, atlas).ok());
+}
+
+}  // namespace
+}  // namespace neuroprint::atlas

@@ -1,0 +1,166 @@
+// Tests for connectome construction, triangle vectorization, and the
+// GroupMatrix container.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "connectome/connectome.h"
+#include "connectome/group_matrix.h"
+#include "linalg/stats.h"
+#include "util/random.h"
+
+namespace neuroprint::connectome {
+namespace {
+
+linalg::Matrix RandomSeries(std::size_t regions, std::size_t frames, Rng& rng) {
+  linalg::Matrix m(regions, frames);
+  for (std::size_t i = 0; i < regions; ++i) {
+    for (std::size_t j = 0; j < frames; ++j) m(i, j) = rng.Gaussian();
+  }
+  return m;
+}
+
+TEST(ConnectomeTest, UnitDiagonalSymmetricBounded) {
+  Rng rng(1);
+  const auto conn = BuildConnectome(RandomSeries(10, 50, rng));
+  ASSERT_TRUE(conn.ok());
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ((*conn)(i, i), 1.0);
+    for (std::size_t j = 0; j < 10; ++j) {
+      EXPECT_DOUBLE_EQ((*conn)(i, j), (*conn)(j, i));
+      EXPECT_LE(std::fabs((*conn)(i, j)), 1.0);
+    }
+  }
+}
+
+TEST(ConnectomeTest, PerfectlyCorrelatedRegions) {
+  linalg::Matrix series(3, 5);
+  for (std::size_t t = 0; t < 5; ++t) {
+    series(0, t) = static_cast<double>(t);
+    series(1, t) = 2.0 * static_cast<double>(t) + 1.0;  // Same up to affine.
+    series(2, t) = -static_cast<double>(t);             // Anti-correlated.
+  }
+  const auto conn = BuildConnectome(series);
+  ASSERT_TRUE(conn.ok());
+  EXPECT_NEAR((*conn)(0, 1), 1.0, 1e-12);
+  EXPECT_NEAR((*conn)(0, 2), -1.0, 1e-12);
+}
+
+TEST(ConnectomeTest, ConstantRegionCorrelatesZero) {
+  Rng rng(2);
+  linalg::Matrix series = RandomSeries(3, 20, rng);
+  for (std::size_t t = 0; t < 20; ++t) series(1, t) = 5.0;
+  const auto conn = BuildConnectome(series);
+  ASSERT_TRUE(conn.ok());
+  EXPECT_DOUBLE_EQ((*conn)(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ((*conn)(1, 1), 1.0);
+}
+
+TEST(ConnectomeTest, RejectsDegenerateInputs) {
+  Rng rng(3);
+  EXPECT_FALSE(BuildConnectome(RandomSeries(1, 10, rng)).ok());
+  EXPECT_FALSE(BuildConnectome(RandomSeries(5, 2, rng)).ok());
+  linalg::Matrix bad = RandomSeries(3, 10, rng);
+  bad(1, 1) = std::nan("");
+  EXPECT_FALSE(BuildConnectome(bad).ok());
+}
+
+TEST(VectorizeTest, NumEdgesMatchesPaper) {
+  EXPECT_EQ(NumEdges(360), 64620u);  // Glasser atlas (HCP experiments).
+  EXPECT_EQ(NumEdges(116), 6670u);   // AAL2 atlas (ADHD-200 experiments).
+  EXPECT_EQ(NumEdges(2), 1u);
+}
+
+TEST(VectorizeTest, RoundTripThroughDevectorize) {
+  Rng rng(4);
+  const auto conn = BuildConnectome(RandomSeries(8, 30, rng));
+  ASSERT_TRUE(conn.ok());
+  const auto v = VectorizeUpperTriangle(*conn);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->size(), NumEdges(8));
+  const auto back = DevectorizeUpperTriangle(*v, 8);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(linalg::AlmostEqual(*back, *conn, 1e-15));
+}
+
+TEST(VectorizeTest, OrderIsRowMajorUpperTriangle) {
+  linalg::Matrix m{{1.0, 0.1, 0.2}, {0.1, 1.0, 0.3}, {0.2, 0.3, 1.0}};
+  const auto v = VectorizeUpperTriangle(m);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, (linalg::Vector{0.1, 0.2, 0.3}));
+}
+
+TEST(VectorizeTest, RejectsNonSquareAndSizeMismatch) {
+  EXPECT_FALSE(VectorizeUpperTriangle(linalg::Matrix(2, 3)).ok());
+  EXPECT_FALSE(DevectorizeUpperTriangle({1, 2, 3}, 4).ok());  // Needs 6.
+}
+
+TEST(EdgeIndexTest, MapsToCorrectPairs) {
+  // For 4 regions, edges in order: (0,1),(0,2),(0,3),(1,2),(1,3),(2,3).
+  const std::pair<std::size_t, std::size_t> expected[] = {
+      {0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}};
+  for (std::size_t e = 0; e < 6; ++e) {
+    const auto pair = EdgeIndexToRegionPair(e, 4);
+    ASSERT_TRUE(pair.ok());
+    EXPECT_EQ(*pair, expected[e]) << "edge " << e;
+  }
+  EXPECT_FALSE(EdgeIndexToRegionPair(6, 4).ok());
+}
+
+TEST(EdgeIndexTest, ConsistentWithVectorizeOrder) {
+  // The value at feature index e must equal m(i, j) for the mapped pair.
+  Rng rng(5);
+  const auto conn = BuildConnectome(RandomSeries(12, 40, rng));
+  const auto v = VectorizeUpperTriangle(*conn);
+  ASSERT_TRUE(v.ok());
+  for (std::size_t e = 0; e < v->size(); e += 7) {
+    const auto pair = EdgeIndexToRegionPair(e, 12);
+    ASSERT_TRUE(pair.ok());
+    EXPECT_DOUBLE_EQ((*v)[e], (*conn)(pair->first, pair->second));
+  }
+}
+
+TEST(GroupMatrixTest, FromConnectomesStacksColumns) {
+  Rng rng(6);
+  std::vector<linalg::Matrix> connectomes;
+  for (int s = 0; s < 3; ++s) {
+    connectomes.push_back(*BuildConnectome(RandomSeries(6, 25, rng)));
+  }
+  const auto group =
+      GroupMatrix::FromConnectomes(connectomes, {"s1", "s2", "s3"});
+  ASSERT_TRUE(group.ok());
+  EXPECT_EQ(group->num_features(), NumEdges(6));
+  EXPECT_EQ(group->num_subjects(), 3u);
+  // Column 1 equals subject 2's vectorized connectome.
+  const auto v = VectorizeUpperTriangle(connectomes[1]);
+  EXPECT_EQ(group->SubjectColumn(1), *v);
+}
+
+TEST(GroupMatrixTest, RejectsInconsistentInputs) {
+  Rng rng(7);
+  std::vector<linalg::Matrix> mixed = {
+      *BuildConnectome(RandomSeries(6, 25, rng)),
+      *BuildConnectome(RandomSeries(7, 25, rng))};
+  EXPECT_FALSE(GroupMatrix::FromConnectomes(mixed, {"a", "b"}).ok());
+  std::vector<linalg::Matrix> one = {*BuildConnectome(RandomSeries(6, 25, rng))};
+  EXPECT_FALSE(GroupMatrix::FromConnectomes(one, {"a", "b"}).ok());
+  EXPECT_FALSE(GroupMatrix::FromConnectomes({}, {}).ok());
+}
+
+TEST(GroupMatrixTest, RestrictToFeatures) {
+  const auto group = GroupMatrix::FromFeatureColumns(
+      {{1, 2, 3, 4}, {5, 6, 7, 8}}, {"a", "b"});
+  ASSERT_TRUE(group.ok());
+  const auto reduced = group->RestrictToFeatures({3, 1});
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_EQ(reduced->num_features(), 2u);
+  EXPECT_EQ(reduced->SubjectColumn(0), (linalg::Vector{4, 2}));
+  EXPECT_EQ(reduced->SubjectColumn(1), (linalg::Vector{8, 6}));
+  EXPECT_EQ(reduced->subject_ids(), group->subject_ids());
+  EXPECT_FALSE(group->RestrictToFeatures({9}).ok());
+  EXPECT_FALSE(group->RestrictToFeatures({}).ok());
+}
+
+}  // namespace
+}  // namespace neuroprint::connectome

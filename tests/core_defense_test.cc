@@ -1,0 +1,210 @@
+// Tests for the leverage-guided signature-suppression defense (the
+// paper's Discussion section): suppression must break re-identification
+// while leaving untargeted edges bit-identical.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/defense.h"
+#include "sim/cohort.h"
+
+namespace neuroprint::core {
+namespace {
+
+class DefenseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sim::CohortConfig config;
+    config.num_subjects = 14;
+    config.num_regions = 40;
+    config.frames_override = 220;
+    config.seed = 321;
+    auto cohort = sim::CohortSimulator::Create(config);
+    ASSERT_TRUE(cohort.ok());
+    auto known = cohort->BuildGroupMatrix(sim::TaskType::kRest,
+                                          sim::Encoding::kLeftRight);
+    auto release = cohort->BuildGroupMatrix(sim::TaskType::kRest,
+                                            sim::Encoding::kRightLeft);
+    ASSERT_TRUE(known.ok());
+    ASSERT_TRUE(release.ok());
+    known_ = std::move(known).value();
+    release_ = std::move(release).value();
+  }
+
+  connectome::GroupMatrix known_;
+  connectome::GroupMatrix release_;
+};
+
+TEST_F(DefenseTest, TargetsHighestLeverageEdges) {
+  DefenseOptions options;
+  options.num_edges = 50;
+  const auto defense = SignatureDefense::Fit(release_, options);
+  ASSERT_TRUE(defense.ok());
+  EXPECT_EQ(defense->target_edges().size(), 50u);
+  // The target set must coincide with the attack's own feature choice —
+  // defender and attacker are optimizing over the same scores.
+  AttackOptions attack_options;
+  attack_options.num_features = 50;
+  const auto attack = DeanonymizationAttack::Fit(release_, attack_options);
+  ASSERT_TRUE(attack.ok());
+  EXPECT_EQ(defense->target_edges(), attack->selected_features());
+}
+
+TEST_F(DefenseTest, UntargetedEdgesBitIdentical) {
+  DefenseOptions options;
+  options.num_edges = 30;
+  const auto defense = SignatureDefense::Fit(release_, options);
+  ASSERT_TRUE(defense.ok());
+  const auto defended = defense->Apply(release_);
+  ASSERT_TRUE(defended.ok());
+  std::vector<bool> targeted(release_.num_features(), false);
+  for (std::size_t edge : defense->target_edges()) targeted[edge] = true;
+  for (std::size_t e = 0; e < release_.num_features(); ++e) {
+    for (std::size_t s = 0; s < release_.num_subjects(); ++s) {
+      if (!targeted[e]) {
+        ASSERT_EQ(defended->data()(e, s), release_.data()(e, s));
+      }
+    }
+  }
+}
+
+TEST_F(DefenseTest, MeanSubstituteRemovesEdgeVariance) {
+  DefenseOptions options;
+  options.num_edges = 10;
+  options.mode = DefenseMode::kMeanSubstitute;
+  const auto defense = SignatureDefense::Fit(release_, options);
+  ASSERT_TRUE(defense.ok());
+  const auto defended = defense->Apply(release_);
+  ASSERT_TRUE(defended.ok());
+  for (std::size_t edge : defense->target_edges()) {
+    const double first = defended->data()(edge, 0);
+    for (std::size_t s = 1; s < release_.num_subjects(); ++s) {
+      EXPECT_DOUBLE_EQ(defended->data()(edge, s), first);
+    }
+  }
+}
+
+TEST_F(DefenseTest, ShufflePreservesMultiset) {
+  DefenseOptions options;
+  options.num_edges = 10;
+  options.mode = DefenseMode::kShuffle;
+  const auto defense = SignatureDefense::Fit(release_, options);
+  ASSERT_TRUE(defense.ok());
+  const auto defended = defense->Apply(release_);
+  ASSERT_TRUE(defended.ok());
+  for (std::size_t edge : defense->target_edges()) {
+    linalg::Vector before = release_.data().RowCopy(edge);
+    linalg::Vector after = defended->data().RowCopy(edge);
+    std::sort(before.begin(), before.end());
+    std::sort(after.begin(), after.end());
+    EXPECT_EQ(before, after);
+  }
+}
+
+TEST_F(DefenseTest, SuppressionDegradesStaticAttacker) {
+  DefenseOptions options;
+  options.num_edges = 400;
+  options.mode = DefenseMode::kShuffle;
+  AttackOptions attack_options;
+  attack_options.num_features = 60;
+  const auto eval = EvaluateDefense(known_, release_, options, attack_options);
+  ASSERT_TRUE(eval.ok()) << eval.status();
+  EXPECT_GE(eval->accuracy_undefended, 0.85);
+  EXPECT_LT(eval->accuracy_static_attacker, 0.6 * eval->accuracy_undefended);
+  EXPECT_GT(eval->untouched_fraction, 0.4);
+}
+
+TEST_F(DefenseTest, DistortionGrowsWithNoiseScale) {
+  AttackOptions attack_options;
+  attack_options.num_features = 60;
+  DefenseOptions small;
+  small.noise_scale = 0.5;
+  DefenseOptions large;
+  large.noise_scale = 4.0;
+  const auto eval_small = EvaluateDefense(known_, release_, small, attack_options);
+  const auto eval_large = EvaluateDefense(known_, release_, large, attack_options);
+  ASSERT_TRUE(eval_small.ok());
+  ASSERT_TRUE(eval_large.ok());
+  EXPECT_GT(eval_large->distortion, eval_small->distortion);
+  // Small-scale noise on 200 of 780 edges stays a modest perturbation.
+  EXPECT_LT(eval_small->distortion, 0.5);
+}
+
+
+TEST_F(DefenseTest, GroupContrastSurvivesTargetedDefense) {
+  // Split subjects into two synthetic groups and plant a group effect by
+  // shifting a band of LOW-leverage edges in group 1; the defense only
+  // touches top-leverage edges, so the contrast must survive.
+  connectome::GroupMatrix shifted = release_;
+  std::vector<int> group_of(release_.num_subjects(), 0);
+  for (std::size_t j = release_.num_subjects() / 2;
+       j < release_.num_subjects(); ++j) {
+    group_of[j] = 1;
+  }
+  auto scores = ComputeLeverageScores(release_.data());
+  ASSERT_TRUE(scores.ok());
+  const auto order = TopKIndices(*scores, scores->size());
+  // Bottom 100 edges carry the group effect.
+  for (std::size_t k = order.size() - 100; k < order.size(); ++k) {
+    double* row = shifted.mutable_data().RowPtr(order[k]);
+    for (std::size_t j = 0; j < release_.num_subjects(); ++j) {
+      if (group_of[j] == 1) row[j] += 0.3;
+    }
+  }
+
+  DefenseOptions options;
+  options.num_edges = 100;
+  options.mode = DefenseMode::kShuffle;
+  auto defense = SignatureDefense::Fit(shifted, options);
+  ASSERT_TRUE(defense.ok());
+  auto defended = defense->Apply(shifted);
+  ASSERT_TRUE(defended.ok());
+
+  auto preservation =
+      GroupContrastPreservation(shifted, *defended, group_of);
+  ASSERT_TRUE(preservation.ok()) << preservation.status();
+  EXPECT_GT(*preservation, 0.95);
+
+  // Sanity: defending the very edges carrying the contrast destroys it.
+  DefenseOptions everything;
+  everything.num_edges = shifted.num_features();
+  everything.mode = DefenseMode::kShuffle;
+  auto kill_all = SignatureDefense::Fit(shifted, everything);
+  ASSERT_TRUE(kill_all.ok());
+  auto flattened = kill_all->Apply(shifted);
+  ASSERT_TRUE(flattened.ok());
+  auto destroyed =
+      GroupContrastPreservation(shifted, *flattened, group_of);
+  ASSERT_TRUE(destroyed.ok());
+  EXPECT_LT(*destroyed, *preservation);
+}
+
+TEST_F(DefenseTest, GroupContrastValidation) {
+  const std::vector<int> bad_labels(release_.num_subjects(), 0);
+  EXPECT_FALSE(
+      GroupContrastPreservation(release_, release_, bad_labels).ok());
+  std::vector<int> invalid(release_.num_subjects(), 0);
+  invalid[0] = 2;
+  EXPECT_FALSE(GroupContrastPreservation(release_, release_, invalid).ok());
+  EXPECT_FALSE(GroupContrastPreservation(release_, release_, {0, 1}).ok());
+}
+
+TEST_F(DefenseTest, RejectsBadConfigs) {
+  DefenseOptions zero;
+  zero.num_edges = 0;
+  EXPECT_FALSE(SignatureDefense::Fit(release_, zero).ok());
+  DefenseOptions negative;
+  negative.noise_scale = -1.0;
+  EXPECT_FALSE(SignatureDefense::Fit(release_, negative).ok());
+  // Applying to a smaller feature space fails.
+  const auto defense = SignatureDefense::Fit(release_);
+  ASSERT_TRUE(defense.ok());
+  const auto tiny =
+      connectome::GroupMatrix::FromFeatureColumns({{1.0, 2.0}}, {"x"});
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_FALSE(defense->Apply(*tiny).ok());
+}
+
+}  // namespace
+}  // namespace neuroprint::core

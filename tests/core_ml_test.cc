@@ -1,0 +1,350 @@
+// Tests for t-SNE (Algorithm 2), k-NN classification, the linear
+// epsilon-SVR, and the task-performance regression harness.
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "core/knn.h"
+#include "core/svr.h"
+#include "core/task_performance.h"
+#include "core/tsne.h"
+#include "linalg/vector_ops.h"
+#include "sim/cohort.h"
+#include "util/random.h"
+
+namespace neuroprint::core {
+namespace {
+
+// Three well-separated Gaussian blobs in 10 dimensions.
+struct BlobData {
+  linalg::Matrix points;
+  std::vector<int> labels;
+};
+
+BlobData MakeBlobs(std::size_t per_blob, double separation, Rng& rng) {
+  const std::size_t dims = 10;
+  BlobData data;
+  data.points = linalg::Matrix(3 * per_blob, dims);
+  for (std::size_t blob = 0; blob < 3; ++blob) {
+    linalg::Vector centre(dims, 0.0);
+    centre[blob] = separation;
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      const std::size_t row = blob * per_blob + i;
+      for (std::size_t d = 0; d < dims; ++d) {
+        data.points(row, d) = centre[d] + rng.Gaussian();
+      }
+      data.labels.push_back(static_cast<int>(blob));
+    }
+  }
+  return data;
+}
+
+// ---------------------------------------------------------------------------
+// t-SNE
+
+TEST(TsneJointProbabilitiesTest, RowsHitTargetPerplexity) {
+  Rng rng(1);
+  const BlobData data = MakeBlobs(15, 8.0, rng);
+  // Build squared distances directly.
+  const std::size_t n = data.points.rows();
+  linalg::Matrix d2(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const linalg::Vector diff =
+          linalg::Subtract(data.points.RowCopy(i), data.points.RowCopy(j));
+      d2(i, j) = linalg::Norm2Squared(diff);
+    }
+  }
+  const double perplexity = 10.0;
+  const auto p = TsneJointProbabilities(d2, perplexity);
+  ASSERT_TRUE(p.ok());
+  // Joint distribution sums to 1, is symmetric, zero diagonal.
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ((*p)(i, i), 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_DOUBLE_EQ((*p)(i, j), (*p)(j, i));
+      total += (*p)(i, j);
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(TsneJointProbabilitiesTest, RejectsBadInputs) {
+  EXPECT_FALSE(TsneJointProbabilities(linalg::Matrix(3, 3), 2.0).ok());
+  EXPECT_FALSE(TsneJointProbabilities(linalg::Matrix(10, 8), 2.0).ok());
+  // Perplexity too large for the point count.
+  EXPECT_FALSE(TsneJointProbabilities(linalg::Matrix(10, 10), 5.0).ok());
+}
+
+TEST(TsneTest, SeparatesBlobsInTwoDimensions) {
+  Rng rng(2);
+  const BlobData data = MakeBlobs(20, 10.0, rng);
+  TsneOptions options;
+  options.perplexity = 12.0;
+  options.max_iterations = 400;
+  const auto result = TsneEmbed(data.points, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->embedding.rows(), 60u);
+  ASSERT_EQ(result->embedding.cols(), 2u);
+  EXPECT_TRUE(result->embedding.AllFinite());
+  EXPECT_GT(result->kl_divergence, 0.0);
+  EXPECT_LT(result->kl_divergence, 1.5);
+
+  // Every point's nearest neighbour in the embedding shares its label.
+  std::size_t good = 0;
+  for (std::size_t i = 0; i < 60; ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_j = i;
+    for (std::size_t j = 0; j < 60; ++j) {
+      if (i == j) continue;
+      const double dx = result->embedding(i, 0) - result->embedding(j, 0);
+      const double dy = result->embedding(i, 1) - result->embedding(j, 1);
+      const double d = dx * dx + dy * dy;
+      if (d < best) {
+        best = d;
+        best_j = j;
+      }
+    }
+    if (data.labels[i] == data.labels[best_j]) ++good;
+  }
+  EXPECT_GE(good, 58u);
+}
+
+TEST(TsneTest, DeterministicForSeed) {
+  Rng rng(3);
+  const BlobData data = MakeBlobs(8, 6.0, rng);
+  TsneOptions options;
+  options.perplexity = 5.0;
+  options.max_iterations = 100;
+  const auto a = TsneEmbed(data.points, options);
+  const auto b = TsneEmbed(data.points, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(linalg::AlmostEqual(a->embedding, b->embedding, 0.0));
+}
+
+TEST(TsneTest, RejectsBadOptionsAndInputs) {
+  Rng rng(4);
+  const BlobData data = MakeBlobs(8, 6.0, rng);
+  TsneOptions bad_dims;
+  bad_dims.output_dims = 0;
+  EXPECT_FALSE(TsneEmbed(data.points, bad_dims).ok());
+  TsneOptions bad_iters;
+  bad_iters.max_iterations = 0;
+  EXPECT_FALSE(TsneEmbed(data.points, bad_iters).ok());
+  EXPECT_FALSE(TsneEmbed(linalg::Matrix(2, 3)).ok());
+  linalg::Matrix nan_points = data.points;
+  nan_points(0, 0) = std::nan("");
+  EXPECT_FALSE(TsneEmbed(nan_points).ok());
+}
+
+// ---------------------------------------------------------------------------
+// k-NN
+
+TEST(KnnTest, OneNearestNeighbour) {
+  linalg::Matrix train{{0, 0}, {10, 10}, {0, 10}};
+  const std::vector<int> labels{1, 2, 3};
+  linalg::Matrix queries{{1, 1}, {9, 9}, {1, 9}};
+  const auto predicted = KnnClassify(train, labels, queries, 1);
+  ASSERT_TRUE(predicted.ok());
+  EXPECT_EQ(*predicted, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(KnnTest, MajorityVoteWithK3) {
+  linalg::Matrix train{{0, 0}, {0.5, 0}, {0.6, 0}, {10, 10}};
+  const std::vector<int> labels{7, 7, 8, 8};
+  linalg::Matrix queries{{0.2, 0}};
+  const auto predicted = KnnClassify(train, labels, queries, 3);
+  ASSERT_TRUE(predicted.ok());
+  EXPECT_EQ((*predicted)[0], 7);  // Two of the three nearest are label 7.
+}
+
+TEST(KnnTest, AccuracyHelperAndValidation) {
+  const auto acc = ClassificationAccuracy({1, 2, 3}, {1, 2, 4});
+  ASSERT_TRUE(acc.ok());
+  EXPECT_NEAR(*acc, 2.0 / 3.0, 1e-12);
+  EXPECT_FALSE(ClassificationAccuracy({1}, {1, 2}).ok());
+  EXPECT_FALSE(ClassificationAccuracy({}, {}).ok());
+
+  linalg::Matrix train{{0, 0}};
+  EXPECT_FALSE(KnnClassify(train, {1, 2}, train, 1).ok());
+  EXPECT_FALSE(KnnClassify(train, {1}, train, 0).ok());
+  EXPECT_FALSE(KnnClassify(train, {1}, train, 2).ok());
+  linalg::Matrix wrong_dims{{0, 0, 0}};
+  EXPECT_FALSE(KnnClassify(train, {1}, wrong_dims, 1).ok());
+}
+
+// ---------------------------------------------------------------------------
+// SVR
+
+TEST(SvrTest, FitsExactLinearFunction) {
+  Rng rng(5);
+  const std::size_t n = 60, d = 4;
+  linalg::Matrix x(n, d);
+  linalg::Vector y(n);
+  const linalg::Vector w{1.5, -2.0, 0.5, 3.0};
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = 0.7;  // Bias.
+    for (std::size_t j = 0; j < d; ++j) {
+      x(i, j) = rng.Gaussian();
+      sum += w[j] * x(i, j);
+    }
+    y[i] = sum;
+  }
+  SvrOptions options;
+  options.cost = 100.0;
+  options.epsilon = 0.01;
+  options.max_epochs = 5000;
+  const auto model = LinearSvr::Fit(x, y, options);
+  ASSERT_TRUE(model.ok()) << model.status();
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(model->Predict(x.RowCopy(i)), y[i], 0.05);
+  }
+  for (std::size_t j = 0; j < d; ++j) {
+    EXPECT_NEAR(model->weights()[j], w[j], 0.05);
+  }
+  EXPECT_NEAR(model->bias(), 0.7, 0.05);
+}
+
+TEST(SvrTest, EpsilonTubeIgnoresSmallNoise) {
+  // Targets within the tube produce a sparse dual: a flat function fits.
+  Rng rng(6);
+  linalg::Matrix x(30, 2);
+  linalg::Vector y(30);
+  for (std::size_t i = 0; i < 30; ++i) {
+    x(i, 0) = rng.Gaussian();
+    x(i, 1) = rng.Gaussian();
+    y[i] = 0.01 * rng.Gaussian();  // Essentially zero inside epsilon=0.5.
+  }
+  SvrOptions options;
+  options.epsilon = 0.5;
+  const auto model = LinearSvr::Fit(x, y, options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_LT(std::fabs(model->weights()[0]), 0.05);
+  EXPECT_LT(std::fabs(model->weights()[1]), 0.05);
+}
+
+TEST(SvrTest, CostBoundsInfluenceOfOutliers) {
+  // One wild outlier: with small C its influence is capped.
+  linalg::Matrix x(11, 1);
+  linalg::Vector y(11);
+  for (std::size_t i = 0; i < 10; ++i) {
+    x(i, 0) = static_cast<double>(i) / 10.0;
+    y[i] = x(i, 0);
+  }
+  x(10, 0) = 0.5;
+  y[10] = 1000.0;
+  SvrOptions options;
+  options.cost = 0.1;
+  options.epsilon = 0.05;
+  const auto model = LinearSvr::Fit(x, y, options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_LT(model->Predict({0.5}), 10.0);  // Not dragged to 1000.
+}
+
+TEST(SvrTest, PredictBatchMatchesPredict) {
+  Rng rng(7);
+  linalg::Matrix x(10, 3);
+  linalg::Vector y(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) x(i, j) = rng.Gaussian();
+    y[i] = x(i, 0);
+  }
+  const auto model = LinearSvr::Fit(x, y);
+  ASSERT_TRUE(model.ok());
+  const auto batch = model->PredictBatch(x);
+  ASSERT_TRUE(batch.ok());
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ((*batch)[i], model->Predict(x.RowCopy(i)));
+  }
+}
+
+TEST(SvrTest, RejectsBadInputs) {
+  EXPECT_FALSE(LinearSvr::Fit(linalg::Matrix(), {}).ok());
+  EXPECT_FALSE(LinearSvr::Fit(linalg::Matrix(3, 2), {1.0}).ok());
+  linalg::Matrix bad(2, 2, 1.0);
+  bad(0, 0) = std::nan("");
+  EXPECT_FALSE(LinearSvr::Fit(bad, {1.0, 2.0}).ok());
+  SvrOptions negative_cost;
+  negative_cost.cost = -1.0;
+  EXPECT_FALSE(
+      LinearSvr::Fit(linalg::Matrix(2, 2, 1.0), {1.0, 2.0}, negative_cost).ok());
+}
+
+TEST(NrmseTest, KnownValues) {
+  // RMSE 1 on targets with mean 10 -> 10%.
+  const auto v = NormalizedRmsePercent({11, 9, 11, 9}, {10, 10, 10, 10});
+  ASSERT_TRUE(v.ok());
+  EXPECT_NEAR(*v, 10.0, 1e-9);
+  const auto exact = NormalizedRmsePercent({5, 6}, {5, 6});
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NEAR(*exact, 0.0, 1e-12);
+  EXPECT_FALSE(NormalizedRmsePercent({1}, {1, 2}).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Performance regression on the simulated cohort
+
+TEST(PerformanceRegressionTest, RecoversPlantedSkillSignal) {
+  sim::CohortConfig config;
+  config.num_subjects = 40;
+  config.num_regions = 40;
+  config.frames_override = 200;
+  config.seed = 99;
+  const auto cohort = sim::CohortSimulator::Create(config);
+  ASSERT_TRUE(cohort.ok());
+  const auto group = cohort->BuildGroupMatrix(sim::TaskType::kLanguage,
+                                              sim::Encoding::kLeftRight);
+  ASSERT_TRUE(group.ok());
+
+  std::vector<linalg::Vector> train_cols, test_cols;
+  std::vector<std::string> train_ids, test_ids;
+  linalg::Vector train_scores, test_scores;
+  for (std::size_t s = 0; s < 40; ++s) {
+    const double score = cohort->PerformanceScore(s, sim::TaskType::kLanguage);
+    if (s < 32) {
+      train_cols.push_back(group->SubjectColumn(s));
+      train_ids.push_back(group->subject_ids()[s]);
+      train_scores.push_back(score);
+    } else {
+      test_cols.push_back(group->SubjectColumn(s));
+      test_ids.push_back(group->subject_ids()[s]);
+      test_scores.push_back(score);
+    }
+  }
+  const auto train =
+      connectome::GroupMatrix::FromFeatureColumns(train_cols, train_ids);
+  const auto test =
+      connectome::GroupMatrix::FromFeatureColumns(test_cols, test_ids);
+  ASSERT_TRUE(train.ok());
+  ASSERT_TRUE(test.ok());
+
+  PerformanceRegressionOptions options;
+  options.num_features = 400;
+  const auto eval = EvaluatePerformancePrediction(*train, train_scores, *test,
+                                                  test_scores, options);
+  ASSERT_TRUE(eval.ok()) << eval.status();
+  EXPECT_LT(eval->train_nrmse_percent, 2.0);
+  EXPECT_LT(eval->test_nrmse_percent, 8.0);
+  // Prediction must beat the trivial predict-the-mean baseline on test.
+  linalg::Vector mean_pred(test_scores.size(), linalg::Mean(train_scores));
+  const auto baseline = NormalizedRmsePercent(mean_pred, test_scores);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_LT(eval->test_nrmse_percent, 0.8 * *baseline);
+}
+
+TEST(PerformanceRegressionTest, RejectsMismatchedScores) {
+  const auto group = connectome::GroupMatrix::FromFeatureColumns(
+      {{1, 2, 3}, {4, 5, 6}}, {"a", "b"});
+  ASSERT_TRUE(group.ok());
+  EXPECT_FALSE(PerformanceRegressor::Fit(*group, {1.0}).ok());
+  PerformanceRegressionOptions zero;
+  zero.num_features = 0;
+  EXPECT_FALSE(PerformanceRegressor::Fit(*group, {1.0, 2.0}, zero).ok());
+}
+
+}  // namespace
+}  // namespace neuroprint::core

@@ -1,0 +1,95 @@
+// Tests for binary GroupMatrix persistence: bit-exact round trips and
+// corrupt-file rejection.
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "connectome/group_matrix_io.h"
+#include "util/random.h"
+
+namespace neuroprint::connectome {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+GroupMatrix MakeGroup(std::size_t features, std::size_t subjects, Rng& rng) {
+  std::vector<linalg::Vector> columns(subjects);
+  std::vector<std::string> ids;
+  for (std::size_t j = 0; j < subjects; ++j) {
+    columns[j].resize(features);
+    for (double& v : columns[j]) v = rng.Gaussian();
+    ids.push_back("subject-" + std::to_string(j));
+  }
+  return *GroupMatrix::FromFeatureColumns(columns, ids);
+}
+
+TEST(GroupMatrixIoTest, RoundTripBitExact) {
+  Rng rng(5);
+  const GroupMatrix group = MakeGroup(500, 7, rng);
+  const std::string path = TempPath("group_roundtrip.npgm");
+  ASSERT_TRUE(WriteGroupMatrix(path, group).ok());
+  const auto restored = ReadGroupMatrix(path);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->num_features(), 500u);
+  EXPECT_EQ(restored->num_subjects(), 7u);
+  EXPECT_EQ(restored->subject_ids(), group.subject_ids());
+  for (std::size_t j = 0; j < 7; ++j) {
+    EXPECT_EQ(restored->SubjectColumn(j), group.SubjectColumn(j));
+  }
+}
+
+TEST(GroupMatrixIoTest, EmptySubjectIdSurvives) {
+  const auto group =
+      GroupMatrix::FromFeatureColumns({{1.0, 2.0}, {3.0, 4.0}}, {"", "x"});
+  ASSERT_TRUE(group.ok());
+  const std::string path = TempPath("group_empty_id.npgm");
+  ASSERT_TRUE(WriteGroupMatrix(path, *group).ok());
+  const auto restored = ReadGroupMatrix(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->subject_ids()[0], "");
+  EXPECT_EQ(restored->subject_ids()[1], "x");
+}
+
+TEST(GroupMatrixIoTest, RejectsMissingAndGarbageFiles) {
+  EXPECT_EQ(ReadGroupMatrix(TempPath("nope.npgm")).status().code(),
+            StatusCode::kIOError);
+  const std::string path = TempPath("garbage.npgm");
+  std::ofstream(path) << "this is not a group matrix";
+  EXPECT_EQ(ReadGroupMatrix(path).status().code(), StatusCode::kCorruptData);
+}
+
+TEST(GroupMatrixIoTest, RejectsTruncatedValues) {
+  Rng rng(6);
+  const GroupMatrix group = MakeGroup(100, 4, rng);
+  const std::string path = TempPath("group_truncated.npgm");
+  ASSERT_TRUE(WriteGroupMatrix(path, group).ok());
+  // Chop the last kilobyte off.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  std::string contents(static_cast<std::size_t>(in.tellg()) - 1024, '\0');
+  in.seekg(0);
+  in.read(contents.data(), static_cast<std::streamsize>(contents.size()));
+  in.close();
+  std::ofstream(path, std::ios::binary | std::ios::trunc)
+      .write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  EXPECT_EQ(ReadGroupMatrix(path).status().code(), StatusCode::kCorruptData);
+}
+
+TEST(GroupMatrixIoTest, RejectsImplausibleDimensions) {
+  // Hand-craft a header claiming 2^40 features.
+  const std::string path = TempPath("group_huge.npgm");
+  std::ofstream out(path, std::ios::binary);
+  out.write("NPGM", 4);
+  const std::uint32_t version = 1;
+  const std::uint64_t features = 1ull << 40, subjects = 1;
+  out.write(reinterpret_cast<const char*>(&version), 4);
+  out.write(reinterpret_cast<const char*>(&features), 8);
+  out.write(reinterpret_cast<const char*>(&subjects), 8);
+  out.close();
+  EXPECT_EQ(ReadGroupMatrix(path).status().code(), StatusCode::kCorruptData);
+}
+
+}  // namespace
+}  // namespace neuroprint::connectome

@@ -1,0 +1,148 @@
+// Tests for the haemodynamic response model, block designs, and evoked
+// responses in the cohort simulator.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/vector_ops.h"
+#include "sim/cohort.h"
+#include "sim/hemodynamics.h"
+
+namespace neuroprint::sim {
+namespace {
+
+TEST(HrfTest, CanonicalShape) {
+  // Zero before stimulus onset.
+  EXPECT_DOUBLE_EQ(DoubleGammaHrf(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(DoubleGammaHrf(0.0), 0.0);
+  // Peak near 5 s with value ~1 (per-gamma mode normalization).
+  double peak_t = 0.0, peak_v = 0.0;
+  for (double t = 0.0; t < 30.0; t += 0.05) {
+    const double v = DoubleGammaHrf(t);
+    if (v > peak_v) {
+      peak_v = v;
+      peak_t = t;
+    }
+  }
+  EXPECT_NEAR(peak_t, 5.0, 0.5);
+  EXPECT_NEAR(peak_v, 1.0, 0.1);
+  // Post-stimulus undershoot: negative dip after ~10 s.
+  double min_v = 1.0;
+  for (double t = 8.0; t < 25.0; t += 0.05) {
+    min_v = std::min(min_v, DoubleGammaHrf(t));
+  }
+  EXPECT_LT(min_v, -0.02);
+  // Decays back to ~0 by 30 s.
+  EXPECT_NEAR(DoubleGammaHrf(30.0), 0.0, 0.01);
+}
+
+TEST(HrfTest, KernelSampledAndNormalized) {
+  const auto kernel = HrfKernel(0.72);
+  ASSERT_TRUE(kernel.ok());
+  EXPECT_EQ(kernel->size(), static_cast<std::size_t>(32.0 / 0.72) + 1);
+  EXPECT_NEAR(*std::max_element(kernel->begin(), kernel->end()), 1.0, 1e-12);
+  EXPECT_FALSE(HrfKernel(0.0).ok());
+  EXPECT_FALSE(HrfKernel(0.72, -1.0).ok());
+}
+
+TEST(BlockDesignTest, AlternatesRestAndTask) {
+  const auto design = BlockDesign(12, 3, 3);
+  ASSERT_TRUE(design.ok());
+  EXPECT_EQ(*design, (std::vector<double>{0, 0, 0, 1, 1, 1, 0, 0, 0, 1, 1, 1}));
+  const auto no_rest = BlockDesign(4, 2, 0);
+  ASSERT_TRUE(no_rest.ok());
+  EXPECT_EQ(*no_rest, (std::vector<double>{1, 1, 1, 1}));
+  EXPECT_FALSE(BlockDesign(0, 2, 2).ok());
+  EXPECT_FALSE(BlockDesign(8, 0, 2).ok());
+}
+
+TEST(ConvolveDesignTest, ImpulseReproducesKernel) {
+  std::vector<double> impulse(20, 0.0);
+  impulse[0] = 1.0;
+  const std::vector<double> kernel{1.0, 0.5, 0.25};
+  const auto out = ConvolveDesign(impulse, kernel);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ((*out)[0], 1.0);
+  EXPECT_DOUBLE_EQ((*out)[1], 0.5);
+  EXPECT_DOUBLE_EQ((*out)[2], 0.25);
+  EXPECT_DOUBLE_EQ((*out)[3], 0.0);
+}
+
+TEST(ConvolveDesignTest, CausalAndTruncated) {
+  const std::vector<double> design{0, 0, 1, 1};
+  const std::vector<double> kernel{2.0, 1.0};
+  const auto out = ConvolveDesign(design, kernel);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), design.size());
+  EXPECT_DOUBLE_EQ((*out)[0], 0.0);
+  EXPECT_DOUBLE_EQ((*out)[2], 2.0);
+  EXPECT_DOUBLE_EQ((*out)[3], 3.0);
+}
+
+TEST(EvokedResponseTest, TaskScansGainBlockLockedSignal) {
+  CohortConfig config;
+  config.num_subjects = 4;
+  config.num_regions = 30;
+  config.frames_override = 200;
+  config.seed = 11;
+  config.evoked_amplitude = 0.0;
+  auto quiet = CohortSimulator::Create(config);
+  config.evoked_amplitude = 1.5;
+  auto evoked = CohortSimulator::Create(config);
+  ASSERT_TRUE(quiet.ok());
+  ASSERT_TRUE(evoked.ok());
+
+  // REST scans are identical with and without evoked responses.
+  const auto rest_quiet =
+      quiet->SimulateRegionSeries(0, TaskType::kRest, Encoding::kLeftRight);
+  const auto rest_evoked =
+      evoked->SimulateRegionSeries(0, TaskType::kRest, Encoding::kLeftRight);
+  ASSERT_TRUE(rest_quiet.ok());
+  ASSERT_TRUE(rest_evoked.ok());
+  EXPECT_TRUE(linalg::AlmostEqual(*rest_quiet, *rest_evoked, 0.0));
+
+  // Task scans differ, and the difference is exactly stimulus-locked:
+  // identical across subjects up to per-region/subject gain.
+  const auto task_quiet = quiet->SimulateRegionSeries(
+      0, TaskType::kMotor, Encoding::kLeftRight);
+  const auto task_evoked = evoked->SimulateRegionSeries(
+      0, TaskType::kMotor, Encoding::kLeftRight);
+  ASSERT_TRUE(task_quiet.ok());
+  ASSERT_TRUE(task_evoked.ok());
+  EXPECT_FALSE(linalg::AlmostEqual(*task_quiet, *task_evoked, 1e-9));
+
+  const linalg::Matrix delta0 = *task_evoked - *task_quiet;
+  // Some regions carry the evoked signal, others (loading 0) none.
+  std::size_t active = 0, silent = 0;
+  for (std::size_t r = 0; r < delta0.rows(); ++r) {
+    const double norm = linalg::Norm2(delta0.RowCopy(r));
+    if (norm > 1e-9) {
+      ++active;
+    } else {
+      ++silent;
+    }
+  }
+  EXPECT_GT(active, 0u);
+  EXPECT_GT(silent, 0u);
+
+  // The evoked time course is shared across subjects: deltas of two
+  // subjects on an active region are perfectly correlated.
+  const auto other_quiet = quiet->SimulateRegionSeries(
+      1, TaskType::kMotor, Encoding::kLeftRight);
+  const auto other_evoked = evoked->SimulateRegionSeries(
+      1, TaskType::kMotor, Encoding::kLeftRight);
+  const linalg::Matrix delta1 = *other_evoked - *other_quiet;
+  for (std::size_t r = 0; r < delta0.rows(); ++r) {
+    if (linalg::Norm2(delta0.RowCopy(r)) > 1e-9 &&
+        linalg::Norm2(delta1.RowCopy(r)) > 1e-9) {
+      EXPECT_NEAR(std::fabs(linalg::PearsonCorrelation(delta0.RowCopy(r),
+                                                       delta1.RowCopy(r))),
+                  1.0, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace neuroprint::sim

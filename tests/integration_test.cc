@@ -1,0 +1,201 @@
+// End-to-end integration tests crossing every module boundary: cohort
+// simulation -> voxel rendering -> NIfTI files on disk -> preprocessing
+// pipeline -> connectomes -> attack; plus the multisite and defense
+// compositions at the group-matrix level.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "atlas/atlas_io.h"
+#include "atlas/synthetic_atlas.h"
+#include "connectome/connectome.h"
+#include "connectome/group_matrix.h"
+#include "core/attack.h"
+#include "core/defense.h"
+#include "nifti/nifti_io.h"
+#include "preprocess/pipeline.h"
+#include "sim/cohort.h"
+#include "sim/voxel_render.h"
+
+namespace neuroprint {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// The attacker's real workflow: everything passes through files on disk.
+TEST(EndToEndTest, NiftiFilesThroughPipelineToIdentification) {
+  // Atlas persisted and re-loaded through NIfTI, as a real tool would.
+  atlas::SyntheticAtlasConfig atlas_config;
+  atlas_config.nx = 18;
+  atlas_config.ny = 20;
+  atlas_config.nz = 18;
+  atlas_config.num_regions = 30;
+  atlas_config.seed = 42;
+  auto built_atlas = atlas::GenerateSyntheticAtlas(atlas_config);
+  ASSERT_TRUE(built_atlas.ok());
+  const std::string atlas_path = TempPath("e2e_atlas.nii.gz");
+  ASSERT_TRUE(atlas::WriteAtlasNifti(atlas_path, *built_atlas).ok());
+  auto atlas = atlas::ReadAtlasNifti(atlas_path);
+  ASSERT_TRUE(atlas.ok());
+
+  sim::CohortConfig config;
+  config.num_subjects = 3;
+  config.num_regions = 30;
+  config.frames_override = 220;
+  config.signature_scale = 1.4;
+  config.seed = 77;
+  auto cohort = sim::CohortSimulator::Create(config);
+  ASSERT_TRUE(cohort.ok());
+
+  // Render + write both sessions of every subject.
+  Rng rng(55);
+  for (std::size_t s = 0; s < 3; ++s) {
+    for (const auto& [encoding, tag] :
+         {std::pair{sim::Encoding::kLeftRight, "lr"},
+          std::pair{sim::Encoding::kRightLeft, "rl"}}) {
+      auto series =
+          cohort->SimulateRegionSeries(s, sim::TaskType::kRest, encoding);
+      ASSERT_TRUE(series.ok());
+      sim::VoxelRenderConfig render;
+      render.motion_step = 0.02;
+      render.drift_amplitude = 10.0;
+      render.plant_slice_timing = true;
+      auto run = sim::RenderVoxelRun(*atlas, *series, render, rng);
+      ASSERT_TRUE(run.ok());
+      ASSERT_TRUE(nifti::WriteNifti(
+                      TempPath("e2e_s" + std::to_string(s) + "_" + tag + ".nii.gz"),
+                      *run)
+                      .ok());
+    }
+  }
+
+  // Read back and preprocess.
+  preprocess::PipelineConfig pipeline = preprocess::RestingStateConfig();
+  pipeline.temporal_filter = preprocess::TemporalFilter::kNone;  // Broadband sim.
+  pipeline.registration.sample_stride = 2;
+  pipeline.smoothing_fwhm_mm = 0.0;
+
+  auto load_session = [&](const char* tag) {
+    std::vector<linalg::Vector> columns;
+    std::vector<std::string> ids;
+    for (std::size_t s = 0; s < 3; ++s) {
+      auto image = nifti::ReadNifti(
+          TempPath("e2e_s" + std::to_string(s) + "_" + tag + ".nii.gz"));
+      EXPECT_TRUE(image.ok());
+      auto output = preprocess::RunPipeline(image->data, *atlas, pipeline);
+      EXPECT_TRUE(output.ok()) << output.status();
+      auto conn = connectome::BuildConnectome(output->region_series);
+      columns.push_back(*connectome::VectorizeUpperTriangle(*conn));
+      ids.push_back("subject-" + std::to_string(s));
+    }
+    return *connectome::GroupMatrix::FromFeatureColumns(columns, ids);
+  };
+  const auto known = load_session("lr");
+  const auto anonymous = load_session("rl");
+
+  core::AttackOptions options;
+  options.num_features = 80;
+  auto attack = core::DeanonymizationAttack::Fit(known, options);
+  ASSERT_TRUE(attack.ok());
+  auto result = attack->Identify(anonymous);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->accuracy, 1.0)
+      << "full disk round-trip should identify all 3 subjects";
+}
+
+TEST(EndToEndTest, MultisiteNoiseDegradesButDoesNotDestroy) {
+  sim::CohortConfig config;
+  config.num_subjects = 20;
+  config.num_regions = 50;
+  config.frames_override = 250;
+  config.seed = 99;
+  auto cohort = sim::CohortSimulator::Create(config);
+  ASSERT_TRUE(cohort.ok());
+  auto known =
+      cohort->BuildGroupMatrix(sim::TaskType::kRest, sim::Encoding::kLeftRight);
+  ASSERT_TRUE(known.ok());
+  auto attack = core::DeanonymizationAttack::Fit(*known);
+  ASSERT_TRUE(attack.ok());
+
+  double previous = 1.1;
+  bool monotone = true;
+  std::vector<double> accuracies;
+  for (const double fraction : {0.0, 0.2, 0.6}) {
+    auto anonymous = cohort->BuildGroupMatrix(sim::TaskType::kRest,
+                                              sim::Encoding::kRightLeft, fraction);
+    ASSERT_TRUE(anonymous.ok());
+    auto result = attack->Identify(*anonymous);
+    ASSERT_TRUE(result.ok());
+    accuracies.push_back(result->accuracy);
+    if (result->accuracy > previous + 0.10) monotone = false;
+    previous = result->accuracy;
+  }
+  EXPECT_TRUE(monotone) << "accuracy should not grow with site noise";
+  EXPECT_GE(accuracies.front(), 0.9);
+  EXPECT_GT(accuracies.front(), accuracies.back());
+  EXPECT_GT(accuracies.back(), 1.0 / 20.0);  // Still far above chance.
+}
+
+TEST(EndToEndTest, CrossTaskIdentificationOrdering) {
+  // REST->REST must beat REST->MOTOR (the paper's central asymmetry).
+  sim::CohortConfig config;
+  config.num_subjects = 16;
+  config.num_regions = 50;
+  config.seed = 2020;
+  auto cohort = sim::CohortSimulator::Create(config);
+  ASSERT_TRUE(cohort.ok());
+  auto known =
+      cohort->BuildGroupMatrix(sim::TaskType::kRest, sim::Encoding::kLeftRight);
+  ASSERT_TRUE(known.ok());
+  auto attack = core::DeanonymizationAttack::Fit(*known);
+  ASSERT_TRUE(attack.ok());
+
+  auto rest = cohort->BuildGroupMatrix(sim::TaskType::kRest,
+                                       sim::Encoding::kRightLeft);
+  auto motor = cohort->BuildGroupMatrix(sim::TaskType::kMotor,
+                                        sim::Encoding::kRightLeft);
+  ASSERT_TRUE(rest.ok());
+  ASSERT_TRUE(motor.ok());
+  auto rest_result = attack->Identify(*rest);
+  auto motor_result = attack->Identify(*motor);
+  ASSERT_TRUE(rest_result.ok());
+  ASSERT_TRUE(motor_result.ok());
+  EXPECT_GT(rest_result->accuracy, motor_result->accuracy + 0.2);
+}
+
+TEST(EndToEndTest, DefenseThenAttackComposition) {
+  sim::CohortConfig config;
+  config.num_subjects = 16;
+  config.num_regions = 40;
+  config.frames_override = 220;
+  config.seed = 31337;
+  auto cohort = sim::CohortSimulator::Create(config);
+  ASSERT_TRUE(cohort.ok());
+  auto known =
+      cohort->BuildGroupMatrix(sim::TaskType::kRest, sim::Encoding::kLeftRight);
+  auto release =
+      cohort->BuildGroupMatrix(sim::TaskType::kRest, sim::Encoding::kRightLeft);
+  ASSERT_TRUE(known.ok());
+  ASSERT_TRUE(release.ok());
+
+  core::DefenseOptions options;
+  options.mode = core::DefenseMode::kShuffle;
+  options.num_edges = 600;
+  auto eval = core::EvaluateDefense(*known, *release, options);
+  ASSERT_TRUE(eval.ok()) << eval.status();
+  EXPECT_GE(eval->accuracy_undefended, 0.9);
+  // Suppressing most of the release's signature must hurt at least one
+  // attacker model materially.
+  const double best_attacker = std::max(eval->accuracy_static_attacker,
+                                        eval->accuracy_adaptive_attacker);
+  EXPECT_LT(best_attacker, eval->accuracy_undefended);
+  EXPECT_GT(eval->distortion, 0.0);
+}
+
+}  // namespace
+}  // namespace neuroprint

@@ -1,0 +1,412 @@
+// Tests for QR, SVD, symmetric eigendecomposition, Cholesky, and LU,
+// including parameterized property sweeps over shapes.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "linalg/cholesky.h"
+#include "linalg/eig_sym.h"
+#include "linalg/lu.h"
+#include "linalg/matrix.h"
+#include "linalg/qr.h"
+#include "linalg/svd.h"
+#include "linalg/vector_ops.h"
+#include "util/random.h"
+
+namespace neuroprint::linalg {
+namespace {
+
+Matrix RandomMatrix(std::size_t rows, std::size_t cols, Rng& rng,
+                    double scale = 1.0) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = scale * rng.Gaussian();
+  }
+  return m;
+}
+
+// A random matrix of the given rank (product of two factor matrices).
+Matrix RandomLowRank(std::size_t rows, std::size_t cols, std::size_t rank,
+                     Rng& rng) {
+  return MatMul(RandomMatrix(rows, rank, rng), RandomMatrix(rank, cols, rng));
+}
+
+double OrthonormalityError(const Matrix& q) {
+  const Matrix gram = MatTMul(q, q);
+  return (gram - Matrix::Identity(q.cols())).MaxAbs();
+}
+
+// ---------------------------------------------------------------------------
+// QR
+
+TEST(QrTest, ReconstructsInput) {
+  Rng rng(1);
+  const Matrix a = RandomMatrix(8, 5, rng);
+  const auto qr = QrDecompose(a);
+  ASSERT_TRUE(qr.ok()) << qr.status();
+  EXPECT_LT((MatMul(qr->q, qr->r) - a).MaxAbs(), 1e-12);
+}
+
+TEST(QrTest, QHasOrthonormalColumns) {
+  Rng rng(2);
+  const Matrix a = RandomMatrix(10, 4, rng);
+  const auto qr = QrDecompose(a);
+  ASSERT_TRUE(qr.ok());
+  EXPECT_LT(OrthonormalityError(qr->q), 1e-12);
+}
+
+TEST(QrTest, RIsUpperTriangular) {
+  Rng rng(3);
+  const Matrix a = RandomMatrix(6, 6, rng);
+  const auto qr = QrDecompose(a);
+  ASSERT_TRUE(qr.ok());
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      EXPECT_NEAR(qr->r(i, j), 0.0, 1e-14);
+    }
+  }
+}
+
+TEST(QrTest, RejectsWideMatrix) {
+  const Matrix a(2, 5);
+  EXPECT_FALSE(QrDecompose(a).ok());
+}
+
+TEST(QrTest, RejectsNonFinite) {
+  Matrix a(3, 2, 1.0);
+  a(1, 1) = std::numeric_limits<double>::quiet_NaN();
+  const auto qr = QrDecompose(a);
+  EXPECT_FALSE(qr.ok());
+  EXPECT_EQ(qr.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QrTest, HandlesRankDeficientColumns) {
+  // Third column is a multiple of the first: QR must still reconstruct.
+  Matrix a{{1, 0, 2}, {1, 1, 2}, {1, 2, 2}, {1, 3, 2}};
+  const auto qr = QrDecompose(a);
+  ASSERT_TRUE(qr.ok());
+  EXPECT_LT((MatMul(qr->q, qr->r) - a).MaxAbs(), 1e-12);
+}
+
+TEST(LeastSquaresTest, RecoversExactSolution) {
+  Rng rng(4);
+  const Matrix a = RandomMatrix(20, 5, rng);
+  const Vector truth{1, -2, 3, 0.5, -0.25};
+  const Vector b = MatVec(a, truth);
+  const auto x = LeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR((*x)[i], truth[i], 1e-10);
+  }
+}
+
+TEST(LeastSquaresTest, ResidualOrthogonalToColumnSpace) {
+  Rng rng(5);
+  const Matrix a = RandomMatrix(15, 3, rng);
+  const Vector b = RandomMatrix(15, 1, rng).ColCopy(0);
+  const auto x = LeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  const Vector r = Subtract(b, MatVec(a, *x));
+  const Vector atr = MatTVec(a, r);
+  EXPECT_LT(NormInf(atr), 1e-10);
+}
+
+// ---------------------------------------------------------------------------
+// SVD
+
+struct SvdShape {
+  std::size_t rows;
+  std::size_t cols;
+};
+
+class SvdShapeTest : public ::testing::TestWithParam<SvdShape> {};
+
+TEST_P(SvdShapeTest, ReconstructionAndOrthogonality) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(100 + rows * 31 + cols);
+  const Matrix a = RandomMatrix(rows, cols, rng);
+  const auto svd = Svd(a);
+  ASSERT_TRUE(svd.ok()) << svd.status();
+  const std::size_t k = std::min(rows, cols);
+  ASSERT_EQ(svd->s.size(), k);
+  ASSERT_EQ(svd->u.rows(), rows);
+  ASSERT_EQ(svd->u.cols(), k);
+  ASSERT_EQ(svd->v.rows(), cols);
+  ASSERT_EQ(svd->v.cols(), k);
+
+  const double scale = std::max(1.0, a.MaxAbs());
+  EXPECT_LT((svd->Reconstruct() - a).MaxAbs() / scale, 1e-11);
+  EXPECT_LT(OrthonormalityError(svd->u), 1e-11);
+  EXPECT_LT(OrthonormalityError(svd->v), 1e-11);
+  // Descending, non-negative.
+  for (std::size_t i = 0; i + 1 < k; ++i) {
+    EXPECT_GE(svd->s[i], svd->s[i + 1]);
+  }
+  if (k > 0) {
+    EXPECT_GE(svd->s[k - 1], 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SvdShapeTest,
+    ::testing::Values(SvdShape{1, 1}, SvdShape{3, 3}, SvdShape{5, 2},
+                      SvdShape{2, 5}, SvdShape{10, 10}, SvdShape{40, 7},
+                      SvdShape{7, 40}, SvdShape{100, 20}, SvdShape{64, 1},
+                      SvdShape{1, 64}, SvdShape{33, 32}, SvdShape{200, 10}));
+
+TEST(SvdTest, SingularValuesOfKnownMatrix) {
+  // diag(3, 2, 1) embedded in a rotation-free matrix.
+  const Matrix a = Matrix::Diagonal({3.0, 1.0, 2.0});
+  const auto s = SingularValues(a);
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR((*s)[0], 3.0, 1e-12);
+  EXPECT_NEAR((*s)[1], 2.0, 1e-12);
+  EXPECT_NEAR((*s)[2], 1.0, 1e-12);
+}
+
+TEST(SvdTest, RankOfLowRankMatrix) {
+  Rng rng(42);
+  const Matrix a = RandomLowRank(30, 20, 4, rng);
+  const auto svd = Svd(a);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_EQ(svd->Rank(1e-10), 4u);
+}
+
+TEST(SvdTest, FrobeniusNormMatchesSingularValues) {
+  Rng rng(43);
+  const Matrix a = RandomMatrix(12, 8, rng);
+  const auto s = SingularValues(a);
+  ASSERT_TRUE(s.ok());
+  double sum = 0.0;
+  for (double v : *s) sum += v * v;
+  EXPECT_NEAR(std::sqrt(sum), a.FrobeniusNorm(), 1e-10);
+}
+
+TEST(SvdTest, QrPreconditionedPathMatchesDirect) {
+  Rng rng(44);
+  const Matrix a = RandomMatrix(120, 10, rng);
+  SvdOptions direct;
+  direct.force_direct = true;
+  const auto fast = Svd(a);
+  const auto slow = Svd(a, direct);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(slow.ok());
+  for (std::size_t i = 0; i < fast->s.size(); ++i) {
+    EXPECT_NEAR(fast->s[i], slow->s[i], 1e-9 * std::max(1.0, slow->s[0]));
+  }
+  // Leverage scores (row norms of U) must agree regardless of sign flips.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double lf = 0.0, ls = 0.0;
+    for (std::size_t j = 0; j < fast->u.cols(); ++j) {
+      lf += fast->u(i, j) * fast->u(i, j);
+      ls += slow->u(i, j) * slow->u(i, j);
+    }
+    EXPECT_NEAR(lf, ls, 1e-9);
+  }
+}
+
+TEST(SvdTest, AgreesWithJacobiSvd) {
+  Rng rng(45);
+  const Matrix a = RandomMatrix(20, 6, rng);
+  const auto gkr = Svd(a);
+  const auto jac = JacobiSvd(a);
+  ASSERT_TRUE(gkr.ok());
+  ASSERT_TRUE(jac.ok()) << jac.status();
+  for (std::size_t i = 0; i < gkr->s.size(); ++i) {
+    EXPECT_NEAR(gkr->s[i], jac->s[i], 1e-10 * std::max(1.0, gkr->s[0]));
+  }
+  EXPECT_LT((jac->Reconstruct() - a).MaxAbs(), 1e-11);
+}
+
+TEST(SvdTest, ZeroMatrix) {
+  const Matrix a(4, 3);
+  const auto svd = Svd(a);
+  ASSERT_TRUE(svd.ok());
+  for (double s : svd->s) EXPECT_DOUBLE_EQ(s, 0.0);
+  EXPECT_LT(svd->Reconstruct().MaxAbs(), 1e-300);
+}
+
+TEST(SvdTest, RejectsNonFinite) {
+  Matrix a(3, 3, 1.0);
+  a(2, 2) = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(Svd(a).ok());
+}
+
+TEST(SvdTest, EmptyMatrix) {
+  const auto svd = Svd(Matrix());
+  ASSERT_TRUE(svd.ok());
+  EXPECT_TRUE(svd->s.empty());
+}
+
+TEST(PseudoInverseTest, InvertsFullRankSquare) {
+  Rng rng(46);
+  const Matrix a = RandomMatrix(5, 5, rng);
+  const auto pinv = PseudoInverse(a);
+  ASSERT_TRUE(pinv.ok());
+  EXPECT_TRUE(AlmostEqual(MatMul(a, *pinv), Matrix::Identity(5), 1e-9));
+}
+
+TEST(PseudoInverseTest, MoorePenroseConditions) {
+  Rng rng(47);
+  const Matrix a = RandomLowRank(8, 6, 3, rng);
+  const auto pinv_result = PseudoInverse(a, 1e-10);
+  ASSERT_TRUE(pinv_result.ok());
+  const Matrix& p = *pinv_result;
+  // A P A = A and P A P = P.
+  EXPECT_LT((MatMul(MatMul(a, p), a) - a).MaxAbs(), 1e-9);
+  EXPECT_LT((MatMul(MatMul(p, a), p) - p).MaxAbs(), 1e-9);
+  // A P and P A are symmetric.
+  const Matrix ap = MatMul(a, p);
+  EXPECT_TRUE(AlmostEqual(ap, ap.Transposed(), 1e-9));
+  const Matrix pa = MatMul(p, a);
+  EXPECT_TRUE(AlmostEqual(pa, pa.Transposed(), 1e-9));
+}
+
+// ---------------------------------------------------------------------------
+// Symmetric eigendecomposition
+
+TEST(EigSymTest, DiagonalMatrix) {
+  const auto eig = EigSym(Matrix::Diagonal({1.0, 5.0, 3.0}));
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->eigenvalues[0], 5.0, 1e-12);
+  EXPECT_NEAR(eig->eigenvalues[1], 3.0, 1e-12);
+  EXPECT_NEAR(eig->eigenvalues[2], 1.0, 1e-12);
+}
+
+TEST(EigSymTest, ReconstructsRandomSymmetric) {
+  Rng rng(48);
+  const Matrix g = Gram(RandomMatrix(12, 6, rng));
+  const auto eig = EigSym(g);
+  ASSERT_TRUE(eig.ok());
+  // V diag(l) V^T == G.
+  Matrix vl = eig->eigenvectors;
+  for (std::size_t j = 0; j < vl.cols(); ++j) {
+    for (std::size_t i = 0; i < vl.rows(); ++i) vl(i, j) *= eig->eigenvalues[j];
+  }
+  EXPECT_LT((MatMulT(vl, eig->eigenvectors) - g).MaxAbs(), 1e-9);
+  EXPECT_LT(OrthonormalityError(eig->eigenvectors), 1e-10);
+}
+
+TEST(EigSymTest, GramEigenvaluesAreSquaredSingularValues) {
+  Rng rng(49);
+  const Matrix a = RandomMatrix(15, 5, rng);
+  const auto svd = Svd(a);
+  const auto eig = EigSym(Gram(a));
+  ASSERT_TRUE(svd.ok());
+  ASSERT_TRUE(eig.ok());
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(eig->eigenvalues[i], svd->s[i] * svd->s[i], 1e-8);
+  }
+}
+
+TEST(EigSymTest, RejectsAsymmetric) {
+  const Matrix a{{1, 2}, {3, 4}};
+  EXPECT_FALSE(EigSym(a).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Cholesky
+
+TEST(CholeskyTest, FactorsKnownSpdMatrix) {
+  const Matrix a{{4, 2}, {2, 3}};
+  const auto l = CholeskyDecompose(a);
+  ASSERT_TRUE(l.ok());
+  EXPECT_TRUE(AlmostEqual(MatMulT(*l, *l), a, 1e-12));
+  EXPECT_NEAR((*l)(0, 0), 2.0, 1e-14);
+  EXPECT_NEAR((*l)(0, 1), 0.0, 1e-14);
+}
+
+TEST(CholeskyTest, FactorsRandomSpd) {
+  Rng rng(50);
+  const Matrix b = RandomMatrix(10, 10, rng);
+  Matrix a = Gram(b);
+  for (std::size_t i = 0; i < 10; ++i) a(i, i) += 1.0;  // Ensure SPD.
+  const auto l = CholeskyDecompose(a);
+  ASSERT_TRUE(l.ok());
+  EXPECT_LT((MatMulT(*l, *l) - a).MaxAbs(), 1e-9);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  const Matrix a{{1, 2}, {2, 1}};  // Eigenvalues 3, -1.
+  const auto l = CholeskyDecompose(a);
+  EXPECT_FALSE(l.ok());
+  EXPECT_EQ(l.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CholeskyTest, JitterRescuesSemiDefinite) {
+  // Rank-1 PSD matrix: plain Cholesky fails, jittered succeeds.
+  const Matrix a{{1, 1}, {1, 1}};
+  EXPECT_FALSE(CholeskyDecompose(a).ok());
+  EXPECT_TRUE(CholeskyDecomposeWithJitter(a, 1e-8).ok());
+}
+
+TEST(CholeskyTest, SolveMatchesLu) {
+  Rng rng(51);
+  const Matrix b = RandomMatrix(6, 6, rng);
+  Matrix a = Gram(b);
+  for (std::size_t i = 0; i < 6; ++i) a(i, i) += 0.5;
+  const Vector rhs = RandomMatrix(6, 1, rng).ColCopy(0);
+  const auto l = CholeskyDecompose(a);
+  ASSERT_TRUE(l.ok());
+  const auto x_chol = CholeskySolve(*l, rhs);
+  const auto x_lu = LuSolve(a, rhs);
+  ASSERT_TRUE(x_chol.ok());
+  ASSERT_TRUE(x_lu.ok());
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR((*x_chol)[i], (*x_lu)[i], 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LU
+
+TEST(LuTest, SolvesKnownSystem) {
+  const Matrix a{{2, 1}, {1, 3}};
+  const auto x = LuSolve(a, {5, 10});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(LuTest, InverseTimesOriginalIsIdentity) {
+  Rng rng(52);
+  const Matrix a = RandomMatrix(7, 7, rng);
+  const auto inv = Inverse(a);
+  ASSERT_TRUE(inv.ok());
+  EXPECT_TRUE(AlmostEqual(MatMul(a, *inv), Matrix::Identity(7), 1e-9));
+}
+
+TEST(LuTest, DeterminantOfKnownMatrix) {
+  const Matrix a{{1, 2}, {3, 4}};
+  EXPECT_NEAR(Determinant(a), -2.0, 1e-12);
+  EXPECT_NEAR(Determinant(Matrix::Identity(5)), 1.0, 1e-12);
+}
+
+TEST(LuTest, DeterminantMatchesSingularValueProductMagnitude) {
+  Rng rng(53);
+  const Matrix a = RandomMatrix(5, 5, rng);
+  const auto s = SingularValues(a);
+  ASSERT_TRUE(s.ok());
+  double product = 1.0;
+  for (double v : *s) product *= v;
+  EXPECT_NEAR(std::fabs(Determinant(a)), product, 1e-9 * product);
+}
+
+TEST(LuTest, RejectsSingular) {
+  const Matrix a{{1, 2}, {2, 4}};
+  EXPECT_FALSE(LuSolve(a, {1, 1}).ok());
+  EXPECT_FALSE(Inverse(a).ok());
+}
+
+TEST(LuTest, PivotingHandlesZeroLeadingEntry) {
+  const Matrix a{{0, 1}, {1, 0}};
+  const auto x = LuSolve(a, {2, 3});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 3.0, 1e-14);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-14);
+}
+
+}  // namespace
+}  // namespace neuroprint::linalg

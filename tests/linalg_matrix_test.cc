@@ -1,0 +1,210 @@
+// Unit tests for the dense Matrix type and BLAS-like kernels.
+
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/vector_ops.h"
+#include "util/random.h"
+
+namespace neuroprint::linalg {
+namespace {
+
+Matrix RandomMatrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = rng.Gaussian();
+  }
+  return m;
+}
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6);
+}
+
+TEST(MatrixTest, IdentityAndDiagonal) {
+  const Matrix eye = Matrix::Identity(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(eye(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+  const Matrix d = Matrix::Diagonal({2.0, 3.0});
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(MatrixTest, RowColCopySetRoundTrip) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.RowCopy(1), (Vector{3, 4}));
+  EXPECT_EQ(m.ColCopy(0), (Vector{1, 3, 5}));
+  m.SetRow(0, {9, 8});
+  EXPECT_EQ(m.RowCopy(0), (Vector{9, 8}));
+  m.SetCol(1, {7, 6, 5});
+  EXPECT_EQ(m.ColCopy(1), (Vector{7, 6, 5}));
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  Rng rng(7);
+  const Matrix m = RandomMatrix(5, 3, rng);
+  EXPECT_TRUE(AlmostEqual(m.Transposed().Transposed(), m, 0.0));
+  EXPECT_DOUBLE_EQ(m.Transposed()(2, 4), m(4, 2));
+}
+
+TEST(MatrixTest, BlockExtraction) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  const Matrix b = m.Block(1, 1, 2, 2);
+  EXPECT_EQ(b.rows(), 2u);
+  EXPECT_DOUBLE_EQ(b(0, 0), 5);
+  EXPECT_DOUBLE_EQ(b(1, 1), 9);
+}
+
+TEST(MatrixTest, ArithmeticOperators) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{5, 6}, {7, 8}};
+  const Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(0, 0), 6);
+  const Matrix diff = b - a;
+  EXPECT_DOUBLE_EQ(diff(1, 1), 4);
+  const Matrix scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 6);
+}
+
+TEST(MatrixTest, FrobeniusNormAndMaxAbs) {
+  const Matrix m{{3, 4}, {0, 0}};
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+  EXPECT_DOUBLE_EQ(m.MaxAbs(), 4.0);
+}
+
+TEST(MatrixTest, AllFiniteDetectsNan) {
+  Matrix m(2, 2, 1.0);
+  EXPECT_TRUE(m.AllFinite());
+  m(0, 1) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(m.AllFinite());
+  m(0, 1) = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(m.AllFinite());
+}
+
+TEST(MatMulTest, KnownProduct) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{5, 6}, {7, 8}};
+  const Matrix c = MatMul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(MatMulTest, IdentityIsNeutral) {
+  Rng rng(11);
+  const Matrix m = RandomMatrix(4, 4, rng);
+  EXPECT_TRUE(AlmostEqual(MatMul(m, Matrix::Identity(4)), m, 1e-15));
+  EXPECT_TRUE(AlmostEqual(MatMul(Matrix::Identity(4), m), m, 1e-15));
+}
+
+TEST(MatMulTest, TransposedVariantsAgree) {
+  Rng rng(13);
+  const Matrix a = RandomMatrix(6, 4, rng);
+  const Matrix b = RandomMatrix(6, 5, rng);
+  EXPECT_TRUE(AlmostEqual(MatTMul(a, b), MatMul(a.Transposed(), b), 1e-12));
+  const Matrix c = RandomMatrix(5, 4, rng);
+  const Matrix d = RandomMatrix(3, 4, rng);
+  EXPECT_TRUE(AlmostEqual(MatMulT(c, d), MatMul(c, d.Transposed()), 1e-12));
+}
+
+TEST(MatMulTest, GramMatchesExplicitProduct) {
+  Rng rng(17);
+  const Matrix a = RandomMatrix(10, 4, rng);
+  EXPECT_TRUE(AlmostEqual(Gram(a), MatMul(a.Transposed(), a), 1e-12));
+}
+
+TEST(MatVecTest, MatchesMatrixProduct) {
+  Rng rng(19);
+  const Matrix a = RandomMatrix(5, 3, rng);
+  Vector x = {1.0, -2.0, 0.5};
+  const Vector y = MatVec(a, x);
+  for (std::size_t i = 0; i < 5; ++i) {
+    double expected = 0.0;
+    for (std::size_t j = 0; j < 3; ++j) expected += a(i, j) * x[j];
+    EXPECT_NEAR(y[i], expected, 1e-14);
+  }
+  const Vector yt = MatTVec(a, {1, 1, 1, 1, 1});
+  for (std::size_t j = 0; j < 3; ++j) {
+    double expected = 0.0;
+    for (std::size_t i = 0; i < 5; ++i) expected += a(i, j);
+    EXPECT_NEAR(yt[j], expected, 1e-14);
+  }
+}
+
+TEST(VectorOpsTest, DotAndNorms) {
+  const Vector x{3, 4};
+  EXPECT_DOUBLE_EQ(Dot(x, x), 25.0);
+  EXPECT_DOUBLE_EQ(Norm2(x), 5.0);
+  EXPECT_DOUBLE_EQ(Norm1(x), 7.0);
+  EXPECT_DOUBLE_EQ(NormInf({-6, 2}), 6.0);
+}
+
+TEST(VectorOpsTest, AxpyScaleNormalize) {
+  Vector y{1, 1};
+  Axpy(2.0, {1, 2}, y);
+  EXPECT_EQ(y, (Vector{3, 5}));
+  Scale(0.5, y);
+  EXPECT_EQ(y, (Vector{1.5, 2.5}));
+  Vector v{0, 3, 4};
+  const double norm = NormalizeInPlace(v);
+  EXPECT_DOUBLE_EQ(norm, 5.0);
+  EXPECT_NEAR(Norm2(v), 1.0, 1e-15);
+  Vector zero{0, 0};
+  EXPECT_DOUBLE_EQ(NormalizeInPlace(zero), 0.0);
+  EXPECT_EQ(zero, (Vector{0, 0}));
+}
+
+TEST(VectorOpsTest, MeanVarianceStdDev) {
+  const Vector x{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(Mean(x), 5.0);
+  EXPECT_NEAR(Variance(x), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({1.0}), 0.0);
+}
+
+TEST(VectorOpsTest, PearsonCorrelationProperties) {
+  const Vector x{1, 2, 3, 4, 5};
+  EXPECT_NEAR(PearsonCorrelation(x, x), 1.0, 1e-14);
+  Vector neg = x;
+  Scale(-1.0, neg);
+  EXPECT_NEAR(PearsonCorrelation(x, neg), -1.0, 1e-14);
+  // Correlation is shift/scale invariant.
+  Vector y = x;
+  Scale(3.0, y);
+  for (double& v : y) v += 10.0;
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-14);
+  // Zero-variance convention.
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, {2, 2, 2, 2, 2}), 0.0);
+}
+
+TEST(VectorOpsTest, ZScoreInPlace) {
+  Vector x{1, 2, 3, 4, 5};
+  ZScoreInPlace(x);
+  EXPECT_NEAR(Mean(x), 0.0, 1e-14);
+  EXPECT_NEAR(StdDev(x), 1.0, 1e-14);
+  Vector constant{3, 3, 3};
+  ZScoreInPlace(constant);
+  EXPECT_EQ(constant, (Vector{0, 0, 0}));
+}
+
+}  // namespace
+}  // namespace neuroprint::linalg

@@ -1,0 +1,156 @@
+// Tests for matrix-level statistics: row/column moments, z-scoring,
+// covariance, correlation matrices, and the cross-correlation kernel the
+// matcher is built on.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/stats.h"
+#include "linalg/vector_ops.h"
+#include "util/random.h"
+
+namespace neuroprint::linalg {
+namespace {
+
+Matrix RandomMatrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = rng.Gaussian();
+  }
+  return m;
+}
+
+TEST(StatsTest, RowAndColMeans) {
+  const Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(RowMeans(m), (Vector{2.0, 5.0}));
+  EXPECT_EQ(ColMeans(m), (Vector{2.5, 3.5, 4.5}));
+  EXPECT_TRUE(RowMeans(Matrix()).empty());
+}
+
+TEST(StatsTest, RowStdDevsMatchVectorOps) {
+  Rng rng(1);
+  const Matrix m = RandomMatrix(5, 40, rng);
+  const Vector sds = RowStdDevs(m);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(sds[i], StdDev(m.RowCopy(i)), 1e-12);
+  }
+}
+
+TEST(StatsTest, ZScoreRowsProperties) {
+  Rng rng(2);
+  Matrix m = RandomMatrix(6, 50, rng);
+  // Plant a constant row.
+  for (std::size_t j = 0; j < 50; ++j) m(3, j) = 7.0;
+  ZScoreRowsInPlace(m);
+  for (std::size_t i = 0; i < 6; ++i) {
+    const Vector row = m.RowCopy(i);
+    if (i == 3) {
+      EXPECT_DOUBLE_EQ(Norm2(row), 0.0);  // Constant row zeroed.
+    } else {
+      EXPECT_NEAR(Mean(row), 0.0, 1e-12);
+      EXPECT_NEAR(StdDev(row), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(StatsTest, ZScoreColsProperties) {
+  Rng rng(3);
+  Matrix m = RandomMatrix(30, 4, rng);
+  ZScoreColsInPlace(m);
+  for (std::size_t j = 0; j < 4; ++j) {
+    const Vector col = m.ColCopy(j);
+    EXPECT_NEAR(Mean(col), 0.0, 1e-12);
+    EXPECT_NEAR(StdDev(col), 1.0, 1e-12);
+  }
+}
+
+TEST(StatsTest, RowNormsSquared) {
+  const Matrix m{{3, 4}, {0, 0}, {1, 2}};
+  EXPECT_EQ(RowNormsSquared(m), (Vector{25.0, 0.0, 5.0}));
+}
+
+TEST(StatsTest, RowCovarianceMatchesDefinition) {
+  Rng rng(4);
+  const Matrix m = RandomMatrix(4, 200, rng);
+  const Matrix cov = RowCovariance(m);
+  for (std::size_t i = 0; i < 4; ++i) {
+    // Diagonal equals per-row variance.
+    EXPECT_NEAR(cov(i, i), Variance(m.RowCopy(i)), 1e-10);
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(cov(i, j), cov(j, i), 1e-12);  // Symmetric.
+      // Direct two-pass covariance.
+      const Vector a = m.RowCopy(i);
+      const Vector b = m.RowCopy(j);
+      const double ma = Mean(a), mb = Mean(b);
+      double direct = 0.0;
+      for (std::size_t t = 0; t < a.size(); ++t) {
+        direct += (a[t] - ma) * (b[t] - mb);
+      }
+      direct /= static_cast<double>(a.size() - 1);
+      EXPECT_NEAR(cov(i, j), direct, 1e-10);
+    }
+  }
+}
+
+TEST(StatsTest, RowCorrelationMatchesPairwisePearson) {
+  Rng rng(5);
+  const Matrix m = RandomMatrix(6, 80, rng);
+  const Matrix corr = RowCorrelation(m);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(corr(i, i), 1.0);
+    for (std::size_t j = 0; j < 6; ++j) {
+      EXPECT_NEAR(corr(i, j),
+                  PearsonCorrelation(m.RowCopy(i), m.RowCopy(j)), 1e-10);
+    }
+  }
+}
+
+TEST(StatsTest, RowCorrelationHandlesConstantRow) {
+  Rng rng(6);
+  Matrix m = RandomMatrix(3, 30, rng);
+  for (std::size_t t = 0; t < 30; ++t) m(1, t) = -2.0;
+  const Matrix corr = RowCorrelation(m);
+  EXPECT_DOUBLE_EQ(corr(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(corr(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(corr(1, 2), 0.0);
+}
+
+TEST(StatsTest, ColumnCrossCorrelationMatchesPairwisePearson) {
+  Rng rng(7);
+  const Matrix a = RandomMatrix(60, 3, rng);
+  const Matrix b = RandomMatrix(60, 4, rng);
+  const Matrix cross = ColumnCrossCorrelation(a, b);
+  ASSERT_EQ(cross.rows(), 3u);
+  ASSERT_EQ(cross.cols(), 4u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(cross(i, j),
+                  PearsonCorrelation(a.ColCopy(i), b.ColCopy(j)), 1e-10);
+    }
+  }
+}
+
+TEST(StatsTest, ColumnCrossCorrelationSelfDiagonalIsOne) {
+  Rng rng(8);
+  const Matrix a = RandomMatrix(40, 5, rng);
+  const Matrix self = ColumnCrossCorrelation(a, a);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(self(i, i), 1.0, 1e-12);
+  }
+}
+
+TEST(StatsTest, ColumnCrossCorrelationScaleInvariant) {
+  Rng rng(9);
+  const Matrix a = RandomMatrix(50, 2, rng);
+  Matrix scaled = a;
+  for (std::size_t i = 0; i < 50; ++i) {
+    scaled(i, 0) = 3.0 * scaled(i, 0) + 11.0;  // Affine per column.
+  }
+  const Matrix c1 = ColumnCrossCorrelation(a, a);
+  const Matrix c2 = ColumnCrossCorrelation(scaled, a);
+  EXPECT_NEAR(c1(0, 1), c2(0, 1), 1e-10);
+}
+
+}  // namespace
+}  // namespace neuroprint::linalg

@@ -1,0 +1,74 @@
+// Tests for the leveled logger and stopwatch.
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace neuroprint {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = MinLogSeverity(); }
+  void TearDown() override { MinLogSeverity() = saved_; }
+
+  // Captures stderr around a callback.
+  template <typename Fn>
+  std::string CaptureStderr(Fn&& fn) {
+    ::testing::internal::CaptureStderr();
+    fn();
+    return ::testing::internal::GetCapturedStderr();
+  }
+
+  LogSeverity saved_ = LogSeverity::kWarning;
+};
+
+TEST_F(LoggingTest, EmitsAtOrAboveThreshold) {
+  MinLogSeverity() = LogSeverity::kInfo;
+  const std::string out = CaptureStderr([] {
+    NP_LOG(Info) << "visible " << 42;
+    NP_LOG(Warning) << "also visible";
+  });
+  EXPECT_NE(out.find("visible 42"), std::string::npos);
+  EXPECT_NE(out.find("also visible"), std::string::npos);
+  EXPECT_NE(out.find("logging_test.cc"), std::string::npos);
+}
+
+TEST_F(LoggingTest, SuppressesBelowThreshold) {
+  MinLogSeverity() = LogSeverity::kError;
+  const std::string out = CaptureStderr([] {
+    NP_LOG(Debug) << "hidden";
+    NP_LOG(Info) << "hidden";
+    NP_LOG(Warning) << "hidden";
+  });
+  EXPECT_TRUE(out.empty()) << out;
+}
+
+TEST_F(LoggingTest, SeverityTagsDiffer) {
+  MinLogSeverity() = LogSeverity::kDebug;
+  const std::string out = CaptureStderr([] {
+    NP_LOG(Debug) << "d";
+    NP_LOG(Error) << "e";
+  });
+  EXPECT_NE(out.find("[D "), std::string::npos);
+  EXPECT_NE(out.find("[E "), std::string::npos);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  const double t0 = watch.ElapsedSeconds();
+  EXPECT_GE(t0, 0.0);
+  // Busy-wait a hair; elapsed must be monotone.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  const double t1 = watch.ElapsedSeconds();
+  EXPECT_GE(t1, t0);
+  EXPECT_NEAR(watch.ElapsedMillis(), watch.ElapsedSeconds() * 1e3,
+              watch.ElapsedSeconds() * 50);
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedSeconds(), t1 + 1.0);
+}
+
+}  // namespace
+}  // namespace neuroprint

@@ -1,0 +1,117 @@
+// Tests for framewise displacement, censoring, and the CMC matcher
+// extensions.
+
+#include <gtest/gtest.h>
+
+#include "core/matcher.h"
+#include "preprocess/motion_metrics.h"
+
+namespace neuroprint {
+namespace {
+
+using image::RigidTransform;
+using preprocess::CensorMask;
+using preprocess::DropCensoredFrames;
+using preprocess::FramewiseDisplacement;
+
+TEST(FramewiseDisplacementTest, StillHeadGivesZero) {
+  const std::vector<RigidTransform> motion(5);
+  const auto fd = FramewiseDisplacement(motion);
+  ASSERT_TRUE(fd.ok());
+  for (double v : *fd) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(FramewiseDisplacementTest, TranslationAndRotationContributions) {
+  std::vector<RigidTransform> motion(3);
+  motion[1].translate_x = 0.5;   // +0.5 mm step at frame 1.
+  motion[2].translate_x = 0.5;   // No further translation change...
+  motion[2].rotate_z = 0.01;     // ...but a 0.01 rad rotation at frame 2.
+  const auto fd = FramewiseDisplacement(motion, 50.0);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_DOUBLE_EQ((*fd)[0], 0.0);
+  EXPECT_DOUBLE_EQ((*fd)[1], 0.5);
+  EXPECT_DOUBLE_EQ((*fd)[2], 0.01 * 50.0);
+  EXPECT_FALSE(FramewiseDisplacement(motion, 0.0).ok());
+  EXPECT_FALSE(FramewiseDisplacement({}).ok());
+}
+
+TEST(CensorMaskTest, FlagsExceedancesAndExtends) {
+  const std::vector<double> fd{0.0, 0.1, 0.9, 0.1, 0.1, 1.2, 0.1};
+  const auto plain = CensorMask(fd, 0.5);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(*plain, (std::vector<bool>{false, false, true, false, false, true,
+                                       false}));
+  const auto extended = CensorMask(fd, 0.5, 1);
+  ASSERT_TRUE(extended.ok());
+  EXPECT_EQ(*extended, (std::vector<bool>{false, false, true, true, false,
+                                          true, true}));
+  EXPECT_FALSE(CensorMask(fd, 0.0).ok());
+  EXPECT_FALSE(CensorMask({}, 0.5).ok());
+}
+
+TEST(DropCensoredFramesTest, RemovesFlaggedColumns) {
+  linalg::Matrix series{{1, 2, 3, 4, 5}, {10, 20, 30, 40, 50}};
+  const std::vector<bool> censored{false, true, false, true, false};
+  const auto kept = DropCensoredFrames(series, censored);
+  ASSERT_TRUE(kept.ok());
+  ASSERT_EQ(kept->cols(), 3u);
+  EXPECT_DOUBLE_EQ((*kept)(0, 0), 1);
+  EXPECT_DOUBLE_EQ((*kept)(0, 1), 3);
+  EXPECT_DOUBLE_EQ((*kept)(0, 2), 5);
+  EXPECT_DOUBLE_EQ((*kept)(1, 1), 30);
+}
+
+TEST(DropCensoredFramesTest, RejectsOverCensoring) {
+  const linalg::Matrix series(2, 4, 1.0);
+  EXPECT_FALSE(
+      DropCensoredFrames(series, {true, true, false, false}).ok());  // 2 left.
+  EXPECT_FALSE(DropCensoredFrames(series, {true, true}).ok());  // Size mismatch.
+}
+
+TEST(CmcTest, RanksAndCurve) {
+  // Similarity: anonymous 0's true id ("a") scores best; anonymous 1's
+  // true id ("b") scores second; anonymous 2's id is missing entirely.
+  linalg::Matrix similarity{{0.9, 0.5, 0.1},
+                            {0.2, 0.7, 0.2},
+                            {0.1, 0.9, 0.3}};
+  const std::vector<std::string> known{"a", "b", "c"};
+  const std::vector<std::string> anonymous{"a", "b", "zz"};
+  const auto ranks = core::TrueMatchRanks(similarity, known, anonymous);
+  ASSERT_TRUE(ranks.ok());
+  EXPECT_EQ((*ranks)[0], 1u);
+  EXPECT_EQ((*ranks)[1], 2u);  // "c" row scores 0.9 > b's 0.7.
+  EXPECT_EQ((*ranks)[2], 4u);  // Absent from the gallery.
+
+  const auto curve = core::CumulativeMatchCurve(similarity, known, anonymous, 3);
+  ASSERT_TRUE(curve.ok());
+  ASSERT_EQ(curve->size(), 3u);
+  EXPECT_NEAR((*curve)[0], 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR((*curve)[1], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR((*curve)[2], 2.0 / 3.0, 1e-12);  // "zz" never matches.
+  // Non-decreasing.
+  for (std::size_t k = 1; k < curve->size(); ++k) {
+    EXPECT_GE((*curve)[k], (*curve)[k - 1]);
+  }
+}
+
+TEST(CmcTest, RankOneMatchesIdentificationAccuracy) {
+  linalg::Matrix similarity{{0.9, 0.2}, {0.1, 0.8}};
+  const std::vector<std::string> ids{"x", "y"};
+  const auto curve = core::CumulativeMatchCurve(similarity, ids, ids, 5);
+  ASSERT_TRUE(curve.ok());
+  const auto accuracy = core::IdentificationAccuracy(
+      core::ArgmaxMatch(similarity), ids, ids);
+  ASSERT_TRUE(accuracy.ok());
+  EXPECT_DOUBLE_EQ((*curve)[0], *accuracy);
+  EXPECT_EQ(curve->size(), 2u);  // Clamped to the gallery size.
+}
+
+TEST(CmcTest, RejectsBadInputs) {
+  const linalg::Matrix similarity(2, 2, 0.5);
+  EXPECT_FALSE(core::TrueMatchRanks(similarity, {"a"}, {"a", "b"}).ok());
+  EXPECT_FALSE(
+      core::CumulativeMatchCurve(similarity, {"a", "b"}, {"a", "b"}, 0).ok());
+}
+
+}  // namespace
+}  // namespace neuroprint

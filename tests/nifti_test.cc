@@ -1,0 +1,242 @@
+// NIfTI codec tests: header round-trip, voxel round-trip across data
+// types and compression, endianness handling, and corrupt-file rejection.
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "nifti/nifti_header.h"
+#include "nifti/nifti_io.h"
+#include "util/random.h"
+
+namespace neuroprint::nifti {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+image::Volume4D MakeTestRun(std::size_t nx, std::size_t ny, std::size_t nz,
+                            std::size_t nt, Rng& rng) {
+  image::Volume4D run(nx, ny, nz, nt);
+  run.spacing().dx_mm = 2.0;
+  run.spacing().dy_mm = 2.5;
+  run.spacing().dz_mm = 3.0;
+  run.spacing().tr_seconds = 0.72;
+  for (float& v : run.flat()) {
+    v = static_cast<float>(rng.Gaussian(500.0, 100.0));
+  }
+  return run;
+}
+
+TEST(NiftiHeaderTest, EncodeDecodeRoundTrip) {
+  NiftiHeader header;
+  header.dim = {4, 16, 18, 20, 50, 1, 1, 1};
+  header.datatype = DataType::kInt16;
+  header.pixdim = {1.f, 2.f, 2.5f, 3.f, 0.72f, 1.f, 1.f, 1.f};
+  header.scl_slope = 0.5f;
+  header.scl_inter = 10.0f;
+  header.description = "test image";
+  const auto bytes = EncodeHeader(header);
+  ASSERT_EQ(bytes.size(), kNiftiHeaderSize);
+
+  bool swapped = true;
+  const auto decoded = DecodeHeader(bytes, &swapped);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_FALSE(swapped);
+  EXPECT_EQ(decoded->dim, header.dim);
+  EXPECT_EQ(decoded->datatype, DataType::kInt16);
+  EXPECT_FLOAT_EQ(decoded->pixdim[4], 0.72f);
+  EXPECT_FLOAT_EQ(decoded->scl_slope, 0.5f);
+  EXPECT_FLOAT_EQ(decoded->scl_inter, 10.0f);
+  EXPECT_EQ(decoded->description, "test image");
+}
+
+TEST(NiftiHeaderTest, DetectsByteSwappedHeader) {
+  NiftiHeader header;
+  header.dim = {3, 8, 8, 8, 1, 1, 1, 1};
+  auto bytes = EncodeHeader(header);
+  // Simulate a big-endian writer: reverse each multi-byte field we probe.
+  auto swap32 = [&](std::size_t off) {
+    std::swap(bytes[off], bytes[off + 3]);
+    std::swap(bytes[off + 1], bytes[off + 2]);
+  };
+  auto swap16 = [&](std::size_t off) { std::swap(bytes[off], bytes[off + 1]); };
+  swap32(0);  // sizeof_hdr
+  for (std::size_t d = 0; d < 8; ++d) swap16(40 + 2 * d);   // dim
+  swap16(70);                                               // datatype
+  swap16(72);                                               // bitpix
+  for (std::size_t d = 0; d < 8; ++d) swap32(76 + 4 * d);   // pixdim
+  swap32(108);  // vox_offset
+  swap32(112);  // scl_slope
+  swap32(116);  // scl_inter
+  swap16(252);
+  swap16(254);
+  for (std::size_t i = 0; i < 12; ++i) swap32(280 + 4 * i);  // srow
+
+  bool swapped = false;
+  const auto decoded = DecodeHeader(bytes, &swapped);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(swapped);
+  EXPECT_EQ(decoded->dim[1], 8);
+  EXPECT_EQ(decoded->datatype, DataType::kFloat32);
+}
+
+TEST(NiftiHeaderTest, RejectsGarbage) {
+  std::vector<std::uint8_t> garbage(kNiftiHeaderSize, 0xAB);
+  EXPECT_FALSE(DecodeHeader(garbage).ok());
+  std::vector<std::uint8_t> tiny(10, 0);
+  const auto r = DecodeHeader(tiny);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruptData);
+}
+
+TEST(NiftiHeaderTest, ValidateCatchesBadFields) {
+  NiftiHeader header;
+  header.dim[0] = 9;
+  EXPECT_FALSE(header.Validate().ok());
+  header.dim[0] = 3;
+  header.dim[2] = -5;
+  EXPECT_FALSE(header.Validate().ok());
+  header.dim[2] = 4;
+  header.vox_offset = 100.0f;
+  EXPECT_FALSE(header.Validate().ok());
+}
+
+TEST(NiftiHeaderTest, BitsPerVoxel) {
+  EXPECT_EQ(*BitsPerVoxel(DataType::kUint8), 8);
+  EXPECT_EQ(*BitsPerVoxel(DataType::kInt16), 16);
+  EXPECT_EQ(*BitsPerVoxel(DataType::kInt32), 32);
+  EXPECT_EQ(*BitsPerVoxel(DataType::kFloat32), 32);
+  EXPECT_EQ(*BitsPerVoxel(DataType::kFloat64), 64);
+  EXPECT_FALSE(IsSupportedDataType(1));    // DT_BINARY
+  EXPECT_FALSE(IsSupportedDataType(128));  // DT_RGB24
+}
+
+// Parameterized write/read round trip over dtype x compression.
+struct RoundTripCase {
+  DataType datatype;
+  bool gzip;
+  double tolerance;  // Integer types quantize.
+};
+
+class NiftiRoundTripTest : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(NiftiRoundTripTest, WriteReadPreservesVoxels) {
+  const RoundTripCase& c = GetParam();
+  Rng rng(55);
+  const image::Volume4D run = MakeTestRun(6, 5, 4, 7, rng);
+  const std::string path = TempPath(
+      std::string("roundtrip_") +
+      std::to_string(static_cast<int>(c.datatype)) +
+      (c.gzip ? ".nii.gz" : ".nii"));
+
+  WriteOptions options;
+  options.datatype = c.datatype;
+  ASSERT_TRUE(WriteNifti(path, run, options).ok());
+
+  const auto image = ReadNifti(path);
+  ASSERT_TRUE(image.ok()) << image.status();
+  ASSERT_EQ(image->data.nx(), run.nx());
+  ASSERT_EQ(image->data.ny(), run.ny());
+  ASSERT_EQ(image->data.nz(), run.nz());
+  ASSERT_EQ(image->data.nt(), run.nt());
+  EXPECT_NEAR(image->data.spacing().dy_mm, 2.5, 1e-5);
+  EXPECT_NEAR(image->data.spacing().tr_seconds, 0.72, 1e-5);
+  for (std::size_t i = 0; i < run.size(); ++i) {
+    ASSERT_NEAR(image->data.flat()[i], run.flat()[i], c.tolerance)
+        << "voxel " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DtypesAndCompression, NiftiRoundTripTest,
+    ::testing::Values(RoundTripCase{DataType::kFloat32, false, 1e-3},
+                      RoundTripCase{DataType::kFloat32, true, 1e-3},
+                      RoundTripCase{DataType::kFloat64, false, 1e-6},
+                      RoundTripCase{DataType::kFloat64, true, 1e-6},
+                      RoundTripCase{DataType::kInt16, false, 0.05},
+                      RoundTripCase{DataType::kInt16, true, 0.05},
+                      RoundTripCase{DataType::kInt32, false, 1e-3},
+                      RoundTripCase{DataType::kUint8, false, 4.0}));
+
+TEST(NiftiIoTest, GzipDetectedByMagicNotExtension) {
+  Rng rng(66);
+  const image::Volume4D run = MakeTestRun(4, 4, 3, 2, rng);
+  // Write gzipped content to a path WITHOUT .gz suffix.
+  const std::string path = TempPath("misnamed_plain.nii");
+  WriteOptions options;
+  options.compression = WriteOptions::Compression::kAlways;
+  ASSERT_TRUE(WriteNifti(path, run, options).ok());
+  const auto image = ReadNifti(path);
+  ASSERT_TRUE(image.ok()) << image.status();
+  EXPECT_EQ(image->data.nt(), 2u);
+}
+
+TEST(NiftiIoTest, ThreeDimensionalImage) {
+  Rng rng(77);
+  image::Volume3D vol(5, 6, 7);
+  for (float& v : vol.flat()) v = static_cast<float>(rng.Uniform(0, 100));
+  const std::string path = TempPath("three_d.nii");
+  ASSERT_TRUE(WriteNifti3D(path, vol).ok());
+  const auto image = ReadNifti(path);
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(image->header.dim[0], 3);
+  EXPECT_EQ(image->data.nt(), 1u);
+  EXPECT_NEAR(image->data.at(2, 3, 4, 0), vol.at(2, 3, 4), 1e-3);
+}
+
+TEST(NiftiIoTest, ConstantVolumeInt16ScalingDegenerate) {
+  image::Volume4D run(3, 3, 3, 1, 42.0f);
+  const std::string path = TempPath("constant.nii");
+  WriteOptions options;
+  options.datatype = DataType::kInt16;
+  ASSERT_TRUE(WriteNifti(path, run, options).ok());
+  const auto image = ReadNifti(path);
+  ASSERT_TRUE(image.ok());
+  EXPECT_NEAR(image->data.at(1, 1, 1, 0), 42.0, 1e-3);
+}
+
+TEST(NiftiIoTest, MissingFileGivesIOError) {
+  const auto image = ReadNifti(TempPath("does_not_exist.nii"));
+  EXPECT_FALSE(image.ok());
+  EXPECT_EQ(image.status().code(), StatusCode::kIOError);
+}
+
+TEST(NiftiIoTest, TruncatedVoxelDataRejected) {
+  Rng rng(88);
+  const image::Volume4D run = MakeTestRun(8, 8, 8, 3, rng);
+  const std::string path = TempPath("truncated.nii");
+  ASSERT_TRUE(WriteNifti(path, run).ok());
+  // Truncate the file to half its size.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::string contents(size / 2, '\0');
+  in.read(contents.data(), static_cast<std::streamsize>(contents.size()));
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  out.close();
+
+  const auto image = ReadNifti(path);
+  EXPECT_FALSE(image.ok());
+  EXPECT_EQ(image.status().code(), StatusCode::kCorruptData);
+}
+
+TEST(NiftiIoTest, CorruptGzipRejected) {
+  const std::string path = TempPath("corrupt.nii.gz");
+  std::ofstream out(path, std::ios::binary);
+  const char bytes[] = {0x1f, static_cast<char>(0x8b), 0x01, 0x02, 0x03};
+  out.write(bytes, sizeof(bytes));
+  out.close();
+  EXPECT_FALSE(ReadNifti(path).ok());
+}
+
+TEST(NiftiIoTest, EmptyVolumeRejected) {
+  EXPECT_FALSE(WriteNifti(TempPath("empty.nii"), image::Volume4D()).ok());
+}
+
+}  // namespace
+}  // namespace neuroprint::nifti

@@ -1,0 +1,98 @@
+// Tests for the partial-correlation connectome and the match-margin
+// diagnostics.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "connectome/partial_correlation.h"
+#include "core/matcher.h"
+#include "linalg/matrix.h"
+#include "util/random.h"
+
+namespace neuroprint::connectome {
+namespace {
+
+TEST(PartialCorrelationTest, UnitDiagonalSymmetricBounded) {
+  Rng rng(1);
+  linalg::Matrix series(8, 200);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t t = 0; t < 200; ++t) series(i, t) = rng.Gaussian();
+  }
+  const auto partial = BuildPartialCorrelationConnectome(series);
+  ASSERT_TRUE(partial.ok()) << partial.status();
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ((*partial)(i, i), 1.0);
+    for (std::size_t j = 0; j < 8; ++j) {
+      EXPECT_DOUBLE_EQ((*partial)(i, j), (*partial)(j, i));
+      EXPECT_LE(std::fabs((*partial)(i, j)), 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(PartialCorrelationTest, ConditionsOutChainMediation) {
+  // Markov chain x -> y -> z: x and z are marginally correlated but
+  // conditionally independent given y. Partial correlation must send the
+  // (x, z) edge towards zero while Pearson keeps it large.
+  Rng rng(2);
+  const std::size_t n = 6000;
+  linalg::Matrix series(3, n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const double x = rng.Gaussian();
+    const double y = 0.9 * x + 0.45 * rng.Gaussian();
+    const double z = 0.9 * y + 0.45 * rng.Gaussian();
+    series(0, t) = x;
+    series(1, t) = y;
+    series(2, t) = z;
+  }
+  PartialCorrelationOptions options;
+  options.shrinkage = 1e-4;  // Plenty of samples; almost no shrinkage.
+  const auto partial = BuildPartialCorrelationConnectome(series, options);
+  ASSERT_TRUE(partial.ok());
+  // Direct edges stay strong; the mediated (x, z) edge collapses.
+  EXPECT_GT((*partial)(0, 1), 0.5);
+  EXPECT_GT((*partial)(1, 2), 0.5);
+  EXPECT_LT(std::fabs((*partial)(0, 2)), 0.1);
+}
+
+TEST(PartialCorrelationTest, ShrinkageStabilizesDegenerateCovariance) {
+  // A constant region makes the covariance exactly singular: without
+  // shrinkage the inversion fails, with shrinkage it succeeds and the
+  // output stays bounded.
+  Rng rng(3);
+  linalg::Matrix series(8, 40);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t t = 0; t < 40; ++t) series(i, t) = rng.Gaussian();
+  }
+  for (std::size_t t = 0; t < 40; ++t) series(3, t) = 2.0;  // Constant row.
+  PartialCorrelationOptions none;
+  none.shrinkage = 0.0;
+  EXPECT_FALSE(BuildPartialCorrelationConnectome(series, none).ok());
+  PartialCorrelationOptions shrunk;
+  shrunk.shrinkage = 0.5;
+  const auto partial = BuildPartialCorrelationConnectome(series, shrunk);
+  ASSERT_TRUE(partial.ok()) << partial.status();
+  EXPECT_TRUE(partial->AllFinite());
+}
+
+TEST(PartialCorrelationTest, RejectsDegenerateInputs) {
+  EXPECT_FALSE(BuildPartialCorrelationConnectome(linalg::Matrix(1, 10)).ok());
+  EXPECT_FALSE(BuildPartialCorrelationConnectome(linalg::Matrix(4, 2)).ok());
+  EXPECT_FALSE(
+      BuildPartialCorrelationConnectome(linalg::Matrix(4, 10, 5.0)).ok());
+  linalg::Matrix nan_series(4, 10, 1.0);
+  nan_series(0, 0) = std::nan("");
+  EXPECT_FALSE(BuildPartialCorrelationConnectome(nan_series).ok());
+}
+
+TEST(MatchMarginsTest, ComputesBestMinusSecond) {
+  linalg::Matrix similarity{{0.9, 0.2}, {0.5, 0.8}, {0.1, 0.7}};
+  const auto margins = core::MatchMargins(similarity);
+  ASSERT_TRUE(margins.ok());
+  EXPECT_NEAR((*margins)[0], 0.4, 1e-12);
+  EXPECT_NEAR((*margins)[1], 0.1, 1e-12);
+  EXPECT_FALSE(core::MatchMargins(linalg::Matrix(1, 3)).ok());
+}
+
+}  // namespace
+}  // namespace neuroprint::connectome

@@ -1,0 +1,269 @@
+// Tests for slice-time correction and the full Figure-4 pipeline: every
+// stage must remove its planted artifact without destroying the signal.
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "atlas/synthetic_atlas.h"
+#include "linalg/stats.h"
+#include "linalg/vector_ops.h"
+#include "preprocess/pipeline.h"
+#include "preprocess/slice_timing.h"
+#include "signal/filters.h"
+#include "sim/cohort.h"
+#include "sim/voxel_render.h"
+#include "util/random.h"
+
+namespace neuroprint::preprocess {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(SliceTimingTest, AcquisitionFractionsCoverTr) {
+  const auto seq = SliceAcquisitionFractions(4, SliceOrder::kSequentialAscending);
+  EXPECT_EQ(seq, (std::vector<double>{0.0, 0.25, 0.5, 0.75}));
+  const auto desc =
+      SliceAcquisitionFractions(4, SliceOrder::kSequentialDescending);
+  EXPECT_EQ(desc, (std::vector<double>{0.75, 0.5, 0.25, 0.0}));
+  const auto inter = SliceAcquisitionFractions(5, SliceOrder::kInterleavedOdd);
+  // Acquisition order 0,2,4,1,3 -> fractions by slice index.
+  const std::vector<double> expected{0.0, 0.6, 0.2, 0.8, 0.4};
+  ASSERT_EQ(inter.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_DOUBLE_EQ(inter[i], expected[i]) << "slice " << i;
+  }
+}
+
+TEST(SliceTimingTest, AlignsPhaseShiftedSlices) {
+  // Two-slice phantom: slice 1's sine is acquired half a TR later. After
+  // correction, both slices should be in phase.
+  const std::size_t nt = 64;
+  image::Volume4D run(1, 1, 2, nt);
+  const double freq = 0.05;
+  for (std::size_t t = 0; t < nt; ++t) {
+    const double phase = 2.0 * kPi * freq * static_cast<double>(t);
+    run.at(0, 0, 0, t) = static_cast<float>(std::sin(phase));
+    // Slice 1 acquired at t + 0.5 in sample units.
+    run.at(0, 0, 1, t) =
+        static_cast<float>(std::sin(phase + 2.0 * kPi * freq * 0.5));
+  }
+  const auto corrected =
+      SliceTimeCorrect(run, SliceOrder::kSequentialAscending, 0);
+  ASSERT_TRUE(corrected.ok());
+  double max_err = 0.0;
+  for (std::size_t t = 8; t + 8 < nt; ++t) {
+    max_err = std::max(
+        max_err, std::fabs(static_cast<double>(corrected->at(0, 0, 1, t)) -
+                           corrected->at(0, 0, 0, t)));
+  }
+  EXPECT_LT(max_err, 0.01);
+  // Reference slice untouched.
+  for (std::size_t t = 0; t < nt; ++t) {
+    EXPECT_FLOAT_EQ(corrected->at(0, 0, 0, t), run.at(0, 0, 0, t));
+  }
+}
+
+TEST(SliceTimingTest, RejectsBadReferenceSlice) {
+  const image::Volume4D run(2, 2, 2, 4);
+  EXPECT_FALSE(
+      SliceTimeCorrect(run, SliceOrder::kSequentialAscending, 5).ok());
+}
+
+TEST(CleanRegionSeriesTest, RemovesDriftAndZScores) {
+  Rng rng(11);
+  const std::size_t nt = 400;
+  const double tr = 0.72;
+  linalg::Matrix series(5, nt);
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t t = 0; t < nt; ++t) {
+      const double time = static_cast<double>(t) * tr;
+      series(r, t) = std::sin(2.0 * kPi * 0.05 * time + r) +  // In-band.
+                     4.0 * std::sin(2.0 * kPi * 0.001 * time) +  // Drift.
+                     0.5 * static_cast<double>(t) / nt +         // Trend.
+                     0.1 * rng.Gaussian();
+    }
+  }
+  PipelineConfig config = RestingStateConfig();
+  config.global_signal_regression = false;
+  ASSERT_TRUE(CleanRegionSeries(series, config, tr).ok());
+  for (std::size_t r = 0; r < 5; ++r) {
+    const linalg::Vector row = series.RowCopy(r);
+    // Z-scored.
+    EXPECT_NEAR(linalg::Mean(row), 0.0, 1e-9);
+    EXPECT_NEAR(linalg::StdDev(row), 1.0, 1e-9);
+    // Drift band empty relative to signal band.
+    std::vector<double> x(row.begin(), row.end());
+    EXPECT_LT(signal::BandPower(x, 0.0, 0.003, tr),
+              0.05 * signal::BandPower(x, 0.04, 0.06, tr));
+  }
+}
+
+TEST(CleanRegionSeriesTest, GlobalSignalRegressionRemovesSharedComponent) {
+  Rng rng(13);
+  const std::size_t nt = 300;
+  linalg::Matrix series(6, nt);
+  std::vector<double> shared(nt);
+  for (double& v : shared) v = rng.Gaussian();
+  for (std::size_t r = 0; r < 6; ++r) {
+    for (std::size_t t = 0; t < nt; ++t) {
+      series(r, t) = 2.0 * shared[t] + 0.3 * rng.Gaussian();
+    }
+  }
+  PipelineConfig config;
+  config.detrend_degree = -1;
+  config.temporal_filter = TemporalFilter::kNone;
+  config.global_signal_regression = true;
+  config.zscore_series = false;
+  ASSERT_TRUE(CleanRegionSeries(series, config, 0.72, shared).ok());
+  // Residuals should be orthogonal to the shared signal.
+  for (std::size_t r = 0; r < 6; ++r) {
+    const linalg::Vector row = series.RowCopy(r);
+    linalg::Vector shared_vec(shared.begin(), shared.end());
+    EXPECT_LT(std::fabs(linalg::PearsonCorrelation(row, shared_vec)), 0.02);
+  }
+}
+
+TEST(CleanRegionSeriesTest, RejectsEmpty) {
+  linalg::Matrix empty;
+  EXPECT_FALSE(CleanRegionSeries(empty, PipelineConfig{}, 0.72).ok());
+}
+
+// Full pipeline integration: render a small voxel run with planted
+// artifacts and verify the pipeline recovers the underlying region
+// signal structure.
+class PipelineIntegrationTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kRegions = 12;
+
+  void SetUp() override {
+    atlas::SyntheticAtlasConfig atlas_config;
+    atlas_config.nx = 14;
+    atlas_config.ny = 14;
+    atlas_config.nz = 12;
+    atlas_config.num_regions = kRegions;
+    atlas_config.seed = 3;
+    auto atlas = atlas::GenerateSyntheticAtlas(atlas_config);
+    ASSERT_TRUE(atlas.ok());
+    atlas_ = std::move(atlas).value();
+
+    sim::CohortConfig cohort_config;
+    cohort_config.num_subjects = 2;
+    cohort_config.num_regions = kRegions;
+    cohort_config.frames_override = 120;
+    cohort_config.seed = 7;
+    auto cohort = sim::CohortSimulator::Create(cohort_config);
+    ASSERT_TRUE(cohort.ok());
+    auto series = cohort->SimulateRegionSeries(0, sim::TaskType::kRest,
+                                               sim::Encoding::kLeftRight);
+    ASSERT_TRUE(series.ok());
+    truth_series_ = std::move(series).value();
+  }
+
+  atlas::Atlas atlas_;
+  linalg::Matrix truth_series_;
+};
+
+TEST_F(PipelineIntegrationTest, RecoversRegionCorrelationStructure) {
+  Rng rng(17);
+  sim::VoxelRenderConfig render;
+  render.drift_amplitude = 20.0;
+  render.voxel_noise = 4.0;
+  auto run = sim::RenderVoxelRun(atlas_, truth_series_, render, rng);
+  ASSERT_TRUE(run.ok());
+
+  PipelineConfig config = RestingStateConfig();
+  config.slice_time_correction = false;  // No slice offsets planted here.
+  config.motion_correction = false;      // No motion planted here.
+  config.temporal_filter = TemporalFilter::kNone;
+  config.global_signal_regression = false;
+  config.smoothing_fwhm_mm = 0.0;  // Small parcels; keep them crisp.
+  const auto output = RunPipeline(*run, atlas_, config);
+  ASSERT_TRUE(output.ok()) << output.status();
+  ASSERT_EQ(output->region_series.rows(), kRegions);
+  ASSERT_EQ(output->region_series.cols(), truth_series_.cols());
+
+  // The recovered per-region series must correlate strongly with truth.
+  double min_corr = 1.0;
+  for (std::size_t r = 0; r < kRegions; ++r) {
+    const double corr = linalg::PearsonCorrelation(
+        output->region_series.RowCopy(r), truth_series_.RowCopy(r));
+    min_corr = std::min(min_corr, corr);
+  }
+  EXPECT_GT(min_corr, 0.95);
+}
+
+TEST_F(PipelineIntegrationTest, MotionCorrectionImprovesRecovery) {
+  Rng rng(19);
+  sim::VoxelRenderConfig render;
+  render.motion_step = 0.08;
+  render.voxel_noise = 2.0;
+  render.drift_amplitude = 0.0;
+  auto run = sim::RenderVoxelRun(atlas_, truth_series_, render, rng);
+  ASSERT_TRUE(run.ok());
+
+  PipelineConfig no_mc = RestingStateConfig();
+  no_mc.slice_time_correction = false;
+  no_mc.motion_correction = false;
+  no_mc.temporal_filter = TemporalFilter::kNone;
+  no_mc.global_signal_regression = false;
+  no_mc.smoothing_fwhm_mm = 0.0;
+  PipelineConfig with_mc = no_mc;
+  with_mc.motion_correction = true;
+  with_mc.registration.sample_stride = 1;
+
+  const auto raw = RunPipeline(*run, atlas_, no_mc);
+  const auto corrected = RunPipeline(*run, atlas_, with_mc);
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(corrected.ok()) << corrected.status();
+
+  auto mean_corr = [&](const linalg::Matrix& series) {
+    double sum = 0.0;
+    for (std::size_t r = 0; r < kRegions; ++r) {
+      sum += linalg::PearsonCorrelation(series.RowCopy(r),
+                                        truth_series_.RowCopy(r));
+    }
+    return sum / kRegions;
+  };
+  const double corr_raw = mean_corr(raw->region_series);
+  const double corr_fixed = mean_corr(corrected->region_series);
+  EXPECT_GT(corr_fixed, corr_raw + 0.03);  // Genuinely improves recovery...
+  EXPECT_GT(corr_fixed, 0.65);             // ...and is fair in absolute terms
+                                           // (parcels here are only ~4 voxels
+                                           // across, so residual interpolation
+                                           // blur caps the correlation).
+  // Motion estimates are non-trivial.
+  ASSERT_EQ(corrected->motion.size(), run->nt());
+  double max_shift = 0.0;
+  for (const auto& m : corrected->motion) {
+    max_shift = std::max(max_shift, std::fabs(m.translate_x));
+  }
+  EXPECT_GT(max_shift, 0.05);
+}
+
+TEST_F(PipelineIntegrationTest, RejectsGridMismatchAndNonFinite) {
+  image::Volume4D wrong(4, 4, 4, 10);
+  EXPECT_FALSE(RunPipeline(wrong, atlas_, PipelineConfig{}).ok());
+
+  Rng rng(23);
+  sim::VoxelRenderConfig render;
+  auto run = sim::RenderVoxelRun(atlas_, truth_series_, render, rng);
+  ASSERT_TRUE(run.ok());
+  run->at(1, 1, 1, 0) = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_FALSE(RunPipeline(*run, atlas_, PipelineConfig{}).ok());
+}
+
+TEST_F(PipelineIntegrationTest, StageTimingsRecorded) {
+  Rng rng(29);
+  auto run = sim::RenderVoxelRun(atlas_, truth_series_, {}, rng);
+  ASSERT_TRUE(run.ok());
+  PipelineConfig config = RestingStateConfig();
+  config.registration.sample_stride = 2;
+  const auto output = RunPipeline(*run, atlas_, config);
+  ASSERT_TRUE(output.ok()) << output.status();
+  EXPECT_GE(output->stage_seconds.size(), 5u);
+}
+
+}  // namespace
+}  // namespace neuroprint::preprocess

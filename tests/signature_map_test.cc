@@ -1,0 +1,84 @@
+// Tests for signature localization: edge importance must aggregate to the
+// right regions and render onto the atlas grid.
+
+#include <gtest/gtest.h>
+
+#include "atlas/synthetic_atlas.h"
+#include "connectome/connectome.h"
+#include "core/signature_map.h"
+
+namespace neuroprint::core {
+namespace {
+
+TEST(SignatureMapTest, AggregatesEdgeMassToEndpoints) {
+  // 4 regions -> 6 edges in order (0,1),(0,2),(0,3),(1,2),(1,3),(2,3).
+  linalg::Vector scores{0.4, 0.0, 0.0, 0.0, 0.0, 0.2};
+  const std::vector<std::size_t> selected{0, 5};  // Edges (0,1) and (2,3).
+  const auto importance = ComputeRegionImportance(selected, scores, 4);
+  ASSERT_TRUE(importance.ok()) << importance.status();
+  ASSERT_EQ(importance->size(), 4u);
+  // Regions 0 and 1 each get half of 0.4; regions 2 and 3 half of 0.2.
+  EXPECT_EQ((*importance)[0].region_index, 0u);
+  EXPECT_DOUBLE_EQ((*importance)[0].leverage_mass, 0.2);
+  EXPECT_EQ((*importance)[0].edge_count, 1u);
+  EXPECT_DOUBLE_EQ((*importance)[2].leverage_mass, 0.1);
+  // Total mass equals the selected leverage mass.
+  double total = 0.0;
+  for (const auto& entry : *importance) total += entry.leverage_mass;
+  EXPECT_NEAR(total, 0.6, 1e-12);
+}
+
+TEST(SignatureMapTest, SortsByMassDescending) {
+  linalg::Vector scores{0.1, 0.9, 0.05, 0.0, 0.0, 0.0};
+  const auto importance = ComputeRegionImportance({0, 1, 2}, scores, 4);
+  ASSERT_TRUE(importance.ok());
+  for (std::size_t i = 0; i + 1 < importance->size(); ++i) {
+    EXPECT_GE((*importance)[i].leverage_mass,
+              (*importance)[i + 1].leverage_mass);
+  }
+  // Region 0 touches all three selected edges: it must rank first.
+  EXPECT_EQ((*importance)[0].region_index, 0u);
+  EXPECT_EQ((*importance)[0].edge_count, 3u);
+}
+
+TEST(SignatureMapTest, RejectsMismatchedInputs) {
+  linalg::Vector scores(6, 0.1);
+  EXPECT_FALSE(ComputeRegionImportance({0}, scores, 5).ok());  // 5 -> 10 edges.
+  EXPECT_FALSE(ComputeRegionImportance({99}, scores, 4).ok());
+  EXPECT_FALSE(ComputeRegionImportance({0}, scores, 1).ok());
+}
+
+TEST(SignatureMapTest, RendersOntoAtlasGrid) {
+  atlas::SyntheticAtlasConfig config;
+  config.nx = 10;
+  config.ny = 10;
+  config.nz = 10;
+  config.num_regions = 4;
+  config.seed = 9;
+  const auto atlas = atlas::GenerateSyntheticAtlas(config);
+  ASSERT_TRUE(atlas.ok());
+
+  linalg::Vector scores(connectome::NumEdges(4), 0.0);
+  scores[0] = 1.0;  // Edge (0,1): regions 1 and 2 (1-based labels) get 0.5.
+  const auto importance = ComputeRegionImportance({0}, scores, 4);
+  ASSERT_TRUE(importance.ok());
+  const auto map = RenderSignatureMap(*importance, *atlas);
+  ASSERT_TRUE(map.ok());
+
+  for (std::size_t z = 0; z < 10; ++z) {
+    for (std::size_t y = 0; y < 10; ++y) {
+      for (std::size_t x = 0; x < 10; ++x) {
+        const std::int32_t label = atlas->label(x, y, z);
+        const float value = map->at(x, y, z);
+        if (label == 1 || label == 2) {
+          EXPECT_FLOAT_EQ(value, 0.5f);
+        } else {
+          EXPECT_FLOAT_EQ(value, 0.0f);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace neuroprint::core

@@ -1,0 +1,144 @@
+// Tests for window functions and the Welch PSD estimator.
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "linalg/vector_ops.h"
+#include "signal/spectral.h"
+#include "util/random.h"
+
+namespace neuroprint::signal {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+std::vector<double> Sine(std::size_t n, double freq_hz, double tr,
+                         double amplitude = 1.0) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = amplitude * std::sin(2.0 * kPi * freq_hz * static_cast<double>(i) * tr);
+  }
+  return x;
+}
+
+TEST(WindowTest, ShapesAndEndpoints) {
+  const auto rect = MakeWindow(WindowKind::kRectangular, 8);
+  ASSERT_TRUE(rect.ok());
+  for (double w : *rect) EXPECT_DOUBLE_EQ(w, 1.0);
+
+  const auto hann = MakeWindow(WindowKind::kHann, 9);
+  ASSERT_TRUE(hann.ok());
+  EXPECT_NEAR((*hann)[0], 0.0, 1e-12);
+  EXPECT_NEAR((*hann)[8], 0.0, 1e-12);
+  EXPECT_NEAR((*hann)[4], 1.0, 1e-12);  // Peak at the centre.
+
+  const auto hamming = MakeWindow(WindowKind::kHamming, 9);
+  ASSERT_TRUE(hamming.ok());
+  EXPECT_NEAR((*hamming)[0], 0.08, 1e-12);
+  EXPECT_NEAR((*hamming)[4], 1.0, 1e-12);
+
+  EXPECT_FALSE(MakeWindow(WindowKind::kHann, 0).ok());
+  const auto single = MakeWindow(WindowKind::kHann, 1);
+  ASSERT_TRUE(single.ok());
+  EXPECT_DOUBLE_EQ((*single)[0], 1.0);
+}
+
+TEST(WelchTest, LocatesPureTone) {
+  const double tr = 0.72;
+  const double tone_hz = 0.1;
+  const std::vector<double> x = Sine(2048, tone_hz, tr);
+  WelchOptions options;
+  options.segment_length = 256;
+  options.tr_seconds = tr;
+  const auto psd = WelchPsd(x, options);
+  ASSERT_TRUE(psd.ok()) << psd.status();
+  // The strongest bin must sit at the tone frequency.
+  std::size_t peak = 0;
+  for (std::size_t k = 1; k < psd->power.size(); ++k) {
+    if (psd->power[k] > psd->power[peak]) peak = k;
+  }
+  EXPECT_NEAR(psd->frequency_hz[peak], tone_hz, 0.01);
+  // Nearly all power concentrated near the tone.
+  const double near = psd->BandPower(tone_hz - 0.02, tone_hz + 0.02);
+  const double total = psd->BandPower(0.0, 1.0);
+  EXPECT_GT(near, 0.9 * total);
+}
+
+TEST(WelchTest, TotalPowerApproximatesVariance) {
+  Rng rng(5);
+  std::vector<double> x(4096);
+  for (double& v : x) v = rng.Gaussian(0.0, 2.0);  // Variance 4.
+  WelchOptions options;
+  options.segment_length = 256;
+  options.window = WindowKind::kHann;
+  const auto psd = WelchPsd(x, options);
+  ASSERT_TRUE(psd.ok());
+  const double total = psd->BandPower(0.0, 1e9);
+  EXPECT_NEAR(total, 4.0, 0.8);
+  // Rectangular window gives the same total (Parseval is window-agnostic
+  // after energy normalization).
+  WelchOptions rect = options;
+  rect.window = WindowKind::kRectangular;
+  const auto psd_rect = WelchPsd(x, rect);
+  ASSERT_TRUE(psd_rect.ok());
+  EXPECT_NEAR(psd_rect->BandPower(0.0, 1e9), 4.0, 0.8);
+}
+
+TEST(WelchTest, WhiteNoiseSpectrumIsFlat) {
+  Rng rng(6);
+  std::vector<double> x(8192);
+  for (double& v : x) v = rng.Gaussian();
+  WelchOptions options;
+  options.segment_length = 128;
+  options.tr_seconds = 1.0;
+  const auto psd = WelchPsd(x, options);
+  ASSERT_TRUE(psd.ok());
+  // Compare band power in two equal-width bands: should be similar.
+  const double low = psd->BandPower(0.05, 0.2);
+  const double high = psd->BandPower(0.3, 0.45);
+  EXPECT_NEAR(low / high, 1.0, 0.35);
+}
+
+TEST(WelchTest, DetectsFilteredBand) {
+  // After the simulator's scan spectrum question: verify the estimator
+  // sees the band structure a band-limited signal has.
+  const double tr = 0.72;
+  std::vector<double> x = Sine(4096, 0.05, tr, 3.0);
+  const std::vector<double> fast = Sine(4096, 0.5, tr, 0.5);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += fast[i];
+  WelchOptions options;
+  options.segment_length = 512;
+  options.tr_seconds = tr;
+  const auto psd = WelchPsd(x, options);
+  ASSERT_TRUE(psd.ok());
+  EXPECT_GT(psd->BandPower(0.03, 0.07), 10.0 * psd->BandPower(0.45, 0.55));
+  EXPECT_GT(psd->BandPower(0.45, 0.55), 1e-6);
+}
+
+TEST(WelchTest, RejectsBadInputs) {
+  const std::vector<double> x(100, 1.0);
+  WelchOptions too_long;
+  too_long.segment_length = 200;
+  EXPECT_FALSE(WelchPsd(x, too_long).ok());
+  WelchOptions tiny_seg;
+  tiny_seg.segment_length = 1;
+  EXPECT_FALSE(WelchPsd(x, tiny_seg).ok());
+  WelchOptions bad_overlap;
+  bad_overlap.segment_length = 50;
+  bad_overlap.overlap = 0.99;
+  EXPECT_FALSE(WelchPsd(x, bad_overlap).ok());
+  WelchOptions bad_tr;
+  bad_tr.segment_length = 50;
+  bad_tr.tr_seconds = 0.0;
+  EXPECT_FALSE(WelchPsd(x, bad_tr).ok());
+  std::vector<double> with_nan(100, 0.0);
+  with_nan[3] = std::nan("");
+  WelchOptions fine;
+  fine.segment_length = 50;
+  EXPECT_FALSE(WelchPsd(with_nan, fine).ok());
+}
+
+}  // namespace
+}  // namespace neuroprint::signal

@@ -1,0 +1,29 @@
+// Compile-and-smoke test for the umbrella header: every public module
+// must be reachable through a single include.
+
+#include "neuroprint.h"
+
+#include <gtest/gtest.h>
+
+namespace neuroprint {
+namespace {
+
+TEST(UmbrellaHeaderTest, AllModulesReachable) {
+  // One symbol per module proves the include graph is intact.
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(linalg::Matrix::Identity(2)(0, 0), 1.0);
+  EXPECT_TRUE(signal::IsPowerOfTwo(8));
+  EXPECT_EQ(nifti::kNiftiHeaderSize, 348u);
+  EXPECT_EQ(image::Volume3D(2, 2, 2).size(), 8u);
+  EXPECT_EQ(atlas::kBackground, 0);
+  EXPECT_EQ(connectome::NumEdges(360), 64620u);
+  EXPECT_STREQ(sim::TaskName(sim::TaskType::kRest), "REST");
+  EXPECT_GT(sim::DoubleGammaHrf(5.0), 0.5);
+  core::AttackOptions attack_options;
+  EXPECT_EQ(attack_options.num_features, 100u);
+  preprocess::PipelineConfig pipeline = preprocess::RestingStateConfig();
+  EXPECT_TRUE(pipeline.global_signal_regression);
+}
+
+}  // namespace
+}  // namespace neuroprint

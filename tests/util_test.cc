@@ -1,0 +1,201 @@
+// Tests for Status/Result, the RNG, CSV writer, and string helpers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <set>
+
+#include "util/csv_writer.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace neuroprint {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsCarryCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad dims");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad dims");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad dims");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kOutOfRange,
+        StatusCode::kFailedPrecondition, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kIOError,
+        StatusCode::kCorruptData, StatusCode::kNotConverged,
+        StatusCode::kUnimplemented, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, OkStatusBecomesInternalError) {
+  Result<int> r(Status::OK());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  const std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next64(), b.Next64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next64() == b.Next64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformIntRespectsBound) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.UniformInt(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // All residues hit.
+}
+
+TEST(RngTest, GaussianMomentsMatch) {
+  Rng rng(11);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(13);
+  const auto p = rng.Permutation(50);
+  std::set<std::size_t> unique(p.begin(), p.end());
+  EXPECT_EQ(unique.size(), 50u);
+  EXPECT_EQ(*unique.begin(), 0u);
+  EXPECT_EQ(*unique.rbegin(), 49u);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(17);
+  // Weight 0 entries must never be drawn.
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 3000; ++i) {
+    counts[rng.Categorical({1.0, 0.0, 3.0})]++;
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_GT(counts[2], counts[0]);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / 3000.0, 0.75, 0.05);
+}
+
+TEST(CsvWriterTest, HeaderAndRows) {
+  CsvWriter csv;
+  csv.SetHeader({"a", "b"});
+  csv.AddRow({"1", "x"});
+  csv.AddNumericRow({2.5, -3.0});
+  EXPECT_EQ(csv.ToString(), "a,b\n1,x\n2.5,-3\n");
+  EXPECT_EQ(csv.row_count(), 2u);
+}
+
+TEST(CsvWriterTest, QuotesSpecialCharacters) {
+  CsvWriter csv;
+  csv.AddRow({"he,llo", "say \"hi\"", "line\nbreak"});
+  EXPECT_EQ(csv.ToString(), "\"he,llo\",\"say \"\"hi\"\"\",\"line\nbreak\"\n");
+}
+
+TEST(CsvWriterTest, WriteFileRoundTrip) {
+  CsvWriter csv;
+  csv.SetHeader({"x"});
+  csv.AddRow({"1"});
+  const std::string path = ::testing::TempDir() + "/np_csv_test.csv";
+  ASSERT_TRUE(csv.WriteFile(path).ok());
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, "x\n1\n");
+}
+
+TEST(CsvWriterTest, WriteFileFailsOnBadPath) {
+  CsvWriter csv;
+  csv.AddRow({"1"});
+  const Status s = csv.WriteFile("/nonexistent_dir_zzz/file.csv");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringUtilTest, StrSplitAndJoin) {
+  EXPECT_EQ(StrSplit("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, "-"), "a-b-c");
+  EXPECT_EQ(StrJoin({}, "-"), "");
+}
+
+TEST(StringUtilTest, EndsWithAndTrim) {
+  EXPECT_TRUE(EndsWith("image.nii.gz", ".gz"));
+  EXPECT_FALSE(EndsWith("image.nii", ".gz"));
+  EXPECT_TRUE(EndsWith("x", ""));
+  EXPECT_EQ(StrTrim("  hi \n"), "hi");
+  EXPECT_EQ(StrTrim("\t\n "), "");
+}
+
+}  // namespace
+}  // namespace neuroprint

@@ -1,0 +1,297 @@
+// neuroprint_attack: command-line de-anonymization attack on directories
+// of NIfTI scans.
+//
+// Usage:
+//   neuroprint_attack --atlas atlas.nii.gz
+//                     --known dir_with_identified_scans
+//                     --anonymous dir_with_deidentified_scans
+//                     [--features N] [--output matches.csv]
+//                     [--no-motion-correction] [--task-filter]
+//
+// Every *.nii / *.nii.gz file in each directory is one subject's scan;
+// the file stem is used as the subject identifier in the known set. The
+// tool preprocesses each scan (Figure-4 pipeline), builds connectomes
+// over the atlas, fits leverage-score feature selection on the known
+// set, and prints the best identity match (with its correlation score)
+// for every anonymous scan.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "atlas/atlas_io.h"
+#include "connectome/connectome.h"
+#include "connectome/group_matrix.h"
+#include "connectome/group_matrix_io.h"
+#include "core/attack.h"
+#include "core/signature_map.h"
+#include "nifti/nifti_io.h"
+#include "preprocess/pipeline.h"
+#include "util/csv_writer.h"
+#include "util/string_util.h"
+
+using namespace neuroprint;
+namespace fs = std::filesystem;
+
+namespace {
+
+struct CliOptions {
+  std::string atlas_path;
+  std::string known_dir;
+  std::string anonymous_dir;
+  std::string output_csv;
+  std::string signature_map_path;
+  std::string cache_dir;  // Cache preprocessed feature matrices here.
+  std::size_t num_features = 100;
+  bool motion_correction = true;
+  bool task_filter = false;      // High-pass instead of resting band-pass.
+  bool temporal_filter = true;   // --no-temporal-filter disables both.
+};
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: neuroprint_attack --atlas FILE --known DIR --anonymous DIR\n"
+      "                         [--features N] [--output FILE.csv]\n"
+      "                         [--no-motion-correction] [--task-filter]\n"
+      "                         [--no-temporal-filter]\n"
+      "                         [--signature-map MAP.nii.gz]\n"
+      "                         [--cache-dir DIR]\n");
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--atlas") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.atlas_path = v;
+    } else if (arg == "--known") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.known_dir = v;
+    } else if (arg == "--anonymous") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.anonymous_dir = v;
+    } else if (arg == "--output") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.output_csv = v;
+    } else if (arg == "--features") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.num_features = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--no-motion-correction") {
+      options.motion_correction = false;
+    } else if (arg == "--task-filter") {
+      options.task_filter = true;
+    } else if (arg == "--no-temporal-filter") {
+      options.temporal_filter = false;
+    } else if (arg == "--signature-map") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.signature_map_path = v;
+    } else if (arg == "--cache-dir") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.cache_dir = v;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return !options.atlas_path.empty() && !options.known_dir.empty() &&
+         !options.anonymous_dir.empty();
+}
+
+bool IsNiftiFile(const fs::path& path) {
+  const std::string name = path.filename().string();
+  return EndsWith(name, ".nii") || EndsWith(name, ".nii.gz");
+}
+
+std::string SubjectIdFromPath(const fs::path& path) {
+  std::string name = path.filename().string();
+  if (EndsWith(name, ".nii.gz")) return name.substr(0, name.size() - 7);
+  if (EndsWith(name, ".nii")) return name.substr(0, name.size() - 4);
+  return name;
+}
+
+// Scans a directory, preprocesses every NIfTI file, and assembles the
+// group matrix. Skips (with a warning) files that fail to process.
+Result<connectome::GroupMatrix> ProcessDirectory(
+    const std::string& dir, const atlas::Atlas& atlas,
+    const preprocess::PipelineConfig& pipeline) {
+  std::vector<fs::path> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && IsNiftiFile(entry.path())) {
+      files.push_back(entry.path());
+    }
+  }
+  if (ec) return Status::IOError("cannot list directory: " + dir);
+  if (files.empty()) {
+    return Status::NotFound("no .nii/.nii.gz files in " + dir);
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<linalg::Vector> columns;
+  std::vector<std::string> ids;
+  for (const fs::path& file : files) {
+    auto image = nifti::ReadNifti(file.string());
+    if (!image.ok()) {
+      std::fprintf(stderr, "  skipping %s: %s\n", file.c_str(),
+                   image.status().ToString().c_str());
+      continue;
+    }
+    auto output = preprocess::RunPipeline(image->data, atlas, pipeline);
+    if (!output.ok()) {
+      std::fprintf(stderr, "  skipping %s: %s\n", file.c_str(),
+                   output.status().ToString().c_str());
+      continue;
+    }
+    auto conn = connectome::BuildConnectome(output->region_series);
+    if (!conn.ok()) {
+      std::fprintf(stderr, "  skipping %s: %s\n", file.c_str(),
+                   conn.status().ToString().c_str());
+      continue;
+    }
+    auto features = connectome::VectorizeUpperTriangle(*conn);
+    if (!features.ok()) continue;
+    columns.push_back(std::move(features).value());
+    ids.push_back(SubjectIdFromPath(file));
+    std::printf("  processed %s (%zu frames)\n", file.filename().c_str(),
+                image->data.nt());
+  }
+  return connectome::GroupMatrix::FromFeatureColumns(columns, ids);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!ParseArgs(argc, argv, options)) {
+    PrintUsage();
+    return 2;
+  }
+
+  auto atlas = atlas::ReadAtlasNifti(options.atlas_path);
+  if (!atlas.ok()) {
+    std::fprintf(stderr, "atlas: %s\n", atlas.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("atlas: %zu regions on a %zux%zux%zu grid\n",
+              atlas->num_regions(), atlas->nx(), atlas->ny(), atlas->nz());
+
+  preprocess::PipelineConfig pipeline = options.task_filter
+                                            ? preprocess::TaskConfig()
+                                            : preprocess::RestingStateConfig();
+  pipeline.motion_correction = options.motion_correction;
+  pipeline.registration.sample_stride = 2;
+  if (!options.temporal_filter) {
+    pipeline.temporal_filter = preprocess::TemporalFilter::kNone;
+  }
+
+  // Preprocessing dominates runtime, so feature matrices can be cached:
+  // with --cache-dir, a directory whose cache file exists is loaded
+  // instead of reprocessed.
+  auto load_or_process =
+      [&](const std::string& dir,
+          const char* tag) -> Result<connectome::GroupMatrix> {
+    const std::string cache_path =
+        options.cache_dir.empty()
+            ? std::string()
+            : options.cache_dir + "/" + tag + ".npgm";
+    if (!cache_path.empty()) {
+      auto cached = connectome::ReadGroupMatrix(cache_path);
+      if (cached.ok()) {
+        std::printf("loaded %zu cached subjects from %s\n",
+                    cached->num_subjects(), cache_path.c_str());
+        return cached;
+      }
+    }
+    std::printf("processing scans in %s:\n", dir.c_str());
+    auto group = ProcessDirectory(dir, *atlas, pipeline);
+    if (group.ok() && !cache_path.empty()) {
+      const Status cached = connectome::WriteGroupMatrix(cache_path, *group);
+      if (cached.ok()) {
+        std::printf("cached features to %s\n", cache_path.c_str());
+      }
+    }
+    return group;
+  };
+
+  auto known = load_or_process(options.known_dir, "known");
+  if (!known.ok()) {
+    std::fprintf(stderr, "known set: %s\n", known.status().ToString().c_str());
+    return 1;
+  }
+  auto anonymous = load_or_process(options.anonymous_dir, "anonymous");
+  if (!anonymous.ok()) {
+    std::fprintf(stderr, "anonymous set: %s\n",
+                 anonymous.status().ToString().c_str());
+    return 1;
+  }
+
+  core::AttackOptions attack_options;
+  attack_options.num_features = options.num_features;
+  auto attack = core::DeanonymizationAttack::Fit(*known, attack_options);
+  if (!attack.ok()) {
+    std::fprintf(stderr, "fit: %s\n", attack.status().ToString().c_str());
+    return 1;
+  }
+  auto result = attack->Identify(*anonymous);
+  if (!result.ok()) {
+    std::fprintf(stderr, "identify: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\n%-28s %-28s %s\n", "anonymous scan", "predicted identity",
+              "correlation");
+  CsvWriter csv;
+  csv.SetHeader({"anonymous_scan", "predicted_identity", "correlation"});
+  for (std::size_t j = 0; j < anonymous->num_subjects(); ++j) {
+    const std::size_t match = result->predicted_index[j];
+    const double score = result->similarity(match, j);
+    std::printf("%-28s %-28s %.4f\n", anonymous->subject_ids()[j].c_str(),
+                result->predicted_ids[j].c_str(), score);
+    csv.AddRow({anonymous->subject_ids()[j], result->predicted_ids[j],
+                StrFormat("%.4f", score)});
+  }
+  if (!options.signature_map_path.empty()) {
+    // Render the per-region signature importance as a NIfTI heat map —
+    // the localization a defender needs (paper, Discussion).
+    auto importance = core::ComputeRegionImportance(
+        attack->selected_features(), attack->leverage_scores(),
+        atlas->num_regions());
+    if (importance.ok()) {
+      auto map = core::RenderSignatureMap(*importance, *atlas);
+      if (map.ok()) {
+        const Status written =
+            nifti::WriteNifti3D(options.signature_map_path, *map);
+        if (written.ok()) {
+          std::printf("\nsignature map written to %s\n",
+                      options.signature_map_path.c_str());
+        } else {
+          std::fprintf(stderr, "signature map: %s\n",
+                       written.ToString().c_str());
+        }
+      }
+    }
+  }
+  if (!options.output_csv.empty()) {
+    const Status written = csv.WriteFile(options.output_csv);
+    if (!written.ok()) {
+      std::fprintf(stderr, "output: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nmatches written to %s\n", options.output_csv.c_str());
+  }
+  return 0;
+}

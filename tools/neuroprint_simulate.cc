@@ -1,0 +1,184 @@
+// neuroprint_simulate: generate a synthetic multi-session fMRI dataset on
+// disk — an atlas plus per-subject NIfTI scans for two sessions — so the
+// attack tool (and any external pipeline) can be exercised without
+// writing C++.
+//
+// Usage:
+//   neuroprint_simulate --output DIR [--subjects N] [--regions N]
+//                       [--frames N] [--grid X,Y,Z] [--seed S]
+//                       [--motion STEP] [--multisite FRACTION]
+//
+// Produces:
+//   DIR/atlas.nii.gz             label image (regions)
+//   DIR/session1/subNNNN.nii.gz  identified scans (session 1)
+//   DIR/session2/subNNNN.nii.gz  "anonymous" scans (session 2; optional
+//                                multi-site noise applied)
+//
+// A follow-up attack run looks like:
+//   neuroprint_attack --atlas DIR/atlas.nii.gz --known DIR/session1
+//                     --anonymous DIR/session2 --no-temporal-filter
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "atlas/atlas_io.h"
+#include "atlas/synthetic_atlas.h"
+#include "nifti/nifti_io.h"
+#include "sim/cohort.h"
+#include "sim/voxel_render.h"
+#include "util/string_util.h"
+
+using namespace neuroprint;
+
+namespace {
+
+struct CliOptions {
+  std::string output_dir;
+  std::size_t subjects = 8;
+  std::size_t regions = 60;
+  std::size_t frames = 280;
+  std::size_t grid_x = 24, grid_y = 28, grid_z = 24;
+  std::uint64_t seed = 2026;
+  double motion_step = 0.02;
+  double multisite_fraction = 0.0;
+};
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: neuroprint_simulate --output DIR [--subjects N]\n"
+               "          [--regions N] [--frames N] [--grid X,Y,Z]\n"
+               "          [--seed S] [--motion STEP] [--multisite FRAC]\n");
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--output" && (v = next()) != nullptr) {
+      options.output_dir = v;
+    } else if (arg == "--subjects" && (v = next()) != nullptr) {
+      options.subjects = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--regions" && (v = next()) != nullptr) {
+      options.regions = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--frames" && (v = next()) != nullptr) {
+      options.frames = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--seed" && (v = next()) != nullptr) {
+      options.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--motion" && (v = next()) != nullptr) {
+      options.motion_step = std::atof(v);
+    } else if (arg == "--multisite" && (v = next()) != nullptr) {
+      options.multisite_fraction = std::atof(v);
+    } else if (arg == "--grid" && (v = next()) != nullptr) {
+      const auto parts = StrSplit(v, ',');
+      if (parts.size() != 3) return false;
+      options.grid_x = static_cast<std::size_t>(std::atoll(parts[0].c_str()));
+      options.grid_y = static_cast<std::size_t>(std::atoll(parts[1].c_str()));
+      options.grid_z = static_cast<std::size_t>(std::atoll(parts[2].c_str()));
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return !options.output_dir.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!ParseArgs(argc, argv, options)) {
+    PrintUsage();
+    return 2;
+  }
+  for (const char* sub : {"", "/session1", "/session2"}) {
+    const std::string dir = options.output_dir + sub;
+    if (std::system(("mkdir -p " + dir).c_str()) != 0) {
+      std::fprintf(stderr, "cannot create %s\n", dir.c_str());
+      return 1;
+    }
+  }
+
+  // Atlas.
+  atlas::SyntheticAtlasConfig atlas_config;
+  atlas_config.nx = options.grid_x;
+  atlas_config.ny = options.grid_y;
+  atlas_config.nz = options.grid_z;
+  atlas_config.num_regions = options.regions;
+  atlas_config.seed = options.seed ^ 0xa71a5;
+  auto atlas = atlas::GenerateSyntheticAtlas(atlas_config);
+  if (!atlas.ok()) {
+    std::fprintf(stderr, "atlas: %s\n", atlas.status().ToString().c_str());
+    return 1;
+  }
+  const std::string atlas_path = options.output_dir + "/atlas.nii.gz";
+  Status written = atlas::WriteAtlasNifti(atlas_path, *atlas);
+  if (!written.ok()) {
+    std::fprintf(stderr, "atlas write: %s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu regions, %zux%zux%zu grid)\n", atlas_path.c_str(),
+              options.regions, options.grid_x, options.grid_y, options.grid_z);
+
+  // Cohort.
+  sim::CohortConfig cohort_config = sim::HcpLikeConfig(options.seed);
+  cohort_config.num_subjects = options.subjects;
+  cohort_config.num_regions = options.regions;
+  cohort_config.frames_override = options.frames;
+  // Coarse demo parcels average many voxels (see sim/cohort.cc presets).
+  cohort_config.signature_scale = 1.4;
+  auto cohort = sim::CohortSimulator::Create(cohort_config);
+  if (!cohort.ok()) {
+    std::fprintf(stderr, "cohort: %s\n", cohort.status().ToString().c_str());
+    return 1;
+  }
+
+  Rng render_rng(options.seed ^ 0x5e55);
+  for (std::size_t s = 0; s < options.subjects; ++s) {
+    for (const auto& [encoding, session] :
+         {std::pair{sim::Encoding::kLeftRight, "session1"},
+          std::pair{sim::Encoding::kRightLeft, "session2"}}) {
+      auto series = cohort->SimulateRegionSeries(s, sim::TaskType::kRest, encoding);
+      if (!series.ok()) return 1;
+      if (encoding == sim::Encoding::kRightLeft &&
+          options.multisite_fraction > 0.0) {
+        Rng site_rng(options.seed ^ (0x9177 + s));
+        if (!sim::AddMultisiteNoise(*series, options.multisite_fraction, site_rng)
+                 .ok() ||
+            !sim::AddSiteEffect(*series, options.multisite_fraction, site_rng)
+                 .ok()) {
+          return 1;
+        }
+      }
+      sim::VoxelRenderConfig render;
+      render.motion_step = options.motion_step;
+      render.drift_amplitude = 12.0;
+      render.plant_slice_timing = true;
+      auto run = sim::RenderVoxelRun(*atlas, *series, render, render_rng);
+      if (!run.ok()) {
+        std::fprintf(stderr, "render: %s\n", run.status().ToString().c_str());
+        return 1;
+      }
+      const std::string path = StrFormat("%s/%s/sub%04zu.nii.gz",
+                                         options.output_dir.c_str(), session,
+                                         s + 1);
+      written = nifti::WriteNifti(path, *run);
+      if (!written.ok()) {
+        std::fprintf(stderr, "write: %s\n", written.ToString().c_str());
+        return 1;
+      }
+    }
+    std::printf("subject %zu/%zu written\n", s + 1, options.subjects);
+  }
+  std::printf(
+      "\ndataset ready. Try:\n"
+      "  neuroprint_attack --atlas %s \\\n"
+      "      --known %s/session1 --anonymous %s/session2 \\\n"
+      "      --features 150 --no-temporal-filter\n",
+      atlas_path.c_str(), options.output_dir.c_str(),
+      options.output_dir.c_str());
+  return 0;
+}
