@@ -18,9 +18,10 @@ Result<Atlas> AtlasFromLabelVolume(const image::Volume3D& labels) {
           "AtlasFromLabelVolume: labels must be non-negative and finite");
     }
     const double rounded = std::round(v);
-    if (std::fabs(v - rounded) > 1e-3) {
+    if (std::fabs(static_cast<double>(v) - rounded) > 1e-3) {
       return Status::CorruptData(StrFormat(
-          "AtlasFromLabelVolume: non-integral label value %.4f", v));
+          "AtlasFromLabelVolume: non-integral label value %.4f",
+          static_cast<double>(v)));
     }
     max_label = std::max(max_label, static_cast<std::int32_t>(rounded));
   }

@@ -24,7 +24,8 @@ Result<linalg::Matrix> ExtractRegionTimeSeries(const image::Volume4D& run,
     for (std::size_t i = 0; i < run.voxels_per_volume(); ++i) {
       const std::int32_t label = labels[i];
       if (label == kBackground) continue;
-      series(static_cast<std::size_t>(label) - 1, t) += vol[i];
+      series(static_cast<std::size_t>(label) - 1, t) +=
+          static_cast<double>(vol[i]);
       if (t == 0) ++counts[static_cast<std::size_t>(label) - 1];
     }
   }

@@ -6,6 +6,7 @@
 #include <limits>
 #include <vector>
 
+#include "util/endian.h"
 #include "util/string_util.h"
 
 namespace neuroprint::connectome {
@@ -20,17 +21,8 @@ constexpr std::uint64_t kMaxFeatures = 1ull << 32;
 constexpr std::uint64_t kMaxSubjects = 1ull << 24;
 constexpr std::uint32_t kMaxIdLength = 4096;
 
-template <typename T>
-void Append(std::vector<char>& out, const T& value) {
-  const char* bytes = reinterpret_cast<const char*>(&value);
-  out.insert(out.end(), bytes, bytes + sizeof(T));
-}
-
-template <typename T>
-bool ReadValue(std::istream& in, T& value) {
-  return static_cast<bool>(
-      in.read(reinterpret_cast<char*>(&value), sizeof(T)));
-}
+// Values are little-endian on disk; AppendLE/ReadLE from util/endian.h keep
+// the format stable across host byte orders without type-punned loads.
 
 }  // namespace
 
@@ -40,24 +32,29 @@ Status WriteGroupMatrix(const std::string& path, const GroupMatrix& group) {
   }
   std::vector<char> header;
   header.insert(header.end(), kMagic, kMagic + 4);
-  Append(header, kVersion);
-  Append(header, static_cast<std::uint64_t>(group.num_features()));
-  Append(header, static_cast<std::uint64_t>(group.num_subjects()));
+  AppendLE(header, kVersion);
+  AppendLE(header, static_cast<std::uint64_t>(group.num_features()));
+  AppendLE(header, static_cast<std::uint64_t>(group.num_subjects()));
   for (const std::string& id : group.subject_ids()) {
     if (id.size() > kMaxIdLength) {
       return Status::InvalidArgument("WriteGroupMatrix: subject id too long");
     }
-    Append(header, static_cast<std::uint32_t>(id.size()));
+    AppendLE(header, static_cast<std::uint32_t>(id.size()));
     header.insert(header.end(), id.begin(), id.end());
   }
 
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IOError("cannot open for write: " + path);
   out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  std::vector<std::uint8_t> encoded;
   for (std::size_t j = 0; j < group.num_subjects(); ++j) {
     const linalg::Vector column = group.SubjectColumn(j);
-    out.write(reinterpret_cast<const char*>(column.data()),
-              static_cast<std::streamsize>(column.size() * sizeof(double)));
+    encoded.resize(column.size() * sizeof(double));
+    for (std::size_t i = 0; i < column.size(); ++i) {
+      WriteLE(column[i], encoded.data() + i * sizeof(double));
+    }
+    out.write(reinterpret_cast<const char*>(encoded.data()),
+              static_cast<std::streamsize>(encoded.size()));
   }
   if (!out) return Status::IOError("write failed: " + path);
   return Status::OK();
@@ -73,8 +70,8 @@ Result<GroupMatrix> ReadGroupMatrix(const std::string& path) {
   }
   std::uint32_t version = 0;
   std::uint64_t features = 0, subjects = 0;
-  if (!ReadValue(in, version) || !ReadValue(in, features) ||
-      !ReadValue(in, subjects)) {
+  if (!ReadLE(in, version) || !ReadLE(in, features) ||
+      !ReadLE(in, subjects)) {
     return Status::CorruptData("truncated group-matrix header: " + path);
   }
   if (version != kVersion) {
@@ -89,7 +86,7 @@ Result<GroupMatrix> ReadGroupMatrix(const std::string& path) {
   std::vector<std::string> ids(subjects);
   for (std::uint64_t j = 0; j < subjects; ++j) {
     std::uint32_t length = 0;
-    if (!ReadValue(in, length) || length > kMaxIdLength) {
+    if (!ReadLE(in, length) || length > kMaxIdLength) {
       return Status::CorruptData("bad subject id in group-matrix file");
     }
     ids[j].resize(length);
@@ -99,11 +96,15 @@ Result<GroupMatrix> ReadGroupMatrix(const std::string& path) {
   }
 
   std::vector<linalg::Vector> columns(subjects);
+  std::vector<std::uint8_t> encoded(features * sizeof(double));
   for (std::uint64_t j = 0; j < subjects; ++j) {
     columns[j].resize(features);
-    if (!in.read(reinterpret_cast<char*>(columns[j].data()),
-                 static_cast<std::streamsize>(features * sizeof(double)))) {
+    if (!in.read(reinterpret_cast<char*>(encoded.data()),
+                 static_cast<std::streamsize>(encoded.size()))) {
       return Status::CorruptData("truncated group-matrix values");
+    }
+    for (std::uint64_t i = 0; i < features; ++i) {
+      columns[j][i] = ReadLE<double>(encoded.data() + i * sizeof(double));
     }
   }
   return GroupMatrix::FromFeatureColumns(columns, std::move(ids));

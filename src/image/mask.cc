@@ -38,7 +38,7 @@ Result<Mask> MaskFromMeanVolume(const Volume3D& mean, double fraction) {
   for (std::size_t z = 0; z < mean.nz(); ++z) {
     for (std::size_t y = 0; y < mean.ny(); ++y) {
       for (std::size_t x = 0; x < mean.nx(); ++x) {
-        mask.set(x, y, z, mean.at(x, y, z) > threshold);
+        mask.set(x, y, z, static_cast<double>(mean.at(x, y, z)) > threshold);
       }
     }
   }
@@ -60,7 +60,7 @@ Result<Mask> ComputeBrainMask(const Volume4D& run, double fraction) {
   for (std::size_t t = 0; t < run.nt(); ++t) {
     const float* vol = run.VolumePtr(t);
     for (std::size_t i = 0; i < run.voxels_per_volume(); ++i) {
-      mean.flat()[i] += static_cast<float>(vol[i] * inv_nt);
+      mean.flat()[i] += static_cast<float>(static_cast<double>(vol[i]) * inv_nt);
     }
   }
   return MaskFromMeanVolume(mean, fraction);

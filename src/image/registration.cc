@@ -30,8 +30,8 @@ double RegistrationCost(const Volume3D& reference, const Volume3D& moving,
         double sx, sy, sz;
         ApplyAffine(*inverse, static_cast<double>(x), static_cast<double>(y),
                     static_cast<double>(z), sx, sy, sz);
-        const double diff =
-            SampleTrilinear(moving, sx, sy, sz) - reference.at(x, y, z);
+        const double diff = SampleTrilinear(moving, sx, sy, sz) -
+                            static_cast<double>(reference.at(x, y, z));
         sum += diff * diff;
         ++count;
       }

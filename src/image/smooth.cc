@@ -36,7 +36,8 @@ void ConvolveLine(const float* in, float* out, std::size_t line_start,
         j = static_cast<std::ptrdiff_t>(extent) - 1;
       }
       acc += kernel[static_cast<std::size_t>(k + radius)] *
-             in[line_start + static_cast<std::size_t>(j) * stride];
+             static_cast<double>(
+                 in[line_start + static_cast<std::size_t>(j) * stride]);
     }
     out[line_start + i * stride] = static_cast<float>(acc);
   }

@@ -7,7 +7,7 @@ namespace neuroprint::image {
 double Volume3D::Mean() const {
   if (data_.empty()) return 0.0;
   double sum = 0.0;
-  for (float v : data_) sum += v;
+  for (float v : data_) sum += static_cast<double>(v);
   return sum / static_cast<double>(data_.size());
 }
 

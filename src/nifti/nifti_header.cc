@@ -3,81 +3,63 @@
 #include <cstring>
 
 #include "util/check.h"
+#include "util/endian.h"
 #include "util/string_util.h"
 
 namespace neuroprint::nifti {
 namespace {
 
-// Little-endian byte-buffer writer with fixed-offset puts.
+// Little-endian byte-buffer writer with fixed-offset puts. Encoding goes
+// through WriteLE, so it is correct on any host byte order.
 class ByteWriter {
  public:
   explicit ByteWriter(std::size_t size) : bytes_(size, 0) {}
 
-  void PutI16(std::size_t offset, std::int16_t v) {
-    PutBytes(offset, &v, sizeof(v));
-  }
-  void PutI32(std::size_t offset, std::int32_t v) {
-    PutBytes(offset, &v, sizeof(v));
-  }
-  void PutF32(std::size_t offset, float v) { PutBytes(offset, &v, sizeof(v)); }
+  void PutI16(std::size_t offset, std::int16_t v) { Put(offset, v); }
+  void PutI32(std::size_t offset, std::int32_t v) { Put(offset, v); }
+  void PutF32(std::size_t offset, float v) { Put(offset, v); }
   void PutBytesRaw(std::size_t offset, const void* src, std::size_t n) {
-    PutBytes(offset, src, n);
+    NP_CHECK_LE(offset + n, bytes_.size());
+    std::memcpy(bytes_.data() + offset, src, n);
   }
 
   std::vector<std::uint8_t> Take() { return std::move(bytes_); }
 
  private:
-  void PutBytes(std::size_t offset, const void* src, std::size_t n) {
-    NP_CHECK_LE(offset + n, bytes_.size());
-    // Host is assumed little-endian (x86/ARM Linux); a static_assert-style
-    // runtime check guards the assumption in DecodeHeader.
-    std::memcpy(bytes_.data() + offset, src, n);
+  template <typename T>
+  void Put(std::size_t offset, T v) {
+    NP_CHECK_LE(offset + sizeof(T), bytes_.size());
+    WriteLE(v, bytes_.data() + offset);
   }
 
   std::vector<std::uint8_t> bytes_;
 };
 
+// Fixed-offset reader; `swap` selects big-endian decoding for byte-swapped
+// NIfTI files.
 class ByteReader {
  public:
   ByteReader(const std::vector<std::uint8_t>& bytes, bool swap)
       : bytes_(bytes), swap_(swap) {}
 
   std::int16_t GetI16(std::size_t offset) const {
-    std::uint8_t b[2];
-    Copy(offset, b, 2);
-    return static_cast<std::int16_t>(static_cast<std::uint16_t>(b[0]) |
-                                     (static_cast<std::uint16_t>(b[1]) << 8));
+    return Get<std::int16_t>(offset);
   }
   std::int32_t GetI32(std::size_t offset) const {
-    std::uint8_t b[4];
-    Copy(offset, b, 4);
-    return static_cast<std::int32_t>(
-        static_cast<std::uint32_t>(b[0]) |
-        (static_cast<std::uint32_t>(b[1]) << 8) |
-        (static_cast<std::uint32_t>(b[2]) << 16) |
-        (static_cast<std::uint32_t>(b[3]) << 24));
+    return Get<std::int32_t>(offset);
   }
-  float GetF32(std::size_t offset) const {
-    const std::int32_t bits = GetI32(offset);
-    float out;
-    std::memcpy(&out, &bits, sizeof(out));
-    return out;
-  }
+  float GetF32(std::size_t offset) const { return Get<float>(offset); }
   void GetRaw(std::size_t offset, void* dst, std::size_t n) const {
     NP_CHECK_LE(offset + n, bytes_.size());
     std::memcpy(dst, bytes_.data() + offset, n);
   }
 
  private:
-  void Copy(std::size_t offset, std::uint8_t* dst, std::size_t n) const {
-    NP_CHECK_LE(offset + n, bytes_.size());
-    if (!swap_) {
-      std::memcpy(dst, bytes_.data() + offset, n);
-    } else {
-      for (std::size_t i = 0; i < n; ++i) {
-        dst[i] = bytes_[offset + n - 1 - i];
-      }
-    }
+  template <typename T>
+  T Get(std::size_t offset) const {
+    NP_CHECK_LE(offset + sizeof(T), bytes_.size());
+    const std::uint8_t* src = bytes_.data() + offset;
+    return swap_ ? ReadBE<T>(src) : ReadLE<T>(src);
   }
 
   const std::vector<std::uint8_t>& bytes_;
@@ -161,7 +143,8 @@ Status NiftiHeader::Validate() const {
   }
   if (vox_offset < static_cast<float>(kNiftiHeaderSize)) {
     return Status::CorruptData(
-        StrFormat("NIfTI vox_offset %.1f overlaps the header", vox_offset));
+        StrFormat("NIfTI vox_offset %.1f overlaps the header",
+                  static_cast<double>(vox_offset)));
   }
   for (int d = 5; d <= 7; ++d) {
     if (dim[0] >= d && dim[d] > 1) {
@@ -210,12 +193,6 @@ std::vector<std::uint8_t> EncodeHeader(const NiftiHeader& header) {
 
 Result<NiftiHeader> DecodeHeader(const std::vector<std::uint8_t>& bytes,
                                  bool* swapped) {
-  // Codec assumes a little-endian host.
-  const std::uint16_t probe = 1;
-  std::uint8_t probe_bytes[2];
-  std::memcpy(probe_bytes, &probe, 2);
-  NP_CHECK_EQ(probe_bytes[0], 1) << "big-endian hosts are not supported";
-
   if (bytes.size() < kNiftiHeaderSize) {
     return Status::CorruptData(
         StrFormat("NIfTI header truncated: %zu bytes (need %zu)",

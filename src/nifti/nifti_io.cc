@@ -109,8 +109,10 @@ Status DecodeVoxels(const std::vector<std::uint8_t>& bytes,
         count * voxel_bytes, offset, bytes.size()));
   }
   // scl_slope == 0 means "no scaling" per the NIfTI spec.
-  const double slope = header.scl_slope != 0.0f ? header.scl_slope : 1.0;
-  const double inter = header.scl_slope != 0.0f ? header.scl_inter : 0.0;
+  const double slope =
+      header.scl_slope != 0.0f ? static_cast<double>(header.scl_slope) : 1.0;
+  const double inter =
+      header.scl_slope != 0.0f ? static_cast<double>(header.scl_inter) : 0.0;
 
   out.resize(count);
   const std::uint8_t* src = bytes.data() + offset;
@@ -168,9 +170,10 @@ void IntegerScaling(const std::vector<float>& data, double type_min,
     inter = data.empty() ? 0.0f : lo;
     return;
   }
-  slope = static_cast<float>((static_cast<double>(hi) - lo) /
+  slope = static_cast<float>((static_cast<double>(hi) - static_cast<double>(lo)) /
                              (type_max - type_min));
-  inter = static_cast<float>(lo - slope * type_min);
+  inter = static_cast<float>(static_cast<double>(lo) -
+                             static_cast<double>(slope) * type_min);
 }
 
 }  // namespace
@@ -263,10 +266,13 @@ Status WriteNifti(const std::string& path, const image::Volume4D& volume,
   const std::size_t data_start = bytes.size();
   bytes.resize(data_start + volume.size() * voxel_bytes);
 
-  const double inv_slope = slope != 0.0f ? 1.0 / slope : 1.0;
+  const double inv_slope =
+      slope != 0.0f ? 1.0 / static_cast<double>(slope) : 1.0;
   std::uint8_t* dst = bytes.data() + data_start;
   for (std::size_t i = 0; i < volume.size(); ++i, dst += voxel_bytes) {
-    const double stored = (static_cast<double>(volume.flat()[i]) - inter) * inv_slope;
+    const double stored =
+        (static_cast<double>(volume.flat()[i]) - static_cast<double>(inter)) *
+        inv_slope;
     switch (options.datatype) {
       case DataType::kUint8:
         EncodeValue<std::uint8_t>(stored, dst);

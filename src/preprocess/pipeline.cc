@@ -20,7 +20,7 @@ double GrandMean(const image::Volume4D& run, const image::Mask& mask) {
       for (std::size_t y = 0; y < run.ny(); ++y) {
         for (std::size_t x = 0; x < run.nx(); ++x, ++i) {
           if (mask.at(x, y, z)) {
-            sum += vol[i];
+            sum += static_cast<double>(vol[i]);
             ++count;
           }
         }
@@ -44,7 +44,7 @@ std::vector<double> GlobalSignal(const image::Volume4D& run,
       for (std::size_t y = 0; y < run.ny(); ++y) {
         for (std::size_t x = 0; x < run.nx(); ++x, ++i) {
           if (mask.at(x, y, z)) {
-            sum += vol[i];
+            sum += static_cast<double>(vol[i]);
             ++frame_count;
           }
         }

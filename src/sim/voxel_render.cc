@@ -92,7 +92,8 @@ Result<image::Volume4D> RenderVoxelRun(const atlas::Atlas& atlas,
           const double signal =
               slice_series(static_cast<std::size_t>(labels[i]) - 1, t);
           vol[i] = static_cast<float>(
-              anatomy[i] + config.signal_scale * signal + drift[t] +
+              static_cast<double>(anatomy[i]) +
+              config.signal_scale * signal + drift[t] +
               rng.Gaussian(0.0, config.voxel_noise));
         }
       }

@@ -68,10 +68,24 @@ struct CheckVoidify {
 #define NP_CHECK_GT(a, b) NP_CHECK((a) > (b))
 #define NP_CHECK_GE(a, b) NP_CHECK((a) >= (b))
 
+/// Debug-only check: identical to NP_CHECK in debug builds, compiles to
+/// nothing in NDEBUG builds. The release stub keeps `cond` inside an
+/// unevaluated sizeof/decltype operand, so it must still typecheck (and be
+/// contextually convertible to bool) — misuse breaks release builds at
+/// compile time — but it is never evaluated, never odr-uses anything, and
+/// emits no code. Do not put side-effecting expressions in NP_DCHECK.
 #ifdef NDEBUG
-#define NP_DCHECK(cond) NP_CHECK(true || (cond))
+#define NP_DCHECK(cond) \
+  NP_CHECK(sizeof(decltype(static_cast<bool>(cond))) != 0)
 #else
 #define NP_DCHECK(cond) NP_CHECK(cond)
 #endif
+
+#define NP_DCHECK_EQ(a, b) NP_DCHECK((a) == (b))
+#define NP_DCHECK_NE(a, b) NP_DCHECK((a) != (b))
+#define NP_DCHECK_LT(a, b) NP_DCHECK((a) < (b))
+#define NP_DCHECK_LE(a, b) NP_DCHECK((a) <= (b))
+#define NP_DCHECK_GT(a, b) NP_DCHECK((a) > (b))
+#define NP_DCHECK_GE(a, b) NP_DCHECK((a) >= (b))
 
 #endif  // NEUROPRINT_UTIL_CHECK_H_

@@ -1,0 +1,110 @@
+// Endian-safe scalar (de)serialization.
+//
+// Binary file formats in neuroprint (NIfTI-1, the group-matrix container)
+// are little-endian on disk. These helpers encode and decode scalars one
+// byte at a time, so they are correct on any host byte order and never
+// perform misaligned or type-punned loads — the I/O paths stay clean under
+// UBSan and on strict-alignment targets. Floating-point values round-trip
+// through their same-width unsigned integer via std::bit_cast.
+//
+// On little-endian hosts GCC/Clang collapse the byte loops into single
+// moves, so there is no penalty over memcpy.
+
+#ifndef NEUROPRINT_UTIL_ENDIAN_H_
+#define NEUROPRINT_UTIL_ENDIAN_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <istream>
+#include <type_traits>
+#include <vector>
+
+namespace neuroprint {
+namespace internal {
+
+template <std::size_t N>
+struct UintBytes;
+template <>
+struct UintBytes<1> {
+  using type = std::uint8_t;
+};
+template <>
+struct UintBytes<2> {
+  using type = std::uint16_t;
+};
+template <>
+struct UintBytes<4> {
+  using type = std::uint32_t;
+};
+template <>
+struct UintBytes<8> {
+  using type = std::uint64_t;
+};
+
+template <typename T>
+concept EncodableScalar =
+    (std::is_integral_v<T> || std::is_floating_point_v<T>) && sizeof(T) <= 8;
+
+}  // namespace internal
+
+/// Encodes `value` as sizeof(T) little-endian bytes at `dst`.
+template <internal::EncodableScalar T>
+inline void WriteLE(T value, std::uint8_t* dst) {
+  using U = typename internal::UintBytes<sizeof(T)>::type;
+  const U bits = std::bit_cast<U>(value);
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    dst[i] = static_cast<std::uint8_t>(bits >> (8 * i));
+  }
+}
+
+/// Decodes sizeof(T) little-endian bytes at `src` into a T.
+template <internal::EncodableScalar T>
+inline T ReadLE(const std::uint8_t* src) {
+  using U = typename internal::UintBytes<sizeof(T)>::type;
+  U bits = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    bits = static_cast<U>(bits | static_cast<U>(static_cast<U>(src[i])
+                                                << (8 * i)));
+  }
+  return std::bit_cast<T>(bits);
+}
+
+/// Decodes sizeof(T) big-endian bytes at `src` into a T (byte-swapped
+/// NIfTI files).
+template <internal::EncodableScalar T>
+inline T ReadBE(const std::uint8_t* src) {
+  using U = typename internal::UintBytes<sizeof(T)>::type;
+  U bits = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    bits = static_cast<U>(bits << 8) | static_cast<U>(src[i]);
+  }
+  return std::bit_cast<T>(bits);
+}
+
+/// Appends the little-endian encoding of `value` to a byte buffer.
+template <internal::EncodableScalar T, typename Byte>
+inline void AppendLE(std::vector<Byte>& out, T value) {
+  static_assert(sizeof(Byte) == 1);
+  std::uint8_t bytes[sizeof(T)];
+  WriteLE(value, bytes);
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    out.push_back(static_cast<Byte>(bytes[i]));
+  }
+}
+
+/// Reads one little-endian scalar from a binary stream. Returns false on a
+/// short read (stream failbit is set, `value` untouched).
+template <internal::EncodableScalar T>
+inline bool ReadLE(std::istream& in, T& value) {
+  std::uint8_t bytes[sizeof(T)];
+  // Casting uint8_t* to char* for istream::read is well-defined (both are
+  // byte types); the decode itself never type-puns.
+  if (!in.read(reinterpret_cast<char*>(bytes), sizeof(T))) return false;
+  value = ReadLE<T>(bytes);
+  return true;
+}
+
+}  // namespace neuroprint
+
+#endif  // NEUROPRINT_UTIL_ENDIAN_H_

@@ -1,7 +1,6 @@
 #include "util/status.h"
 
-#include <cstdio>
-#include <cstdlib>
+#include "util/check.h"
 
 namespace neuroprint {
 
@@ -46,9 +45,8 @@ std::string Status::ToString() const {
 namespace internal {
 
 void DieBadResultAccess(const Status& status) {
-  std::fprintf(stderr, "Fatal: accessed value of failed Result: %s\n",
-               status.ToString().c_str());
-  std::abort();
+  CheckFailed("util/status.h", 0, "Result::ok()",
+              "accessed value of failed Result: " + status.ToString());
 }
 
 }  // namespace internal

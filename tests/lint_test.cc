@@ -1,0 +1,222 @@
+// Tests for the repo-invariant checker (tools/lint/lint.h): each rule must
+// fire exactly once on a known-bad synthetic source, stay quiet on clean
+// code, and the real src/ tree must be lint-clean (self-check).
+
+#include "tools/lint/lint.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace neuroprint::lint {
+namespace {
+
+int CountRule(const std::vector<Finding>& findings, const std::string& rule) {
+  return static_cast<int>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+std::vector<Finding> LintOne(const std::string& path,
+                             const std::string& contents) {
+  return LintFile({path, contents}, /*status_functions=*/{});
+}
+
+TEST(StripCommentsAndStringsTest, BlanksCommentsAndLiteralsKeepsLines) {
+  const std::string in =
+      "int a; // rand()\n"
+      "/* abort()\n   printf() */ int b;\n"
+      "const char* s = \"rand()\";\n";
+  const std::string out = StripCommentsAndStrings(in);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_EQ(out.find("rand"), std::string::npos);
+  EXPECT_EQ(out.find("abort"), std::string::npos);
+  EXPECT_EQ(out.find("printf"), std::string::npos);
+  EXPECT_NE(out.find("int a;"), std::string::npos);
+  EXPECT_NE(out.find("int b;"), std::string::npos);
+}
+
+TEST(StripCommentsAndStringsTest, HandlesEscapedQuotes) {
+  const std::string out =
+      StripCommentsAndStrings("const char* s = \"a\\\"rand()\"; int c;");
+  EXPECT_EQ(out.find("rand"), std::string::npos);
+  EXPECT_NE(out.find("int c;"), std::string::npos);
+}
+
+TEST(IncludeGuardRule, FiresOnceOnWrongGuard) {
+  const std::vector<Finding> findings = LintOne(
+      "image/mask.h", "#ifndef WRONG_H_\n#define WRONG_H_\n#endif\n");
+  ASSERT_EQ(CountRule(findings, "include-guard"), 1);
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_NE(findings[0].message.find("NEUROPRINT_IMAGE_MASK_H_"),
+            std::string::npos);
+}
+
+TEST(IncludeGuardRule, FiresOnMissingGuard) {
+  EXPECT_EQ(CountRule(LintOne("a/b.h", "int x;\n"), "include-guard"), 1);
+}
+
+TEST(IncludeGuardRule, FiresOnMissingDefine) {
+  EXPECT_EQ(CountRule(LintOne("a/b.h", "#ifndef NEUROPRINT_A_B_H_\n#endif\n"),
+                      "include-guard"),
+            1);
+}
+
+TEST(IncludeGuardRule, AcceptsCorrectGuardAndIgnoresNonHeaders) {
+  EXPECT_EQ(CountRule(LintOne("a/b.h",
+                              "#ifndef NEUROPRINT_A_B_H_\n"
+                              "#define NEUROPRINT_A_B_H_\n#endif\n"),
+                      "include-guard"),
+            0);
+  EXPECT_EQ(CountRule(LintOne("a/b.cc", "int x;\n"), "include-guard"), 0);
+}
+
+TEST(NoRandRule, FiresOnceOnStrayRand) {
+  const std::vector<Finding> findings =
+      LintOne("core/knn.cc", "int f() { return rand(); }\n");
+  EXPECT_EQ(CountRule(findings, "no-rand"), 1);
+}
+
+TEST(NoRandRule, ExemptsRandomModuleAndIgnoresLookalikes) {
+  EXPECT_EQ(CountRule(LintOne("util/random.cc", "int f() { return rand(); }\n"),
+                      "no-rand"),
+            0);
+  // srand token inside a longer identifier, member access, and no-call uses.
+  EXPECT_EQ(CountRule(LintOne("core/knn.cc",
+                              "int mysrand(int); int g() { return "
+                              "mysrand(2) + obj.rand(); }\n"),
+                      "no-rand"),
+            0);
+}
+
+TEST(NoNakedStdioRule, FiresOncePerCall) {
+  const std::vector<Finding> findings = LintOne(
+      "core/attack.cc",
+      "void f() { printf(\"x\"); }\nvoid g() { fprintf(stderr, \"y\"); }\n");
+  EXPECT_EQ(CountRule(findings, "no-naked-stdio"), 2);
+}
+
+TEST(NoNakedStdioRule, ExemptsLoggingAndSnprintf) {
+  EXPECT_EQ(CountRule(LintOne("util/logging.cc", "void f() { printf(\"\"); }\n"),
+                      "no-naked-stdio"),
+            0);
+  EXPECT_EQ(CountRule(LintOne("util/csv_writer.cc",
+                              "void f(char* b) { snprintf(b, 4, \"\"); }\n"),
+                      "no-naked-stdio"),
+            0);
+}
+
+TEST(NoAbortRule, FiresOnceOutsideCheckH) {
+  EXPECT_EQ(CountRule(LintOne("linalg/svd.cc", "void f() { std::abort(); }\n"),
+                      "no-abort"),
+            1);
+  EXPECT_EQ(CountRule(LintOne("util/check.h", "void f() { std::abort(); }\n"),
+                      "no-abort"),
+            0);
+}
+
+TEST(DcheckSideEffectRule, FiresOnMutatingArguments) {
+  EXPECT_EQ(CountRule(LintOne("a.cc", "void f(int i) { NP_DCHECK(i++ < 3); }\n"),
+                      "dcheck-side-effect"),
+            1);
+  EXPECT_EQ(
+      CountRule(LintOne("a.cc", "void f(int i) { NP_DCHECK_EQ(i = 3, 3); }\n"),
+                "dcheck-side-effect"),
+      1);
+  EXPECT_EQ(
+      CountRule(LintOne("a.cc", "void f(int i) { NP_DCHECK(i *= 2); }\n"),
+                "dcheck-side-effect"),
+      1);
+}
+
+TEST(DcheckSideEffectRule, AcceptsComparisonsAndCheckMacros) {
+  const std::string ok =
+      "void f(int i, int n) {\n"
+      "  NP_DCHECK(i <= n);\n"
+      "  NP_DCHECK(i == 3);\n"
+      "  NP_DCHECK_GE(n, 0);\n"
+      "  NP_CHECK(i >= 0);\n"
+      "}\n";
+  EXPECT_EQ(CountRule(LintOne("a.cc", ok), "dcheck-side-effect"), 0);
+}
+
+TEST(NoUsingNamespaceRule, FiresInHeadersOnly) {
+  EXPECT_EQ(CountRule(LintOne("a/b.h",
+                              "#ifndef NEUROPRINT_A_B_H_\n"
+                              "#define NEUROPRINT_A_B_H_\n"
+                              "using namespace std;\n#endif\n"),
+                      "no-using-namespace"),
+            1);
+  EXPECT_EQ(CountRule(LintOne("a/b.cc", "using namespace std;\n"),
+                      "no-using-namespace"),
+            0);
+  // Plain using-declarations are fine.
+  EXPECT_EQ(CountRule(LintOne("a/b.h",
+                              "#ifndef NEUROPRINT_A_B_H_\n"
+                              "#define NEUROPRINT_A_B_H_\n"
+                              "using std::vector;\n#endif\n"),
+                      "no-using-namespace"),
+            0);
+}
+
+TEST(UnusedStatusRule, FiresOnceOnIgnoredResult) {
+  const std::vector<SourceFile> files = {
+      {"io/save.h",
+       "#ifndef NEUROPRINT_IO_SAVE_H_\n"
+       "#define NEUROPRINT_IO_SAVE_H_\n"
+       "Status SaveThing(const std::string& path);\n"
+       "#endif  // NEUROPRINT_IO_SAVE_H_\n"},
+      {"io/use.cc",
+       "#include \"io/save.h\"\n"
+       "Status Caller() {\n"
+       "  SaveThing(\"dropped\");\n"
+       "  Status kept = SaveThing(\"kept\");\n"
+       "  NP_RETURN_IF_ERROR(SaveThing(\"propagated\"));\n"
+       "  return SaveThing(\"returned\");\n"
+       "}\n"}};
+  const std::vector<Finding> findings = LintFiles(files);
+  ASSERT_EQ(CountRule(findings, "unused-status"), 1);
+  const auto it = std::find_if(findings.begin(), findings.end(),
+                               [](const Finding& f) {
+                                 return f.rule == "unused-status";
+                               });
+  EXPECT_EQ(it->file, "io/use.cc");
+  EXPECT_EQ(it->line, 3);
+}
+
+TEST(CollectStatusFunctionsTest, FindsDeclarationsIncludingStatic) {
+  const std::set<std::string> names = CollectStatusFunctions(
+      {{"x.h",
+        "Status Alpha(int a);\n"
+        "static Status Beta();\n"
+        "[[nodiscard]] Status Gamma();\n"
+        "void NotStatus();\n"
+        "Result<int> NotEither();\n"}});
+  EXPECT_TRUE(names.count("Alpha"));
+  EXPECT_TRUE(names.count("Beta"));
+  EXPECT_TRUE(names.count("Gamma"));
+  EXPECT_FALSE(names.count("NotStatus"));
+  EXPECT_FALSE(names.count("NotEither"));
+}
+
+TEST(LintTreeTest, MissingRootIsAnIoError) {
+  const std::vector<Finding> findings = LintTree("/nonexistent-neuroprint");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "io-error");
+}
+
+// Self-check: the real library tree must be clean. NEUROPRINT_SOURCE_DIR is
+// injected by tests/CMakeLists.txt.
+TEST(SelfCheck, SrcTreeIsLintClean) {
+  const std::vector<Finding> findings =
+      LintTree(std::string(NEUROPRINT_SOURCE_DIR) + "/src");
+  for (const Finding& finding : findings) {
+    ADD_FAILURE() << finding.ToString();
+  }
+  EXPECT_TRUE(findings.empty());
+}
+
+}  // namespace
+}  // namespace neuroprint::lint

@@ -6,7 +6,13 @@
 #include <fstream>
 #include <set>
 
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "util/check.h"
 #include "util/csv_writer.h"
+#include "util/endian.h"
 #include "util/random.h"
 #include "util/status.h"
 #include "util/string_util.h"
@@ -195,6 +201,82 @@ TEST(StringUtilTest, EndsWithAndTrim) {
   EXPECT_TRUE(EndsWith("x", ""));
   EXPECT_EQ(StrTrim("  hi \n"), "hi");
   EXPECT_EQ(StrTrim("\t\n "), "");
+}
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  NP_CHECK(1 + 1 == 2);
+  NP_CHECK_EQ(3, 3);
+  NP_CHECK_LT(2, 3) << "never printed";
+}
+
+TEST(CheckDeathTest, FailureAbortsWithExprAndStreamedContext) {
+  EXPECT_DEATH(NP_CHECK(2 < 1) << "ctx " << 42, "2 < 1.*ctx 42");
+  EXPECT_DEATH(NP_CHECK_GE(1, 5), "Check failed");
+}
+
+TEST(CheckTest, DcheckFamilyPassesInBothBuildModes) {
+  NP_DCHECK(true);
+  NP_DCHECK_EQ(2, 2);
+  NP_DCHECK_NE(1, 2);
+  NP_DCHECK_LT(1, 2);
+  NP_DCHECK_LE(2, 2);
+  NP_DCHECK_GT(3, 2);
+  NP_DCHECK_GE(3, 3);
+}
+
+// The release stub must typecheck its argument without evaluating it; the
+// debug build must evaluate (and die on) the same expression.
+TEST(CheckDeathTest, DcheckEvaluationTracksBuildMode) {
+  int calls = 0;
+  auto failing = [&calls]() {
+    ++calls;
+    return false;
+  };
+#ifdef NDEBUG
+  NP_DCHECK(failing());
+  EXPECT_EQ(calls, 0);
+#else
+  EXPECT_DEATH(NP_DCHECK(failing()), "Check failed");
+#endif
+}
+
+TEST(EndianTest, ScalarsRoundTripThroughLittleEndianBytes) {
+  std::uint8_t buf[8];
+  WriteLE(std::int16_t{-12345}, buf);
+  EXPECT_EQ(ReadLE<std::int16_t>(buf), -12345);
+  WriteLE(std::int32_t{0x12345678}, buf);
+  EXPECT_EQ(ReadLE<std::int32_t>(buf), 0x12345678);
+  EXPECT_EQ(buf[0], 0x78);  // little-endian on disk, whatever the host
+  EXPECT_EQ(buf[3], 0x12);
+  WriteLE(std::uint64_t{0xdeadbeefcafef00dULL}, buf);
+  EXPECT_EQ(ReadLE<std::uint64_t>(buf), 0xdeadbeefcafef00dULL);
+  WriteLE(1.5f, buf);
+  EXPECT_EQ(ReadLE<float>(buf), 1.5f);
+  WriteLE(-2.25, buf);
+  EXPECT_EQ(ReadLE<double>(buf), -2.25);
+}
+
+TEST(EndianTest, ReadBEIsByteReversedReadLE) {
+  const std::uint8_t le[4] = {0x78, 0x56, 0x34, 0x12};
+  const std::uint8_t be[4] = {0x12, 0x34, 0x56, 0x78};
+  EXPECT_EQ(ReadLE<std::int32_t>(le), ReadBE<std::int32_t>(be));
+}
+
+TEST(EndianTest, AppendLEAndStreamReadLERoundTrip) {
+  std::vector<char> buf;
+  AppendLE(buf, std::uint32_t{7});
+  AppendLE(buf, -1.25);
+  ASSERT_EQ(buf.size(), 12u);
+
+  std::istringstream in(std::string(buf.begin(), buf.end()));
+  std::uint32_t u = 0;
+  double d = 0.0;
+  ASSERT_TRUE(ReadLE(in, u));
+  ASSERT_TRUE(ReadLE(in, d));
+  EXPECT_EQ(u, 7u);
+  EXPECT_EQ(d, -1.25);
+  // Short read: nothing left in the stream.
+  EXPECT_FALSE(ReadLE(in, u));
 }
 
 }  // namespace

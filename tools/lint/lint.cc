@@ -1,0 +1,495 @@
+#include "tools/lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace neuroprint::lint {
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool HasSuffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool HasPrefix(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool IsHeader(const std::string& path) { return HasSuffix(path, ".h"); }
+
+int LineOfOffset(const std::string& text, std::size_t offset) {
+  return 1 + static_cast<int>(
+                 std::count(text.begin(), text.begin() + static_cast<long>(offset), '\n'));
+}
+
+// Returns the offset one past the ')' matching the '(' at `open`, or npos
+// if the parens never balance.
+std::size_t SkipBalancedParens(const std::string& text, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '(') ++depth;
+    if (text[i] == ')') {
+      --depth;
+      if (depth == 0) return i + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+struct Line {
+  std::size_t begin = 0;  // offset of first char
+  std::string text;       // sanitized line contents (no newline)
+};
+
+std::vector<Line> SplitLines(const std::string& text) {
+  std::vector<Line> lines;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '\n') {
+      lines.push_back({start, text.substr(start, i - start)});
+      start = i + 1;
+    }
+  }
+  return lines;
+}
+
+std::string Trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Rule: include-guard
+// ---------------------------------------------------------------------------
+
+std::string ExpectedGuard(const std::string& path) {
+  std::string guard = "NEUROPRINT_";
+  for (char c : path) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      guard += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    } else {
+      guard += '_';
+    }
+  }
+  guard += '_';
+  return guard;
+}
+
+void CheckIncludeGuard(const SourceFile& file, const std::string& sanitized,
+                       std::vector<Finding>* findings) {
+  if (!IsHeader(file.path)) return;
+  const std::string expected = ExpectedGuard(file.path);
+  for (const Line& line : SplitLines(sanitized)) {
+    const std::string trimmed = Trim(line.text);
+    if (!HasPrefix(trimmed, "#ifndef")) continue;
+    const std::string guard = Trim(trimmed.substr(7));
+    if (guard != expected) {
+      findings->push_back({file.path, LineOfOffset(sanitized, line.begin),
+                           "include-guard",
+                           "include guard `" + guard + "` should be `" +
+                               expected + "`"});
+    } else if (sanitized.find("#define " + expected) == std::string::npos) {
+      findings->push_back({file.path, LineOfOffset(sanitized, line.begin),
+                           "include-guard",
+                           "missing `#define " + expected + "` after #ifndef"});
+    }
+    return;  // only the first #ifndef is the guard
+  }
+  findings->push_back(
+      {file.path, 1, "include-guard",
+       "header has no include guard (expected `" + expected + "`)"});
+}
+
+// ---------------------------------------------------------------------------
+// Banned-call rules (no-rand / no-naked-stdio / no-abort)
+// ---------------------------------------------------------------------------
+
+// Finds offsets where the exact identifier `name` is invoked as a free (or
+// namespace-qualified) function: not a member access (`x.name`, `p->name`)
+// and directly followed by `(`.
+std::vector<std::size_t> FindCalls(const std::string& text,
+                                   const std::string& name) {
+  std::vector<std::size_t> offsets;
+  std::size_t pos = 0;
+  while ((pos = text.find(name, pos)) != std::string::npos) {
+    const std::size_t end = pos + name.size();
+    const bool own_token =
+        (pos == 0 || !IsIdentChar(text[pos - 1])) &&
+        (end == text.size() || !IsIdentChar(text[end]));
+    const bool member_access =
+        (pos >= 1 && text[pos - 1] == '.') ||
+        (pos >= 2 && text[pos - 2] == '-' && text[pos - 1] == '>');
+    std::size_t after = end;
+    while (after < text.size() &&
+           (text[after] == ' ' || text[after] == '\t')) {
+      ++after;
+    }
+    const bool called = after < text.size() && text[after] == '(';
+    if (own_token && !member_access && called) offsets.push_back(pos);
+    pos = end;
+  }
+  return offsets;
+}
+
+void CheckBannedCall(const SourceFile& file, const std::string& sanitized,
+                     const std::string& name, const std::string& rule,
+                     const std::string& message,
+                     std::vector<Finding>* findings) {
+  for (std::size_t offset : FindCalls(sanitized, name)) {
+    findings->push_back(
+        {file.path, LineOfOffset(sanitized, offset), rule, message});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: dcheck-side-effect
+// ---------------------------------------------------------------------------
+
+// Textual scan of an NP_DCHECK argument for mutation operators: ++, --,
+// plain assignment, and compound assignment. Comparison operators
+// (== != <= >= <=>) are not flagged. Side effects hidden inside function
+// calls are a documented blind spot.
+bool HasSideEffectToken(const std::string& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const char c = args[i];
+    if ((c == '+' || c == '-') && i + 1 < args.size() && args[i + 1] == c) {
+      return true;  // ++ or --
+    }
+    if (c != '=') continue;
+    const char prev = i > 0 ? args[i - 1] : '\0';
+    const char next = i + 1 < args.size() ? args[i + 1] : '\0';
+    if (next == '=') {
+      ++i;  // `==`: skip both
+      continue;
+    }
+    if (prev == '=' || prev == '!' || prev == '<' || prev == '>') {
+      continue;  // second char of == != <= >= (or <=>)
+    }
+    return true;  // plain or compound assignment
+  }
+  return false;
+}
+
+void CheckDcheckSideEffects(const SourceFile& file,
+                            const std::string& sanitized,
+                            std::vector<Finding>* findings) {
+  std::size_t pos = 0;
+  while ((pos = sanitized.find("NP_DCHECK", pos)) != std::string::npos) {
+    if (pos > 0 && IsIdentChar(sanitized[pos - 1])) {
+      pos += 9;
+      continue;
+    }
+    std::size_t open = pos + 9;  // after "NP_DCHECK"
+    while (open < sanitized.size() && IsIdentChar(sanitized[open])) {
+      ++open;  // _EQ, _GE, ... suffix
+    }
+    while (open < sanitized.size() &&
+           (sanitized[open] == ' ' || sanitized[open] == '\t')) {
+      ++open;
+    }
+    if (open >= sanitized.size() || sanitized[open] != '(') {
+      pos = open;
+      continue;  // mention without invocation (e.g. a #define)
+    }
+    const std::size_t close = SkipBalancedParens(sanitized, open);
+    if (close == std::string::npos) break;
+    const std::string args =
+        sanitized.substr(open + 1, close - open - 2);
+    if (HasSideEffectToken(args)) {
+      findings->push_back(
+          {file.path, LineOfOffset(sanitized, pos), "dcheck-side-effect",
+           "NP_DCHECK argument appears to have side effects; DCHECKs "
+           "compile out in release builds"});
+    }
+    pos = close;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-using-namespace
+// ---------------------------------------------------------------------------
+
+void CheckUsingNamespace(const SourceFile& file, const std::string& sanitized,
+                         std::vector<Finding>* findings) {
+  if (!IsHeader(file.path)) return;
+  std::size_t pos = 0;
+  while ((pos = sanitized.find("using", pos)) != std::string::npos) {
+    const bool own_token =
+        (pos == 0 || !IsIdentChar(sanitized[pos - 1])) &&
+        (pos + 5 >= sanitized.size() || !IsIdentChar(sanitized[pos + 5]));
+    if (own_token) {
+      std::size_t after = pos + 5;
+      while (after < sanitized.size() &&
+             std::isspace(static_cast<unsigned char>(sanitized[after])) != 0) {
+        ++after;
+      }
+      if (sanitized.compare(after, 9, "namespace") == 0) {
+        findings->push_back(
+            {file.path, LineOfOffset(sanitized, pos), "no-using-namespace",
+             "`using namespace` in a public header pollutes every includer"});
+      }
+    }
+    pos += 5;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: unused-status
+// ---------------------------------------------------------------------------
+
+// Heuristic declaration scan: a line of the form
+//   [static|virtual|inline|friend|[[nodiscard]]]* Status <name>(...
+// declares a Status-returning function called <name>.
+void CollectFromHeader(const std::string& sanitized,
+                       std::set<std::string>* names) {
+  for (const Line& line : SplitLines(sanitized)) {
+    std::string t = Trim(line.text);
+    for (bool stripped = true; stripped;) {
+      stripped = false;
+      for (const char* prefix :
+           {"static ", "virtual ", "inline ", "friend ", "[[nodiscard]] "}) {
+        if (HasPrefix(t, prefix)) {
+          t = Trim(t.substr(std::string(prefix).size()));
+          stripped = true;
+        }
+      }
+    }
+    if (!HasPrefix(t, "Status ")) continue;
+    std::size_t name_begin = 7;
+    std::size_t name_end = name_begin;
+    while (name_end < t.size() && IsIdentChar(t[name_end])) ++name_end;
+    if (name_end == name_begin) continue;
+    if (name_end >= t.size() || t[name_end] != '(') continue;
+    const std::string name = t.substr(name_begin, name_end - name_begin);
+    if (name == "operator") continue;
+    names->insert(name);
+  }
+}
+
+// Flags statement-position calls `Foo(...);` whose result (a Status) is
+// silently dropped. Statement position = the previous non-whitespace
+// character is one of ; { } or the file start, and the call's closing ')'
+// is immediately followed by ';'. Member calls (`obj.Foo();`) and calls
+// split so the name is not at the start of a line are blind spots.
+void CheckUnusedStatus(const SourceFile& file, const std::string& sanitized,
+                       const std::set<std::string>& status_functions,
+                       std::vector<Finding>* findings) {
+  if (status_functions.empty()) return;
+  for (const Line& line : SplitLines(sanitized)) {
+    const std::string t = Trim(line.text);
+    if (t.empty() || t[0] == '#') continue;
+    std::size_t name_end = 0;
+    while (name_end < t.size() && IsIdentChar(t[name_end])) ++name_end;
+    if (name_end == 0 || name_end >= t.size() || t[name_end] != '(') continue;
+    const std::string name = t.substr(0, name_end);
+    if (status_functions.count(name) == 0) continue;
+
+    // Statement position: previous non-whitespace char ends a statement.
+    std::size_t prev = line.begin;
+    char prev_char = '\0';
+    while (prev > 0) {
+      --prev;
+      const char c = sanitized[prev];
+      if (std::isspace(static_cast<unsigned char>(c)) == 0) {
+        prev_char = c;
+        break;
+      }
+    }
+    if (prev_char != '\0' && prev_char != ';' && prev_char != '{' &&
+        prev_char != '}') {
+      continue;  // continuation of an expression; the value is consumed
+    }
+
+    const std::size_t open =
+        line.begin + line.text.find(name) + name.size();
+    const std::size_t close = SkipBalancedParens(sanitized, open);
+    if (close == std::string::npos) continue;
+    std::size_t after = close;
+    while (after < sanitized.size() &&
+           std::isspace(static_cast<unsigned char>(sanitized[after])) != 0) {
+      ++after;
+    }
+    if (after < sanitized.size() && sanitized[after] == ';') {
+      findings->push_back(
+          {file.path, LineOfOffset(sanitized, line.begin), "unused-status",
+           "result of Status-returning `" + name +
+               "` is ignored; check it or NP_RETURN_IF_ERROR it"});
+    }
+  }
+}
+
+}  // namespace
+
+std::string Finding::ToString() const {
+  std::ostringstream os;
+  os << file << ":" << line << ": [" << rule << "] " << message;
+  return os.str();
+}
+
+std::string StripCommentsAndStrings(const std::string& contents) {
+  std::string out = contents;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char terminator = state == State::kString ? '"' : '\'';
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < out.size() && out[i + 1] != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == terminator) {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::set<std::string> CollectStatusFunctions(
+    const std::vector<SourceFile>& headers) {
+  std::set<std::string> names;
+  for (const SourceFile& header : headers) {
+    if (!IsHeader(header.path)) continue;
+    CollectFromHeader(StripCommentsAndStrings(header.contents), &names);
+  }
+  return names;
+}
+
+std::vector<Finding> LintFile(const SourceFile& file,
+                              const std::set<std::string>& status_functions) {
+  std::vector<Finding> findings;
+  const std::string sanitized = StripCommentsAndStrings(file.contents);
+
+  CheckIncludeGuard(file, sanitized, &findings);
+  CheckUsingNamespace(file, sanitized, &findings);
+  CheckDcheckSideEffects(file, sanitized, &findings);
+
+  if (!HasPrefix(file.path, "util/random.")) {
+    for (const char* fn : {"rand", "srand"}) {
+      CheckBannedCall(file, sanitized, fn, "no-rand",
+                      std::string("`") + fn +
+                          "` breaks seed reproducibility; use "
+                          "neuroprint::Rng (util/random.h)",
+                      &findings);
+    }
+  }
+  if (file.path != "util/logging.h" && file.path != "util/logging.cc" &&
+      file.path != "util/check.h") {
+    for (const char* fn : {"printf", "fprintf"}) {
+      CheckBannedCall(file, sanitized, fn, "no-naked-stdio",
+                      std::string("`") + fn +
+                          "` bypasses leveled logging; use NP_LOG "
+                          "(util/logging.h)",
+                      &findings);
+    }
+  }
+  if (file.path != "util/check.h") {
+    CheckBannedCall(file, sanitized, "abort", "no-abort",
+                    "`abort` outside util/check.h loses the diagnostic "
+                    "message; use NP_CHECK or Status",
+                    &findings);
+  }
+
+  CheckUnusedStatus(file, sanitized, status_functions, &findings);
+  return findings;
+}
+
+std::vector<Finding> LintFiles(const std::vector<SourceFile>& files) {
+  const std::set<std::string> status_functions = CollectStatusFunctions(files);
+  std::vector<Finding> findings;
+  for (const SourceFile& file : files) {
+    std::vector<Finding> file_findings = LintFile(file, status_functions);
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+  return findings;
+}
+
+std::vector<Finding> LintTree(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<SourceFile> files;
+  std::vector<Finding> findings;
+  std::error_code ec;
+  fs::recursive_directory_iterator it(root, ec), end;
+  if (ec) {
+    findings.push_back({root, 0, "io-error", root + ": " + ec.message()});
+  }
+  for (; it != end; it.increment(ec)) {
+    if (ec) {
+      findings.push_back({root, 0, "io-error", ec.message()});
+      break;
+    }
+    if (!it->is_regular_file()) continue;
+    const std::string path = it->path().string();
+    if (!HasSuffix(path, ".h") && !HasSuffix(path, ".cc")) continue;
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (!in) {
+      findings.push_back({path, 0, "io-error", "cannot read file"});
+      continue;
+    }
+    files.push_back(
+        {fs::path(path).lexically_relative(root).generic_string(),
+         buffer.str()});
+  }
+  std::vector<Finding> lint_findings = LintFiles(files);
+  findings.insert(findings.end(), lint_findings.begin(), lint_findings.end());
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              return a.line < b.line;
+            });
+  return findings;
+}
+
+}  // namespace neuroprint::lint

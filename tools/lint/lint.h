@@ -1,0 +1,72 @@
+// neuroprint_lint: repo-invariant checker for library code under src/.
+//
+// Enforces conventions the compiler cannot (see docs/ANALYSIS.md for the
+// rule catalog and rationale):
+//   include-guard       headers use NEUROPRINT_<PATH>_H_ guards
+//   no-rand             rand()/srand() only in src/util/random.*
+//   no-naked-stdio      printf/fprintf only via util/logging.h
+//   no-abort            abort() only in util/check.h
+//   dcheck-side-effect  NP_DCHECK args must not mutate state
+//   no-using-namespace  headers never `using namespace`
+//   unused-status       bare `Foo(...);` calls to Status-returning functions
+//
+// The checker is textual: it strips comments and string literals, then
+// scans tokens. That keeps it dependency-free (no libclang in the image)
+// at the cost of heuristics; each rule documents its blind spots.
+
+#ifndef NEUROPRINT_TOOLS_LINT_LINT_H_
+#define NEUROPRINT_TOOLS_LINT_LINT_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace neuroprint::lint {
+
+/// One rule violation at a file/line.
+struct Finding {
+  std::string file;     // path as supplied (repo-relative by convention)
+  int line = 0;         // 1-based
+  std::string rule;     // stable rule id, e.g. "include-guard"
+  std::string message;  // human-readable explanation
+
+  std::string ToString() const;
+};
+
+/// A source file presented to the checker. `path` must be relative to the
+/// linted root (e.g. "util/check.h" for src/util/check.h): rule exemptions
+/// and the expected include-guard are derived from it.
+struct SourceFile {
+  std::string path;
+  std::string contents;
+};
+
+/// Replaces comments, string literals, and char literals with spaces
+/// (newlines preserved), so token scans cannot match inside them.
+/// Exposed for tests.
+std::string StripCommentsAndStrings(const std::string& contents);
+
+/// Scans header contents for `Status Foo(...)` declarations and returns the
+/// function names. Factory-style members (`static Status Bar(...)`) are
+/// included; `Result<T>` returns are not (their values are consumed by
+/// construction).
+std::set<std::string> CollectStatusFunctions(
+    const std::vector<SourceFile>& headers);
+
+/// Runs every rule against one file. `status_functions` feeds the
+/// unused-status rule (pass an empty set to disable it).
+std::vector<Finding> LintFile(const SourceFile& file,
+                              const std::set<std::string>& status_functions);
+
+/// Lints a set of files as one unit: builds the Status index from the
+/// headers, then applies all rules to every file.
+std::vector<Finding> LintFiles(const std::vector<SourceFile>& files);
+
+/// Walks `root` (typically <repo>/src), reads every .h/.cc file, and lints
+/// them. Returns findings sorted by file then line. Unreadable files become
+/// findings under rule "io-error".
+std::vector<Finding> LintTree(const std::string& root);
+
+}  // namespace neuroprint::lint
+
+#endif  // NEUROPRINT_TOOLS_LINT_LINT_H_

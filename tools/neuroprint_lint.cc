@@ -1,0 +1,35 @@
+// CLI driver for the repo-invariant checker (tools/lint/lint.h).
+//
+// Usage: neuroprint_lint <src-dir>...
+//
+// Lints every .h/.cc under each directory and prints findings as
+// `file:line: [rule] message`. Exits 0 when clean, 1 when any rule fired,
+// 2 on usage error. Run via `tools/run_checks.sh` or ctest (`lint_test`).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <src-dir>...\n", argv[0]);
+    return 2;
+  }
+  std::size_t total = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::vector<neuroprint::lint::Finding> findings =
+        neuroprint::lint::LintTree(argv[i]);
+    for (const neuroprint::lint::Finding& finding : findings) {
+      std::fprintf(stderr, "%s\n", finding.ToString().c_str());
+    }
+    total += findings.size();
+  }
+  if (total > 0) {
+    std::fprintf(stderr, "neuroprint_lint: %zu finding(s)\n", total);
+    return 1;
+  }
+  std::printf("neuroprint_lint: clean\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# One-command static-analysis driver: format check + repo lint + clang-tidy.
+#
+#   tools/run_checks.sh [--fix]
+#
+# Environment:
+#   BUILD_DIR   build tree with compile_commands.json (default: build)
+#   SKIP_TIDY   set to 1 to skip clang-tidy even when installed
+#
+# External analyzers (clang-format, clang-tidy) are skipped with a notice
+# when not installed, so the script degrades gracefully in minimal
+# containers; the in-repo checks (neuroprint_lint) always run. Exit code is
+# nonzero iff an executed check found a problem.
+
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+FIX=0
+[[ "${1:-}" == "--fix" ]] && FIX=1
+
+failures=0
+note() { printf '== %s\n' "$*"; }
+
+# Library + tool sources; excludes third-party-free build trees.
+mapfile -t sources < <(find src tools tests bench examples \
+  -name '*.cc' -o -name '*.h' 2>/dev/null | sort)
+
+# ---- 1. clang-format ------------------------------------------------------
+if command -v clang-format >/dev/null 2>&1; then
+  if [[ "$FIX" == 1 ]]; then
+    note "clang-format: rewriting ${#sources[@]} files"
+    clang-format -i "${sources[@]}" || failures=$((failures + 1))
+  else
+    note "clang-format: checking ${#sources[@]} files"
+    if ! clang-format --dry-run -Werror "${sources[@]}"; then
+      note "clang-format: FAILED (run tools/run_checks.sh --fix)"
+      failures=$((failures + 1))
+    fi
+  fi
+else
+  note "clang-format: not installed, SKIPPED"
+fi
+
+# ---- 2. neuroprint_lint ---------------------------------------------------
+note "neuroprint_lint: building"
+config_log="$(mktemp)"
+if ! cmake -B "$BUILD_DIR" -S . >"$config_log" 2>&1 ||
+   ! cmake --build "$BUILD_DIR" --target neuroprint_lint -j >"$config_log" 2>&1; then
+  cat "$config_log"
+  note "neuroprint_lint: build FAILED"
+  failures=$((failures + 1))
+else
+  note "neuroprint_lint: checking src/"
+  if ! "$BUILD_DIR/tools/neuroprint_lint" src; then
+    failures=$((failures + 1))
+  fi
+fi
+rm -f "$config_log"
+
+# ---- 3. clang-tidy --------------------------------------------------------
+if [[ "${SKIP_TIDY:-0}" == 1 ]]; then
+  note "clang-tidy: SKIP_TIDY=1, SKIPPED"
+elif command -v clang-tidy >/dev/null 2>&1; then
+  if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+    note "clang-tidy: no $BUILD_DIR/compile_commands.json, SKIPPED"
+  else
+    mapfile -t tidy_sources < <(find src -name '*.cc' | sort)
+    note "clang-tidy: checking ${#tidy_sources[@]} files"
+    if command -v run-clang-tidy >/dev/null 2>&1; then
+      if ! run-clang-tidy -quiet -p "$BUILD_DIR" "${tidy_sources[@]}"; then
+        failures=$((failures + 1))
+      fi
+    else
+      if ! clang-tidy -quiet -p "$BUILD_DIR" "${tidy_sources[@]}"; then
+        failures=$((failures + 1))
+      fi
+    fi
+  fi
+else
+  note "clang-tidy: not installed, SKIPPED"
+fi
+
+# ---------------------------------------------------------------------------
+if [[ "$failures" -gt 0 ]]; then
+  note "run_checks: $failures check(s) FAILED"
+  exit 1
+fi
+note "run_checks: all executed checks passed"
