@@ -2,19 +2,57 @@
 // full voxel-level pipeline on a rendered synthetic run with planted
 // artifacts. The paper presents the pipeline as a diagram; this bench
 // realizes it and reports where the time goes.
+//
+// Threading: `--threads=N` (default: NEUROPRINT_THREADS / hardware) sets
+// the worker count for the parallelized stages. Every configuration is
+// run twice — once at 1 thread as the baseline, once at N — and the
+// per-stage speedup is reported; outputs are bitwise-identical across
+// thread counts (see util/thread_pool.h), so only the times differ.
 
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "atlas/synthetic_atlas.h"
 #include "bench/bench_util.h"
+#include "connectome/connectome.h"
 #include "preprocess/pipeline.h"
 #include "sim/cohort.h"
 #include "sim/voxel_render.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 using namespace neuroprint;
 
-int main() {
+namespace {
+
+// Stage name -> seconds for one full pipeline pass (plus the connectome
+// build on the resulting region series, which the attack always runs
+// next and which is parallelized the same way).
+std::vector<std::pair<std::string, double>> TimeStages(
+    const image::Volume4D& run, const atlas::Atlas& atlas,
+    preprocess::PipelineConfig config, std::size_t threads) {
+  config.parallel.num_threads = threads;
+  auto output = preprocess::RunPipeline(run, atlas, config);
+  NP_CHECK(output.ok()) << output.status().ToString();
+  std::vector<std::pair<std::string, double>> stages =
+      std::move(output->stage_seconds);
+  Stopwatch clock;
+  auto conn =
+      connectome::BuildConnectome(output->region_series, config.parallel);
+  NP_CHECK(conn.ok()) << conn.status().ToString();
+  stages.emplace_back("connectome_build", clock.ElapsedSeconds());
+  return stages;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t flag_threads = bench::ParseThreadsFlag(&argc, argv);
+  const std::size_t threads = ResolveThreadCount(
+      ParallelContext{flag_threads});
+
   bench::PrintHeader("Figure 4", "preprocessing pipeline stage costs");
 
   // A Glasser-like atlas on the default grid, one resting scan rendered
@@ -51,24 +89,38 @@ int main() {
 
   preprocess::PipelineConfig config = preprocess::RestingStateConfig();
   config.registration.sample_stride = 2;
-  clock.Restart();
-  auto output = preprocess::RunPipeline(*run, *atlas, config);
-  NP_CHECK(output.ok()) << output.status().ToString();
-  const double total = clock.ElapsedSeconds();
+
+  const auto baseline = TimeStages(*run, *atlas, config, 1);
+  const auto threaded = TimeStages(*run, *atlas, config, threads);
+  NP_CHECK_EQ(baseline.size(), threaded.size());
+
+  double total_1t = 0.0;
+  double total_nt = 0.0;
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    total_1t += baseline[i].second;
+    total_nt += threaded[i].second;
+  }
 
   CsvWriter csv;
-  csv.SetHeader({"stage", "seconds", "percent_of_total"});
-  std::printf("\n%-26s %10s %8s\n", "stage", "seconds", "share");
-  for (const auto& [stage, seconds] : output->stage_seconds) {
-    std::printf("%-26s %10.3f %7.1f%%\n", stage.c_str(), seconds,
-                100.0 * seconds / total);
-    csv.AddRow({stage, StrFormat("%.4f", seconds),
-                StrFormat("%.1f", 100.0 * seconds / total)});
+  csv.SetHeader({"stage", "seconds_1thread",
+                 StrFormat("seconds_%zuthreads", threads), "speedup",
+                 "percent_of_total"});
+  std::printf("\nthreads: %zu (baseline: 1)\n", threads);
+  std::printf("%-26s %12s %12s %8s %8s\n", "stage", "sec @1t",
+              StrFormat("sec @%zut", threads).c_str(), "speedup", "share");
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    const std::string& stage = baseline[i].first;
+    const double sec_1t = baseline[i].second;
+    const double sec_nt = threaded[i].second;
+    const double speedup = sec_nt > 0.0 ? sec_1t / sec_nt : 0.0;
+    std::printf("%-26s %12.3f %12.3f %7.2fx %7.1f%%\n", stage.c_str(), sec_1t,
+                sec_nt, speedup, 100.0 * sec_nt / total_nt);
+    csv.AddRow({stage, StrFormat("%.4f", sec_1t), StrFormat("%.4f", sec_nt),
+                StrFormat("%.2f", speedup),
+                StrFormat("%.1f", 100.0 * sec_nt / total_nt)});
   }
-  std::printf("%-26s %10.3f %7s\n", "TOTAL", total, "100%");
-  std::printf("\nbrain voxels: %zu of %zu; motion estimated on %zu frames\n",
-              output->mask.CountSet(), run->voxels_per_volume(),
-              output->motion.size());
+  std::printf("%-26s %12.3f %12.3f %7.2fx %7s\n", "TOTAL", total_1t, total_nt,
+              total_nt > 0.0 ? total_1t / total_nt : 0.0, "100%");
   bench::WriteCsvOrDie(csv, "fig4_pipeline_stages.csv");
   return 0;
 }

@@ -2,9 +2,15 @@
 // Section 1: the attack's kernels are "computationally inexpensive and
 // scale to large datasets". Covers the SVD/leverage path, the matcher,
 // the FFT filters, connectome construction, and t-SNE per-iteration cost.
+//
+// `--threads=N` (stripped before google-benchmark sees the flags) sets
+// the worker count for the parallelized kernels and prints a
+// speedup-vs-1-thread table for the two gemm-bound kernels before the
+// microbenchmark suite runs.
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "connectome/connectome.h"
 #include "core/leverage.h"
 #include "core/matcher.h"
@@ -14,6 +20,8 @@
 #include "linalg/svd.h"
 #include "signal/filters.h"
 #include "util/random.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace neuroprint {
 namespace {
@@ -129,6 +137,55 @@ BENCHMARK(BM_TsneIterations)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+// Times one run of `fn` at 1 thread and at `threads`, printing the
+// speedup. The kernels are deterministic across thread counts, so the
+// two runs produce bitwise-identical results and only wall-clock moves.
+template <typename Fn>
+void ReportKernelScaling(const char* name, std::size_t threads, Fn&& fn) {
+  double sec_1t = 0.0;
+  {
+    ScopedDefaultThreadCount serial(1);
+    Stopwatch clock;
+    fn();
+    sec_1t = clock.ElapsedSeconds();
+  }
+  ScopedDefaultThreadCount parallel(threads);
+  Stopwatch clock;
+  fn();
+  const double sec_nt = clock.ElapsedSeconds();
+  std::printf("%-24s %10.3fs %10.3fs %7.2fx\n", name, sec_1t, sec_nt,
+              sec_nt > 0.0 ? sec_1t / sec_nt : 0.0);
+}
+
+void ReportThreadScaling(std::size_t threads) {
+  std::printf("thread scaling (1 -> %zu threads):\n", threads);
+  std::printf("%-24s %11s %11s %8s\n", "kernel", "sec @1t", "sec @Nt",
+              "speedup");
+  const linalg::Matrix series = RandomMatrix(360, 1200, 21);
+  ReportKernelScaling("connectome_build", threads, [&] {
+    auto conn = connectome::BuildConnectome(series);
+    benchmark::DoNotOptimize(conn);
+  });
+  const linalg::Matrix known = RandomMatrix(6670, 100, 22);
+  const linalg::Matrix anonymous = RandomMatrix(6670, 100, 23);
+  ReportKernelScaling("similarity_matcher", threads, [&] {
+    auto sim = linalg::ColumnCrossCorrelation(known, anonymous);
+    benchmark::DoNotOptimize(sim);
+  });
+  std::printf("\n");
+}
+
 }  // namespace neuroprint
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::size_t flag_threads =
+      neuroprint::bench::ParseThreadsFlag(&argc, argv);
+  neuroprint::ReportThreadScaling(
+      neuroprint::ResolveThreadCount(neuroprint::ParallelContext{flag_threads}));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

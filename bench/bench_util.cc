@@ -1,9 +1,11 @@
 #include "bench/bench_util.h"
 
 #include <cmath>
+#include <cstring>
 #include <numeric>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace neuroprint::bench {
 
@@ -75,5 +77,27 @@ MeanStd Summarize(const std::vector<double>& values) {
 }
 
 bool FastMode() { return std::getenv("NEUROPRINT_BENCH_FAST") != nullptr; }
+
+std::size_t ParseThreadsFlag(int* argc, char** argv) {
+  constexpr const char kFlag[] = "--threads=";
+  constexpr std::size_t kFlagLen = sizeof(kFlag) - 1;
+  std::size_t threads = 0;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, kFlagLen) == 0) {
+      threads = ParseThreadCount(argv[i] + kFlagLen);
+      if (threads == 0) {
+        std::fprintf(stderr, "invalid thread count in '%s' (want 1..%zu)\n",
+                     argv[i], kMaxThreadCount);
+        std::exit(2);
+      }
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  if (threads > 0) SetDefaultThreadCount(threads);
+  return threads;
+}
 
 }  // namespace neuroprint::bench

@@ -53,6 +53,14 @@ MeanStd Summarize(const std::vector<double>& values);
 /// are printed either way).
 bool FastMode();
 
+/// Parses and strips a `--threads=N` flag from argv (compacting argc in
+/// place so later flag parsers never see it). A valid value is applied via
+/// SetDefaultThreadCount so every kernel taking a default ParallelContext
+/// picks it up; an invalid value exits with an error. Returns the parsed
+/// count, or 0 when the flag is absent (keeping the NEUROPRINT_THREADS /
+/// hardware default).
+std::size_t ParseThreadsFlag(int* argc, char** argv);
+
 }  // namespace neuroprint::bench
 
 #endif  // NEUROPRINT_BENCH_BENCH_UTIL_H_

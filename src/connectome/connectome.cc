@@ -7,7 +7,8 @@
 
 namespace neuroprint::connectome {
 
-Result<linalg::Matrix> BuildConnectome(const linalg::Matrix& region_series) {
+Result<linalg::Matrix> BuildConnectome(const linalg::Matrix& region_series,
+                                       const ParallelContext& ctx) {
   if (region_series.rows() < 2) {
     return Status::InvalidArgument(
         "BuildConnectome: need at least 2 regions");
@@ -19,7 +20,7 @@ Result<linalg::Matrix> BuildConnectome(const linalg::Matrix& region_series) {
   if (!region_series.AllFinite()) {
     return Status::InvalidArgument("BuildConnectome: non-finite series");
   }
-  return linalg::RowCorrelation(region_series);
+  return linalg::RowCorrelation(region_series, ctx);
 }
 
 Result<linalg::Vector> VectorizeUpperTriangle(const linalg::Matrix& m) {

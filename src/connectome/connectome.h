@@ -18,8 +18,10 @@ constexpr std::size_t NumEdges(std::size_t regions) {
 }
 
 /// Pearson correlation connectome from a regions x time series matrix.
-/// Requires at least 3 time points.
-Result<linalg::Matrix> BuildConnectome(const linalg::Matrix& region_series);
+/// Requires at least 3 time points. The per-region-pair correlation loops
+/// parallelize under `ctx`; results are identical at any thread count.
+Result<linalg::Matrix> BuildConnectome(const linalg::Matrix& region_series,
+                                       const ParallelContext& ctx = {});
 
 /// Stacks the strict upper triangle of a symmetric n x n matrix into a
 /// vector of n(n-1)/2 entries, ordered (0,1), (0,2), ..., (0,n-1), (1,2),

@@ -28,6 +28,7 @@ Result<DeanonymizationAttack> DeanonymizationAttack::Fit(
   if (!reduced.ok()) return reduced.status();
   attack.reduced_known_ = std::move(reduced).value();
   attack.full_feature_count_ = known.num_features();
+  attack.parallel_ = options.parallel;
   return attack;
 }
 
@@ -43,10 +44,10 @@ Result<AttackResult> DeanonymizationAttack::Identify(
   if (!reduced.ok()) return reduced.status();
 
   AttackResult result;
-  auto similarity = SimilarityMatrix(reduced_known_, *reduced);
+  auto similarity = SimilarityMatrix(reduced_known_, *reduced, parallel_);
   if (!similarity.ok()) return similarity.status();
   result.similarity = std::move(similarity).value();
-  result.predicted_index = ArgmaxMatch(result.similarity);
+  result.predicted_index = ArgmaxMatch(result.similarity, parallel_);
 
   result.predicted_ids.reserve(result.predicted_index.size());
   for (std::size_t idx : result.predicted_index) {

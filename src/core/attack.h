@@ -24,6 +24,9 @@ struct AttackOptions {
   /// 64620-feature resting-state matrices to fewer than 100 rows.
   std::size_t num_features = 100;
   LeverageOptions leverage;
+  /// Threads for the similarity / argmax stages of Identify (captured at
+  /// Fit time). Never changes results, only wall-clock time.
+  ParallelContext parallel;
 };
 
 /// Outcome of one identification run.
@@ -62,6 +65,7 @@ class DeanonymizationAttack {
   std::vector<std::size_t> selected_features_;
   linalg::Vector leverage_scores_;
   std::size_t full_feature_count_ = 0;
+  ParallelContext parallel_;
 };
 
 }  // namespace neuroprint::core

@@ -8,7 +8,7 @@ namespace neuroprint::core {
 Result<std::vector<int>> KnnClassify(const linalg::Matrix& train,
                                      const std::vector<int>& labels,
                                      const linalg::Matrix& queries,
-                                     std::size_t k) {
+                                     std::size_t k, const ParallelContext& ctx) {
   if (train.rows() == 0 || queries.rows() == 0) {
     return Status::InvalidArgument("KnnClassify: empty input");
   }
@@ -22,37 +22,44 @@ Result<std::vector<int>> KnnClassify(const linalg::Matrix& train,
     return Status::InvalidArgument("KnnClassify: k out of range");
   }
 
+  // Queries are independent; each chunk sorts into its own scratch buffer.
+  // partial_sort on (d2, index) pairs is a total order, so the vote — and
+  // thus the prediction — is deterministic regardless of threading.
   std::vector<int> predicted(queries.rows());
-  std::vector<std::pair<double, std::size_t>> distances(train.rows());
-  for (std::size_t q = 0; q < queries.rows(); ++q) {
-    const double* query = queries.RowPtr(q);
-    for (std::size_t i = 0; i < train.rows(); ++i) {
-      const double* point = train.RowPtr(i);
-      double d2 = 0.0;
-      for (std::size_t d = 0; d < train.cols(); ++d) {
-        const double diff = query[d] - point[d];
-        d2 += diff * diff;
-      }
-      distances[i] = {d2, i};
-    }
-    std::partial_sort(distances.begin(),
-                      distances.begin() + static_cast<std::ptrdiff_t>(k),
-                      distances.end());
-    // Majority vote; on ties the label of the nearer neighbour wins
-    // because votes are tallied in distance order.
-    std::map<int, std::size_t> votes;
-    int best_label = labels[distances[0].second];
-    std::size_t best_votes = 0;
-    for (std::size_t i = 0; i < k; ++i) {
-      const int label = labels[distances[i].second];
-      const std::size_t count = ++votes[label];
-      if (count > best_votes) {
-        best_votes = count;
-        best_label = label;
-      }
-    }
-    predicted[q] = best_label;
-  }
+  ParallelFor(
+      ctx, 0, queries.rows(), GrainForWork(train.rows() * train.cols()),
+      [&](std::size_t q_lo, std::size_t q_hi) {
+        std::vector<std::pair<double, std::size_t>> distances(train.rows());
+        for (std::size_t q = q_lo; q < q_hi; ++q) {
+          const double* query = queries.RowPtr(q);
+          for (std::size_t i = 0; i < train.rows(); ++i) {
+            const double* point = train.RowPtr(i);
+            double d2 = 0.0;
+            for (std::size_t d = 0; d < train.cols(); ++d) {
+              const double diff = query[d] - point[d];
+              d2 += diff * diff;
+            }
+            distances[i] = {d2, i};
+          }
+          std::partial_sort(distances.begin(),
+                            distances.begin() + static_cast<std::ptrdiff_t>(k),
+                            distances.end());
+          // Majority vote; on ties the label of the nearer neighbour wins
+          // because votes are tallied in distance order.
+          std::map<int, std::size_t> votes;
+          int best_label = labels[distances[0].second];
+          std::size_t best_votes = 0;
+          for (std::size_t i = 0; i < k; ++i) {
+            const int label = labels[distances[i].second];
+            const std::size_t count = ++votes[label];
+            if (count > best_votes) {
+              best_votes = count;
+              best_label = label;
+            }
+          }
+          predicted[q] = best_label;
+        }
+      });
   return predicted;
 }
 

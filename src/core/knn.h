@@ -18,7 +18,8 @@ namespace neuroprint::core {
 Result<std::vector<int>> KnnClassify(const linalg::Matrix& train,
                                      const std::vector<int>& labels,
                                      const linalg::Matrix& queries,
-                                     std::size_t k = 1);
+                                     std::size_t k = 1,
+                                     const ParallelContext& ctx = {});
 
 /// Fraction of predictions equal to truth.
 Result<double> ClassificationAccuracy(const std::vector<int>& predicted,

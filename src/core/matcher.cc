@@ -10,7 +10,7 @@ namespace neuroprint::core {
 
 Result<linalg::Matrix> SimilarityMatrix(
     const connectome::GroupMatrix& known,
-    const connectome::GroupMatrix& anonymous) {
+    const connectome::GroupMatrix& anonymous, const ParallelContext& ctx) {
   if (known.num_features() != anonymous.num_features()) {
     return Status::InvalidArgument(StrFormat(
         "SimilarityMatrix: feature mismatch (%zu vs %zu) — restrict both "
@@ -21,22 +21,28 @@ Result<linalg::Matrix> SimilarityMatrix(
     return Status::InvalidArgument(
         "SimilarityMatrix: need at least 2 features for correlation");
   }
-  return linalg::ColumnCrossCorrelation(known.data(), anonymous.data());
+  return linalg::ColumnCrossCorrelation(known.data(), anonymous.data(), ctx);
 }
 
-std::vector<std::size_t> ArgmaxMatch(const linalg::Matrix& similarity) {
+std::vector<std::size_t> ArgmaxMatch(const linalg::Matrix& similarity,
+                                     const ParallelContext& ctx) {
+  // Columns are independent; the scan order within a column (strict >,
+  // ascending i) is unchanged, so ties resolve identically to serial.
   std::vector<std::size_t> predicted(similarity.cols(), 0);
-  for (std::size_t j = 0; j < similarity.cols(); ++j) {
-    double best = -std::numeric_limits<double>::infinity();
-    std::size_t best_row = 0;
-    for (std::size_t i = 0; i < similarity.rows(); ++i) {
-      if (similarity(i, j) > best) {
-        best = similarity(i, j);
-        best_row = i;
-      }
-    }
-    predicted[j] = best_row;
-  }
+  ParallelFor(ctx, 0, similarity.cols(), GrainForWork(similarity.rows()),
+              [&](std::size_t col_lo, std::size_t col_hi) {
+                for (std::size_t j = col_lo; j < col_hi; ++j) {
+                  double best = -std::numeric_limits<double>::infinity();
+                  std::size_t best_row = 0;
+                  for (std::size_t i = 0; i < similarity.rows(); ++i) {
+                    if (similarity(i, j) > best) {
+                      best = similarity(i, j);
+                      best_row = i;
+                    }
+                  }
+                  predicted[j] = best_row;
+                }
+              });
   return predicted;
 }
 

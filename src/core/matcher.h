@@ -20,11 +20,13 @@ namespace neuroprint::core {
 /// Feature dimensions must match (restrict both to the same features
 /// first).
 Result<linalg::Matrix> SimilarityMatrix(const connectome::GroupMatrix& known,
-                                        const connectome::GroupMatrix& anonymous);
+                                        const connectome::GroupMatrix& anonymous,
+                                        const ParallelContext& ctx = {});
 
 /// For each column (anonymous subject) the row index of the most similar
 /// known subject.
-std::vector<std::size_t> ArgmaxMatch(const linalg::Matrix& similarity);
+std::vector<std::size_t> ArgmaxMatch(const linalg::Matrix& similarity,
+                                     const ParallelContext& ctx = {});
 
 /// Fraction of anonymous subjects whose argmax row carries the same
 /// subject id. Sizes: predicted.size() == anonymous_ids.size().

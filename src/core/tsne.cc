@@ -14,7 +14,8 @@ constexpr double kMinProbability = 1e-12;
 
 // Squared Euclidean distances between rows of `points` via the Gram trick:
 // ||x_i - x_j||^2 = G_ii + G_jj - 2 G_ij. One gemm instead of n^2 loops
-// over the (possibly 64620-long) feature axis.
+// over the (possibly 64620-long) feature axis. The gemm row-blocks run on
+// the shared pool (NEUROPRINT_THREADS); the iteration loops stay serial.
 linalg::Matrix PairwiseSquaredDistances(const linalg::Matrix& points) {
   const linalg::Matrix gram = linalg::MatMulT(points, points);
   const std::size_t n = points.rows();

@@ -161,66 +161,90 @@ bool AlmostEqual(const Matrix& a, const Matrix& b, double tol) {
   return true;
 }
 
-Matrix MatMul(const Matrix& a, const Matrix& b) {
+Matrix MatMul(const Matrix& a, const Matrix& b, const ParallelContext& ctx) {
   NP_CHECK_EQ(a.cols(), b.rows())
       << "MatMul shape mismatch: " << a.rows() << "x" << a.cols() << " * "
       << b.rows() << "x" << b.cols();
   Matrix c(a.rows(), b.cols());
   // i-k-j loop order streams both B and C rows; good locality for row-major.
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    double* crow = c.RowPtr(i);
-    const double* arow = a.RowPtr(i);
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = arow[k];
-      if (aik == 0.0) continue;
-      const double* brow = b.RowPtr(k);
-      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
-    }
-  }
+  // Rows of C are independent, so the parallel row blocks write disjoint
+  // output and keep the serial per-row order.
+  ParallelFor(ctx, 0, a.rows(), GrainForWork(a.cols() * b.cols()),
+              [&](std::size_t row_lo, std::size_t row_hi) {
+                for (std::size_t i = row_lo; i < row_hi; ++i) {
+                  double* crow = c.RowPtr(i);
+                  const double* arow = a.RowPtr(i);
+                  for (std::size_t k = 0; k < a.cols(); ++k) {
+                    const double aik = arow[k];
+                    if (aik == 0.0) continue;
+                    const double* brow = b.RowPtr(k);
+                    for (std::size_t j = 0; j < b.cols(); ++j) {
+                      crow[j] += aik * brow[j];
+                    }
+                  }
+                }
+              });
   return c;
 }
 
-Matrix MatTMul(const Matrix& a, const Matrix& b) {
+Matrix MatTMul(const Matrix& a, const Matrix& b, const ParallelContext& ctx) {
   NP_CHECK_EQ(a.rows(), b.rows());
   Matrix c(a.cols(), b.cols());
-  for (std::size_t k = 0; k < a.rows(); ++k) {
-    const double* arow = a.RowPtr(k);
-    const double* brow = b.RowPtr(k);
-    for (std::size_t i = 0; i < a.cols(); ++i) {
-      const double aki = arow[i];
-      if (aki == 0.0) continue;
-      double* crow = c.RowPtr(i);
-      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
-    }
-  }
+  // Output row i accumulates a(k, i) * b(k, :) over ascending k — the same
+  // per-element order (and == 0.0 skips) as the historical k-outer loop,
+  // but with rows independent so they can run on separate threads.
+  ParallelFor(ctx, 0, a.cols(), GrainForWork(a.rows() * b.cols()),
+              [&](std::size_t row_lo, std::size_t row_hi) {
+                for (std::size_t i = row_lo; i < row_hi; ++i) {
+                  double* crow = c.RowPtr(i);
+                  for (std::size_t k = 0; k < a.rows(); ++k) {
+                    const double aki = a.RowPtr(k)[i];
+                    if (aki == 0.0) continue;
+                    const double* brow = b.RowPtr(k);
+                    for (std::size_t j = 0; j < b.cols(); ++j) {
+                      crow[j] += aki * brow[j];
+                    }
+                  }
+                }
+              });
   return c;
 }
 
-Matrix MatMulT(const Matrix& a, const Matrix& b) {
+Matrix MatMulT(const Matrix& a, const Matrix& b, const ParallelContext& ctx) {
   NP_CHECK_EQ(a.cols(), b.cols());
   Matrix c(a.rows(), b.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.RowPtr(i);
-    double* crow = c.RowPtr(i);
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      const double* brow = b.RowPtr(j);
-      double sum = 0.0;
-      for (std::size_t k = 0; k < a.cols(); ++k) sum += arow[k] * brow[k];
-      crow[j] = sum;
-    }
-  }
+  ParallelFor(ctx, 0, a.rows(), GrainForWork(b.rows() * a.cols()),
+              [&](std::size_t row_lo, std::size_t row_hi) {
+                for (std::size_t i = row_lo; i < row_hi; ++i) {
+                  const double* arow = a.RowPtr(i);
+                  double* crow = c.RowPtr(i);
+                  for (std::size_t j = 0; j < b.rows(); ++j) {
+                    const double* brow = b.RowPtr(j);
+                    double sum = 0.0;
+                    for (std::size_t k = 0; k < a.cols(); ++k) {
+                      sum += arow[k] * brow[k];
+                    }
+                    crow[j] = sum;
+                  }
+                }
+              });
   return c;
 }
 
-Vector MatVec(const Matrix& a, const Vector& x) {
+Vector MatVec(const Matrix& a, const Vector& x, const ParallelContext& ctx) {
   NP_CHECK_EQ(a.cols(), x.size());
   Vector y(a.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* row = a.RowPtr(i);
-    double sum = 0.0;
-    for (std::size_t j = 0; j < a.cols(); ++j) sum += row[j] * x[j];
-    y[i] = sum;
-  }
+  ParallelFor(ctx, 0, a.rows(), GrainForWork(a.cols()),
+              [&](std::size_t row_lo, std::size_t row_hi) {
+                for (std::size_t i = row_lo; i < row_hi; ++i) {
+                  const double* row = a.RowPtr(i);
+                  double sum = 0.0;
+                  for (std::size_t j = 0; j < a.cols(); ++j) {
+                    sum += row[j] * x[j];
+                  }
+                  y[i] = sum;
+                }
+              });
   return y;
 }
 
@@ -236,18 +260,24 @@ Vector MatTVec(const Matrix& a, const Vector& x) {
   return y;
 }
 
-Matrix Gram(const Matrix& a) {
+Matrix Gram(const Matrix& a, const ParallelContext& ctx) {
   const std::size_t n = a.cols();
   Matrix g(n, n);
-  for (std::size_t k = 0; k < a.rows(); ++k) {
-    const double* row = a.RowPtr(k);
-    for (std::size_t i = 0; i < n; ++i) {
-      const double ri = row[i];
-      if (ri == 0.0) continue;
-      double* grow = g.RowPtr(i);
-      for (std::size_t j = i; j < n; ++j) grow[j] += ri * row[j];
-    }
-  }
+  // Upper-triangle row i accumulates a(k, i) * a(k, i..n) over ascending k,
+  // matching the historical k-outer loop element-for-element (incl. the
+  // == 0.0 skips); rows are disjoint so the blocks parallelize.
+  ParallelFor(ctx, 0, n, GrainForWork(a.rows() * (n / 2 + 1)),
+              [&](std::size_t row_lo, std::size_t row_hi) {
+                for (std::size_t i = row_lo; i < row_hi; ++i) {
+                  double* grow = g.RowPtr(i);
+                  for (std::size_t k = 0; k < a.rows(); ++k) {
+                    const double* row = a.RowPtr(k);
+                    const double ri = row[i];
+                    if (ri == 0.0) continue;
+                    for (std::size_t j = i; j < n; ++j) grow[j] += ri * row[j];
+                  }
+                }
+              });
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
   }

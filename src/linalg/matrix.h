@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace neuroprint::linalg {
 
@@ -119,24 +120,33 @@ Matrix operator*(double s, const Matrix& a);
 /// True if dims match and max |a_ij - b_ij| <= tol.
 bool AlmostEqual(const Matrix& a, const Matrix& b, double tol);
 
+// The gemm-shaped kernels below parallelize over output rows. Each output
+// row keeps the exact serial per-element accumulation order (ascending k,
+// including the == 0.0 skips), so results are bitwise-identical to the
+// serial kernels at any thread count.
+
 /// C = A * B. Blocked, cache-friendly triple loop.
-Matrix MatMul(const Matrix& a, const Matrix& b);
+Matrix MatMul(const Matrix& a, const Matrix& b,
+              const ParallelContext& ctx = {});
 
 /// C = A^T * B (computed without materializing A^T).
-Matrix MatTMul(const Matrix& a, const Matrix& b);
+Matrix MatTMul(const Matrix& a, const Matrix& b,
+               const ParallelContext& ctx = {});
 
 /// C = A * B^T (computed without materializing B^T).
-Matrix MatMulT(const Matrix& a, const Matrix& b);
+Matrix MatMulT(const Matrix& a, const Matrix& b,
+               const ParallelContext& ctx = {});
 
 /// y = A * x.
-Vector MatVec(const Matrix& a, const Vector& x);
+Vector MatVec(const Matrix& a, const Vector& x,
+              const ParallelContext& ctx = {});
 
 /// y = A^T * x.
 Vector MatTVec(const Matrix& a, const Vector& x);
 
 /// Gram matrix A^T A (symmetric n x n; only computes the upper triangle
 /// once and mirrors it).
-Matrix Gram(const Matrix& a);
+Matrix Gram(const Matrix& a, const ParallelContext& ctx = {});
 
 }  // namespace neuroprint::linalg
 

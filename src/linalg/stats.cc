@@ -44,19 +44,24 @@ Vector RowStdDevs(const Matrix& m) {
   return sds;
 }
 
-void ZScoreRowsInPlace(Matrix& m) {
+void ZScoreRowsInPlace(Matrix& m, const ParallelContext& ctx) {
   if (m.cols() == 0) return;
   const Vector means = RowMeans(m);
   const Vector sds = RowStdDevs(m);
-  for (std::size_t i = 0; i < m.rows(); ++i) {
-    double* row = m.RowPtr(i);
-    if (sds[i] <= 0.0) {
-      std::fill(row, row + m.cols(), 0.0);
-      continue;
-    }
-    const double inv = 1.0 / sds[i];
-    for (std::size_t j = 0; j < m.cols(); ++j) row[j] = (row[j] - means[i]) * inv;
-  }
+  ParallelFor(ctx, 0, m.rows(), GrainForWork(m.cols()),
+              [&](std::size_t row_lo, std::size_t row_hi) {
+                for (std::size_t i = row_lo; i < row_hi; ++i) {
+                  double* row = m.RowPtr(i);
+                  if (sds[i] <= 0.0) {
+                    std::fill(row, row + m.cols(), 0.0);
+                    continue;
+                  }
+                  const double inv = 1.0 / sds[i];
+                  for (std::size_t j = 0; j < m.cols(); ++j) {
+                    row[j] = (row[j] - means[i]) * inv;
+                  }
+                }
+              });
 }
 
 void ZScoreColsInPlace(Matrix& m) {
@@ -108,69 +113,84 @@ Matrix RowCovariance(const Matrix& m) {
   return cov;
 }
 
-Matrix RowCorrelation(const Matrix& m) {
+Matrix RowCorrelation(const Matrix& m, const ParallelContext& ctx) {
   const std::size_t p = m.rows();
   Matrix centered = m;
   const Vector means = RowMeans(m);
   Vector norms(p, 0.0);
-  for (std::size_t i = 0; i < p; ++i) {
-    double* row = centered.RowPtr(i);
-    double sum = 0.0;
-    for (std::size_t j = 0; j < m.cols(); ++j) {
-      row[j] -= means[i];
-      sum += row[j] * row[j];
-    }
-    norms[i] = std::sqrt(sum);
-  }
-  Matrix corr = MatMulT(centered, centered);
-  for (std::size_t i = 0; i < p; ++i) {
-    for (std::size_t j = 0; j < p; ++j) {
-      const double denom = norms[i] * norms[j];
-      if (i == j) {
-        corr(i, j) = 1.0;
-      } else if (denom > 0.0) {
-        corr(i, j) = std::clamp(corr(i, j) / denom, -1.0, 1.0);
-      } else {
-        corr(i, j) = 0.0;
-      }
-    }
-  }
+  ParallelFor(ctx, 0, p, GrainForWork(m.cols()),
+              [&](std::size_t row_lo, std::size_t row_hi) {
+                for (std::size_t i = row_lo; i < row_hi; ++i) {
+                  double* row = centered.RowPtr(i);
+                  double sum = 0.0;
+                  for (std::size_t j = 0; j < m.cols(); ++j) {
+                    row[j] -= means[i];
+                    sum += row[j] * row[j];
+                  }
+                  norms[i] = std::sqrt(sum);
+                }
+              });
+  Matrix corr = MatMulT(centered, centered, ctx);
+  ParallelFor(ctx, 0, p, GrainForWork(p),
+              [&](std::size_t row_lo, std::size_t row_hi) {
+                for (std::size_t i = row_lo; i < row_hi; ++i) {
+                  for (std::size_t j = 0; j < p; ++j) {
+                    const double denom = norms[i] * norms[j];
+                    if (i == j) {
+                      corr(i, j) = 1.0;
+                    } else if (denom > 0.0) {
+                      corr(i, j) = std::clamp(corr(i, j) / denom, -1.0, 1.0);
+                    } else {
+                      corr(i, j) = 0.0;
+                    }
+                  }
+                }
+              });
   return corr;
 }
 
-Matrix ColumnCrossCorrelation(const Matrix& a, const Matrix& b) {
+Matrix ColumnCrossCorrelation(const Matrix& a, const Matrix& b,
+                              const ParallelContext& ctx) {
   NP_CHECK_EQ(a.rows(), b.rows())
       << "ColumnCrossCorrelation: feature dimension mismatch";
   const std::size_t features = a.rows();
 
   // Center and norm the columns of both matrices, then one gemm.
-  auto centered_with_norms = [features](const Matrix& m, Vector& norms) {
+  auto centered_with_norms = [features, &ctx](const Matrix& m, Vector& norms) {
     Matrix c = m;
     norms.assign(m.cols(), 0.0);
-    for (std::size_t j = 0; j < m.cols(); ++j) {
-      double mean = 0.0;
-      for (std::size_t i = 0; i < features; ++i) mean += c(i, j);
-      if (features > 0) mean /= static_cast<double>(features);
-      double sum = 0.0;
-      for (std::size_t i = 0; i < features; ++i) {
-        c(i, j) -= mean;
-        sum += c(i, j) * c(i, j);
-      }
-      norms[j] = std::sqrt(sum);
-    }
+    ParallelFor(ctx, 0, m.cols(), GrainForWork(features),
+                [&](std::size_t col_lo, std::size_t col_hi) {
+                  for (std::size_t j = col_lo; j < col_hi; ++j) {
+                    double mean = 0.0;
+                    for (std::size_t i = 0; i < features; ++i) mean += c(i, j);
+                    if (features > 0) mean /= static_cast<double>(features);
+                    double sum = 0.0;
+                    for (std::size_t i = 0; i < features; ++i) {
+                      c(i, j) -= mean;
+                      sum += c(i, j) * c(i, j);
+                    }
+                    norms[j] = std::sqrt(sum);
+                  }
+                });
     return c;
   };
 
   Vector norms_a, norms_b;
   const Matrix ca = centered_with_norms(a, norms_a);
   const Matrix cb = centered_with_norms(b, norms_b);
-  Matrix corr = MatTMul(ca, cb);
-  for (std::size_t i = 0; i < corr.rows(); ++i) {
-    for (std::size_t j = 0; j < corr.cols(); ++j) {
-      const double denom = norms_a[i] * norms_b[j];
-      corr(i, j) = denom > 0.0 ? std::clamp(corr(i, j) / denom, -1.0, 1.0) : 0.0;
-    }
-  }
+  Matrix corr = MatTMul(ca, cb, ctx);
+  ParallelFor(ctx, 0, corr.rows(), GrainForWork(corr.cols()),
+              [&](std::size_t row_lo, std::size_t row_hi) {
+                for (std::size_t i = row_lo; i < row_hi; ++i) {
+                  for (std::size_t j = 0; j < corr.cols(); ++j) {
+                    const double denom = norms_a[i] * norms_b[j];
+                    corr(i, j) = denom > 0.0
+                                     ? std::clamp(corr(i, j) / denom, -1.0, 1.0)
+                                     : 0.0;
+                  }
+                }
+              });
   return corr;
 }
 

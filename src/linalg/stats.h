@@ -21,7 +21,7 @@ Vector RowStdDevs(const Matrix& m);
 /// Z-scores every row in place ((x - mean) / sd per row); constant rows
 /// become all zeros. This is the paper's normalization of voxel/region
 /// time-series matrices (rows are signals, columns are time points).
-void ZScoreRowsInPlace(Matrix& m);
+void ZScoreRowsInPlace(Matrix& m, const ParallelContext& ctx = {});
 
 /// Z-scores every column in place.
 void ZScoreColsInPlace(Matrix& m);
@@ -36,12 +36,13 @@ Matrix RowCovariance(const Matrix& m);
 /// Pearson correlation matrix of the rows of `m` (variables x observations
 /// layout). Rows with zero variance correlate 0 with everything and 1 with
 /// themselves. This is the connectome kernel: rows are region time series.
-Matrix RowCorrelation(const Matrix& m);
+Matrix RowCorrelation(const Matrix& m, const ParallelContext& ctx = {});
 
 /// Pearson correlation between every column of `a` and every column of `b`
 /// (both feature-major: features x items). Result is a.cols() x b.cols().
 /// This is the cross-dataset similarity matrix of the attack.
-Matrix ColumnCrossCorrelation(const Matrix& a, const Matrix& b);
+Matrix ColumnCrossCorrelation(const Matrix& a, const Matrix& b,
+                              const ParallelContext& ctx = {});
 
 }  // namespace neuroprint::linalg
 

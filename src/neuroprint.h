@@ -14,6 +14,7 @@
 #include "util/status.h"         // Status / Result<T> error handling.
 #include "util/stopwatch.h"      // Wall-clock timing.
 #include "util/string_util.h"    // StrFormat and friends.
+#include "util/thread_pool.h"    // Deterministic ParallelFor / thread knob.
 
 // Dense linear algebra.
 #include "linalg/cholesky.h"     // SPD factorization and solves.

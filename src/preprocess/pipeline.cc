@@ -9,51 +9,66 @@
 namespace neuroprint::preprocess {
 namespace {
 
-// Mean intensity across brain voxels over the whole run.
-double GrandMean(const image::Volume4D& run, const image::Mask& mask) {
+// Per-frame sum and brain-voxel count; the building block for both the
+// grand mean and the global signal, parallel over frames.
+struct FrameSum {
   double sum = 0.0;
   std::size_t count = 0;
-  for (std::size_t t = 0; t < run.nt(); ++t) {
-    const float* vol = run.VolumePtr(t);
-    std::size_t i = 0;
-    for (std::size_t z = 0; z < run.nz(); ++z) {
-      for (std::size_t y = 0; y < run.ny(); ++y) {
-        for (std::size_t x = 0; x < run.nx(); ++x, ++i) {
-          if (mask.at(x, y, z)) {
-            sum += static_cast<double>(vol[i]);
-            ++count;
-          }
+};
+
+FrameSum SumFrame(const image::Volume4D& run, const image::Mask& mask,
+                  std::size_t t) {
+  const float* vol = run.VolumePtr(t);
+  FrameSum fs;
+  std::size_t i = 0;
+  for (std::size_t z = 0; z < run.nz(); ++z) {
+    for (std::size_t y = 0; y < run.ny(); ++y) {
+      for (std::size_t x = 0; x < run.nx(); ++x, ++i) {
+        if (mask.at(x, y, z)) {
+          fs.sum += static_cast<double>(vol[i]);
+          ++fs.count;
         }
       }
     }
   }
-  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  return fs;
 }
 
-// Mean brain-voxel intensity per frame: the global signal.
-std::vector<double> GlobalSignal(const image::Volume4D& run,
-                                 const image::Mask& mask) {
-  std::vector<double> global(run.nt(), 0.0);
-  std::size_t count = 0;
-  for (std::size_t t = 0; t < run.nt(); ++t) {
-    const float* vol = run.VolumePtr(t);
-    double sum = 0.0;
-    std::size_t frame_count = 0;
-    std::size_t i = 0;
-    for (std::size_t z = 0; z < run.nz(); ++z) {
-      for (std::size_t y = 0; y < run.ny(); ++y) {
-        for (std::size_t x = 0; x < run.nx(); ++x, ++i) {
-          if (mask.at(x, y, z)) {
-            sum += static_cast<double>(vol[i]);
-            ++frame_count;
-          }
+// Mean intensity across brain voxels over the whole run. Per-frame sums
+// combine in frame order, so the result is thread-count-invariant.
+double GrandMean(const image::Volume4D& run, const image::Mask& mask,
+                 const ParallelContext& ctx) {
+  const FrameSum total = ParallelReduce(
+      ctx, 0, run.nt(), 1, FrameSum{},
+      [&](std::size_t t_lo, std::size_t t_hi) {
+        FrameSum fs;
+        for (std::size_t t = t_lo; t < t_hi; ++t) {
+          const FrameSum frame = SumFrame(run, mask, t);
+          fs.sum += frame.sum;
+          fs.count += frame.count;
         }
-      }
+        return fs;
+      },
+      [](FrameSum acc, FrameSum part) {
+        acc.sum += part.sum;
+        acc.count += part.count;
+        return acc;
+      });
+  return total.count > 0 ? total.sum / static_cast<double>(total.count) : 0.0;
+}
+
+// Mean brain-voxel intensity per frame: the global signal. Frames are
+// independent, so the parallel loop is bitwise-identical to the serial one.
+std::vector<double> GlobalSignal(const image::Volume4D& run,
+                                 const image::Mask& mask,
+                                 const ParallelContext& ctx) {
+  std::vector<double> global(run.nt(), 0.0);
+  ParallelFor(ctx, 0, run.nt(), 1, [&](std::size_t t_lo, std::size_t t_hi) {
+    for (std::size_t t = t_lo; t < t_hi; ++t) {
+      const FrameSum fs = SumFrame(run, mask, t);
+      global[t] = fs.count > 0 ? fs.sum / static_cast<double>(fs.count) : 0.0;
     }
-    count = frame_count;
-    global[t] = frame_count > 0 ? sum / static_cast<double>(frame_count) : 0.0;
-  }
-  (void)count;
+  });
   return global;
 }
 
@@ -82,15 +97,23 @@ Status CleanRegionSeries(linalg::Matrix& series, const PipelineConfig& config,
     return Status::InvalidArgument("CleanRegionSeries: empty series matrix");
   }
 
+  // Each temporal-cleanup stage treats regions independently, so the loops
+  // parallelize per region with bitwise-identical results.
+
   // Detrend.
   if (config.detrend_degree >= 0 &&
       static_cast<std::size_t>(config.detrend_degree) < nt) {
-    for (std::size_t r = 0; r < regions; ++r) {
-      auto detrended =
-          signal::DetrendPolynomial(series.RowCopy(r), config.detrend_degree);
-      if (!detrended.ok()) return detrended.status();
-      series.SetRow(r, *detrended);
-    }
+    NP_RETURN_IF_ERROR(ParallelForStatus(
+        config.parallel, 0, regions, 1,
+        [&](std::size_t r_lo, std::size_t r_hi) -> Status {
+          for (std::size_t r = r_lo; r < r_hi; ++r) {
+            auto detrended = signal::DetrendPolynomial(series.RowCopy(r),
+                                                       config.detrend_degree);
+            if (!detrended.ok()) return detrended.status();
+            series.SetRow(r, *detrended);
+          }
+          return Status::OK();
+        }));
   }
 
   // Temporal filter.
@@ -109,11 +132,16 @@ Status CleanRegionSeries(linalg::Matrix& series, const PipelineConfig& config,
     // (the filter itself rejects cutoffs above Nyquist).
     const double nyquist = 0.5 / tr_seconds;
     if (band.high_cutoff_hz < nyquist) {
-      for (std::size_t r = 0; r < regions; ++r) {
-        auto filtered = signal::BandPassFilter(series.RowCopy(r), band);
-        if (!filtered.ok()) return filtered.status();
-        series.SetRow(r, *filtered);
-      }
+      NP_RETURN_IF_ERROR(ParallelForStatus(
+          config.parallel, 0, regions, 1,
+          [&](std::size_t r_lo, std::size_t r_hi) -> Status {
+            for (std::size_t r = r_lo; r < r_hi; ++r) {
+              auto filtered = signal::BandPassFilter(series.RowCopy(r), band);
+              if (!filtered.ok()) return filtered.status();
+              series.SetRow(r, *filtered);
+            }
+            return Status::OK();
+          }));
     }
   }
 
@@ -130,15 +158,20 @@ Status CleanRegionSeries(linalg::Matrix& series, const PipelineConfig& config,
       return Status::InvalidArgument(
           "CleanRegionSeries: global signal length mismatch");
     }
-    for (std::size_t r = 0; r < regions; ++r) {
-      auto residual = signal::RegressOut(series.RowCopy(r), global);
-      if (!residual.ok()) return residual.status();
-      series.SetRow(r, *residual);
-    }
+    NP_RETURN_IF_ERROR(ParallelForStatus(
+        config.parallel, 0, regions, 1,
+        [&](std::size_t r_lo, std::size_t r_hi) -> Status {
+          for (std::size_t r = r_lo; r < r_hi; ++r) {
+            auto residual = signal::RegressOut(series.RowCopy(r), global);
+            if (!residual.ok()) return residual.status();
+            series.SetRow(r, *residual);
+          }
+          return Status::OK();
+        }));
   }
 
   if (config.zscore_series) {
-    linalg::ZScoreRowsInPlace(series);
+    linalg::ZScoreRowsInPlace(series, config.parallel);
   }
   return Status::OK();
 }
@@ -193,10 +226,11 @@ Result<PipelineOutput> RunPipeline(const image::Volume4D& raw,
 
   // Global signal is taken after masking/smoothing, before scaling (the
   // regression is scale-invariant either way).
-  const std::vector<double> global = GlobalSignal(run, output.mask);
+  const std::vector<double> global =
+      GlobalSignal(run, output.mask, config.parallel);
 
   if (config.intensity_normalization) {
-    const double grand_mean = GrandMean(run, output.mask);
+    const double grand_mean = GrandMean(run, output.mask, config.parallel);
     if (grand_mean > 0.0) {
       const float scale =
           static_cast<float>(config.grand_mean_target / grand_mean);

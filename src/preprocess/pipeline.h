@@ -64,6 +64,10 @@ struct PipelineConfig {
   bool global_signal_regression = true;
 
   bool zscore_series = true;
+
+  /// Threads for the per-voxel and per-region stages. Never changes
+  /// results (see util/thread_pool.h), only wall-clock time.
+  ParallelContext parallel;
 };
 
 /// Preset matching the paper's resting-state processing.

@@ -310,24 +310,31 @@ Result<linalg::Matrix> CohortSimulator::SimulateRegionSeries(
 
 Result<connectome::GroupMatrix> CohortSimulator::BuildGroupMatrix(
     TaskType task, Encoding encoding, double multisite_noise_fraction) const {
-  std::vector<linalg::Vector> columns;
-  columns.reserve(config_.num_subjects);
-  for (std::size_t s = 0; s < config_.num_subjects; ++s) {
-    auto series = SimulateRegionSeries(s, task, encoding);
-    if (!series.ok()) return series.status();
-    if (multisite_noise_fraction > 0.0) {
-      Rng site_rng(ScanSeed(config_.seed, s, task, encoding, 0x517eULL));
-      NP_RETURN_IF_ERROR(
-          AddMultisiteNoise(*series, multisite_noise_fraction, site_rng));
-      NP_RETURN_IF_ERROR(
-          AddSiteEffect(*series, multisite_noise_fraction, site_rng));
-    }
-    auto conn = connectome::BuildConnectome(*series);
-    if (!conn.ok()) return conn.status();
-    auto features = connectome::VectorizeUpperTriangle(*conn);
-    if (!features.ok()) return features.status();
-    columns.push_back(std::move(features).value());
-  }
+  // Every scan derives its own generator from ScanSeed, so subjects
+  // synthesize independently in parallel, each writing its own column.
+  std::vector<linalg::Vector> columns(config_.num_subjects);
+  const Status status = ParallelForStatus(
+      config_.parallel, 0, config_.num_subjects, 1,
+      [&](std::size_t s_lo, std::size_t s_hi) -> Status {
+        for (std::size_t s = s_lo; s < s_hi; ++s) {
+          auto series = SimulateRegionSeries(s, task, encoding);
+          if (!series.ok()) return series.status();
+          if (multisite_noise_fraction > 0.0) {
+            Rng site_rng(ScanSeed(config_.seed, s, task, encoding, 0x517eULL));
+            NP_RETURN_IF_ERROR(
+                AddMultisiteNoise(*series, multisite_noise_fraction, site_rng));
+            NP_RETURN_IF_ERROR(
+                AddSiteEffect(*series, multisite_noise_fraction, site_rng));
+          }
+          auto conn = connectome::BuildConnectome(*series, config_.parallel);
+          if (!conn.ok()) return conn.status();
+          auto features = connectome::VectorizeUpperTriangle(*conn);
+          if (!features.ok()) return features.status();
+          columns[s] = std::move(features).value();
+        }
+        return Status::OK();
+      });
+  NP_RETURN_IF_ERROR(status);
   return connectome::GroupMatrix::FromFeatureColumns(columns, subject_ids_);
 }
 

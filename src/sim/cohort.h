@@ -77,6 +77,10 @@ struct CohortConfig {
   double group_strength = 0.0;
 
   std::uint64_t seed = 2026;
+
+  /// Threads for per-subject scan synthesis in BuildGroupMatrix. Scans are
+  /// independently seeded (ScanSeed), so parallel generation is exact.
+  ParallelContext parallel;
 };
 
 /// Preset approximating the HCP healthy-young-adult cohort used in the

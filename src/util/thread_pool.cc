@@ -1,0 +1,236 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <string>
+
+namespace neuroprint {
+namespace {
+
+// Set while a thread (worker or caller) is executing ParallelFor chunks;
+// nested parallel regions check it and run inline instead of re-entering
+// the pool, which would deadlock a fixed-size worker set.
+thread_local bool t_in_parallel_region = false;
+
+class ScopedParallelRegion {
+ public:
+  ScopedParallelRegion() : previous_(t_in_parallel_region) {
+    t_in_parallel_region = true;
+  }
+  ~ScopedParallelRegion() { t_in_parallel_region = previous_; }
+  ScopedParallelRegion(const ScopedParallelRegion&) = delete;
+  ScopedParallelRegion& operator=(const ScopedParallelRegion&) = delete;
+
+ private:
+  bool previous_;
+};
+
+std::size_t HardwareThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+// Process-wide override installed by SetDefaultThreadCount; 0 = unset.
+std::atomic<std::size_t>& DefaultOverride() {
+  static std::atomic<std::size_t> override{0};
+  return override;
+}
+
+std::size_t EnvThreadCount() {
+  // Latched on first use: mutating NEUROPRINT_THREADS mid-process does not
+  // retune already-running parallel code (and keeps this getenv race-free
+  // under TSan).
+  static const std::size_t count =
+      ParseThreadCount(std::getenv("NEUROPRINT_THREADS"));
+  return count;
+}
+
+}  // namespace
+
+std::size_t ParseThreadCount(const char* value) {
+  if (value == nullptr || *value == '\0') return 0;
+  std::size_t count = 0;
+  for (const char* p = value; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return 0;
+    count = count * 10 + static_cast<std::size_t>(*p - '0');
+    if (count > kMaxThreadCount) return kMaxThreadCount;
+  }
+  return count;
+}
+
+std::size_t DefaultThreadCount() {
+  const std::size_t forced = DefaultOverride().load(std::memory_order_relaxed);
+  if (forced != 0) return std::min(forced, kMaxThreadCount);
+  const std::size_t env = EnvThreadCount();
+  if (env != 0) return env;
+  return std::min(HardwareThreadCount(), kMaxThreadCount);
+}
+
+void SetDefaultThreadCount(std::size_t num_threads) {
+  DefaultOverride().store(num_threads, std::memory_order_relaxed);
+}
+
+ScopedDefaultThreadCount::ScopedDefaultThreadCount(std::size_t num_threads)
+    : previous_(DefaultOverride().load(std::memory_order_relaxed)),
+      engaged_(num_threads != 0) {
+  if (engaged_) SetDefaultThreadCount(num_threads);
+}
+
+ScopedDefaultThreadCount::~ScopedDefaultThreadCount() {
+  if (engaged_) SetDefaultThreadCount(previous_);
+}
+
+std::size_t ResolveThreadCount(const ParallelContext& ctx) {
+  const std::size_t requested =
+      ctx.num_threads != 0 ? ctx.num_threads : DefaultThreadCount();
+  return std::max<std::size_t>(1, std::min(requested, kMaxThreadCount));
+}
+
+ThreadPool::ThreadPool(std::size_t num_workers) {
+  workers_.reserve(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool ThreadPool::InParallelRegion() { return t_in_parallel_region; }
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  wake_cv_.notify_one();
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t max_runners) {
+  if (end <= begin) return;
+  const std::size_t g = grain == 0 ? 1 : grain;
+  const std::size_t num_chunks = (end - begin + g - 1) / g;
+
+  // Shared state for one loop. Runners pull chunk indices from `next`;
+  // which runner executes a chunk never affects what the chunk computes,
+  // so dynamic chunk-claiming keeps both determinism and load balance.
+  struct LoopState {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> remaining;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::mutex error_mutex;
+    std::size_t error_chunk = static_cast<std::size_t>(-1);
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<LoopState>();
+  state->remaining.store(num_chunks, std::memory_order_relaxed);
+
+  auto run_chunks = [state, begin, end, g, &fn] {
+    ScopedParallelRegion region;
+    for (;;) {
+      const std::size_t chunk =
+          state->next.fetch_add(1, std::memory_order_relaxed);
+      const std::size_t lo = begin + chunk * g;
+      if (lo >= end) break;
+      const std::size_t hi = end - lo <= g ? end : lo + g;
+      try {
+        fn(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->error_mutex);
+        if (chunk < state->error_chunk) {
+          state->error_chunk = chunk;
+          state->error = std::current_exception();
+        }
+      }
+      if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(state->done_mutex);
+        state->done_cv.notify_all();
+      }
+    }
+  };
+
+  std::size_t runners =
+      max_runners == 0 ? workers_.size() + 1 : std::min(max_runners,
+                                                        workers_.size() + 1);
+  runners = std::min(runners, num_chunks);
+  // The caller is always one runner; enqueue the rest.
+  for (std::size_t i = 1; i < runners; ++i) {
+    Submit(run_chunks);
+  }
+  run_chunks();
+
+  // Chunks may still be running on workers after the caller runs dry.
+  {
+    std::unique_lock<std::mutex> lock(state->done_mutex);
+    state->done_cv.wait(lock, [&state] {
+      return state->remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+namespace internal {
+namespace {
+
+// The lazily-created shared pool. Grown (recreated) under the mutex when a
+// caller asks for more threads than it has; in-flight loops keep the old
+// pool alive through their shared_ptr.
+std::mutex& SharedPoolMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::shared_ptr<ThreadPool>& SharedPoolSlot() {
+  static std::shared_ptr<ThreadPool> pool;
+  return pool;
+}
+
+std::shared_ptr<ThreadPool> SharedPool(std::size_t min_workers) {
+  std::lock_guard<std::mutex> lock(SharedPoolMutex());
+  std::shared_ptr<ThreadPool>& slot = SharedPoolSlot();
+  if (slot == nullptr || slot->num_workers() < min_workers) {
+    slot = std::make_shared<ThreadPool>(min_workers);
+  }
+  return slot;
+}
+
+}  // namespace
+
+void PooledParallelFor(
+    std::size_t num_threads, std::size_t begin, std::size_t end,
+    std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  // num_threads includes the calling thread.
+  const std::shared_ptr<ThreadPool> pool = SharedPool(num_threads - 1);
+  pool->ParallelFor(begin, end, grain, fn, num_threads);
+}
+
+}  // namespace internal
+}  // namespace neuroprint

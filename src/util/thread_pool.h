@@ -1,0 +1,229 @@
+// Deterministic data parallelism for the attack hot paths.
+//
+// The central primitive is ParallelFor(ctx, begin, end, grain, fn): the
+// index range [begin, end) is split into fixed chunks of `grain` indices
+// and fn(chunk_begin, chunk_end) runs once per chunk, possibly on worker
+// threads. Determinism contract:
+//
+//   * Chunk boundaries depend only on (begin, end, grain) — never on the
+//     thread count. Grain sizes must themselves be pure functions of the
+//     problem shape (use GrainForWork).
+//   * Each chunk writes only its own disjoint slice of the output; the
+//     thread count decides which worker executes a chunk, never what the
+//     chunk computes.
+//   * Reductions (ParallelReduce, ParallelForStatus) combine per-chunk
+//     partials in ascending chunk order on the calling thread.
+//
+// Together these make every parallelized kernel produce bitwise-identical
+// results for 1, 2, or 64 threads — the property the `concurrency` test
+// tier asserts — and, because the parallel kernels preserve the serial
+// per-element operation order, identical to the original serial code.
+//
+// Thread-count resolution: ParallelContext{n} pins a call site to n
+// threads; n == 0 defers to SetDefaultThreadCount(), then the
+// NEUROPRINT_THREADS environment variable, then the hardware concurrency.
+// Nested ParallelFor calls (from inside a chunk) run inline on the calling
+// worker, so composed parallel kernels cannot deadlock the fixed-size pool.
+
+#ifndef NEUROPRINT_UTIL_THREAD_POOL_H_
+#define NEUROPRINT_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace neuroprint {
+
+/// Per-call parallelism knob, embedded in the public configs
+/// (PipelineConfig, CohortConfig, AttackOptions, ...).
+struct ParallelContext {
+  /// Maximum threads (including the calling thread) a parallel region may
+  /// use. 0 defers to the process default (SetDefaultThreadCount /
+  /// NEUROPRINT_THREADS / hardware concurrency). The value never changes
+  /// results, only wall-clock time.
+  std::size_t num_threads = 0;
+};
+
+/// Hard cap on any resolved thread count (keeps a typo'd
+/// NEUROPRINT_THREADS=1e9 from spawning a thread per feature).
+constexpr std::size_t kMaxThreadCount = 256;
+
+/// Parses a thread-count string ("8"). Returns 0 for absent/invalid/zero
+/// values (meaning "use the hardware default"); counts above
+/// kMaxThreadCount clamp to it. Exposed for tests.
+std::size_t ParseThreadCount(const char* value);
+
+/// The process-wide default used when ParallelContext::num_threads == 0:
+/// the SetDefaultThreadCount override if set, else NEUROPRINT_THREADS,
+/// else std::thread::hardware_concurrency() (at least 1).
+std::size_t DefaultThreadCount();
+
+/// Overrides DefaultThreadCount() for the process (0 clears the override).
+/// Benches use this for their --threads flag; prefer per-call
+/// ParallelContext in library code.
+void SetDefaultThreadCount(std::size_t num_threads);
+
+/// RAII override of the process default; restores the previous override on
+/// destruction. Passing 0 keeps the current setting (no-op guard).
+class ScopedDefaultThreadCount {
+ public:
+  explicit ScopedDefaultThreadCount(std::size_t num_threads);
+  ~ScopedDefaultThreadCount();
+  ScopedDefaultThreadCount(const ScopedDefaultThreadCount&) = delete;
+  ScopedDefaultThreadCount& operator=(const ScopedDefaultThreadCount&) = delete;
+
+ private:
+  std::size_t previous_;
+  bool engaged_;
+};
+
+/// The thread count a context resolves to (>= 1, <= kMaxThreadCount).
+std::size_t ResolveThreadCount(const ParallelContext& ctx);
+
+/// Work (in inner-loop iterations, roughly FLOPs) one chunk should carry
+/// so that scheduling overhead stays negligible next to the chunk body.
+constexpr std::size_t kGrainTargetWork = std::size_t{1} << 16;
+
+/// Chunk size (in items) for items costing `work_per_item` inner
+/// iterations each: a pure function of the problem shape, so chunk
+/// boundaries are thread-count-invariant.
+inline std::size_t GrainForWork(std::size_t work_per_item) {
+  const std::size_t w = work_per_item == 0 ? 1 : work_per_item;
+  const std::size_t grain = kGrainTargetWork / w;
+  return grain == 0 ? 1 : grain;
+}
+
+/// Fixed-size worker pool. Most code should use the free ParallelFor /
+/// ParallelReduce functions (which share one lazily-grown process pool);
+/// the class is public for tests and special-purpose pools.
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` worker threads (0 is valid: every ParallelFor
+  /// then runs inline on the caller).
+  explicit ThreadPool(std::size_t num_workers);
+
+  /// Drains queued work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_workers() const { return workers_.size(); }
+
+  /// Runs fn(chunk_begin, chunk_end) for every grain-sized chunk of
+  /// [begin, end), on at most `max_runners` threads (0 = workers + the
+  /// calling thread, which always participates). Blocks until every chunk
+  /// ran. If chunks throw, the exception from the lowest-indexed throwing
+  /// chunk is rethrown after all chunks completed.
+  void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                   const std::function<void(std::size_t, std::size_t)>& fn,
+                   std::size_t max_runners = 0);
+
+  /// True while the calling thread is executing a chunk of some
+  /// ParallelFor; nested parallel regions detect this and run inline.
+  static bool InParallelRegion();
+
+ private:
+  void WorkerLoop();
+  void Submit(std::function<void()> task);
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;
+  bool stop_ = false;
+};
+
+namespace internal {
+/// Dispatches to the shared process pool, growing it if it has fewer than
+/// `num_threads - 1` workers.
+void PooledParallelFor(std::size_t num_threads, std::size_t begin,
+                       std::size_t end, std::size_t grain,
+                       const std::function<void(std::size_t, std::size_t)>& fn);
+}  // namespace internal
+
+/// Chunked parallel loop on the shared pool (see the file comment for the
+/// determinism contract). fn(chunk_begin, chunk_end) must only touch state
+/// owned by its chunk. Runs inline when the resolved thread count is 1,
+/// the range fits one chunk, or the caller is already inside a parallel
+/// region.
+template <typename Fn>
+void ParallelFor(const ParallelContext& ctx, std::size_t begin,
+                 std::size_t end, std::size_t grain, const Fn& fn) {
+  if (end <= begin) return;
+  const std::size_t g = grain == 0 ? 1 : grain;
+  const std::size_t num_chunks = (end - begin + g - 1) / g;
+  if (num_chunks <= 1 || ThreadPool::InParallelRegion() ||
+      ResolveThreadCount(ctx) <= 1) {
+    for (std::size_t lo = begin; lo < end; lo += g) {
+      fn(lo, end - lo <= g ? end : lo + g);
+    }
+    return;
+  }
+  internal::PooledParallelFor(ResolveThreadCount(ctx), begin, end, g, fn);
+}
+
+/// ParallelFor over Status-returning chunks. All chunks run (no early
+/// exit); returns OK if every chunk succeeded, else the error of the
+/// lowest-indexed failing chunk — the same Status a serial loop that stops
+/// at the first error would produce.
+template <typename Fn>
+Status ParallelForStatus(const ParallelContext& ctx, std::size_t begin,
+                         std::size_t end, std::size_t grain, const Fn& fn) {
+  if (end <= begin) return Status::OK();
+  const std::size_t g = grain == 0 ? 1 : grain;
+  std::mutex error_mutex;
+  std::size_t error_chunk = static_cast<std::size_t>(-1);
+  Status first_error = Status::OK();
+  ParallelFor(ctx, begin, end, g,
+              [&](std::size_t chunk_begin, std::size_t chunk_end) {
+                Status status = fn(chunk_begin, chunk_end);
+                if (status.ok()) return;
+                const std::size_t chunk = (chunk_begin - begin) / g;
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (chunk < error_chunk) {
+                  error_chunk = chunk;
+                  first_error = std::move(status);
+                }
+              });
+  return first_error;
+}
+
+/// Deterministic parallel reduction: chunk_fn(chunk_begin, chunk_end)
+/// produces one partial per chunk; partials are combined with
+/// combine(acc, partial) in ascending chunk order on the calling thread,
+/// starting from `init`. Chunking (and therefore the floating-point
+/// grouping) depends only on (begin, end, grain), so the result is
+/// bitwise-identical at any thread count.
+template <typename T, typename ChunkFn, typename CombineFn>
+T ParallelReduce(const ParallelContext& ctx, std::size_t begin,
+                 std::size_t end, std::size_t grain, T init,
+                 const ChunkFn& chunk_fn, const CombineFn& combine) {
+  if (end <= begin) return init;
+  const std::size_t g = grain == 0 ? 1 : grain;
+  const std::size_t num_chunks = (end - begin + g - 1) / g;
+  std::vector<T> partials(num_chunks, init);
+  ParallelFor(ctx, 0, num_chunks, 1,
+              [&](std::size_t chunk_lo, std::size_t chunk_hi) {
+                for (std::size_t c = chunk_lo; c < chunk_hi; ++c) {
+                  const std::size_t lo = begin + c * g;
+                  partials[c] = chunk_fn(lo, end - lo <= g ? end : lo + g);
+                }
+              });
+  T acc = std::move(init);
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    acc = combine(std::move(acc), std::move(partials[c]));
+  }
+  return acc;
+}
+
+}  // namespace neuroprint
+
+#endif  // NEUROPRINT_UTIL_THREAD_POOL_H_

@@ -161,6 +161,82 @@ TEST(NoUsingNamespaceRule, FiresInHeadersOnly) {
             0);
 }
 
+TEST(NoRawThreadRule, FiresOutsideThreadPool) {
+  const std::vector<Finding> findings = LintOne(
+      "core/attack.cc",
+      "void f() { std::thread t([] {}); t.join(); }\n"
+      "void g() { std::jthread t([] {}); }\n");
+  EXPECT_EQ(CountRule(findings, "no-raw-thread"), 2);
+}
+
+TEST(NoRawThreadRule, ExemptsThreadPoolAndIgnoresLookalikes) {
+  EXPECT_EQ(CountRule(LintOne("util/thread_pool.cc",
+                              "void f() { std::thread t([] {}); t.join(); }\n"),
+                      "no-raw-thread"),
+            0);
+  EXPECT_EQ(CountRule(LintOne("util/thread_pool.h",
+                              "std::vector<std::thread> workers_;\n"),
+                      "no-raw-thread"),
+            0);
+  // this_thread, thread_local, and unqualified identifiers must not match.
+  EXPECT_EQ(CountRule(LintOne("core/knn.cc",
+                              "void f() { std::this_thread::yield(); }\n"
+                              "thread_local int tls = 0;\n"
+                              "int thread = 3;\n"),
+                      "no-raw-thread"),
+            0);
+}
+
+TEST(NoStaticLocalRule, FiresOnMutableFunctionLocal) {
+  const std::vector<Finding> findings = LintOne(
+      "core/tsne.cc",
+      "int Counter() {\n"
+      "  static int calls = 0;\n"
+      "  return ++calls;\n"
+      "}\n");
+  ASSERT_EQ(CountRule(findings, "no-static-local"), 1);
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(NoStaticLocalRule, FiresInsideLambdaBodies) {
+  EXPECT_EQ(CountRule(LintOne("core/knn.cc",
+                              "void f() {\n"
+                              "  auto fn = [] { static int hits = 0; ++hits; "
+                              "};\n"
+                              "  fn();\n"
+                              "}\n"),
+                      "no-static-local"),
+            1);
+}
+
+TEST(NoStaticLocalRule, AcceptsImmutableAndNamespaceScopeStatics) {
+  const std::string ok =
+      "static int file_scope = 0;\n"  // namespace scope: not a local
+      "namespace x {\n"
+      "static double also_file_scope = 1.0;\n"
+      "}  // namespace x\n"
+      "class C {\n"
+      "  static int member_;\n"  // static data member: not a local
+      "};\n"
+      "int f() {\n"
+      "  static const int kTable = 3;\n"
+      "  static constexpr double kPi = 3.14;\n"
+      "  static thread_local int scratch = 0;\n"
+      "  int x = static_cast<int>(kPi);\n"
+      "  static_assert(sizeof(int) >= 2);\n"
+      "  return kTable + x + scratch;\n"
+      "}\n";
+  EXPECT_EQ(CountRule(LintOne("core/attack.cc", ok), "no-static-local"), 0);
+}
+
+TEST(NoStaticLocalRule, ExemptsUtil) {
+  EXPECT_EQ(CountRule(LintOne("util/logging.cc",
+                              "int f() { static int level = 0; return "
+                              "level; }\n"),
+                      "no-static-local"),
+            0);
+}
+
 TEST(UnusedStatusRule, FiresOnceOnIgnoredResult) {
   const std::vector<SourceFile> files = {
       {"io/save.h",

@@ -1,0 +1,273 @@
+// Thread-count-invariance golden tests: every parallelized stage of the
+// attack pipeline must produce bitwise-identical output for 1, 2, and 8
+// threads (the determinism contract of util/thread_pool.h). Floating-point
+// addition is non-associative, so these tests fail loudly if any kernel's
+// chunking or accumulation order ever depends on the thread count.
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "atlas/synthetic_atlas.h"
+#include "connectome/connectome.h"
+#include "core/attack.h"
+#include "core/knn.h"
+#include "core/matcher.h"
+#include "core/tsne.h"
+#include "linalg/matrix.h"
+#include "linalg/stats.h"
+#include "preprocess/pipeline.h"
+#include "sim/cohort.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace neuroprint {
+namespace {
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+
+// Bitwise equality: EXPECT_EQ on doubles would accept 0.0 == -0.0 and
+// reject NaN == NaN; comparing the bit patterns accepts exactly "the same
+// bytes came out".
+void ExpectBitwiseEqual(const linalg::Matrix& a, const linalg::Matrix& b,
+                        const char* stage) {
+  ASSERT_EQ(a.rows(), b.rows()) << stage;
+  ASSERT_EQ(a.cols(), b.cols()) << stage;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(a.data()[i]),
+              std::bit_cast<std::uint64_t>(b.data()[i]))
+        << stage << ": element " << i << " differs (" << a.data()[i] << " vs "
+        << b.data()[i] << ")";
+  }
+}
+
+void ExpectBitwiseEqual(const linalg::Vector& a, const linalg::Vector& b,
+                        const char* stage) {
+  ASSERT_EQ(a.size(), b.size()) << stage;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(a[i]),
+              std::bit_cast<std::uint64_t>(b[i]))
+        << stage << ": element " << i;
+  }
+}
+
+linalg::Matrix RandomMatrix(std::size_t rows, std::size_t cols,
+                            std::uint64_t seed) {
+  Rng rng(seed);
+  linalg::Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = rng.Gaussian();
+  }
+  // A few exact zeros exercise the == 0.0 skip paths of the kernels.
+  m(0, 0) = 0.0;
+  m(rows / 2, cols / 2) = 0.0;
+  return m;
+}
+
+TEST(ParallelInvarianceTest, GemmKernels) {
+  const linalg::Matrix a = RandomMatrix(67, 33, 11);
+  const linalg::Matrix b = RandomMatrix(33, 41, 12);
+  const linalg::Matrix c = RandomMatrix(67, 33, 13);
+  const linalg::Vector x = RandomMatrix(33, 1, 14).ColCopy(0);
+  const linalg::Matrix mul1 = linalg::MatMul(a, b, ParallelContext{1});
+  const linalg::Matrix tmul1 = linalg::MatTMul(a, c, ParallelContext{1});
+  const linalg::Matrix mult1 = linalg::MatMulT(a, c, ParallelContext{1});
+  const linalg::Matrix gram1 = linalg::Gram(a, ParallelContext{1});
+  const linalg::Vector vec1 = linalg::MatVec(a, x, ParallelContext{1});
+  for (const std::size_t threads : kThreadCounts) {
+    const ParallelContext ctx{threads};
+    ExpectBitwiseEqual(mul1, linalg::MatMul(a, b, ctx), "MatMul");
+    ExpectBitwiseEqual(tmul1, linalg::MatTMul(a, c, ctx), "MatTMul");
+    ExpectBitwiseEqual(mult1, linalg::MatMulT(a, c, ctx), "MatMulT");
+    ExpectBitwiseEqual(gram1, linalg::Gram(a, ctx), "Gram");
+    ExpectBitwiseEqual(vec1, linalg::MatVec(a, x, ctx), "MatVec");
+  }
+}
+
+TEST(ParallelInvarianceTest, CorrelationAndZScore) {
+  const linalg::Matrix series = RandomMatrix(48, 90, 21);
+  const linalg::Matrix other = RandomMatrix(48, 17, 22);
+  const linalg::Matrix corr1 = linalg::RowCorrelation(series, ParallelContext{1});
+  const linalg::Matrix cross1 =
+      linalg::ColumnCrossCorrelation(series, other, ParallelContext{1});
+  linalg::Matrix z1 = series;
+  linalg::ZScoreRowsInPlace(z1, ParallelContext{1});
+  for (const std::size_t threads : kThreadCounts) {
+    const ParallelContext ctx{threads};
+    ExpectBitwiseEqual(corr1, linalg::RowCorrelation(series, ctx),
+                       "RowCorrelation");
+    ExpectBitwiseEqual(cross1,
+                       linalg::ColumnCrossCorrelation(series, other, ctx),
+                       "ColumnCrossCorrelation");
+    linalg::Matrix z = series;
+    linalg::ZScoreRowsInPlace(z, ctx);
+    ExpectBitwiseEqual(z1, z, "ZScoreRowsInPlace");
+  }
+}
+
+TEST(ParallelInvarianceTest, ConnectomeBuild) {
+  const linalg::Matrix series = RandomMatrix(30, 120, 31);
+  const auto conn1 = connectome::BuildConnectome(series, ParallelContext{1});
+  ASSERT_TRUE(conn1.ok());
+  for (const std::size_t threads : kThreadCounts) {
+    const auto conn = connectome::BuildConnectome(series,
+                                                  ParallelContext{threads});
+    ASSERT_TRUE(conn.ok());
+    ExpectBitwiseEqual(*conn1, *conn, "BuildConnectome");
+  }
+}
+
+linalg::Matrix CleanedSeries(const linalg::Matrix& raw, std::size_t threads) {
+  preprocess::PipelineConfig config = preprocess::RestingStateConfig();
+  config.parallel.num_threads = threads;
+  linalg::Matrix series = raw;
+  const Status status =
+      preprocess::CleanRegionSeries(series, config, /*tr_seconds=*/0.72);
+  EXPECT_TRUE(status.ok()) << status.message();
+  return series;
+}
+
+TEST(ParallelInvarianceTest, TemporalCleanup) {
+  const linalg::Matrix raw = RandomMatrix(25, 200, 41);
+  const linalg::Matrix clean1 = CleanedSeries(raw, 1);
+  for (const std::size_t threads : kThreadCounts) {
+    ExpectBitwiseEqual(clean1, CleanedSeries(raw, threads),
+                       "CleanRegionSeries");
+  }
+}
+
+Result<preprocess::PipelineOutput> RunSmallPipeline(
+    const image::Volume4D& run, const atlas::Atlas& atlas,
+    std::size_t threads) {
+  preprocess::PipelineConfig config = preprocess::RestingStateConfig();
+  config.motion_correction = false;  // Keep the voxel pass cheap.
+  config.parallel.num_threads = threads;
+  return preprocess::RunPipeline(run, atlas, config);
+}
+
+TEST(ParallelInvarianceTest, VoxelPipeline) {
+  atlas::SyntheticAtlasConfig atlas_config;
+  atlas_config.nx = 10;
+  atlas_config.ny = 10;
+  atlas_config.nz = 6;
+  atlas_config.num_regions = 8;
+  atlas_config.seed = 7;
+  const auto atlas = atlas::GenerateSyntheticAtlas(atlas_config);
+  ASSERT_TRUE(atlas.ok());
+
+  image::Volume4D run(10, 10, 6, 40);
+  Rng rng(51);
+  for (float& v : run.flat()) {
+    v = static_cast<float>(500.0 + 100.0 * rng.Gaussian());
+  }
+
+  const auto out1 = RunSmallPipeline(run, *atlas, 1);
+  ASSERT_TRUE(out1.ok());
+  for (const std::size_t threads : kThreadCounts) {
+    const auto out = RunSmallPipeline(run, *atlas, threads);
+    ASSERT_TRUE(out.ok());
+    ExpectBitwiseEqual(out1->region_series, out->region_series, "RunPipeline");
+  }
+}
+
+sim::CohortConfig SmallCohort(std::size_t threads) {
+  sim::CohortConfig config = sim::HcpLikeConfig(909);
+  config.num_subjects = 8;
+  config.num_regions = 16;
+  config.frames_override = 60;
+  config.parallel.num_threads = threads;
+  return config;
+}
+
+TEST(ParallelInvarianceTest, CohortGroupMatrix) {
+  const auto sim1 = sim::CohortSimulator::Create(SmallCohort(1));
+  ASSERT_TRUE(sim1.ok());
+  const auto group1 =
+      sim1->BuildGroupMatrix(sim::TaskType::kRest, sim::Encoding::kLeftRight);
+  ASSERT_TRUE(group1.ok());
+  for (const std::size_t threads : kThreadCounts) {
+    const auto sim = sim::CohortSimulator::Create(SmallCohort(threads));
+    ASSERT_TRUE(sim.ok());
+    const auto group =
+        sim->BuildGroupMatrix(sim::TaskType::kRest, sim::Encoding::kLeftRight);
+    ASSERT_TRUE(group.ok());
+    ExpectBitwiseEqual(group1->data(), group->data(), "BuildGroupMatrix");
+  }
+}
+
+TEST(ParallelInvarianceTest, EndToEndAttack) {
+  // Fit on the LR session, identify the RL session — the whole Figure 3
+  // workflow — with the thread count varied through AttackOptions.
+  const auto sim = sim::CohortSimulator::Create(SmallCohort(0));
+  ASSERT_TRUE(sim.ok());
+  const auto known =
+      sim->BuildGroupMatrix(sim::TaskType::kRest, sim::Encoding::kLeftRight);
+  const auto anonymous =
+      sim->BuildGroupMatrix(sim::TaskType::kRest, sim::Encoding::kRightLeft);
+  ASSERT_TRUE(known.ok() && anonymous.ok());
+
+  core::AttackOptions options1;
+  options1.num_features = 40;
+  options1.parallel.num_threads = 1;
+  const auto attack1 = core::DeanonymizationAttack::Fit(*known, options1);
+  ASSERT_TRUE(attack1.ok());
+  const auto result1 = attack1->Identify(*anonymous);
+  ASSERT_TRUE(result1.ok());
+
+  for (const std::size_t threads : kThreadCounts) {
+    core::AttackOptions options = options1;
+    options.parallel.num_threads = threads;
+    const auto attack = core::DeanonymizationAttack::Fit(*known, options);
+    ASSERT_TRUE(attack.ok());
+    const auto result = attack->Identify(*anonymous);
+    ASSERT_TRUE(result.ok());
+    ExpectBitwiseEqual(result1->similarity, result->similarity,
+                       "Identify similarity");
+    EXPECT_EQ(result1->predicted_index, result->predicted_index);
+    EXPECT_EQ(result1->predicted_ids, result->predicted_ids);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(result1->accuracy),
+              std::bit_cast<std::uint64_t>(result->accuracy));
+  }
+}
+
+TEST(ParallelInvarianceTest, TsneEmbedding) {
+  const linalg::Matrix points = RandomMatrix(24, 12, 61);
+  core::TsneOptions options;
+  options.perplexity = 5.0;
+  options.max_iterations = 60;
+
+  ScopedDefaultThreadCount baseline(1);
+  const auto embed1 = core::TsneEmbed(points, options);
+  ASSERT_TRUE(embed1.ok());
+  for (const std::size_t threads : kThreadCounts) {
+    ScopedDefaultThreadCount scoped(threads);
+    const auto embed = core::TsneEmbed(points, options);
+    ASSERT_TRUE(embed.ok());
+    ExpectBitwiseEqual(embed1->embedding, embed->embedding, "TsneEmbed");
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(embed1->kl_divergence),
+              std::bit_cast<std::uint64_t>(embed->kl_divergence));
+  }
+}
+
+TEST(ParallelInvarianceTest, KnnClassification) {
+  const linalg::Matrix train = RandomMatrix(60, 5, 71);
+  const linalg::Matrix queries = RandomMatrix(23, 5, 72);
+  std::vector<int> labels(60);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<int>(i % 4);
+  }
+  const auto pred1 =
+      core::KnnClassify(train, labels, queries, 3, ParallelContext{1});
+  ASSERT_TRUE(pred1.ok());
+  for (const std::size_t threads : kThreadCounts) {
+    const auto pred = core::KnnClassify(train, labels, queries, 3,
+                                        ParallelContext{threads});
+    ASSERT_TRUE(pred.ok());
+    EXPECT_EQ(*pred1, *pred);
+  }
+}
+
+}  // namespace
+}  // namespace neuroprint

@@ -1,0 +1,263 @@
+// Unit tests for util/thread_pool.h: chunk coverage and thread-count
+// invariance of the chunking itself, nested regions, exception and Status
+// propagation, oversubscription, and the NEUROPRINT_THREADS resolution
+// chain. These carry the `concurrency` ctest label, so the TSan tier runs
+// them with real worker threads.
+
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace neuroprint {
+namespace {
+
+// Chunk boundaries recorded by one ParallelFor run, sorted by begin.
+std::vector<std::pair<std::size_t, std::size_t>> RecordChunks(
+    const ParallelContext& ctx, std::size_t begin, std::size_t end,
+    std::size_t grain) {
+  std::mutex mutex;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  ParallelFor(ctx, begin, end, grain, [&](std::size_t lo, std::size_t hi) {
+    std::lock_guard<std::mutex> lock(mutex);
+    chunks.emplace_back(lo, hi);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  return chunks;
+}
+
+TEST(ParallelForTest, ZeroLengthRangeRunsNothing) {
+  std::atomic<int> calls{0};
+  ParallelFor(ParallelContext{4}, 5, 5, 2,
+              [&](std::size_t, std::size_t) { calls.fetch_add(1); });
+  ParallelFor(ParallelContext{4}, 7, 3, 2,
+              [&](std::size_t, std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, ZeroGrainBehavesAsGrainOne) {
+  const auto chunks = RecordChunks(ParallelContext{2}, 0, 3, 0);
+  ASSERT_EQ(chunks.size(), 3u);
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(chunks[c].first, c);
+    EXPECT_EQ(chunks[c].second, c + 1);
+  }
+}
+
+TEST(ParallelForTest, ChunksCoverRangeExactlyOnce) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    std::vector<std::atomic<int>> hits(103);
+    ParallelFor(ParallelContext{threads}, 3, 103, 7,
+                [&](std::size_t lo, std::size_t hi) {
+                  for (std::size_t i = lo; i < hi; ++i) {
+                    hits[i].fetch_add(1);
+                  }
+                });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), i >= 3 ? 1 : 0) << "index " << i;
+    }
+  }
+}
+
+TEST(ParallelForTest, ChunkBoundariesAreThreadCountInvariant) {
+  const auto serial = RecordChunks(ParallelContext{1}, 2, 57, 5);
+  const auto threaded = RecordChunks(ParallelContext{8}, 2, 57, 5);
+  EXPECT_EQ(serial, threaded);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial.front().first, 2u);
+  EXPECT_EQ(serial.back().second, 57u);
+}
+
+TEST(ParallelForTest, OversubscriptionCompletes) {
+  // Far more runners than cores (this host may have a single core): all
+  // chunks must still run exactly once.
+  std::atomic<std::size_t> sum{0};
+  ParallelFor(ParallelContext{32}, 0, 1000, 1,
+              [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t i = lo; i < hi; ++i) sum.fetch_add(i);
+              });
+  EXPECT_EQ(sum.load(), 1000u * 999u / 2);
+}
+
+TEST(ParallelForTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  std::atomic<int> inner_calls{0};
+  ParallelFor(ParallelContext{4}, 0, 8, 1, [&](std::size_t, std::size_t) {
+    EXPECT_TRUE(ThreadPool::InParallelRegion());
+    // The nested loop must run (inline) rather than deadlock on the pool.
+    ParallelFor(ParallelContext{4}, 0, 4, 1,
+                [&](std::size_t, std::size_t) { inner_calls.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_calls.load(), 8 * 4);
+  EXPECT_FALSE(ThreadPool::InParallelRegion());
+}
+
+TEST(ParallelForTest, PropagatesLowestChunkException) {
+  try {
+    ParallelFor(ParallelContext{4}, 0, 16, 1,
+                [&](std::size_t lo, std::size_t) {
+                  if (lo == 3 || lo == 11) {
+                    throw std::runtime_error("chunk " + std::to_string(lo));
+                  }
+                });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk 3");
+  }
+}
+
+TEST(ParallelForTest, AllChunksRunEvenWhenOneThrows) {
+  std::atomic<int> calls{0};
+  EXPECT_THROW(ParallelFor(ParallelContext{4}, 0, 12, 1,
+                           [&](std::size_t lo, std::size_t) {
+                             calls.fetch_add(1);
+                             if (lo == 0) throw std::runtime_error("boom");
+                           }),
+               std::runtime_error);
+  EXPECT_EQ(calls.load(), 12);
+}
+
+TEST(ParallelForStatusTest, ReturnsOkWhenAllChunksSucceed) {
+  std::atomic<int> calls{0};
+  const Status status = ParallelForStatus(
+      ParallelContext{4}, 0, 10, 3, [&](std::size_t, std::size_t) -> Status {
+        calls.fetch_add(1);
+        return Status::OK();
+      });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls.load(), 4);  // ceil(10 / 3)
+}
+
+TEST(ParallelForStatusTest, LowestChunkErrorWins) {
+  const Status status = ParallelForStatus(
+      ParallelContext{4}, 0, 16, 2, [&](std::size_t lo, std::size_t) -> Status {
+        if (lo >= 6) {
+          return Status::Internal("chunk starting at " + std::to_string(lo));
+        }
+        return Status::OK();
+      });
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("chunk starting at 6"), std::string::npos);
+}
+
+TEST(ParallelForStatusTest, EmptyRangeIsOk) {
+  EXPECT_TRUE(ParallelForStatus(ParallelContext{4}, 4, 4, 1,
+                                [](std::size_t, std::size_t) -> Status {
+                                  return Status::Internal("never runs");
+                                })
+                  .ok());
+}
+
+TEST(ParallelReduceTest, SumMatchesSerialBitwise) {
+  // Pseudo-random doubles; FP addition is non-associative, so bitwise
+  // equality across thread counts demonstrates the fixed chunk grouping.
+  std::vector<double> values(1000);
+  std::uint64_t state = 42;
+  for (double& v : values) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    v = static_cast<double>(state >> 11) * 0x1.0p-53 - 0.5;
+  }
+  auto chunk_sum = [&](std::size_t lo, std::size_t hi) {
+    double s = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) s += values[i];
+    return s;
+  };
+  auto add = [](double a, double b) { return a + b; };
+  const double serial = ParallelReduce(ParallelContext{1}, 0, values.size(),
+                                       64, 0.0, chunk_sum, add);
+  const double two = ParallelReduce(ParallelContext{2}, 0, values.size(), 64,
+                                    0.0, chunk_sum, add);
+  const double eight = ParallelReduce(ParallelContext{8}, 0, values.size(), 64,
+                                      0.0, chunk_sum, add);
+  EXPECT_EQ(serial, two);
+  EXPECT_EQ(serial, eight);
+}
+
+TEST(ParallelReduceTest, EmptyRangeReturnsInit) {
+  EXPECT_EQ(ParallelReduce(
+                ParallelContext{4}, 3, 3, 1, 17,
+                [](std::size_t, std::size_t) { return 1; },
+                [](int a, int b) { return a + b; }),
+            17);
+}
+
+TEST(ThreadPoolTest, DirectUseRunsAllChunks) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_workers(), 3u);
+  std::vector<std::atomic<int>> hits(50);
+  pool.ParallelFor(0, 50, 4, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolRunsOnCaller) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 0u);
+  std::size_t sum = 0;  // No synchronization needed: caller-only.
+  pool.ParallelFor(0, 10, 3,
+                   [&](std::size_t lo, std::size_t hi) { sum += hi - lo; });
+  EXPECT_EQ(sum, 10u);
+}
+
+TEST(ParseThreadCountTest, ParsesDigitsRejectsJunk) {
+  EXPECT_EQ(ParseThreadCount(nullptr), 0u);
+  EXPECT_EQ(ParseThreadCount(""), 0u);
+  EXPECT_EQ(ParseThreadCount("8"), 8u);
+  EXPECT_EQ(ParseThreadCount("16"), 16u);
+  EXPECT_EQ(ParseThreadCount("0"), 0u);
+  EXPECT_EQ(ParseThreadCount("-2"), 0u);
+  EXPECT_EQ(ParseThreadCount("4x"), 0u);
+  EXPECT_EQ(ParseThreadCount(" 4"), 0u);
+  EXPECT_EQ(ParseThreadCount("1000000000000"), kMaxThreadCount);
+}
+
+TEST(ThreadCountTest, ResolveRespectsContextThenDefault) {
+  EXPECT_EQ(ResolveThreadCount(ParallelContext{3}), 3u);
+  EXPECT_EQ(ResolveThreadCount(ParallelContext{kMaxThreadCount + 50}),
+            kMaxThreadCount);
+  EXPECT_GE(ResolveThreadCount(ParallelContext{}), 1u);
+}
+
+TEST(ThreadCountTest, ScopedDefaultOverridesAndRestores) {
+  const std::size_t before = DefaultThreadCount();
+  {
+    ScopedDefaultThreadCount scoped(5);
+    EXPECT_EQ(DefaultThreadCount(), 5u);
+    EXPECT_EQ(ResolveThreadCount(ParallelContext{}), 5u);
+    {
+      ScopedDefaultThreadCount inner(2);
+      EXPECT_EQ(DefaultThreadCount(), 2u);
+    }
+    EXPECT_EQ(DefaultThreadCount(), 5u);
+  }
+  EXPECT_EQ(DefaultThreadCount(), before);
+}
+
+TEST(ThreadCountTest, ScopedZeroIsANoOp) {
+  const std::size_t before = DefaultThreadCount();
+  {
+    ScopedDefaultThreadCount scoped(0);
+    EXPECT_EQ(DefaultThreadCount(), before);
+  }
+  EXPECT_EQ(DefaultThreadCount(), before);
+}
+
+TEST(GrainForWorkTest, ScalesInverselyWithPerItemWork) {
+  EXPECT_EQ(GrainForWork(0), kGrainTargetWork);
+  EXPECT_EQ(GrainForWork(1), kGrainTargetWork);
+  EXPECT_EQ(GrainForWork(kGrainTargetWork), 1u);
+  EXPECT_EQ(GrainForWork(kGrainTargetWork * 10), 1u);
+  EXPECT_EQ(GrainForWork(256), kGrainTargetWork / 256);
+}
+
+}  // namespace
+}  // namespace neuroprint

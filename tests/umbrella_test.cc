@@ -11,6 +11,7 @@ namespace {
 TEST(UmbrellaHeaderTest, AllModulesReachable) {
   // One symbol per module proves the include graph is intact.
   EXPECT_TRUE(Status::OK().ok());
+  EXPECT_GE(ResolveThreadCount(ParallelContext{3}), 3u);
   EXPECT_EQ(linalg::Matrix::Identity(2)(0, 0), 1.0);
   EXPECT_TRUE(signal::IsPowerOfTwo(8));
   EXPECT_EQ(nifti::kNiftiHeaderSize, 348u);

@@ -329,6 +329,124 @@ void CheckUnusedStatus(const SourceFile& file, const std::string& sanitized,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Rule: no-raw-thread
+// ---------------------------------------------------------------------------
+
+// Raw std::thread (or std::jthread) outside util/thread_pool.* bypasses
+// the deterministic ParallelFor contract and the TSan-covered pool.
+// Token-boundary checks keep `std::this_thread` and `thread_local` from
+// matching.
+void CheckNoRawThread(const SourceFile& file, const std::string& sanitized,
+                      std::vector<Finding>* findings) {
+  if (HasPrefix(file.path, "util/thread_pool.")) return;
+  for (const char* name : {"std::thread", "std::jthread"}) {
+    const std::string token = name;
+    std::size_t pos = 0;
+    while ((pos = sanitized.find(token, pos)) != std::string::npos) {
+      const std::size_t end = pos + token.size();
+      const bool own_token =
+          (pos == 0 ||
+           (!IsIdentChar(sanitized[pos - 1]) && sanitized[pos - 1] != ':')) &&
+          (end == sanitized.size() || !IsIdentChar(sanitized[end]));
+      if (own_token) {
+        findings->push_back(
+            {file.path, LineOfOffset(sanitized, pos), "no-raw-thread",
+             "`" + token +
+                 "` outside util/thread_pool.* skips the deterministic "
+                 "ParallelFor contract; use util/thread_pool.h"});
+      }
+      pos = end;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-static-local
+// ---------------------------------------------------------------------------
+
+// Whether the token `keyword` appears as its own word in `text`.
+bool HasKeyword(const std::string& text, const std::string& keyword) {
+  std::size_t pos = 0;
+  while ((pos = text.find(keyword, pos)) != std::string::npos) {
+    const std::size_t end = pos + keyword.size();
+    if ((pos == 0 || !IsIdentChar(text[pos - 1])) &&
+        (end == text.size() || !IsIdentChar(text[end]))) {
+      return true;
+    }
+    pos = end;
+  }
+  return false;
+}
+
+// Function-local `static` data is shared mutable state — the classic data
+// race under the new thread pool — so it is banned outside util/ (which
+// owns the deliberately-shared singletons). Immutable locals (`static
+// const/constexpr/constinit`) and per-thread state (`static thread_local`)
+// are allowed.
+//
+// The scan tracks a brace-kind stack: a `{` opens a function-ish scope
+// unless the statement introducing it mentions namespace / class / struct
+// / union / enum / extern. `static` data members therefore do not trigger
+// the rule; `static` declared in template functions whose introducer
+// carries `template <class T>` is a documented blind spot.
+void CheckStaticLocals(const SourceFile& file, const std::string& sanitized,
+                       std::vector<Finding>* findings) {
+  if (HasPrefix(file.path, "util/")) return;
+  std::vector<bool> brace_is_function;
+  std::size_t function_depth = 0;
+  std::size_t stmt_start = 0;
+  for (std::size_t i = 0; i < sanitized.size(); ++i) {
+    const char c = sanitized[i];
+    if (c == ';') {
+      stmt_start = i + 1;
+    } else if (c == '{') {
+      const std::string intro = sanitized.substr(stmt_start, i - stmt_start);
+      bool is_type_scope = false;
+      for (const char* kw :
+           {"namespace", "class", "struct", "union", "enum", "extern"}) {
+        if (HasKeyword(intro, kw)) {
+          is_type_scope = true;
+          break;
+        }
+      }
+      brace_is_function.push_back(!is_type_scope);
+      if (!is_type_scope) ++function_depth;
+      stmt_start = i + 1;
+    } else if (c == '}') {
+      if (!brace_is_function.empty()) {
+        if (brace_is_function.back()) --function_depth;
+        brace_is_function.pop_back();
+      }
+      stmt_start = i + 1;
+    } else if (c == 's' && function_depth > 0 &&
+               sanitized.compare(i, 6, "static") == 0) {
+      const bool own_token =
+          (i == 0 || !IsIdentChar(sanitized[i - 1])) &&
+          (i + 6 == sanitized.size() || !IsIdentChar(sanitized[i + 6]));
+      if (!own_token) continue;  // static_cast, static_assert, my_static...
+      std::size_t after = i + 6;
+      while (after < sanitized.size() &&
+             std::isspace(static_cast<unsigned char>(sanitized[after])) != 0) {
+        ++after;
+      }
+      std::size_t word_end = after;
+      while (word_end < sanitized.size() && IsIdentChar(sanitized[word_end])) {
+        ++word_end;
+      }
+      const std::string next = sanitized.substr(after, word_end - after);
+      if (next != "const" && next != "constexpr" && next != "constinit" &&
+          next != "thread_local") {
+        findings->push_back(
+            {file.path, LineOfOffset(sanitized, i), "no-static-local",
+             "`static` mutable local is shared state and a data race under "
+             "ParallelFor; pass state explicitly or move it to util/"});
+      }
+      i += 5;
+    }
+  }
+}
+
 }  // namespace
 
 std::string Finding::ToString() const {
@@ -438,6 +556,9 @@ std::vector<Finding> LintFile(const SourceFile& file,
                     "message; use NP_CHECK or Status",
                     &findings);
   }
+
+  CheckNoRawThread(file, sanitized, &findings);
+  CheckStaticLocals(file, sanitized, &findings);
 
   CheckUnusedStatus(file, sanitized, status_functions, &findings);
   return findings;

@@ -9,6 +9,8 @@
 //   dcheck-side-effect  NP_DCHECK args must not mutate state
 //   no-using-namespace  headers never `using namespace`
 //   unused-status       bare `Foo(...);` calls to Status-returning functions
+//   no-raw-thread       std::thread only in util/thread_pool.*
+//   no-static-local     no `static` mutable locals outside util/
 //
 // The checker is textual: it strips comments and string literals, then
 // scans tokens. That keeps it dependency-free (no libclang in the image)
