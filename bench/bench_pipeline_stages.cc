@@ -8,6 +8,7 @@
 // run twice — once at 1 thread as the baseline, once at N — and the
 // per-stage speedup is reported; outputs are bitwise-identical across
 // thread counts (see util/thread_pool.h), so only the times differ.
+// `--json=PATH` additionally emits the per-stage records as JSON.
 
 #include <cstdio>
 #include <string>
@@ -50,6 +51,7 @@ std::vector<std::pair<std::string, double>> TimeStages(
 
 int main(int argc, char** argv) {
   const std::size_t flag_threads = bench::ParseThreadsFlag(&argc, argv);
+  const std::string json_path = bench::ParseJsonFlag(&argc, argv);
   const std::size_t threads = ResolveThreadCount(
       ParallelContext{flag_threads});
 
@@ -102,6 +104,7 @@ int main(int argc, char** argv) {
   }
 
   CsvWriter csv;
+  bench::JsonReporter json;
   csv.SetHeader({"stage", "seconds_1thread",
                  StrFormat("seconds_%zuthreads", threads), "speedup",
                  "percent_of_total"});
@@ -118,9 +121,15 @@ int main(int argc, char** argv) {
     csv.AddRow({stage, StrFormat("%.4f", sec_1t), StrFormat("%.4f", sec_nt),
                 StrFormat("%.2f", speedup),
                 StrFormat("%.1f", 100.0 * sec_nt / total_nt)});
+    json.BeginRecord(stage);
+    json.AddField("threads", static_cast<double>(threads));
+    json.AddField("seconds_1thread", sec_1t);
+    json.AddField("seconds_nthreads", sec_nt);
+    json.AddField("speedup", speedup);
   }
   std::printf("%-26s %12.3f %12.3f %7.2fx %7s\n", "TOTAL", total_1t, total_nt,
               total_nt > 0.0 ? total_1t / total_nt : 0.0, "100%");
   bench::WriteCsvOrDie(csv, "fig4_pipeline_stages.csv");
+  bench::WriteJsonOrDie(json, json_path);
   return 0;
 }

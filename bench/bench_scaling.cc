@@ -6,9 +6,19 @@
 // `--threads=N` (stripped before google-benchmark sees the flags) sets
 // the worker count for the parallelized kernels and prints a
 // speedup-vs-1-thread table for the two gemm-bound kernels before the
-// microbenchmark suite runs.
+// microbenchmark suite runs. Before that, two single-thread comparison
+// tables quantify this repo's kernel work: the tiled GEMM micro-kernels
+// against the pre-tiling naive triple loops (kept here as baselines), and
+// sketched leverage scoring against the exact decomposition paths. Pass
+// `--json=PATH` to also emit those comparisons as a JSON record array
+// (the committed BENCH_gemm.json); a CSV lands next to the binary either
+// way.
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "connectome/connectome.h"
@@ -16,9 +26,11 @@
 #include "core/matcher.h"
 #include "core/row_sampling.h"
 #include "core/tsne.h"
+#include "linalg/matrix.h"
 #include "linalg/stats.h"
 #include "linalg/svd.h"
 #include "signal/filters.h"
+#include "util/check.h"
 #include "util/random.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -136,7 +148,211 @@ BENCHMARK(BM_TsneIterations)
     ->Arg(400)
     ->Unit(benchmark::kMillisecond);
 
+// Pre-tiling GEMM baselines: the serial form of the exact loops
+// src/linalg/matrix.cc shipped immediately before the micro-kernel layer
+// (per-output-row accumulation with zero-skips and the Gram symmetry
+// trick), kept here so the comparison measures the tiling win against the
+// real predecessor rather than a strawman.
+linalg::Matrix NaiveMatMul(const linalg::Matrix& a, const linalg::Matrix& b) {
+  linalg::Matrix out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) out(i, j) += aik * b(k, j);
+    }
+  }
+  return out;
+}
+
+linalg::Matrix NaiveMatTMul(const linalg::Matrix& a, const linalg::Matrix& b) {
+  linalg::Matrix out(a.cols(), b.cols());
+  for (std::size_t i = 0; i < a.cols(); ++i) {
+    for (std::size_t k = 0; k < a.rows(); ++k) {
+      const double aki = a(k, i);
+      if (aki == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) out(i, j) += aki * b(k, j);
+    }
+  }
+  return out;
+}
+
+linalg::Matrix NaiveGram(const linalg::Matrix& a) {
+  linalg::Matrix out(a.cols(), a.cols());
+  for (std::size_t i = 0; i < a.cols(); ++i) {
+    for (std::size_t k = 0; k < a.rows(); ++k) {
+      const double aki = a(k, i);
+      if (aki == 0.0) continue;
+      for (std::size_t j = i; j < a.cols(); ++j) out(i, j) += aki * a(k, j);
+    }
+  }
+  for (std::size_t i = 0; i < a.cols(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) out(i, j) = out(j, i);
+  }
+  return out;
+}
+
+// Tall group matrix whose identity signature is carried by a planted set
+// of high-leverage rows with ramped boosts — the concentrated-leverage
+// regime the attack targets. Mirrors the construction validated in
+// core_attack_test.cc.
+linalg::Matrix PlantedGroupMatrix(std::size_t rows, std::size_t cols,
+                                  std::size_t num_planted,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  linalg::Matrix a(rows, cols);
+  linalg::Matrix u(rows, 10);
+  linalg::Matrix v(cols, 10);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) a(i, j) = rng.Gaussian();
+  }
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t t = 0; t < 10; ++t) u(i, t) = rng.Gaussian();
+  }
+  for (std::size_t j = 0; j < cols; ++j) {
+    for (std::size_t t = 0; t < 10; ++t) v(j, t) = rng.Gaussian();
+  }
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      double s = 0.0;
+      for (std::size_t t = 0; t < 10; ++t) {
+        s += u(i, t) * v(j, t) / static_cast<double>(1 + t);
+      }
+      a(i, j) = 0.5 * a(i, j) + s;
+    }
+  }
+  std::vector<std::size_t> planted = rng.Permutation(rows);
+  planted.resize(num_planted);
+  for (std::size_t p = 0; p < num_planted; ++p) {
+    const double boost = 10.0 - 8.0 * static_cast<double>(p) /
+                                    static_cast<double>(num_planted - 1);
+    for (std::size_t j = 0; j < cols; ++j) a(planted[p], j) *= boost;
+  }
+  return a;
+}
+
+double TopOverlapFraction(const linalg::Vector& x, const linalg::Vector& y,
+                          std::size_t t) {
+  auto tx = core::TopKIndices(x, t);
+  auto ty = core::TopKIndices(y, t);
+  std::sort(tx.begin(), tx.end());
+  std::sort(ty.begin(), ty.end());
+  std::vector<std::size_t> both;
+  std::set_intersection(tx.begin(), tx.end(), ty.begin(), ty.end(),
+                        std::back_inserter(both));
+  return static_cast<double>(both.size()) / static_cast<double>(t);
+}
+
 }  // namespace
+
+// Single-thread comparison of the tiled GEMM micro-kernels against the
+// pre-tiling naive loops, and of sketched leverage scoring against the
+// exact decomposition paths, at the paper's 64620 x 100 group-matrix
+// shape (shrunk under NEUROPRINT_BENCH_FAST). Results go to stdout, to
+// scaling_kernels.csv, and — when --json was given — to the JSON report.
+void ReportKernelComparisons(bench::JsonReporter* json) {
+  const std::size_t rows = bench::FastMode() ? 6462 : 64620;
+  const std::size_t cols = 100;
+  CsvWriter csv;
+  csv.SetHeader({"kernel", "rows", "cols", "baseline_sec", "optimized_sec",
+                 "speedup", "top100_overlap"});
+  char buf[64];
+  const auto format = [&buf](double v) {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return std::string(buf);
+  };
+  const auto emit = [&](const char* name, const char* baseline_kind,
+                        double baseline_sec, double optimized_sec,
+                        double overlap) {
+    const double speedup =
+        optimized_sec > 0.0 ? baseline_sec / optimized_sec : 0.0;
+    std::printf("%-24s %11.3fs %11.3fs %7.2fx", name, baseline_sec,
+                optimized_sec, speedup);
+    if (overlap >= 0.0) std::printf("  overlap %.0f%%", 100.0 * overlap);
+    std::printf("\n");
+    csv.AddRow({name, format(static_cast<double>(rows)),
+                format(static_cast<double>(cols)), format(baseline_sec),
+                format(optimized_sec), format(speedup),
+                overlap >= 0.0 ? format(overlap) : ""});
+    if (json != nullptr) {
+      json->BeginRecord(name);
+      json->AddTextField("baseline", baseline_kind);
+      json->AddField("rows", static_cast<double>(rows));
+      json->AddField("cols", static_cast<double>(cols));
+      json->AddField("baseline_sec", baseline_sec);
+      json->AddField("optimized_sec", optimized_sec);
+      json->AddField("speedup", speedup);
+      if (overlap >= 0.0) json->AddField("top100_overlap", overlap);
+    }
+  };
+
+  ScopedDefaultThreadCount serial(1);
+  std::printf("kernel comparison (1 thread, %zu x %zu):\n", rows, cols);
+  std::printf("%-24s %12s %12s %8s\n", "kernel", "baseline s", "tiled s",
+              "speedup");
+  {
+    const linalg::Matrix a = RandomMatrix(rows, cols, 31);
+    const linalg::Matrix b = RandomMatrix(rows, cols, 32);
+    const linalg::Matrix c = RandomMatrix(cols, cols, 33);
+    Stopwatch clock;
+    auto naive = NaiveMatTMul(a, b);
+    const double naive_att = clock.ElapsedSeconds();
+    clock.Restart();
+    auto tiled = linalg::MatTMul(a, b);
+    emit("mattmul", "pre-tiling loops", naive_att, clock.ElapsedSeconds(),
+         -1.0);
+    benchmark::DoNotOptimize(naive);
+    benchmark::DoNotOptimize(tiled);
+
+    clock.Restart();
+    auto naive_gram = NaiveGram(a);
+    const double naive_g = clock.ElapsedSeconds();
+    clock.Restart();
+    auto tiled_gram = linalg::Gram(a);
+    emit("gram", "pre-tiling loops", naive_g, clock.ElapsedSeconds(), -1.0);
+    benchmark::DoNotOptimize(naive_gram);
+    benchmark::DoNotOptimize(tiled_gram);
+
+    clock.Restart();
+    auto naive_mm = NaiveMatMul(a, c);
+    const double naive_m = clock.ElapsedSeconds();
+    clock.Restart();
+    auto tiled_mm = linalg::MatMul(a, c);
+    emit("matmul", "pre-tiling loops", naive_m, clock.ElapsedSeconds(), -1.0);
+    benchmark::DoNotOptimize(naive_mm);
+    benchmark::DoNotOptimize(tiled_mm);
+  }
+  {
+    const linalg::Matrix a = PlantedGroupMatrix(rows, cols, 150, 41);
+
+    core::LeverageOptions exact;
+    exact.allow_gram_fast_path = false;
+    Stopwatch clock;
+    const auto svd_scores = core::ComputeLeverageScores(a, exact);
+    const double svd_sec = clock.ElapsedSeconds();
+    NP_CHECK(svd_scores.ok()) << svd_scores.status().ToString();
+
+    core::LeverageOptions gram;
+    clock.Restart();
+    const auto gram_scores = core::ComputeLeverageScores(a, gram);
+    const double gram_sec = clock.ElapsedSeconds();
+    NP_CHECK(gram_scores.ok()) << gram_scores.status().ToString();
+
+    core::LeverageOptions sketch;
+    sketch.sketch = true;
+    clock.Restart();
+    const auto sketch_scores = core::ComputeLeverageScores(a, sketch);
+    const double sketch_sec = clock.ElapsedSeconds();
+    NP_CHECK(sketch_scores.ok()) << sketch_scores.status().ToString();
+
+    emit("leverage_gram", "exact SVD leverage", svd_sec, gram_sec,
+         TopOverlapFraction(*svd_scores, *gram_scores, 100));
+    emit("leverage_sketch", "exact SVD leverage", svd_sec, sketch_sec,
+         TopOverlapFraction(*svd_scores, *sketch_scores, 100));
+  }
+  std::printf("\n");
+  bench::WriteCsvOrDie(csv, "scaling_kernels.csv");
+}
 
 // Times one run of `fn` at 1 thread and at `threads`, printing the
 // speedup. The kernels are deterministic across thread counts, so the
@@ -181,6 +397,10 @@ void ReportThreadScaling(std::size_t threads) {
 int main(int argc, char** argv) {
   const std::size_t flag_threads =
       neuroprint::bench::ParseThreadsFlag(&argc, argv);
+  const std::string json_path = neuroprint::bench::ParseJsonFlag(&argc, argv);
+  neuroprint::bench::JsonReporter json;
+  neuroprint::ReportKernelComparisons(&json);
+  neuroprint::bench::WriteJsonOrDie(json, json_path);
   neuroprint::ReportThreadScaling(
       neuroprint::ResolveThreadCount(neuroprint::ParallelContext{flag_threads}));
   benchmark::Initialize(&argc, argv);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <fstream>
 #include <numeric>
 
 #include "util/check.h"
@@ -98,6 +99,124 @@ std::size_t ParseThreadsFlag(int* argc, char** argv) {
   *argc = out;
   if (threads > 0) SetDefaultThreadCount(threads);
   return threads;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out += '"';
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void JsonReporter::BeginRecord(const std::string& name) {
+  records_.push_back(Record{name, {}});
+}
+
+void JsonReporter::AddField(const std::string& key, double value) {
+  NP_CHECK(!records_.empty()) << "AddField before BeginRecord";
+  std::string serialized = "null";
+  if (std::isfinite(value)) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    serialized = buf;
+  }
+  records_.back().fields.emplace_back(key, serialized);
+}
+
+void JsonReporter::AddTextField(const std::string& key,
+                                const std::string& value) {
+  NP_CHECK(!records_.empty()) << "AddTextField before BeginRecord";
+  records_.back().fields.emplace_back(key, JsonEscape(value));
+}
+
+std::string JsonReporter::ToString() const {
+  std::string out = "[\n";
+  for (std::size_t r = 0; r < records_.size(); ++r) {
+    const Record& record = records_[r];
+    out += "  {";
+    out += "\"name\": " + JsonEscape(record.name);
+    for (const auto& [key, value] : record.fields) {
+      out += ", " + JsonEscape(key) + ": " + value;
+    }
+    out += '}';
+    if (r + 1 < records_.size()) out += ',';
+    out += '\n';
+  }
+  out += "]\n";
+  return out;
+}
+
+Status JsonReporter::WriteFile(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return Status::IOError("cannot open for write: " + path);
+  const std::string contents = ToString();
+  file.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  if (!file) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+std::string ParseJsonFlag(int* argc, char** argv) {
+  constexpr const char kFlag[] = "--json=";
+  constexpr std::size_t kFlagLen = sizeof(kFlag) - 1;
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, kFlagLen) == 0) {
+      path.assign(argv[i] + kFlagLen);
+      if (path.empty()) {
+        std::fprintf(stderr, "empty path in '%s'\n", argv[i]);
+        std::exit(2);
+      }
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return path;
+}
+
+void WriteJsonOrDie(const JsonReporter& json, const std::string& path) {
+  if (path.empty()) return;
+  const Status status = json.WriteFile(path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n", path.c_str(),
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+  std::printf("\n[json written: %s]\n", path.c_str());
 }
 
 }  // namespace neuroprint::bench

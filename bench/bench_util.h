@@ -61,6 +61,47 @@ bool FastMode();
 /// hardware default).
 std::size_t ParseThreadsFlag(int* argc, char** argv);
 
+/// Accumulates flat benchmark records and serializes them as a JSON array
+/// of objects, one per record, each carrying a "name" field plus the
+/// numeric/text fields added to it. Machine-readable companion to the
+/// printed tables (BENCH_gemm.json, CI bench-smoke validation).
+class JsonReporter {
+ public:
+  /// Starts a new record; subsequent Add*Field calls attach to it.
+  void BeginRecord(const std::string& name);
+
+  /// Adds a numeric field to the current record (%.9g; non-finite values
+  /// are serialized as null, which strict JSON parsers accept).
+  void AddField(const std::string& key, double value);
+
+  /// Adds a string field to the current record (escaped as needed).
+  void AddTextField(const std::string& key, const std::string& value);
+
+  std::size_t record_count() const { return records_.size(); }
+
+  /// Serializes all records as a JSON array.
+  std::string ToString() const;
+
+  /// Writes the JSON document to `path`, overwriting.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  struct Record {
+    std::string name;
+    /// key -> pre-serialized JSON value (number, null, or quoted string).
+    std::vector<std::pair<std::string, std::string>> fields;
+  };
+  std::vector<Record> records_;
+};
+
+/// Parses and strips a `--json=PATH` flag from argv (same compaction as
+/// ParseThreadsFlag). Returns the path, or "" when the flag is absent.
+std::string ParseJsonFlag(int* argc, char** argv);
+
+/// Writes the JSON report (aborting the bench on I/O failure) and reports
+/// the path. A no-op when `path` is empty (flag absent).
+void WriteJsonOrDie(const JsonReporter& json, const std::string& path);
+
 }  // namespace neuroprint::bench
 
 #endif  // NEUROPRINT_BENCH_BENCH_UTIL_H_

@@ -13,7 +13,14 @@ Result<DeanonymizationAttack> DeanonymizationAttack::Fit(
     return Status::InvalidArgument(
         "DeanonymizationAttack: need at least 2 known subjects");
   }
-  auto scores = ComputeLeverageScores(known.data(), options.leverage);
+  // The leverage stage inherits the attack-wide thread knob unless its own
+  // is set (AttackOptions{.leverage = {.sketch = true}} runs the whole fit
+  // on the randomized sketch).
+  LeverageOptions leverage = options.leverage;
+  if (leverage.parallel.num_threads == 0) {
+    leverage.parallel = options.parallel;
+  }
+  auto scores = ComputeLeverageScores(known.data(), leverage);
   if (!scores.ok()) return scores.status();
 
   DeanonymizationAttack attack;

@@ -5,11 +5,53 @@
 #include <numeric>
 
 #include "linalg/eig_sym.h"
+#include "linalg/randomized_svd.h"
 #include "linalg/svd.h"
 #include "util/string_util.h"
 
 namespace neuroprint::core {
 namespace {
+
+// Squared row norms over the leading k columns of u.
+linalg::Vector RowSquaredNorms(const linalg::Matrix& u, std::size_t k) {
+  linalg::Vector scores(u.rows(), 0.0);
+  for (std::size_t i = 0; i < u.rows(); ++i) {
+    const double* row = u.RowPtr(i);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < k; ++j) sum += row[j] * row[j];
+    scores[i] = sum;
+  }
+  return scores;
+}
+
+// Sketch path: leverage scores against the randomized rank-k dominant
+// subspace. The scores are approximate but the top-t ordering they induce
+// matches the exact one almost everywhere on decaying spectra, which is
+// all the principal-features construction consumes.
+Result<linalg::Vector> LeverageViaSketch(const linalg::Matrix& a,
+                                         const LeverageOptions& options) {
+  linalg::RandomizedSvdOptions ropts;
+  std::size_t target = options.sketch_rank;
+  if (target == 0) {
+    target = options.rank != 0 ? options.rank : std::max<std::size_t>(
+                                                    1, a.cols() / 2);
+  }
+  ropts.rank = std::min(target, a.cols());
+  ropts.oversample = options.sketch_oversample;
+  ropts.power_iterations = options.sketch_power_iterations;
+  ropts.seed = options.sketch_seed;
+  ropts.parallel = options.parallel;
+  auto rsvd = linalg::RandomizedSvd(a, ropts);
+  if (!rsvd.ok()) return rsvd.status();
+
+  std::size_t k = rsvd->Rank(1e-12);
+  if (options.rank > 0) k = std::min(k, options.rank);
+  if (k == 0) {
+    return Status::FailedPrecondition(
+        "ComputeLeverageScores: matrix is numerically zero");
+  }
+  return RowSquaredNorms(rsvd->u, k);
+}
 
 // Gram-matrix fast path: A = U S V^T implies A^T A = V S^2 V^T, so
 // U = A V S^{-1} and the leverage scores are the squared row norms of
@@ -17,7 +59,7 @@ namespace {
 // plus an n x n eigendecomposition instead of an m x n SVD.
 Result<linalg::Vector> LeverageViaGram(const linalg::Matrix& a,
                                        const LeverageOptions& options) {
-  auto eig = linalg::EigSym(linalg::Gram(a));
+  auto eig = linalg::EigSym(linalg::Gram(a, options.parallel));
   if (!eig.ok()) return eig.status();
   const linalg::Vector& eigenvalues = eig->eigenvalues;
   if (eigenvalues.empty() || eigenvalues[0] <= 0.0) {
@@ -39,15 +81,8 @@ Result<linalg::Vector> LeverageViaGram(const linalg::Matrix& a,
       basis(i, j) = eig->eigenvectors(i, j) * inv_sigma;
     }
   }
-  const linalg::Matrix u = linalg::MatMul(a, basis);
-  linalg::Vector scores(a.rows(), 0.0);
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* row = u.RowPtr(i);
-    double sum = 0.0;
-    for (std::size_t j = 0; j < k; ++j) sum += row[j] * row[j];
-    scores[i] = sum;
-  }
-  return scores;
+  const linalg::Matrix u = linalg::MatMul(a, basis, options.parallel);
+  return RowSquaredNorms(u, k);
 }
 
 }  // namespace
@@ -61,13 +96,32 @@ Result<linalg::Vector> ComputeLeverageScores(const linalg::Matrix& a,
     return Status::InvalidArgument(
         "ComputeLeverageScores: expects a tall features-by-subjects matrix");
   }
+  if (options.diagnostics != nullptr) *options.diagnostics = {};
+  if (options.sketch) {
+    auto sketched = LeverageViaSketch(a, options);
+    if (sketched.ok() && options.diagnostics != nullptr) {
+      options.diagnostics->used_sketch = true;
+    }
+    if (sketched.ok()) return sketched;
+    // Fall through to the exact paths on numerical failure.
+  }
   if (options.allow_gram_fast_path && a.rows() >= 4 * a.cols()) {
     auto fast = LeverageViaGram(a, options);
-    if (fast.ok()) return fast;
+    if (fast.ok()) {
+      if (options.diagnostics != nullptr) {
+        options.diagnostics->used_gram_fast_path = true;
+      }
+      return fast;
+    }
     // Fall through to the exact path on numerical failure.
   }
-  auto svd = linalg::Svd(a);
+  linalg::SvdOptions svd_options;
+  svd_options.parallel = options.parallel;
+  auto svd = linalg::Svd(a, svd_options);
   if (!svd.ok()) return svd.status();
+  if (options.diagnostics != nullptr) {
+    options.diagnostics->svd_qr_preconditioned = svd->qr_preconditioned;
+  }
 
   // Columns of U beyond the numerical rank correspond to zero singular
   // values; their directions are arbitrary and must not contribute.
@@ -77,14 +131,7 @@ Result<linalg::Vector> ComputeLeverageScores(const linalg::Matrix& a,
     return Status::FailedPrecondition(
         "ComputeLeverageScores: matrix is numerically zero");
   }
-
-  linalg::Vector scores(a.rows(), 0.0);
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    double sum = 0.0;
-    for (std::size_t j = 0; j < k; ++j) sum += svd->u(i, j) * svd->u(i, j);
-    scores[i] = sum;
-  }
-  return scores;
+  return RowSquaredNorms(svd->u, k);
 }
 
 std::vector<std::size_t> TopKIndices(const linalg::Vector& scores,

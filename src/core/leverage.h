@@ -11,12 +11,25 @@
 #define NEUROPRINT_CORE_LEVERAGE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "linalg/matrix.h"
 #include "util/status.h"
 
 namespace neuroprint::core {
+
+/// Which computation actually produced the scores (out-param telemetry for
+/// tests and tooling; see LeverageOptions::diagnostics).
+struct LeverageDiagnostics {
+  /// The Gram-eigendecomposition fast path ran to completion.
+  bool used_gram_fast_path = false;
+  /// The randomized sketch path ran to completion.
+  bool used_sketch = false;
+  /// The exact-SVD branch ran and its SVD took the thin-QR preconditioning
+  /// fast path (expected for tall group matrices).
+  bool svd_qr_preconditioned = false;
+};
 
 struct LeverageOptions {
   /// Number of left singular vectors to use. 0 means all of them (the full
@@ -30,6 +43,32 @@ struct LeverageOptions {
   /// the condition number (validated against the SVD path in tests).
   /// Disable to force the SVD path.
   bool allow_gram_fast_path = true;
+  /// Randomized sketch mode: approximate the dominant column space with a
+  /// seeded Halko range sketch (linalg::RandomizedSvd) and score rows
+  /// against it. All GEMM-shaped work — several times faster than the
+  /// exact decompositions at the paper's shape — and deterministic for a
+  /// fixed sketch_seed. The top-t feature sets it selects overlap the
+  /// exact ones >= 95% on simulated group matrices (asserted in tests).
+  /// Takes precedence over the Gram fast path when enabled.
+  bool sketch = false;
+  /// Sketch subspace rank. 0 picks `rank` if set, else cols/2 (enough to
+  /// dominate the leverage ordering on decaying spectra at half the
+  /// passes of a full-width sketch).
+  std::size_t sketch_rank = 0;
+  /// Oversampling columns added to sketch_rank (Halko's p).
+  std::size_t sketch_oversample = 8;
+  /// Power iterations for the sketch (q); see RandomizedSvdOptions. The
+  /// default is 0: leverage scoring wants breadth of column-space capture
+  /// rather than spectral sharpening, and a plain Gaussian range probe
+  /// already lands >= 95% top-t overlap at half the passes over A. Raise
+  /// for strongly decaying spectra where the dominant subspace matters.
+  int sketch_power_iterations = 0;
+  /// Seed for the sketch's Gaussian test matrix.
+  std::uint64_t sketch_seed = 0x6c65766572616765ULL;
+  /// Thread knob for the underlying kernels (never changes results).
+  ParallelContext parallel;
+  /// Optional telemetry sink; filled by ComputeLeverageScores when set.
+  LeverageDiagnostics* diagnostics = nullptr;
 };
 
 /// Leverage scores of the rows of `a` (length a.rows(); each in [0, 1],

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "linalg/gemm_kernel.h"
 #include "util/string_util.h"
 
 namespace neuroprint::linalg {
@@ -166,82 +167,55 @@ Matrix MatMul(const Matrix& a, const Matrix& b, const ParallelContext& ctx) {
       << "MatMul shape mismatch: " << a.rows() << "x" << a.cols() << " * "
       << b.rows() << "x" << b.cols();
   Matrix c(a.rows(), b.cols());
-  // i-k-j loop order streams both B and C rows; good locality for row-major.
-  // Rows of C are independent, so the parallel row blocks write disjoint
-  // output and keep the serial per-row order.
-  ParallelFor(ctx, 0, a.rows(), GrainForWork(a.cols() * b.cols()),
-              [&](std::size_t row_lo, std::size_t row_hi) {
-                for (std::size_t i = row_lo; i < row_hi; ++i) {
-                  double* crow = c.RowPtr(i);
-                  const double* arow = a.RowPtr(i);
-                  for (std::size_t k = 0; k < a.cols(); ++k) {
-                    const double aik = arow[k];
-                    if (aik == 0.0) continue;
-                    const double* brow = b.RowPtr(k);
-                    for (std::size_t j = 0; j < b.cols(); ++j) {
-                      crow[j] += aik * brow[j];
-                    }
-                  }
-                }
-              });
+  TiledGemm(a, /*trans_a=*/false, b, /*trans_b=*/false, &c, ctx);
   return c;
 }
 
 Matrix MatTMul(const Matrix& a, const Matrix& b, const ParallelContext& ctx) {
   NP_CHECK_EQ(a.rows(), b.rows());
   Matrix c(a.cols(), b.cols());
-  // Output row i accumulates a(k, i) * b(k, :) over ascending k — the same
-  // per-element order (and == 0.0 skips) as the historical k-outer loop,
-  // but with rows independent so they can run on separate threads.
-  ParallelFor(ctx, 0, a.cols(), GrainForWork(a.rows() * b.cols()),
-              [&](std::size_t row_lo, std::size_t row_hi) {
-                for (std::size_t i = row_lo; i < row_hi; ++i) {
-                  double* crow = c.RowPtr(i);
-                  for (std::size_t k = 0; k < a.rows(); ++k) {
-                    const double aki = a.RowPtr(k)[i];
-                    if (aki == 0.0) continue;
-                    const double* brow = b.RowPtr(k);
-                    for (std::size_t j = 0; j < b.cols(); ++j) {
-                      crow[j] += aki * brow[j];
-                    }
-                  }
-                }
-              });
+  TiledGemm(a, /*trans_a=*/true, b, /*trans_b=*/false, &c, ctx);
   return c;
 }
 
 Matrix MatMulT(const Matrix& a, const Matrix& b, const ParallelContext& ctx) {
   NP_CHECK_EQ(a.cols(), b.cols());
   Matrix c(a.rows(), b.rows());
-  ParallelFor(ctx, 0, a.rows(), GrainForWork(b.rows() * a.cols()),
-              [&](std::size_t row_lo, std::size_t row_hi) {
-                for (std::size_t i = row_lo; i < row_hi; ++i) {
-                  const double* arow = a.RowPtr(i);
-                  double* crow = c.RowPtr(i);
-                  for (std::size_t j = 0; j < b.rows(); ++j) {
-                    const double* brow = b.RowPtr(j);
-                    double sum = 0.0;
-                    for (std::size_t k = 0; k < a.cols(); ++k) {
-                      sum += arow[k] * brow[k];
-                    }
-                    crow[j] = sum;
-                  }
-                }
-              });
+  TiledGemm(a, /*trans_a=*/false, b, /*trans_b=*/true, &c, ctx);
   return c;
 }
 
 Vector MatVec(const Matrix& a, const Vector& x, const ParallelContext& ctx) {
   NP_CHECK_EQ(a.cols(), x.size());
   Vector y(a.rows());
-  ParallelFor(ctx, 0, a.rows(), GrainForWork(a.cols()),
+  const std::size_t n = a.cols();
+  // Four rows share each load of x; every row keeps one accumulator over
+  // ascending j, so results match the single-row loop exactly.
+  ParallelFor(ctx, 0, a.rows(), GrainForWork(n),
               [&](std::size_t row_lo, std::size_t row_hi) {
-                for (std::size_t i = row_lo; i < row_hi; ++i) {
+                std::size_t i = row_lo;
+                for (; i + 4 <= row_hi; i += 4) {
+                  const double* r0 = a.RowPtr(i);
+                  const double* r1 = a.RowPtr(i + 1);
+                  const double* r2 = a.RowPtr(i + 2);
+                  const double* r3 = a.RowPtr(i + 3);
+                  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+                  for (std::size_t j = 0; j < n; ++j) {
+                    const double xj = x[j];
+                    s0 += r0[j] * xj;
+                    s1 += r1[j] * xj;
+                    s2 += r2[j] * xj;
+                    s3 += r3[j] * xj;
+                  }
+                  y[i] = s0;
+                  y[i + 1] = s1;
+                  y[i + 2] = s2;
+                  y[i + 3] = s3;
+                }
+                for (; i < row_hi; ++i) {
                   const double* row = a.RowPtr(i);
                   double sum = 0.0;
-                  for (std::size_t j = 0; j < a.cols(); ++j) {
-                    sum += row[j] * x[j];
-                  }
+                  for (std::size_t j = 0; j < n; ++j) sum += row[j] * x[j];
                   y[i] = sum;
                 }
               });
@@ -261,26 +235,8 @@ Vector MatTVec(const Matrix& a, const Vector& x) {
 }
 
 Matrix Gram(const Matrix& a, const ParallelContext& ctx) {
-  const std::size_t n = a.cols();
-  Matrix g(n, n);
-  // Upper-triangle row i accumulates a(k, i) * a(k, i..n) over ascending k,
-  // matching the historical k-outer loop element-for-element (incl. the
-  // == 0.0 skips); rows are disjoint so the blocks parallelize.
-  ParallelFor(ctx, 0, n, GrainForWork(a.rows() * (n / 2 + 1)),
-              [&](std::size_t row_lo, std::size_t row_hi) {
-                for (std::size_t i = row_lo; i < row_hi; ++i) {
-                  double* grow = g.RowPtr(i);
-                  for (std::size_t k = 0; k < a.rows(); ++k) {
-                    const double* row = a.RowPtr(k);
-                    const double ri = row[i];
-                    if (ri == 0.0) continue;
-                    for (std::size_t j = i; j < n; ++j) grow[j] += ri * row[j];
-                  }
-                }
-              });
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
-  }
+  Matrix g(a.cols(), a.cols());
+  TiledGram(a, &g, ctx);
   return g;
 }
 

@@ -120,12 +120,13 @@ Matrix operator*(double s, const Matrix& a);
 /// True if dims match and max |a_ij - b_ij| <= tol.
 bool AlmostEqual(const Matrix& a, const Matrix& b, double tol);
 
-// The gemm-shaped kernels below parallelize over output rows. Each output
-// row keeps the exact serial per-element accumulation order (ascending k,
-// including the == 0.0 skips), so results are bitwise-identical to the
-// serial kernels at any thread count.
+// The gemm-shaped kernels below lower onto the cache-blocked micro-kernels
+// in gemm_kernel.h. Every path (serial, row-parallel, panel-parallel)
+// accumulates in one canonical order — fixed kGemmPanelK-wide K panels,
+// ascending k within a panel, panels folded in ascending order — so
+// results are bitwise-identical to ReferenceGemm() at every thread count.
 
-/// C = A * B. Blocked, cache-friendly triple loop.
+/// C = A * B. Cache-blocked packed-panel kernel (see gemm_kernel.h).
 Matrix MatMul(const Matrix& a, const Matrix& b,
               const ParallelContext& ctx = {});
 
@@ -144,8 +145,8 @@ Vector MatVec(const Matrix& a, const Vector& x,
 /// y = A^T * x.
 Vector MatTVec(const Matrix& a, const Vector& x);
 
-/// Gram matrix A^T A (symmetric n x n; only computes the upper triangle
-/// once and mirrors it).
+/// Gram matrix A^T A (symmetric n x n; tiled kernel computes only tiles
+/// touching the upper triangle and mirrors).
 Matrix Gram(const Matrix& a, const ParallelContext& ctx = {});
 
 }  // namespace neuroprint::linalg

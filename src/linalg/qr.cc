@@ -22,9 +22,18 @@ Result<QrDecomposition> QrDecompose(const Matrix& a) {
   // `work` accumulates the Householder vectors v_k in its lower trapezoid
   // (column k, rows k..m-1) while its strict upper part becomes R's
   // off-diagonal. R's diagonal entries are kept separately in `alpha`.
+  //
+  // Reflector applications are organized as two row-streaming passes over
+  // the trailing submatrix (accumulate every column dot, then update every
+  // column) instead of a column-at-a-time loop: row-major storage makes the
+  // per-column form stride-n on every access, which is what used to make
+  // this factorization slower than the SVD it preconditions. Each per-
+  // column dot still sums in ascending row order, so the arithmetic is
+  // unchanged.
   Matrix work = a;
   std::vector<double> beta(n, 0.0);
   std::vector<double> alpha(n, 0.0);
+  std::vector<double> dots(n, 0.0);
 
   for (std::size_t k = 0; k < n; ++k) {
     double norm2 = 0.0;
@@ -42,13 +51,20 @@ Result<QrDecomposition> QrDecompose(const Matrix& a) {
     beta[k] = 2.0 / vnorm2;
     work(k, k) = vk;
 
-    // Apply H_k = I - beta v v^T to the trailing columns.
-    for (std::size_t j = k + 1; j < n; ++j) {
-      double dot = 0.0;
-      for (std::size_t i = k; i < m; ++i) dot += work(i, k) * work(i, j);
-      const double s = beta[k] * dot;
-      if (s == 0.0) continue;
-      for (std::size_t i = k; i < m; ++i) work(i, j) -= s * work(i, k);
+    // Apply H_k = I - beta v v^T to the trailing columns: dots[j] = v . col j
+    // (ascending i), then col j -= (beta * dots[j]) * v.
+    std::fill(dots.begin() + static_cast<std::ptrdiff_t>(k) + 1, dots.end(),
+              0.0);
+    for (std::size_t i = k; i < m; ++i) {
+      const double vik = work(i, k);
+      const double* wrow = work.RowPtr(i);
+      for (std::size_t j = k + 1; j < n; ++j) dots[j] += vik * wrow[j];
+    }
+    for (std::size_t j = k + 1; j < n; ++j) dots[j] *= beta[k];
+    for (std::size_t i = k; i < m; ++i) {
+      const double vik = work(i, k);
+      double* wrow = work.RowPtr(i);
+      for (std::size_t j = k + 1; j < n; ++j) wrow[j] -= dots[j] * vik;
     }
   }
 
@@ -60,18 +76,23 @@ Result<QrDecomposition> QrDecompose(const Matrix& a) {
   }
 
   // Thin Q = H_0 H_1 ... H_{n-1} * [I_n; 0], applied reflector-by-reflector
-  // from the last to the first.
+  // from the last to the first, with the same two-pass row streaming.
   out.q = Matrix(m, n);
   for (std::size_t j = 0; j < n; ++j) out.q(j, j) = 1.0;
   for (std::size_t kk = n; kk > 0; --kk) {
     const std::size_t k = kk - 1;
     if (beta[k] == 0.0) continue;
-    for (std::size_t j = 0; j < n; ++j) {
-      double dot = 0.0;
-      for (std::size_t i = k; i < m; ++i) dot += work(i, k) * out.q(i, j);
-      const double s = beta[k] * dot;
-      if (s == 0.0) continue;
-      for (std::size_t i = k; i < m; ++i) out.q(i, j) -= s * work(i, k);
+    std::fill(dots.begin(), dots.end(), 0.0);
+    for (std::size_t i = k; i < m; ++i) {
+      const double vik = work(i, k);
+      const double* qrow = out.q.RowPtr(i);
+      for (std::size_t j = 0; j < n; ++j) dots[j] += vik * qrow[j];
+    }
+    for (std::size_t j = 0; j < n; ++j) dots[j] *= beta[k];
+    for (std::size_t i = k; i < m; ++i) {
+      const double vik = work(i, k);
+      double* qrow = out.q.RowPtr(i);
+      for (std::size_t j = 0; j < n; ++j) qrow[j] -= dots[j] * vik;
     }
   }
   return out;

@@ -1,0 +1,152 @@
+#include "linalg/randomized_svd.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "linalg/cholesky.h"
+#include "linalg/qr.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace neuroprint::linalg {
+namespace {
+
+// Orthonormalizes the columns of Y in place via CholeskyQR: G = Y^T Y =
+// L L^T, and Q = Y L^{-T} solved row-by-row (forward substitution against
+// L), so the whole step is Gram + a small factorization + a row-parallel
+// triangular solve — all tiled-kernel / pool friendly. Falls back to
+// Householder QR when G is not numerically positive definite (Y close to
+// rank-deficient, e.g. after power iterations on a fast-decaying spectrum).
+Status OrthonormalizeColumns(Matrix* y, const ParallelContext& ctx) {
+  const Matrix g = Gram(*y, ctx);
+  auto chol = CholeskyDecompose(g);
+  if (!chol.ok()) {
+    auto qr = QrDecompose(*y);
+    if (!qr.ok()) return qr.status();
+    *y = std::move(qr->q);
+    return Status::OK();
+  }
+  const Matrix& l = *chol;
+  const std::size_t n = l.rows();
+  ParallelFor(ctx, 0, y->rows(), GrainForWork(n * n / 2 + 1),
+              [&](std::size_t row_lo, std::size_t row_hi) {
+                for (std::size_t i = row_lo; i < row_hi; ++i) {
+                  double* row = y->RowPtr(i);
+                  for (std::size_t j = 0; j < n; ++j) {
+                    const double* lrow = l.RowPtr(j);
+                    double sum = row[j];
+                    for (std::size_t t = 0; t < j; ++t) sum -= lrow[t] * row[t];
+                    row[j] = sum / lrow[j];
+                  }
+                }
+              });
+  return Status::OK();
+}
+
+// First k columns of x.
+Matrix FirstCols(const Matrix& x, std::size_t k) {
+  return x.Block(0, 0, x.rows(), k);
+}
+
+Result<SvdDecomposition> RandomizedSvdTall(const Matrix& a,
+                                           const RandomizedSvdOptions& options,
+                                           std::size_t sketch_width) {
+  const std::size_t n = a.cols();
+  const ParallelContext& ctx = options.parallel;
+
+  // Seeded Gaussian test matrix Omega (n x l), filled in row-major order so
+  // the stream is independent of everything but the seed and the shape.
+  Rng rng(options.seed);
+  Matrix omega(n, sketch_width);
+  for (std::size_t i = 0; i < n; ++i) {
+    double* row = omega.RowPtr(i);
+    for (std::size_t j = 0; j < sketch_width; ++j) row[j] = rng.Gaussian();
+  }
+
+  // Range finder: Y = A Omega, orthonormalized.
+  Matrix y = MatMul(a, omega, ctx);
+  Status st = OrthonormalizeColumns(&y, ctx);
+  if (!st.ok()) return st;
+
+  // Power iterations: Y <- orth(A orth(A^T Y)). The interleaved
+  // re-orthonormalization is what keeps the subspace numerically full-rank
+  // when the spectrum decays quickly.
+  for (int it = 0; it < options.power_iterations; ++it) {
+    Matrix z = MatTMul(a, y, ctx);
+    st = OrthonormalizeColumns(&z, ctx);
+    if (!st.ok()) return st;
+    y = MatMul(a, z, ctx);
+    st = OrthonormalizeColumns(&y, ctx);
+    if (!st.ok()) return st;
+  }
+
+  // Project: B = Q^T A is l x n; its exact (small) SVD lifts back through Q.
+  const Matrix b = MatTMul(y, a, ctx);
+  SvdOptions small_options;
+  small_options.parallel = ctx;
+  auto bsvd = Svd(b, small_options);
+  if (!bsvd.ok()) return bsvd.status();
+
+  const std::size_t k = std::min(options.rank, bsvd->s.size());
+  SvdDecomposition out;
+  out.u = MatMul(y, FirstCols(bsvd->u, k), ctx);
+  out.s.assign(bsvd->s.begin(),
+               bsvd->s.begin() + static_cast<std::ptrdiff_t>(k));
+  out.v = FirstCols(bsvd->v, k);
+  return out;
+}
+
+}  // namespace
+
+Result<SvdDecomposition> RandomizedSvd(const Matrix& a,
+                                       const RandomizedSvdOptions& options) {
+  if (options.rank == 0) {
+    return Status::InvalidArgument("RandomizedSvd: options.rank must be > 0");
+  }
+  if (a.rows() == 0 || a.cols() == 0) {
+    return Status::InvalidArgument("RandomizedSvd: empty matrix");
+  }
+  if (!a.AllFinite()) {
+    return Status::InvalidArgument("RandomizedSvd: non-finite input");
+  }
+  if (options.power_iterations < 0) {
+    return Status::InvalidArgument(
+        StrFormat("RandomizedSvd: power_iterations must be >= 0, got %d",
+                  options.power_iterations));
+  }
+
+  const std::size_t min_dim = std::min(a.rows(), a.cols());
+  const std::size_t sketch_width =
+      std::min(options.rank + options.oversample, min_dim);
+
+  // A sketch as wide as the small dimension cannot beat the exact
+  // decomposition; run it directly (truncated), keeping the rank-k output
+  // contract.
+  if (sketch_width >= min_dim) {
+    SvdOptions exact_options;
+    exact_options.parallel = options.parallel;
+    auto svd = Svd(a, exact_options);
+    if (!svd.ok()) return svd.status();
+    const std::size_t k = std::min(options.rank, svd->s.size());
+    SvdDecomposition out;
+    out.u = svd->u.Block(0, 0, svd->u.rows(), k);
+    out.s.assign(svd->s.begin(),
+                 svd->s.begin() + static_cast<std::ptrdiff_t>(k));
+    out.v = svd->v.Block(0, 0, svd->v.rows(), k);
+    return out;
+  }
+
+  if (a.rows() >= a.cols()) {
+    return RandomizedSvdTall(a, options, sketch_width);
+  }
+  // Wide input: sketch A^T and swap the roles of U and V.
+  auto t = RandomizedSvdTall(a.Transposed(), options, sketch_width);
+  if (!t.ok()) return t.status();
+  SvdDecomposition out;
+  out.u = std::move(t->v);
+  out.s = std::move(t->s);
+  out.v = std::move(t->u);
+  return out;
+}
+
+}  // namespace neuroprint::linalg

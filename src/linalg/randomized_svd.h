@@ -1,0 +1,57 @@
+// Randomized range-finder SVD (Halko, Martinsson & Tropp 2011).
+//
+// For a matrix whose spectrum decays — the paper's group matrices do — the
+// dominant rank-k subspace can be captured by multiplying A with a small
+// Gaussian test matrix and orthonormalizing: Y = A Omega spans the top
+// singular directions up to oversampling error, and q power iterations
+// (with re-orthonormalization between applications to keep the basis from
+// collapsing onto the leading direction) sharpen the capture for slowly
+// decaying spectra. The whole computation is GEMM-shaped, so it rides the
+// tiled kernels and the thread pool, unlike the serial Householder
+// bidiagonalization inside the exact Svd().
+//
+// Determinism: the test matrix is drawn from the seeded PCG64 Rng, and all
+// linear algebra goes through the bitwise-deterministic kernels, so a fixed
+// (input, options) pair gives bit-identical results at any thread count.
+
+#ifndef NEUROPRINT_LINALG_RANDOMIZED_SVD_H_
+#define NEUROPRINT_LINALG_RANDOMIZED_SVD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "linalg/matrix.h"
+#include "linalg/svd.h"
+#include "util/status.h"
+
+namespace neuroprint::linalg {
+
+struct RandomizedSvdOptions {
+  /// Target rank k of the approximation. Required (> 0). If the sketch
+  /// width k + oversample reaches min(rows, cols), the sketch cannot be
+  /// cheaper than an exact decomposition, so the exact Svd() runs instead
+  /// (truncated to k).
+  std::size_t rank = 0;
+  /// Extra sketch columns beyond the target rank; the classic p ~ 5-10
+  /// buys the (1 + sqrt(k/p)) spectral-error factor of Halko et al.
+  std::size_t oversample = 8;
+  /// Power (subspace) iterations q: each one multiplies the spectral decay
+  /// seen by the sketch by another factor of sigma_i^2, at the cost of two
+  /// more passes over A. 0-2 is the useful range.
+  int power_iterations = 1;
+  /// Seed for the Gaussian test matrix; equal seeds give equal results.
+  std::uint64_t seed = 0x72616e64737664ULL;
+  /// Thread knob for the underlying kernels (never changes results).
+  ParallelContext parallel;
+};
+
+/// Rank-k approximate thin SVD: u is rows x k, s has k entries
+/// (descending), v is cols x k. The leading singular values/vectors
+/// converge to the exact ones as oversample/power_iterations grow; the
+/// trailing ones are approximations from the sketched subspace.
+Result<SvdDecomposition> RandomizedSvd(const Matrix& a,
+                                       const RandomizedSvdOptions& options);
+
+}  // namespace neuroprint::linalg
+
+#endif  // NEUROPRINT_LINALG_RANDOMIZED_SVD_H_

@@ -281,9 +281,10 @@ Result<SvdDecomposition> SvdTall(const Matrix& a, const SvdOptions& options) {
     Result<SvdDecomposition> rsvd = SvdTall(qr->r, inner);
     if (!rsvd.ok()) return rsvd.status();
     SvdDecomposition out;
-    out.u = MatMul(qr->q, rsvd->u);
+    out.u = MatMul(qr->q, rsvd->u, options.parallel);
     out.s = std::move(rsvd->s);
     out.v = std::move(rsvd->v);
+    out.qr_preconditioned = true;
     return out;
   }
 
@@ -335,6 +336,7 @@ Result<SvdDecomposition> Svd(const Matrix& a, const SvdOptions& options) {
   d.u = std::move(t->v);
   d.s = std::move(t->s);
   d.v = std::move(t->u);
+  d.qr_preconditioned = t->qr_preconditioned;
   return d;
 }
 

@@ -22,6 +22,11 @@ struct SvdDecomposition {
   Vector s;
   Matrix v;
 
+  /// True if the thin-QR preconditioning fast path produced this
+  /// decomposition (telemetry: lets callers and tests verify the tall-
+  /// skinny path was actually taken).
+  bool qr_preconditioned = false;
+
   /// Reconstructs U diag(s) V^T (for tests and diagnostics).
   Matrix Reconstruct() const;
 
@@ -37,6 +42,8 @@ struct SvdOptions {
   double qr_precondition_ratio = 1.6;
   /// Disables the QR fast path (for testing the direct path on tall input).
   bool force_direct = false;
+  /// Thread knob for the gemm-shaped steps (never changes results).
+  ParallelContext parallel;
 };
 
 /// Computes the thin SVD. Fails with InvalidArgument on non-finite input

@@ -17,14 +17,16 @@
 #include "util/thread_pool.h"    // Deterministic ParallelFor / thread knob.
 
 // Dense linear algebra.
-#include "linalg/cholesky.h"     // SPD factorization and solves.
-#include "linalg/eig_sym.h"      // Symmetric eigendecomposition (Jacobi).
-#include "linalg/lu.h"           // LU solve / inverse / determinant.
-#include "linalg/matrix.h"       // Matrix type and gemm-like kernels.
-#include "linalg/qr.h"           // Householder QR, least squares.
-#include "linalg/stats.h"        // Correlation/covariance/z-score kernels.
-#include "linalg/svd.h"          // Thin SVD (Golub-Kahan-Reinsch, Jacobi).
-#include "linalg/vector_ops.h"   // Level-1 vector kernels.
+#include "linalg/cholesky.h"       // SPD factorization and solves.
+#include "linalg/eig_sym.h"        // Symmetric eigendecomposition (Jacobi).
+#include "linalg/gemm_kernel.h"    // Tiled GEMM micro-kernels.
+#include "linalg/lu.h"             // LU solve / inverse / determinant.
+#include "linalg/matrix.h"         // Matrix type and gemm-like kernels.
+#include "linalg/qr.h"             // Householder QR, least squares.
+#include "linalg/randomized_svd.h" // Halko randomized range-finder SVD.
+#include "linalg/stats.h"          // Correlation/covariance/z-score kernels.
+#include "linalg/svd.h"            // Thin SVD (Golub-Kahan-Reinsch, Jacobi).
+#include "linalg/vector_ops.h"     // Level-1 vector kernels.
 
 // Signal processing.
 #include "signal/fft.h"          // Radix-2 + Bluestein FFT.

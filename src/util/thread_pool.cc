@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <exception>
 #include <memory>
@@ -38,6 +39,15 @@ std::atomic<std::size_t>& DefaultOverride() {
   static std::atomic<std::size_t> override{0};
   return override;
 }
+
+// A half-open range of chunk indices [lo, hi) packed into one atomic word
+// (lo in the low 32 bits) so owner-pops and steals are single CAS
+// operations. Within one loop lo only grows and hi only shrinks, so a
+// stale expected value can never be reproduced by later updates (no ABA).
+inline std::uint64_t PackChunkRange(std::uint64_t lo, std::uint64_t hi) {
+  return (hi << 32) | lo;
+}
+constexpr std::uint64_t kChunkLoMask = 0xffffffffULL;
 
 std::size_t EnvThreadCount() {
   // Latched on first use: mutating NEUROPRINT_THREADS mid-process does not
@@ -134,38 +144,66 @@ void ThreadPool::ParallelFor(
     const std::function<void(std::size_t, std::size_t)>& fn,
     std::size_t max_runners) {
   if (end <= begin) return;
-  const std::size_t g = grain == 0 ? 1 : grain;
+  std::size_t g = grain == 0 ? 1 : grain;
+  // Chunk indices are packed two-per-word in the stealing slots; widen the
+  // grain in the degenerate > 2^32-chunks case so they fit. (The widening
+  // is a pure function of (begin, end, grain), so determinism holds.)
+  while ((end - begin + g - 1) / g > kChunkLoMask) g *= 2;
   const std::size_t num_chunks = (end - begin + g - 1) / g;
 
-  // Shared state for one loop. Runners pull chunk indices from `next`;
-  // which runner executes a chunk never affects what the chunk computes,
-  // so dynamic chunk-claiming keeps both determinism and load balance.
+  std::size_t runners =
+      max_runners == 0 ? workers_.size() + 1 : std::min(max_runners,
+                                                        workers_.size() + 1);
+  runners = std::min(runners, num_chunks);
+
+  // Shared state for one loop: a work-stealing scheduler over chunk
+  // indices. Every runner owns a slot holding a contiguous chunk range
+  // packed {lo, hi}; the owner CAS-pops the front of its own range, and
+  // runners that go dry CAS-pop the *back* of someone else's. Chunk
+  // boundaries and the chunk -> output mapping stay pure functions of
+  // (begin, end, grain); stealing only moves which thread executes a
+  // chunk, never what the chunk computes, so results are bitwise-identical
+  // at every thread count (the `concurrency` test tier asserts this).
   struct LoopState {
-    std::atomic<std::size_t> next{0};
-    std::atomic<std::size_t> remaining;
+    struct alignas(64) Slot {
+      std::atomic<std::uint64_t> range{0};
+    };
+    explicit LoopState(std::size_t num_slots) : slots(num_slots) {}
+    std::vector<Slot> slots;
+    std::atomic<std::size_t> remaining{0};
     std::mutex done_mutex;
     std::condition_variable done_cv;
     std::mutex error_mutex;
     std::size_t error_chunk = static_cast<std::size_t>(-1);
     std::exception_ptr error;
   };
-  auto state = std::make_shared<LoopState>();
+  auto state = std::make_shared<LoopState>(runners);
   state->remaining.store(num_chunks, std::memory_order_relaxed);
 
-  auto run_chunks = [state, begin, end, g, &fn] {
+  // Balanced contiguous distribution: runner r starts with chunks
+  // [r*base + min(r, extra), ...); stealing rebalances from there.
+  const std::size_t base = num_chunks / runners;
+  const std::size_t extra = num_chunks % runners;
+  std::size_t next_lo = 0;
+  for (std::size_t r = 0; r < runners; ++r) {
+    const std::size_t count = base + (r < extra ? 1 : 0);
+    state->slots[r].range.store(PackChunkRange(next_lo, next_lo + count),
+                                std::memory_order_relaxed);
+    next_lo += count;
+  }
+
+  auto run_chunks = [state, begin, end, g, &fn](std::size_t self) {
     ScopedParallelRegion region;
-    for (;;) {
-      const std::size_t chunk =
-          state->next.fetch_add(1, std::memory_order_relaxed);
-      const std::size_t lo = begin + chunk * g;
-      if (lo >= end) break;
+    auto execute = [&](std::uint64_t chunk) {
+      const std::size_t c = static_cast<std::size_t>(chunk);
+      const std::size_t lo = begin + c * g;
       const std::size_t hi = end - lo <= g ? end : lo + g;
       try {
         fn(lo, hi);
       } catch (...) {
         std::lock_guard<std::mutex> lock(state->error_mutex);
-        if (chunk < state->error_chunk) {
-          state->error_chunk = chunk;
+        if (c < state->error_chunk) {
+          state->error_chunk = c;
           state->error = std::current_exception();
         }
       }
@@ -173,18 +211,54 @@ void ThreadPool::ParallelFor(
         std::lock_guard<std::mutex> lock(state->done_mutex);
         state->done_cv.notify_all();
       }
+    };
+
+    // Drain the owned range front-to-back.
+    std::atomic<std::uint64_t>& own = state->slots[self].range;
+    std::uint64_t r = own.load(std::memory_order_acquire);
+    for (;;) {
+      const std::uint64_t lo = r & kChunkLoMask;
+      const std::uint64_t hi = r >> 32;
+      if (lo >= hi) break;
+      if (own.compare_exchange_weak(r, PackChunkRange(lo + 1, hi),
+                                    std::memory_order_acq_rel)) {
+        execute(lo);
+        r = own.load(std::memory_order_acquire);
+      }
+      // CAS failure refreshed r; a thief took the back, retry the front.
+    }
+
+    // Steal from the back of the other runners' ranges until a full scan
+    // finds every slot empty (in-flight chunks are already claimed, and
+    // the caller's done_cv wait covers their completion).
+    const std::size_t num_slots = state->slots.size();
+    for (;;) {
+      bool stole = false;
+      for (std::size_t off = 1; off < num_slots && !stole; ++off) {
+        std::atomic<std::uint64_t>& victim =
+            state->slots[(self + off) % num_slots].range;
+        std::uint64_t v = victim.load(std::memory_order_acquire);
+        for (;;) {
+          const std::uint64_t lo = v & kChunkLoMask;
+          const std::uint64_t hi = v >> 32;
+          if (lo >= hi) break;
+          if (victim.compare_exchange_weak(v, PackChunkRange(lo, hi - 1),
+                                           std::memory_order_acq_rel)) {
+            execute(hi - 1);
+            stole = true;
+            break;
+          }
+        }
+      }
+      if (!stole) break;
     }
   };
 
-  std::size_t runners =
-      max_runners == 0 ? workers_.size() + 1 : std::min(max_runners,
-                                                        workers_.size() + 1);
-  runners = std::min(runners, num_chunks);
-  // The caller is always one runner; enqueue the rest.
+  // The caller is always runner 0; enqueue the rest.
   for (std::size_t i = 1; i < runners; ++i) {
-    Submit(run_chunks);
+    Submit([run_chunks, i] { run_chunks(i); });
   }
-  run_chunks();
+  run_chunks(0);
 
   // Chunks may still be running on workers after the caller runs dry.
   {

@@ -19,6 +19,12 @@
 // tier asserts — and, because the parallel kernels preserve the serial
 // per-element operation order, identical to the original serial code.
 //
+// Scheduling is work-stealing: each runner starts with a contiguous range
+// of chunk indices, pops its own range from the front, and steals from the
+// back of another runner's range when it goes dry. Stealing only moves
+// *which thread* executes a chunk — the chunk -> output mapping is fixed —
+// so load balance under skewed chunk costs comes at no determinism cost.
+//
 // Thread-count resolution: ParallelContext{n} pins a call site to n
 // threads; n == 0 defers to SetDefaultThreadCount(), then the
 // NEUROPRINT_THREADS environment variable, then the hardware concurrency.
@@ -119,9 +125,10 @@ class ThreadPool {
 
   /// Runs fn(chunk_begin, chunk_end) for every grain-sized chunk of
   /// [begin, end), on at most `max_runners` threads (0 = workers + the
-  /// calling thread, which always participates). Blocks until every chunk
-  /// ran. If chunks throw, the exception from the lowest-indexed throwing
-  /// chunk is rethrown after all chunks completed.
+  /// calling thread, which always participates), scheduled by work
+  /// stealing over per-runner chunk ranges. Blocks until every chunk ran.
+  /// If chunks throw, the exception from the lowest-indexed throwing chunk
+  /// is rethrown after all chunks completed.
   void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
                    const std::function<void(std::size_t, std::size_t)>& fn,
                    std::size_t max_runners = 0);

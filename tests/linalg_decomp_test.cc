@@ -193,6 +193,10 @@ TEST(SvdTest, QrPreconditionedPathMatchesDirect) {
   const auto slow = Svd(a, direct);
   ASSERT_TRUE(fast.ok());
   ASSERT_TRUE(slow.ok());
+  // The telemetry flag proves the tall input actually took the thin-QR
+  // preconditioning path (and that forcing direct bypasses it).
+  EXPECT_TRUE(fast->qr_preconditioned);
+  EXPECT_FALSE(slow->qr_preconditioned);
   for (std::size_t i = 0; i < fast->s.size(); ++i) {
     EXPECT_NEAR(fast->s[i], slow->s[i], 1e-9 * std::max(1.0, slow->s[0]));
   }

@@ -16,6 +16,7 @@
 #include "core/knn.h"
 #include "core/matcher.h"
 #include "core/tsne.h"
+#include "linalg/gemm_kernel.h"
 #include "linalg/matrix.h"
 #include "linalg/stats.h"
 #include "preprocess/pipeline.h"
@@ -60,7 +61,7 @@ linalg::Matrix RandomMatrix(std::size_t rows, std::size_t cols,
   for (std::size_t i = 0; i < rows; ++i) {
     for (std::size_t j = 0; j < cols; ++j) m(i, j) = rng.Gaussian();
   }
-  // A few exact zeros exercise the == 0.0 skip paths of the kernels.
+  // A few exact zeros probe the kernels' sign-of-zero handling.
   m(0, 0) = 0.0;
   m(rows / 2, cols / 2) = 0.0;
   return m;
@@ -83,6 +84,74 @@ TEST(ParallelInvarianceTest, GemmKernels) {
     ExpectBitwiseEqual(mult1, linalg::MatMulT(a, c, ctx), "MatMulT");
     ExpectBitwiseEqual(gram1, linalg::Gram(a, ctx), "Gram");
     ExpectBitwiseEqual(vec1, linalg::MatVec(a, x, ctx), "MatVec");
+  }
+}
+
+TEST(ParallelInvarianceTest, TiledGemmMatchesReferenceBitwise) {
+  // Shapes chosen to cross every blocking boundary of the tiled kernel:
+  // the K panel (kGemmPanelK = 256), the M row block (64), the 4x4
+  // micro-tile, and the small-problem cutover — all must agree with the
+  // canonical-order reference kernel bit for bit, at every thread count.
+  struct Shape {
+    std::size_t m, k, n;
+  };
+  const Shape shapes[] = {{3, 5, 2},      {64, 256, 64},  {65, 257, 33},
+                          {130, 520, 48}, {31, 700, 100}, {300, 90, 70}};
+  for (const auto& [m, k, n] : shapes) {
+    const linalg::Matrix a = RandomMatrix(m, k, 101 + m);
+    const linalg::Matrix b = RandomMatrix(k, n, 102 + n);
+    const linalg::Matrix at = RandomMatrix(k, m, 103 + m);
+    const linalg::Matrix bt = RandomMatrix(n, k, 104 + n);
+
+    linalg::Matrix ref(m, n);
+    linalg::ReferenceGemm(a, false, b, false, &ref);
+    linalg::Matrix ref_ta(m, n);
+    linalg::ReferenceGemm(at, true, b, false, &ref_ta);
+    linalg::Matrix ref_tb(m, n);
+    linalg::ReferenceGemm(a, false, bt, true, &ref_tb);
+
+    for (const std::size_t threads : kThreadCounts) {
+      const ParallelContext ctx{threads};
+      linalg::Matrix c(m, n);
+      linalg::TiledGemm(a, false, b, false, &c, ctx);
+      ExpectBitwiseEqual(ref, c, "TiledGemm(N,N)");
+      linalg::TiledGemm(at, true, b, false, &c, ctx);
+      ExpectBitwiseEqual(ref_ta, c, "TiledGemm(T,N)");
+      linalg::TiledGemm(a, false, bt, true, &c, ctx);
+      ExpectBitwiseEqual(ref_tb, c, "TiledGemm(N,T)");
+    }
+  }
+}
+
+TEST(ParallelInvarianceTest, TiledGramMatchesGemmBitwise) {
+  // Gram computes the upper triangle and mirrors; the mirrored bits must
+  // equal the full A^T A product exactly (products commute bitwise).
+  for (const std::size_t rows : {40u, 300u, 530u}) {
+    const linalg::Matrix a = RandomMatrix(rows, 37, 200 + rows);
+    linalg::Matrix full(37, 37);
+    linalg::TiledGemm(a, true, a, false, &full, ParallelContext{1});
+    for (const std::size_t threads : kThreadCounts) {
+      linalg::Matrix g(37, 37);
+      linalg::TiledGram(a, &g, ParallelContext{threads});
+      ExpectBitwiseEqual(full, g, "TiledGram");
+    }
+  }
+}
+
+TEST(ParallelInvarianceTest, GemmStableUnderOversubscription) {
+  // Thread counts far beyond the hardware force the work-stealing pool
+  // into constant steals between oversubscribed runners; the output must
+  // not move by a bit. The K dimension spans many packing panels so the
+  // panel-parallel path has enough chunks to steal.
+  const linalg::Matrix a = RandomMatrix(3000, 64, 301);
+  const linalg::Matrix b = RandomMatrix(3000, 64, 302);
+  const linalg::Matrix tmul1 = linalg::MatTMul(a, b, ParallelContext{1});
+  const linalg::Matrix gram1 = linalg::Gram(a, ParallelContext{1});
+  for (const std::size_t threads : {16u, 32u, 64u}) {
+    const ParallelContext ctx{threads};
+    ExpectBitwiseEqual(tmul1, linalg::MatTMul(a, b, ctx),
+                       "MatTMul oversubscribed");
+    ExpectBitwiseEqual(gram1, linalg::Gram(a, ctx), "Gram oversubscribed");
   }
 }
 

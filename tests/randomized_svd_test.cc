@@ -1,0 +1,222 @@
+// Tests for the Halko randomized range-finder SVD: factor accuracy against
+// the exact Svd() across shapes and ranks, subspace capture on gapped
+// spectra, and bitwise determinism for a fixed seed.
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.h"
+#include "linalg/randomized_svd.h"
+#include "linalg/svd.h"
+#include "util/random.h"
+
+namespace neuroprint::linalg {
+namespace {
+
+Matrix RandomMatrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = rng.Gaussian();
+  }
+  return m;
+}
+
+// Rank-r matrix with component strengths 2^-t: clean spectral gaps, so the
+// randomized range finder captures the dominant subspace to within the
+// test tolerances even without power iterations.
+Matrix GappedLowRank(std::size_t rows, std::size_t cols, std::size_t rank,
+                     double noise, std::uint64_t seed) {
+  Rng rng(seed);
+  const Matrix u = RandomMatrix(rows, rank, rng);
+  const Matrix v = RandomMatrix(cols, rank, rng);
+  Matrix a(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      double s = 0.0;
+      for (std::size_t t = 0; t < rank; ++t) {
+        s += u(i, t) * v(j, t) / static_cast<double>(std::size_t{1} << t);
+      }
+      a(i, j) = s + noise * rng.Gaussian();
+    }
+  }
+  return a;
+}
+
+double OrthonormalityError(const Matrix& q) {
+  const Matrix gram = MatTMul(q, q);
+  return (gram - Matrix::Identity(q.cols())).MaxAbs();
+}
+
+double ReconstructionError(const Matrix& a, const SvdDecomposition& d) {
+  Matrix us = d.u;
+  for (std::size_t i = 0; i < us.rows(); ++i) {
+    for (std::size_t j = 0; j < us.cols(); ++j) us(i, j) *= d.s[j];
+  }
+  return (a - MatMulT(us, d.v)).MaxAbs();
+}
+
+bool BitwiseEqual(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::bit_cast<std::uint64_t>(a.data()[i]) !=
+        std::bit_cast<std::uint64_t>(b.data()[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Shape {
+  std::size_t rows;
+  std::size_t cols;
+};
+
+class RandomizedSvdShapeTest : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(RandomizedSvdShapeTest, MatchesExactSvdOnLowRankInput) {
+  const auto [rows, cols] = GetParam();
+  const std::size_t rank = 6;
+  const Matrix a = GappedLowRank(rows, cols, rank, /*noise=*/0.0, 17);
+
+  RandomizedSvdOptions options;
+  options.rank = rank;
+  const auto approx = RandomizedSvd(a, options);
+  ASSERT_TRUE(approx.ok()) << approx.status();
+  const auto exact = Svd(a);
+  ASSERT_TRUE(exact.ok()) << exact.status();
+
+  ASSERT_EQ(approx->u.rows(), rows);
+  ASSERT_EQ(approx->u.cols(), rank);
+  ASSERT_EQ(approx->s.size(), rank);
+  ASSERT_EQ(approx->v.rows(), cols);
+  ASSERT_EQ(approx->v.cols(), rank);
+
+  // The input has exact rank 6, so a width-(6+p) sketch captures its whole
+  // column space and the decomposition agrees with the exact one.
+  for (std::size_t i = 0; i < rank; ++i) {
+    EXPECT_NEAR(approx->s[i], exact->s[i], 1e-8 * exact->s[0]) << "i=" << i;
+  }
+  EXPECT_LT(OrthonormalityError(approx->u), 1e-10);
+  EXPECT_LT(OrthonormalityError(approx->v), 1e-10);
+  EXPECT_LT(ReconstructionError(a, *approx), 1e-9 * exact->s[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RandomizedSvdShapeTest,
+                         ::testing::Values(Shape{120, 30}, Shape{30, 120},
+                                           Shape{64, 64}, Shape{200, 12}),
+                         [](const auto& info) {
+                           return std::to_string(info.param.rows) + "x" +
+                                  std::to_string(info.param.cols);
+                         });
+
+TEST(RandomizedSvdTest, TruncatesToRequestedRankOnNoisyInput) {
+  const Matrix a = GappedLowRank(150, 40, 8, /*noise=*/1e-4, 23);
+  RandomizedSvdOptions options;
+  options.rank = 4;
+  options.power_iterations = 2;
+  const auto approx = RandomizedSvd(a, options);
+  ASSERT_TRUE(approx.ok()) << approx.status();
+  const auto exact = Svd(a);
+  ASSERT_TRUE(exact.ok());
+
+  ASSERT_EQ(approx->s.size(), 4u);
+  // Leading singular values match to the noise scale; the 2^-t gaps make
+  // the dominant subspace well-conditioned.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(approx->s[i], exact->s[i], 1e-6 * exact->s[0]) << "i=" << i;
+  }
+  // Leading left singular vectors align up to sign.
+  for (std::size_t j = 0; j < 4; ++j) {
+    double dot = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      dot += approx->u(i, j) * exact->u(i, j);
+    }
+    EXPECT_GT(std::fabs(dot), 0.999) << "column " << j;
+  }
+}
+
+TEST(RandomizedSvdTest, DeterministicForFixedSeed) {
+  const Matrix a = GappedLowRank(90, 25, 5, /*noise=*/1e-3, 31);
+  RandomizedSvdOptions options;
+  options.rank = 5;
+  const auto first = RandomizedSvd(a, options);
+  const auto second = RandomizedSvd(a, options);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_TRUE(BitwiseEqual(first->u, second->u));
+  EXPECT_TRUE(BitwiseEqual(first->v, second->v));
+  for (std::size_t i = 0; i < first->s.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(first->s[i]),
+              std::bit_cast<std::uint64_t>(second->s[i]));
+  }
+
+  options.seed ^= 0x9e3779b97f4a7c15ULL;
+  const auto reseeded = RandomizedSvd(a, options);
+  ASSERT_TRUE(reseeded.ok());
+  EXPECT_FALSE(BitwiseEqual(first->u, reseeded->u));
+}
+
+TEST(RandomizedSvdTest, WidthCoveringMinDimFallsBackToExact) {
+  const Matrix a = GappedLowRank(60, 10, 4, /*noise=*/1e-3, 41);
+  RandomizedSvdOptions options;
+  options.rank = 8;  // 8 + 8 oversample >= 10 columns.
+  const auto approx = RandomizedSvd(a, options);
+  ASSERT_TRUE(approx.ok()) << approx.status();
+  const auto exact = Svd(a);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_EQ(approx->s.size(), 8u);
+  // The fallback runs the exact decomposition and truncates, so the
+  // factors agree bitwise.
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(approx->s[i]),
+              std::bit_cast<std::uint64_t>(exact->s[i]));
+  }
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(approx->u(i, j)),
+                std::bit_cast<std::uint64_t>(exact->u(i, j)));
+    }
+  }
+}
+
+TEST(RandomizedSvdTest, ThreadCountInvariant) {
+  const Matrix a = GappedLowRank(300, 40, 6, /*noise=*/1e-3, 47);
+  RandomizedSvdOptions base;
+  base.rank = 6;
+  base.power_iterations = 1;
+  base.parallel = ParallelContext{1};
+  const auto serial = RandomizedSvd(a, base);
+  ASSERT_TRUE(serial.ok());
+  for (std::size_t threads : {2u, 8u}) {
+    RandomizedSvdOptions options = base;
+    options.parallel = ParallelContext{threads};
+    const auto parallel = RandomizedSvd(a, options);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_TRUE(BitwiseEqual(serial->u, parallel->u)) << threads;
+    EXPECT_TRUE(BitwiseEqual(serial->v, parallel->v)) << threads;
+  }
+}
+
+TEST(RandomizedSvdTest, RejectsInvalidArguments) {
+  const Matrix a = GappedLowRank(30, 10, 3, 0.0, 53);
+  RandomizedSvdOptions options;
+  options.rank = 0;
+  EXPECT_FALSE(RandomizedSvd(a, options).ok());
+
+  options.rank = 3;
+  options.power_iterations = -1;
+  EXPECT_FALSE(RandomizedSvd(a, options).ok());
+
+  options.power_iterations = 1;
+  EXPECT_FALSE(RandomizedSvd(Matrix(), options).ok());
+
+  Matrix bad = a;
+  bad(1, 1) = std::nan("");
+  EXPECT_FALSE(RandomizedSvd(bad, options).ok());
+}
+
+}  // namespace
+}  // namespace neuroprint::linalg

@@ -199,6 +199,36 @@ TEST(ThreadPoolTest, DirectUseRunsAllChunks) {
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(ThreadPoolTest, WorkStealingDrainsSkewedChunks) {
+  // Front-load the cost: the first owner range carries almost all the
+  // work, so the other runners go dry immediately and must steal from its
+  // back for the loop to finish promptly. Every chunk still runs exactly
+  // once regardless of who executes it.
+  ThreadPool pool(3);
+  constexpr std::size_t kChunks = 64;
+  std::vector<std::atomic<int>> hits(kChunks);
+  pool.ParallelFor(0, kChunks, 1, [&](std::size_t lo, std::size_t) {
+    if (lo < kChunks / 4) {
+      // Busy work on the expensive prefix (owned by runner 0).
+      volatile double sink = 0.0;
+      for (int i = 0; i < 200000; ++i) sink = sink + 1e-9;
+    }
+    hits[lo].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ManyMoreRunnersThanChunks) {
+  // max_runners far beyond the chunk count: runner count clamps to the
+  // chunk count and every chunk runs exactly once.
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(5);
+  pool.ParallelFor(0, 5, 1,
+                   [&](std::size_t lo, std::size_t) { hits[lo].fetch_add(1); },
+                   /*max_runners=*/64);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 TEST(ThreadPoolTest, ZeroWorkerPoolRunsOnCaller) {
   ThreadPool pool(0);
   EXPECT_EQ(pool.num_workers(), 0u);
