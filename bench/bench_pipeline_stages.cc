@@ -9,6 +9,10 @@
 // per-stage speedup is reported; outputs are bitwise-identical across
 // thread counts (see util/thread_pool.h), so only the times differ.
 // `--json=PATH` additionally emits the per-stage records as JSON.
+// `--trace=PATH` / `--metrics=PATH` enable the observability layer
+// (util/trace.h, util/metrics.h) and write the chrome://tracing span
+// dump / metrics JSON; with `--json` the metrics also ride along as
+// "metric/..." records.
 
 #include <cstdio>
 #include <string>
@@ -52,6 +56,8 @@ std::vector<std::pair<std::string, double>> TimeStages(
 int main(int argc, char** argv) {
   const std::size_t flag_threads = bench::ParseThreadsFlag(&argc, argv);
   const std::string json_path = bench::ParseJsonFlag(&argc, argv);
+  const std::string trace_path = bench::ParseTraceFlag(&argc, argv);
+  const std::string metrics_path = bench::ParseMetricsFlag(&argc, argv);
   const std::size_t threads = ResolveThreadCount(
       ParallelContext{flag_threads});
 
@@ -129,7 +135,12 @@ int main(int argc, char** argv) {
   }
   std::printf("%-26s %12.3f %12.3f %7.2fx %7s\n", "TOTAL", total_1t, total_nt,
               total_nt > 0.0 ? total_1t / total_nt : 0.0, "100%");
+  if (!trace_path.empty() || !metrics_path.empty()) {
+    bench::AppendMetricsRecords(json);
+  }
   bench::WriteCsvOrDie(csv, "fig4_pipeline_stages.csv");
   bench::WriteJsonOrDie(json, json_path);
+  bench::WriteTraceOrDie(trace_path);
+  bench::WriteMetricsOrDie(metrics_path);
   return 0;
 }

@@ -6,7 +6,9 @@
 #include <numeric>
 
 #include "util/check.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace neuroprint::bench {
 
@@ -217,6 +219,91 @@ void WriteJsonOrDie(const JsonReporter& json, const std::string& path) {
     std::exit(1);
   }
   std::printf("\n[json written: %s]\n", path.c_str());
+}
+
+namespace {
+
+std::string ParsePathFlag(int* argc, char** argv, const char* flag,
+                          std::size_t flag_len) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], flag, flag_len) == 0) {
+      path.assign(argv[i] + flag_len);
+      if (path.empty()) {
+        std::fprintf(stderr, "empty path in '%s'\n", argv[i]);
+        std::exit(2);
+      }
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return path;
+}
+
+}  // namespace
+
+std::string ParseTraceFlag(int* argc, char** argv) {
+  constexpr const char kFlag[] = "--trace=";
+  const std::string path = ParsePathFlag(argc, argv, kFlag, sizeof(kFlag) - 1);
+  if (!path.empty()) trace::SetEnabled(true);
+  return path;
+}
+
+std::string ParseMetricsFlag(int* argc, char** argv) {
+  constexpr const char kFlag[] = "--metrics=";
+  const std::string path = ParsePathFlag(argc, argv, kFlag, sizeof(kFlag) - 1);
+  if (!path.empty()) trace::SetEnabled(true);
+  return path;
+}
+
+void AppendMetricsRecords(JsonReporter& json) {
+  const metrics::Snapshot snapshot = metrics::Registry::Global().TakeSnapshot();
+  for (const auto& c : snapshot.counters) {
+    json.BeginRecord("metric/" + c.name);
+    json.AddTextField("kind", "counter");
+    json.AddTextField("stability", metrics::StabilityName(c.stability));
+    json.AddField("value", static_cast<double>(c.value));
+  }
+  for (const auto& g : snapshot.gauges) {
+    json.BeginRecord("metric/" + g.name);
+    json.AddTextField("kind", "gauge");
+    json.AddTextField("stability", metrics::StabilityName(g.stability));
+    json.AddField("value", g.value);
+  }
+  for (const auto& h : snapshot.histograms) {
+    json.BeginRecord("metric/" + h.name);
+    json.AddTextField("kind", "histogram");
+    json.AddTextField("stability", metrics::StabilityName(h.stability));
+    json.AddField("count", static_cast<double>(h.count));
+    json.AddField("sum", h.sum);
+    json.AddField("min", h.count > 0 ? h.min : 0.0);
+    json.AddField("max", h.count > 0 ? h.max : 0.0);
+  }
+}
+
+void WriteTraceOrDie(const std::string& trace_path) {
+  if (trace_path.empty()) return;
+  const Status status = trace::WriteChromeTrace(trace_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n", trace_path.c_str(),
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+  std::printf("[trace written: %s (%zu spans)]\n", trace_path.c_str(),
+              trace::EventCount());
+}
+
+void WriteMetricsOrDie(const std::string& metrics_path) {
+  if (metrics_path.empty()) return;
+  const Status status = metrics::WriteJson(metrics_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n", metrics_path.c_str(),
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+  std::printf("[metrics written: %s]\n", metrics_path.c_str());
 }
 
 }  // namespace neuroprint::bench

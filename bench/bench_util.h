@@ -102,6 +102,26 @@ std::string ParseJsonFlag(int* argc, char** argv);
 /// the path. A no-op when `path` is empty (flag absent).
 void WriteJsonOrDie(const JsonReporter& json, const std::string& path);
 
+/// Parses and strips a `--trace=PATH` flag from argv. When present,
+/// enables span/metric collection (trace::SetEnabled) and returns the
+/// chrome://tracing output path; "" when absent.
+std::string ParseTraceFlag(int* argc, char** argv);
+
+/// Parses and strips a `--metrics=PATH` flag from argv. When present,
+/// enables span/metric collection and returns the metrics-JSON output
+/// path; "" when absent.
+std::string ParseMetricsFlag(int* argc, char** argv);
+
+/// Appends one record per collected metric to `json` (name prefixed
+/// "metric/", fields kind/stability/value or count/sum/min/max), so a
+/// bench's `--json` artifact carries its metrics alongside the timings.
+void AppendMetricsRecords(JsonReporter& json);
+
+/// Writes the chrome trace / metrics JSON to their paths (no-op for empty
+/// paths; aborts the bench on I/O failure).
+void WriteTraceOrDie(const std::string& trace_path);
+void WriteMetricsOrDie(const std::string& metrics_path);
+
 }  // namespace neuroprint::bench
 
 #endif  // NEUROPRINT_BENCH_BENCH_UTIL_H_

@@ -3,12 +3,15 @@
 #include <cmath>
 
 #include "linalg/stats.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
+#include "util/trace.h"
 
 namespace neuroprint::connectome {
 
 Result<linalg::Matrix> BuildConnectome(const linalg::Matrix& region_series,
                                        const ParallelContext& ctx) {
+  NP_TRACE_SCOPE("connectome.build");
   if (region_series.rows() < 2) {
     return Status::InvalidArgument(
         "BuildConnectome: need at least 2 regions");
@@ -20,6 +23,10 @@ Result<linalg::Matrix> BuildConnectome(const linalg::Matrix& region_series,
   if (!region_series.AllFinite()) {
     return Status::InvalidArgument("BuildConnectome: non-finite series");
   }
+  // Runs inside parallel regions (cohort synthesis): integer counter adds
+  // commute exactly, so these stay semantic-deterministic.
+  metrics::Count("connectome.builds", 1);
+  metrics::Count("connectome.edges", NumEdges(region_series.rows()));
   return linalg::RowCorrelation(region_series, ctx);
 }
 

@@ -1,11 +1,14 @@
 #include "core/attack.h"
 
+#include "util/metrics.h"
 #include "util/string_util.h"
 
 namespace neuroprint::core {
 
 Result<DeanonymizationAttack> DeanonymizationAttack::Fit(
     const connectome::GroupMatrix& known, const AttackOptions& options) {
+  trace::ScopedEnable trace_enable(options.trace.enabled);
+  NP_TRACE_SCOPE("attack.fit");
   if (options.num_features == 0) {
     return Status::InvalidArgument("AttackOptions: num_features must be > 0");
   }
@@ -31,16 +34,23 @@ Result<DeanonymizationAttack> DeanonymizationAttack::Fit(
     return Status::FailedPrecondition(
         "DeanonymizationAttack: fewer than 2 usable features");
   }
+  NP_TRACE_SCOPE("attack.fit.restrict");
   auto reduced = known.RestrictToFeatures(attack.selected_features_);
   if (!reduced.ok()) return reduced.status();
   attack.reduced_known_ = std::move(reduced).value();
   attack.full_feature_count_ = known.num_features();
   attack.parallel_ = options.parallel;
+  attack.trace_ = options.trace;
+  metrics::Count("attack.fits", 1);
+  metrics::SetGauge("attack.selected_features",
+                    static_cast<double>(attack.selected_features_.size()));
   return attack;
 }
 
 Result<AttackResult> DeanonymizationAttack::Identify(
     const connectome::GroupMatrix& anonymous) const {
+  trace::ScopedEnable trace_enable(trace_.enabled);
+  NP_TRACE_SCOPE("attack.identify");
   if (anonymous.num_features() != full_feature_count_) {
     return Status::InvalidArgument(StrFormat(
         "Identify: anonymous dataset has %zu features, attack was fitted "
@@ -49,12 +59,21 @@ Result<AttackResult> DeanonymizationAttack::Identify(
   }
   auto reduced = anonymous.RestrictToFeatures(selected_features_);
   if (!reduced.ok()) return reduced.status();
+  metrics::Count("attack.identifies", 1);
+  metrics::SetGauge("attack.identify_subjects",
+                    static_cast<double>(anonymous.num_subjects()));
 
   AttackResult result;
-  auto similarity = SimilarityMatrix(reduced_known_, *reduced, parallel_);
-  if (!similarity.ok()) return similarity.status();
-  result.similarity = std::move(similarity).value();
-  result.predicted_index = ArgmaxMatch(result.similarity, parallel_);
+  {
+    NP_TRACE_SCOPE("attack.identify.similarity");
+    auto similarity = SimilarityMatrix(reduced_known_, *reduced, parallel_);
+    if (!similarity.ok()) return similarity.status();
+    result.similarity = std::move(similarity).value();
+  }
+  {
+    NP_TRACE_SCOPE("attack.identify.argmax");
+    result.predicted_index = ArgmaxMatch(result.similarity, parallel_);
+  }
 
   result.predicted_ids.reserve(result.predicted_index.size());
   for (std::size_t idx : result.predicted_index) {

@@ -16,6 +16,7 @@
 #include "core/leverage.h"
 #include "core/matcher.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 namespace neuroprint::core {
 
@@ -30,6 +31,10 @@ struct AttackOptions {
   /// Threads for the similarity / argmax stages of Identify (captured at
   /// Fit time). Never changes results, only wall-clock time.
   ParallelContext parallel;
+  /// Observability: `trace.enabled = true` collects spans and metrics for
+  /// this Fit and the resulting attack's Identify calls even when
+  /// NEUROPRINT_TRACE is unset (see util/trace.h).
+  trace::TraceConfig trace;
 };
 
 /// Outcome of one identification run.
@@ -69,6 +74,7 @@ class DeanonymizationAttack {
   linalg::Vector leverage_scores_;
   std::size_t full_feature_count_ = 0;
   ParallelContext parallel_;
+  trace::TraceConfig trace_;
 };
 
 }  // namespace neuroprint::core

@@ -7,7 +7,9 @@
 #include "linalg/eig_sym.h"
 #include "linalg/randomized_svd.h"
 #include "linalg/svd.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
+#include "util/trace.h"
 
 namespace neuroprint::core {
 namespace {
@@ -50,6 +52,8 @@ Result<linalg::Vector> LeverageViaSketch(const linalg::Matrix& a,
     return Status::FailedPrecondition(
         "ComputeLeverageScores: matrix is numerically zero");
   }
+  metrics::SetGauge("leverage.rank", static_cast<double>(k));
+  metrics::SetGauge("leverage.sketch_rank", static_cast<double>(ropts.rank));
   return RowSquaredNorms(rsvd->u, k);
 }
 
@@ -81,6 +85,7 @@ Result<linalg::Vector> LeverageViaGram(const linalg::Matrix& a,
       basis(i, j) = eig->eigenvectors(i, j) * inv_sigma;
     }
   }
+  metrics::SetGauge("leverage.rank", static_cast<double>(k));
   const linalg::Matrix u = linalg::MatMul(a, basis, options.parallel);
   return RowSquaredNorms(u, k);
 }
@@ -89,6 +94,8 @@ Result<linalg::Vector> LeverageViaGram(const linalg::Matrix& a,
 
 Result<linalg::Vector> ComputeLeverageScores(const linalg::Matrix& a,
                                              const LeverageOptions& options) {
+  NP_TRACE_SCOPE("leverage.compute");
+  metrics::Count("leverage.calls", 1);
   if (a.rows() == 0 || a.cols() == 0) {
     return Status::InvalidArgument("ComputeLeverageScores: empty matrix");
   }
@@ -102,7 +109,10 @@ Result<linalg::Vector> ComputeLeverageScores(const linalg::Matrix& a,
     if (sketched.ok() && options.diagnostics != nullptr) {
       options.diagnostics->used_sketch = true;
     }
-    if (sketched.ok()) return sketched;
+    if (sketched.ok()) {
+      metrics::Count("leverage.path.sketch", 1);
+      return sketched;
+    }
     // Fall through to the exact paths on numerical failure.
   }
   if (options.allow_gram_fast_path && a.rows() >= 4 * a.cols()) {
@@ -111,6 +121,7 @@ Result<linalg::Vector> ComputeLeverageScores(const linalg::Matrix& a,
       if (options.diagnostics != nullptr) {
         options.diagnostics->used_gram_fast_path = true;
       }
+      metrics::Count("leverage.path.gram", 1);
       return fast;
     }
     // Fall through to the exact path on numerical failure.
@@ -131,6 +142,8 @@ Result<linalg::Vector> ComputeLeverageScores(const linalg::Matrix& a,
     return Status::FailedPrecondition(
         "ComputeLeverageScores: matrix is numerically zero");
   }
+  metrics::Count("leverage.path.svd", 1);
+  metrics::SetGauge("leverage.rank", static_cast<double>(k));
   return RowSquaredNorms(svd->u, k);
 }
 

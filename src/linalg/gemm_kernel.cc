@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/metrics.h"
 
 namespace neuroprint::linalg {
 namespace {
@@ -359,6 +360,10 @@ void TiledGemm(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b,
   const std::size_t n = trans_b ? b.rows() : b.cols();
   NP_CHECK_EQ(k_dim, k_b) << "TiledGemm contraction mismatch";
   NP_CHECK(c->rows() == m && c->cols() == n) << "TiledGemm output shape";
+  // Counted at the public tiled entry only — ReferenceGemm also serves as
+  // the internal small-problem path, so counting there would double-book.
+  metrics::Count("gemm.calls", 1);
+  metrics::Count("gemm.flops", 2 * m * n * k_dim);
   if (m == 0 || n == 0) return;
   if (k_dim == 0) {
     c->Fill(0.0);
@@ -380,6 +385,9 @@ void TiledGram(const Matrix& a, Matrix* g, const ParallelContext& ctx) {
   const std::size_t n = a.cols();
   const std::size_t m = a.rows();
   NP_CHECK(g->rows() == n && g->cols() == n) << "TiledGram output shape";
+  metrics::Count("gemm.gram_calls", 1);
+  // Upper triangle incl. diagonal: m * n(n+1)/2 multiply-adds = 2 flops.
+  metrics::Count("gemm.flops", m * n * (n + 1));
   if (n == 0) return;
   if (m == 0) {
     g->Fill(0.0);

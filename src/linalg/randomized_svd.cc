@@ -5,8 +5,10 @@
 
 #include "linalg/cholesky.h"
 #include "linalg/qr.h"
+#include "util/metrics.h"
 #include "util/random.h"
 #include "util/string_util.h"
+#include "util/trace.h"
 
 namespace neuroprint::linalg {
 namespace {
@@ -100,6 +102,8 @@ Result<SvdDecomposition> RandomizedSvdTall(const Matrix& a,
 
 Result<SvdDecomposition> RandomizedSvd(const Matrix& a,
                                        const RandomizedSvdOptions& options) {
+  NP_TRACE_SCOPE("linalg.randomized_svd");
+  metrics::Count("rsvd.calls", 1);
   if (options.rank == 0) {
     return Status::InvalidArgument("RandomizedSvd: options.rank must be > 0");
   }

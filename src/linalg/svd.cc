@@ -8,7 +8,9 @@
 
 #include "linalg/qr.h"
 #include "linalg/vector_ops.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
+#include "util/trace.h"
 
 namespace neuroprint::linalg {
 namespace {
@@ -136,6 +138,7 @@ Status GolubReinsch(Matrix& u, Vector& w, Matrix& v, int max_its) {
 
   // Diagonalization of the bidiagonal form: QR iteration with implicit
   // Wilkinson shifts.
+  std::uint64_t qr_its = 0;
   for (int k = n - 1; k >= 0; --k) {
     for (int its = 0;; ++its) {
       bool flag = true;
@@ -184,6 +187,7 @@ Status GolubReinsch(Matrix& u, Vector& w, Matrix& v, int max_its) {
             "SVD: no convergence for singular value %d after %d iterations",
             k, max_its));
       }
+      ++qr_its;
       // Shift from the bottom 2x2 minor.
       double x = w[l];
       int nm2 = k - 1;
@@ -237,6 +241,10 @@ Status GolubReinsch(Matrix& u, Vector& w, Matrix& v, int max_its) {
       w[k] = x;
     }
   }
+  // GolubReinsch runs exactly once per bidiagonal diagonalization (the
+  // QR-preconditioned path recurses with force_direct before reaching
+  // here), so this is the true shifted-QR work count.
+  metrics::Count("svd.qr_iterations", qr_its);
   return Status::OK();
 }
 
@@ -318,6 +326,8 @@ std::size_t SvdDecomposition::Rank(double rel_tol) const {
 }
 
 Result<SvdDecomposition> Svd(const Matrix& a, const SvdOptions& options) {
+  NP_TRACE_SCOPE("linalg.svd");
+  metrics::Count("svd.calls", 1);
   if (!a.AllFinite()) {
     return Status::InvalidArgument("Svd: non-finite input");
   }
@@ -327,7 +337,13 @@ Result<SvdDecomposition> Svd(const Matrix& a, const SvdOptions& options) {
     d.v = Matrix(a.cols(), 0);
     return d;
   }
-  if (a.rows() >= a.cols()) return SvdTall(a, options);
+  if (a.rows() >= a.cols()) {
+    Result<SvdDecomposition> d = SvdTall(a, options);
+    if (d.ok() && d->qr_preconditioned) {
+      metrics::Count("svd.qr_preconditioned", 1);
+    }
+    return d;
+  }
 
   // Wide input: SVD of A^T swaps the roles of U and V.
   Result<SvdDecomposition> t = SvdTall(a.Transposed(), options);
@@ -337,6 +353,7 @@ Result<SvdDecomposition> Svd(const Matrix& a, const SvdOptions& options) {
   d.s = std::move(t->s);
   d.v = std::move(t->u);
   d.qr_preconditioned = t->qr_preconditioned;
+  if (d.qr_preconditioned) metrics::Count("svd.qr_preconditioned", 1);
   return d;
 }
 

@@ -10,11 +10,13 @@
 #include "util/check.h"          // NP_CHECK fail-fast macros.
 #include "util/csv_writer.h"     // CSV output.
 #include "util/logging.h"        // NP_LOG leveled logging.
+#include "util/metrics.h"        // Counters / gauges / histograms registry.
 #include "util/random.h"         // Seedable PCG64 RNG.
 #include "util/status.h"         // Status / Result<T> error handling.
 #include "util/stopwatch.h"      // Wall-clock timing.
 #include "util/string_util.h"    // StrFormat and friends.
 #include "util/thread_pool.h"    // Deterministic ParallelFor / thread knob.
+#include "util/trace.h"          // NP_TRACE_SCOPE spans + chrome export.
 
 // Dense linear algebra.
 #include "linalg/cholesky.h"       // SPD factorization and solves.

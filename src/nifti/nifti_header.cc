@@ -1,6 +1,8 @@
 #include "nifti/nifti_header.h"
 
+#include <cmath>
 #include <cstring>
+#include <limits>
 
 #include "util/check.h"
 #include "util/endian.h"
@@ -128,7 +130,15 @@ Result<std::size_t> NiftiHeader::VoxelCount() const {
       return Status::CorruptData(
           StrFormat("NIfTI dim[%d] non-positive: %d", d, dim[d]));
     }
-    count *= static_cast<std::size_t>(dim[d]);
+    const std::size_t extent = static_cast<std::size_t>(dim[d]);
+    // Overflow-checked multiply: 7 dims of 32767 would wrap std::size_t
+    // and turn an absurd header into a tiny, "valid" allocation.
+    if (count > std::numeric_limits<std::size_t>::max() / extent) {
+      return Status::CorruptData(
+          StrFormat("NIfTI dim[] product overflows (dim[%d] = %d)", d,
+                    dim[d]));
+    }
+    count *= extent;
   }
   return count;
 }
@@ -140,6 +150,14 @@ Status NiftiHeader::Validate() const {
     return Status::InvalidArgument(
         StrFormat("unsupported NIfTI datatype code %d",
                   static_cast<int>(datatype)));
+  }
+  // The < comparison alone would pass NaN through, and the later
+  // float -> size_t conversion of a NaN/huge offset is UB.
+  constexpr float kMaxVoxOffset = 1.0e9f;
+  if (!std::isfinite(vox_offset) || vox_offset > kMaxVoxOffset) {
+    return Status::CorruptData(
+        StrFormat("NIfTI vox_offset %g is not a plausible file offset",
+                  static_cast<double>(vox_offset)));
   }
   if (vox_offset < static_cast<float>(kNiftiHeaderSize)) {
     return Status::CorruptData(

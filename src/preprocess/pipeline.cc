@@ -1,9 +1,11 @@
 #include "preprocess/pipeline.h"
 
 #include <cmath>
+#include <string>
 #include <utility>
 
 #include "linalg/stats.h"
+#include "util/metrics.h"
 #include "util/stopwatch.h"
 
 namespace neuroprint::preprocess {
@@ -103,6 +105,7 @@ Status CleanRegionSeries(linalg::Matrix& series, const PipelineConfig& config,
   // Detrend.
   if (config.detrend_degree >= 0 &&
       static_cast<std::size_t>(config.detrend_degree) < nt) {
+    NP_TRACE_SCOPE("pipeline.cleanup.detrend");
     NP_RETURN_IF_ERROR(ParallelForStatus(
         config.parallel, 0, regions, 1,
         [&](std::size_t r_lo, std::size_t r_hi) -> Status {
@@ -132,6 +135,7 @@ Status CleanRegionSeries(linalg::Matrix& series, const PipelineConfig& config,
     // (the filter itself rejects cutoffs above Nyquist).
     const double nyquist = 0.5 / tr_seconds;
     if (band.high_cutoff_hz < nyquist) {
+      NP_TRACE_SCOPE("pipeline.cleanup.filter");
       NP_RETURN_IF_ERROR(ParallelForStatus(
           config.parallel, 0, regions, 1,
           [&](std::size_t r_lo, std::size_t r_hi) -> Status {
@@ -149,6 +153,7 @@ Status CleanRegionSeries(linalg::Matrix& series, const PipelineConfig& config,
   // treatment implicitly when derived from the cleaned series; an external
   // (voxel-derived) global signal is used as given.
   if (config.global_signal_regression) {
+    NP_TRACE_SCOPE("pipeline.cleanup.gsr");
     std::vector<double> global = global_signal;
     if (global.empty()) {
       const linalg::Vector col_means = linalg::ColMeans(series);
@@ -171,6 +176,7 @@ Status CleanRegionSeries(linalg::Matrix& series, const PipelineConfig& config,
   }
 
   if (config.zscore_series) {
+    NP_TRACE_SCOPE("pipeline.cleanup.zscore");
     linalg::ZScoreRowsInPlace(series, config.parallel);
   }
   return Status::OK();
@@ -188,15 +194,27 @@ Result<PipelineOutput> RunPipeline(const image::Volume4D& raw,
     return Status::InvalidArgument("RunPipeline: run and atlas grids differ");
   }
 
+  trace::ScopedEnable trace_enable(config.trace.enabled);
+  NP_TRACE_SCOPE("pipeline.run");
+  metrics::Count("pipeline.runs", 1);
+  metrics::SetGauge("pipeline.voxels_per_frame",
+                    static_cast<double>(raw.nx() * raw.ny() * raw.nz()));
+  metrics::SetGauge("pipeline.frames", static_cast<double>(raw.nt()));
+
   PipelineOutput output;
   image::Volume4D run = raw;
   Stopwatch stage_clock;
   auto log_stage = [&](const char* name) {
-    output.stage_seconds.emplace_back(name, stage_clock.ElapsedSeconds());
+    const double seconds = stage_clock.ElapsedSeconds();
+    output.stage_seconds.emplace_back(name, seconds);
+    if (trace::Enabled()) {
+      metrics::Observe(std::string("pipeline.stage_seconds.") + name, seconds);
+    }
     stage_clock.Restart();
   };
 
   if (config.slice_time_correction && run.nz() > 1 && run.nt() > 2) {
+    NP_TRACE_SCOPE("pipeline.slice_timing");
     auto corrected = SliceTimeCorrect(run, config.slice_order);
     if (!corrected.ok()) return corrected.status();
     run = std::move(corrected).value();
@@ -204,6 +222,7 @@ Result<PipelineOutput> RunPipeline(const image::Volume4D& raw,
   }
 
   if (config.motion_correction && run.nt() > 1) {
+    NP_TRACE_SCOPE("pipeline.motion_correction");
     auto corrected = image::MotionCorrect(run, config.registration);
     if (!corrected.ok()) return corrected.status();
     run = std::move(corrected->corrected);
@@ -211,13 +230,17 @@ Result<PipelineOutput> RunPipeline(const image::Volume4D& raw,
     log_stage("motion_correction");
   }
 
-  auto mask = image::ComputeBrainMask(run, config.mask_fraction);
-  if (!mask.ok()) return mask.status();
-  output.mask = std::move(mask).value();
-  image::ApplyMask(run, output.mask);
-  log_stage("masking");
+  {
+    NP_TRACE_SCOPE("pipeline.masking");
+    auto mask = image::ComputeBrainMask(run, config.mask_fraction);
+    if (!mask.ok()) return mask.status();
+    output.mask = std::move(mask).value();
+    image::ApplyMask(run, output.mask);
+    log_stage("masking");
+  }
 
   if (config.smoothing_fwhm_mm > 0.0) {
+    NP_TRACE_SCOPE("pipeline.smoothing");
     auto smoothed = image::GaussianSmooth4D(run, config.smoothing_fwhm_mm);
     if (!smoothed.ok()) return smoothed.status();
     run = std::move(smoothed).value();
@@ -225,11 +248,16 @@ Result<PipelineOutput> RunPipeline(const image::Volume4D& raw,
   }
 
   // Global signal is taken after masking/smoothing, before scaling (the
-  // regression is scale-invariant either way).
-  const std::vector<double> global =
-      GlobalSignal(run, output.mask, config.parallel);
+  // regression is scale-invariant either way). Its cost is charged to the
+  // intensity_normalization stage in the timing log.
+  std::vector<double> global;
+  {
+    NP_TRACE_SCOPE("pipeline.global_signal");
+    global = GlobalSignal(run, output.mask, config.parallel);
+  }
 
   if (config.intensity_normalization) {
+    NP_TRACE_SCOPE("pipeline.intensity_normalization");
     const double grand_mean = GrandMean(run, output.mask, config.parallel);
     if (grand_mean > 0.0) {
       const float scale =
@@ -239,14 +267,22 @@ Result<PipelineOutput> RunPipeline(const image::Volume4D& raw,
     log_stage("intensity_normalization");
   }
 
-  auto series = atlas::ExtractRegionTimeSeries(run, atlas);
-  if (!series.ok()) return series.status();
-  output.region_series = std::move(series).value();
-  log_stage("region_averaging");
+  {
+    NP_TRACE_SCOPE("pipeline.region_averaging");
+    auto series = atlas::ExtractRegionTimeSeries(run, atlas);
+    if (!series.ok()) return series.status();
+    output.region_series = std::move(series).value();
+    log_stage("region_averaging");
+  }
+  metrics::SetGauge("pipeline.regions",
+                    static_cast<double>(output.region_series.rows()));
 
-  NP_RETURN_IF_ERROR(CleanRegionSeries(output.region_series, config,
-                                       run.spacing().tr_seconds, global));
-  log_stage("temporal_cleanup");
+  {
+    NP_TRACE_SCOPE("pipeline.temporal_cleanup");
+    NP_RETURN_IF_ERROR(CleanRegionSeries(output.region_series, config,
+                                         run.spacing().tr_seconds, global));
+    log_stage("temporal_cleanup");
+  }
   return output;
 }
 

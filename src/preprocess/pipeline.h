@@ -33,6 +33,7 @@
 #include "preprocess/slice_timing.h"
 #include "signal/filters.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 namespace neuroprint::preprocess {
 
@@ -68,6 +69,11 @@ struct PipelineConfig {
   /// Threads for the per-voxel and per-region stages. Never changes
   /// results (see util/thread_pool.h), only wall-clock time.
   ParallelContext parallel;
+
+  /// Observability: `trace.enabled = true` collects per-stage spans and
+  /// metrics for this run even when NEUROPRINT_TRACE is unset (see
+  /// util/trace.h).
+  trace::TraceConfig trace;
 };
 
 /// Preset matching the paper's resting-state processing.

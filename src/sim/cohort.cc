@@ -7,7 +7,9 @@
 #include "linalg/cholesky.h"
 #include "sim/hemodynamics.h"
 #include "linalg/vector_ops.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
+#include "util/trace.h"
 
 namespace neuroprint::sim {
 namespace {
@@ -236,6 +238,7 @@ linalg::Matrix CohortSimulator::StableCovariance(std::size_t subject,
 
 Result<linalg::Matrix> CohortSimulator::SimulateRegionSeries(
     std::size_t subject, TaskType task, Encoding encoding) const {
+  NP_TRACE_SCOPE("cohort.simulate_scan");
   if (subject >= config_.num_subjects) {
     return Status::OutOfRange(
         StrFormat("SimulateRegionSeries: subject %zu out of %zu", subject,
@@ -310,6 +313,9 @@ Result<linalg::Matrix> CohortSimulator::SimulateRegionSeries(
 
 Result<connectome::GroupMatrix> CohortSimulator::BuildGroupMatrix(
     TaskType task, Encoding encoding, double multisite_noise_fraction) const {
+  NP_TRACE_SCOPE("cohort.build_group_matrix");
+  metrics::Count("cohort.builds", 1);
+  metrics::Count("cohort.scans", config_.num_subjects);
   // Every scan derives its own generator from ScanSeed, so subjects
   // synthesize independently in parallel, each writing its own column.
   std::vector<linalg::Vector> columns(config_.num_subjects);
@@ -317,6 +323,7 @@ Result<connectome::GroupMatrix> CohortSimulator::BuildGroupMatrix(
       config_.parallel, 0, config_.num_subjects, 1,
       [&](std::size_t s_lo, std::size_t s_hi) -> Status {
         for (std::size_t s = s_lo; s < s_hi; ++s) {
+          NP_TRACE_SCOPE("cohort.scan");
           auto series = SimulateRegionSeries(s, task, encoding);
           if (!series.ok()) return series.status();
           if (multisite_noise_fraction > 0.0) {

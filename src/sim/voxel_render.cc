@@ -5,6 +5,7 @@
 
 #include "image/resample.h"
 #include "util/string_util.h"
+#include "util/trace.h"
 
 namespace neuroprint::sim {
 
@@ -12,6 +13,7 @@ Result<image::Volume4D> RenderVoxelRun(const atlas::Atlas& atlas,
                                        const linalg::Matrix& region_series,
                                        const VoxelRenderConfig& config,
                                        Rng& rng) {
+  NP_TRACE_SCOPE("sim.render_voxels");
   if (atlas.empty()) {
     return Status::InvalidArgument("RenderVoxelRun: empty atlas");
   }

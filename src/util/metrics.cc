@@ -1,0 +1,232 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+
+#include "util/trace.h"
+
+namespace neuroprint::metrics {
+namespace {
+
+// %.17g round-trips doubles exactly; JSON has no NaN/Inf literals, so
+// non-finite values (shouldn't happen) serialize as null.
+void AppendJsonNumber(double value, std::string* out) {
+  if (!std::isfinite(value)) {
+    *out += "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  *out += buf;
+}
+
+void AppendEscaped(const std::string& in, std::string* out) {
+  for (char c : in) {
+    if (c == '"' || c == '\\') *out += '\\';
+    *out += c;
+  }
+}
+
+}  // namespace
+
+const char* StabilityName(Stability stability) {
+  switch (stability) {
+    case Stability::kSemantic:
+      return "semantic";
+    case Stability::kTiming:
+      return "timing";
+    case Stability::kScheduler:
+      return "scheduler";
+  }
+  return "unknown";
+}
+
+Snapshot Snapshot::SemanticOnly() const {
+  Snapshot out;
+  for (const CounterValue& c : counters) {
+    if (c.stability == Stability::kSemantic) out.counters.push_back(c);
+  }
+  for (const GaugeValue& g : gauges) {
+    if (g.stability == Stability::kSemantic) out.gauges.push_back(g);
+  }
+  for (const HistogramValue& h : histograms) {
+    if (h.stability == Stability::kSemantic) out.histograms.push_back(h);
+  }
+  return out;
+}
+
+std::string Snapshot::ToJson() const {
+  std::string out = "[";
+  bool first = true;
+  char buf[64];
+  auto begin_entry = [&](const std::string& name, const char* kind,
+                         Stability stability) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  {\"name\": \"";
+    AppendEscaped(name, &out);
+    out += "\", \"kind\": \"";
+    out += kind;
+    out += "\", \"stability\": \"";
+    out += StabilityName(stability);
+    out += "\"";
+  };
+  for (const CounterValue& c : counters) {
+    begin_entry(c.name, "counter", c.stability);
+    std::snprintf(buf, sizeof(buf), ", \"value\": %llu}",
+                  static_cast<unsigned long long>(c.value));
+    out += buf;
+  }
+  for (const GaugeValue& g : gauges) {
+    begin_entry(g.name, "gauge", g.stability);
+    out += ", \"value\": ";
+    AppendJsonNumber(g.value, &out);
+    out += "}";
+  }
+  for (const HistogramValue& h : histograms) {
+    begin_entry(h.name, "histogram", h.stability);
+    std::snprintf(buf, sizeof(buf), ", \"count\": %llu",
+                  static_cast<unsigned long long>(h.count));
+    out += buf;
+    out += ", \"sum\": ";
+    AppendJsonNumber(h.sum, &out);
+    out += ", \"min\": ";
+    AppendJsonNumber(h.count > 0 ? h.min : 0.0, &out);
+    out += ", \"max\": ";
+    AppendJsonNumber(h.count > 0 ? h.max : 0.0, &out);
+    out += "}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+std::string Snapshot::ToCsv() const {
+  std::string out = "name,kind,stability,value,count,sum,min,max\n";
+  char buf[128];
+  for (const CounterValue& c : counters) {
+    std::snprintf(buf, sizeof(buf), "%s,counter,%s,%llu,,,,\n",
+                  c.name.c_str(), StabilityName(c.stability),
+                  static_cast<unsigned long long>(c.value));
+    out += buf;
+  }
+  for (const GaugeValue& g : gauges) {
+    std::snprintf(buf, sizeof(buf), "%s,gauge,%s,%.17g,,,,\n",
+                  g.name.c_str(), StabilityName(g.stability), g.value);
+    out += buf;
+  }
+  for (const HistogramValue& h : histograms) {
+    std::snprintf(buf, sizeof(buf), "%s,histogram,%s,,%llu,%.17g,%.17g,%.17g\n",
+                  h.name.c_str(), StabilityName(h.stability),
+                  static_cast<unsigned long long>(h.count), h.sum,
+                  h.count > 0 ? h.min : 0.0, h.count > 0 ? h.max : 0.0);
+    out += buf;
+  }
+  return out;
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+void Registry::Add(std::string_view name, std::uint64_t delta,
+                   Stability stability) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), CounterCell{stability, 0})
+             .first;
+  }
+  it->second.value += delta;
+}
+
+void Registry::Set(std::string_view name, double value, Stability stability) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), GaugeCell{stability, 0.0}).first;
+  }
+  it->second.value = value;
+}
+
+void Registry::Observe(std::string_view name, double value,
+                       Stability stability) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), HistogramCell{stability})
+             .first;
+  }
+  HistogramCell& cell = it->second;
+  if (cell.count == 0) {
+    cell.min = value;
+    cell.max = value;
+  } else {
+    cell.min = std::min(cell.min, value);
+    cell.max = std::max(cell.max, value);
+  }
+  ++cell.count;
+  cell.sum += value;
+}
+
+Snapshot Registry::TakeSnapshot() const {
+  Snapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, cell] : counters_) {
+    snapshot.counters.push_back(CounterValue{name, cell.stability, cell.value});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, cell] : gauges_) {
+    snapshot.gauges.push_back(GaugeValue{name, cell.stability, cell.value});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, cell] : histograms_) {
+    snapshot.histograms.push_back(HistogramValue{name, cell.stability,
+                                                 cell.count, cell.sum,
+                                                 cell.min, cell.max});
+  }
+  return snapshot;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+void Count(std::string_view name, std::uint64_t delta, Stability stability) {
+  if (!trace::Enabled()) return;
+  Registry::Global().Add(name, delta, stability);
+}
+
+void SetGauge(std::string_view name, double value, Stability stability) {
+  if (!trace::Enabled()) return;
+  Registry::Global().Set(name, value, stability);
+}
+
+void Observe(std::string_view name, double value, Stability stability) {
+  if (!trace::Enabled()) return;
+  Registry::Global().Observe(name, value, stability);
+}
+
+Status WriteJson(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open metrics output: " + path);
+  }
+  const std::string json = Registry::Global().TakeSnapshot().ToJson();
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  out.flush();
+  if (!out) {
+    return Status::IOError("failed writing metrics output: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace neuroprint::metrics

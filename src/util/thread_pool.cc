@@ -8,6 +8,9 @@
 #include <memory>
 #include <string>
 
+#include "util/metrics.h"
+#include "util/trace.h"
+
 namespace neuroprint {
 namespace {
 
@@ -176,6 +179,11 @@ void ThreadPool::ParallelFor(
     std::mutex error_mutex;
     std::size_t error_chunk = static_cast<std::size_t>(-1);
     std::exception_ptr error;
+    // Scheduler telemetry, published to the metrics registry after the
+    // loop completes. How chunks land on runners depends on timing, so
+    // these are tagged Stability::kScheduler (nondeterministic).
+    std::atomic<std::size_t> steals{0};
+    std::atomic<std::size_t> idle_scans{0};
   };
   auto state = std::make_shared<LoopState>(runners);
   state->remaining.store(num_chunks, std::memory_order_relaxed);
@@ -246,11 +254,15 @@ void ThreadPool::ParallelFor(
                                            std::memory_order_acq_rel)) {
             execute(hi - 1);
             stole = true;
+            state->steals.fetch_add(1, std::memory_order_relaxed);
             break;
           }
         }
       }
-      if (!stole) break;
+      if (!stole) {
+        state->idle_scans.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
     }
   };
 
@@ -267,7 +279,35 @@ void ThreadPool::ParallelFor(
       return state->remaining.load(std::memory_order_acquire) == 0;
     });
   }
-  if (state->error) std::rethrow_exception(state->error);
+  if (trace::Enabled()) {
+    using metrics::Stability;
+    metrics::Count("threadpool.loops", 1, Stability::kScheduler);
+    metrics::Count("threadpool.chunks", num_chunks, Stability::kScheduler);
+    metrics::Count("threadpool.runners", runners, Stability::kScheduler);
+    metrics::Count("threadpool.steals",
+                   state->steals.load(std::memory_order_relaxed),
+                   Stability::kScheduler);
+    metrics::Count("threadpool.idle_scans",
+                   state->idle_scans.load(std::memory_order_relaxed),
+                   Stability::kScheduler);
+  }
+  // Move the propagated exception out of the shared state before
+  // rethrowing: workers may still hold their LoopState reference (their
+  // task std::function dies after remaining hits 0), and if one of them
+  // performed the final exception_ptr release, the exception object
+  // would be destroyed on a worker concurrently with this thread's catch
+  // handler reading it. That ordering is actually safe — eh_ptr's
+  // refcount is atomic — but the refcount lives in uninstrumented
+  // libsupc++, so TSan cannot see the synchronization and reports it as
+  // a race. Draining the pointer here keeps the final release on the
+  // calling thread.
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(state->error_mutex);
+    error = std::move(state->error);
+    state->error = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 namespace internal {

@@ -1,0 +1,214 @@
+#include "util/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace neuroprint::trace {
+namespace {
+
+// Collected spans plus the dense thread-id counter, behind one mutex.
+// Span close is the only hot-path lock (span open is lock-free), and
+// spans closing is rare relative to the work they bracket.
+struct TraceState {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::uint32_t next_thread_id = 0;
+};
+
+TraceState& State() {
+  static TraceState* state = new TraceState();
+  return *state;
+}
+
+std::atomic<bool>& EnabledFlag() {
+  // Latches NEUROPRINT_TRACE on first use, mirroring NEUROPRINT_THREADS
+  // in the thread pool; SetEnabled overrides the latch afterwards.
+  static std::atomic<bool> flag{
+      ParseTraceEnv(std::getenv("NEUROPRINT_TRACE"))};
+  return flag;
+}
+
+std::chrono::steady_clock::time_point Epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Epoch())
+          .count());
+}
+
+// Dense per-thread trace id, assigned in first-span order, plus the
+// thread's current span nesting depth.
+struct ThreadTraceState {
+  std::uint32_t id = 0;
+  bool id_assigned = false;
+  std::uint32_t depth = 0;
+};
+
+ThreadTraceState& LocalState() {
+  thread_local ThreadTraceState local;
+  return local;
+}
+
+std::uint32_t LocalThreadId() {
+  ThreadTraceState& local = LocalState();
+  if (!local.id_assigned) {
+    TraceState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    local.id = state.next_thread_id++;
+    local.id_assigned = true;
+  }
+  return local.id;
+}
+
+void AppendJsonEscaped(const std::string& in, std::string* out) {
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+bool Enabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+bool ParseTraceEnv(const char* value) {
+  if (value == nullptr || value[0] == '\0') return false;
+  return std::strcmp(value, "0") != 0;
+}
+
+ScopedEnable::ScopedEnable(bool enable) : engaged_(enable && !Enabled()) {
+  if (engaged_) SetEnabled(true);
+}
+
+ScopedEnable::~ScopedEnable() {
+  if (engaged_) SetEnabled(false);
+}
+
+ScopedSpan::ScopedSpan(const char* name) : name_(nullptr) {
+  if (!Enabled()) return;
+  name_ = name;
+  depth_ = LocalState().depth++;
+  start_ns_ = NowNs();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (name_ == nullptr) return;
+  const std::uint64_t end_ns = NowNs();
+  TraceEvent event;
+  event.name = name_;
+  event.start_ns = start_ns_;
+  event.duration_ns = end_ns >= start_ns_ ? end_ns - start_ns_ : 0;
+  event.thread_id = LocalThreadId();
+  event.depth = depth_;
+  ThreadTraceState& local = LocalState();
+  if (local.depth > 0) --local.depth;
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> SnapshotEvents() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.events;
+}
+
+std::size_t EventCount() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.events.size();
+}
+
+void ClearEvents() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.events.clear();
+}
+
+std::string ToChromeJson() {
+  const std::vector<TraceEvent> events = SnapshotEvents();
+  std::string out = "{\"traceEvents\": [";
+  char buf[160];
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  {\"name\": \"";
+    AppendJsonEscaped(event.name, &out);
+    // chrome://tracing wants microseconds; keep sub-microsecond spans
+    // visible by emitting fractional ts/dur.
+    std::snprintf(buf, sizeof(buf),
+                  "\", \"cat\": \"neuroprint\", \"ph\": \"X\", "
+                  "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 0, \"tid\": %u}",
+                  static_cast<double>(event.start_ns) / 1000.0,
+                  static_cast<double>(event.duration_ns) / 1000.0,
+                  event.thread_id);
+    out += buf;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open trace output: " + path);
+  }
+  const std::string json = ToChromeJson();
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  out.flush();
+  if (!out) {
+    return Status::IOError("failed writing trace output: " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::string> WriteEnvTraceIfRequested() {
+  const char* value = std::getenv("NEUROPRINT_TRACE");
+  if (!ParseTraceEnv(value)) return std::string();
+  std::string path = value;
+  if (path == "1" || path == "true") path = "neuroprint_trace.json";
+  Status status = WriteChromeTrace(path);
+  if (!status.ok()) return status;
+  return path;
+}
+
+}  // namespace neuroprint::trace

@@ -1,0 +1,130 @@
+// Hierarchical tracing spans for the attack pipeline.
+//
+// Instrumented code brackets a stage with NP_TRACE_SCOPE("stage.name");
+// when tracing is enabled the span records its monotonic start time,
+// duration, executing thread, and nesting depth into a process-wide event
+// buffer that exports as chrome://tracing-compatible JSON (load the file
+// via chrome://tracing or https://ui.perfetto.dev). When tracing is
+// disabled — the default — a span is one relaxed atomic load and a
+// branch, cheap enough to leave in every hot path permanently.
+//
+// Enablement resolves, in order: SetEnabled() override, then the
+// NEUROPRINT_TRACE environment variable (latched on first use; "" and "0"
+// mean off, anything else on), else off. Library configs carry a
+// TraceConfig so one pipeline/attack call can opt in programmatically via
+// ScopedEnable without touching the process environment.
+//
+// Determinism: spans carry wall-clock measurements and are inherently
+// nondeterministic; they are observability output only and must never
+// feed back into computation. The companion metrics registry
+// (util/metrics.h) is where semantic, determinism-checked measurements
+// live.
+//
+// Thread safety: spans may open and close on any thread (including
+// ParallelFor workers); the event buffer is mutex-guarded and thread ids
+// are dense per-process indices in first-span order.
+
+#ifndef NEUROPRINT_UTIL_TRACE_H_
+#define NEUROPRINT_UTIL_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace neuroprint::trace {
+
+/// Per-call observability knob, embedded in the public configs
+/// (PipelineConfig, AttackOptions, ...). `enabled = true` turns span and
+/// metric collection on for the duration of that call even when
+/// NEUROPRINT_TRACE is unset; it never turns an enabled process off.
+struct TraceConfig {
+  bool enabled = false;
+};
+
+/// True when span/metric collection is on. One relaxed atomic load.
+bool Enabled();
+
+/// Process-wide override of the NEUROPRINT_TRACE latch.
+void SetEnabled(bool enabled);
+
+/// Parses a NEUROPRINT_TRACE value: nullptr, "", and "0" mean disabled.
+/// Exposed for tests.
+bool ParseTraceEnv(const char* value);
+
+/// RAII enable: turns collection on if `enable` is set and it was off,
+/// and restores the previous state on destruction. Used by library entry
+/// points honoring TraceConfig, and by tests.
+class ScopedEnable {
+ public:
+  explicit ScopedEnable(bool enable);
+  ~ScopedEnable();
+  ScopedEnable(const ScopedEnable&) = delete;
+  ScopedEnable& operator=(const ScopedEnable&) = delete;
+
+ private:
+  bool engaged_;
+};
+
+/// One completed span. Timestamps are nanoseconds on the steady clock,
+/// relative to the process trace epoch (first span ever recorded).
+struct TraceEvent {
+  std::string name;
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+  /// Dense per-process thread index (0 = first thread that traced).
+  std::uint32_t thread_id = 0;
+  /// Nesting depth on its thread at span open (0 = top level).
+  std::uint32_t depth = 0;
+};
+
+/// RAII span. Use via NP_TRACE_SCOPE; `name` must outlive the span (pass
+/// a string literal).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;  // nullptr when tracing was off at construction.
+  std::uint64_t start_ns_ = 0;
+  std::uint32_t depth_ = 0;
+};
+
+/// Copies out every completed span, in completion order.
+std::vector<TraceEvent> SnapshotEvents();
+
+/// Number of completed spans in the buffer.
+std::size_t EventCount();
+
+/// Drops all collected spans (the trace epoch is preserved).
+void ClearEvents();
+
+/// Serializes the collected spans as a chrome://tracing JSON document:
+/// {"traceEvents": [{"name", "cat", "ph": "X", "ts", "dur", "pid",
+/// "tid"}, ...]} with microsecond timestamps.
+std::string ToChromeJson();
+
+/// Writes ToChromeJson() to `path`, overwriting.
+Status WriteChromeTrace(const std::string& path);
+
+/// Honors a NEUROPRINT_TRACE output request at tool exit: value "1" (or
+/// "true") writes "neuroprint_trace.json", any other enabled value is
+/// used as the output path. Returns the path written, "" when tracing was
+/// not requested via the environment, or the write error.
+Result<std::string> WriteEnvTraceIfRequested();
+
+}  // namespace neuroprint::trace
+
+#define NP_TRACE_CONCAT_INNER(a, b) a##b
+#define NP_TRACE_CONCAT(a, b) NP_TRACE_CONCAT_INNER(a, b)
+
+/// Opens a span covering the rest of the enclosing scope.
+#define NP_TRACE_SCOPE(name)                                 \
+  ::neuroprint::trace::ScopedSpan NP_TRACE_CONCAT(           \
+      np_trace_scope_, __LINE__)(name)
+
+#endif  // NEUROPRINT_UTIL_TRACE_H_

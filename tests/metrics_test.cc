@@ -1,0 +1,295 @@
+// Metrics-registry tests: counter/gauge/histogram semantics, the trace
+// toggle gating the free helpers, exporter well-formedness (JSON parsed
+// back, CSV header), concurrent updates from ParallelFor workers (TSan
+// coverage), and the determinism contract — semantic metrics from a full
+// simulate-fit-identify run must be bitwise-identical at 1, 2, and 8
+// threads while scheduler metrics are excluded from the comparison.
+
+#include <bit>
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/attack.h"
+#include "minijson.h"
+#include "sim/cohort.h"
+#include "util/metrics.h"
+#include "util/thread_pool.h"
+#include "util/trace.h"
+
+namespace neuroprint::metrics {
+namespace {
+
+// The free helpers write to the process-wide registry gated on the trace
+// toggle; start every test from a clean, disabled state.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace::SetEnabled(false);
+    Registry::Global().Reset();
+  }
+  void TearDown() override {
+    trace::SetEnabled(false);
+    Registry::Global().Reset();
+  }
+};
+
+TEST_F(MetricsTest, RegistryCountersAccumulate) {
+  Registry registry;
+  registry.Add("b.second", 2);
+  registry.Add("a.first", 1);
+  registry.Add("b.second", 3);
+  const Snapshot snapshot = registry.TakeSnapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  // std::map keeps the snapshot sorted by name.
+  EXPECT_EQ(snapshot.counters[0].name, "a.first");
+  EXPECT_EQ(snapshot.counters[0].value, 1u);
+  EXPECT_EQ(snapshot.counters[1].name, "b.second");
+  EXPECT_EQ(snapshot.counters[1].value, 5u);
+}
+
+TEST_F(MetricsTest, RegistryGaugeLastWriteWins) {
+  Registry registry;
+  registry.Set("rank", 12.0);
+  registry.Set("rank", 7.0);
+  const Snapshot snapshot = registry.TakeSnapshot();
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_EQ(snapshot.gauges[0].value, 7.0);
+}
+
+TEST_F(MetricsTest, RegistryHistogramSummary) {
+  Registry registry;
+  registry.Observe("stage", 0.5);
+  registry.Observe("stage", 0.1);
+  registry.Observe("stage", 0.9);
+  const Snapshot snapshot = registry.TakeSnapshot();
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  const HistogramValue& h = snapshot.histograms[0];
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_DOUBLE_EQ(h.sum, 1.5);
+  EXPECT_EQ(h.min, 0.1);
+  EXPECT_EQ(h.max, 0.9);
+  EXPECT_EQ(h.stability, Stability::kTiming);
+}
+
+TEST_F(MetricsTest, FirstRegistrationStabilityWins) {
+  Registry registry;
+  registry.Add("pool.steals", 1, Stability::kScheduler);
+  registry.Add("pool.steals", 1, Stability::kSemantic);  // ignored tag
+  const Snapshot snapshot = registry.TakeSnapshot();
+  ASSERT_EQ(snapshot.counters.size(), 1u);
+  EXPECT_EQ(snapshot.counters[0].stability, Stability::kScheduler);
+  EXPECT_EQ(snapshot.counters[0].value, 2u);
+}
+
+TEST_F(MetricsTest, ResetClearsEverything) {
+  Registry registry;
+  registry.Add("c", 1);
+  registry.Set("g", 1.0);
+  registry.Observe("h", 1.0);
+  registry.Reset();
+  const Snapshot snapshot = registry.TakeSnapshot();
+  EXPECT_TRUE(snapshot.counters.empty());
+  EXPECT_TRUE(snapshot.gauges.empty());
+  EXPECT_TRUE(snapshot.histograms.empty());
+}
+
+TEST_F(MetricsTest, HelpersAreNoOpsWhenDisabled) {
+  ASSERT_FALSE(trace::Enabled());
+  Count("ignored", 5);
+  SetGauge("ignored.gauge", 1.0);
+  Observe("ignored.hist", 1.0);
+  const Snapshot snapshot = Registry::Global().TakeSnapshot();
+  EXPECT_TRUE(snapshot.counters.empty());
+  EXPECT_TRUE(snapshot.gauges.empty());
+  EXPECT_TRUE(snapshot.histograms.empty());
+
+  trace::ScopedEnable on(true);
+  Count("seen", 5);
+  EXPECT_EQ(Registry::Global().TakeSnapshot().counters.size(), 1u);
+}
+
+TEST_F(MetricsTest, SemanticOnlyFiltersTimingAndScheduler) {
+  Registry registry;
+  registry.Add("flops", 100, Stability::kSemantic);
+  registry.Add("steals", 3, Stability::kScheduler);
+  registry.Set("rank", 8.0, Stability::kSemantic);
+  registry.Observe("seconds", 0.25, Stability::kTiming);
+  const Snapshot semantic = registry.TakeSnapshot().SemanticOnly();
+  ASSERT_EQ(semantic.counters.size(), 1u);
+  EXPECT_EQ(semantic.counters[0].name, "flops");
+  ASSERT_EQ(semantic.gauges.size(), 1u);
+  EXPECT_EQ(semantic.gauges[0].name, "rank");
+  EXPECT_TRUE(semantic.histograms.empty());
+}
+
+TEST_F(MetricsTest, JsonExportParsesBack) {
+  Registry registry;
+  registry.Add("gemm.flops", 1234, Stability::kSemantic);
+  registry.Set("leverage.rank", 40.0, Stability::kSemantic);
+  registry.Set("bad.gauge", std::numeric_limits<double>::quiet_NaN());
+  registry.Observe("pipeline.stage_seconds.masking", 0.125);
+  const std::string json = registry.TakeSnapshot().ToJson();
+
+  minijson::Value doc;
+  ASSERT_TRUE(minijson::Parse(json, &doc)) << json;
+  ASSERT_EQ(doc.type, minijson::Value::Type::kArray);
+  ASSERT_EQ(doc.array.size(), 4u);
+  for (const minijson::Value& entry : doc.array) {
+    ASSERT_EQ(entry.type, minijson::Value::Type::kObject);
+    ASSERT_NE(entry.Find("name"), nullptr);
+    ASSERT_NE(entry.Find("kind"), nullptr);
+    ASSERT_NE(entry.Find("stability"), nullptr);
+  }
+  const minijson::Value& counter = doc.array[0];
+  EXPECT_EQ(counter.Find("name")->str, "gemm.flops");
+  EXPECT_EQ(counter.Find("kind")->str, "counter");
+  EXPECT_EQ(counter.Find("stability")->str, "semantic");
+  EXPECT_EQ(counter.Find("value")->number, 1234.0);
+  // Non-finite gauge serializes as null (JSON has no NaN literal).
+  const minijson::Value& bad = doc.array[1];
+  EXPECT_EQ(bad.Find("name")->str, "bad.gauge");
+  EXPECT_EQ(bad.Find("value")->type, minijson::Value::Type::kNull);
+  const minijson::Value& hist = doc.array[3];
+  EXPECT_EQ(hist.Find("kind")->str, "histogram");
+  EXPECT_EQ(hist.Find("count")->number, 1.0);
+  EXPECT_EQ(hist.Find("min")->number, 0.125);
+  EXPECT_EQ(hist.Find("max")->number, 0.125);
+}
+
+TEST_F(MetricsTest, CsvExportHasHeaderAndRows) {
+  Registry registry;
+  registry.Add("a.counter", 7);
+  registry.Observe("b.hist", 2.0);
+  const std::string csv = registry.TakeSnapshot().ToCsv();
+  EXPECT_EQ(csv.find("name,kind,stability,value,count,sum,min,max\n"), 0u);
+  EXPECT_NE(csv.find("a.counter,counter,semantic,7,,,,\n"), std::string::npos);
+  EXPECT_NE(csv.find("b.hist,histogram,timing,,1,2,2,2\n"), std::string::npos);
+}
+
+TEST_F(MetricsTest, WriteJsonRoundTripsGlobalRegistry) {
+  trace::ScopedEnable on(true);
+  Count("written.counter", 11);
+  const std::string path = ::testing::TempDir() + "/metrics_test_out.json";
+  ASSERT_TRUE(WriteJson(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  minijson::Value doc;
+  ASSERT_TRUE(minijson::Parse(buffer.str(), &doc));
+  ASSERT_EQ(doc.array.size(), 1u);
+  EXPECT_EQ(doc.array[0].Find("name")->str, "written.counter");
+  EXPECT_EQ(doc.array[0].Find("value")->number, 11.0);
+}
+
+TEST_F(MetricsTest, ConcurrentCountsFromWorkers) {
+  // Integer adds commute; counting one per element from work-stealing
+  // workers must land on exactly the element count (and TSan must stay
+  // quiet about the registry).
+  trace::ScopedEnable on(true);
+  constexpr std::size_t kItems = 10000;
+  ParallelFor(ParallelContext{8}, 0, kItems, /*grain=*/64,
+              [](std::size_t begin, std::size_t end) {
+                Count("concurrent.items", end - begin);
+              });
+  // The pooled run also publishes threadpool.* scheduler counters; pick
+  // ours out by name.
+  const Snapshot snapshot = Registry::Global().TakeSnapshot();
+  bool found = false;
+  for (const CounterValue& c : snapshot.counters) {
+    if (c.name == "concurrent.items") {
+      found = true;
+      EXPECT_EQ(c.value, kItems);
+      EXPECT_EQ(c.stability, Stability::kSemantic);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// --- Determinism across thread counts -------------------------------
+
+sim::CohortConfig SmallCohort(std::size_t threads) {
+  sim::CohortConfig config = sim::HcpLikeConfig(909);
+  config.num_subjects = 8;
+  config.num_regions = 16;
+  config.frames_override = 60;
+  config.parallel.num_threads = threads;
+  return config;
+}
+
+// Runs the whole simulate -> fit -> identify workflow with collection on
+// and returns the semantic slice of the metrics it produced.
+Snapshot SemanticMetricsForRun(std::size_t threads) {
+  Registry::Global().Reset();
+  trace::ScopedEnable on(true);
+  const auto sim = sim::CohortSimulator::Create(SmallCohort(threads));
+  EXPECT_TRUE(sim.ok());
+  const auto known =
+      sim->BuildGroupMatrix(sim::TaskType::kRest, sim::Encoding::kLeftRight);
+  const auto anonymous =
+      sim->BuildGroupMatrix(sim::TaskType::kRest, sim::Encoding::kRightLeft);
+  EXPECT_TRUE(known.ok() && anonymous.ok());
+  core::AttackOptions options;
+  options.num_features = 40;
+  options.parallel.num_threads = threads;
+  const auto attack = core::DeanonymizationAttack::Fit(*known, options);
+  EXPECT_TRUE(attack.ok());
+  const auto result = attack->Identify(*anonymous);
+  EXPECT_TRUE(result.ok());
+  return Registry::Global().TakeSnapshot().SemanticOnly();
+}
+
+TEST_F(MetricsTest, SemanticMetricsInvariantAcrossThreadCounts) {
+  const Snapshot baseline = SemanticMetricsForRun(1);
+  // The run must actually have produced semantic metrics to compare.
+  ASSERT_FALSE(baseline.counters.empty());
+  ASSERT_FALSE(baseline.gauges.empty());
+  EXPECT_TRUE(baseline.histograms.empty())
+      << "semantic histograms would break bitwise invariance";
+
+  for (const std::size_t threads : {2u, 8u}) {
+    const Snapshot run = SemanticMetricsForRun(threads);
+    ASSERT_EQ(run.counters.size(), baseline.counters.size()) << threads;
+    for (std::size_t i = 0; i < run.counters.size(); ++i) {
+      EXPECT_EQ(run.counters[i].name, baseline.counters[i].name);
+      EXPECT_EQ(run.counters[i].value, baseline.counters[i].value)
+          << run.counters[i].name << " at " << threads << " threads";
+    }
+    ASSERT_EQ(run.gauges.size(), baseline.gauges.size()) << threads;
+    for (std::size_t i = 0; i < run.gauges.size(); ++i) {
+      EXPECT_EQ(run.gauges[i].name, baseline.gauges[i].name);
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(run.gauges[i].value),
+                std::bit_cast<std::uint64_t>(baseline.gauges[i].value))
+          << run.gauges[i].name << " at " << threads << " threads";
+    }
+  }
+}
+
+TEST_F(MetricsTest, SchedulerMetricsTaggedAndExcluded) {
+  // A pooled parallel region publishes threadpool.* under the scheduler
+  // tag; those must never leak into the semantic comparison set.
+  trace::ScopedEnable on(true);
+  ParallelFor(ParallelContext{4}, 0, 4096, /*grain=*/16,
+              [](std::size_t, std::size_t) {});
+  const Snapshot snapshot = Registry::Global().TakeSnapshot();
+  bool saw_threadpool = false;
+  for (const CounterValue& c : snapshot.counters) {
+    if (c.name.rfind("threadpool.", 0) == 0) {
+      saw_threadpool = true;
+      EXPECT_EQ(c.stability, Stability::kScheduler) << c.name;
+    }
+  }
+  EXPECT_TRUE(saw_threadpool);
+  for (const CounterValue& c : snapshot.SemanticOnly().counters) {
+    EXPECT_NE(c.name.rfind("threadpool.", 0), 0u) << c.name;
+  }
+}
+
+}  // namespace
+}  // namespace neuroprint::metrics

@@ -1,0 +1,251 @@
+// A small strict-enough JSON parser for tests: the exporter tests parse
+// the emitted trace/metrics documents back and assert structure. Not a
+// production parser — no streaming, keeps the whole DOM in memory — but
+// it rejects malformed input, which is exactly what "well-formedness"
+// tests need.
+
+#ifndef NEUROPRINT_TESTS_MINIJSON_H_
+#define NEUROPRINT_TESTS_MINIJSON_H_
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace minijson {
+
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  const Value* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+namespace internal {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool Parse(Value* out) {
+    SkipWs();
+    if (!ParseValue(out)) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word, std::size_t len) {
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  bool ParseValue(Value* out) {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->type = Value::Type::kString;
+        return ParseString(&out->str);
+      case 't':
+        out->type = Value::Type::kBool;
+        out->boolean = true;
+        return Literal("true", 4);
+      case 'f':
+        out->type = Value::Type::kBool;
+        out->boolean = false;
+        return Literal("false", 5);
+      case 'n':
+        out->type = Value::Type::kNull;
+        return Literal("null", 4);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseNumber(Value* out) {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    out->number = std::strtod(start, &end);
+    if (end == start) return false;
+    // strtod accepts "inf"/"nan", which JSON does not.
+    for (const char* p = start; p < end; ++p) {
+      const char c = *p;
+      if (!(c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E' ||
+            (c >= '0' && c <= '9'))) {
+        return false;
+      }
+    }
+    out->type = Value::Type::kNumber;
+    pos_ += static_cast<std::size_t>(end - start);
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (text_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) return false;
+        const char esc = text_[pos_ + 1];
+        pos_ += 2;
+        switch (esc) {
+          case '"':
+            *out += '"';
+            break;
+          case '\\':
+            *out += '\\';
+            break;
+          case '/':
+            *out += '/';
+            break;
+          case 'b':
+            *out += '\b';
+            break;
+          case 'f':
+            *out += '\f';
+            break;
+          case 'n':
+            *out += '\n';
+            break;
+          case 'r':
+            *out += '\r';
+            break;
+          case 't':
+            *out += '\t';
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return false;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_ + static_cast<std::size_t>(i)];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return false;
+              }
+            }
+            pos_ += 4;
+            // Tests only emit ASCII escapes; anything else round-trips
+            // as '?' rather than full UTF-8 encoding.
+            *out += code < 0x80 ? static_cast<char>(code) : '?';
+            break;
+          }
+          default:
+            return false;
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      *out += c;
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseArray(Value* out) {
+    out->type = Value::Type::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      Value item;
+      SkipWs();
+      if (!ParseValue(&item)) return false;
+      out->array.push_back(std::move(item));
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseObject(Value* out) {
+    out->type = Value::Type::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      std::string key;
+      if (pos_ >= text_.size() || !ParseString(&key)) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      SkipWs();
+      Value item;
+      if (!ParseValue(&item)) return false;
+      out->object.emplace_back(std::move(key), std::move(item));
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace internal
+
+inline bool Parse(const std::string& text, Value* out) {
+  return internal::Parser(text).Parse(out);
+}
+
+}  // namespace minijson
+
+#endif  // NEUROPRINT_TESTS_MINIJSON_H_

@@ -3,6 +3,8 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -236,6 +238,101 @@ TEST(NiftiIoTest, CorruptGzipRejected) {
 
 TEST(NiftiIoTest, EmptyVolumeRejected) {
   EXPECT_FALSE(WriteNifti(TempPath("empty.nii"), image::Volume4D()).ok());
+}
+
+// --- Robustness: hostile on-disk bytes must come back as Status errors
+// (no crash, no UB — the asan-ubsan tier runs these).
+
+std::vector<char> ReadAllBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  EXPECT_TRUE(in.good()) << path;
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<char> bytes(size);
+  in.read(bytes.data(), static_cast<std::streamsize>(size));
+  return bytes;
+}
+
+void WriteAllBytes(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(NiftiRobustnessTest, CorruptedMagicRejected) {
+  Rng rng(99);
+  const image::Volume4D run = MakeTestRun(4, 4, 4, 2, rng);
+  const std::string path = TempPath("bad_magic.nii");
+  ASSERT_TRUE(WriteNifti(path, run).ok());
+
+  std::vector<char> bytes = ReadAllBytes(path);
+  ASSERT_GT(bytes.size(), 348u);
+  bytes[344] = 'X';  // magic lives at offset 344: "n+1\0"
+  bytes[345] = 'Y';
+  WriteAllBytes(path, bytes);
+
+  const auto image = ReadNifti(path);
+  ASSERT_FALSE(image.ok());
+  EXPECT_EQ(image.status().code(), StatusCode::kCorruptData);
+}
+
+TEST(NiftiRobustnessTest, AbsurdDimsRejected) {
+  Rng rng(101);
+  const image::Volume4D run = MakeTestRun(4, 4, 4, 2, rng);
+  const std::string path = TempPath("absurd_dims.nii");
+  ASSERT_TRUE(WriteNifti(path, run).ok());
+
+  // dim[] lives at offset 40 as 8 int16s. Claim a 32767^4-voxel image on
+  // a few-KB file: the reader must reject it instead of allocating.
+  std::vector<char> bytes = ReadAllBytes(path);
+  for (std::size_t d = 1; d <= 4; ++d) {
+    bytes[40 + 2 * d] = '\xff';
+    bytes[40 + 2 * d + 1] = '\x7f';
+  }
+  WriteAllBytes(path, bytes);
+  const auto image = ReadNifti(path);
+  ASSERT_FALSE(image.ok());
+  EXPECT_EQ(image.status().code(), StatusCode::kCorruptData);
+}
+
+TEST(NiftiHeaderTest, DimProductOverflowRejected) {
+  // 7 dims of 32767 overflow the std::size_t voxel count; the checked
+  // multiply must catch it rather than wrapping to a small "valid" size.
+  NiftiHeader header;
+  header.dim = {7, 32767, 32767, 32767, 32767, 32767, 32767, 32767};
+  const auto count = header.VoxelCount();
+  ASSERT_FALSE(count.ok());
+  EXPECT_EQ(count.status().code(), StatusCode::kCorruptData);
+}
+
+TEST(NiftiHeaderTest, NonFiniteVoxOffsetRejected) {
+  NiftiHeader header;
+  header.dim = {3, 4, 4, 4, 1, 1, 1, 1};
+  header.vox_offset = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_FALSE(header.Validate().ok());
+  header.vox_offset = std::numeric_limits<float>::infinity();
+  EXPECT_FALSE(header.Validate().ok());
+  header.vox_offset = 1.0e20f;  // would overflow the size_t conversion
+  EXPECT_FALSE(header.Validate().ok());
+}
+
+TEST(NiftiRobustnessTest, GzipMidStreamTruncationRejected) {
+  Rng rng(111);
+  const image::Volume4D run = MakeTestRun(8, 8, 8, 3, rng);
+  const std::string path = TempPath("truncated_stream.nii.gz");
+  WriteOptions options;
+  options.compression = WriteOptions::Compression::kAlways;
+  ASSERT_TRUE(WriteNifti(path, run, options).ok());
+
+  // Cut the gzip stream mid-way: the header deflates fine, the voxel
+  // payload ends early. Must surface as a Status, not a crash.
+  std::vector<char> bytes = ReadAllBytes(path);
+  ASSERT_GT(bytes.size(), 64u);
+  bytes.resize(bytes.size() * 6 / 10);
+  WriteAllBytes(path, bytes);
+
+  const auto image = ReadNifti(path);
+  ASSERT_FALSE(image.ok());
+  EXPECT_EQ(image.status().code(), StatusCode::kCorruptData);
 }
 
 }  // namespace

@@ -23,6 +23,7 @@
 #include "sim/cohort.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace neuroprint {
 namespace {
@@ -299,6 +300,46 @@ TEST(ParallelInvarianceTest, EndToEndAttack) {
     EXPECT_EQ(std::bit_cast<std::uint64_t>(result1->accuracy),
               std::bit_cast<std::uint64_t>(result->accuracy));
   }
+}
+
+TEST(ParallelInvarianceTest, EndToEndAttackWithTracingEnabled) {
+  // Observability must be free of side effects: running the same attack
+  // with span/metric collection on cannot perturb a single output bit,
+  // and the collection itself must be race-free (the tsan tier runs
+  // this).
+  const auto sim = sim::CohortSimulator::Create(SmallCohort(0));
+  ASSERT_TRUE(sim.ok());
+  const auto known =
+      sim->BuildGroupMatrix(sim::TaskType::kRest, sim::Encoding::kLeftRight);
+  const auto anonymous =
+      sim->BuildGroupMatrix(sim::TaskType::kRest, sim::Encoding::kRightLeft);
+  ASSERT_TRUE(known.ok() && anonymous.ok());
+
+  core::AttackOptions plain;
+  plain.num_features = 40;
+  plain.parallel.num_threads = 1;
+  const auto attack1 = core::DeanonymizationAttack::Fit(*known, plain);
+  ASSERT_TRUE(attack1.ok());
+  const auto result1 = attack1->Identify(*anonymous);
+  ASSERT_TRUE(result1.ok());
+
+  for (const std::size_t threads : kThreadCounts) {
+    core::AttackOptions traced = plain;
+    traced.parallel.num_threads = threads;
+    traced.trace.enabled = true;
+    const auto attack = core::DeanonymizationAttack::Fit(*known, traced);
+    ASSERT_TRUE(attack.ok());
+    const auto result = attack->Identify(*anonymous);
+    ASSERT_TRUE(result.ok());
+    ExpectBitwiseEqual(result1->similarity, result->similarity,
+                       "Identify similarity (traced)");
+    EXPECT_EQ(result1->predicted_index, result->predicted_index);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(result1->accuracy),
+              std::bit_cast<std::uint64_t>(result->accuracy));
+  }
+  // The traced runs actually recorded spans.
+  EXPECT_GT(trace::EventCount(), 0u);
+  trace::ClearEvents();
 }
 
 TEST(ParallelInvarianceTest, TsneEmbedding) {

@@ -1,0 +1,91 @@
+// Pinned-seed end-to-end regression test: the full simulate -> fit ->
+// identify workflow with a fixed seed must keep producing exactly the
+// outputs checked in below — the identification accuracy, the predicted
+// assignment, and the top selected leverage features down to the bit.
+//
+// These goldens pin the composed numeric behavior of the cohort
+// simulator, preprocessing-free group-matrix path, leverage-score
+// feature selection, and correlation matcher. Any change that moves them
+// is either a bug or an intentional numeric change; in the latter case
+// regenerate the constants (the test's failure output prints the new
+// bits) and explain the change in the commit message. The 50% accuracy
+// is not a quality claim — this cohort is deliberately tiny (8 subjects,
+// 16 regions, 60 frames) to keep the tier fast.
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/attack.h"
+#include "sim/cohort.h"
+
+namespace neuroprint {
+namespace {
+
+struct GoldenFeature {
+  std::size_t index;
+  std::uint64_t leverage_bits;
+};
+
+// Generated from the pinned run below at 1 thread; the thread count must
+// not matter (see parallel_invariance_test).
+constexpr std::uint64_t kGoldenAccuracyBits = 0x3fe0000000000000ull;  // 0.5
+constexpr std::size_t kGoldenPredictedIndex[] = {0, 5, 4, 4, 4, 5, 5, 7};
+constexpr GoldenFeature kGoldenTopFeatures[] = {
+    {35, 0x3fc4599afc621862ull},  // 0.15898454020879443
+    {80, 0x3fc25c4f96a4e717ull},  // 0.14344210487052386
+    {76, 0x3fc1cc4b49fb8bbbull},  // 0.13904706108504947
+    {48, 0x3fc13391370aac94ull},  // 0.1343862074621468
+    {77, 0x3fc113851180bdb6ull},  // 0.13340819697030576
+    {55, 0x3fc105767e69c49dull},  // 0.1329792134525051
+    {25, 0x3fc02f8404e24c11ull},  // 0.12645006407237294
+    {11, 0x3fbfef7d3d6e0581ull},  // 0.12474806546926766
+};
+
+TEST(RegressionGoldenTest, PinnedSeedAttackMatchesGoldens) {
+  sim::CohortConfig config = sim::HcpLikeConfig(909);
+  config.num_subjects = 8;
+  config.num_regions = 16;
+  config.frames_override = 60;
+  config.parallel.num_threads = 1;
+  const auto sim = sim::CohortSimulator::Create(config);
+  ASSERT_TRUE(sim.ok());
+  const auto known =
+      sim->BuildGroupMatrix(sim::TaskType::kRest, sim::Encoding::kLeftRight);
+  const auto anonymous =
+      sim->BuildGroupMatrix(sim::TaskType::kRest, sim::Encoding::kRightLeft);
+  ASSERT_TRUE(known.ok() && anonymous.ok());
+
+  core::AttackOptions options;
+  options.num_features = 40;
+  options.parallel.num_threads = 1;
+  const auto attack = core::DeanonymizationAttack::Fit(*known, options);
+  ASSERT_TRUE(attack.ok());
+  const auto result = attack->Identify(*anonymous);
+  ASSERT_TRUE(result.ok());
+
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(result->accuracy),
+            kGoldenAccuracyBits)
+      << "accuracy moved to " << result->accuracy;
+
+  const std::vector<std::size_t> expected_index(
+      std::begin(kGoldenPredictedIndex), std::end(kGoldenPredictedIndex));
+  EXPECT_EQ(result->predicted_index, expected_index);
+
+  const std::vector<std::size_t>& selected = attack->selected_features();
+  const linalg::Vector& leverage = attack->leverage_scores();
+  ASSERT_EQ(selected.size(), options.num_features);
+  for (std::size_t i = 0; i < std::size(kGoldenTopFeatures); ++i) {
+    const GoldenFeature& golden = kGoldenTopFeatures[i];
+    ASSERT_EQ(selected[i], golden.index) << "rank " << i;
+    const double score = leverage[selected[i]];
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(score), golden.leverage_bits)
+        << "leverage for feature " << selected[i] << " moved to " << std::hex
+        << std::bit_cast<std::uint64_t>(score) << " (" << score << ")";
+  }
+}
+
+}  // namespace
+}  // namespace neuroprint

@@ -1,0 +1,228 @@
+// Tracing-span tests: enablement latching, disabled-mode no-op behavior,
+// span nesting/ordering/thread attribution, and chrome://tracing JSON
+// well-formedness (the emitted document is parsed back).
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "minijson.h"
+#include "util/trace.h"
+
+namespace neuroprint::trace {
+namespace {
+
+// Every test starts from a known-disabled, empty-buffer state; the
+// enable latch and event buffer are process-wide.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetEnabled(false);
+    ClearEvents();
+  }
+  void TearDown() override {
+    SetEnabled(false);
+    ClearEvents();
+  }
+};
+
+TEST_F(TraceTest, ParseTraceEnvSemantics) {
+  EXPECT_FALSE(ParseTraceEnv(nullptr));
+  EXPECT_FALSE(ParseTraceEnv(""));
+  EXPECT_FALSE(ParseTraceEnv("0"));
+  EXPECT_TRUE(ParseTraceEnv("1"));
+  EXPECT_TRUE(ParseTraceEnv("true"));
+  EXPECT_TRUE(ParseTraceEnv("/tmp/out.json"));
+}
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  ASSERT_FALSE(Enabled());
+  {
+    NP_TRACE_SCOPE("should.not.appear");
+    NP_TRACE_SCOPE("also.not");
+  }
+  EXPECT_EQ(EventCount(), 0u);
+}
+
+TEST_F(TraceTest, ScopedEnableTurnsOnAndRestores) {
+  ASSERT_FALSE(Enabled());
+  {
+    ScopedEnable on(true);
+    EXPECT_TRUE(Enabled());
+    NP_TRACE_SCOPE("inside");
+  }
+  EXPECT_FALSE(Enabled());
+  EXPECT_EQ(EventCount(), 1u);
+
+  // enable=false never turns an enabled process off.
+  SetEnabled(true);
+  {
+    ScopedEnable off(false);
+    EXPECT_TRUE(Enabled());
+  }
+  EXPECT_TRUE(Enabled());
+
+  // Engaging while already on must not disable on exit.
+  {
+    ScopedEnable redundant(true);
+    EXPECT_TRUE(Enabled());
+  }
+  EXPECT_TRUE(Enabled());
+}
+
+TEST_F(TraceTest, SpansDisabledMidwayStillComplete) {
+  SetEnabled(true);
+  {
+    NP_TRACE_SCOPE("opened.enabled");
+    SetEnabled(false);
+    // The open span latched its name at construction and records at
+    // destruction regardless of the current toggle.
+  }
+  EXPECT_EQ(EventCount(), 1u);
+}
+
+TEST_F(TraceTest, NestingDepthAndCompletionOrder) {
+  SetEnabled(true);
+  {
+    NP_TRACE_SCOPE("outer");
+    {
+      NP_TRACE_SCOPE("inner");
+    }
+    {
+      NP_TRACE_SCOPE("sibling");
+    }
+  }
+  const std::vector<TraceEvent> events = SnapshotEvents();
+  ASSERT_EQ(events.size(), 3u);
+  // Completion order: inner, sibling, outer.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "sibling");
+  EXPECT_EQ(events[2].name, "outer");
+  EXPECT_EQ(events[0].depth, 1u);
+  EXPECT_EQ(events[1].depth, 1u);
+  EXPECT_EQ(events[2].depth, 0u);
+  // All on the same thread.
+  EXPECT_EQ(events[0].thread_id, events[2].thread_id);
+  EXPECT_EQ(events[1].thread_id, events[2].thread_id);
+  // Containment: children start no earlier and end no later than outer.
+  const TraceEvent& outer = events[2];
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_GE(events[i].start_ns, outer.start_ns) << events[i].name;
+    EXPECT_LE(events[i].start_ns + events[i].duration_ns,
+              outer.start_ns + outer.duration_ns)
+        << events[i].name;
+  }
+  // Siblings are ordered: inner finished before sibling started.
+  EXPECT_LE(events[0].start_ns + events[0].duration_ns, events[1].start_ns);
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctDenseIds) {
+  SetEnabled(true);
+  {
+    NP_TRACE_SCOPE("main.thread");
+  }
+  std::thread worker([] { NP_TRACE_SCOPE("worker.thread"); });
+  worker.join();
+  const std::vector<TraceEvent> events = SnapshotEvents();
+  ASSERT_EQ(events.size(), 2u);
+  ASSERT_EQ(events[0].name, "main.thread");
+  ASSERT_EQ(events[1].name, "worker.thread");
+  EXPECT_NE(events[0].thread_id, events[1].thread_id);
+  // Depth resets per thread: the worker's first span is top-level.
+  EXPECT_EQ(events[1].depth, 0u);
+}
+
+TEST_F(TraceTest, ClearEventsDropsBuffer) {
+  SetEnabled(true);
+  {
+    NP_TRACE_SCOPE("ephemeral");
+  }
+  ASSERT_EQ(EventCount(), 1u);
+  ClearEvents();
+  EXPECT_EQ(EventCount(), 0u);
+}
+
+TEST_F(TraceTest, ChromeJsonParsesBackWithAllSpans) {
+  SetEnabled(true);
+  {
+    NP_TRACE_SCOPE("stage.one");
+    {
+      NP_TRACE_SCOPE("stage.two");
+    }
+  }
+  const std::string json = ToChromeJson();
+  minijson::Value doc;
+  ASSERT_TRUE(minijson::Parse(json, &doc)) << json;
+  ASSERT_EQ(doc.type, minijson::Value::Type::kObject);
+  const minijson::Value* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->type, minijson::Value::Type::kArray);
+  ASSERT_EQ(events->array.size(), 2u);
+
+  std::vector<std::string> names;
+  for (const minijson::Value& event : events->array) {
+    ASSERT_EQ(event.type, minijson::Value::Type::kObject);
+    const minijson::Value* name = event.Find("name");
+    const minijson::Value* ph = event.Find("ph");
+    const minijson::Value* cat = event.Find("cat");
+    const minijson::Value* ts = event.Find("ts");
+    const minijson::Value* dur = event.Find("dur");
+    const minijson::Value* pid = event.Find("pid");
+    const minijson::Value* tid = event.Find("tid");
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(ph, nullptr);
+    ASSERT_NE(cat, nullptr);
+    ASSERT_NE(ts, nullptr);
+    ASSERT_NE(dur, nullptr);
+    ASSERT_NE(pid, nullptr);
+    ASSERT_NE(tid, nullptr);
+    EXPECT_EQ(ph->str, "X");  // complete events
+    EXPECT_EQ(cat->str, "neuroprint");
+    EXPECT_EQ(ts->type, minijson::Value::Type::kNumber);
+    EXPECT_EQ(dur->type, minijson::Value::Type::kNumber);
+    EXPECT_GE(ts->number, 0.0);
+    EXPECT_GE(dur->number, 0.0);
+    names.push_back(name->str);
+  }
+  EXPECT_EQ(names[0], "stage.two");  // completion order
+  EXPECT_EQ(names[1], "stage.one");
+}
+
+TEST_F(TraceTest, EmptyBufferStillValidJson) {
+  const std::string json = ToChromeJson();
+  minijson::Value doc;
+  ASSERT_TRUE(minijson::Parse(json, &doc)) << json;
+  const minijson::Value* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_TRUE(events->array.empty());
+}
+
+TEST_F(TraceTest, WriteChromeTraceProducesParsableFile) {
+  SetEnabled(true);
+  {
+    NP_TRACE_SCOPE("to.disk");
+  }
+  const std::string path = ::testing::TempDir() + "/trace_test_out.json";
+  ASSERT_TRUE(WriteChromeTrace(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  minijson::Value doc;
+  ASSERT_TRUE(minijson::Parse(buffer.str(), &doc));
+  const minijson::Value* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array.size(), 1u);
+  EXPECT_EQ(events->array[0].Find("name")->str, "to.disk");
+}
+
+TEST_F(TraceTest, WriteChromeTraceBadPathFails) {
+  EXPECT_FALSE(WriteChromeTrace("/nonexistent-dir-xyz/trace.json").ok());
+}
+
+}  // namespace
+}  // namespace neuroprint::trace

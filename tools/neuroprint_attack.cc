@@ -32,6 +32,7 @@
 #include "preprocess/pipeline.h"
 #include "util/csv_writer.h"
 #include "util/string_util.h"
+#include "util/trace.h"
 
 using namespace neuroprint;
 namespace fs = std::filesystem;
@@ -292,6 +293,15 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("\nmatches written to %s\n", options.output_csv.c_str());
+  }
+  // NEUROPRINT_TRACE=1 (or =path) dumps the collected pipeline/attack
+  // spans as chrome://tracing JSON.
+  auto trace_written = trace::WriteEnvTraceIfRequested();
+  if (!trace_written.ok()) {
+    std::fprintf(stderr, "trace: %s\n",
+                 trace_written.status().ToString().c_str());
+  } else if (!trace_written->empty()) {
+    std::printf("\ntrace written to %s\n", trace_written->c_str());
   }
   return 0;
 }

@@ -28,6 +28,7 @@
 #include "sim/cohort.h"
 #include "sim/voxel_render.h"
 #include "util/string_util.h"
+#include "util/trace.h"
 
 using namespace neuroprint;
 
@@ -180,5 +181,12 @@ int main(int argc, char** argv) {
       "      --features 150 --no-temporal-filter\n",
       atlas_path.c_str(), options.output_dir.c_str(),
       options.output_dir.c_str());
+  auto trace_written = trace::WriteEnvTraceIfRequested();
+  if (!trace_written.ok()) {
+    std::fprintf(stderr, "trace: %s\n",
+                 trace_written.status().ToString().c_str());
+  } else if (!trace_written->empty()) {
+    std::printf("trace written to %s\n", trace_written->c_str());
+  }
   return 0;
 }
