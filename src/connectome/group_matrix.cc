@@ -73,4 +73,27 @@ Result<GroupMatrix> GroupMatrix::RestrictToFeatures(
   return g;
 }
 
+Result<GroupMatrix> GroupMatrix::RestrictToSubjects(
+    const std::vector<std::size_t>& subject_cols) const {
+  if (subject_cols.empty()) {
+    return Status::InvalidArgument("RestrictToSubjects: empty selection");
+  }
+  for (std::size_t col : subject_cols) {
+    if (col >= num_subjects()) {
+      return Status::OutOfRange(StrFormat(
+          "RestrictToSubjects: column %zu out of %zu", col, num_subjects()));
+    }
+  }
+  GroupMatrix g;
+  g.data_ = linalg::Matrix(num_features(), subject_cols.size());
+  g.subject_ids_.reserve(subject_cols.size());
+  for (std::size_t j = 0; j < subject_cols.size(); ++j) {
+    for (std::size_t i = 0; i < num_features(); ++i) {
+      g.data_(i, j) = data_(i, subject_cols[j]);
+    }
+    g.subject_ids_.push_back(subject_ids_[subject_cols[j]]);
+  }
+  return g;
+}
+
 }  // namespace neuroprint::connectome

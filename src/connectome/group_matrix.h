@@ -46,6 +46,12 @@ class GroupMatrix {
   Result<GroupMatrix> RestrictToFeatures(
       const std::vector<std::size_t>& feature_rows) const;
 
+  /// Restriction to a subset of subject columns (in the given order),
+  /// keeping their ids — the survivor-selection step of partial-failure
+  /// batches (util/batch.h). Indices must be in range.
+  Result<GroupMatrix> RestrictToSubjects(
+      const std::vector<std::size_t>& subject_cols) const;
+
  private:
   linalg::Matrix data_;
   std::vector<std::string> subject_ids_;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "util/endian.h"
+#include "util/fault.h"
 #include "util/string_util.h"
 
 namespace neuroprint::connectome {
@@ -61,6 +62,7 @@ Status WriteGroupMatrix(const std::string& path, const GroupMatrix& group) {
 }
 
 Result<GroupMatrix> ReadGroupMatrix(const std::string& path) {
+  NP_FAULT_POINT("io.group_matrix_read");
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open: " + path);
 
@@ -95,6 +97,40 @@ Result<GroupMatrix> ReadGroupMatrix(const std::string& path) {
     }
   }
 
+  // The value payload must account for exactly features x subjects
+  // doubles: fewer means truncation, more means trailing garbage or a
+  // header whose counts disagree with the data — all kCorruptData, and
+  // all caught before allocating `features * 8` bytes against a file
+  // that cannot hold them.
+  const std::streampos data_begin = in.tellg();
+  in.seekg(0, std::ios::end);
+  const std::streampos file_end = in.tellg();
+  if (data_begin < 0 || file_end < data_begin) {
+    return Status::CorruptData("unreadable group-matrix payload: " + path);
+  }
+  in.seekg(data_begin);
+  const std::uint64_t expected =
+      features * static_cast<std::uint64_t>(sizeof(double)) * subjects;
+  const std::uint64_t available =
+      static_cast<std::uint64_t>(file_end - data_begin);
+  if (available < expected) {
+    return Status::CorruptData(StrFormat(
+        "group-matrix values truncated: header promises %llu x %llu "
+        "subjects (%llu bytes), file holds %llu",
+        static_cast<unsigned long long>(features),
+        static_cast<unsigned long long>(subjects),
+        static_cast<unsigned long long>(expected),
+        static_cast<unsigned long long>(available)));
+  }
+  if (available > expected) {
+    return Status::CorruptData(StrFormat(
+        "group-matrix file has %llu trailing bytes after the %llu x %llu "
+        "values — subject/feature counts disagree with the payload",
+        static_cast<unsigned long long>(available - expected),
+        static_cast<unsigned long long>(features),
+        static_cast<unsigned long long>(subjects)));
+  }
+
   std::vector<linalg::Vector> columns(subjects);
   std::vector<std::uint8_t> encoded(features * sizeof(double));
   for (std::uint64_t j = 0; j < subjects; ++j) {
@@ -107,7 +143,14 @@ Result<GroupMatrix> ReadGroupMatrix(const std::string& path) {
       columns[j][i] = ReadLE<double>(encoded.data() + i * sizeof(double));
     }
   }
-  return GroupMatrix::FromFeatureColumns(columns, std::move(ids));
+  auto group = GroupMatrix::FromFeatureColumns(columns, std::move(ids));
+  if (!group.ok()) {
+    // Structural inconsistencies surfaced by assembly are file corruption
+    // from the reader's point of view, not caller error.
+    return Status::CorruptData("inconsistent group-matrix file: " +
+                               group.status().message());
+  }
+  return group;
 }
 
 }  // namespace neuroprint::connectome

@@ -1,20 +1,82 @@
 #include "core/attack.h"
 
+#include <cmath>
+
 #include "util/metrics.h"
 #include "util/string_util.h"
 
 namespace neuroprint::core {
+namespace {
+
+// Screens a group matrix for unusable subjects (any non-finite value in
+// the feature column) and resolves the batch against `policy`: fail-fast
+// errors on the lowest-index bad subject, skip/quorum record the drops in
+// `report` (stage = `stage`) and return the surviving column indices.
+Result<std::vector<std::size_t>> ScreenSubjects(
+    const connectome::GroupMatrix& matrix, const FailurePolicy& policy,
+    const char* stage, BatchReport* report) {
+  BatchReport local_report;
+  if (report == nullptr) report = &local_report;
+  report->Clear();
+  report->attempted = matrix.num_subjects();
+
+  const linalg::Matrix& data = matrix.data();
+  std::vector<std::size_t> survivors;
+  survivors.reserve(matrix.num_subjects());
+  for (std::size_t j = 0; j < matrix.num_subjects(); ++j) {
+    bool finite = true;
+    for (std::size_t i = 0; i < matrix.num_features() && finite; ++i) {
+      finite = std::isfinite(data(i, j));
+    }
+    if (finite) {
+      survivors.push_back(j);
+      continue;
+    }
+    BatchItemReport item;
+    item.index = j;
+    item.id = matrix.subject_ids()[j];
+    item.stage = stage;
+    item.status = Status::CorruptData(StrFormat(
+        "subject %s has non-finite feature values", item.id.c_str()));
+    report->failed.push_back(std::move(item));
+  }
+  NP_RETURN_IF_ERROR(ResolveBatch(policy, *report));
+  if (!report->failed.empty()) {
+    metrics::Count("batch.subjects_skipped", report->failed.size());
+  }
+  return survivors;
+}
+
+}  // namespace
 
 Result<DeanonymizationAttack> DeanonymizationAttack::Fit(
-    const connectome::GroupMatrix& known, const AttackOptions& options) {
+    const connectome::GroupMatrix& known, const AttackOptions& options,
+    BatchReport* report) {
   trace::ScopedEnable trace_enable(options.trace.enabled);
+  fault::ScopedSchedule fault_schedule(options.fault.schedule);
+  NP_RETURN_IF_ERROR(fault_schedule.status());
   NP_TRACE_SCOPE("attack.fit");
+  NP_FAULT_POINT("attack.fit");
   if (options.num_features == 0) {
     return Status::InvalidArgument("AttackOptions: num_features must be > 0");
   }
   if (known.num_subjects() < 2) {
     return Status::InvalidArgument(
         "DeanonymizationAttack: need at least 2 known subjects");
+  }
+  std::vector<std::size_t> survivors;
+  NP_ASSIGN_OR_RETURN(survivors,
+                      ScreenSubjects(known, options.failure_policy,
+                                     "fit_screen", report));
+  connectome::GroupMatrix screened_known;
+  const connectome::GroupMatrix* fit_known = &known;
+  if (survivors.size() < known.num_subjects()) {
+    if (survivors.size() < 2) {
+      return Status::FailedPrecondition(
+          "DeanonymizationAttack: fewer than 2 usable known subjects");
+    }
+    NP_ASSIGN_OR_RETURN(screened_known, known.RestrictToSubjects(survivors));
+    fit_known = &screened_known;
   }
   // The leverage stage inherits the attack-wide thread knob unless its own
   // is set (AttackOptions{.leverage = {.sketch = true}} runs the whole fit
@@ -23,7 +85,7 @@ Result<DeanonymizationAttack> DeanonymizationAttack::Fit(
   if (leverage.parallel.num_threads == 0) {
     leverage.parallel = options.parallel;
   }
-  auto scores = ComputeLeverageScores(known.data(), leverage);
+  auto scores = ComputeLeverageScores(fit_known->data(), leverage);
   if (!scores.ok()) return scores.status();
 
   DeanonymizationAttack attack;
@@ -35,12 +97,14 @@ Result<DeanonymizationAttack> DeanonymizationAttack::Fit(
         "DeanonymizationAttack: fewer than 2 usable features");
   }
   NP_TRACE_SCOPE("attack.fit.restrict");
-  auto reduced = known.RestrictToFeatures(attack.selected_features_);
+  auto reduced = fit_known->RestrictToFeatures(attack.selected_features_);
   if (!reduced.ok()) return reduced.status();
   attack.reduced_known_ = std::move(reduced).value();
   attack.full_feature_count_ = known.num_features();
   attack.parallel_ = options.parallel;
   attack.trace_ = options.trace;
+  attack.failure_policy_ = options.failure_policy;
+  attack.fault_ = options.fault;
   metrics::Count("attack.fits", 1);
   metrics::SetGauge("attack.selected_features",
                     static_cast<double>(attack.selected_features_.size()));
@@ -48,20 +112,32 @@ Result<DeanonymizationAttack> DeanonymizationAttack::Fit(
 }
 
 Result<AttackResult> DeanonymizationAttack::Identify(
-    const connectome::GroupMatrix& anonymous) const {
+    const connectome::GroupMatrix& anonymous, BatchReport* report) const {
   trace::ScopedEnable trace_enable(trace_.enabled);
+  fault::ScopedSchedule fault_schedule(fault_.schedule);
+  NP_RETURN_IF_ERROR(fault_schedule.status());
   NP_TRACE_SCOPE("attack.identify");
+  NP_FAULT_POINT("attack.identify");
   if (anonymous.num_features() != full_feature_count_) {
     return Status::InvalidArgument(StrFormat(
         "Identify: anonymous dataset has %zu features, attack was fitted "
         "on %zu — datasets must share a parcellation",
         anonymous.num_features(), full_feature_count_));
   }
-  auto reduced = anonymous.RestrictToFeatures(selected_features_);
+  std::vector<std::size_t> survivors;
+  NP_ASSIGN_OR_RETURN(survivors, ScreenSubjects(anonymous, failure_policy_,
+                                                "identify_screen", report));
+  connectome::GroupMatrix screened;
+  const connectome::GroupMatrix* target = &anonymous;
+  if (survivors.size() < anonymous.num_subjects()) {
+    NP_ASSIGN_OR_RETURN(screened, anonymous.RestrictToSubjects(survivors));
+    target = &screened;
+  }
+  auto reduced = target->RestrictToFeatures(selected_features_);
   if (!reduced.ok()) return reduced.status();
   metrics::Count("attack.identifies", 1);
   metrics::SetGauge("attack.identify_subjects",
-                    static_cast<double>(anonymous.num_subjects()));
+                    static_cast<double>(target->num_subjects()));
 
   AttackResult result;
   {
@@ -82,7 +158,7 @@ Result<AttackResult> DeanonymizationAttack::Identify(
   auto accuracy =
       IdentificationAccuracy(result.predicted_index,
                              reduced_known_.subject_ids(),
-                             anonymous.subject_ids());
+                             target->subject_ids());
   if (!accuracy.ok()) return accuracy.status();
   result.accuracy = *accuracy;
   return result;

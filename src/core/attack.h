@@ -15,6 +15,8 @@
 #include "connectome/group_matrix.h"
 #include "core/leverage.h"
 #include "core/matcher.h"
+#include "util/batch.h"
+#include "util/fault.h"
 #include "util/status.h"
 #include "util/trace.h"
 
@@ -35,6 +37,15 @@ struct AttackOptions {
   /// this Fit and the resulting attack's Identify calls even when
   /// NEUROPRINT_TRACE is unset (see util/trace.h).
   trace::TraceConfig trace;
+  /// How Fit / Identify treat subjects whose feature column is unusable
+  /// (non-finite values): fail-fast (default) errors with the
+  /// lowest-index subject; skip-and-report / quorum drop them and record
+  /// the drops in the BatchReport passed to Fit / Identify (see
+  /// util/batch.h). Captured at Fit time for Identify.
+  FailurePolicy failure_policy;
+  /// Fault injection for this Fit and its Identify calls: a non-empty
+  /// schedule replaces the process schedule (see util/fault.h).
+  fault::FaultConfig fault;
 };
 
 /// Outcome of one identification run.
@@ -51,9 +62,13 @@ struct AttackResult {
 /// matrix, reusable against any number of target datasets.
 class DeanonymizationAttack {
  public:
-  /// Fits the attack on the de-anonymized dataset.
+  /// Fits the attack on the de-anonymized dataset. Under a non-fail-fast
+  /// failure policy, known subjects with non-finite feature columns are
+  /// dropped before leverage scoring and recorded in `report` (may be
+  /// null; stage "fit_screen").
   static Result<DeanonymizationAttack> Fit(
-      const connectome::GroupMatrix& known, const AttackOptions& options = {});
+      const connectome::GroupMatrix& known, const AttackOptions& options = {},
+      BatchReport* report = nullptr);
 
   /// Feature rows (into the original feature space) the attack uses.
   const std::vector<std::size_t>& selected_features() const {
@@ -65,8 +80,12 @@ class DeanonymizationAttack {
 
   /// Identifies every subject of `anonymous` against the known dataset.
   /// The anonymous matrix must live in the same (full) feature space the
-  /// attack was fitted on.
-  Result<AttackResult> Identify(const connectome::GroupMatrix& anonymous) const;
+  /// attack was fitted on. Under the fitted non-fail-fast failure policy,
+  /// anonymous subjects with non-finite columns are dropped and recorded
+  /// in `report` (may be null; stage "identify_screen") — AttackResult
+  /// then covers only the survivors, in their original order.
+  Result<AttackResult> Identify(const connectome::GroupMatrix& anonymous,
+                                BatchReport* report = nullptr) const;
 
  private:
   connectome::GroupMatrix reduced_known_;
@@ -75,6 +94,8 @@ class DeanonymizationAttack {
   std::size_t full_feature_count_ = 0;
   ParallelContext parallel_;
   trace::TraceConfig trace_;
+  FailurePolicy failure_policy_;
+  fault::FaultConfig fault_;
 };
 
 }  // namespace neuroprint::core

@@ -63,8 +63,27 @@ Result<linalg::Vector> LeverageViaSketch(const linalg::Matrix& a,
 // plus an n x n eigendecomposition instead of an m x n SVD.
 Result<linalg::Vector> LeverageViaGram(const linalg::Matrix& a,
                                        const LeverageOptions& options) {
-  auto eig = linalg::EigSym(linalg::Gram(a, options.parallel));
-  if (!eig.ok()) return eig.status();
+  linalg::Matrix gram = linalg::Gram(a, options.parallel);
+  auto eig = linalg::EigSym(gram);
+  if (!eig.ok()) {
+    // Rank-deficient / non-converged Gram: retry once with a tiny ridge
+    // (relative to the largest diagonal entry) before giving up and
+    // letting the caller fall back to the exact SVD. The ridge only
+    // perturbs the near-null directions the rank cutoff below discards.
+    double max_diag = 0.0;
+    for (std::size_t i = 0; i < gram.rows(); ++i) {
+      max_diag = std::max(max_diag, std::abs(gram(i, i)));
+    }
+    if (!(max_diag > 0.0) || !std::isfinite(max_diag)) return eig.status();
+    const double ridge = 1e-12 * max_diag;
+    for (std::size_t i = 0; i < gram.rows(); ++i) gram(i, i) += ridge;
+    eig = linalg::EigSym(gram);
+    if (!eig.ok()) return eig.status();
+    metrics::Count("leverage.gram_ridge_retries", 1);
+    if (options.diagnostics != nullptr) {
+      options.diagnostics->gram_ridge_retried = true;
+    }
+  }
   const linalg::Vector& eigenvalues = eig->eigenvalues;
   if (eigenvalues.empty() || eigenvalues[0] <= 0.0) {
     return Status::FailedPrecondition(

@@ -29,6 +29,9 @@ struct LeverageDiagnostics {
   /// The exact-SVD branch ran and its SVD took the thin-QR preconditioning
   /// fast path (expected for tall group matrices).
   bool svd_qr_preconditioned = false;
+  /// The Gram eigendecomposition failed on the raw Gram (rank-deficient /
+  /// non-converged) and succeeded on the ridge-jittered retry.
+  bool gram_ridge_retried = false;
 };
 
 struct LeverageOptions {

@@ -5,6 +5,8 @@
 
 #include "image/interpolate.h"
 #include "image/resample.h"
+#include "util/fault.h"
+#include "util/metrics.h"
 
 namespace neuroprint::image {
 
@@ -110,14 +112,33 @@ Result<MotionCorrectionResult> MotionCorrect(
   const Volume3D reference = run.ExtractVolume(0);
   for (std::size_t t = 1; t < run.nt(); ++t) {
     const Volume3D frame = run.ExtractVolume(t);
-    auto reg = RegisterRigid(reference, frame, options);
-    if (!reg.ok()) return reg.status();
+    // A fault injected at this point behaves exactly like the frame's
+    // registration failing, so it exercises the fallback path too.
+    Status injected = Status::OK();
+    if (fault::Enabled()) {
+      injected = fault::InjectedError("pipeline.motion_correct", t);
+    }
+    Result<RegistrationResult> reg =
+        injected.ok() ? RegisterRigid(reference, frame, options)
+                      : Result<RegistrationResult>(injected);
+    if (!reg.ok()) {
+      if (!options.identity_fallback_on_failure) return reg.status();
+      // Degrade instead of failing: the frame stays unregistered under
+      // the identity transform (out.corrected already holds it).
+      out.motion[t] = RigidTransform{};
+      out.degraded_frames.push_back(t);
+      metrics::Count("pipeline.frames_degraded", 1);
+      continue;
+    }
     out.motion[t] = reg->transform;
     if (!reg->transform.IsApproxIdentity(1e-9)) {
       auto resampled = ResampleRigid(frame, reg->transform);
       if (!resampled.ok()) return resampled.status();
       out.corrected.SetVolume(t, *resampled);
     }
+  }
+  if (!out.degraded_frames.empty()) {
+    metrics::Count("pipeline.scans_degraded", 1);
   }
   return out;
 }

@@ -24,6 +24,12 @@ struct RegistrationOptions {
   int passes_per_level = 4;
   /// Evaluate the cost on every k-th voxel per axis (speed knob).
   std::size_t sample_stride = 1;
+  /// Graceful degradation for MotionCorrect: when registering a frame
+  /// fails, keep the frame unregistered (identity transform) and record
+  /// it in MotionCorrectionResult::degraded_frames instead of failing
+  /// the whole run. Off by default — batch callers opt in via
+  /// FailurePolicy (see util/batch.h).
+  bool identity_fallback_on_failure = false;
 };
 
 struct RegistrationResult {
@@ -46,6 +52,8 @@ Result<RegistrationResult> RegisterRigid(
 struct MotionCorrectionResult {
   Volume4D corrected;
   std::vector<RigidTransform> motion;  ///< Per-frame estimates; motion[0] = I.
+  /// Frames left unregistered by identity_fallback_on_failure, ascending.
+  std::vector<std::size_t> degraded_frames;
 };
 
 Result<MotionCorrectionResult> MotionCorrect(

@@ -3,7 +3,40 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/metrics.h"
+
 namespace neuroprint::linalg {
+namespace {
+
+// A series is degenerate for normalization when its spread is zero or
+// any non-finite value poisoned the accumulation (NaN fails every
+// ordered comparison, so `sd <= 0.0` alone would let NaN through).
+// Degenerate series normalize to a defined all-zero output instead of
+// NaN; callers see the counts as stats.zero_variance_series /
+// stats.nonfinite_series semantic counters.
+bool DegenerateSpread(double spread) {
+  return !std::isfinite(spread) || spread <= 0.0;
+}
+
+// Counts degenerate entries once, serially, so the semantic counters are
+// identical at any thread count.
+void CountDegenerate(const Vector& spreads) {
+  std::uint64_t zero_variance = 0;
+  std::uint64_t nonfinite = 0;
+  for (double s : spreads) {
+    if (!std::isfinite(s)) {
+      ++nonfinite;
+    } else if (s <= 0.0) {
+      ++zero_variance;
+    }
+  }
+  if (zero_variance > 0) {
+    metrics::Count("stats.zero_variance_series", zero_variance);
+  }
+  if (nonfinite > 0) metrics::Count("stats.nonfinite_series", nonfinite);
+}
+
+}  // namespace
 
 Vector RowMeans(const Matrix& m) {
   Vector means(m.rows(), 0.0);
@@ -48,11 +81,12 @@ void ZScoreRowsInPlace(Matrix& m, const ParallelContext& ctx) {
   if (m.cols() == 0) return;
   const Vector means = RowMeans(m);
   const Vector sds = RowStdDevs(m);
+  CountDegenerate(sds);
   ParallelFor(ctx, 0, m.rows(), GrainForWork(m.cols()),
               [&](std::size_t row_lo, std::size_t row_hi) {
                 for (std::size_t i = row_lo; i < row_hi; ++i) {
                   double* row = m.RowPtr(i);
-                  if (sds[i] <= 0.0) {
+                  if (DegenerateSpread(sds[i])) {
                     std::fill(row, row + m.cols(), 0.0);
                     continue;
                   }
@@ -66,6 +100,8 @@ void ZScoreRowsInPlace(Matrix& m, const ParallelContext& ctx) {
 
 void ZScoreColsInPlace(Matrix& m) {
   if (m.rows() == 0) return;
+  Vector sds(m.cols(), 0.0);
+  Vector means(m.cols(), 0.0);
   for (std::size_t j = 0; j < m.cols(); ++j) {
     double mean = 0.0;
     for (std::size_t i = 0; i < m.rows(); ++i) mean += m(i, j);
@@ -75,9 +111,15 @@ void ZScoreColsInPlace(Matrix& m) {
       const double d = m(i, j) - mean;
       var += d * d;
     }
-    const double sd =
+    means[j] = mean;
+    sds[j] =
         m.rows() > 1 ? std::sqrt(var / static_cast<double>(m.rows() - 1)) : 0.0;
-    if (sd <= 0.0) {
+  }
+  CountDegenerate(sds);
+  for (std::size_t j = 0; j < m.cols(); ++j) {
+    const double mean = means[j];
+    const double sd = sds[j];
+    if (DegenerateSpread(sd)) {
       for (std::size_t i = 0; i < m.rows(); ++i) m(i, j) = 0.0;
       continue;
     }
@@ -130,6 +172,7 @@ Matrix RowCorrelation(const Matrix& m, const ParallelContext& ctx) {
                   norms[i] = std::sqrt(sum);
                 }
               });
+  CountDegenerate(norms);
   Matrix corr = MatMulT(centered, centered, ctx);
   ParallelFor(ctx, 0, p, GrainForWork(p),
               [&](std::size_t row_lo, std::size_t row_hi) {
@@ -138,10 +181,10 @@ Matrix RowCorrelation(const Matrix& m, const ParallelContext& ctx) {
                     const double denom = norms[i] * norms[j];
                     if (i == j) {
                       corr(i, j) = 1.0;
-                    } else if (denom > 0.0) {
-                      corr(i, j) = std::clamp(corr(i, j) / denom, -1.0, 1.0);
-                    } else {
+                    } else if (DegenerateSpread(denom)) {
                       corr(i, j) = 0.0;
+                    } else {
+                      corr(i, j) = std::clamp(corr(i, j) / denom, -1.0, 1.0);
                     }
                   }
                 }
@@ -179,15 +222,18 @@ Matrix ColumnCrossCorrelation(const Matrix& a, const Matrix& b,
   Vector norms_a, norms_b;
   const Matrix ca = centered_with_norms(a, norms_a);
   const Matrix cb = centered_with_norms(b, norms_b);
+  CountDegenerate(norms_a);
+  CountDegenerate(norms_b);
   Matrix corr = MatTMul(ca, cb, ctx);
   ParallelFor(ctx, 0, corr.rows(), GrainForWork(corr.cols()),
               [&](std::size_t row_lo, std::size_t row_hi) {
                 for (std::size_t i = row_lo; i < row_hi; ++i) {
                   for (std::size_t j = 0; j < corr.cols(); ++j) {
                     const double denom = norms_a[i] * norms_b[j];
-                    corr(i, j) = denom > 0.0
-                                     ? std::clamp(corr(i, j) / denom, -1.0, 1.0)
-                                     : 0.0;
+                    corr(i, j) = DegenerateSpread(denom)
+                                     ? 0.0
+                                     : std::clamp(corr(i, j) / denom, -1.0,
+                                                  1.0);
                   }
                 }
               });

@@ -81,7 +81,12 @@ double PearsonCorrelation(const Vector& x, const Vector& y) {
     sxx += dx * dx;
     syy += dy * dy;
   }
-  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  // NaN-safe degenerate check: a non-finite input poisons the sums, and
+  // NaN fails `<= 0.0`, so test the inverted predicate instead.
+  if (!(sxx > 0.0) || !(syy > 0.0) || !std::isfinite(sxx) ||
+      !std::isfinite(syy)) {
+    return 0.0;
+  }
   return sxy / std::sqrt(sxx * syy);
 }
 
@@ -93,7 +98,7 @@ void CenterInPlace(Vector& x) {
 void ZScoreInPlace(Vector& x) {
   const double mu = Mean(x);
   const double sd = StdDev(x);
-  if (sd <= 0.0) {
+  if (!std::isfinite(sd) || sd <= 0.0) {
     std::fill(x.begin(), x.end(), 0.0);
     return;
   }

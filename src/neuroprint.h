@@ -7,8 +7,10 @@
 #define NEUROPRINT_NEUROPRINT_H_
 
 // Utilities.
+#include "util/batch.h"          // FailurePolicy / BatchReport semantics.
 #include "util/check.h"          // NP_CHECK fail-fast macros.
 #include "util/csv_writer.h"     // CSV output.
+#include "util/fault.h"          // Deterministic fault injection.
 #include "util/logging.h"        // NP_LOG leveled logging.
 #include "util/metrics.h"        // Counters / gauges / histograms registry.
 #include "util/random.h"         // Seedable PCG64 RNG.

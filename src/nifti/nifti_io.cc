@@ -8,10 +8,50 @@
 #include <fstream>
 #include <limits>
 
+#include "util/fault.h"
 #include "util/string_util.h"
 
 namespace neuroprint::nifti {
 namespace {
+
+// Applies a fired buffer-capable injection point to decoded bytes or
+// voxels: kError propagates, kCorrupt scrambles in place, kNaN (floats
+// only) poisons every value.
+Status ApplyBufferInjection(const fault::Injection& injection,
+                            std::vector<std::uint8_t>& bytes) {
+  switch (injection.action) {
+    case fault::Action::kNone:
+      return Status::OK();
+    case fault::Action::kError:
+      return injection.status;
+    case fault::Action::kCorrupt:
+      fault::ScrambleBytes(injection.seed, bytes.data(), bytes.size());
+      return Status::OK();
+    case fault::Action::kNaN:
+      return Status::Internal(
+          "fault action 'nan' is not supported on raw byte buffers");
+  }
+  return Status::OK();
+}
+
+Status ApplyVoxelInjection(const fault::Injection& injection,
+                           std::vector<float>& voxels) {
+  switch (injection.action) {
+    case fault::Action::kNone:
+      return Status::OK();
+    case fault::Action::kError:
+      return injection.status;
+    case fault::Action::kCorrupt:
+      fault::ScrambleBytes(injection.seed, voxels.data(),
+                           voxels.size() * sizeof(float));
+      return Status::OK();
+    case fault::Action::kNaN:
+      std::fill(voxels.begin(), voxels.end(),
+                std::numeric_limits<float>::quiet_NaN());
+      return Status::OK();
+  }
+  return Status::OK();
+}
 
 // ---------------------------------------------------------------------------
 // Raw / gzip file slurping
@@ -48,6 +88,10 @@ Result<std::vector<std::uint8_t>> GunzipFile(const std::string& path) {
     out.insert(out.end(), chunk.begin(), chunk.begin() + n);
   }
   gzclose(gz);
+  if (fault::Enabled()) {
+    NP_RETURN_IF_ERROR(
+        ApplyBufferInjection(fault::Hit("io.gzip_inflate"), out));
+  }
   return out;
 }
 
@@ -179,6 +223,7 @@ void IntegerScaling(const std::vector<float>& data, double type_min,
 }  // namespace
 
 Result<NiftiImage> ReadNifti(const std::string& path) {
+  NP_FAULT_POINT("nifti.read");
   Result<std::vector<std::uint8_t>> raw = ReadWholeFile(path);
   if (!raw.ok()) return raw.status();
   std::vector<std::uint8_t> bytes = std::move(raw).value();
@@ -197,6 +242,10 @@ Result<NiftiImage> ReadNifti(const std::string& path) {
   NP_RETURN_IF_ERROR(DecodeVoxels(
       bytes, static_cast<std::size_t>(header.vox_offset), header, swapped,
       voxels));
+  if (fault::Enabled()) {
+    NP_RETURN_IF_ERROR(
+        ApplyVoxelInjection(fault::Hit("nifti.decode_voxels"), voxels));
+  }
 
   const std::size_t nx = static_cast<std::size_t>(header.dim[1]);
   const std::size_t ny = header.dim[0] >= 2 ? static_cast<std::size_t>(header.dim[2]) : 1;

@@ -7,6 +7,8 @@
 #include "linalg/stats.h"
 #include "util/metrics.h"
 #include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace neuroprint::preprocess {
 namespace {
@@ -195,6 +197,8 @@ Result<PipelineOutput> RunPipeline(const image::Volume4D& raw,
   }
 
   trace::ScopedEnable trace_enable(config.trace.enabled);
+  fault::ScopedSchedule fault_schedule(config.fault.schedule);
+  NP_RETURN_IF_ERROR(fault_schedule.status());
   NP_TRACE_SCOPE("pipeline.run");
   metrics::Count("pipeline.runs", 1);
   metrics::SetGauge("pipeline.voxels_per_frame",
@@ -215,6 +219,7 @@ Result<PipelineOutput> RunPipeline(const image::Volume4D& raw,
 
   if (config.slice_time_correction && run.nz() > 1 && run.nt() > 2) {
     NP_TRACE_SCOPE("pipeline.slice_timing");
+    NP_FAULT_POINT("pipeline.slice_timing");
     auto corrected = SliceTimeCorrect(run, config.slice_order);
     if (!corrected.ok()) return corrected.status();
     run = std::move(corrected).value();
@@ -223,15 +228,23 @@ Result<PipelineOutput> RunPipeline(const image::Volume4D& raw,
 
   if (config.motion_correction && run.nt() > 1) {
     NP_TRACE_SCOPE("pipeline.motion_correction");
-    auto corrected = image::MotionCorrect(run, config.registration);
+    // A non-fail-fast policy arms the per-frame identity fallback, so a
+    // single unregistrable frame degrades the scan instead of failing it.
+    image::RegistrationOptions registration = config.registration;
+    if (config.failure_policy.mode != FailureMode::kFailFast) {
+      registration.identity_fallback_on_failure = true;
+    }
+    auto corrected = image::MotionCorrect(run, registration);
     if (!corrected.ok()) return corrected.status();
     run = std::move(corrected->corrected);
     output.motion = std::move(corrected->motion);
+    output.degraded_frames = std::move(corrected->degraded_frames);
     log_stage("motion_correction");
   }
 
   {
     NP_TRACE_SCOPE("pipeline.masking");
+    NP_FAULT_POINT("pipeline.masking");
     auto mask = image::ComputeBrainMask(run, config.mask_fraction);
     if (!mask.ok()) return mask.status();
     output.mask = std::move(mask).value();
@@ -269,6 +282,7 @@ Result<PipelineOutput> RunPipeline(const image::Volume4D& raw,
 
   {
     NP_TRACE_SCOPE("pipeline.region_averaging");
+    NP_FAULT_POINT("pipeline.region_averaging");
     auto series = atlas::ExtractRegionTimeSeries(run, atlas);
     if (!series.ok()) return series.status();
     output.region_series = std::move(series).value();
@@ -279,11 +293,85 @@ Result<PipelineOutput> RunPipeline(const image::Volume4D& raw,
 
   {
     NP_TRACE_SCOPE("pipeline.temporal_cleanup");
+    NP_FAULT_POINT("pipeline.temporal_cleanup");
     NP_RETURN_IF_ERROR(CleanRegionSeries(output.region_series, config,
                                          run.spacing().tr_seconds, global));
     log_stage("temporal_cleanup");
   }
   return output;
+}
+
+Result<PipelineBatchOutput> RunPipelineBatch(
+    const std::vector<image::Volume4D>& runs,
+    const std::vector<std::string>& ids, const atlas::Atlas& atlas,
+    const PipelineConfig& config) {
+  if (!ids.empty() && ids.size() != runs.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "RunPipelineBatch: %zu ids for %zu runs", ids.size(), runs.size()));
+  }
+  trace::ScopedEnable trace_enable(config.trace.enabled);
+  // Installed once for the whole batch; per-item configs must not nest
+  // another schedule from worker threads.
+  fault::ScopedSchedule fault_schedule(config.fault.schedule);
+  NP_RETURN_IF_ERROR(fault_schedule.status());
+  NP_TRACE_SCOPE("pipeline.batch");
+
+  PipelineBatchOutput out;
+  out.report.attempted = runs.size();
+  if (runs.empty()) return out;
+
+  PipelineConfig item_config = config;
+  item_config.fault.schedule.clear();
+
+  std::vector<PipelineOutput> results(runs.size());
+  std::vector<char> succeeded(runs.size(), 0);
+  std::vector<std::pair<std::size_t, Status>> errors;
+  ParallelForStatusCollect(
+      config.parallel, 0, runs.size(), 1,
+      [&](std::size_t i) -> Status {
+        NP_FAULT_POINT_KEYED("pipeline.batch_item", i);
+        Result<PipelineOutput> result = RunPipeline(runs[i], atlas,
+                                                    item_config);
+        if (!result.ok()) return result.status();
+        results[i] = std::move(result).value();
+        succeeded[i] = 1;
+        return Status::OK();
+      },
+      &errors);
+
+  for (auto& [index, status] : errors) {
+    BatchItemReport item;
+    item.index = index;
+    if (!ids.empty()) item.id = ids[index];
+    item.stage = "pipeline";
+    item.status = std::move(status);
+    out.report.failed.push_back(std::move(item));
+  }
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (!succeeded[i] || results[i].degraded_frames.empty()) continue;
+    BatchItemReport item;
+    item.index = i;
+    if (!ids.empty()) item.id = ids[i];
+    item.stage = "motion_correction";
+    for (std::size_t frame : results[i].degraded_frames) {
+      item.degradations.push_back(
+          StrFormat("identity_transform_frame_%zu", frame));
+    }
+    out.report.degraded.push_back(std::move(item));
+  }
+  if (!out.report.degraded.empty()) {
+    metrics::Count("batch.subjects_degraded", out.report.degraded.size());
+  }
+  NP_RETURN_IF_ERROR(ResolveBatch(config.failure_policy, out.report));
+  if (!out.report.failed.empty()) {
+    metrics::Count("batch.subjects_skipped", out.report.failed.size());
+  }
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (!succeeded[i]) continue;
+    out.outputs.push_back(std::move(results[i]));
+    out.indices.push_back(i);
+  }
+  return out;
 }
 
 }  // namespace neuroprint::preprocess

@@ -32,6 +32,8 @@
 #include "linalg/matrix.h"
 #include "preprocess/slice_timing.h"
 #include "signal/filters.h"
+#include "util/batch.h"
+#include "util/fault.h"
 #include "util/status.h"
 #include "util/trace.h"
 
@@ -74,6 +76,16 @@ struct PipelineConfig {
   /// metrics for this run even when NEUROPRINT_TRACE is unset (see
   /// util/trace.h).
   trace::TraceConfig trace;
+
+  /// Batch semantics for RunPipelineBatch: fail-fast (default, the
+  /// pre-existing behavior), skip-and-report, or quorum. A non-fail-fast
+  /// policy also arms the stage-level degradations (identity-transform
+  /// fallback for unregistrable frames).
+  FailurePolicy failure_policy;
+
+  /// Fault injection for this call: a non-empty schedule replaces the
+  /// process schedule (NEUROPRINT_FAULT) for the run (see util/fault.h).
+  fault::FaultConfig fault;
 };
 
 /// Preset matching the paper's resting-state processing.
@@ -89,12 +101,32 @@ struct PipelineOutput {
   image::Mask mask;
   std::vector<image::RigidTransform> motion;  ///< Empty if correction off.
   std::vector<std::pair<std::string, double>> stage_seconds;  ///< Timing log.
+  /// Frames kept under the identity-transform registration fallback
+  /// (non-empty only when the failure policy armed degradations).
+  std::vector<std::size_t> degraded_frames;
 };
 
 /// Runs the full pipeline. The atlas grid must match the run grid.
 Result<PipelineOutput> RunPipeline(const image::Volume4D& raw,
                                    const atlas::Atlas& atlas,
                                    const PipelineConfig& config);
+
+/// Survivors of a multi-run batch: outputs[k] is the pipeline output of
+/// runs[indices[k]]; the report names every dropped or degraded run.
+struct PipelineBatchOutput {
+  std::vector<PipelineOutput> outputs;
+  std::vector<std::size_t> indices;
+  BatchReport report;
+};
+
+/// Runs the pipeline over a batch of runs under config.failure_policy:
+/// fail-fast returns the lowest-index failure; skip-and-report / quorum
+/// drop failed runs into the report and keep going (see util/batch.h).
+/// `ids` labels the report entries and may be empty.
+Result<PipelineBatchOutput> RunPipelineBatch(
+    const std::vector<image::Volume4D>& runs,
+    const std::vector<std::string>& ids, const atlas::Atlas& atlas,
+    const PipelineConfig& config);
 
 /// The temporal-cleanup tail of the pipeline on an existing region x time
 /// matrix (used by the simulator's region-level fast path so both paths

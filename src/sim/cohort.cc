@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "connectome/connectome.h"
 #include "linalg/cholesky.h"
@@ -308,41 +309,124 @@ Result<linalg::Matrix> CohortSimulator::SimulateRegionSeries(
       }
     }
   }
+
+  // Keyed injection point standing in for archival-data damage: `error`
+  // models an unreadable scan (e.g. truncated gzip), `nan` a fully
+  // motion-scrubbed run, `corrupt` bit rot in the decoded series. Keyed
+  // by subject so schedules are deterministic under parallel synthesis.
+  if (fault::Enabled()) {
+    const fault::Injection injection =
+        fault::Hit("cohort.simulate_scan", subject);
+    switch (injection.action) {
+      case fault::Action::kNone:
+        break;
+      case fault::Action::kError:
+        return injection.status;
+      case fault::Action::kNaN:
+        std::fill(series.data(), series.data() + series.rows() * series.cols(),
+                  std::numeric_limits<double>::quiet_NaN());
+        break;
+      case fault::Action::kCorrupt:
+        fault::ScrambleBytes(injection.seed, series.data(),
+                             series.rows() * series.cols() * sizeof(double));
+        break;
+    }
+  }
   return series;
 }
 
 Result<connectome::GroupMatrix> CohortSimulator::BuildGroupMatrix(
     TaskType task, Encoding encoding, double multisite_noise_fraction) const {
+  return BuildGroupMatrixWithReport(task, encoding, multisite_noise_fraction,
+                                    nullptr);
+}
+
+Result<connectome::GroupMatrix> CohortSimulator::BuildGroupMatrixWithReport(
+    TaskType task, Encoding encoding, double multisite_noise_fraction,
+    BatchReport* report) const {
+  fault::ScopedSchedule fault_schedule(config_.fault.schedule);
+  NP_RETURN_IF_ERROR(fault_schedule.status());
   NP_TRACE_SCOPE("cohort.build_group_matrix");
   metrics::Count("cohort.builds", 1);
   metrics::Count("cohort.scans", config_.num_subjects);
+
+  BatchReport local_report;
+  if (report == nullptr) report = &local_report;
+  report->Clear();
+  report->attempted = config_.num_subjects;
+
   // Every scan derives its own generator from ScanSeed, so subjects
   // synthesize independently in parallel, each writing its own column.
+  // Each subject also records the stage it last entered into its own
+  // slot, so a failure can be attributed without cross-item coupling.
   std::vector<linalg::Vector> columns(config_.num_subjects);
-  const Status status = ParallelForStatus(
+  std::vector<const char*> stages(config_.num_subjects, "simulate");
+  std::vector<std::pair<std::size_t, Status>> errors;
+  ParallelForStatusCollect(
       config_.parallel, 0, config_.num_subjects, 1,
-      [&](std::size_t s_lo, std::size_t s_hi) -> Status {
-        for (std::size_t s = s_lo; s < s_hi; ++s) {
-          NP_TRACE_SCOPE("cohort.scan");
-          auto series = SimulateRegionSeries(s, task, encoding);
-          if (!series.ok()) return series.status();
-          if (multisite_noise_fraction > 0.0) {
-            Rng site_rng(ScanSeed(config_.seed, s, task, encoding, 0x517eULL));
-            NP_RETURN_IF_ERROR(
-                AddMultisiteNoise(*series, multisite_noise_fraction, site_rng));
-            NP_RETURN_IF_ERROR(
-                AddSiteEffect(*series, multisite_noise_fraction, site_rng));
-          }
-          auto conn = connectome::BuildConnectome(*series, config_.parallel);
-          if (!conn.ok()) return conn.status();
-          auto features = connectome::VectorizeUpperTriangle(*conn);
-          if (!features.ok()) return features.status();
-          columns[s] = std::move(features).value();
+      [&](std::size_t s) -> Status {
+        NP_TRACE_SCOPE("cohort.scan");
+        stages[s] = "simulate";
+        auto series = SimulateRegionSeries(s, task, encoding);
+        if (!series.ok()) return series.status();
+        // Injected NaN / corrupt scans surface here rather than as a NaN
+        // column in the group matrix (BuildConnectome would also reject
+        // non-finite input, but with a less specific stage).
+        stages[s] = "validate";
+        if (!series->AllFinite()) {
+          return Status::CorruptData(StrFormat(
+              "scan for subject %s has non-finite samples",
+              subject_ids_[s].c_str()));
         }
+        if (multisite_noise_fraction > 0.0) {
+          stages[s] = "multisite";
+          Rng site_rng(ScanSeed(config_.seed, s, task, encoding, 0x517eULL));
+          NP_RETURN_IF_ERROR(
+              AddMultisiteNoise(*series, multisite_noise_fraction, site_rng));
+          NP_RETURN_IF_ERROR(
+              AddSiteEffect(*series, multisite_noise_fraction, site_rng));
+        }
+        stages[s] = "connectome";
+        auto conn = connectome::BuildConnectome(*series, config_.parallel);
+        if (!conn.ok()) return conn.status();
+        stages[s] = "vectorize";
+        auto features = connectome::VectorizeUpperTriangle(*conn);
+        if (!features.ok()) return features.status();
+        columns[s] = std::move(features).value();
         return Status::OK();
-      });
-  NP_RETURN_IF_ERROR(status);
-  return connectome::GroupMatrix::FromFeatureColumns(columns, subject_ids_);
+      },
+      &errors);
+
+  for (auto& [index, status] : errors) {
+    BatchItemReport item;
+    item.index = index;
+    item.id = subject_ids_[index];
+    item.stage = stages[index];
+    item.status = std::move(status);
+    report->failed.push_back(std::move(item));
+  }
+  NP_RETURN_IF_ERROR(ResolveBatch(config_.failure_policy, *report));
+  if (report->failed.empty()) {
+    return connectome::GroupMatrix::FromFeatureColumns(columns, subject_ids_);
+  }
+  metrics::Count("batch.subjects_skipped", report->failed.size());
+
+  std::vector<linalg::Vector> surviving_columns;
+  std::vector<std::string> surviving_ids;
+  surviving_columns.reserve(report->num_succeeded());
+  surviving_ids.reserve(report->num_succeeded());
+  std::size_t next_failed = 0;
+  for (std::size_t s = 0; s < config_.num_subjects; ++s) {
+    if (next_failed < report->failed.size() &&
+        report->failed[next_failed].index == s) {
+      ++next_failed;
+      continue;
+    }
+    surviving_columns.push_back(std::move(columns[s]));
+    surviving_ids.push_back(subject_ids_[s]);
+  }
+  return connectome::GroupMatrix::FromFeatureColumns(surviving_columns,
+                                                     std::move(surviving_ids));
 }
 
 Status AddMultisiteNoise(linalg::Matrix& series, double variance_fraction,

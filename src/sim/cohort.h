@@ -32,6 +32,8 @@
 #include "connectome/group_matrix.h"
 #include "linalg/matrix.h"
 #include "sim/task.h"
+#include "util/batch.h"
+#include "util/fault.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -81,6 +83,17 @@ struct CohortConfig {
   /// Threads for per-subject scan synthesis in BuildGroupMatrix. Scans are
   /// independently seeded (ScanSeed), so parallel generation is exact.
   ParallelContext parallel;
+
+  /// Batch semantics for BuildGroupMatrix: fail-fast (default, the
+  /// pre-existing behavior) propagates the lowest-index subject's error;
+  /// skip-and-report / quorum drop failed subjects and record them in the
+  /// BatchReport (see util/batch.h).
+  FailurePolicy failure_policy;
+
+  /// Fault injection for this simulator's calls: a non-empty schedule
+  /// replaces the process schedule (NEUROPRINT_FAULT) for the duration of
+  /// BuildGroupMatrix (see util/fault.h).
+  fault::FaultConfig fault;
 };
 
 /// Preset approximating the HCP healthy-young-adult cohort used in the
@@ -121,6 +134,17 @@ class CohortSimulator {
   Result<connectome::GroupMatrix> BuildGroupMatrix(
       TaskType task, Encoding encoding,
       double multisite_noise_fraction = 0.0) const;
+
+  /// BuildGroupMatrix under the config's FailurePolicy, with per-subject
+  /// failure accounting. Under skip-and-report / quorum, subjects whose
+  /// scan fails any stage (simulate, validate, multisite, connectome,
+  /// vectorize) are dropped from the returned matrix and recorded in
+  /// `report` (ascending subject index, deterministic at any thread
+  /// count); the surviving columns are bit-identical to a clean run
+  /// restricted to the same subjects. `report` may be null.
+  Result<connectome::GroupMatrix> BuildGroupMatrixWithReport(
+      TaskType task, Encoding encoding, double multisite_noise_fraction,
+      BatchReport* report) const;
 
  private:
   CohortSimulator() = default;

@@ -1,0 +1,82 @@
+#include "util/batch.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace neuroprint {
+namespace {
+
+std::string ItemLabel(const BatchItemReport& item) {
+  std::string label =
+      item.id.empty() ? StrFormat("#%zu", item.index) : item.id;
+  if (!item.stage.empty()) label += " [" + item.stage + "]";
+  return label;
+}
+
+}  // namespace
+
+const char* FailureModeName(FailureMode mode) {
+  switch (mode) {
+    case FailureMode::kFailFast:
+      return "fail_fast";
+    case FailureMode::kSkipAndReport:
+      return "skip_and_report";
+    case FailureMode::kQuorum:
+      return "quorum";
+  }
+  return "unknown";
+}
+
+std::string BatchReport::ToString() const {
+  std::string out = "batch: " + std::to_string(num_succeeded()) + "/" +
+                    std::to_string(attempted) + " succeeded";
+  if (!degraded.empty()) {
+    out += ", " + std::to_string(degraded.size()) + " degraded";
+  }
+  for (const BatchItemReport& item : failed) {
+    out += "\n  failed " + ItemLabel(item) + ": " + item.status.ToString();
+  }
+  for (const BatchItemReport& item : degraded) {
+    out += "\n  degraded " + ItemLabel(item) + ":";
+    for (const std::string& d : item.degradations) out += " " + d;
+  }
+  return out;
+}
+
+Status ResolveBatch(const FailurePolicy& policy, const BatchReport& report) {
+  if (report.failed.empty()) return Status::OK();
+  if (policy.mode == FailureMode::kFailFast) {
+    const auto lowest = std::min_element(
+        report.failed.begin(), report.failed.end(),
+        [](const BatchItemReport& a, const BatchItemReport& b) {
+          return a.index < b.index;
+        });
+    return lowest->status;
+  }
+  const std::size_t survivors = report.num_succeeded();
+  if (survivors == 0) {
+    return Status::FailedPrecondition("all " +
+                                      std::to_string(report.attempted) +
+                                      " batch items failed\n" +
+                                      report.ToString());
+  }
+  if (policy.mode == FailureMode::kQuorum) {
+    const double fraction = report.attempted == 0
+                                ? 1.0
+                                : static_cast<double>(survivors) /
+                                      static_cast<double>(report.attempted);
+    if (fraction < policy.min_fraction) {
+      char frac[64];
+      std::snprintf(frac, sizeof(frac), "%.3f < required %.3f", fraction,
+                    policy.min_fraction);
+      return Status::FailedPrecondition("batch quorum violated: " +
+                                        std::string(frac) + "\n" +
+                                        report.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace neuroprint

@@ -1,0 +1,93 @@
+// Partial-failure semantics for multi-item batches (cohort synthesis,
+// multi-run preprocessing, group-matrix assembly, attack fit/identify).
+//
+// A batch stage runs every item, records per-item failures in a
+// BatchReport, and then resolves the batch against a FailurePolicy:
+//
+//   kFailFast       any failure fails the batch with the lowest-index
+//                   item's Status (the pre-existing ParallelForStatus
+//                   contract — deterministic at any thread count).
+//   kSkipAndReport  failed items are dropped; survivors proceed. The
+//                   batch only fails when nothing survives.
+//   kQuorum         like kSkipAndReport, but the batch fails with an
+//                   aggregate error when fewer than
+//                   min_fraction * attempted items survive.
+//
+// Degradations (an item that proceeded through a fallback — identity
+// transform for an unregistrable frame, zeroed flat region) are not
+// failures; they are recorded separately and never consume quorum.
+
+#ifndef NEUROPRINT_UTIL_BATCH_H_
+#define NEUROPRINT_UTIL_BATCH_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace neuroprint {
+
+enum class FailureMode {
+  kFailFast = 0,
+  kSkipAndReport,
+  kQuorum,
+};
+
+const char* FailureModeName(FailureMode mode);
+
+/// How a batch responds to per-item failures. Default-constructed policy
+/// is fail-fast, preserving the pre-PR-5 behavior of every batch API.
+struct FailurePolicy {
+  FailureMode mode = FailureMode::kFailFast;
+  /// Minimum surviving fraction for kQuorum (ignored otherwise).
+  double min_fraction = 0.5;
+
+  static FailurePolicy FailFast() { return FailurePolicy{}; }
+  static FailurePolicy SkipAndReport() {
+    return FailurePolicy{FailureMode::kSkipAndReport, 0.0};
+  }
+  static FailurePolicy Quorum(double min_fraction) {
+    return FailurePolicy{FailureMode::kQuorum, min_fraction};
+  }
+};
+
+/// One failed or degraded batch item.
+struct BatchItemReport {
+  std::size_t index = 0;   ///< Position in the attempted batch.
+  std::string id;          ///< Subject/run id when known ("S0003").
+  std::string stage;       ///< Stage that failed ("simulate", "motion", ...).
+  Status status;           ///< The per-item error (OK for degradations).
+  /// Fallbacks the item went through while still succeeding
+  /// ("identity_transform_frame_12").
+  std::vector<std::string> degradations;
+};
+
+/// Outcome summary of one batch stage. Failed items appear in `failed`
+/// (ascending index); items that succeeded via a fallback appear in
+/// `degraded`.
+struct BatchReport {
+  std::size_t attempted = 0;
+  std::vector<BatchItemReport> failed;
+  std::vector<BatchItemReport> degraded;
+
+  std::size_t num_succeeded() const { return attempted - failed.size(); }
+  void Clear() {
+    attempted = 0;
+    failed.clear();
+    degraded.clear();
+  }
+  /// Multi-line human-readable summary for logs and error messages.
+  std::string ToString() const;
+};
+
+/// Applies `policy` to a populated report. Returns OK when the batch may
+/// proceed with the survivors; otherwise the batch-level error:
+/// fail-fast -> the lowest-index failure's Status, skip-and-report ->
+/// FailedPrecondition only when no item survived, quorum -> an aggregate
+/// FailedPrecondition naming every failed item and its stage.
+Status ResolveBatch(const FailurePolicy& policy, const BatchReport& report);
+
+}  // namespace neuroprint
+
+#endif  // NEUROPRINT_UTIL_BATCH_H_

@@ -1,0 +1,328 @@
+#include "util/fault.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "util/metrics.h"
+
+namespace neuroprint::fault {
+namespace {
+
+// Active schedule plus per-(point, key) arrival counters, behind one
+// mutex. Every access happens after the Enabled() fast-path check, so
+// the lock is never taken when injection is off.
+struct FaultState {
+  std::mutex mu;
+  Schedule schedule;
+  std::map<std::pair<std::string, std::uint64_t>, std::uint64_t> hits;
+};
+
+FaultState& State() {
+  static FaultState* state = new FaultState();
+  return *state;
+}
+
+// Latches NEUROPRINT_FAULT into the process schedule on first use,
+// mirroring trace::EnabledFlag(). A malformed env schedule is dropped
+// (injection stays off) — library code must not abort on env input, and
+// tests cover ParseSchedule directly.
+bool LatchEnvSchedule() {
+  const char* value = std::getenv("NEUROPRINT_FAULT");
+  if (value == nullptr || value[0] == '\0') return false;
+  Result<Schedule> parsed = ParseSchedule(value);
+  if (!parsed.ok() || parsed->empty()) return false;
+  FaultState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.schedule = std::move(parsed).value();
+  return true;
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> flag{LatchEnvSchedule()};
+  return flag;
+}
+
+// The flag's static initializer writes the env schedule into State();
+// force it before installing a schedule so the latch can't clobber one
+// installed first.
+void EnsureEnvLatched() { (void)EnabledFlag(); }
+
+// SplitMix64 finalizer — deterministic seed mixing for injection
+// payloads, matching the sim's ScanSeed construction.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t HashString(const char* s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (; *s != '\0'; ++s) {
+    h ^= static_cast<unsigned char>(*s);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+Result<Rule> ParseRule(const std::string& entry) {
+  const std::size_t eq = entry.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::InvalidArgument("fault rule missing '=': '" + entry + "'");
+  }
+  Rule rule;
+  std::string lhs = entry.substr(0, eq);
+  const std::string rhs = entry.substr(eq + 1);
+
+  const std::size_t at = lhs.find('@');
+  if (at != std::string::npos) {
+    const std::string hit_text = lhs.substr(at + 1);
+    lhs.resize(at);
+    char* end = nullptr;
+    rule.hit = std::strtoull(hit_text.c_str(), &end, 10);
+    if (hit_text.empty() || *end != '\0' || rule.hit == 0) {
+      return Status::InvalidArgument("fault rule has bad @hit count: '" +
+                                     entry + "'");
+    }
+  }
+  const std::size_t hash = lhs.find('#');
+  if (hash != std::string::npos) {
+    const std::string key_text = lhs.substr(hash + 1);
+    lhs.resize(hash);
+    char* end = nullptr;
+    rule.key = std::strtoull(key_text.c_str(), &end, 10);
+    if (key_text.empty() || *end != '\0') {
+      return Status::InvalidArgument("fault rule has bad #key: '" + entry +
+                                     "'");
+    }
+    rule.has_key = true;
+  }
+  if (lhs.empty()) {
+    return Status::InvalidArgument("fault rule has empty point name: '" +
+                                   entry + "'");
+  }
+  rule.point = lhs;
+
+  // rhs: 'error'[':'code[':'message]] | 'nan' | 'corrupt'
+  std::string action = rhs;
+  std::string rest;
+  const std::size_t colon = rhs.find(':');
+  if (colon != std::string::npos) {
+    action = rhs.substr(0, colon);
+    rest = rhs.substr(colon + 1);
+  }
+  if (action == "nan") {
+    rule.action = Action::kNaN;
+  } else if (action == "corrupt") {
+    rule.action = Action::kCorrupt;
+  } else if (action == "error") {
+    rule.action = Action::kError;
+  } else {
+    return Status::InvalidArgument("fault rule has unknown action '" + action +
+                                   "': '" + entry + "'");
+  }
+  if (rule.action != Action::kError) {
+    if (!rest.empty()) {
+      return Status::InvalidArgument("fault action '" + action +
+                                     "' takes no arguments: '" + entry + "'");
+    }
+    return rule;
+  }
+  if (!rest.empty()) {
+    std::string code_name = rest;
+    const std::size_t msg_colon = rest.find(':');
+    if (msg_colon != std::string::npos) {
+      code_name = rest.substr(0, msg_colon);
+      rule.message = rest.substr(msg_colon + 1);
+    }
+    std::optional<StatusCode> code = StatusCodeFromString(code_name);
+    if (!code.has_value() || *code == StatusCode::kOk) {
+      return Status::InvalidArgument("fault rule has bad status code '" +
+                                     code_name + "': '" + entry + "'");
+    }
+    rule.code = *code;
+  }
+  return rule;
+}
+
+// Finds the first rule matching (point, key) given this arrival's
+// 1-based count. Rules are checked in schedule order, keyed rules only
+// against keyed arrivals with the same key.
+const Rule* MatchLocked(const FaultState& state, const char* point,
+                        bool has_key, std::uint64_t key, std::uint64_t count) {
+  for (const Rule& rule : state.schedule.rules) {
+    if (rule.point != point) continue;
+    if (rule.has_key && (!has_key || rule.key != key)) continue;
+    if (rule.hit != 0 && rule.hit != count) continue;
+    return &rule;
+  }
+  return nullptr;
+}
+
+Injection HitImpl(const char* point, bool has_key, std::uint64_t key) {
+  FaultState& state = State();
+  const Rule* rule = nullptr;
+  std::uint64_t count = 0;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    count = ++state.hits[{point, has_key ? key : ~std::uint64_t{0}}];
+    rule = MatchLocked(state, point, has_key, key, count);
+    if (rule == nullptr) return Injection{};
+  }
+  Injection injection;
+  injection.action = rule->action;
+  injection.seed = Mix64(HashString(point) ^ Mix64(key) ^ count);
+  if (rule->action == Action::kError) {
+    std::string message = rule->message.empty()
+                              ? "injected fault at " + std::string(point)
+                              : rule->message;
+    injection.status = Status(rule->code, std::move(message));
+  }
+  metrics::Count("fault.injected", 1);
+  return injection;
+}
+
+}  // namespace
+
+const char* ActionName(Action action) {
+  switch (action) {
+    case Action::kNone:
+      return "none";
+    case Action::kError:
+      return "error";
+    case Action::kNaN:
+      return "nan";
+    case Action::kCorrupt:
+      return "corrupt";
+  }
+  return "unknown";
+}
+
+Result<Schedule> ParseSchedule(const std::string& text) {
+  Schedule schedule;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t semi = text.find(';', pos);
+    if (semi == std::string::npos) semi = text.size();
+    // Trim surrounding whitespace so multi-line env values read cleanly.
+    std::size_t begin = pos;
+    std::size_t end = semi;
+    while (begin < end && std::isspace(static_cast<unsigned char>(
+                              text[begin]))) {
+      ++begin;
+    }
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+      --end;
+    }
+    if (end > begin) {
+      Rule rule;
+      NP_ASSIGN_OR_RETURN(rule, ParseRule(text.substr(begin, end - begin)));
+      schedule.rules.push_back(std::move(rule));
+    }
+    pos = semi + 1;
+  }
+  return schedule;
+}
+
+bool Enabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+
+void InstallSchedule(Schedule schedule) {
+  EnsureEnvLatched();
+  FaultState& state = State();
+  const bool enabled = !schedule.empty();
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.schedule = std::move(schedule);
+    state.hits.clear();
+  }
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+void ClearSchedule() { InstallSchedule(Schedule{}); }
+
+void ResetHitCounters() {
+  FaultState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.hits.clear();
+}
+
+ScopedSchedule::ScopedSchedule(const std::string& schedule_text) {
+  if (schedule_text.empty()) return;
+  EnsureEnvLatched();
+  Result<Schedule> parsed = ParseSchedule(schedule_text);
+  if (!parsed.ok()) {
+    status_ = parsed.status();
+    return;
+  }
+  FaultState& state = State();
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    previous_ = std::move(state.schedule);
+    state.schedule = std::move(parsed).value();
+    state.hits.clear();
+  }
+  previous_enabled_ = Enabled();
+  EnabledFlag().store(true, std::memory_order_relaxed);
+  engaged_ = true;
+}
+
+ScopedSchedule::~ScopedSchedule() {
+  if (!engaged_) return;
+  FaultState& state = State();
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.schedule = std::move(previous_);
+    state.hits.clear();
+  }
+  EnabledFlag().store(previous_enabled_, std::memory_order_relaxed);
+}
+
+Injection Hit(const char* point) { return HitImpl(point, false, 0); }
+
+Injection Hit(const char* point, std::uint64_t key) {
+  return HitImpl(point, true, key);
+}
+
+Status InjectedError(const char* point) {
+  if (!Enabled()) return Status::OK();
+  Injection injection = Hit(point);
+  if (injection.action == Action::kError) return injection.status;
+  if (injection.action != Action::kNone) {
+    return Status::Internal(std::string("fault point '") + point +
+                            "' does not support action '" +
+                            ActionName(injection.action) + "'");
+  }
+  return Status::OK();
+}
+
+Status InjectedError(const char* point, std::uint64_t key) {
+  if (!Enabled()) return Status::OK();
+  Injection injection = Hit(point, key);
+  if (injection.action == Action::kError) return injection.status;
+  if (injection.action != Action::kNone) {
+    return Status::Internal(std::string("fault point '") + point +
+                            "' does not support action '" +
+                            ActionName(injection.action) + "'");
+  }
+  return Status::OK();
+}
+
+void ScrambleBytes(std::uint64_t seed, void* data, std::size_t size) {
+  // xorshift64* byte stream; seed 0 would be a fixed point, so mix first.
+  std::uint64_t s = Mix64(seed) | 1ULL;
+  unsigned char* bytes = static_cast<unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    s ^= s >> 12;
+    s ^= s << 25;
+    s ^= s >> 27;
+    bytes[i] ^= static_cast<unsigned char>((s * 0x2545f4914f6cdd1dULL) >> 56);
+  }
+}
+
+}  // namespace neuroprint::fault

@@ -1,0 +1,181 @@
+// Deterministic fault injection for robustness testing.
+//
+// Library code marks failure-prone places with named injection points
+// (NP_FAULT_POINT("nifti.read"), fault::Hit("cohort.simulate_scan", s));
+// a schedule decides which points fire and what they do: return an
+// injected Status, corrupt a buffer, or poison values with NaNs. With no
+// schedule active — the default — a point is one relaxed atomic load and
+// a branch, cheap enough to leave in every path permanently (the
+// bench-smoke CI job asserts this stays within noise of the baselines).
+//
+// Schedule resolution mirrors ParallelContext: a per-call FaultConfig on
+// the public configs (PipelineConfig, CohortConfig, AttackOptions)
+// replaces the process schedule for that call via ScopedSchedule; else
+// the NEUROPRINT_FAULT environment variable (latched on first use); else
+// off.
+//
+// Schedule grammar (entries separated by ';'):
+//
+//   entry  := point ['#' key] ['@' hit] '=' action
+//   action := 'error' [':' code [':' message]] | 'nan' | 'corrupt'
+//
+//   point    dotted injection-point name, e.g. cohort.simulate_scan
+//   #key     only fire for this instance key (subject index, frame, ...)
+//   @hit     only fire on the Nth arrival (1-based) at that (point, key)
+//   code     a StatusCode name (default Internal), e.g. CorruptData
+//
+// Example:
+//   NEUROPRINT_FAULT='cohort.simulate_scan#2=error:CorruptData:truncated
+//   gzip stream;cohort.simulate_scan#7=nan'
+//
+// Determinism contract: keyed matches depend only on the key, so they are
+// deterministic under any thread count — use them at points reached from
+// parallel regions. @hit counters are kept per (point, key); an unkeyed
+// @hit match at a point reached concurrently depends on arrival order and
+// is only deterministic at serial points.
+//
+// Thread safety: points may fire on any thread; the registry is
+// mutex-guarded (fires are rare and off the disabled fast path).
+
+#ifndef NEUROPRINT_UTIL_FAULT_H_
+#define NEUROPRINT_UTIL_FAULT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace neuroprint::fault {
+
+/// Per-call fault-injection knob, embedded in the public configs. An
+/// empty schedule leaves the process schedule (env or installed) in
+/// force; a non-empty one replaces it for the duration of the call.
+struct FaultConfig {
+  std::string schedule;
+};
+
+/// What a fired injection point should do.
+enum class Action {
+  kNone = 0,  ///< No rule matched; proceed normally.
+  kError,     ///< Return the injected Status.
+  kNaN,       ///< Poison the produced values with quiet NaNs.
+  kCorrupt,   ///< Scramble the produced bytes (deterministic in `seed`).
+};
+
+const char* ActionName(Action action);
+
+/// One parsed schedule entry.
+struct Rule {
+  std::string point;
+  bool has_key = false;
+  std::uint64_t key = 0;
+  std::uint64_t hit = 0;  ///< 0 = every arrival; N = only the Nth (1-based).
+  Action action = Action::kError;
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+};
+
+struct Schedule {
+  std::vector<Rule> rules;
+  bool empty() const { return rules.empty(); }
+};
+
+/// Parses the schedule grammar above. Returns InvalidArgument with the
+/// offending entry on malformed input.
+Result<Schedule> ParseSchedule(const std::string& text);
+
+/// True when a non-empty schedule is active. One relaxed atomic load.
+bool Enabled();
+
+/// Replaces the process schedule (an empty schedule disables injection).
+void InstallSchedule(Schedule schedule);
+
+/// Removes the process schedule and disables injection (the environment
+/// latch is not re-read).
+void ClearSchedule();
+
+/// Drops every per-(point, key) arrival counter. Schedules with @hit
+/// rules call this between runs to make hit counts reproducible.
+void ResetHitCounters();
+
+/// RAII per-call schedule, used by library entry points honoring
+/// FaultConfig and by tests. An empty `schedule_text` is a no-op; a
+/// non-empty one is parsed and swapped in (hit counters reset), and the
+/// previous schedule is restored on destruction. A parse failure leaves
+/// the process schedule untouched and is surfaced via status().
+class ScopedSchedule {
+ public:
+  explicit ScopedSchedule(const std::string& schedule_text);
+  ~ScopedSchedule();
+  ScopedSchedule(const ScopedSchedule&) = delete;
+  ScopedSchedule& operator=(const ScopedSchedule&) = delete;
+
+  const Status& status() const { return status_; }
+
+ private:
+  bool engaged_ = false;
+  Schedule previous_;
+  bool previous_enabled_ = false;
+  Status status_;
+};
+
+/// The outcome of arriving at an injection point.
+struct Injection {
+  Action action = Action::kNone;
+  /// The injected error when action == kError (OK otherwise).
+  Status status;
+  /// Deterministic seed for kCorrupt/kNaN payload mangling, derived from
+  /// (point, key, arrival index).
+  std::uint64_t seed = 0;
+};
+
+/// Arrival at an unkeyed injection point. Increments the point's arrival
+/// counter and returns the matched rule's action (kNone when nothing
+/// matches). Call only when Enabled() — the macros below do the gating.
+Injection Hit(const char* point);
+
+/// Arrival at a keyed injection point; only rules without a key or with
+/// this exact key can match.
+Injection Hit(const char* point, std::uint64_t key);
+
+/// Convenience for call sites that can only propagate a Status: fires the
+/// point and returns the injected error, mapping kNaN/kCorrupt rules to
+/// an Internal error naming the unsupported action. Returns OK (without
+/// counting the arrival) when injection is disabled.
+Status InjectedError(const char* point);
+Status InjectedError(const char* point, std::uint64_t key);
+
+/// Deterministically scrambles `size` bytes in place (xorshift stream
+/// seeded by `seed`) — the standard payload for kCorrupt rules.
+void ScrambleBytes(std::uint64_t seed, void* data, std::size_t size);
+
+}  // namespace neuroprint::fault
+
+/// Status-returning injection point: in a function returning Status or
+/// Result<T>, returns the injected error when a matching `error` rule
+/// fires. One relaxed atomic load when injection is disabled.
+#define NP_FAULT_POINT(point)                                    \
+  do {                                                           \
+    if (::neuroprint::fault::Enabled()) {                        \
+      ::neuroprint::Status _np_fault_status =                    \
+          ::neuroprint::fault::InjectedError(point);             \
+      if (!_np_fault_status.ok()) return _np_fault_status;       \
+    }                                                            \
+  } while (0)
+
+/// Keyed variant: `key` (converted to std::uint64_t) selects the
+/// instance — subject index, frame number — so schedules stay
+/// deterministic when the point is reached from parallel regions.
+#define NP_FAULT_POINT_KEYED(point, key)                         \
+  do {                                                           \
+    if (::neuroprint::fault::Enabled()) {                        \
+      ::neuroprint::Status _np_fault_status =                    \
+          ::neuroprint::fault::InjectedError(                    \
+              point, static_cast<std::uint64_t>(key));           \
+      if (!_np_fault_status.ok()) return _np_fault_status;       \
+    }                                                            \
+  } while (0)
+
+#endif  // NEUROPRINT_UTIL_FAULT_H_

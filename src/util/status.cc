@@ -32,6 +32,21 @@ const char* StatusCodeToString(StatusCode code) {
   return "Unknown";
 }
 
+std::optional<StatusCode> StatusCodeFromString(std::string_view name) {
+  static constexpr StatusCode kAllCodes[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kOutOfRange,   StatusCode::kFailedPrecondition,
+      StatusCode::kNotFound,     StatusCode::kAlreadyExists,
+      StatusCode::kIOError,      StatusCode::kCorruptData,
+      StatusCode::kNotConverged, StatusCode::kUnimplemented,
+      StatusCode::kInternal,
+  };
+  for (StatusCode code : kAllCodes) {
+    if (name == StatusCodeToString(code)) return code;
+  }
+  return std::nullopt;
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = StatusCodeToString(code_);

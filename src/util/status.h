@@ -11,6 +11,7 @@
 #include <optional>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <utility>
 
 namespace neuroprint {
@@ -32,6 +33,10 @@ enum class StatusCode {
 
 /// Human-readable name of a StatusCode ("InvalidArgument", ...).
 const char* StatusCodeToString(StatusCode code);
+
+/// Inverse of StatusCodeToString: "CorruptData" -> kCorruptData.
+/// Returns nullopt for names that match no code (including "Unknown").
+std::optional<StatusCode> StatusCodeFromString(std::string_view name);
 
 /// Outcome of a fallible operation: OK, or a code plus message.
 ///

@@ -34,6 +34,7 @@
 #ifndef NEUROPRINT_UTIL_THREAD_POOL_H_
 #define NEUROPRINT_UTIL_THREAD_POOL_H_
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -201,6 +202,37 @@ Status ParallelForStatus(const ParallelContext& ctx, std::size_t begin,
                 }
               });
   return first_error;
+}
+
+/// ParallelFor over per-item Status-returning work, collecting every
+/// failure instead of keeping only the first: fn(i) runs for each index
+/// in [begin, end) and each non-OK result is appended to `errors` as
+/// (index, Status). All items run; on return `errors` is sorted by index,
+/// so its contents are deterministic at any thread count. This is the
+/// substrate for FailurePolicy::kSkipAndReport / kQuorum batches — under
+/// fail-fast use ParallelForStatus, whose single-error contract matches.
+template <typename Fn>
+void ParallelForStatusCollect(
+    const ParallelContext& ctx, std::size_t begin, std::size_t end,
+    std::size_t grain, const Fn& fn,
+    std::vector<std::pair<std::size_t, Status>>* errors) {
+  errors->clear();
+  if (end <= begin) return;
+  std::mutex error_mutex;
+  ParallelFor(ctx, begin, end, grain,
+              [&](std::size_t chunk_begin, std::size_t chunk_end) {
+                for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+                  Status status = fn(i);
+                  if (status.ok()) continue;
+                  std::lock_guard<std::mutex> lock(error_mutex);
+                  errors->emplace_back(i, std::move(status));
+                }
+              });
+  std::sort(errors->begin(), errors->end(),
+            [](const std::pair<std::size_t, Status>& a,
+               const std::pair<std::size_t, Status>& b) {
+              return a.first < b.first;
+            });
 }
 
 /// Deterministic parallel reduction: chunk_fn(chunk_begin, chunk_end)

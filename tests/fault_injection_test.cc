@@ -1,0 +1,374 @@
+// Acceptance tests for the robustness layer: seeded fault injection
+// driving partial-failure batch semantics end to end. The headline case
+// is the ISSUE-5 scenario — a 12-subject cohort with 2 subjects
+// fault-injected (one corrupt-read error, one all-NaN scan) must complete
+// under skip-and-report with the remaining 10 subjects bit-identical (at
+// 1, 2, and 8 threads) to a clean run restricted to the same subjects,
+// while fail-fast surfaces the lowest-index subject's error.
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "atlas/synthetic_atlas.h"
+#include "connectome/group_matrix.h"
+#include "core/attack.h"
+#include "nifti/nifti_io.h"
+#include "preprocess/pipeline.h"
+#include "sim/cohort.h"
+#include "sim/voxel_render.h"
+#include "util/batch.h"
+#include "util/fault.h"
+#include "util/random.h"
+
+namespace neuroprint {
+namespace {
+
+// Subject index 2 ("S0003") fails the simulate stage with an injected
+// read error; subject index 7 ("S0008") produces an all-NaN scan, caught
+// by the validate stage. Keyed rules stay deterministic at any thread
+// count.
+constexpr char kCohortSchedule[] =
+    "cohort.simulate_scan#2=error:CorruptData:truncated gzip stream "
+    "(injected);"
+    "cohort.simulate_scan#7=nan";
+
+sim::CohortConfig SmallCohortConfig() {
+  sim::CohortConfig config;
+  config.num_subjects = 12;
+  config.num_regions = 16;
+  config.frames_override = 60;
+  config.seed = 99;
+  return config;
+}
+
+void ExpectBitIdentical(const connectome::GroupMatrix& a,
+                        const connectome::GroupMatrix& b) {
+  ASSERT_EQ(a.num_features(), b.num_features());
+  ASSERT_EQ(a.num_subjects(), b.num_subjects());
+  EXPECT_EQ(a.subject_ids(), b.subject_ids());
+  for (std::size_t j = 0; j < a.num_subjects(); ++j) {
+    const linalg::Vector col_a = a.SubjectColumn(j);
+    const linalg::Vector col_b = b.SubjectColumn(j);
+    ASSERT_EQ(col_a.size(), col_b.size());
+    for (std::size_t i = 0; i < col_a.size(); ++i) {
+      ASSERT_EQ(col_a[i], col_b[i]) << "subject " << j << " feature " << i;
+    }
+  }
+}
+
+TEST(FaultInjectionCohortTest, SkipAndReportSurvivorsBitIdenticalAcrossThreads) {
+  // Clean 12-subject run, restricted to the 10 subjects that survive the
+  // injected schedule — the bitwise reference for every faulted run.
+  auto clean_sim = sim::CohortSimulator::Create(SmallCohortConfig());
+  ASSERT_TRUE(clean_sim.ok()) << clean_sim.status();
+  auto clean = clean_sim->BuildGroupMatrix(sim::TaskType::kRest,
+                                           sim::Encoding::kLeftRight);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  const std::vector<std::size_t> survivors{0, 1, 3, 4, 5, 6, 8, 9, 10, 11};
+  auto reference = clean->RestrictToSubjects(survivors);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    sim::CohortConfig config = SmallCohortConfig();
+    config.failure_policy = FailurePolicy::SkipAndReport();
+    config.fault.schedule = kCohortSchedule;
+    config.parallel.num_threads = threads;
+    auto faulted_sim = sim::CohortSimulator::Create(config);
+    ASSERT_TRUE(faulted_sim.ok()) << faulted_sim.status();
+
+    BatchReport report;
+    auto faulted = faulted_sim->BuildGroupMatrixWithReport(
+        sim::TaskType::kRest, sim::Encoding::kLeftRight,
+        /*multisite_noise_fraction=*/0.0, &report);
+    ASSERT_TRUE(faulted.ok()) << faulted.status();
+    ExpectBitIdentical(*faulted, *reference);
+
+    // The report names both failures with their stages, ascending index.
+    EXPECT_EQ(report.attempted, 12u);
+    ASSERT_EQ(report.failed.size(), 2u) << report.ToString();
+    EXPECT_EQ(report.num_succeeded(), 10u);
+    EXPECT_EQ(report.failed[0].index, 2u);
+    EXPECT_EQ(report.failed[0].id, "S0003");
+    EXPECT_EQ(report.failed[0].stage, "simulate");
+    EXPECT_EQ(report.failed[0].status.code(), StatusCode::kCorruptData);
+    EXPECT_NE(report.failed[0].status.message().find(
+                  "truncated gzip stream (injected)"),
+              std::string::npos);
+    EXPECT_EQ(report.failed[1].index, 7u);
+    EXPECT_EQ(report.failed[1].id, "S0008");
+    EXPECT_EQ(report.failed[1].stage, "validate");
+    EXPECT_EQ(report.failed[1].status.code(), StatusCode::kCorruptData);
+  }
+}
+
+TEST(FaultInjectionCohortTest, FailFastReturnsLowestIndexSubjectError) {
+  sim::CohortConfig config = SmallCohortConfig();
+  config.failure_policy = FailurePolicy::FailFast();
+  config.fault.schedule = kCohortSchedule;
+  config.parallel.num_threads = 4;
+  auto simulator = sim::CohortSimulator::Create(config);
+  ASSERT_TRUE(simulator.ok());
+  const auto result = simulator->BuildGroupMatrix(sim::TaskType::kRest,
+                                                  sim::Encoding::kLeftRight);
+  ASSERT_FALSE(result.ok());
+  // Subject 2's simulate-stage error, not subject 7's validate error —
+  // lowest index wins deterministically even with both firing in parallel.
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruptData);
+  EXPECT_NE(
+      result.status().message().find("truncated gzip stream (injected)"),
+      std::string::npos)
+      << result.status();
+}
+
+TEST(FaultInjectionCohortTest, QuorumPolicyGatesOnSurvivorFraction) {
+  sim::CohortConfig config = SmallCohortConfig();
+  config.fault.schedule = kCohortSchedule;
+
+  // 10/12 survivors = 0.833: a 0.9 quorum fails the whole batch...
+  config.failure_policy = FailurePolicy::Quorum(0.9);
+  auto strict_sim = sim::CohortSimulator::Create(config);
+  ASSERT_TRUE(strict_sim.ok());
+  BatchReport strict_report;
+  const auto strict = strict_sim->BuildGroupMatrixWithReport(
+      sim::TaskType::kRest, sim::Encoding::kLeftRight, 0.0, &strict_report);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(strict.status().message().find("quorum"), std::string::npos);
+  // The aggregate error carries the per-item accounting.
+  EXPECT_NE(strict.status().message().find("S0003"), std::string::npos);
+
+  // ...while a 0.8 quorum passes with the same survivors.
+  config.failure_policy = FailurePolicy::Quorum(0.8);
+  auto lenient_sim = sim::CohortSimulator::Create(config);
+  ASSERT_TRUE(lenient_sim.ok());
+  const auto lenient = lenient_sim->BuildGroupMatrixWithReport(
+      sim::TaskType::kRest, sim::Encoding::kLeftRight, 0.0, nullptr);
+  ASSERT_TRUE(lenient.ok()) << lenient.status();
+  EXPECT_EQ(lenient->num_subjects(), 10u);
+}
+
+// --- Attack-level screening -------------------------------------------------
+
+connectome::GroupMatrix MakeGroup(std::size_t features, std::size_t subjects,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<linalg::Vector> columns(subjects);
+  std::vector<std::string> ids;
+  for (std::size_t j = 0; j < subjects; ++j) {
+    columns[j].resize(features);
+    for (double& v : columns[j]) v = rng.Gaussian();
+    ids.push_back("subj-" + std::to_string(j));
+  }
+  return *connectome::GroupMatrix::FromFeatureColumns(columns, ids);
+}
+
+connectome::GroupMatrix PoisonSubject(const connectome::GroupMatrix& group,
+                                      std::size_t subject) {
+  std::vector<linalg::Vector> columns;
+  for (std::size_t j = 0; j < group.num_subjects(); ++j) {
+    linalg::Vector column = group.SubjectColumn(j);
+    if (j == subject) {
+      column[column.size() / 2] = std::numeric_limits<double>::quiet_NaN();
+    }
+    columns.push_back(std::move(column));
+  }
+  return *connectome::GroupMatrix::FromFeatureColumns(columns,
+                                                      group.subject_ids());
+}
+
+TEST(FaultInjectionAttackTest, FitScreensUnusableSubjectsUnderSkipPolicy) {
+  const connectome::GroupMatrix known = MakeGroup(64, 8, 31);
+  const connectome::GroupMatrix poisoned = PoisonSubject(known, 3);
+
+  core::AttackOptions fail_fast;
+  fail_fast.num_features = 16;
+  const auto strict = core::DeanonymizationAttack::Fit(poisoned, fail_fast);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kCorruptData);
+
+  core::AttackOptions skip;
+  skip.num_features = 16;
+  skip.failure_policy = FailurePolicy::SkipAndReport();
+  BatchReport report;
+  const auto attack = core::DeanonymizationAttack::Fit(poisoned, skip, &report);
+  ASSERT_TRUE(attack.ok()) << attack.status();
+  EXPECT_EQ(report.attempted, 8u);
+  ASSERT_EQ(report.failed.size(), 1u);
+  EXPECT_EQ(report.failed[0].index, 3u);
+  EXPECT_EQ(report.failed[0].id, "subj-3");
+  EXPECT_EQ(report.failed[0].stage, "fit_screen");
+}
+
+TEST(FaultInjectionAttackTest, IdentifyScreensAndCoversSurvivorsOnly) {
+  const connectome::GroupMatrix known = MakeGroup(64, 8, 31);
+  core::AttackOptions options;
+  options.num_features = 16;
+  options.failure_policy = FailurePolicy::SkipAndReport();
+  const auto attack = core::DeanonymizationAttack::Fit(known, options);
+  ASSERT_TRUE(attack.ok()) << attack.status();
+
+  const connectome::GroupMatrix poisoned = PoisonSubject(known, 5);
+  BatchReport report;
+  const auto result = attack->Identify(poisoned, &report);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(report.failed.size(), 1u);
+  EXPECT_EQ(report.failed[0].id, "subj-5");
+  EXPECT_EQ(report.failed[0].stage, "identify_screen");
+  // Survivor coverage: 7 predictions, all correct on self-identification.
+  EXPECT_EQ(result->predicted_ids.size(), 7u);
+  EXPECT_DOUBLE_EQ(result->accuracy, 1.0);
+}
+
+TEST(FaultInjectionAttackTest, InjectedFitPointFailsTheFit) {
+  const connectome::GroupMatrix known = MakeGroup(32, 4, 17);
+  core::AttackOptions options;
+  options.num_features = 8;
+  options.fault.schedule = "attack.fit=error:NotConverged:injected";
+  const auto attack = core::DeanonymizationAttack::Fit(known, options);
+  ASSERT_FALSE(attack.ok());
+  EXPECT_EQ(attack.status().code(), StatusCode::kNotConverged);
+}
+
+// --- Pipeline-level degradation and batches ---------------------------------
+
+class FaultInjectionPipelineTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kRegions = 10;
+
+  void SetUp() override {
+    atlas::SyntheticAtlasConfig atlas_config;
+    atlas_config.nx = 12;
+    atlas_config.ny = 12;
+    atlas_config.nz = 10;
+    atlas_config.num_regions = kRegions;
+    atlas_config.seed = 5;
+    auto atlas = atlas::GenerateSyntheticAtlas(atlas_config);
+    ASSERT_TRUE(atlas.ok());
+    atlas_ = std::move(atlas).value();
+
+    sim::CohortConfig cohort_config;
+    cohort_config.num_subjects = 3;
+    cohort_config.num_regions = kRegions;
+    cohort_config.frames_override = 24;
+    cohort_config.seed = 13;
+    auto cohort = sim::CohortSimulator::Create(cohort_config);
+    ASSERT_TRUE(cohort.ok());
+    Rng rng(23);
+    for (std::size_t s = 0; s < 3; ++s) {
+      auto series = cohort->SimulateRegionSeries(s, sim::TaskType::kRest,
+                                                 sim::Encoding::kLeftRight);
+      ASSERT_TRUE(series.ok());
+      auto run = sim::RenderVoxelRun(atlas_, *series, {}, rng);
+      ASSERT_TRUE(run.ok());
+      runs_.push_back(std::move(run).value());
+    }
+  }
+
+  preprocess::PipelineConfig FastConfig() const {
+    preprocess::PipelineConfig config;
+    config.slice_time_correction = false;
+    config.smoothing_fwhm_mm = 0.0;
+    config.temporal_filter = preprocess::TemporalFilter::kNone;
+    config.global_signal_regression = false;
+    return config;
+  }
+
+  atlas::Atlas atlas_;
+  std::vector<image::Volume4D> runs_;
+};
+
+TEST_F(FaultInjectionPipelineTest, MotionFailureDegradesToIdentityUnderSkip) {
+  preprocess::PipelineConfig config = FastConfig();
+  config.failure_policy = FailurePolicy::SkipAndReport();
+  config.fault.schedule = "pipeline.motion_correct#3=error";
+  const auto output = preprocess::RunPipeline(runs_[0], atlas_, config);
+  ASSERT_TRUE(output.ok()) << output.status();
+  // Frame 3 fell back to the identity transform and was recorded.
+  ASSERT_EQ(output->degraded_frames.size(), 1u);
+  EXPECT_EQ(output->degraded_frames[0], 3u);
+  ASSERT_GT(output->motion.size(), 3u);
+  EXPECT_EQ(output->motion[3].translate_x, 0.0);
+  EXPECT_EQ(output->motion[3].rotate_z, 0.0);
+  EXPECT_EQ(output->region_series.rows(), kRegions);
+}
+
+TEST_F(FaultInjectionPipelineTest, MotionFailureFailsFastByDefault) {
+  preprocess::PipelineConfig config = FastConfig();
+  config.fault.schedule = "pipeline.motion_correct#3=error:Internal:injected";
+  const auto output = preprocess::RunPipeline(runs_[0], atlas_, config);
+  ASSERT_FALSE(output.ok());
+  EXPECT_EQ(output.status().code(), StatusCode::kInternal);
+}
+
+TEST_F(FaultInjectionPipelineTest, BatchSkipsFailedRunAndReportsIt) {
+  preprocess::PipelineConfig config = FastConfig();
+  config.failure_policy = FailurePolicy::SkipAndReport();
+  config.fault.schedule =
+      "pipeline.batch_item#1=error:IOError:disk error (injected)";
+  const std::vector<std::string> ids{"run-a", "run-b", "run-c"};
+  const auto batch =
+      preprocess::RunPipelineBatch(runs_, ids, atlas_, config);
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  EXPECT_EQ(batch->outputs.size(), 2u);
+  EXPECT_EQ(batch->indices, (std::vector<std::size_t>{0, 2}));
+  ASSERT_EQ(batch->report.failed.size(), 1u);
+  EXPECT_EQ(batch->report.failed[0].index, 1u);
+  EXPECT_EQ(batch->report.failed[0].id, "run-b");
+  EXPECT_EQ(batch->report.failed[0].status.code(), StatusCode::kIOError);
+
+  // Survivors match standalone runs of the same pipeline (no cross-talk
+  // from the failed item).
+  preprocess::PipelineConfig clean = FastConfig();
+  const auto solo = preprocess::RunPipeline(runs_[2], atlas_, clean);
+  ASSERT_TRUE(solo.ok());
+  const linalg::Matrix& batched = batch->outputs[1].region_series;
+  ASSERT_EQ(batched.rows(), solo->region_series.rows());
+  ASSERT_EQ(batched.cols(), solo->region_series.cols());
+  for (std::size_t r = 0; r < batched.rows(); ++r) {
+    for (std::size_t t = 0; t < batched.cols(); ++t) {
+      ASSERT_EQ(batched(r, t), solo->region_series(r, t));
+    }
+  }
+}
+
+TEST_F(FaultInjectionPipelineTest, BatchFailsFastOnLowestIndexFailure) {
+  preprocess::PipelineConfig config = FastConfig();
+  config.fault.schedule =
+      "pipeline.batch_item#1=error:IOError:first;"
+      "pipeline.batch_item#2=error:Internal:second";
+  const std::vector<std::string> ids;
+  const auto batch = preprocess::RunPipelineBatch(runs_, ids, atlas_, config);
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(batch.status().message(), "first");
+}
+
+TEST_F(FaultInjectionPipelineTest, AllItemsFailingIsAnErrorEvenUnderSkip) {
+  preprocess::PipelineConfig config = FastConfig();
+  config.failure_policy = FailurePolicy::SkipAndReport();
+  config.fault.schedule = "pipeline.batch_item=error";
+  const std::vector<std::string> ids;
+  const auto batch = preprocess::RunPipelineBatch(runs_, ids, atlas_, config);
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// --- NIfTI read-path injection ----------------------------------------------
+
+TEST(FaultInjectionNiftiTest, ReadPointInjectsBeforeTouchingDisk) {
+  fault::ScopedSchedule scoped("nifti.read=error:IOError:injected read fail");
+  ASSERT_TRUE(scoped.status().ok());
+  // The injection fires before any filesystem access, so the injected
+  // message comes back instead of the missing-file error.
+  const auto image = nifti::ReadNifti("/nonexistent/fault-injected.nii");
+  ASSERT_FALSE(image.ok());
+  EXPECT_EQ(image.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(image.status().message(), "injected read fail");
+}
+
+}  // namespace
+}  // namespace neuroprint

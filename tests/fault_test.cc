@@ -1,0 +1,264 @@
+// Tests for the fault-injection registry (util/fault.h): schedule grammar,
+// rule matching (keys, @hit counters), actions, ScopedSchedule replace /
+// restore semantics, the disabled fast path, and deterministic byte
+// scrambling.
+
+#include "util/fault.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace neuroprint::fault {
+namespace {
+
+// Every test leaves the process schedule clean so cases cannot leak into
+// each other (or into other suites in the same binary).
+class FaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ClearSchedule(); }
+};
+
+TEST_F(FaultTest, ParseSingleErrorRuleWithDefaults) {
+  const auto schedule = ParseSchedule("nifti.read=error");
+  ASSERT_TRUE(schedule.ok()) << schedule.status();
+  ASSERT_EQ(schedule->rules.size(), 1u);
+  const Rule& rule = schedule->rules[0];
+  EXPECT_EQ(rule.point, "nifti.read");
+  EXPECT_FALSE(rule.has_key);
+  EXPECT_EQ(rule.hit, 0u);
+  EXPECT_EQ(rule.action, Action::kError);
+  EXPECT_EQ(rule.code, StatusCode::kInternal);
+}
+
+TEST_F(FaultTest, ParseFullGrammar) {
+  const auto schedule = ParseSchedule(
+      "cohort.simulate_scan#2=error:CorruptData:truncated gzip stream;"
+      "cohort.simulate_scan#7=nan;"
+      "io.gzip_inflate@3=corrupt;"
+      "\n  pipeline.masking=error:IOError  ;");
+  ASSERT_TRUE(schedule.ok()) << schedule.status();
+  ASSERT_EQ(schedule->rules.size(), 4u);
+
+  EXPECT_EQ(schedule->rules[0].point, "cohort.simulate_scan");
+  EXPECT_TRUE(schedule->rules[0].has_key);
+  EXPECT_EQ(schedule->rules[0].key, 2u);
+  EXPECT_EQ(schedule->rules[0].code, StatusCode::kCorruptData);
+  EXPECT_EQ(schedule->rules[0].message, "truncated gzip stream");
+
+  EXPECT_EQ(schedule->rules[1].action, Action::kNaN);
+  EXPECT_EQ(schedule->rules[1].key, 7u);
+
+  EXPECT_EQ(schedule->rules[2].action, Action::kCorrupt);
+  EXPECT_FALSE(schedule->rules[2].has_key);
+  EXPECT_EQ(schedule->rules[2].hit, 3u);
+
+  EXPECT_EQ(schedule->rules[3].point, "pipeline.masking");
+  EXPECT_EQ(schedule->rules[3].code, StatusCode::kIOError);
+}
+
+TEST_F(FaultTest, ParseEmptyAndSeparatorOnlyIsEmptySchedule) {
+  const auto empty = ParseSchedule("");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  const auto separators = ParseSchedule(" ; ;; ");
+  ASSERT_TRUE(separators.ok());
+  EXPECT_TRUE(separators->empty());
+}
+
+TEST_F(FaultTest, ParseRejectsMalformedEntries) {
+  EXPECT_FALSE(ParseSchedule("no_action_separator").ok());
+  EXPECT_FALSE(ParseSchedule("p=explode").ok());
+  EXPECT_FALSE(ParseSchedule("p=error:NoSuchCode").ok());
+  EXPECT_FALSE(ParseSchedule("p#x=error").ok());    // Non-numeric key.
+  EXPECT_FALSE(ParseSchedule("p@zero=error").ok());  // Non-numeric hit.
+  EXPECT_FALSE(ParseSchedule("=error").ok());        // Empty point.
+  EXPECT_FALSE(ParseSchedule("good=error;bad").ok());
+  // Parse errors carry InvalidArgument and name the entry.
+  const auto bad = ParseSchedule("p=explode");
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.status().message().find("explode"), std::string::npos);
+}
+
+TEST_F(FaultTest, DisabledByDefaultAndPointsAreNoOps) {
+  ClearSchedule();
+  EXPECT_FALSE(Enabled());
+  EXPECT_TRUE(InjectedError("any.point").ok());
+  EXPECT_TRUE(InjectedError("any.point", 7).ok());
+}
+
+TEST_F(FaultTest, InstalledErrorRuleFiresWithCodeAndMessage) {
+  auto schedule = ParseSchedule("a.b=error:IOError:disk on fire");
+  ASSERT_TRUE(schedule.ok());
+  InstallSchedule(std::move(schedule).value());
+  EXPECT_TRUE(Enabled());
+  const Status status = InjectedError("a.b");
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_EQ(status.message(), "disk on fire");
+  EXPECT_TRUE(InjectedError("a.other").ok());
+}
+
+TEST_F(FaultTest, KeyedRulesFireOnlyForTheirKey) {
+  auto schedule = ParseSchedule("p#2=error:CorruptData;p#7=nan");
+  ASSERT_TRUE(schedule.ok());
+  InstallSchedule(std::move(schedule).value());
+  EXPECT_EQ(Hit("p", 2).action, Action::kError);
+  EXPECT_EQ(Hit("p", 2).status.code(), StatusCode::kCorruptData);
+  EXPECT_EQ(Hit("p", 7).action, Action::kNaN);
+  EXPECT_EQ(Hit("p", 0).action, Action::kNone);
+  EXPECT_EQ(Hit("p", 3).action, Action::kNone);
+  // Keyed rules never match unkeyed arrivals.
+  EXPECT_EQ(Hit("p").action, Action::kNone);
+}
+
+TEST_F(FaultTest, UnkeyedRuleMatchesAnyArrivalAtThePoint) {
+  auto schedule = ParseSchedule("p=error");
+  ASSERT_TRUE(schedule.ok());
+  InstallSchedule(std::move(schedule).value());
+  EXPECT_EQ(Hit("p").action, Action::kError);
+  EXPECT_EQ(Hit("p", 42).action, Action::kError);
+}
+
+TEST_F(FaultTest, HitCountSelectsTheNthArrivalOnly) {
+  auto schedule = ParseSchedule("p@2=error");
+  ASSERT_TRUE(schedule.ok());
+  InstallSchedule(std::move(schedule).value());
+  EXPECT_EQ(Hit("p").action, Action::kNone);   // First arrival.
+  EXPECT_EQ(Hit("p").action, Action::kError);  // Second arrival fires.
+  EXPECT_EQ(Hit("p").action, Action::kNone);   // Third does not.
+  // Counters reset on demand, making runs reproducible.
+  ResetHitCounters();
+  EXPECT_EQ(Hit("p").action, Action::kNone);
+  EXPECT_EQ(Hit("p").action, Action::kError);
+}
+
+TEST_F(FaultTest, HitCountersArePerPointAndPerKey) {
+  auto schedule = ParseSchedule("p#5@2=error");
+  ASSERT_TRUE(schedule.ok());
+  InstallSchedule(std::move(schedule).value());
+  EXPECT_EQ(Hit("p", 5).action, Action::kNone);
+  // Arrivals at other keys / points do not advance key 5's counter.
+  EXPECT_EQ(Hit("p", 6).action, Action::kNone);
+  EXPECT_EQ(Hit("q", 5).action, Action::kNone);
+  EXPECT_EQ(Hit("p", 5).action, Action::kError);
+}
+
+TEST_F(FaultTest, InjectedErrorMapsValueActionsToInternal) {
+  auto schedule = ParseSchedule("p=nan");
+  ASSERT_TRUE(schedule.ok());
+  InstallSchedule(std::move(schedule).value());
+  const Status status = InjectedError("p");
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("nan"), std::string::npos);
+}
+
+TEST_F(FaultTest, ScopedScheduleReplacesAndRestores) {
+  auto outer = ParseSchedule("outer.point=error");
+  ASSERT_TRUE(outer.ok());
+  InstallSchedule(std::move(outer).value());
+  {
+    ScopedSchedule scoped("inner.point=error");
+    ASSERT_TRUE(scoped.status().ok());
+    // Replacement, not overlay: the outer rule is inactive inside.
+    EXPECT_FALSE(InjectedError("inner.point").ok());
+    EXPECT_TRUE(InjectedError("outer.point").ok());
+  }
+  EXPECT_FALSE(InjectedError("outer.point").ok());
+  EXPECT_TRUE(InjectedError("inner.point").ok());
+}
+
+TEST_F(FaultTest, EmptyScopedScheduleIsANoOp) {
+  auto outer = ParseSchedule("outer.point=error");
+  ASSERT_TRUE(outer.ok());
+  InstallSchedule(std::move(outer).value());
+  {
+    ScopedSchedule scoped("");
+    ASSERT_TRUE(scoped.status().ok());
+    EXPECT_FALSE(InjectedError("outer.point").ok());
+  }
+  EXPECT_FALSE(InjectedError("outer.point").ok());
+}
+
+TEST_F(FaultTest, ScopedScheduleParseFailureLeavesProcessScheduleAlone) {
+  auto outer = ParseSchedule("outer.point=error");
+  ASSERT_TRUE(outer.ok());
+  InstallSchedule(std::move(outer).value());
+  {
+    ScopedSchedule scoped("garbage");
+    EXPECT_EQ(scoped.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_FALSE(InjectedError("outer.point").ok());
+  }
+  EXPECT_FALSE(InjectedError("outer.point").ok());
+}
+
+TEST_F(FaultTest, ScopedScheduleRestoresDisabledState) {
+  ClearSchedule();
+  {
+    ScopedSchedule scoped("p=error");
+    ASSERT_TRUE(scoped.status().ok());
+    EXPECT_TRUE(Enabled());
+  }
+  EXPECT_FALSE(Enabled());
+}
+
+TEST_F(FaultTest, FiresCountTheFaultInjectedMetric) {
+  trace::ScopedEnable trace_enable(true);
+  metrics::Registry::Global().Reset();
+  ScopedSchedule scoped("p#1=error");
+  ASSERT_TRUE(scoped.status().ok());
+  EXPECT_EQ(Hit("p", 1).action, Action::kError);
+  EXPECT_EQ(Hit("p", 2).action, Action::kNone);  // Miss: not counted.
+  const metrics::Snapshot snapshot =
+      metrics::Registry::Global().TakeSnapshot();
+  std::uint64_t injected = 0;
+  for (const auto& counter : snapshot.counters) {
+    if (counter.name == "fault.injected") injected = counter.value;
+  }
+  EXPECT_EQ(injected, 1u);
+}
+
+TEST_F(FaultTest, MacroReturnsInjectedStatusFromStatusFunctions) {
+  ScopedSchedule scoped("macro.point=error:CorruptData:via macro");
+  ASSERT_TRUE(scoped.status().ok());
+  const auto body = []() -> Status {
+    NP_FAULT_POINT("macro.point");
+    return Status::OK();
+  };
+  const Status status = body();
+  EXPECT_EQ(status.code(), StatusCode::kCorruptData);
+  EXPECT_EQ(status.message(), "via macro");
+
+  const auto keyed = [](std::uint64_t key) -> Status {
+    NP_FAULT_POINT_KEYED("macro.keyed", key);
+    return Status::OK();
+  };
+  ScopedSchedule keyed_scoped("macro.keyed#3=error");
+  ASSERT_TRUE(keyed_scoped.status().ok());
+  EXPECT_TRUE(keyed(2).ok());
+  EXPECT_FALSE(keyed(3).ok());
+}
+
+TEST_F(FaultTest, ScrambleBytesIsDeterministicInSeedAndChangesData) {
+  std::vector<unsigned char> a(64, 0xAB), b(64, 0xAB), c(64, 0xAB);
+  ScrambleBytes(1234, a.data(), a.size());
+  ScrambleBytes(1234, b.data(), b.size());
+  ScrambleBytes(4321, c.data(), c.size());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, std::vector<unsigned char>(64, 0xAB));
+}
+
+TEST_F(FaultTest, ActionNamesAreStable) {
+  EXPECT_STREQ(ActionName(Action::kNone), "none");
+  EXPECT_STREQ(ActionName(Action::kError), "error");
+  EXPECT_STREQ(ActionName(Action::kNaN), "nan");
+  EXPECT_STREQ(ActionName(Action::kCorrupt), "corrupt");
+}
+
+}  // namespace
+}  // namespace neuroprint::fault

@@ -3,12 +3,15 @@
 // matcher is built on.
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
 #include "linalg/stats.h"
 #include "linalg/vector_ops.h"
+#include "util/metrics.h"
 #include "util/random.h"
+#include "util/trace.h"
 
 namespace neuroprint::linalg {
 namespace {
@@ -150,6 +153,89 @@ TEST(StatsTest, ColumnCrossCorrelationScaleInvariant) {
   const Matrix c1 = ColumnCrossCorrelation(a, a);
   const Matrix c2 = ColumnCrossCorrelation(scaled, a);
   EXPECT_NEAR(c1(0, 1), c2(0, 1), 1e-10);
+}
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+std::uint64_t CounterValue(const std::string& name) {
+  const metrics::Snapshot snapshot =
+      metrics::Registry::Global().TakeSnapshot();
+  for (const auto& counter : snapshot.counters) {
+    if (counter.name == name) return counter.value;
+  }
+  return 0;
+}
+
+TEST(StatsDegenerateTest, ZScoreRowsZeroesNaNAndConstantRows) {
+  trace::ScopedEnable enable(true);
+  metrics::Registry::Global().Reset();
+  Rng rng(10);
+  Matrix m = RandomMatrix(4, 25, rng);
+  for (std::size_t j = 0; j < 25; ++j) m(1, j) = 7.0;  // Constant row.
+  m(2, 13) = kNaN;                                     // Poisoned row.
+  ZScoreRowsInPlace(m);
+  for (std::size_t j = 0; j < 25; ++j) {
+    EXPECT_DOUBLE_EQ(m(1, j), 0.0);
+    EXPECT_DOUBLE_EQ(m(2, j), 0.0);
+  }
+  for (std::size_t i : {std::size_t{0}, std::size_t{3}}) {
+    EXPECT_NEAR(Mean(m.RowCopy(i)), 0.0, 1e-12);
+    EXPECT_NEAR(StdDev(m.RowCopy(i)), 1.0, 1e-12);
+  }
+  EXPECT_EQ(CounterValue("stats.zero_variance_series"), 1u);
+  EXPECT_EQ(CounterValue("stats.nonfinite_series"), 1u);
+}
+
+TEST(StatsDegenerateTest, ZScoreColsZeroesNaNAndConstantColumns) {
+  trace::ScopedEnable enable(true);
+  metrics::Registry::Global().Reset();
+  Rng rng(11);
+  Matrix m = RandomMatrix(20, 4, rng);
+  for (std::size_t i = 0; i < 20; ++i) m(i, 0) = -3.0;  // Constant column.
+  m(7, 2) = kNaN;                                       // Poisoned column.
+  ZScoreColsInPlace(m);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(m(i, 0), 0.0);
+    EXPECT_DOUBLE_EQ(m(i, 2), 0.0);
+  }
+  for (std::size_t j : {std::size_t{1}, std::size_t{3}}) {
+    EXPECT_NEAR(Mean(m.ColCopy(j)), 0.0, 1e-12);
+    EXPECT_NEAR(StdDev(m.ColCopy(j)), 1.0, 1e-12);
+  }
+  EXPECT_EQ(CounterValue("stats.zero_variance_series"), 1u);
+  EXPECT_EQ(CounterValue("stats.nonfinite_series"), 1u);
+}
+
+TEST(StatsDegenerateTest, RowCorrelationNaNRowYieldsZeroNotNaN) {
+  Rng rng(12);
+  Matrix m = RandomMatrix(3, 40, rng);
+  m(1, 0) = kNaN;
+  const Matrix corr = RowCorrelation(m);
+  EXPECT_DOUBLE_EQ(corr(1, 1), 1.0);  // Diagonal stays defined.
+  EXPECT_DOUBLE_EQ(corr(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(corr(1, 2), 0.0);
+  EXPECT_TRUE(std::isfinite(corr(0, 2)));
+}
+
+TEST(StatsDegenerateTest, ColumnCrossCorrelationNaNColumnYieldsZero) {
+  Rng rng(13);
+  Matrix a = RandomMatrix(30, 3, rng);
+  Matrix b = RandomMatrix(30, 2, rng);
+  a(4, 1) = kNaN;
+  const Matrix cross = ColumnCrossCorrelation(a, b);
+  for (std::size_t j = 0; j < 2; ++j) {
+    EXPECT_DOUBLE_EQ(cross(1, j), 0.0);
+    EXPECT_TRUE(std::isfinite(cross(0, j)));
+    EXPECT_TRUE(std::isfinite(cross(2, j)));
+  }
+}
+
+TEST(StatsDegenerateTest, PearsonAndZScoreVectorOpsHandleNaN) {
+  Vector poisoned{1.0, kNaN, 3.0, 4.0};
+  const Vector clean{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(poisoned, clean), 0.0);
+  ZScoreInPlace(poisoned);
+  for (double v : poisoned) EXPECT_DOUBLE_EQ(v, 0.0);
 }
 
 }  // namespace

@@ -117,6 +117,55 @@ TEST(NoAbortRule, FiresOnceOutsideCheckH) {
             0);
 }
 
+TEST(NoExitRule, FiresOnEveryExitFlavorOutsideCheckH) {
+  const std::vector<Finding> findings = LintOne(
+      "nifti/nifti_io.cc",
+      "void f() { exit(1); }\n"
+      "void g() { std::exit(1); }\n"
+      "void h() { _Exit(2); }\n"
+      "void i() { quick_exit(3); }\n"
+      "void j() { _exit(4); }\n");
+  EXPECT_EQ(CountRule(findings, "no-exit"), 5);
+}
+
+TEST(NoExitRule, ExemptsCheckHAndIgnoresLookalikes) {
+  EXPECT_EQ(CountRule(LintOne("util/check.h", "void f() { exit(1); }\n"),
+                      "no-exit"),
+            0);
+  // Longer identifiers, member calls, and non-call uses must not match.
+  EXPECT_EQ(CountRule(LintOne("core/knn.cc",
+                              "void on_exit_handler(); int atexit(void (*)());"
+                              "\nvoid f() { obj.exit(); }\nint exit_code = 0;"
+                              "\n"),
+                      "no-exit"),
+            0);
+}
+
+TEST(NoThrowRule, FiresOnThrowStatements) {
+  const std::vector<Finding> findings = LintOne(
+      "linalg/svd.cc",
+      "void f() { throw std::runtime_error(\"x\"); }\n"
+      "void g() { throw; }\n");
+  EXPECT_EQ(CountRule(findings, "no-throw"), 2);
+}
+
+TEST(NoThrowRule, ExemptsCheckHRethrowAndComments) {
+  EXPECT_EQ(CountRule(LintOne("util/check.h", "void f() { throw 1; }\n"),
+                      "no-throw"),
+            0);
+  // rethrow_exception (thread pool's worker-exception forwarding),
+  // identifiers containing `throw`, and comment/string mentions are clean.
+  EXPECT_EQ(
+      CountRule(LintOne("util/thread_pool.cc",
+                        "void f(std::exception_ptr e) { "
+                        "std::rethrow_exception(e); }\n"
+                        "int throw_away = 0;\n"
+                        "// a comment that says throw\n"
+                        "const char* s = \"throw\";\n"),
+                "no-throw"),
+      0);
+}
+
 TEST(DcheckSideEffectRule, FiresOnMutatingArguments) {
   EXPECT_EQ(CountRule(LintOne("a.cc", "void f(int i) { NP_DCHECK(i++ < 3); }\n"),
                       "dcheck-side-effect"),

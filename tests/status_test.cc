@@ -1,0 +1,167 @@
+// Tests for Status / Result<T>: exhaustive StatusCode string mapping (both
+// directions), factory/ToString behavior, and Result move / error
+// propagation edge cases that the rest of the library leans on.
+
+#include "util/status.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace neuroprint {
+namespace {
+
+// Every code paired with its canonical name. Kept in enum order so the
+// exhaustiveness check below reads as the single source of truth.
+const std::vector<std::pair<StatusCode, const char*>>& AllCodes() {
+  static const std::vector<std::pair<StatusCode, const char*>> kCodes = {
+      {StatusCode::kOk, "OK"},
+      {StatusCode::kInvalidArgument, "InvalidArgument"},
+      {StatusCode::kOutOfRange, "OutOfRange"},
+      {StatusCode::kFailedPrecondition, "FailedPrecondition"},
+      {StatusCode::kNotFound, "NotFound"},
+      {StatusCode::kAlreadyExists, "AlreadyExists"},
+      {StatusCode::kIOError, "IOError"},
+      {StatusCode::kCorruptData, "CorruptData"},
+      {StatusCode::kNotConverged, "NotConverged"},
+      {StatusCode::kUnimplemented, "Unimplemented"},
+      {StatusCode::kInternal, "Internal"},
+  };
+  return kCodes;
+}
+
+TEST(StatusCodeTest, ToStringCoversEveryCode) {
+  // kInternal is the last enumerator; if a new code is appended without
+  // updating AllCodes() this count check fails before the loop does.
+  ASSERT_EQ(AllCodes().size(),
+            static_cast<std::size_t>(StatusCode::kInternal) + 1);
+  for (const auto& [code, name] : AllCodes()) {
+    EXPECT_STREQ(StatusCodeToString(code), name);
+  }
+}
+
+TEST(StatusCodeTest, ToStringNamesAreUnique) {
+  for (const auto& [code_a, name_a] : AllCodes()) {
+    for (const auto& [code_b, name_b] : AllCodes()) {
+      if (code_a != code_b) {
+        EXPECT_STRNE(name_a, name_b);
+      }
+    }
+  }
+}
+
+TEST(StatusCodeTest, FromStringRoundTripsEveryCode) {
+  for (const auto& [code, name] : AllCodes()) {
+    const auto parsed = StatusCodeFromString(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, code);
+  }
+}
+
+TEST(StatusCodeTest, FromStringRejectsUnknownNames) {
+  EXPECT_FALSE(StatusCodeFromString("Unknown").has_value());
+  EXPECT_FALSE(StatusCodeFromString("").has_value());
+  EXPECT_FALSE(StatusCodeFromString("ok").has_value());  // Case-sensitive.
+  EXPECT_FALSE(StatusCodeFromString("CorruptData ").has_value());
+  EXPECT_FALSE(StatusCodeFromString("kCorruptData").has_value());
+}
+
+TEST(StatusTest, DefaultIsOkAndFactoriesCarryCodeAndMessage) {
+  EXPECT_TRUE(Status().ok());
+  EXPECT_EQ(Status().code(), StatusCode::kOk);
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status().ToString(), "OK");
+
+  const Status s = Status::CorruptData("bad bytes");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruptData);
+  EXPECT_EQ(s.message(), "bad bytes");
+  EXPECT_EQ(s.ToString(), "CorruptData: bad bytes");
+}
+
+TEST(StatusTest, EveryFactoryMapsToItsCode) {
+  EXPECT_EQ(Status::InvalidArgument("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::OutOfRange("").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::NotFound("").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::IOError("").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::CorruptData("").code(), StatusCode::kCorruptData);
+  EXPECT_EQ(Status::NotConverged("").code(), StatusCode::kNotConverged);
+  EXPECT_EQ(Status::Unimplemented("").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValueAndMovesOutWithoutCopy) {
+  Result<std::unique_ptr<int>> result(std::make_unique<int>(41));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(**result, 41);
+  // Move-only payloads come out via the rvalue overload.
+  std::unique_ptr<int> owned = std::move(result).value();
+  ASSERT_NE(owned, nullptr);
+  EXPECT_EQ(*owned, 41);
+}
+
+TEST(ResultTest, ErrorStatePreservesStatus) {
+  const Result<int> result(Status::NotFound("no such subject"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.status().message(), "no such subject");
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  const Result<int> result(7);
+  EXPECT_EQ(result.value_or(-1), 7);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, OkStatusConstructionBecomesInternalError) {
+  // Result(Status::OK()) is a programming error; it must not fabricate a
+  // value, and the stored status must be non-OK so callers cannot loop.
+  const Result<int> result{Status::OK()};
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MutationThroughAccessorsSticks) {
+  Result<std::vector<int>> result(std::vector<int>{1, 2});
+  result->push_back(3);
+  (*result)[0] = 9;
+  result.value().push_back(4);
+  EXPECT_EQ(*result, (std::vector<int>{9, 2, 3, 4}));
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Result<int> Doubled(int x) {
+  NP_RETURN_IF_ERROR(FailIfNegative(x));
+  return 2 * x;
+}
+
+Result<int> DoubledTwice(int x) {
+  int once = 0;
+  NP_ASSIGN_OR_RETURN(once, Doubled(x));
+  return Doubled(once);
+}
+
+TEST(ResultTest, MacrosPropagateErrorsAndValues) {
+  const Result<int> ok = DoubledTwice(3);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 12);
+
+  const Result<int> err = DoubledTwice(-3);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(err.status().message(), "negative");
+}
+
+}  // namespace
+}  // namespace neuroprint

@@ -153,6 +153,33 @@ void CheckBannedCall(const SourceFile& file, const std::string& sanitized,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: no-throw
+// ---------------------------------------------------------------------------
+
+// Library code reports failures through Status/Result; a `throw` unwinds
+// straight past the batch failure-policy machinery (and terminates the
+// process under -fno-exceptions builds). The token-boundary check keeps
+// `std::rethrow_exception` (used by the thread pool to forward worker
+// exceptions) and identifiers like `throw_away` from matching.
+void CheckNoThrow(const SourceFile& file, const std::string& sanitized,
+                  std::vector<Finding>* findings) {
+  std::size_t pos = 0;
+  while ((pos = sanitized.find("throw", pos)) != std::string::npos) {
+    const std::size_t end = pos + 5;
+    const bool own_token =
+        (pos == 0 || !IsIdentChar(sanitized[pos - 1])) &&
+        (end == sanitized.size() || !IsIdentChar(sanitized[end]));
+    if (own_token) {
+      findings->push_back(
+          {file.path, LineOfOffset(sanitized, pos), "no-throw",
+           "`throw` in library code bypasses Status-based error handling "
+           "and the batch FailurePolicy; return a Status instead"});
+    }
+    pos = end;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: dcheck-side-effect
 // ---------------------------------------------------------------------------
 
@@ -555,6 +582,15 @@ std::vector<Finding> LintFile(const SourceFile& file,
                     "`abort` outside util/check.h loses the diagnostic "
                     "message; use NP_CHECK or Status",
                     &findings);
+    for (const char* fn : {"exit", "_Exit", "quick_exit", "_exit"}) {
+      CheckBannedCall(file, sanitized, fn, "no-exit",
+                      std::string("`") + fn +
+                          "` terminates the process from library code, "
+                          "skipping destructors and batch failure policies; "
+                          "return Status instead",
+                      &findings);
+    }
+    CheckNoThrow(file, sanitized, &findings);
   }
 
   CheckNoRawThread(file, sanitized, &findings);

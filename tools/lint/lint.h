@@ -6,6 +6,8 @@
 //   no-rand             rand()/srand() only in src/util/random.*
 //   no-naked-stdio      printf/fprintf only via util/logging.h
 //   no-abort            abort() only in util/check.h
+//   no-exit             exit()/_Exit()/quick_exit()/_exit() never in src/
+//   no-throw            `throw` never in src/ (error paths return Status)
 //   dcheck-side-effect  NP_DCHECK args must not mutate state
 //   no-using-namespace  headers never `using namespace`
 //   unused-status       bare `Foo(...);` calls to Status-returning functions
