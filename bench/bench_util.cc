@@ -3,7 +3,12 @@
 #include <cmath>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <numeric>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "util/check.h"
 #include "util/metrics.h"
@@ -143,8 +148,34 @@ std::string JsonEscape(const std::string& text) {
 
 }  // namespace
 
+namespace {
+
+// High-water-mark resident set of this process in bytes, or a negative
+// value when the platform has no getrusage. Linux reports ru_maxrss in
+// KiB; Apple reports bytes.
+double PeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return -1.0;
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss);
+#else
+  return static_cast<double>(usage.ru_maxrss) * 1024.0;
+#endif
+#else
+  return -1.0;
+#endif
+}
+
+}  // namespace
+
 void JsonReporter::BeginRecord(const std::string& name) {
   records_.push_back(Record{name, {}});
+  const double rss = PeakRssBytes();
+  // Negative (unsupported platform) serializes as null via the non-finite
+  // path so the field is always present for schema checks.
+  AddField("peak_rss_bytes",
+           rss < 0.0 ? std::numeric_limits<double>::quiet_NaN() : rss);
 }
 
 void JsonReporter::AddField(const std::string& key, double value) {

@@ -67,7 +67,11 @@ std::size_t ParseThreadsFlag(int* argc, char** argv);
 /// printed tables (BENCH_gemm.json, CI bench-smoke validation).
 class JsonReporter {
  public:
-  /// Starts a new record; subsequent Add*Field calls attach to it.
+  /// Starts a new record; subsequent Add*Field calls attach to it. Every
+  /// record automatically carries a "peak_rss_bytes" field — the process
+  /// high-water-mark resident set at the time the record was opened
+  /// (getrusage; null on platforms without it) — so memory regressions are
+  /// recorded alongside timings without per-bench plumbing.
   void BeginRecord(const std::string& name);
 
   /// Adds a numeric field to the current record (%.9g; non-finite values

@@ -1,0 +1,180 @@
+// Tests for the lint lexer (tools/lint/lexer.h): the constructs that broke
+// the old regex-over-stripped-text scanner must lex correctly — raw
+// strings, line continuations, nested-looking block comments, char
+// literals, and digit separators.
+
+#include "tools/lint/lexer.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace neuroprint::lint {
+namespace {
+
+std::vector<std::string> Spellings(const LexResult& lex, TokenKind kind) {
+  std::vector<std::string> out;
+  for (const Token& tok : lex.tokens) {
+    if (tok.kind == kind) out.push_back(tok.text);
+  }
+  return out;
+}
+
+bool HasIdent(const LexResult& lex, const std::string& text) {
+  for (const Token& tok : lex.tokens) {
+    if (tok.kind == TokenKind::kIdentifier && tok.text == text) return true;
+  }
+  return false;
+}
+
+TEST(LexerTest, BasicTokens) {
+  const LexResult lex = Lex("int x = 42; foo(x);\n");
+  const std::vector<std::string> idents =
+      Spellings(lex, TokenKind::kIdentifier);
+  ASSERT_EQ(idents.size(), 4u);
+  EXPECT_EQ(idents[0], "int");
+  EXPECT_EQ(idents[1], "x");
+  EXPECT_EQ(idents[2], "foo");
+  EXPECT_EQ(idents[3], "x");
+  EXPECT_EQ(Spellings(lex, TokenKind::kNumber),
+            std::vector<std::string>{"42"});
+}
+
+TEST(LexerTest, RawStringIsOneToken) {
+  // The old scanner treated the `)` inside the raw string as code and lost
+  // sync; the lexer must produce exactly one string token.
+  const LexResult lex =
+      Lex("const char* s = R\"(abort(); \"quoted\")\";\nint after = 1;\n");
+  const std::vector<std::string> strings =
+      Spellings(lex, TokenKind::kString);
+  ASSERT_EQ(strings.size(), 1u);
+  EXPECT_EQ(strings[0], "R\"(abort(); \"quoted\")\"");
+  EXPECT_FALSE(HasIdent(lex, "abort"));
+  EXPECT_TRUE(HasIdent(lex, "after"));
+}
+
+TEST(LexerTest, RawStringWithDelimiterAndPrefix) {
+  const LexResult lex =
+      Lex("auto s = u8R\"x(a )\" not the end )x\"; int ok = 2;\n");
+  const std::vector<std::string> strings =
+      Spellings(lex, TokenKind::kString);
+  ASSERT_EQ(strings.size(), 1u);
+  EXPECT_EQ(strings[0], "u8R\"x(a )\" not the end )x\"");
+  EXPECT_TRUE(HasIdent(lex, "ok"));
+}
+
+TEST(LexerTest, RawStringNewlinesAdvanceLineNumbers) {
+  const LexResult lex = Lex("auto s = R\"(line\nline\nline)\";\nint y;\n");
+  bool found = false;
+  for (const Token& tok : lex.tokens) {
+    if (tok.kind == TokenKind::kIdentifier && tok.text == "y") {
+      EXPECT_EQ(tok.line, 4);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LexerTest, LineContinuationSplicesTokens) {
+  // A backslash-newline inside an identifier or directive splices lines;
+  // the physical line counter must still advance.
+  const LexResult lex = Lex("int a\\\n b;\nint c;\n");
+  EXPECT_TRUE(HasIdent(lex, "a"));
+  EXPECT_TRUE(HasIdent(lex, "b"));
+  for (const Token& tok : lex.tokens) {
+    if (tok.kind == TokenKind::kIdentifier && tok.text == "c") {
+      EXPECT_EQ(tok.line, 3);
+    }
+  }
+}
+
+TEST(LexerTest, ContinuationExtendsDirectiveAndLineComment) {
+  const LexResult lex =
+      Lex("#define M(x) \\\n  do_thing(x)\n"
+          "// comment continues \\\n   rand() still comment\nint code;\n");
+  // do_thing belongs to the directive, rand() to the comment.
+  for (const Token& tok : lex.tokens) {
+    if (tok.kind == TokenKind::kIdentifier && tok.text == "do_thing") {
+      EXPECT_TRUE(tok.in_preprocessor);
+    }
+    EXPECT_NE(tok.text, "rand");
+  }
+  ASSERT_EQ(lex.comments.size(), 1u);
+  EXPECT_NE(lex.comments[0].text.find("still comment"), std::string::npos);
+  EXPECT_TRUE(HasIdent(lex, "code"));
+}
+
+TEST(LexerTest, BlockCommentEndsAtFirstCloser) {
+  // `/* /* */` is one comment ending at the first `*/` — no nesting.
+  const LexResult lex = Lex("/* outer /* inner */ int live;\n");
+  ASSERT_EQ(lex.comments.size(), 1u);
+  EXPECT_EQ(lex.comments[0].text, " outer /* inner ");
+  EXPECT_TRUE(HasIdent(lex, "live"));
+}
+
+TEST(LexerTest, UnterminatedBlockCommentRunsToEof) {
+  const LexResult lex = Lex("int before;\n/* never closed\nint hidden;\n");
+  EXPECT_TRUE(HasIdent(lex, "before"));
+  EXPECT_FALSE(HasIdent(lex, "hidden"));
+  ASSERT_EQ(lex.comments.size(), 1u);
+}
+
+TEST(LexerTest, CharLiterals) {
+  const LexResult lex = Lex("char a = '\\'';\nchar b = 'x';\nchar c = L'y';\n");
+  const std::vector<std::string> chars = Spellings(lex, TokenKind::kChar);
+  ASSERT_EQ(chars.size(), 3u);
+  EXPECT_EQ(chars[0], "'\\''");
+  EXPECT_EQ(chars[1], "'x'");
+  EXPECT_EQ(chars[2], "L'y'");
+}
+
+TEST(LexerTest, DigitSeparatorsAreNotCharLiterals) {
+  // `1'000'000` must be one number token, not a number followed by a char
+  // literal that swallows the rest of the line.
+  const LexResult lex = Lex("int n = 1'000'000; int after = 0x1p-3;\n");
+  const std::vector<std::string> numbers =
+      Spellings(lex, TokenKind::kNumber);
+  ASSERT_EQ(numbers.size(), 2u);  // 1'000'000, 0x1p-3, and nothing else
+  EXPECT_EQ(numbers[0], "1'000'000");
+  EXPECT_EQ(numbers[1], "0x1p-3");
+  EXPECT_TRUE(HasIdent(lex, "after"));
+}
+
+TEST(LexerTest, PreprocessorTokensAreFlagged) {
+  const LexResult lex = Lex("#include <vector>\nint code;\n");
+  bool saw_code = false;
+  for (const Token& tok : lex.tokens) {
+    if (tok.text == "include" || tok.text == "vector" || tok.text == "#") {
+      EXPECT_TRUE(tok.in_preprocessor) << tok.text;
+    }
+    if (tok.text == "code") {
+      EXPECT_FALSE(tok.in_preprocessor);
+      saw_code = true;
+    }
+  }
+  EXPECT_TRUE(saw_code);
+}
+
+TEST(LexerTest, LongestMunchPunctuation) {
+  const LexResult lex = Lex("a <<= b; c <=> d; e->*f; x >>= 1;\n");
+  const std::vector<std::string> puncts = Spellings(lex, TokenKind::kPunct);
+  EXPECT_NE(std::find(puncts.begin(), puncts.end(), "<<="), puncts.end());
+  EXPECT_NE(std::find(puncts.begin(), puncts.end(), "<=>"), puncts.end());
+  EXPECT_NE(std::find(puncts.begin(), puncts.end(), "->*"), puncts.end());
+  EXPECT_NE(std::find(puncts.begin(), puncts.end(), ">>="), puncts.end());
+}
+
+TEST(LexerTest, CommentOffsetsCoverMarkers) {
+  const std::string src = "int a;  // tail\n/* block */ int b;\n";
+  const LexResult lex = Lex(src);
+  ASSERT_EQ(lex.comments.size(), 2u);
+  EXPECT_EQ(src.substr(lex.comments[0].offset, 2), "//");
+  EXPECT_EQ(src.substr(lex.comments[1].offset, 2), "/*");
+  EXPECT_EQ(src.substr(lex.comments[1].offset + lex.comments[1].length - 2, 2),
+            "*/");
+}
+
+}  // namespace
+}  // namespace neuroprint::lint

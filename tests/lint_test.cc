@@ -19,9 +19,16 @@ int CountRule(const std::vector<Finding>& findings, const std::string& rule) {
                     [&](const Finding& f) { return f.rule == rule; }));
 }
 
+int LineOfRule(const std::vector<Finding>& findings, const std::string& rule) {
+  for (const Finding& f : findings) {
+    if (f.rule == rule) return f.line;
+  }
+  return -1;
+}
+
 std::vector<Finding> LintOne(const std::string& path,
                              const std::string& contents) {
-  return LintFile({path, contents}, /*status_functions=*/{});
+  return LintFile({path, contents}, DeclIndex{});
 }
 
 TEST(StripCommentsAndStringsTest, BlanksCommentsAndLiteralsKeepsLines) {
@@ -43,6 +50,24 @@ TEST(StripCommentsAndStringsTest, HandlesEscapedQuotes) {
       StripCommentsAndStrings("const char* s = \"a\\\"rand()\"; int c;");
   EXPECT_EQ(out.find("rand"), std::string::npos);
   EXPECT_NE(out.find("int c;"), std::string::npos);
+}
+
+TEST(StripCommentsAndStringsTest, HandlesRawStrings) {
+  // The old state machine treated `)` inside a raw string as end of code
+  // context and leaked the tail; the lexer-backed version must blank the
+  // whole literal and keep the code around it.
+  const std::string out = StripCommentsAndStrings(
+      "auto s = R\"x(abort(); \"inner\" )\" still raw )x\"; int live;\n");
+  EXPECT_EQ(out.find("abort"), std::string::npos);
+  EXPECT_EQ(out.find("still raw"), std::string::npos);
+  EXPECT_NE(out.find("int live;"), std::string::npos);
+}
+
+TEST(StripCommentsAndStringsTest, KeepsNewlinesInsideRawStrings) {
+  const std::string out =
+      StripCommentsAndStrings("auto s = R\"(a\nb\nc)\";\nint live;\n");
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("int live;"), std::string::npos);
 }
 
 TEST(IncludeGuardRule, FiresOnceOnWrongGuard) {
@@ -286,44 +311,371 @@ TEST(NoStaticLocalRule, ExemptsUtil) {
             0);
 }
 
-TEST(UnusedStatusRule, FiresOnceOnIgnoredResult) {
-  const std::vector<SourceFile> files = {
-      {"io/save.h",
-       "#ifndef NEUROPRINT_IO_SAVE_H_\n"
-       "#define NEUROPRINT_IO_SAVE_H_\n"
-       "Status SaveThing(const std::string& path);\n"
-       "#endif  // NEUROPRINT_IO_SAVE_H_\n"},
-      {"io/use.cc",
-       "#include \"io/save.h\"\n"
-       "Status Caller() {\n"
-       "  SaveThing(\"dropped\");\n"
-       "  Status kept = SaveThing(\"kept\");\n"
-       "  NP_RETURN_IF_ERROR(SaveThing(\"propagated\"));\n"
-       "  return SaveThing(\"returned\");\n"
-       "}\n"}};
-  const std::vector<Finding> findings = LintFiles(files);
-  ASSERT_EQ(CountRule(findings, "unused-status"), 1);
-  const auto it = std::find_if(findings.begin(), findings.end(),
-                               [](const Finding& f) {
-                                 return f.rule == "unused-status";
-                               });
-  EXPECT_EQ(it->file, "io/use.cc");
-  EXPECT_EQ(it->line, 3);
+// ---- status-flow family ----
+
+// Shared header fixture: a class with Status/Result members plus free
+// functions, so the decl index covers both call shapes.
+const char kStatusHeader[] =
+    "#ifndef NEUROPRINT_IO_SAVE_H_\n"
+    "#define NEUROPRINT_IO_SAVE_H_\n"
+    "namespace neuroprint {\n"
+    "class Saver {\n"
+    " public:\n"
+    "  Status Fit(int x);\n"
+    "  Result<int> Load(int x);\n"
+    "};\n"
+    "Status SaveThing(const std::string& path);\n"
+    "Result<double> ReadThing(const std::string& path);\n"
+    "}  // namespace neuroprint\n"
+    "#endif  // NEUROPRINT_IO_SAVE_H_\n";
+
+std::vector<Finding> LintWithHeader(const std::string& body) {
+  return LintFiles({{"io/save.h", kStatusHeader}, {"io/use.cc", body}});
 }
 
-TEST(CollectStatusFunctionsTest, FindsDeclarationsIncludingStatic) {
-  const std::set<std::string> names = CollectStatusFunctions(
+TEST(UnusedStatusRule, FiresOnceOnIgnoredResult) {
+  const std::vector<Finding> findings = LintWithHeader(
+      "#include \"io/save.h\"\n"
+      "Status Caller() {\n"
+      "  SaveThing(\"dropped\");\n"
+      "  Status kept = SaveThing(\"kept\");\n"
+      "  NP_RETURN_IF_ERROR(kept);\n"
+      "  NP_RETURN_IF_ERROR(SaveThing(\"propagated\"));\n"
+      "  return SaveThing(\"returned\");\n"
+      "}\n");
+  ASSERT_EQ(CountRule(findings, "unused-status"), 1);
+  EXPECT_EQ(LineOfRule(findings, "unused-status"), 3);
+}
+
+TEST(UnusedStatusRule, FiresOnMemberCallDrop) {
+  // The old line-based rule only matched free calls at statement start;
+  // obj.Fit(x); was its canonical blind spot.
+  const std::vector<Finding> findings = LintWithHeader(
+      "#include \"io/save.h\"\n"
+      "void Caller(Saver& obj, Saver* ptr) {\n"
+      "  obj.Fit(1);\n"
+      "  ptr->Fit(2);\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "unused-status"), 2);
+}
+
+TEST(UnusedStatusRule, FiresOnMultiLineDropAndControlFlowBody) {
+  const std::vector<Finding> findings = LintWithHeader(
+      "#include \"io/save.h\"\n"
+      "void Caller(Saver& obj, bool flaky) {\n"
+      "  SaveThing(\n"
+      "      \"multi\"\n"
+      "      \"line\");\n"
+      "  if (flaky) obj.Fit(3);\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "unused-status"), 2);
+  EXPECT_EQ(LineOfRule(findings, "unused-status"), 3);
+}
+
+TEST(UnusedStatusRule, QuietOnConsumedForms) {
+  const std::vector<Finding> findings = LintWithHeader(
+      "#include \"io/save.h\"\n"
+      "Status Caller(Saver& obj) {\n"
+      "  if (!obj.Fit(1).ok()) return obj.Fit(2);\n"
+      "  Status s = obj.Fit(3);\n"
+      "  (void)s.ok();\n"
+      "  UnknownFunction(4);\n"  // not in the index: no finding
+      "  return SaveThing(\"r\");\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "unused-status"), 0);
+}
+
+TEST(UnusedResultRule, FiresOnDroppedResult) {
+  const std::vector<Finding> findings = LintWithHeader(
+      "#include \"io/save.h\"\n"
+      "void Caller(Saver& obj) {\n"
+      "  ReadThing(\"dropped\");\n"
+      "  obj.Load(1);\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "unused-result"), 2);
+}
+
+TEST(StatusNeverCheckedRule, FiresWhenVariableIsNeverRead) {
+  const std::vector<Finding> findings = LintWithHeader(
+      "#include \"io/save.h\"\n"
+      "void Caller() {\n"
+      "  Status s = SaveThing(\"a\");\n"
+      "}\n");
+  ASSERT_EQ(CountRule(findings, "status-never-checked"), 1);
+  EXPECT_EQ(LineOfRule(findings, "status-never-checked"), 3);
+}
+
+TEST(StatusNeverCheckedRule, QuietWhenConsumedLaterOrAtClassScope) {
+  const std::vector<Finding> findings = LintWithHeader(
+      "#include \"io/save.h\"\n"
+      "class Holder {\n"
+      "  Status last_;\n"  // member declaration, not a local
+      "};\n"
+      "Status Caller() {\n"
+      "  Status s = SaveThing(\"a\");\n"
+      "  if (!s.ok()) return s;\n"
+      "  Status merged;\n"
+      "  merged.Update();\n"
+      "  return merged;\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "status-never-checked"), 0);
+}
+
+TEST(DeclIndexTest, FindsStatusAndResultDeclarations) {
+  const DeclIndex index = BuildDeclIndex(
       {{"x.h",
         "Status Alpha(int a);\n"
         "static Status Beta();\n"
         "[[nodiscard]] Status Gamma();\n"
+        "Status Klass::Qualified(int x) { return Status::OK(); }\n"
         "void NotStatus();\n"
-        "Result<int> NotEither();\n"}});
+        "Result<int> Single();\n"
+        "Result<std::vector<double>> Nested();\n"
+        "Status local = Alpha(1);\n"}});
+  EXPECT_TRUE(index.status_functions.count("Alpha"));
+  EXPECT_TRUE(index.status_functions.count("Beta"));
+  EXPECT_TRUE(index.status_functions.count("Gamma"));
+  EXPECT_TRUE(index.status_functions.count("Qualified"));
+  EXPECT_FALSE(index.status_functions.count("NotStatus"));
+  EXPECT_FALSE(index.status_functions.count("local"));
+  EXPECT_TRUE(index.result_functions.count("Single"));
+  EXPECT_TRUE(index.result_functions.count("Nested"));
+}
+
+TEST(CollectStatusFunctionsTest, LegacyShimStillWorks) {
+  const std::set<std::string> names =
+      CollectStatusFunctions({{"x.h", "Status Alpha(int a);\n"}});
   EXPECT_TRUE(names.count("Alpha"));
-  EXPECT_TRUE(names.count("Beta"));
-  EXPECT_TRUE(names.count("Gamma"));
-  EXPECT_FALSE(names.count("NotStatus"));
-  EXPECT_FALSE(names.count("NotEither"));
+}
+
+// ---- determinism family ----
+
+TEST(NondetWallclockRule, FiresOutsideSanctionedModules) {
+  const std::vector<Finding> findings = LintOne(
+      "core/attack.cc",
+      "void f() { auto t = std::chrono::steady_clock::now(); (void)t; }\n"
+      "long g() { return time(nullptr); }\n"
+      "long h() { return std::time(nullptr); }\n");
+  EXPECT_EQ(CountRule(findings, "nondet-wallclock"), 3);
+}
+
+TEST(NondetWallclockRule, ExemptsObservabilityModulesAndLookalikes) {
+  for (const char* path :
+       {"util/trace.cc", "util/metrics.cc", "util/fault.cc",
+        "util/stopwatch.h"}) {
+    EXPECT_EQ(CountRule(LintOne(path,
+                                "void f() { auto t = "
+                                "std::chrono::steady_clock::now(); (void)t; "
+                                "}\n"),
+                        "nondet-wallclock"),
+              0)
+        << path;
+  }
+  // Member calls named `time`, identifiers containing time, declarations.
+  EXPECT_EQ(CountRule(LintOne("core/knn.cc",
+                              "void f(Clock& c) { c.time(); }\n"
+                              "int timestep = 3;\n"
+                              "double exposure_time(int frames);\n"),
+                      "nondet-wallclock"),
+            0);
+}
+
+TEST(NondetUnorderedIterRule, FiresOnRangeForOverUnordered) {
+  const std::vector<Finding> findings = LintOne(
+      "core/attack.cc",
+      "#include <unordered_map>\n"
+      "void f(const std::unordered_map<int, int>& m) {\n"
+      "  for (const auto& kv : m) { (void)kv; }\n"
+      "}\n");
+  ASSERT_EQ(CountRule(findings, "nondet-unordered-iter"), 1);
+  EXPECT_EQ(LineOfRule(findings, "nondet-unordered-iter"), 3);
+}
+
+TEST(NondetUnorderedIterRule, QuietOnOrderedContainers) {
+  EXPECT_EQ(CountRule(LintOne("core/attack.cc",
+                              "void f(const std::map<int, int>& m,\n"
+                              "       const std::vector<int>& v) {\n"
+                              "  for (const auto& kv : m) { (void)kv; }\n"
+                              "  for (int x : v) { (void)x; }\n"
+                              "}\n"),
+                      "nondet-unordered-iter"),
+            0);
+}
+
+TEST(NondetFloatAccumRule, FiresOnCapturedFloatAccumulation) {
+  const std::vector<Finding> findings = LintOne(
+      "core/attack.cc",
+      "void f(ThreadPool& pool) {\n"
+      "  double total = 0.0;\n"
+      "  ParallelFor(pool, 0, 8, 1, [&](std::size_t lo, std::size_t hi) {\n"
+      "    total += static_cast<double>(hi - lo);\n"
+      "  });\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "nondet-float-accum"), 1);
+}
+
+TEST(NondetFloatAccumRule, QuietOnBodyLocalAccumulatorAndLinalg) {
+  // Per-chunk accumulators are the blessed pattern: deterministic because
+  // each chunk owns its partial sum.
+  const std::string body_local =
+      "void f(ThreadPool& pool, std::vector<double>& out) {\n"
+      "  ParallelFor(pool, 0, 8, 1, [&](std::size_t lo, std::size_t hi) {\n"
+      "    double partial = 0.0;\n"
+      "    for (std::size_t i = lo; i < hi; ++i) partial += 1.0;\n"
+      "    out[lo] = partial;\n"
+      "  });\n"
+      "}\n";
+  EXPECT_EQ(CountRule(LintOne("core/attack.cc", body_local),
+                      "nondet-float-accum"),
+            0);
+  // Chained declarators (double s0 = 0, s1 = 0;) are all locals.
+  const std::string chained =
+      "void f(ThreadPool& pool, std::vector<double>& y) {\n"
+      "  ParallelFor(pool, 0, 8, 1, [&](std::size_t lo, std::size_t hi) {\n"
+      "    double s0 = 0.0, s1 = 0.0;\n"
+      "    s1 += 2.0;\n"
+      "    y[lo] = s0 + s1;\n"
+      "  });\n"
+      "}\n";
+  EXPECT_EQ(CountRule(LintOne("core/attack.cc", chained),
+                      "nondet-float-accum"),
+            0);
+}
+
+// ---- parallel-race family ----
+
+TEST(ParallelRaceRule, FiresOnByRefMutation) {
+  const std::vector<Finding> findings = LintOne(
+      "core/attack.cc",
+      "void f(ThreadPool& pool, std::vector<double>& out) {\n"
+      "  int count = 0;\n"
+      "  ParallelFor(pool, 0, 8, 1, [&](std::size_t lo, std::size_t hi) {\n"
+      "    ++count;\n"
+      "    out.push_back(1.0);\n"
+      "  });\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "parallel-race"), 2);
+}
+
+TEST(ParallelRaceRule, FiresOnExplicitRefCapture) {
+  const std::vector<Finding> findings = LintOne(
+      "core/attack.cc",
+      "void f(ThreadPool& pool) {\n"
+      "  int hits = 0;\n"
+      "  ParallelReduce(pool, 0, 8, 1, [&hits](std::size_t i) {\n"
+      "    hits += 1;\n"
+      "  });\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "parallel-race"), 1);
+}
+
+TEST(ParallelRaceRule, QuietOnPerIndexWritesAndAtomics) {
+  // The two canonical false-positive traps: per-index writes into a shared
+  // buffer, and an atomic counter.
+  const std::vector<Finding> findings = LintOne(
+      "core/attack.cc",
+      "void f(ThreadPool& pool, std::vector<double>& out) {\n"
+      "  std::atomic<int> hits{0};\n"
+      "  ParallelFor(pool, 0, 8, 1, [&](std::size_t lo, std::size_t hi) {\n"
+      "    for (std::size_t i = lo; i < hi; ++i) {\n"
+      "      out[i] = static_cast<double>(i);\n"
+      "      hits += 1;\n"
+      "    }\n"
+      "  });\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "parallel-race"), 0);
+}
+
+TEST(ParallelRaceRule, QuietOnValueCapturesAndLocals) {
+  const std::vector<Finding> findings = LintOne(
+      "core/attack.cc",
+      "void f(ThreadPool& pool, int seed) {\n"
+      "  ParallelFor(pool, 0, 8, 1, [seed](std::size_t lo, std::size_t hi) {\n"
+      "    int local = seed;\n"
+      "    local += static_cast<int>(hi - lo);\n"
+      "  });\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "parallel-race"), 0);
+}
+
+TEST(ParallelRaceRule, QuietOutsideParallelEntryPoints) {
+  // Mutating a by-ref capture in an ordinary lambda is fine.
+  const std::vector<Finding> findings = LintOne(
+      "core/attack.cc",
+      "void f(std::vector<double>& out) {\n"
+      "  auto fill = [&](double v) { out.push_back(v); };\n"
+      "  fill(1.0);\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "parallel-race"), 0);
+}
+
+// ---- suppressions ----
+
+TEST(SuppressionTest, TrailingCommentSilencesItsLineOnly) {
+  const std::vector<Finding> findings = LintWithHeader(
+      "#include \"io/save.h\"\n"
+      "void Caller(Saver& obj) {\n"
+      "  obj.Fit(1);  // NP_LINT(unused-status)\n"
+      "  obj.Fit(2);\n"
+      "}\n");
+  ASSERT_EQ(CountRule(findings, "unused-status"), 1);
+  EXPECT_EQ(LineOfRule(findings, "unused-status"), 4);
+  EXPECT_EQ(CountRule(findings, "unused-suppression"), 0);
+}
+
+TEST(SuppressionTest, CommentOnlyLineSilencesNextLine) {
+  const std::vector<Finding> findings = LintWithHeader(
+      "#include \"io/save.h\"\n"
+      "void Caller(Saver& obj) {\n"
+      "  // NP_LINT(unused-status)\n"
+      "  obj.Fit(1);\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "unused-status"), 0);
+  EXPECT_EQ(CountRule(findings, "unused-suppression"), 0);
+}
+
+TEST(SuppressionTest, UnusedSuppressionIsReported) {
+  const std::vector<Finding> findings = LintWithHeader(
+      "#include \"io/save.h\"\n"
+      "void Caller(Saver& obj) {\n"
+      "  obj.Fit(1);  // NP_LINT(no-rand)\n"
+      "}\n");
+  // The wrong rule id suppresses nothing: the original finding stays AND
+  // the stale suppression is flagged.
+  EXPECT_EQ(CountRule(findings, "unused-status"), 1);
+  ASSERT_EQ(CountRule(findings, "unused-suppression"), 1);
+  EXPECT_EQ(LineOfRule(findings, "unused-suppression"), 3);
+}
+
+TEST(SuppressionTest, UnknownRuleIdsDoNotRegister) {
+  // A typo'd rule id is inert: no suppression, and no unused-suppression
+  // churn either (the misspelling cannot match any finding).
+  const std::vector<Finding> findings = LintWithHeader(
+      "#include \"io/save.h\"\n"
+      "void Caller(Saver& obj) {\n"
+      "  obj.Fit(1);  // NP_LINT(unused-statu)\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "unused-status"), 1);
+  EXPECT_EQ(CountRule(findings, "unused-suppression"), 0);
+}
+
+// ---- output formats ----
+
+TEST(FormatFindingsTest, TextJsonAndGithub) {
+  const std::vector<Finding> findings = {
+      {"core/a.cc", 7, "no-rand", "message \"quoted\""}};
+  const std::string text = FormatFindings(findings, "text", "src");
+  EXPECT_EQ(text, "src/core/a.cc:7: [no-rand] message \"quoted\"\n");
+  const std::string github = FormatFindings(findings, "github", "src");
+  EXPECT_EQ(github,
+            "::error file=src/core/a.cc,line=7,title=no-rand::message "
+            "\"quoted\"\n");
+  const std::string json = FormatFindings(findings, "json", "");
+  EXPECT_NE(json.find("\"file\": \"core/a.cc\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  const std::string empty = FormatFindings({}, "json", "");
+  EXPECT_EQ(empty, "[]\n");
 }
 
 TEST(LintTreeTest, MissingRootIsAnIoError) {
@@ -337,6 +689,18 @@ TEST(LintTreeTest, MissingRootIsAnIoError) {
 TEST(SelfCheck, SrcTreeIsLintClean) {
   const std::vector<Finding> findings =
       LintTree(std::string(NEUROPRINT_SOURCE_DIR) + "/src");
+  for (const Finding& finding : findings) {
+    ADD_FAILURE() << finding.ToString();
+  }
+  EXPECT_TRUE(findings.empty());
+}
+
+// The engine must pass its own rules (the CLI exposes this as
+// `--self-check`; CI runs it on every push).
+TEST(SelfCheck, LintEngineIsLintClean) {
+  const std::vector<Finding> findings = LintTreeRelative(
+      std::string(NEUROPRINT_SOURCE_DIR) + "/tools/lint",
+      NEUROPRINT_SOURCE_DIR);
   for (const Finding& finding : findings) {
     ADD_FAILURE() << finding.ToString();
   }

@@ -1,0 +1,286 @@
+#include "tools/lint/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+namespace neuroprint::lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+// String-literal prefixes. A trailing R means the literal is raw.
+bool IsStringPrefix(const std::string& ident, bool* raw) {
+  for (const char* p : {"R", "u8R", "uR", "UR", "LR"}) {
+    if (ident == p) {
+      *raw = true;
+      return true;
+    }
+  }
+  for (const char* p : {"u8", "u", "U", "L"}) {
+    if (ident == p) {
+      *raw = false;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsCharPrefix(const std::string& ident) {
+  for (const char* p : {"u8", "u", "U", "L"}) {
+    if (ident == p) return true;
+  }
+  return false;
+}
+
+// Multi-character punctuation, longest first so the scan is longest-munch.
+constexpr const char* kPuncts[] = {
+    "<<=", ">>=", "<=>", "->*", "...", "::", "->", "++", "--", "<<", ">>",
+    "<=",  ">=",  "==",  "!=",  "&&",  "||", "+=", "-=", "*=", "/=", "%=",
+    "&=",  "|=",  "^=",  ".*",
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& source) : src_(source) {}
+
+  LexResult Run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      const char next = Peek(1);
+      if (c == '\\' && next == '\n') {  // line continuation: splice
+        pos_ += 2;
+        ++line_;
+        continue;
+      }
+      if (c == '\\' && next == '\r' && Peek(2) == '\n') {
+        pos_ += 3;
+        ++line_;
+        continue;
+      }
+      if (c == '\n') {
+        ++pos_;
+        ++line_;
+        at_line_start_ = true;
+        in_directive_ = false;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && next == '/') {
+        LexLineComment();
+        continue;
+      }
+      if (c == '/' && next == '*') {
+        LexBlockComment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        in_directive_ = true;
+        Emit(TokenKind::kPunct, pos_, pos_ + 1, line_);
+        ++pos_;
+        continue;
+      }
+      at_line_start_ = false;
+      if (IsIdentStart(c)) {
+        LexIdentifierOrLiteral();
+        continue;
+      }
+      if (IsDigit(c) || (c == '.' && IsDigit(next))) {
+        LexNumber();
+        continue;
+      }
+      if (c == '"') {
+        LexString(pos_, line_, /*raw=*/false);
+        continue;
+      }
+      if (c == '\'') {
+        LexCharLiteral(pos_, line_);
+        continue;
+      }
+      LexPunct();
+    }
+    return std::move(result_);
+  }
+
+ private:
+  char Peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void Emit(TokenKind kind, std::size_t begin, std::size_t end, int line) {
+    result_.tokens.push_back({kind, src_.substr(begin, end - begin), line,
+                              begin, in_directive_});
+  }
+
+  void LexLineComment() {
+    const int line = line_;
+    const std::size_t start = pos_;
+    const std::size_t begin = pos_ + 2;
+    pos_ += 2;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\\' && Peek(1) == '\n') {  // comment continues
+        pos_ += 2;
+        ++line_;
+        continue;
+      }
+      if (src_[pos_] == '\n') break;  // newline stays for the main loop
+      ++pos_;
+    }
+    result_.comments.push_back(
+        {line, start, pos_ - start, src_.substr(begin, pos_ - begin)});
+  }
+
+  void LexBlockComment() {
+    const int line = line_;
+    const std::size_t start = pos_;
+    const std::size_t begin = pos_ + 2;
+    pos_ += 2;
+    std::size_t end = src_.size();
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '*' && Peek(1) == '/') {
+        end = pos_;
+        pos_ += 2;
+        break;
+      }
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    result_.comments.push_back(
+        {line, start, pos_ - start, src_.substr(begin, end - begin)});
+  }
+
+  void LexIdentifierOrLiteral() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    while (pos_ < src_.size() && IsIdentChar(src_[pos_])) ++pos_;
+    const std::string ident = src_.substr(begin, pos_ - begin);
+    bool raw = false;
+    if (pos_ < src_.size() && src_[pos_] == '"' &&
+        IsStringPrefix(ident, &raw)) {
+      LexString(begin, line, raw);
+      return;
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'' && IsCharPrefix(ident)) {
+      LexCharLiteral(begin, line);
+      return;
+    }
+    Emit(TokenKind::kIdentifier, begin, pos_, line);
+  }
+
+  // `begin` covers any prefix already consumed; pos_ is at the opening `"`.
+  void LexString(std::size_t begin, int line, bool raw) {
+    ++pos_;  // consume the opening quote
+    if (raw) {
+      // R"delim( ... )delim"  — no escapes, newlines allowed.
+      const std::size_t delim_begin = pos_;
+      while (pos_ < src_.size() && src_[pos_] != '(') ++pos_;
+      const std::string closer =
+          ")" + src_.substr(delim_begin, pos_ - delim_begin) + "\"";
+      if (pos_ < src_.size()) ++pos_;  // consume '('
+      const std::size_t body = pos_;
+      const std::size_t close = src_.find(closer, body);
+      const std::size_t end =
+          close == std::string::npos ? src_.size() : close + closer.size();
+      for (std::size_t i = body; i < std::min(end, src_.size()); ++i) {
+        if (src_[i] == '\n') ++line_;
+      }
+      pos_ = end;
+      Emit(TokenKind::kString, begin, end, line);
+      return;
+    }
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\') {
+        if (Peek(1) == '\n') ++line_;
+        pos_ += 2;
+        continue;
+      }
+      if (c == '"') {
+        ++pos_;
+        break;
+      }
+      if (c == '\n') break;  // unterminated: stop at end of line
+      ++pos_;
+    }
+    Emit(TokenKind::kString, begin, pos_, line);
+  }
+
+  void LexCharLiteral(std::size_t begin, int line) {
+    ++pos_;  // consume the opening quote
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '\'') {
+        ++pos_;
+        break;
+      }
+      if (c == '\n') break;  // unterminated
+      ++pos_;
+    }
+    Emit(TokenKind::kChar, begin, pos_, line);
+  }
+
+  void LexNumber() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (IsIdentChar(c) || c == '.') {
+        // Exponent signs belong to the literal: 1e+5, 0x1p-3.
+        if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+            (Peek(1) == '+' || Peek(1) == '-')) {
+          pos_ += 2;
+          continue;
+        }
+        ++pos_;
+        continue;
+      }
+      if (c == '\'' && IsIdentChar(Peek(1))) {  // digit separator
+        pos_ += 2;
+        continue;
+      }
+      break;
+    }
+    Emit(TokenKind::kNumber, begin, pos_, line);
+  }
+
+  void LexPunct() {
+    for (const char* p : kPuncts) {
+      const std::size_t n = std::char_traits<char>::length(p);
+      if (src_.compare(pos_, n, p) == 0) {
+        Emit(TokenKind::kPunct, pos_, pos_ + n, line_);
+        pos_ += n;
+        return;
+      }
+    }
+    Emit(TokenKind::kPunct, pos_, pos_ + 1, line_);
+    ++pos_;
+  }
+
+  const std::string& src_;
+  LexResult result_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  bool in_directive_ = false;
+};
+
+}  // namespace
+
+LexResult Lex(const std::string& source) { return Lexer(source).Run(); }
+
+}  // namespace neuroprint::lint

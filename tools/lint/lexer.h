@@ -1,0 +1,61 @@
+// A small C++ lexer for the repo-invariant checker (tools/lint/lint.h).
+//
+// Produces a token stream (identifiers, numbers, string/char literals,
+// punctuation) plus the comment list, so rules can match syntax instead of
+// raw text. Handles the constructs that broke the old regex-over-stripped-
+// text scanner:
+//   * raw string literals `R"delim(...)delim"` (any prefix, any delimiter)
+//   * line continuations (backslash-newline, inside and outside directives)
+//   * digit separators (`1'000'000`) vs. char literals
+//   * nested-looking block comments (`/* /* */` ends at the first `*/`)
+//   * preprocessor directives (tokens are lexed but flagged, so statement
+//     walkers can skip macro bodies while the include-guard rule still sees
+//     `#ifndef` / `#define`)
+//
+// The lexer never fails: malformed input (unterminated literal or comment)
+// lexes to a token that extends to end of file. Line numbers are 1-based
+// physical lines (a continuation still advances the line counter).
+
+#ifndef NEUROPRINT_TOOLS_LINT_LEXER_H_
+#define NEUROPRINT_TOOLS_LINT_LEXER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace neuroprint::lint {
+
+enum class TokenKind {
+  kIdentifier,  // identifiers and keywords (the lexer does not distinguish)
+  kNumber,      // integer/float literals, including separators and suffixes
+  kString,      // ordinary, prefixed, and raw string literals (with quotes)
+  kChar,        // character literals (with quotes)
+  kPunct,       // operators and punctuation, longest-munch (`<<=` is one)
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;        // spelling; literals keep their quotes/prefixes
+  int line = 0;            // 1-based physical line of the first character
+  std::size_t offset = 0;  // byte offset of the first character
+  bool in_preprocessor = false;  // token belongs to a #directive
+};
+
+struct Comment {
+  int line = 0;            // line the comment starts on
+  std::size_t offset = 0;  // byte offset of the // or /*
+  std::size_t length = 0;  // full extent including the comment markers
+  std::string text;        // contents without the // or /* */ markers
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Lexes `source` into tokens and comments. Never fails.
+LexResult Lex(const std::string& source);
+
+}  // namespace neuroprint::lint
+
+#endif  // NEUROPRINT_TOOLS_LINT_LEXER_H_

@@ -2,17 +2,44 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <initializer_list>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "tools/lint/lexer.h"
+
 namespace neuroprint::lint {
 namespace {
 
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+using Tokens = std::vector<Token>;
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+// Every rule id the engine can emit (excluding the meta rules io-error and
+// unused-suppression). NP_LINT comments naming anything else are ignored,
+// so documentation can mention the syntax without registering suppressions.
+constexpr const char* kKnownRules[] = {
+    "include-guard",    "no-rand",
+    "no-naked-stdio",   "no-abort",
+    "no-exit",          "no-throw",
+    "dcheck-side-effect", "no-using-namespace",
+    "no-raw-thread",    "no-static-local",
+    "unused-status",    "unused-result",
+    "status-never-checked", "nondet-wallclock",
+    "nondet-unordered-iter", "nondet-float-accum",
+    "parallel-race",
+};
+
+bool IsKnownRule(const std::string& rule) {
+  for (const char* known : kKnownRules) {
+    if (rule == known) return true;
+  }
+  return false;
 }
 
 bool HasSuffix(const std::string& s, const std::string& suffix) {
@@ -26,52 +53,228 @@ bool HasPrefix(const std::string& s, const std::string& prefix) {
 
 bool IsHeader(const std::string& path) { return HasSuffix(path, ".h"); }
 
-int LineOfOffset(const std::string& text, std::size_t offset) {
-  return 1 + static_cast<int>(
-                 std::count(text.begin(), text.begin() + static_cast<long>(offset), '\n'));
+bool IsIdent(const Tokens& t, std::size_t i) {
+  return i < t.size() && t[i].kind == TokenKind::kIdentifier;
 }
 
-// Returns the offset one past the ')' matching the '(' at `open`, or npos
-// if the parens never balance.
-std::size_t SkipBalancedParens(const std::string& text, std::size_t open) {
+bool IsIdent(const Tokens& t, std::size_t i, const char* text) {
+  return IsIdent(t, i) && t[i].text == text;
+}
+
+bool IsPunct(const Tokens& t, std::size_t i, const char* text) {
+  return i < t.size() && t[i].kind == TokenKind::kPunct && t[i].text == text;
+}
+
+bool PunctIn(const Tokens& t, std::size_t i,
+             std::initializer_list<const char*> texts) {
+  if (i >= t.size() || t[i].kind != TokenKind::kPunct) return false;
+  for (const char* text : texts) {
+    if (t[i].text == text) return true;
+  }
+  return false;
+}
+
+// Returns the index one past the token matching the opener at `open`
+// (one of ( [ {), or kNpos if the file ends unbalanced. Openers/closers of
+// the other kinds are ignored, which is what C++ nesting needs.
+std::size_t SkipBalanced(const Tokens& t, std::size_t open) {
+  const std::string& o = t[open].text;
+  const char* close = o == "(" ? ")" : o == "[" ? "]" : "}";
   int depth = 0;
-  for (std::size_t i = open; i < text.size(); ++i) {
-    if (text[i] == '(') ++depth;
-    if (text[i] == ')') {
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kPunct) continue;
+    if (t[i].text == o) ++depth;
+    if (t[i].text == close) {
       --depth;
       if (depth == 0) return i + 1;
     }
   }
-  return std::string::npos;
+  return kNpos;
 }
 
-struct Line {
-  std::size_t begin = 0;  // offset of first char
-  std::string text;       // sanitized line contents (no newline)
+// Skips a template argument list: `open` is at `<`; returns one past the
+// matching `>`, or kNpos when the construct is not a balanced argument
+// list (a comparison, or end of statement reached).
+std::size_t SkipAngles(const Tokens& t, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kPunct) continue;
+    const std::string& p = t[i].text;
+    if (p == "<") ++depth;
+    if (p == "<<") depth += 2;
+    if (p == ">") --depth;
+    if (p == ">>") depth -= 2;
+    if (p == ";" || p == "{" || p == "}") return kNpos;
+    if (depth <= 0) return i + 1;
+  }
+  return kNpos;
+}
+
+// --------------------------------------------------------------------------
+// Per-file analysis shared by the rules.
+// --------------------------------------------------------------------------
+
+// Heuristic traits of declared names, collected file-wide (the engine does
+// not track scopes, so a name's traits merge across declarations).
+struct VarTraits {
+  bool is_atomic = false;
+  bool is_float = false;
+  bool is_unordered = false;
 };
 
-std::vector<Line> SplitLines(const std::string& text) {
-  std::vector<Line> lines;
-  std::size_t start = 0;
-  for (std::size_t i = 0; i <= text.size(); ++i) {
-    if (i == text.size() || text[i] == '\n') {
-      lines.push_back({start, text.substr(start, i - start)});
-      start = i + 1;
+struct Suppression {
+  std::string rule;
+  bool own_line = false;  // comment-only line: also covers the next line
+  bool used = false;
+};
+
+struct FileAnalysis {
+  LexResult lex;
+  Tokens code;  // tokens outside preprocessor directives
+  std::map<std::string, VarTraits> vars;
+  std::map<int, std::vector<Suppression>> suppressions;  // keyed by line
+};
+
+// Identifiers that can precede a name without making it a declaration.
+bool IsNonTypeKeyword(const std::string& s) {
+  for (const char* kw : {"return", "co_return", "co_yield", "case", "goto",
+                         "new", "delete", "sizeof", "if", "while", "else",
+                         "do", "operator", "throw", "typedef", "using"}) {
+    if (s == kw) return true;
+  }
+  return false;
+}
+
+// True when code[i] looks like the declared name in `Type name ...`:
+// preceded by a type-ish token and followed by a declarator continuation.
+bool LooksLikeDeclaredName(const Tokens& code, std::size_t i) {
+  if (!IsIdent(code, i) || i == 0) return false;
+  const Token& prev = code[i - 1];
+  const bool type_prev =
+      (prev.kind == TokenKind::kIdentifier && !IsNonTypeKeyword(prev.text) &&
+       (i < 2 || (!IsPunct(code, i - 2, ".") && !IsPunct(code, i - 2, "->")))) ||
+      (prev.kind == TokenKind::kPunct &&
+       (prev.text == ">" || prev.text == "*" || prev.text == "&" ||
+        prev.text == "&&"));
+  if (!type_prev) return false;
+  return i + 1 < code.size() &&
+         PunctIn(code, i + 1, {"=", ";", ",", "{", "(", ")", ":", "["});
+}
+
+// Chained declarators after the confirmed declared name at `i`:
+// `double s0 = 0.0, s1 = 0.0;` declares s1 too, but s1's previous token is
+// a comma, so LooksLikeDeclaredName alone misses it. Walks forward to the
+// end of the statement collecting names after top-level commas.
+void AppendChainedDeclarators(const Tokens& t, std::size_t i, std::size_t end,
+                              std::vector<std::string>* names) {
+  int depth = 0;
+  for (std::size_t j = i + 1; j < end; ++j) {
+    if (t[j].kind != TokenKind::kPunct) continue;
+    const std::string& p = t[j].text;
+    if (p == "(" || p == "[" || p == "{") {
+      ++depth;
+    } else if (p == ")" || p == "]" || p == "}") {
+      if (depth == 0) break;  // closes the enclosing context (for-init)
+      --depth;
+    } else if (p == ";" && depth == 0) {
+      break;
+    } else if (p == "," && depth == 0) {
+      std::size_t k = j + 1;
+      while (PunctIn(t, k, {"*", "&", "&&"})) ++k;
+      if (IsIdent(t, k)) names->push_back(t[k].text);
     }
   }
-  return lines;
 }
 
-std::string Trim(const std::string& s) {
-  std::size_t b = s.find_first_not_of(" \t\r");
-  if (b == std::string::npos) return "";
-  std::size_t e = s.find_last_not_of(" \t\r");
-  return s.substr(b, e - b + 1);
+// Walks the declaration backwards from the declared name at `i` to the
+// statement start and reports whether the type tokens mention any of the
+// trait keywords. Stops at tokens that end the previous statement or open
+// the current context.
+VarTraits TraitsOfDeclaration(const Tokens& code, std::size_t i) {
+  VarTraits traits;
+  int angle_depth = 0;  // commas inside <...> are template-arg separators
+  for (std::size_t j = i; j-- > 0;) {
+    const Token& tok = code[j];
+    if (tok.kind == TokenKind::kPunct) {
+      if (tok.text == ">") ++angle_depth;
+      if (tok.text == ">>") angle_depth += 2;
+      if (tok.text == "<") --angle_depth;
+      if (tok.text == "<<") angle_depth -= 2;
+      if (tok.text == ";" || tok.text == "{" || tok.text == "}" ||
+          tok.text == "(" || tok.text == "=" ||
+          (tok.text == "," && angle_depth <= 0)) {
+        break;
+      }
+    }
+    if (tok.kind != TokenKind::kIdentifier) continue;
+    if (tok.text == "atomic") traits.is_atomic = true;
+    if (tok.text == "double" || tok.text == "float") traits.is_float = true;
+    if (HasPrefix(tok.text, "unordered_")) traits.is_unordered = true;
+  }
+  return traits;
 }
 
-// ---------------------------------------------------------------------------
+void CollectVarTraits(const Tokens& code,
+                      std::map<std::string, VarTraits>* vars) {
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (!LooksLikeDeclaredName(code, i)) continue;
+    const VarTraits traits = TraitsOfDeclaration(code, i);
+    if (!traits.is_atomic && !traits.is_float && !traits.is_unordered) {
+      continue;
+    }
+    std::vector<std::string> declared = {code[i].text};
+    AppendChainedDeclarators(code, i, code.size(), &declared);
+    for (const std::string& name : declared) {
+      VarTraits& entry = (*vars)[name];
+      entry.is_atomic |= traits.is_atomic;
+      entry.is_float |= traits.is_float;
+      entry.is_unordered |= traits.is_unordered;
+    }
+  }
+}
+
+void CollectSuppressions(const LexResult& lex,
+                         std::map<int, std::vector<Suppression>>* out) {
+  std::set<int> code_lines;
+  for (const Token& tok : lex.tokens) code_lines.insert(tok.line);
+  for (const Comment& comment : lex.comments) {
+    const bool own_line = code_lines.count(comment.line) == 0;
+    std::size_t pos = 0;
+    while ((pos = comment.text.find("NP_LINT(", pos)) != std::string::npos) {
+      std::size_t cursor = pos + 8;
+      const std::size_t close = comment.text.find(')', cursor);
+      if (close == std::string::npos) break;
+      std::string list = comment.text.substr(cursor, close - cursor);
+      std::istringstream items(list);
+      std::string rule;
+      while (std::getline(items, rule, ',')) {
+        const std::size_t b = rule.find_first_not_of(" \t");
+        const std::size_t e = rule.find_last_not_of(" \t");
+        if (b == std::string::npos) continue;
+        rule = rule.substr(b, e - b + 1);
+        if (IsKnownRule(rule)) {
+          (*out)[comment.line].push_back({rule, own_line, false});
+        }
+      }
+      pos = close + 1;
+    }
+  }
+}
+
+FileAnalysis Analyze(const std::string& contents) {
+  FileAnalysis a;
+  a.lex = Lex(contents);
+  for (const Token& tok : a.lex.tokens) {
+    if (!tok.in_preprocessor) a.code.push_back(tok);
+  }
+  CollectVarTraits(a.code, &a.vars);
+  CollectSuppressions(a.lex, &a.suppressions);
+  return a;
+}
+
+// --------------------------------------------------------------------------
 // Rule: include-guard
-// ---------------------------------------------------------------------------
+// --------------------------------------------------------------------------
 
 std::string ExpectedGuard(const std::string& path) {
   std::string guard = "NEUROPRINT_";
@@ -86,24 +289,30 @@ std::string ExpectedGuard(const std::string& path) {
   return guard;
 }
 
-void CheckIncludeGuard(const SourceFile& file, const std::string& sanitized,
+void CheckIncludeGuard(const SourceFile& file, const FileAnalysis& a,
                        std::vector<Finding>* findings) {
   if (!IsHeader(file.path)) return;
   const std::string expected = ExpectedGuard(file.path);
-  for (const Line& line : SplitLines(sanitized)) {
-    const std::string trimmed = Trim(line.text);
-    if (!HasPrefix(trimmed, "#ifndef")) continue;
-    const std::string guard = Trim(trimmed.substr(7));
+  const Tokens& t = a.lex.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!IsPunct(t, i, "#") || !t[i].in_preprocessor) continue;
+    if (!IsIdent(t, i + 1, "ifndef")) continue;
+    if (!IsIdent(t, i + 2)) continue;
+    const std::string guard = t[i + 2].text;
     if (guard != expected) {
-      findings->push_back({file.path, LineOfOffset(sanitized, line.begin),
-                           "include-guard",
+      findings->push_back({file.path, t[i].line, "include-guard",
                            "include guard `" + guard + "` should be `" +
                                expected + "`"});
-    } else if (sanitized.find("#define " + expected) == std::string::npos) {
-      findings->push_back({file.path, LineOfOffset(sanitized, line.begin),
-                           "include-guard",
-                           "missing `#define " + expected + "` after #ifndef"});
+      return;
     }
+    for (std::size_t j = i + 3; j < t.size(); ++j) {
+      if (IsPunct(t, j, "#") && t[j].in_preprocessor &&
+          IsIdent(t, j + 1, "define") && IsIdent(t, j + 2, expected.c_str())) {
+        return;  // guarded correctly
+      }
+    }
+    findings->push_back({file.path, t[i].line, "include-guard",
+                         "missing `#define " + expected + "` after #ifndef"});
     return;  // only the first #ifndef is the guard
   }
   findings->push_back(
@@ -111,365 +320,768 @@ void CheckIncludeGuard(const SourceFile& file, const std::string& sanitized,
        "header has no include guard (expected `" + expected + "`)"});
 }
 
-// ---------------------------------------------------------------------------
-// Banned-call rules (no-rand / no-naked-stdio / no-abort)
-// ---------------------------------------------------------------------------
+// --------------------------------------------------------------------------
+// Banned-call rules (no-rand / no-naked-stdio / no-abort / no-exit /
+// nondet-wallclock). A call is the exact identifier directly followed by
+// `(` and not reached through `.` or `->`; `std::`-qualification matches.
+// Macro bodies are scanned too: the expansion lands in user code.
+// --------------------------------------------------------------------------
 
-// Finds offsets where the exact identifier `name` is invoked as a free (or
-// namespace-qualified) function: not a member access (`x.name`, `p->name`)
-// and directly followed by `(`.
-std::vector<std::size_t> FindCalls(const std::string& text,
-                                   const std::string& name) {
-  std::vector<std::size_t> offsets;
-  std::size_t pos = 0;
-  while ((pos = text.find(name, pos)) != std::string::npos) {
-    const std::size_t end = pos + name.size();
-    const bool own_token =
-        (pos == 0 || !IsIdentChar(text[pos - 1])) &&
-        (end == text.size() || !IsIdentChar(text[end]));
-    const bool member_access =
-        (pos >= 1 && text[pos - 1] == '.') ||
-        (pos >= 2 && text[pos - 2] == '-' && text[pos - 1] == '>');
-    std::size_t after = end;
-    while (after < text.size() &&
-           (text[after] == ' ' || text[after] == '\t')) {
-      ++after;
-    }
-    const bool called = after < text.size() && text[after] == '(';
-    if (own_token && !member_access && called) offsets.push_back(pos);
-    pos = end;
-  }
-  return offsets;
-}
-
-void CheckBannedCall(const SourceFile& file, const std::string& sanitized,
-                     const std::string& name, const std::string& rule,
+void CheckBannedCall(const SourceFile& file, const FileAnalysis& a,
+                     const char* name, const std::string& rule,
                      const std::string& message,
                      std::vector<Finding>* findings) {
-  for (std::size_t offset : FindCalls(sanitized, name)) {
-    findings->push_back(
-        {file.path, LineOfOffset(sanitized, offset), rule, message});
+  const Tokens& t = a.lex.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!IsIdent(t, i, name) || !IsPunct(t, i + 1, "(")) continue;
+    if (i > 0 && (IsPunct(t, i - 1, ".") || IsPunct(t, i - 1, "->"))) {
+      continue;  // member access: some other type's method
+    }
+    findings->push_back({file.path, t[i].line, rule, message});
   }
 }
 
-// ---------------------------------------------------------------------------
+// --------------------------------------------------------------------------
 // Rule: no-throw
-// ---------------------------------------------------------------------------
+// --------------------------------------------------------------------------
 
-// Library code reports failures through Status/Result; a `throw` unwinds
-// straight past the batch failure-policy machinery (and terminates the
-// process under -fno-exceptions builds). The token-boundary check keeps
-// `std::rethrow_exception` (used by the thread pool to forward worker
-// exceptions) and identifiers like `throw_away` from matching.
-void CheckNoThrow(const SourceFile& file, const std::string& sanitized,
+void CheckNoThrow(const SourceFile& file, const FileAnalysis& a,
                   std::vector<Finding>* findings) {
-  std::size_t pos = 0;
-  while ((pos = sanitized.find("throw", pos)) != std::string::npos) {
-    const std::size_t end = pos + 5;
-    const bool own_token =
-        (pos == 0 || !IsIdentChar(sanitized[pos - 1])) &&
-        (end == sanitized.size() || !IsIdentChar(sanitized[end]));
-    if (own_token) {
+  for (const Token& tok : a.lex.tokens) {
+    if (tok.kind == TokenKind::kIdentifier && tok.text == "throw") {
       findings->push_back(
-          {file.path, LineOfOffset(sanitized, pos), "no-throw",
+          {file.path, tok.line, "no-throw",
            "`throw` in library code bypasses Status-based error handling "
            "and the batch FailurePolicy; return a Status instead"});
     }
-    pos = end;
   }
 }
 
-// ---------------------------------------------------------------------------
+// --------------------------------------------------------------------------
 // Rule: dcheck-side-effect
-// ---------------------------------------------------------------------------
+// --------------------------------------------------------------------------
 
-// Textual scan of an NP_DCHECK argument for mutation operators: ++, --,
-// plain assignment, and compound assignment. Comparison operators
-// (== != <= >= <=>) are not flagged. Side effects hidden inside function
-// calls are a documented blind spot.
-bool HasSideEffectToken(const std::string& args) {
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    const char c = args[i];
-    if ((c == '+' || c == '-') && i + 1 < args.size() && args[i + 1] == c) {
-      return true;  // ++ or --
-    }
-    if (c != '=') continue;
-    const char prev = i > 0 ? args[i - 1] : '\0';
-    const char next = i + 1 < args.size() ? args[i + 1] : '\0';
-    if (next == '=') {
-      ++i;  // `==`: skip both
-      continue;
-    }
-    if (prev == '=' || prev == '!' || prev == '<' || prev == '>') {
-      continue;  // second char of == != <= >= (or <=>)
-    }
-    return true;  // plain or compound assignment
-  }
-  return false;
-}
-
-void CheckDcheckSideEffects(const SourceFile& file,
-                            const std::string& sanitized,
+void CheckDcheckSideEffects(const SourceFile& file, const FileAnalysis& a,
                             std::vector<Finding>* findings) {
-  std::size_t pos = 0;
-  while ((pos = sanitized.find("NP_DCHECK", pos)) != std::string::npos) {
-    if (pos > 0 && IsIdentChar(sanitized[pos - 1])) {
-      pos += 9;
-      continue;
-    }
-    std::size_t open = pos + 9;  // after "NP_DCHECK"
-    while (open < sanitized.size() && IsIdentChar(sanitized[open])) {
-      ++open;  // _EQ, _GE, ... suffix
-    }
-    while (open < sanitized.size() &&
-           (sanitized[open] == ' ' || sanitized[open] == '\t')) {
-      ++open;
-    }
-    if (open >= sanitized.size() || sanitized[open] != '(') {
-      pos = open;
-      continue;  // mention without invocation (e.g. a #define)
-    }
-    const std::size_t close = SkipBalancedParens(sanitized, open);
-    if (close == std::string::npos) break;
-    const std::string args =
-        sanitized.substr(open + 1, close - open - 2);
-    if (HasSideEffectToken(args)) {
-      findings->push_back(
-          {file.path, LineOfOffset(sanitized, pos), "dcheck-side-effect",
-           "NP_DCHECK argument appears to have side effects; DCHECKs "
-           "compile out in release builds"});
-    }
-    pos = close;
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: no-using-namespace
-// ---------------------------------------------------------------------------
-
-void CheckUsingNamespace(const SourceFile& file, const std::string& sanitized,
-                         std::vector<Finding>* findings) {
-  if (!IsHeader(file.path)) return;
-  std::size_t pos = 0;
-  while ((pos = sanitized.find("using", pos)) != std::string::npos) {
-    const bool own_token =
-        (pos == 0 || !IsIdentChar(sanitized[pos - 1])) &&
-        (pos + 5 >= sanitized.size() || !IsIdentChar(sanitized[pos + 5]));
-    if (own_token) {
-      std::size_t after = pos + 5;
-      while (after < sanitized.size() &&
-             std::isspace(static_cast<unsigned char>(sanitized[after])) != 0) {
-        ++after;
-      }
-      if (sanitized.compare(after, 9, "namespace") == 0) {
+  const Tokens& t = a.lex.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!IsIdent(t, i) || !HasPrefix(t[i].text, "NP_DCHECK")) continue;
+    if (!IsPunct(t, i + 1, "(")) continue;  // mention without invocation
+    const std::size_t end = SkipBalanced(t, i + 1);
+    if (end == kNpos) break;
+    for (std::size_t j = i + 2; j + 1 < end; ++j) {
+      if (PunctIn(t, j, {"++", "--", "=", "+=", "-=", "*=", "/=", "%=", "&=",
+                         "|=", "^=", "<<=", ">>="})) {
         findings->push_back(
-            {file.path, LineOfOffset(sanitized, pos), "no-using-namespace",
-             "`using namespace` in a public header pollutes every includer"});
-      }
-    }
-    pos += 5;
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: unused-status
-// ---------------------------------------------------------------------------
-
-// Heuristic declaration scan: a line of the form
-//   [static|virtual|inline|friend|[[nodiscard]]]* Status <name>(...
-// declares a Status-returning function called <name>.
-void CollectFromHeader(const std::string& sanitized,
-                       std::set<std::string>* names) {
-  for (const Line& line : SplitLines(sanitized)) {
-    std::string t = Trim(line.text);
-    for (bool stripped = true; stripped;) {
-      stripped = false;
-      for (const char* prefix :
-           {"static ", "virtual ", "inline ", "friend ", "[[nodiscard]] "}) {
-        if (HasPrefix(t, prefix)) {
-          t = Trim(t.substr(std::string(prefix).size()));
-          stripped = true;
-        }
-      }
-    }
-    if (!HasPrefix(t, "Status ")) continue;
-    std::size_t name_begin = 7;
-    std::size_t name_end = name_begin;
-    while (name_end < t.size() && IsIdentChar(t[name_end])) ++name_end;
-    if (name_end == name_begin) continue;
-    if (name_end >= t.size() || t[name_end] != '(') continue;
-    const std::string name = t.substr(name_begin, name_end - name_begin);
-    if (name == "operator") continue;
-    names->insert(name);
-  }
-}
-
-// Flags statement-position calls `Foo(...);` whose result (a Status) is
-// silently dropped. Statement position = the previous non-whitespace
-// character is one of ; { } or the file start, and the call's closing ')'
-// is immediately followed by ';'. Member calls (`obj.Foo();`) and calls
-// split so the name is not at the start of a line are blind spots.
-void CheckUnusedStatus(const SourceFile& file, const std::string& sanitized,
-                       const std::set<std::string>& status_functions,
-                       std::vector<Finding>* findings) {
-  if (status_functions.empty()) return;
-  for (const Line& line : SplitLines(sanitized)) {
-    const std::string t = Trim(line.text);
-    if (t.empty() || t[0] == '#') continue;
-    std::size_t name_end = 0;
-    while (name_end < t.size() && IsIdentChar(t[name_end])) ++name_end;
-    if (name_end == 0 || name_end >= t.size() || t[name_end] != '(') continue;
-    const std::string name = t.substr(0, name_end);
-    if (status_functions.count(name) == 0) continue;
-
-    // Statement position: previous non-whitespace char ends a statement.
-    std::size_t prev = line.begin;
-    char prev_char = '\0';
-    while (prev > 0) {
-      --prev;
-      const char c = sanitized[prev];
-      if (std::isspace(static_cast<unsigned char>(c)) == 0) {
-        prev_char = c;
+            {file.path, t[i].line, "dcheck-side-effect",
+             "NP_DCHECK argument appears to have side effects; DCHECKs "
+             "compile out in release builds"});
         break;
       }
     }
-    if (prev_char != '\0' && prev_char != ';' && prev_char != '{' &&
-        prev_char != '}') {
-      continue;  // continuation of an expression; the value is consumed
-    }
+    i = end - 1;
+  }
+}
 
-    const std::size_t open =
-        line.begin + line.text.find(name) + name.size();
-    const std::size_t close = SkipBalancedParens(sanitized, open);
-    if (close == std::string::npos) continue;
-    std::size_t after = close;
-    while (after < sanitized.size() &&
-           std::isspace(static_cast<unsigned char>(sanitized[after])) != 0) {
-      ++after;
-    }
-    if (after < sanitized.size() && sanitized[after] == ';') {
+// --------------------------------------------------------------------------
+// Rule: no-using-namespace
+// --------------------------------------------------------------------------
+
+void CheckUsingNamespace(const SourceFile& file, const FileAnalysis& a,
+                         std::vector<Finding>* findings) {
+  if (!IsHeader(file.path)) return;
+  const Tokens& t = a.code;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (IsIdent(t, i, "using") && IsIdent(t, i + 1, "namespace")) {
       findings->push_back(
-          {file.path, LineOfOffset(sanitized, line.begin), "unused-status",
-           "result of Status-returning `" + name +
-               "` is ignored; check it or NP_RETURN_IF_ERROR it"});
+          {file.path, t[i].line, "no-using-namespace",
+           "`using namespace` in a public header pollutes every includer"});
     }
   }
 }
 
-// ---------------------------------------------------------------------------
+// --------------------------------------------------------------------------
 // Rule: no-raw-thread
-// ---------------------------------------------------------------------------
+// --------------------------------------------------------------------------
 
-// Raw std::thread (or std::jthread) outside util/thread_pool.* bypasses
-// the deterministic ParallelFor contract and the TSan-covered pool.
-// Token-boundary checks keep `std::this_thread` and `thread_local` from
-// matching.
-void CheckNoRawThread(const SourceFile& file, const std::string& sanitized,
+void CheckNoRawThread(const SourceFile& file, const FileAnalysis& a,
                       std::vector<Finding>* findings) {
   if (HasPrefix(file.path, "util/thread_pool.")) return;
-  for (const char* name : {"std::thread", "std::jthread"}) {
-    const std::string token = name;
-    std::size_t pos = 0;
-    while ((pos = sanitized.find(token, pos)) != std::string::npos) {
-      const std::size_t end = pos + token.size();
-      const bool own_token =
-          (pos == 0 ||
-           (!IsIdentChar(sanitized[pos - 1]) && sanitized[pos - 1] != ':')) &&
-          (end == sanitized.size() || !IsIdentChar(sanitized[end]));
-      if (own_token) {
-        findings->push_back(
-            {file.path, LineOfOffset(sanitized, pos), "no-raw-thread",
-             "`" + token +
-                 "` outside util/thread_pool.* skips the deterministic "
-                 "ParallelFor contract; use util/thread_pool.h"});
-      }
-      pos = end;
+  const Tokens& t = a.lex.tokens;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (IsIdent(t, i, "std") && IsPunct(t, i + 1, "::") &&
+        (IsIdent(t, i + 2, "thread") || IsIdent(t, i + 2, "jthread"))) {
+      findings->push_back(
+          {file.path, t[i].line, "no-raw-thread",
+           "`std::" + t[i + 2].text +
+               "` outside util/thread_pool.* skips the deterministic "
+               "ParallelFor contract; use util/thread_pool.h"});
     }
   }
 }
 
-// ---------------------------------------------------------------------------
-// Rule: no-static-local
-// ---------------------------------------------------------------------------
+// --------------------------------------------------------------------------
+// Rule: nondet-wallclock
+// --------------------------------------------------------------------------
 
-// Whether the token `keyword` appears as its own word in `text`.
-bool HasKeyword(const std::string& text, const std::string& keyword) {
-  std::size_t pos = 0;
-  while ((pos = text.find(keyword, pos)) != std::string::npos) {
-    const std::size_t end = pos + keyword.size();
-    if ((pos == 0 || !IsIdentChar(text[pos - 1])) &&
-        (end == text.size() || !IsIdentChar(text[end]))) {
-      return true;
+// Wall-clock reads make output depend on when the code ran. Timing belongs
+// to the sanctioned observability modules (util/trace, util/metrics,
+// util/stopwatch) and failure schedules (util/fault); everything else in
+// src/ must be a pure function of its inputs and seeds.
+void CheckWallClock(const SourceFile& file, const FileAnalysis& a,
+                    std::vector<Finding>* findings) {
+  for (const char* exempt :
+       {"util/trace", "util/metrics", "util/fault", "util/stopwatch"}) {
+    if (HasPrefix(file.path, exempt)) return;
+  }
+  const Tokens& t = a.code;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (IsIdent(t, i, "std") && IsPunct(t, i + 1, "::") &&
+        IsIdent(t, i + 2, "chrono")) {
+      findings->push_back(
+          {file.path, t[i].line, "nondet-wallclock",
+           "`std::chrono` outside util/{trace,metrics,fault,stopwatch} makes "
+           "output depend on wall-clock time; use util/stopwatch.h for "
+           "timing or trace spans for observability"});
     }
-    pos = end;
+  }
+  for (const char* fn : {"time", "gettimeofday", "clock_gettime", "clock",
+                         "localtime", "gmtime", "mktime"}) {
+    const Tokens& all = a.lex.tokens;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      if (!IsIdent(all, i, fn) || !IsPunct(all, i + 1, "(")) continue;
+      if (i > 0 && (IsPunct(all, i - 1, ".") || IsPunct(all, i - 1, "->"))) {
+        continue;  // member access: some other type's method
+      }
+      if (i > 0 && all[i - 1].kind == TokenKind::kIdentifier &&
+          !IsNonTypeKeyword(all[i - 1].text)) {
+        continue;  // declaration like `time_t time(...)` (but `return
+                   // time(nullptr)` is still a call)
+      }
+      findings->push_back(
+          {file.path, all[i].line, "nondet-wallclock",
+           std::string("`") + fn +
+               "` reads the wall clock; outputs must be a function of "
+               "inputs and seeds only (see util/stopwatch.h for timing)"});
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Rule: nondet-unordered-iter
+// --------------------------------------------------------------------------
+
+// Range-for over an unordered container visits elements in an
+// implementation-defined order; anything accumulated or appended in the
+// loop inherits that order. Iterator-based loops (`it = m.begin()`) are a
+// documented blind spot.
+void CheckUnorderedIteration(const SourceFile& file, const FileAnalysis& a,
+                             std::vector<Finding>* findings) {
+  const Tokens& t = a.code;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!IsIdent(t, i, "for") || !IsPunct(t, i + 1, "(")) continue;
+    const std::size_t end = SkipBalanced(t, i + 1);
+    if (end == kNpos) break;
+    // Find the range-for `:` at top level of the parens.
+    std::size_t colon = kNpos;
+    int depth = 0;
+    for (std::size_t j = i + 1; j + 1 < end; ++j) {
+      if (t[j].kind != TokenKind::kPunct) continue;
+      if (t[j].text == "(" || t[j].text == "[" || t[j].text == "{") ++depth;
+      if (t[j].text == ")" || t[j].text == "]" || t[j].text == "}") --depth;
+      if (t[j].text == ":" && depth == 1) {
+        colon = j;
+        break;
+      }
+    }
+    if (colon == kNpos) continue;
+    for (std::size_t j = colon + 1; j + 1 < end; ++j) {
+      if (!IsIdent(t, j)) continue;
+      const auto traits = a.vars.find(t[j].text);
+      const bool unordered_type = HasPrefix(t[j].text, "unordered_");
+      const bool unordered_var =
+          traits != a.vars.end() && traits->second.is_unordered;
+      if (unordered_type || unordered_var) {
+        findings->push_back(
+            {file.path, t[i].line, "nondet-unordered-iter",
+             "range-for over an unordered container has "
+             "implementation-defined order; iterate a sorted view (std::map "
+             "or sorted keys) before feeding output buffers"});
+        break;
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Statement walker: no-static-local, status-flow family, and the
+// ParallelFor lambda rules share one pass over the code tokens.
+// --------------------------------------------------------------------------
+
+struct BraceScope {
+  int paren_depth = 0;      // () [] depth at the opening {
+  bool is_function = false; // function/lambda body vs type/namespace scope
+};
+
+// Chain parse for a dropped-call statement: [::] ident ((::|.|->) ident)*
+// with optional (args) after each segment and optional <T> before a call.
+// Returns the called name when the whole statement is one call expression,
+// or "" otherwise. `end` is the index of the terminating `;`.
+std::string DroppedCallName(const Tokens& t, std::size_t begin,
+                            std::size_t end) {
+  std::size_t i = begin;
+  // Skip control-flow headers: `if (cond) DropStatus();` is still a drop.
+  while (i < end) {
+    if (IsIdent(t, i, "else") || IsIdent(t, i, "do") ||
+        IsIdent(t, i, "constexpr")) {
+      ++i;
+      continue;
+    }
+    if ((IsIdent(t, i, "if") || IsIdent(t, i, "while") ||
+         IsIdent(t, i, "for")) &&
+        IsPunct(t, i + 1, "(")) {
+      const std::size_t after = SkipBalanced(t, i + 1);
+      if (after == kNpos || after >= end) return "";
+      i = after;
+      continue;
+    }
+    break;
+  }
+  if (IsPunct(t, i, "::")) ++i;
+  std::string last_name;
+  bool last_called = false;
+  while (i < end) {
+    if (!IsIdent(t, i)) return "";
+    last_name = t[i].text;
+    last_called = false;
+    ++i;
+    if (IsPunct(t, i, "<")) {
+      const std::size_t after = SkipAngles(t, i);
+      if (after != kNpos && after < end && IsPunct(t, after, "(")) i = after;
+    }
+    if (IsPunct(t, i, "(")) {
+      const std::size_t after = SkipBalanced(t, i);
+      if (after == kNpos || after > end) return "";
+      i = after;
+      last_called = true;
+    }
+    if (PunctIn(t, i, {"::", ".", "->"})) {
+      ++i;
+      continue;
+    }
+    break;
+  }
+  if (i != end || !last_called) return "";
+  return last_name;
+}
+
+// For `Status name = ...;` at statement start, returns the declared name
+// (or "" when the statement is not such a declaration). `begin`/`end`
+// bracket the statement, end at the `;`.
+std::string DeclaredStatusName(const Tokens& t, std::size_t begin,
+                               std::size_t end) {
+  std::size_t i = begin;
+  if (IsIdent(t, i, "const")) ++i;
+  if (IsPunct(t, i, "::")) ++i;
+  if (IsIdent(t, i, "neuroprint") && IsPunct(t, i + 1, "::")) i += 2;
+  if (!IsIdent(t, i, "Status")) return "";
+  ++i;
+  if (!IsIdent(t, i) || i >= end) return "";
+  const std::string name = t[i].text;
+  ++i;
+  if (i < end && !PunctIn(t, i, {"=", "(", "{"})) return "";
+  return name;
+}
+
+// Scans forward from `from` and returns the token index where the
+// enclosing brace scope closes (depth would go negative), or t.size().
+std::size_t ScopeEnd(const Tokens& t, std::size_t from) {
+  int depth = 0;
+  for (std::size_t i = from; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kPunct) continue;
+    if (t[i].text == "{") ++depth;
+    if (t[i].text == "}") {
+      --depth;
+      if (depth < 0) return i;
+    }
+  }
+  return t.size();
+}
+
+bool NameUsedIn(const Tokens& t, std::size_t begin, std::size_t end,
+                const std::string& name) {
+  for (std::size_t i = begin; i < end; ++i) {
+    if (t[i].kind == TokenKind::kIdentifier && t[i].text == name) return true;
   }
   return false;
 }
 
-// Function-local `static` data is shared mutable state — the classic data
-// race under the new thread pool — so it is banned outside util/ (which
-// owns the deliberately-shared singletons). Immutable locals (`static
-// const/constexpr/constinit`) and per-thread state (`static thread_local`)
-// are allowed.
-//
-// The scan tracks a brace-kind stack: a `{` opens a function-ish scope
-// unless the statement introducing it mentions namespace / class / struct
-// / union / enum / extern. `static` data members therefore do not trigger
-// the rule; `static` declared in template functions whose introducer
-// carries `template <class T>` is a documented blind spot.
-void CheckStaticLocals(const SourceFile& file, const std::string& sanitized,
-                       std::vector<Finding>* findings) {
-  if (HasPrefix(file.path, "util/")) return;
-  std::vector<bool> brace_is_function;
-  std::size_t function_depth = 0;
-  std::size_t stmt_start = 0;
-  for (std::size_t i = 0; i < sanitized.size(); ++i) {
-    const char c = sanitized[i];
-    if (c == ';') {
-      stmt_start = i + 1;
-    } else if (c == '{') {
-      const std::string intro = sanitized.substr(stmt_start, i - stmt_start);
-      bool is_type_scope = false;
-      for (const char* kw :
-           {"namespace", "class", "struct", "union", "enum", "extern"}) {
-        if (HasKeyword(intro, kw)) {
-          is_type_scope = true;
-          break;
+// ---- ParallelFor lambda analysis ----
+
+struct LambdaInfo {
+  bool ref_default = false;
+  std::vector<std::string> ref_captures;
+  std::vector<std::string> value_captures;
+  std::vector<std::string> params;
+  std::size_t body_begin = kNpos;  // token after the body {
+  std::size_t body_end = kNpos;    // index of the body }
+};
+
+// Parses the lambda whose capture list opens at t[open] == "[". Returns
+// false when the construct is not a lambda with a brace body.
+bool ParseLambda(const Tokens& t, std::size_t open, LambdaInfo* info) {
+  const std::size_t close = SkipBalanced(t, open);
+  if (close == kNpos) return false;
+  // Capture entries live in [open+1, close-1); split on top-level commas
+  // (init-captures like `&acc = partials[i]` can nest brackets).
+  const std::size_t rbracket = close - 1;
+  std::size_t entry = open + 1;
+  int depth = 0;
+  for (std::size_t i = open + 1; i <= rbracket; ++i) {
+    if (t[i].kind == TokenKind::kPunct) {
+      const std::string& p = t[i].text;
+      if (p == "(" || p == "[" || p == "{") ++depth;
+      if (p == ")" || p == "]" || p == "}") --depth;
+    }
+    const bool boundary = i == rbracket || (IsPunct(t, i, ",") && depth == 0);
+    if (!boundary) continue;
+    if (entry < i) {
+      if (IsPunct(t, entry, "&") && IsIdent(t, entry + 1) && entry + 1 < i) {
+        info->ref_captures.push_back(t[entry + 1].text);
+      } else if (IsPunct(t, entry, "&")) {
+        info->ref_default = true;
+      } else if (IsIdent(t, entry) && t[entry].text != "this") {
+        info->value_captures.push_back(t[entry].text);
+      }
+    }
+    entry = i + 1;
+  }
+  std::size_t i = close;
+  if (IsPunct(t, i, "(")) {
+    const std::size_t params_end = SkipBalanced(t, i);
+    if (params_end == kNpos) return false;
+    // A parameter name is the identifier directly before a top-level `,`
+    // or the closing `)`.
+    int depth = 0;
+    for (std::size_t j = i; j < params_end; ++j) {
+      if (t[j].kind != TokenKind::kPunct) continue;
+      if (t[j].text == "(" || t[j].text == "<" || t[j].text == "[") ++depth;
+      if (t[j].text == ")" || t[j].text == ">" || t[j].text == "]") --depth;
+      const bool boundary = (t[j].text == "," && depth == 1) ||
+                            (t[j].text == ")" && depth == 0);
+      if (boundary && j > i && IsIdent(t, j - 1)) {
+        info->params.push_back(t[j - 1].text);
+      }
+    }
+    i = params_end;
+  }
+  while (i < t.size() && !IsPunct(t, i, "{")) {
+    if (PunctIn(t, i, {";", ")", ","})) return false;  // not a lambda body
+    ++i;
+  }
+  if (i >= t.size()) return false;
+  const std::size_t body_close = SkipBalanced(t, i);
+  if (body_close == kNpos) return false;
+  info->body_begin = i + 1;
+  info->body_end = body_close - 1;
+  return true;
+}
+
+// Names declared anywhere inside [begin, end): lambda-local state. The scan
+// ignores declaration order and nesting, which errs toward fewer findings
+// (a name declared in a nested block masks outer mutations of the same
+// name — an accepted blind spot).
+std::vector<std::string> CollectLocalNames(const Tokens& t, std::size_t begin,
+                                           std::size_t end) {
+  std::vector<std::string> names;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (!LooksLikeDeclaredName(t, i)) continue;
+    names.push_back(t[i].text);
+    AppendChainedDeclarators(t, i, end, &names);
+  }
+  return names;
+}
+
+bool Contains(const std::vector<std::string>& names, const std::string& n) {
+  return std::find(names.begin(), names.end(), n) != names.end();
+}
+
+// Mutating container/string members. Calling one of these on a captured
+// reference from inside a parallel lambda is a data race unless the access
+// is per-index (subscripted).
+bool IsMutatingMember(const std::string& name) {
+  for (const char* m : {"push_back", "emplace_back", "pop_back", "insert",
+                        "emplace", "emplace_hint", "erase", "clear", "resize",
+                        "reserve", "assign", "append", "swap"}) {
+    if (name == m) return true;
+  }
+  return false;
+}
+
+// Walks a member chain backwards from the token before `i` (which is a `.`
+// or `->`). Returns the root identifier index, or kNpos when the chain
+// goes through a subscript (per-index access) or a call result.
+std::size_t ChainRoot(const Tokens& t, std::size_t i) {
+  std::size_t j = i;  // t[j] is the ident whose prev is . or ->
+  while (j >= 2 && (IsPunct(t, j - 1, ".") || IsPunct(t, j - 1, "->"))) {
+    const std::size_t before = j - 2;
+    if (IsPunct(t, before, "]") || IsPunct(t, before, ")")) {
+      return kNpos;  // per-index access or method-chain result: exempt
+    }
+    if (!IsIdent(t, before)) return kNpos;
+    j = before;
+  }
+  return j;
+}
+
+struct MutationSite {
+  std::size_t root;  // token index of the root identifier
+  int line;
+  bool is_accumulation;  // += or -= directly on the root identifier
+};
+
+// Collects candidate mutations of non-local names inside a lambda body.
+void CollectMutations(const Tokens& t, const LambdaInfo& lambda,
+                      std::vector<MutationSite>* sites) {
+  for (std::size_t i = lambda.body_begin; i < lambda.body_end; ++i) {
+    // Prefix increment/decrement: ++x / --x.
+    if (PunctIn(t, i, {"++", "--"}) && IsIdent(t, i + 1) &&
+        !PunctIn(t, i + 2, {".", "->"})) {
+      sites->push_back({i + 1, t[i].line, false});
+      continue;
+    }
+    if (!IsIdent(t, i)) continue;
+    // Direct mutation: x = / x += / x++ ... (subscripted writes like
+    // out[i] = v leave `]` before the operator and never match here).
+    if (PunctIn(t, i + 1, {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+                           "^=", "<<=", ">>=", "++", "--"})) {
+      if (LooksLikeDeclaredName(t, i)) continue;  // declaration with init
+      std::size_t root = i;
+      if (i >= 2 && (IsPunct(t, i - 1, ".") || IsPunct(t, i - 1, "->"))) {
+        root = ChainRoot(t, i);
+        if (root == kNpos) continue;  // reached through [] or a call
+      }
+      const bool accum = IsPunct(t, i + 1, "+=") || IsPunct(t, i + 1, "-=");
+      sites->push_back({root, t[i].line, accum});
+      continue;
+    }
+    // Mutating member call: x.push_back(...), x->insert(...).
+    if (IsPunct(t, i + 1, "(") && IsMutatingMember(t[i].text) && i >= 2 &&
+        (IsPunct(t, i - 1, ".") || IsPunct(t, i - 1, "->"))) {
+      const std::size_t root = ChainRoot(t, i);
+      if (root == kNpos) continue;
+      sites->push_back({root, t[i].line, false});
+    }
+  }
+}
+
+constexpr const char* kParallelEntryPoints[] = {
+    "ParallelFor", "ParallelForStatus", "ParallelForStatusCollect",
+    "ParallelReduce", "PooledParallelFor"};
+
+// Runs the parallel-race and nondet-float-accum rules over every lambda
+// passed to a ParallelFor-family entry point.
+void CheckParallelLambdas(const SourceFile& file, const FileAnalysis& a,
+                          std::vector<Finding>* findings) {
+  const bool util_internal = HasPrefix(file.path, "util/");
+  const bool canonical_kernels = HasPrefix(file.path, "linalg/");
+  if (util_internal) return;  // the pool and its tests own their internals
+  const Tokens& t = a.code;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    bool is_entry = false;
+    for (const char* entry : kParallelEntryPoints) {
+      if (IsIdent(t, i, entry)) {
+        is_entry = true;
+        break;
+      }
+    }
+    if (!is_entry || !IsPunct(t, i + 1, "(")) continue;
+    const std::size_t args_end = SkipBalanced(t, i + 1);
+    if (args_end == kNpos) break;
+    for (std::size_t j = i + 2; j + 1 < args_end; ++j) {
+      if (!IsPunct(t, j, "[")) continue;
+      if (!(IsPunct(t, j - 1, "(") || IsPunct(t, j - 1, ","))) continue;
+      LambdaInfo lambda;
+      if (!ParseLambda(t, j, &lambda)) continue;
+      if (lambda.body_end > args_end) continue;
+      std::vector<std::string> locals =
+          CollectLocalNames(t, lambda.body_begin, lambda.body_end);
+      for (const std::string& p : lambda.params) locals.push_back(p);
+      std::vector<MutationSite> sites;
+      CollectMutations(t, lambda, &sites);
+      for (const MutationSite& site : sites) {
+        const std::string& name = t[site.root].text;
+        if (Contains(locals, name)) continue;
+        const bool by_ref =
+            Contains(lambda.ref_captures, name) ||
+            (lambda.ref_default && !Contains(lambda.value_captures, name));
+        if (!by_ref) continue;
+        const auto traits = a.vars.find(name);
+        const bool is_atomic =
+            traits != a.vars.end() && traits->second.is_atomic;
+        const bool is_float =
+            traits != a.vars.end() && traits->second.is_float;
+        if (!is_atomic) {
+          findings->push_back(
+              {file.path, site.line, "parallel-race",
+               "`" + name +
+                   "` is captured by reference and mutated inside a "
+                   "ParallelFor-family lambda; chunks run concurrently, so "
+                   "write per-index (out[i] = ...), reduce via "
+                   "ParallelReduce, or use an atomic"});
+        }
+        if (site.is_accumulation && is_float && !canonical_kernels) {
+          findings->push_back(
+              {file.path, site.line, "nondet-float-accum",
+               "float accumulation into `" + name +
+                   "` inside a parallel lambda is order-dependent and "
+                   "breaks bitwise determinism (even with atomics); return "
+                   "per-chunk partials via ParallelReduce or use the "
+                   "canonical linalg/ kernels"});
         }
       }
-      brace_is_function.push_back(!is_type_scope);
-      if (!is_type_scope) ++function_depth;
+      j = lambda.body_end;
+    }
+    i = args_end - 1;
+  }
+}
+
+// ---- The shared statement walk ----
+
+void WalkStatements(const SourceFile& file, const FileAnalysis& a,
+                    const DeclIndex& index, std::vector<Finding>* findings) {
+  const bool util_internal = HasPrefix(file.path, "util/");
+  const Tokens& t = a.code;
+  std::vector<BraceScope> braces;
+  int function_depth = 0;
+  int paren_depth = 0;
+  std::size_t stmt_start = 0;
+  auto base_depth = [&]() { return braces.empty() ? 0 : braces.back().paren_depth; };
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kPunct) continue;
+    const std::string& p = t[i].text;
+    if (p == "(" || p == "[") {
+      ++paren_depth;
+      continue;
+    }
+    if (p == ")" || p == "]") {
+      if (paren_depth > 0) --paren_depth;
+      continue;
+    }
+    const bool at_stmt_level = paren_depth == base_depth();
+    if (p == "{") {
+      BraceScope scope;
+      scope.paren_depth = paren_depth;
+      if (at_stmt_level) {
+        // The statement introducing this brace tells us the scope kind.
+        bool type_scope = false;
+        for (std::size_t j = stmt_start; j < i; ++j) {
+          if (t[j].kind != TokenKind::kIdentifier) continue;
+          for (const char* kw :
+               {"namespace", "class", "struct", "union", "enum", "extern"}) {
+            if (t[j].text == kw) type_scope = true;
+          }
+        }
+        scope.is_function = !type_scope;
+      } else {
+        // Brace inside an expression: a lambda body when it follows a
+        // parameter list / capture list, otherwise an initializer list.
+        scope.is_function =
+            i > 0 && (IsPunct(t, i - 1, ")") || IsPunct(t, i - 1, "]") ||
+                      IsIdent(t, i - 1, "mutable"));
+      }
+      if (scope.is_function) ++function_depth;
+      braces.push_back(scope);
       stmt_start = i + 1;
-    } else if (c == '}') {
-      if (!brace_is_function.empty()) {
-        if (brace_is_function.back()) --function_depth;
-        brace_is_function.pop_back();
+      continue;
+    }
+    if (p == "}") {
+      if (!braces.empty()) {
+        if (braces.back().is_function) --function_depth;
+        braces.pop_back();
       }
       stmt_start = i + 1;
-    } else if (c == 's' && function_depth > 0 &&
-               sanitized.compare(i, 6, "static") == 0) {
-      const bool own_token =
-          (i == 0 || !IsIdentChar(sanitized[i - 1])) &&
-          (i + 6 == sanitized.size() || !IsIdentChar(sanitized[i + 6]));
-      if (!own_token) continue;  // static_cast, static_assert, my_static...
-      std::size_t after = i + 6;
-      while (after < sanitized.size() &&
-             std::isspace(static_cast<unsigned char>(sanitized[after])) != 0) {
-        ++after;
+      continue;
+    }
+    if (p == ";" && at_stmt_level) {
+      // --- status-flow rules on the statement [stmt_start, i) ---
+      if (function_depth > 0 && i > stmt_start) {
+        const std::string dropped = DroppedCallName(t, stmt_start, i);
+        if (!dropped.empty()) {
+          if (index.status_functions.count(dropped) != 0) {
+            findings->push_back(
+                {file.path, t[stmt_start].line, "unused-status",
+                 "result of Status-returning `" + dropped +
+                     "` is ignored; check it or NP_RETURN_IF_ERROR it"});
+          } else if (index.result_functions.count(dropped) != 0) {
+            findings->push_back(
+                {file.path, t[stmt_start].line, "unused-result",
+                 "`" + dropped +
+                     "` returns Result<T>; dropping it discards both the "
+                     "value and the error"});
+          }
+        }
+        const std::string status_var = DeclaredStatusName(t, stmt_start, i);
+        if (!status_var.empty()) {
+          const std::size_t scope_end = ScopeEnd(t, i + 1);
+          if (!NameUsedIn(t, i + 1, scope_end, status_var)) {
+            findings->push_back(
+                {file.path, t[stmt_start].line, "status-never-checked",
+                 "`Status " + status_var +
+                     " = ...` is never consumed afterwards; check it, "
+                     "return it, or drop the variable"});
+          }
+        }
       }
-      std::size_t word_end = after;
-      while (word_end < sanitized.size() && IsIdentChar(sanitized[word_end])) {
-        ++word_end;
+      // --- no-static-local ---
+      stmt_start = i + 1;
+      continue;
+    }
+  }
+
+  // no-static-local: a second, simpler pass using the same scope logic
+  // would duplicate the walk; instead detect `static` inline here.
+  if (!util_internal) {
+    braces.clear();
+    function_depth = 0;
+    paren_depth = 0;
+    stmt_start = 0;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind == TokenKind::kIdentifier && t[i].text == "static" &&
+          function_depth > 0) {
+        if (!(IsIdent(t, i + 1, "const") || IsIdent(t, i + 1, "constexpr") ||
+              IsIdent(t, i + 1, "constinit") ||
+              IsIdent(t, i + 1, "thread_local"))) {
+          findings->push_back(
+              {file.path, t[i].line, "no-static-local",
+               "`static` mutable local is shared state and a data race "
+               "under ParallelFor; pass state explicitly or move it to "
+               "util/"});
+        }
+        continue;
       }
-      const std::string next = sanitized.substr(after, word_end - after);
-      if (next != "const" && next != "constexpr" && next != "constinit" &&
-          next != "thread_local") {
-        findings->push_back(
-            {file.path, LineOfOffset(sanitized, i), "no-static-local",
-             "`static` mutable local is shared state and a data race under "
-             "ParallelFor; pass state explicitly or move it to util/"});
+      if (t[i].kind != TokenKind::kPunct) continue;
+      const std::string& p = t[i].text;
+      if (p == "(" || p == "[") {
+        ++paren_depth;
+      } else if (p == ")" || p == "]") {
+        if (paren_depth > 0) --paren_depth;
+      } else if (p == "{") {
+        BraceScope scope;
+        scope.paren_depth = paren_depth;
+        const bool at_stmt_level =
+            paren_depth == (braces.empty() ? 0 : braces.back().paren_depth);
+        if (at_stmt_level) {
+          bool type_scope = false;
+          for (std::size_t j = stmt_start; j < i; ++j) {
+            if (t[j].kind != TokenKind::kIdentifier) continue;
+            for (const char* kw :
+                 {"namespace", "class", "struct", "union", "enum", "extern"}) {
+              if (t[j].text == kw) type_scope = true;
+            }
+          }
+          scope.is_function = !type_scope;
+        } else {
+          scope.is_function =
+              i > 0 && (IsPunct(t, i - 1, ")") || IsPunct(t, i - 1, "]") ||
+                        IsIdent(t, i - 1, "mutable"));
+        }
+        if (scope.is_function) ++function_depth;
+        braces.push_back(scope);
+        stmt_start = i + 1;
+      } else if (p == "}") {
+        if (!braces.empty()) {
+          if (braces.back().is_function) --function_depth;
+          braces.pop_back();
+        }
+        stmt_start = i + 1;
+      } else if (p == ";" &&
+                 paren_depth ==
+                     (braces.empty() ? 0 : braces.back().paren_depth)) {
+        stmt_start = i + 1;
       }
-      i += 5;
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Suppressions
+// --------------------------------------------------------------------------
+
+void ApplySuppressions(FileAnalysis* a, const std::string& path,
+                       std::vector<Finding>* findings) {
+  std::vector<Finding> kept;
+  for (Finding& finding : *findings) {
+    bool suppressed = false;
+    // A suppression on the finding's line (trailing comment) or a
+    // comment-only line directly above it silences it. A trailing comment
+    // never leaks onto the next line.
+    for (int line : {finding.line, finding.line - 1}) {
+      auto it = a->suppressions.find(line);
+      if (it == a->suppressions.end()) continue;
+      for (Suppression& s : it->second) {
+        if (s.rule != finding.rule) continue;
+        if (line != finding.line && !s.own_line) continue;
+        s.used = true;
+        suppressed = true;
+      }
+    }
+    if (!suppressed) kept.push_back(std::move(finding));
+  }
+  for (const auto& [line, entries] : a->suppressions) {
+    for (const Suppression& s : entries) {
+      if (!s.used) {
+        kept.push_back({path, line, "unused-suppression",
+                        "NP_LINT(" + s.rule +
+                            ") suppressed nothing; remove the stale "
+                            "suppression"});
+      }
+    }
+  }
+  *findings = std::move(kept);
+}
+
+// --------------------------------------------------------------------------
+// Declaration index
+// --------------------------------------------------------------------------
+
+void IndexFile(const SourceFile& file, DeclIndex* index) {
+  const LexResult lex = Lex(file.contents);
+  Tokens code;
+  for (const Token& tok : lex.tokens) {
+    if (!tok.in_preprocessor) code.push_back(tok);
+  }
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    bool is_status = false;
+    std::size_t j = kNpos;
+    if (IsIdent(code, i, "Status")) {
+      is_status = true;
+      j = i + 1;
+    } else if (IsIdent(code, i, "Result") && IsPunct(code, i + 1, "<")) {
+      j = SkipAngles(code, i + 1);
+      if (j == kNpos) continue;
+    } else {
+      continue;
+    }
+    // Qualified declarator: Name or Class::Name or ns::Class::Name.
+    std::string name;
+    while (IsIdent(code, j)) {
+      name = code[j].text;
+      if (IsPunct(code, j + 1, "::")) {
+        j += 2;
+        continue;
+      }
+      j += 1;
+      break;
+    }
+    if (name.empty() || name == "operator" || !IsPunct(code, j, "(")) {
+      continue;
+    }
+    if (is_status) {
+      index->status_functions.insert(name);
+    } else {
+      index->result_functions.insert(name);
     }
   }
 }
@@ -484,83 +1096,48 @@ std::string Finding::ToString() const {
 
 std::string StripCommentsAndStrings(const std::string& contents) {
   std::string out = contents;
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
-  State state = State::kCode;
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const char c = out[i];
-    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          out[i] = ' ';
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          out[i] = ' ';
-        } else if (c == '"') {
-          state = State::kString;
-        } else if (c == '\'') {
-          state = State::kChar;
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kString:
-      case State::kChar: {
-        const char terminator = state == State::kString ? '"' : '\'';
-        if (c == '\\') {
-          out[i] = ' ';
-          if (i + 1 < out.size() && out[i + 1] != '\n') out[i + 1] = ' ';
-          ++i;
-        } else if (c == terminator) {
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      }
+  const LexResult lex = Lex(contents);
+  auto blank = [&out](std::size_t begin, std::size_t length) {
+    const std::size_t end = std::min(begin + length, out.size());
+    for (std::size_t i = begin; i < end; ++i) {
+      if (out[i] != '\n') out[i] = ' ';
+    }
+  };
+  for (const Comment& comment : lex.comments) {
+    blank(comment.offset, comment.length);
+  }
+  for (const Token& tok : lex.tokens) {
+    if (tok.kind == TokenKind::kString || tok.kind == TokenKind::kChar) {
+      blank(tok.offset, tok.text.size());
     }
   }
   return out;
 }
 
-std::set<std::string> CollectStatusFunctions(
-    const std::vector<SourceFile>& headers) {
-  std::set<std::string> names;
-  for (const SourceFile& header : headers) {
-    if (!IsHeader(header.path)) continue;
-    CollectFromHeader(StripCommentsAndStrings(header.contents), &names);
+DeclIndex BuildDeclIndex(const std::vector<SourceFile>& files) {
+  DeclIndex index;
+  for (const SourceFile& file : files) {
+    IndexFile(file, &index);
   }
-  return names;
+  return index;
 }
 
-std::vector<Finding> LintFile(const SourceFile& file,
-                              const std::set<std::string>& status_functions) {
-  std::vector<Finding> findings;
-  const std::string sanitized = StripCommentsAndStrings(file.contents);
+std::set<std::string> CollectStatusFunctions(
+    const std::vector<SourceFile>& headers) {
+  return BuildDeclIndex(headers).status_functions;
+}
 
-  CheckIncludeGuard(file, sanitized, &findings);
-  CheckUsingNamespace(file, sanitized, &findings);
-  CheckDcheckSideEffects(file, sanitized, &findings);
+std::vector<Finding> LintFile(const SourceFile& file, const DeclIndex& index) {
+  std::vector<Finding> findings;
+  FileAnalysis a = Analyze(file.contents);
+
+  CheckIncludeGuard(file, a, &findings);
+  CheckUsingNamespace(file, a, &findings);
+  CheckDcheckSideEffects(file, a, &findings);
 
   if (!HasPrefix(file.path, "util/random.")) {
     for (const char* fn : {"rand", "srand"}) {
-      CheckBannedCall(file, sanitized, fn, "no-rand",
+      CheckBannedCall(file, a, fn, "no-rand",
                       std::string("`") + fn +
                           "` breaks seed reproducibility; use "
                           "neuroprint::Rng (util/random.h)",
@@ -570,7 +1147,7 @@ std::vector<Finding> LintFile(const SourceFile& file,
   if (file.path != "util/logging.h" && file.path != "util/logging.cc" &&
       file.path != "util/check.h") {
     for (const char* fn : {"printf", "fprintf"}) {
-      CheckBannedCall(file, sanitized, fn, "no-naked-stdio",
+      CheckBannedCall(file, a, fn, "no-naked-stdio",
                       std::string("`") + fn +
                           "` bypasses leveled logging; use NP_LOG "
                           "(util/logging.h)",
@@ -578,40 +1155,49 @@ std::vector<Finding> LintFile(const SourceFile& file,
     }
   }
   if (file.path != "util/check.h") {
-    CheckBannedCall(file, sanitized, "abort", "no-abort",
+    CheckBannedCall(file, a, "abort", "no-abort",
                     "`abort` outside util/check.h loses the diagnostic "
                     "message; use NP_CHECK or Status",
                     &findings);
     for (const char* fn : {"exit", "_Exit", "quick_exit", "_exit"}) {
-      CheckBannedCall(file, sanitized, fn, "no-exit",
+      CheckBannedCall(file, a, fn, "no-exit",
                       std::string("`") + fn +
                           "` terminates the process from library code, "
                           "skipping destructors and batch failure policies; "
                           "return Status instead",
                       &findings);
     }
-    CheckNoThrow(file, sanitized, &findings);
+    CheckNoThrow(file, a, &findings);
   }
 
-  CheckNoRawThread(file, sanitized, &findings);
-  CheckStaticLocals(file, sanitized, &findings);
+  CheckNoRawThread(file, a, &findings);
+  CheckWallClock(file, a, &findings);
+  CheckUnorderedIteration(file, a, &findings);
+  CheckParallelLambdas(file, a, &findings);
+  WalkStatements(file, a, index, &findings);
 
-  CheckUnusedStatus(file, sanitized, status_functions, &findings);
+  ApplySuppressions(&a, file.path, &findings);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& x, const Finding& y) {
+              if (x.line != y.line) return x.line < y.line;
+              return x.rule < y.rule;
+            });
   return findings;
 }
 
 std::vector<Finding> LintFiles(const std::vector<SourceFile>& files) {
-  const std::set<std::string> status_functions = CollectStatusFunctions(files);
+  const DeclIndex index = BuildDeclIndex(files);
   std::vector<Finding> findings;
   for (const SourceFile& file : files) {
-    std::vector<Finding> file_findings = LintFile(file, status_functions);
+    std::vector<Finding> file_findings = LintFile(file, index);
     findings.insert(findings.end(), file_findings.begin(),
                     file_findings.end());
   }
   return findings;
 }
 
-std::vector<Finding> LintTree(const std::string& root) {
+std::vector<Finding> LintTreeRelative(const std::string& root,
+                                      const std::string& base) {
   namespace fs = std::filesystem;
   std::vector<SourceFile> files;
   std::vector<Finding> findings;
@@ -636,7 +1222,7 @@ std::vector<Finding> LintTree(const std::string& root) {
       continue;
     }
     files.push_back(
-        {fs::path(path).lexically_relative(root).generic_string(),
+        {fs::path(path).lexically_relative(base).generic_string(),
          buffer.str()});
   }
   std::vector<Finding> lint_findings = LintFiles(files);
@@ -647,6 +1233,83 @@ std::vector<Finding> LintTree(const std::string& root) {
               return a.line < b.line;
             });
   return findings;
+}
+
+std::vector<Finding> LintTree(const std::string& root) {
+  return LintTreeRelative(root, root);
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JoinPath(const std::string& prefix, const std::string& file) {
+  if (prefix.empty() || prefix == ".") return file;
+  if (HasSuffix(prefix, "/")) return prefix + file;
+  return prefix + "/" + file;
+}
+
+}  // namespace
+
+std::string FormatFindings(const std::vector<Finding>& findings,
+                           const std::string& format,
+                           const std::string& path_prefix) {
+  std::ostringstream os;
+  if (format == "json") {
+    os << "[";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+      const Finding& f = findings[i];
+      os << (i == 0 ? "\n" : ",\n");
+      os << "  {\"file\": \"" << JsonEscape(JoinPath(path_prefix, f.file))
+         << "\", \"line\": " << f.line << ", \"rule\": \""
+         << JsonEscape(f.rule) << "\", \"message\": \""
+         << JsonEscape(f.message) << "\"}";
+    }
+    os << (findings.empty() ? "]\n" : "\n]\n");
+    return os.str();
+  }
+  if (format == "github") {
+    // GitHub workflow-command annotations: rendered inline on the PR diff.
+    for (const Finding& f : findings) {
+      os << "::error file=" << JoinPath(path_prefix, f.file)
+         << ",line=" << f.line << ",title=" << f.rule << "::" << f.message
+         << "\n";
+    }
+    return os.str();
+  }
+  for (const Finding& f : findings) {
+    os << JoinPath(path_prefix, f.file) << ":" << f.line << ": [" << f.rule
+       << "] " << f.message << "\n";
+  }
+  return os.str();
 }
 
 }  // namespace neuroprint::lint

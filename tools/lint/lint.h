@@ -2,21 +2,47 @@
 //
 // Enforces conventions the compiler cannot (see docs/ANALYSIS.md for the
 // rule catalog and rationale):
-//   include-guard       headers use NEUROPRINT_<PATH>_H_ guards
-//   no-rand             rand()/srand() only in src/util/random.*
-//   no-naked-stdio      printf/fprintf only via util/logging.h
-//   no-abort            abort() only in util/check.h
-//   no-exit             exit()/_Exit()/quick_exit()/_exit() never in src/
-//   no-throw            `throw` never in src/ (error paths return Status)
-//   dcheck-side-effect  NP_DCHECK args must not mutate state
-//   no-using-namespace  headers never `using namespace`
-//   unused-status       bare `Foo(...);` calls to Status-returning functions
-//   no-raw-thread       std::thread only in util/thread_pool.*
-//   no-static-local     no `static` mutable locals outside util/
+//   include-guard         headers use NEUROPRINT_<PATH>_H_ guards
+//   no-rand               rand()/srand() only in src/util/random.*
+//   no-naked-stdio        printf/fprintf only via util/logging.h
+//   no-abort              abort() only in util/check.h
+//   no-exit               exit()/_Exit()/quick_exit()/_exit() never in src/
+//   no-throw              `throw` never in src/ (error paths return Status)
+//   dcheck-side-effect    NP_DCHECK args must not mutate state
+//   no-using-namespace    headers never `using namespace`
+//   no-raw-thread         std::thread only in util/thread_pool.*
+//   no-static-local       no `static` mutable locals outside util/
+//   -- status-flow family --
+//   unused-status         a Status-returning call (free OR member, single-
+//                         or multi-line) used as a bare statement
+//   unused-result         a Result<T>-returning call dropped the same way
+//   status-never-checked  `Status s = ...;` where s is never read again
+//   -- determinism family --
+//   nondet-wallclock      std::chrono / C time APIs outside the sanctioned
+//                         util/{trace,metrics,fault,stopwatch} modules
+//   nondet-unordered-iter range-for over an unordered container (iteration
+//                         order is implementation-defined)
+//   nondet-float-accum    compound float accumulation into captured state
+//                         inside a ParallelFor/ParallelReduce lambda
+//   -- parallel-race family --
+//   parallel-race         a by-reference capture mutated inside a
+//                         ParallelFor-family lambda that is not an atomic,
+//                         a per-index (subscripted) write, or util/ internal
+//   -- engine --
+//   unused-suppression    an NP_LINT(rule) comment that suppressed nothing
 //
-// The checker is textual: it strips comments and string literals, then
-// scans tokens. That keeps it dependency-free (no libclang in the image)
-// at the cost of heuristics; each rule documents its blind spots.
+// The engine is token-aware: tools/lint/lexer.h lexes each file (raw
+// strings, line continuations, digit separators, preprocessor directives),
+// a declaration index is built across all presented files, and the
+// statement-level rules walk token ranges instead of regexing lines.
+// Remaining blind spots are heuristic ones (macro-generated code, template
+// type inference) and are documented per rule in lint.cc.
+//
+// False positives are suppressed in place with a trailing comment on the
+// finding's line (or a comment-only line directly above it), naming the
+// rule id to silence: `DoThing();  // NP_LINT(<rule-id>)`. Only known rule
+// ids register; every suppression must fire, and stale ones are reported
+// as unused-suppression so escapes cannot rot.
 
 #ifndef NEUROPRINT_TOOLS_LINT_LINT_H_
 #define NEUROPRINT_TOOLS_LINT_LINT_H_
@@ -46,30 +72,52 @@ struct SourceFile {
 };
 
 /// Replaces comments, string literals, and char literals with spaces
-/// (newlines preserved), so token scans cannot match inside them.
-/// Exposed for tests.
+/// (newlines preserved), so text scans cannot match inside them. Built on
+/// the lexer, so raw strings and continuations are handled. Exposed for
+/// tests and downstream text tooling.
 std::string StripCommentsAndStrings(const std::string& contents);
 
-/// Scans header contents for `Status Foo(...)` declarations and returns the
-/// function names. Factory-style members (`static Status Bar(...)`) are
-/// included; `Result<T>` returns are not (their values are consumed by
-/// construction).
+/// Function-name index built across every presented file (headers and
+/// sources): which names return Status, and which return Result<T>.
+/// Feeds the status-flow rules.
+struct DeclIndex {
+  std::set<std::string> status_functions;
+  std::set<std::string> result_functions;
+};
+DeclIndex BuildDeclIndex(const std::vector<SourceFile>& files);
+
+/// Legacy shim over BuildDeclIndex: just the Status-returning names.
 std::set<std::string> CollectStatusFunctions(
     const std::vector<SourceFile>& headers);
 
-/// Runs every rule against one file. `status_functions` feeds the
-/// unused-status rule (pass an empty set to disable it).
-std::vector<Finding> LintFile(const SourceFile& file,
-                              const std::set<std::string>& status_functions);
+/// Runs every rule against one file. The index feeds the status-flow rules
+/// (pass a default-constructed DeclIndex to disable them).
+std::vector<Finding> LintFile(const SourceFile& file, const DeclIndex& index);
 
-/// Lints a set of files as one unit: builds the Status index from the
-/// headers, then applies all rules to every file.
+/// Lints a set of files as one unit: builds the declaration index across
+/// all of them, then applies all rules to every file.
 std::vector<Finding> LintFiles(const std::vector<SourceFile>& files);
 
 /// Walks `root` (typically <repo>/src), reads every .h/.cc file, and lints
 /// them. Returns findings sorted by file then line. Unreadable files become
 /// findings under rule "io-error".
 std::vector<Finding> LintTree(const std::string& root);
+
+/// LintTree with rule paths computed relative to `base` instead of `root`,
+/// e.g. LintTreeRelative("<repo>/tools/lint", "<repo>") lints the engine's
+/// own sources under their repo-relative paths ("tools/lint/lint.cc"), so
+/// include-guard expectations and path exemptions line up. Used by the CLI
+/// `--self-check` mode.
+std::vector<Finding> LintTreeRelative(const std::string& root,
+                                      const std::string& base);
+
+/// Serializes findings for the CLI: one of "text" (file:line: [rule] msg),
+/// "json" (array of objects), or "github" (::error workflow annotations).
+/// `path_prefix` is prepended to each finding's file for display (the CLI
+/// passes the linted root so annotations are repo-relative).
+std::string FormatFindings(const std::vector<Finding>& findings,
+                           const std::string& format,
+                           const std::string& path_prefix);
 
 }  // namespace neuroprint::lint
 

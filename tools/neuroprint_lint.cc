@@ -1,10 +1,16 @@
 // CLI driver for the repo-invariant checker (tools/lint/lint.h).
 //
-// Usage: neuroprint_lint <src-dir>...
+// Usage: neuroprint_lint [--format=text|json|github] [--self-check] <dir>...
 //
-// Lints every .h/.cc under each directory and prints findings as
-// `file:line: [rule] message`. Exits 0 when clean, 1 when any rule fired,
-// 2 on usage error. Run via `tools/run_checks.sh` or ctest (`lint_test`).
+// Lints every .h/.cc under each directory. `--format` selects the output
+// encoding: `text` (default, file:line: [rule] message), `json` (an array
+// of finding objects for tooling), or `github` (::error workflow-command
+// annotations that render inline on a PR diff). `--self-check <repo-root>`
+// lints the engine's own sources under <repo-root>/tools/lint instead of
+// the directories themselves, proving the checker passes its own rules.
+//
+// Exits 0 when clean, 1 when any rule fired, 2 on usage error. Run via
+// `tools/run_checks.sh` or ctest (`lint_test`).
 
 #include <cstdio>
 #include <string>
@@ -12,24 +18,73 @@
 
 #include "tools/lint/lint.h"
 
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--format=text|json|github] [--self-check] <dir>...\n"
+      "  <dir>           directory tree of .h/.cc files to lint (e.g. src)\n"
+      "  --format=FMT    output encoding: text (default), json, github\n"
+      "  --self-check    treat each <dir> as a repo root and lint its\n"
+      "                  tools/lint sources under repo-relative paths\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <src-dir>...\n", argv[0]);
-    return 2;
-  }
-  std::size_t total = 0;
+  std::string format = "text";
+  bool self_check = false;
+  std::vector<std::string> dirs;
   for (int i = 1; i < argc; ++i) {
-    const std::vector<neuroprint::lint::Finding> findings =
-        neuroprint::lint::LintTree(argv[i]);
-    for (const neuroprint::lint::Finding& finding : findings) {
-      std::fprintf(stderr, "%s\n", finding.ToString().c_str());
+    const std::string arg = argv[i];
+    if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json" && format != "github") {
+        std::fprintf(stderr, "%s: unknown format '%s'\n", argv[0],
+                     format.c_str());
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--self-check") {
+      self_check = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0], arg.c_str());
+      return Usage(argv[0]);
+    } else {
+      dirs.push_back(arg);
     }
+  }
+  if (dirs.empty()) return Usage(argv[0]);
+
+  std::size_t total = 0;
+  std::string rendered;
+  for (const std::string& dir : dirs) {
+    std::vector<neuroprint::lint::Finding> findings;
+    std::string prefix;
+    if (self_check) {
+      // Findings come back as "tools/lint/...", relative to the repo root.
+      findings = neuroprint::lint::LintTreeRelative(dir + "/tools/lint", dir);
+    } else {
+      findings = neuroprint::lint::LintTree(dir);
+      prefix = dir;
+    }
+    rendered += neuroprint::lint::FormatFindings(findings, format, prefix);
     total += findings.size();
   }
+  if (format == "json" && dirs.size() > 1) {
+    // Concatenated arrays are not valid JSON; one invocation, one tree.
+    std::fprintf(stderr,
+                 "%s: --format=json supports a single <dir> argument\n",
+                 argv[0]);
+    return 2;
+  }
+  std::fputs(rendered.c_str(), format == "json" ? stdout : stderr);
   if (total > 0) {
     std::fprintf(stderr, "neuroprint_lint: %zu finding(s)\n", total);
     return 1;
   }
-  std::printf("neuroprint_lint: clean\n");
+  if (format != "json") std::printf("neuroprint_lint: clean\n");
   return 0;
 }

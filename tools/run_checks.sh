@@ -8,9 +8,14 @@
 #   SKIP_TIDY   set to 1 to skip clang-tidy even when installed
 #
 # External analyzers (clang-format, clang-tidy) are skipped with a notice
-# when not installed, so the script degrades gracefully in minimal
+# when not installed, and also when the installed version cannot parse the
+# repo's .clang-format / .clang-tidy config (version skew would otherwise
+# hard-fail every file), so the script degrades gracefully in minimal
 # containers; the in-repo checks (neuroprint_lint) always run. Exit code is
 # nonzero iff an executed check found a problem.
+#
+# Under GitHub Actions (GITHUB_ACTIONS=true) neuroprint_lint emits
+# ::error annotations so findings render inline on the PR diff.
 
 set -u -o pipefail
 
@@ -27,7 +32,16 @@ mapfile -t sources < <(find src tools tests bench examples \
   -name '*.cc' -o -name '*.h' 2>/dev/null | sort)
 
 # ---- 1. clang-format ------------------------------------------------------
-if command -v clang-format >/dev/null 2>&1; then
+if ! command -v clang-format >/dev/null 2>&1; then
+  note "clang-format: not installed, SKIPPED"
+# Probe: an older clang-format aborts on unknown keys in .clang-format.
+# Parsing the config against /dev/null separates "tool can't read our
+# config" (skip with a warning) from "files need formatting" (a failure).
+elif ! clang-format --style=file --assume-filename=probe.cc --dry-run \
+    </dev/null >/dev/null 2>&1; then
+  note "clang-format: installed version cannot parse .clang-format" \
+    "(version skew), SKIPPED"
+else
   if [[ "$FIX" == 1 ]]; then
     note "clang-format: rewriting ${#sources[@]} files"
     clang-format -i "${sources[@]}" || failures=$((failures + 1))
@@ -38,8 +52,6 @@ if command -v clang-format >/dev/null 2>&1; then
       failures=$((failures + 1))
     fi
   fi
-else
-  note "clang-format: not installed, SKIPPED"
 fi
 
 # ---- 2. neuroprint_lint ---------------------------------------------------
@@ -51,8 +63,15 @@ if ! cmake -B "$BUILD_DIR" -S . >"$config_log" 2>&1 ||
   note "neuroprint_lint: build FAILED"
   failures=$((failures + 1))
 else
-  note "neuroprint_lint: checking src/"
-  if ! "$BUILD_DIR/tools/neuroprint_lint" src; then
+  lint_format="text"
+  [[ "${GITHUB_ACTIONS:-}" == "true" ]] && lint_format="github"
+  note "neuroprint_lint: checking src/ (--format=$lint_format)"
+  if ! "$BUILD_DIR/tools/neuroprint_lint" "--format=$lint_format" src; then
+    failures=$((failures + 1))
+  fi
+  note "neuroprint_lint: self-check (tools/lint/)"
+  if ! "$BUILD_DIR/tools/neuroprint_lint" "--format=$lint_format" \
+      --self-check .; then
     failures=$((failures + 1))
   fi
 fi
@@ -64,6 +83,12 @@ if [[ "${SKIP_TIDY:-0}" == 1 ]]; then
 elif command -v clang-tidy >/dev/null 2>&1; then
   if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
     note "clang-tidy: no $BUILD_DIR/compile_commands.json, SKIPPED"
+  # Probe: --list-checks parses .clang-tidy; an installed version that
+  # rejects our config (unknown check names, version skew) should skip,
+  # not fail every file.
+  elif ! clang-tidy --list-checks >/dev/null 2>&1; then
+    note "clang-tidy: installed version cannot parse .clang-tidy" \
+      "(version skew), SKIPPED"
   else
     mapfile -t tidy_sources < <(find src -name '*.cc' | sort)
     note "clang-tidy: checking ${#tidy_sources[@]} files"
