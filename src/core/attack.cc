@@ -118,6 +118,10 @@ Result<AttackResult> DeanonymizationAttack::Identify(
   NP_RETURN_IF_ERROR(fault_schedule.status());
   NP_TRACE_SCOPE("attack.identify");
   NP_FAULT_POINT("attack.identify");
+  if (anonymous.num_subjects() == 0) {
+    return Status::InvalidArgument(
+        "Identify: anonymous dataset has no subjects");
+  }
   if (anonymous.num_features() != full_feature_count_) {
     return Status::InvalidArgument(StrFormat(
         "Identify: anonymous dataset has %zu features, attack was fitted "

@@ -18,9 +18,13 @@ Result<std::vector<int>> KnnClassify(const linalg::Matrix& train,
   if (train.cols() != queries.cols()) {
     return Status::InvalidArgument("KnnClassify: dimension mismatch");
   }
-  if (k == 0 || k > train.rows()) {
-    return Status::InvalidArgument("KnnClassify: k out of range");
+  if (k == 0) {
+    return Status::InvalidArgument("KnnClassify: k must be > 0");
   }
+  // A k larger than the gallery degrades to voting over every training
+  // point instead of erroring — incremental galleries shrink under
+  // removal, and callers holding a fixed k should keep working.
+  const std::size_t effective_k = std::min(k, train.rows());
 
   // Queries are independent; each chunk sorts into its own scratch buffer.
   // partial_sort on (d2, index) pairs is a total order, so the vote — and
@@ -41,15 +45,18 @@ Result<std::vector<int>> KnnClassify(const linalg::Matrix& train,
             }
             distances[i] = {d2, i};
           }
-          std::partial_sort(distances.begin(),
-                            distances.begin() + static_cast<std::ptrdiff_t>(k),
-                            distances.end());
+          // partial_sort on (d2, index) pairs: duplicate distances order by
+          // training index, never by iteration or heap order.
+          std::partial_sort(
+              distances.begin(),
+              distances.begin() + static_cast<std::ptrdiff_t>(effective_k),
+              distances.end());
           // Majority vote; on ties the label of the nearer neighbour wins
           // because votes are tallied in distance order.
           std::map<int, std::size_t> votes;
           int best_label = labels[distances[0].second];
           std::size_t best_votes = 0;
-          for (std::size_t i = 0; i < k; ++i) {
+          for (std::size_t i = 0; i < effective_k; ++i) {
             const int label = labels[distances[i].second];
             const std::size_t count = ++votes[label];
             if (count > best_votes) {

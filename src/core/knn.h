@@ -13,8 +13,10 @@
 namespace neuroprint::core {
 
 /// Classifies each row of `queries` by majority vote among its k nearest
-/// rows of `train` (Euclidean; ties broken toward the closest neighbour's
-/// label). labels.size() must equal train.rows().
+/// rows of `train` (Euclidean; equal distances order by training index,
+/// and vote ties break toward the closest neighbour's label).
+/// labels.size() must equal train.rows(); k is clamped to train.rows(),
+/// and k == 0 is an error.
 Result<std::vector<int>> KnnClassify(const linalg::Matrix& train,
                                      const std::vector<int>& labels,
                                      const linalg::Matrix& queries,

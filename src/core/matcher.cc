@@ -7,6 +7,34 @@
 #include "util/string_util.h"
 
 namespace neuroprint::core {
+namespace {
+
+/// Best and second-best entries of one similarity column. Ties keep the
+/// lowest row (strict >, ascending scan) — the shared contract that makes
+/// ArgmaxMatch and MatchMargins agree with each other and with the serial
+/// scan at any thread count.
+struct ColumnTopTwo {
+  std::size_t best_row = 0;
+  double best = -std::numeric_limits<double>::infinity();
+  double second = -std::numeric_limits<double>::infinity();
+};
+
+ColumnTopTwo TopTwoInColumn(const linalg::Matrix& similarity, std::size_t j) {
+  ColumnTopTwo top;
+  for (std::size_t i = 0; i < similarity.rows(); ++i) {
+    const double v = similarity(i, j);
+    if (v > top.best) {
+      top.second = top.best;
+      top.best = v;
+      top.best_row = i;
+    } else if (v > top.second) {
+      top.second = v;
+    }
+  }
+  return top;
+}
+
+}  // namespace
 
 Result<linalg::Matrix> SimilarityMatrix(
     const connectome::GroupMatrix& known,
@@ -32,15 +60,7 @@ std::vector<std::size_t> ArgmaxMatch(const linalg::Matrix& similarity,
   ParallelFor(ctx, 0, similarity.cols(), GrainForWork(similarity.rows()),
               [&](std::size_t col_lo, std::size_t col_hi) {
                 for (std::size_t j = col_lo; j < col_hi; ++j) {
-                  double best = -std::numeric_limits<double>::infinity();
-                  std::size_t best_row = 0;
-                  for (std::size_t i = 0; i < similarity.rows(); ++i) {
-                    if (similarity(i, j) > best) {
-                      best = similarity(i, j);
-                      best_row = i;
-                    }
-                  }
-                  predicted[j] = best_row;
+                  predicted[j] = TopTwoInColumn(similarity, j).best_row;
                 }
               });
   return predicted;
@@ -98,26 +118,20 @@ Result<SimilarityStats> ComputeSimilarityStats(const linalg::Matrix& similarity)
   return stats;
 }
 
-Result<linalg::Vector> MatchMargins(const linalg::Matrix& similarity) {
+Result<linalg::Vector> MatchMargins(const linalg::Matrix& similarity,
+                                    const ParallelContext& ctx) {
   if (similarity.rows() < 2 || similarity.cols() == 0) {
     return Status::InvalidArgument(
         "MatchMargins: need at least 2 candidates and 1 target");
   }
   linalg::Vector margins(similarity.cols(), 0.0);
-  for (std::size_t j = 0; j < similarity.cols(); ++j) {
-    double best = -std::numeric_limits<double>::infinity();
-    double second = -std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < similarity.rows(); ++i) {
-      const double v = similarity(i, j);
-      if (v > best) {
-        second = best;
-        best = v;
-      } else if (v > second) {
-        second = v;
-      }
-    }
-    margins[j] = best - second;
-  }
+  ParallelFor(ctx, 0, similarity.cols(), GrainForWork(similarity.rows()),
+              [&](std::size_t col_lo, std::size_t col_hi) {
+                for (std::size_t j = col_lo; j < col_hi; ++j) {
+                  const ColumnTopTwo top = TopTwoInColumn(similarity, j);
+                  margins[j] = top.best - top.second;
+                }
+              });
   return margins;
 }
 

@@ -51,8 +51,10 @@ Result<SimilarityStats> ComputeSimilarityStats(const linalg::Matrix& similarity)
 /// Per-target match confidence: for each column, the gap between the best
 /// and second-best row similarity. A small margin flags an unreliable
 /// match (useful when reporting attack results on real releases).
-/// Requires at least 2 rows.
-Result<linalg::Vector> MatchMargins(const linalg::Matrix& similarity);
+/// Requires at least 2 rows. Columns are scanned independently, so the
+/// result is identical at any thread count.
+Result<linalg::Vector> MatchMargins(const linalg::Matrix& similarity,
+                                    const ParallelContext& ctx = {});
 
 /// Rank of the true identity in each anonymous subject's candidate list
 /// (1 = best match; standard biometric evaluation). A subject whose true

@@ -85,4 +85,8 @@
 #include "core/task_performance.h"  // Table-1 regression harness.
 #include "core/tsne.h"              // t-SNE (Alg. 2).
 
+// Gallery-scale identification service.
+#include "service/identification_index.h"  // Sharded incremental index.
+#include "service/synthetic_gallery.h"     // Seeded scale-test galleries.
+
 #endif  // NEUROPRINT_NEUROPRINT_H_

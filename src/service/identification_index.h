@@ -1,0 +1,296 @@
+// Gallery-scale identification service: a long-lived, sharded,
+// incrementally-updatable index over the leverage-selected feature
+// subspace, replacing the one-shot Fit + linear-matcher scan of
+// core/attack.h for serving workloads.
+//
+// Architecture (see docs/ANALYSIS.md "Identification service"):
+//
+//   * Subspace. Create() fits leverage scores on a reference gallery
+//     (exactly like DeanonymizationAttack::Fit) and keeps the top-t
+//     feature rows. Every enrolled subject stores only its mean-centered,
+//     unit-normalized restriction to those rows, so similarity against a
+//     probe is one dot product equal to the Pearson correlation the
+//     brute-force matcher computes over the same feature set
+//     (Ravindra/Drineas/Grama: leverage-compressed fingerprints stay
+//     discriminative at very small dimension).
+//
+//   * Sharding. Subjects are assigned to a fixed number of shards by a
+//     pure hash of the subject id (ShardOf), so the assignment is stable
+//     across processes, enrollment orders, and thread counts. Probes fan
+//     out over (probe x shard) work items on the work-stealing pool and
+//     the per-shard candidates are merged in ascending shard order, so
+//     IdentifyBatch output is bitwise-identical at any thread count.
+//
+//   * Incremental enrollment. Enroll/Remove update one shard without
+//     refitting the subspace. Mutations since the last (re)fit are
+//     counted as the sketch staleness (gauge `service.sketch_staleness`);
+//     RefreshSketch() refits leverage on the current gallery — requires
+//     retain_full_columns — and IndexOptions::refresh_interval makes that
+//     happen automatically every N mutations.
+//
+//   * Sublinear search. Each shard clusters its members with a seeded,
+//     deterministic k-means over the unit fingerprints. A probe scores
+//     every centroid, visits clusters in decreasing similarity-bound
+//     order, and prunes clusters whose cosine ball bound cannot beat the
+//     best candidate found so far — an exact top-1 search (the bound is
+//     conservative by kPruneSlack). Low-margin matches additionally fall
+//     back to an exact full rescore (exact_rescore_margin), so reported
+//     margins for near-ties are exact too.
+//
+// Determinism contract: index state is a pure function of the option set
+// and the sequence of committed mutations; IdentifyBatch results are
+// bitwise-identical at any thread count (asserted by the `service` and
+// `concurrency` test tiers). Ties on similarity break toward the
+// lexicographically smaller subject id, independent of shard layout.
+
+#ifndef NEUROPRINT_SERVICE_IDENTIFICATION_INDEX_H_
+#define NEUROPRINT_SERVICE_IDENTIFICATION_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "connectome/group_matrix.h"
+#include "core/leverage.h"
+#include "util/batch.h"
+#include "util/fault.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "util/trace.h"
+
+namespace neuroprint::service {
+
+struct IndexOptions {
+  /// Leverage-selected features to keep (clamped to the reference
+  /// gallery's feature count, like AttackOptions::num_features).
+  std::size_t num_features = 100;
+  /// Fixed shard count; subject -> shard assignment is ShardOf(id) and
+  /// never changes for the lifetime of the index. Must be >= 1.
+  std::size_t num_shards = 8;
+  /// k-means clusters per shard. 0 picks ceil(sqrt(shard_size)) per
+  /// shard (re-derived on every rebuild); 1 makes every shard one flat
+  /// cluster (no pruning).
+  std::size_t clusters_per_shard = 0;
+  /// Shards smaller than this stay flat (one cluster): pruning overhead
+  /// only pays off once a shard has enough members to skip.
+  std::size_t min_cluster_shard_size = 32;
+  /// Lloyd iterations per cluster rebuild (fixed count — no
+  /// convergence-dependent control flow, so rebuilds are deterministic).
+  std::size_t kmeans_iterations = 8;
+  /// Seed for the per-shard k-means initialization.
+  std::uint64_t seed = 0x6e70736572766963ULL;
+  /// A probe whose pruned-search margin (best - runner-up among scanned
+  /// candidates) falls below this threshold is rescored exactly against
+  /// the full gallery, making low-margin results (and their margins)
+  /// identical to brute force. <= 0 disables the fallback.
+  double exact_rescore_margin = 0.02;
+  /// Mutations (enrolls + removals) between automatic sketch refreshes;
+  /// 0 means refresh only when RefreshSketch() is called explicitly.
+  /// Automatic refresh requires retain_full_columns.
+  std::size_t refresh_interval = 0;
+  /// Subjects the refit samples from the gallery (evenly strided over the
+  /// canonical id order, clamped so the leverage input stays tall:
+  /// ComputeLeverageScores requires features >= subjects). Keeps
+  /// RefreshSketch O(features * sample) instead of O(features * gallery).
+  std::size_t refresh_sample = 256;
+  /// Keep every subject's full feature column so RefreshSketch can refit
+  /// the subspace. Disable for memory-lean serving (the 50k-subject
+  /// bench does); RefreshSketch then returns FailedPrecondition.
+  bool retain_full_columns = true;
+  /// Feature-selection knobs for Create/RefreshSketch (sketch = true
+  /// runs the randomized-sketch leverage path).
+  core::LeverageOptions leverage;
+  /// Threads for enrollment screening and sharded probing (never changes
+  /// results).
+  ParallelContext parallel;
+  /// Observability toggle for this index's operations (see util/trace.h).
+  trace::TraceConfig trace;
+  /// How EnrollBatch / IdentifyBatch treat unusable subjects (non-finite
+  /// columns, duplicate ids, injected faults): fail-fast errors on the
+  /// lowest-index item and leaves the index unchanged; skip-and-report /
+  /// quorum drop them into the BatchReport and commit the survivors.
+  FailurePolicy failure_policy;
+  /// Fault injection for this index's operations (points
+  /// `service.enroll`, `service.probe`, `service.refresh`).
+  fault::FaultConfig fault;
+};
+
+/// One probe's identification outcome.
+struct IdentifyMatch {
+  std::string subject_id;  ///< Best-matching gallery identity.
+  double similarity = 0.0;  ///< Pearson correlation in the subspace.
+  /// best - runner-up similarity. Exact whenever it is below
+  /// exact_rescore_margin (fallback rescore) or pruning is off;
+  /// otherwise computed among scanned candidates (an upper bound).
+  double margin = 0.0;
+  /// Gallery members actually scored for this probe (== gallery size
+  /// for a brute-force scan; less when cluster pruning skipped work).
+  std::size_t candidates_scanned = 0;
+};
+
+/// Outcome of IdentifyBatch over the surviving probes, in their original
+/// probe order.
+struct BatchIdentifyResult {
+  std::vector<std::string> probe_ids;  ///< Ids of surviving probes.
+  std::vector<IdentifyMatch> matches;  ///< One per surviving probe.
+  /// Fraction of surviving probes whose best match equals their own id
+  /// (probes carry ground-truth ids, as in AttackResult::accuracy).
+  double accuracy = 0.0;
+};
+
+class IdentificationIndex {
+ public:
+  /// Fits the feature subspace on `reference` (its subjects become the
+  /// initial gallery) under `options`. Screens reference subjects by the
+  /// failure policy like DeanonymizationAttack::Fit (stage
+  /// "enroll_screen" in `report`).
+  static Result<IdentificationIndex> Create(
+      const connectome::GroupMatrix& reference,
+      const IndexOptions& options = {}, BatchReport* report = nullptr);
+
+  /// Enrolls one subject (full-feature column, same space the index was
+  /// fitted on). Fails with AlreadyExists for a duplicate id,
+  /// InvalidArgument for a dimension mismatch, CorruptData for
+  /// non-finite values. May trigger an automatic sketch refresh.
+  Status Enroll(const std::string& subject_id,
+                const linalg::Vector& full_features);
+
+  /// Enrolls every subject of `subjects` under the index failure policy.
+  /// Fail-fast leaves the index untouched on any error; skip-and-report /
+  /// quorum commit the survivors (stage "enroll_screen" / "enroll" in
+  /// `report`, which may be null).
+  Status EnrollBatch(const connectome::GroupMatrix& subjects,
+                     BatchReport* report = nullptr);
+
+  /// Removes one subject. NotFound when the id is not enrolled. The
+  /// resulting index state is identical to one that never enrolled the
+  /// subject (the enroll/remove round-trip property).
+  Status Remove(const std::string& subject_id);
+
+  /// True when the subject is enrolled.
+  bool Contains(const std::string& subject_id) const;
+
+  /// Enrolled gallery size.
+  std::size_t size() const { return size_; }
+
+  /// Every enrolled id, ascending (canonical order).
+  std::vector<std::string> EnrolledIds() const;
+
+  /// The shard a subject id maps to: a pure function of (id, num_shards),
+  /// stable across processes and enrollment orders.
+  std::size_t ShardOf(const std::string& subject_id) const;
+
+  /// Feature rows (into the full feature space) the index matches on.
+  const std::vector<std::size_t>& selected_features() const {
+    return selected_features_;
+  }
+
+  /// Mutations committed since the subspace was last (re)fitted. Also
+  /// exported as the gauge `service.sketch_staleness`.
+  std::size_t sketch_staleness() const { return sketch_staleness_; }
+
+  /// Refits the leverage subspace on the current gallery, re-projects
+  /// every member, and resets the staleness counter. Requires
+  /// retain_full_columns and a non-empty gallery.
+  Status RefreshSketch();
+
+  /// Identifies one probe (full-feature column) against the gallery via
+  /// the sharded, cluster-pruned search. FailedPrecondition on an empty
+  /// gallery; InvalidArgument on a dimension mismatch; CorruptData on a
+  /// non-finite probe (the screening convention of core/attack.h).
+  Result<IdentifyMatch> Identify(const linalg::Vector& probe_features);
+
+  /// Identifies every probe of `probes` concurrently ((probe x shard)
+  /// work items on the thread pool, merged in shard order — bitwise
+  /// identical at any thread count). Probes with non-finite columns are
+  /// screened by the index failure policy (stage "probe_screen"; faults
+  /// at `service.probe` count as probe failures under skip/quorum).
+  Result<BatchIdentifyResult> IdentifyBatch(
+      const connectome::GroupMatrix& probes, BatchReport* report = nullptr);
+
+  /// The exact linear-scan oracle: identical tie-break and output shape
+  /// to IdentifyBatch with pruning disabled. Used by the property/soak
+  /// tests and the bench to prove top-1 parity; costs O(gallery) per
+  /// probe.
+  Result<BatchIdentifyResult> IdentifyBatchBruteForce(
+      const connectome::GroupMatrix& probes, BatchReport* report = nullptr);
+
+  /// Canonical dump of the observable index state — per shard: entry ids,
+  /// fingerprint bytes (hex, bitwise), cluster memberships and radii.
+  /// Two indexes with equal dumps answer every query identically; the
+  /// property tests compare dumps for the enroll/remove round-trip.
+  std::string DebugStateString();
+
+ private:
+  struct Entry {
+    std::string id;
+    /// Mean-centered, unit-normalized selected-feature fingerprint (all
+    /// zeros for a zero-variance subject, matching the matcher's
+    /// correlation-0 convention).
+    linalg::Vector fingerprint;
+    /// Retained full feature column (empty unless retain_full_columns).
+    linalg::Vector full;
+  };
+  struct Cluster {
+    linalg::Vector centroid;          ///< Unit norm (or zero).
+    double cos_radius = 1.0;          ///< cos(max angle to a member).
+    double sin_radius = 0.0;
+    std::vector<std::size_t> members;  ///< Entry indices, ascending.
+  };
+  struct Shard {
+    std::vector<Entry> entries;  ///< Sorted by id.
+    std::vector<Cluster> clusters;
+    bool clusters_dirty = true;
+  };
+  /// Per-(probe, shard) candidate produced by the parallel fan-out and
+  /// consumed by the ordered merge.
+  struct ShardCandidate {
+    std::size_t best_entry = 0;
+    std::size_t shard = 0;
+    double best = 0.0;
+    double second = 0.0;
+    std::size_t scanned = 0;
+    bool has_best = false;
+    bool has_second = false;
+  };
+
+  IdentificationIndex() = default;
+
+  Status EnrollLocked(const std::string& subject_id,
+                      const linalg::Vector& full_features,
+                      std::uint64_t fault_key);
+  Status EnrollMatrixColumns(const connectome::GroupMatrix& subjects,
+                             BatchReport* report);
+  linalg::Vector MakeFingerprint(const linalg::Vector& full_features) const;
+  void RebuildDirtyClusters();
+  void RebuildShardClusters(std::size_t shard_index);
+  void ProbeShard(const linalg::Vector& probe_fingerprint,
+                  std::size_t shard_index, bool brute_force,
+                  ShardCandidate* out) const;
+  IdentifyMatch MergeShardCandidates(const ShardCandidate* candidates,
+                                     std::size_t count) const;
+  Result<BatchIdentifyResult> IdentifyBatchImpl(
+      const connectome::GroupMatrix& probes, BatchReport* report,
+      bool brute_force);
+  void NoteMutation();
+  /// Runs RefreshSketch when the auto-refresh cadence is due. An
+  /// auto-refresh failure is returned by the mutation that triggered it
+  /// (the mutation itself stays committed).
+  Status MaybeAutoRefresh();
+
+  IndexOptions options_;
+  std::size_t full_feature_count_ = 0;
+  std::vector<std::size_t> selected_features_;
+  std::vector<Shard> shards_;
+  std::size_t size_ = 0;
+  std::size_t sketch_staleness_ = 0;
+};
+
+/// Seeded deterministic FNV-1a of a subject id — the shard hash. Exposed
+/// so tests can assert the assignment is a pure function of the id.
+std::uint64_t SubjectHash(const std::string& subject_id);
+
+}  // namespace neuroprint::service
+
+#endif  // NEUROPRINT_SERVICE_IDENTIFICATION_INDEX_H_

@@ -1,0 +1,104 @@
+#include "service/synthetic_gallery.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace neuroprint::service {
+namespace {
+
+// SplitMix64 finalizer: decorrelates the structured (seed, subject,
+// session) tuples before they become Rng seeds.
+std::uint64_t MixSeed(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  std::uint64_t z = a;
+  z ^= b + 0x9e3779b97f4a7c15ULL + (z << 6) + (z >> 2);
+  z ^= c + 0x9e3779b97f4a7c15ULL + (z << 6) + (z >> 2);
+  z ^= z >> 30;
+  z *= 0xbf58476d1ce4e5b9ULL;
+  z ^= z >> 27;
+  z *= 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return z;
+}
+
+// Session tag for the persistent signature stream; real sessions use their
+// own value so signature and noise streams never collide.
+constexpr std::uint64_t kSignatureStream = 0xf1f1f1f1f1f1f1f1ULL;
+// Tag for the per-community shared-direction stream.
+constexpr std::uint64_t kCommunityStream = 0xc033c033c033c033ULL;
+
+}  // namespace
+
+std::string SyntheticSubjectId(std::size_t index) {
+  return StrFormat("G%06zu", index);
+}
+
+Result<connectome::GroupMatrix> MakeSyntheticGallerySlice(
+    const SyntheticGalleryConfig& config, std::uint64_t session,
+    std::size_t begin, std::size_t end) {
+  if (config.num_features == 0) {
+    return Status::InvalidArgument("synthetic gallery needs num_features > 0");
+  }
+  if (begin >= end || end > config.num_subjects) {
+    return Status::InvalidArgument(
+        StrFormat("synthetic gallery slice [%zu, %zu) out of range for %zu "
+                  "subjects",
+                  begin, end, config.num_subjects));
+  }
+  if (config.community_weight < 0.0 || config.community_weight >= 1.0) {
+    return Status::InvalidArgument(
+        "synthetic gallery community_weight must be in [0, 1)");
+  }
+  // Variance split between the shared community direction and the
+  // individual remainder (signature variance stays signature_scale^2).
+  const double shared =
+      config.num_communities > 0 ? std::sqrt(config.community_weight) : 0.0;
+  const double solo = config.num_communities > 0
+                          ? std::sqrt(1.0 - config.community_weight)
+                          : 1.0;
+  const std::size_t count = end - begin;
+  std::vector<linalg::Vector> columns(count);
+  std::vector<std::string> ids(count);
+  ParallelFor(config.parallel, 0, count, GrainForWork(4 * config.num_features),
+              [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t j = lo; j < hi; ++j) {
+                  const std::size_t subject = begin + j;
+                  Rng signature_rng(
+                      MixSeed(config.seed, subject, kSignatureStream));
+                  Rng noise_rng(MixSeed(config.seed, subject, session));
+                  // Every member of a community regenerates the same
+                  // shared stream, so slices stay order-independent.
+                  Rng community_rng(
+                      config.num_communities > 0
+                          ? MixSeed(config.seed ^ kCommunityStream,
+                                    subject % config.num_communities,
+                                    kSignatureStream)
+                          : 0);
+                  linalg::Vector column(config.num_features);
+                  for (std::size_t f = 0; f < config.num_features; ++f) {
+                    double signature = solo * signature_rng.Gaussian();
+                    if (config.num_communities > 0) {
+                      signature += shared * community_rng.Gaussian();
+                    }
+                    column[f] = config.signature_scale * signature +
+                                config.noise_scale * noise_rng.Gaussian();
+                  }
+                  columns[j] = std::move(column);
+                  ids[j] = SyntheticSubjectId(subject);
+                }
+              });
+  return connectome::GroupMatrix::FromFeatureColumns(columns, std::move(ids));
+}
+
+Result<connectome::GroupMatrix> MakeSyntheticGallery(
+    const SyntheticGalleryConfig& config, std::uint64_t session) {
+  if (config.num_subjects == 0) {
+    return Status::InvalidArgument("synthetic gallery needs num_subjects > 0");
+  }
+  return MakeSyntheticGallerySlice(config, session, 0, config.num_subjects);
+}
+
+}  // namespace neuroprint::service

@@ -1,0 +1,75 @@
+// Seeded synthetic galleries for exercising the identification service at
+// scale without running the full simulation pipeline.
+//
+// Each subject owns a persistent feature "signature" drawn from a seed that
+// depends only on (config.seed, subject index); a session adds fresh
+// zero-mean noise drawn from (config.seed, subject index, session). Two
+// sessions of the same gallery therefore share signatures but not noise —
+// exactly the repeat-scan structure the paper's attack exploits — so a
+// session-1 probe set is identifiable against a session-0 gallery with
+// accuracy controlled by noise_scale.
+//
+// Real connectome cohorts are not isotropic: subjects share population,
+// site, and family structure, which is what makes cluster-pruned search
+// effective. num_communities > 0 models that by blending each signature
+// from a shared per-community direction (subject % num_communities) and
+// an individual remainder, with community_weight controlling the shared
+// variance fraction. The default (0) keeps signatures fully independent.
+//
+// Columns are generated independently per subject (every subject re-seeds
+// its own Rng), so generation parallelizes over subjects and the result is
+// bitwise-identical at any thread count and for any subject subset.
+
+#ifndef NEUROPRINT_SERVICE_SYNTHETIC_GALLERY_H_
+#define NEUROPRINT_SERVICE_SYNTHETIC_GALLERY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "connectome/group_matrix.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace neuroprint::service {
+
+struct SyntheticGalleryConfig {
+  /// Gallery population; ids are SyntheticSubjectId(0..num_subjects-1).
+  std::size_t num_subjects = 1000;
+  /// Feature dimension of every column.
+  std::size_t num_features = 256;
+  /// Standard deviation of the per-subject persistent signature.
+  double signature_scale = 1.0;
+  /// Standard deviation of the per-session noise added on top.
+  double noise_scale = 0.35;
+  /// Communities sharing a signature component (0 = none: fully
+  /// independent subjects). Subject j belongs to community
+  /// j % num_communities.
+  std::size_t num_communities = 0;
+  /// Fraction of signature variance shared within a community (ignored
+  /// when num_communities == 0). Must be in [0, 1).
+  double community_weight = 0.75;
+  /// Master seed; equal configs give bitwise-equal galleries.
+  std::uint64_t seed = 0x67616c6c65727931ULL;
+  /// Threading for column generation (0 = default chain).
+  ParallelContext parallel;
+};
+
+/// Canonical id of gallery subject `index` ("G000042").
+std::string SyntheticSubjectId(std::size_t index);
+
+/// Generates one session of the gallery (features x subjects). `session` 0
+/// is conventionally the enrolled gallery and 1, 2, ... are probe scans.
+Result<connectome::GroupMatrix> MakeSyntheticGallery(
+    const SyntheticGalleryConfig& config, std::uint64_t session);
+
+/// Generates the columns for a contiguous id range [begin, end) of the
+/// same gallery — bitwise-identical to the corresponding columns of the
+/// full MakeSyntheticGallery result. Lets benches enroll a large gallery
+/// in bounded-memory batches.
+Result<connectome::GroupMatrix> MakeSyntheticGallerySlice(
+    const SyntheticGalleryConfig& config, std::uint64_t session,
+    std::size_t begin, std::size_t end);
+
+}  // namespace neuroprint::service
+
+#endif  // NEUROPRINT_SERVICE_SYNTHETIC_GALLERY_H_

@@ -8,6 +8,7 @@
 
 #include "core/attack.h"
 #include "core/leverage.h"
+#include "core/knn.h"
 #include "core/matcher.h"
 #include "core/row_sampling.h"
 #include "linalg/svd.h"
@@ -483,6 +484,45 @@ TEST_F(AttackTest, RejectsBadOptions) {
   AttackOptions options;
   options.num_features = 0;
   EXPECT_FALSE(DeanonymizationAttack::Fit(known_, options).ok());
+}
+
+TEST_F(AttackTest, EmptyAnonymousSetReturnsCleanStatus) {
+  // Regression: an empty probe set used to fall through to the matcher and
+  // surface a cryptic internal error; it must be a clean InvalidArgument.
+  const auto attack = DeanonymizationAttack::Fit(known_);
+  ASSERT_TRUE(attack.ok());
+  const auto result = attack->Identify(connectome::GroupMatrix());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("no subjects"), std::string::npos);
+}
+
+TEST(KnnRegressionTest, KBeyondGalleryClampsToGallerySize) {
+  // Regression: an incrementally shrinking gallery can drop below a fixed
+  // k; the classifier degrades to voting over everything instead of
+  // erroring.
+  linalg::Matrix train{{0, 0}, {1, 0}, {2, 0}};
+  const std::vector<int> labels{4, 4, 9};
+  linalg::Matrix query{{0.1, 0}};
+  const auto predicted = KnnClassify(train, labels, query, 50);
+  ASSERT_TRUE(predicted.ok());
+  EXPECT_EQ((*predicted)[0], 4);  // Majority over the whole gallery.
+}
+
+TEST(KnnRegressionTest, DuplicateDistanceTieBreakIsIndexOrdered) {
+  // Four training points equidistant from the query: the neighbour set
+  // must be the lowest training indices, not an iteration- or heap-order
+  // accident, so predictions are stable across library changes.
+  linalg::Matrix train{{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+  const std::vector<int> labels{5, 6, 7, 8};
+  linalg::Matrix query{{0, 0}};
+  for (std::size_t k = 1; k <= 4; ++k) {
+    const auto predicted = KnnClassify(train, labels, query, k);
+    ASSERT_TRUE(predicted.ok());
+    // All votes are singletons, so the winner is the first tallied —
+    // training index 0 — for every k.
+    EXPECT_EQ((*predicted)[0], 5) << "k=" << k;
+  }
 }
 
 TEST_F(AttackTest, SketchModeMatchesExactIdentificationRate) {

@@ -172,7 +172,10 @@ TEST(KnnTest, AccuracyHelperAndValidation) {
   linalg::Matrix train{{0, 0}};
   EXPECT_FALSE(KnnClassify(train, {1, 2}, train, 1).ok());
   EXPECT_FALSE(KnnClassify(train, {1}, train, 0).ok());
-  EXPECT_FALSE(KnnClassify(train, {1}, train, 2).ok());
+  // k beyond the gallery clamps to the gallery size instead of erroring.
+  const auto clamped = KnnClassify(train, {1}, train, 2);
+  ASSERT_TRUE(clamped.ok());
+  EXPECT_EQ((*clamped)[0], 1);
   linalg::Matrix wrong_dims{{0, 0, 0}};
   EXPECT_FALSE(KnnClassify(train, {1}, wrong_dims, 1).ok());
 }

@@ -18,6 +18,8 @@
 #include "core/attack.h"
 #include "nifti/nifti_io.h"
 #include "preprocess/pipeline.h"
+#include "service/identification_index.h"
+#include "service/synthetic_gallery.h"
 #include "sim/cohort.h"
 #include "sim/voxel_render.h"
 #include "util/batch.h"
@@ -368,6 +370,111 @@ TEST(FaultInjectionNiftiTest, ReadPointInjectsBeforeTouchingDisk) {
   ASSERT_FALSE(image.ok());
   EXPECT_EQ(image.status().code(), StatusCode::kIOError);
   EXPECT_EQ(image.status().message(), "injected read fail");
+}
+
+// ---------------------------------------------------------------------------
+// Identification service: faulted enrollment and probing
+
+service::SyntheticGalleryConfig ServiceGallery() {
+  service::SyntheticGalleryConfig gallery;
+  gallery.num_subjects = 22;
+  gallery.num_features = 48;
+  gallery.seed = 0xfa017ULL;
+  return gallery;
+}
+
+TEST(FaultInjectionServiceTest, FaultedEnrollmentSurvivorsBitIdentical) {
+  // Two of ten enrolled subjects fault (one injected read error, one
+  // all-NaN column): skip-and-report must drop exactly those two and
+  // leave the index bit-identical to a clean enrollment of the other
+  // eight.
+  const auto gallery = ServiceGallery();
+  auto reference = service::MakeSyntheticGallerySlice(gallery, 0, 0, 12);
+  auto tail = service::MakeSyntheticGallerySlice(gallery, 0, 12, 22);
+  ASSERT_TRUE(reference.ok() && tail.ok());
+
+  service::IndexOptions skip;
+  skip.num_features = 24;
+  skip.failure_policy = FailurePolicy::SkipAndReport();
+  auto faulted = service::IdentificationIndex::Create(*reference, skip);
+  ASSERT_TRUE(faulted.ok()) << faulted.status();
+  {
+    fault::ScopedSchedule schedule(
+        "service.enroll#2=error:CorruptData:injected scanner fault;"
+        "service.enroll#7=nan");
+    ASSERT_TRUE(schedule.status().ok());
+    BatchReport report;
+    ASSERT_TRUE(faulted->EnrollBatch(*tail, &report).ok());
+    EXPECT_EQ(report.attempted, 10u);
+    ASSERT_EQ(report.failed.size(), 2u);
+    EXPECT_EQ(report.failed[0].index, 2u);
+    EXPECT_EQ(report.failed[0].id, tail->subject_ids()[2]);
+    EXPECT_EQ(report.failed[0].stage, "enroll_screen");
+    EXPECT_EQ(report.failed[0].status.code(), StatusCode::kCorruptData);
+    EXPECT_EQ(report.failed[1].index, 7u);
+    EXPECT_EQ(report.failed[1].status.code(), StatusCode::kCorruptData);
+  }
+  EXPECT_EQ(faulted->size(), 20u);
+
+  auto clean = service::IdentificationIndex::Create(*reference, skip);
+  ASSERT_TRUE(clean.ok());
+  auto restricted = tail->RestrictToSubjects({0, 1, 3, 4, 5, 6, 8, 9});
+  ASSERT_TRUE(restricted.ok());
+  ASSERT_TRUE(clean->EnrollBatch(*restricted).ok());
+  EXPECT_EQ(faulted->DebugStateString(), clean->DebugStateString());
+}
+
+TEST(FaultInjectionServiceTest, FaultedEnrollmentFailsFastAndLeavesIndex) {
+  const auto gallery = ServiceGallery();
+  auto reference = service::MakeSyntheticGallerySlice(gallery, 0, 0, 12);
+  auto tail = service::MakeSyntheticGallerySlice(gallery, 0, 12, 22);
+  ASSERT_TRUE(reference.ok() && tail.ok());
+
+  service::IndexOptions strict;
+  strict.num_features = 24;  // Default policy: fail fast.
+  auto index = service::IdentificationIndex::Create(*reference, strict);
+  ASSERT_TRUE(index.ok());
+  const std::string before = index->DebugStateString();
+  {
+    fault::ScopedSchedule schedule(
+        "service.enroll#3=error:CorruptData:injected scanner fault");
+    ASSERT_TRUE(schedule.status().ok());
+    const Status status = index->EnrollBatch(*tail);
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kCorruptData);
+  }
+  // Fail-fast is atomic: no partial batch was committed.
+  EXPECT_EQ(index->size(), 12u);
+  EXPECT_EQ(index->DebugStateString(), before);
+}
+
+TEST(FaultInjectionServiceTest, FaultedProbeIsScreenedUnderSkipPolicy) {
+  const auto gallery = ServiceGallery();
+  auto reference = service::MakeSyntheticGallerySlice(gallery, 0, 0, 22);
+  ASSERT_TRUE(reference.ok());
+  service::IndexOptions skip;
+  skip.num_features = 24;
+  skip.failure_policy = FailurePolicy::SkipAndReport();
+  auto index = service::IdentificationIndex::Create(*reference, skip);
+  ASSERT_TRUE(index.ok());
+
+  auto probes = service::MakeSyntheticGallerySlice(gallery, 1, 0, 6);
+  ASSERT_TRUE(probes.ok());
+  fault::ScopedSchedule schedule("service.probe#1=nan");
+  ASSERT_TRUE(schedule.status().ok());
+  BatchReport report;
+  auto result = index->IdentifyBatch(*probes, &report);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(report.attempted, 6u);
+  ASSERT_EQ(report.failed.size(), 1u);
+  EXPECT_EQ(report.failed[0].index, 1u);
+  EXPECT_EQ(report.failed[0].stage, "probe_screen");
+  // Survivors cover the other five probes, all correctly identified.
+  ASSERT_EQ(result->matches.size(), 5u);
+  EXPECT_DOUBLE_EQ(result->accuracy, 1.0);
+  for (std::size_t p = 0; p < result->matches.size(); ++p) {
+    EXPECT_EQ(result->matches[p].subject_id, result->probe_ids[p]);
+  }
 }
 
 }  // namespace

@@ -20,6 +20,8 @@
 #include "linalg/matrix.h"
 #include "linalg/stats.h"
 #include "preprocess/pipeline.h"
+#include "service/identification_index.h"
+#include "service/synthetic_gallery.h"
 #include "sim/cohort.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -376,6 +378,81 @@ TEST(ParallelInvarianceTest, KnnClassification) {
                                         ParallelContext{threads});
     ASSERT_TRUE(pred.ok());
     EXPECT_EQ(*pred1, *pred);
+  }
+}
+
+void ExpectBitwiseEqualBatch(const service::BatchIdentifyResult& base,
+                             const service::BatchIdentifyResult& got,
+                             std::size_t threads, const char* stage) {
+  ASSERT_EQ(base.matches.size(), got.matches.size()) << stage;
+  EXPECT_EQ(base.probe_ids, got.probe_ids) << stage;
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(base.accuracy),
+            std::bit_cast<std::uint64_t>(got.accuracy))
+      << stage;
+  for (std::size_t p = 0; p < base.matches.size(); ++p) {
+    EXPECT_EQ(base.matches[p].subject_id, got.matches[p].subject_id)
+        << stage << ": " << threads << " threads, probe " << p;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(base.matches[p].similarity),
+              std::bit_cast<std::uint64_t>(got.matches[p].similarity))
+        << stage << ": " << threads << " threads, probe " << p;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(base.matches[p].margin),
+              std::bit_cast<std::uint64_t>(got.matches[p].margin))
+        << stage << ": " << threads << " threads, probe " << p;
+    EXPECT_EQ(base.matches[p].candidates_scanned,
+              got.matches[p].candidates_scanned)
+        << stage << ": " << threads << " threads, probe " << p;
+  }
+}
+
+TEST(ParallelInvarianceTest, ServiceIdentifyBatchAcrossShardedProbes) {
+  // The identification service fans (probe x shard) work items onto the
+  // pool and merges per-shard candidates in shard order: enrollment,
+  // cluster builds, the pruned batch search, and the brute-force oracle
+  // must all be bitwise-identical at 1, 2, and 8 threads.
+  service::SyntheticGalleryConfig gallery;
+  gallery.num_subjects = 200;
+  gallery.num_features = 96;
+  gallery.seed = 0x1234babeULL;
+
+  struct Run {
+    std::string state;
+    service::BatchIdentifyResult pruned;
+    service::BatchIdentifyResult brute;
+  };
+  auto build_and_identify = [&](std::size_t threads) {
+    Run run;
+    service::IndexOptions options;
+    options.num_features = 48;
+    options.num_shards = 4;
+    options.min_cluster_shard_size = 8;  // Clustering active per shard.
+    options.parallel.num_threads = threads;
+    auto reference = service::MakeSyntheticGallerySlice(gallery, 0, 0, 64);
+    EXPECT_TRUE(reference.ok());
+    auto index = service::IdentificationIndex::Create(*reference, options);
+    EXPECT_TRUE(index.ok()) << index.status();
+    auto rest = service::MakeSyntheticGallerySlice(gallery, 0, 64, 200);
+    EXPECT_TRUE(rest.ok());
+    EXPECT_TRUE(index->EnrollBatch(*rest).ok());
+    auto probes = service::MakeSyntheticGallery(gallery, 1);
+    EXPECT_TRUE(probes.ok());
+    auto pruned = index->IdentifyBatch(*probes);
+    EXPECT_TRUE(pruned.ok()) << pruned.status();
+    auto brute = index->IdentifyBatchBruteForce(*probes);
+    EXPECT_TRUE(brute.ok()) << brute.status();
+    run.state = index->DebugStateString();
+    run.pruned = std::move(*pruned);
+    run.brute = std::move(*brute);
+    return run;
+  };
+
+  const Run base = build_and_identify(1);
+  for (const std::size_t threads : kThreadCounts) {
+    const Run got = build_and_identify(threads);
+    EXPECT_EQ(base.state, got.state) << threads << " threads";
+    ExpectBitwiseEqualBatch(base.pruned, got.pruned, threads,
+                            "IdentifyBatch");
+    ExpectBitwiseEqualBatch(base.brute, got.brute, threads,
+                            "IdentifyBatchBruteForce");
   }
 }
 

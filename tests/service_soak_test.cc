@@ -1,0 +1,125 @@
+// Seeded soak test for the identification service (service tier, slow):
+// interleaves enrollment, identification, and removal over thousands of
+// synthetic subjects and asserts, every round, that the cluster-pruned
+// search never identifies worse than the brute-force oracle and that
+// `service.sketch_staleness` resets after automatic refreshes.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/identification_index.h"
+#include "service/synthetic_gallery.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace neuroprint::service {
+namespace {
+
+// The last-reported value of a gauge, or -1 when it was never set.
+double GaugeValueOr(const metrics::Snapshot& snapshot, const std::string& name,
+                    double fallback) {
+  for (const auto& gauge : snapshot.gauges) {
+    if (gauge.name == name) return gauge.value;
+  }
+  return fallback;
+}
+
+TEST(ServiceSoakTest, InterleavedChurnKeepsBruteForceAccuracy) {
+  // ~2.5k subjects enrolled over six rounds with removals in between; the
+  // feature count (96) bounds the refit sample, so automatic refreshes
+  // stay cheap while the gallery grows past it.
+  SyntheticGalleryConfig gallery;
+  gallery.num_subjects = 2496;  // Reference (96) + six rounds of 400.
+  gallery.num_features = 96;
+  gallery.noise_scale = 0.3;
+  gallery.seed = 0x50a450a4ULL;
+
+  IndexOptions options;
+  options.num_features = 48;
+  options.num_shards = 8;
+  options.refresh_interval = 100;  // Every round's batch triggers >= 1.
+  options.refresh_sample = 64;
+  options.trace.enabled = true;  // Collect service.* metrics.
+
+  auto reference = MakeSyntheticGallerySlice(gallery, 0, 0, 96);
+  ASSERT_TRUE(reference.ok());
+  metrics::Registry::Global().Reset();
+  auto index = IdentificationIndex::Create(*reference, options);
+  ASSERT_TRUE(index.ok()) << index.status();
+
+  const std::size_t kRounds = 6;
+  const std::size_t kBatch = 400;
+  std::size_t next_subject = 96;
+  std::size_t removed_cursor = 0;
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    // Enroll the next slice (each batch crosses the refresh cadence, so
+    // the staleness gauge must come back to zero).
+    const std::size_t end =
+        std::min(next_subject + kBatch, gallery.num_subjects);
+    if (next_subject < end) {
+      auto batch = MakeSyntheticGallerySlice(gallery, 0, next_subject, end);
+      ASSERT_TRUE(batch.ok());
+      ASSERT_TRUE(index->EnrollBatch(*batch).ok());
+      next_subject = end;
+    }
+    EXPECT_EQ(index->sketch_staleness(), 0u) << "round " << round;
+    const auto snapshot = metrics::Registry::Global().TakeSnapshot();
+    EXPECT_EQ(GaugeValueOr(snapshot, "service.sketch_staleness", -1.0), 0.0)
+        << "round " << round;
+
+    // Remove a deterministic handful of enrolled subjects.
+    for (std::size_t r = 0; r < 23; ++r) {
+      const std::string victim = SyntheticSubjectId(100 + removed_cursor * 7);
+      ++removed_cursor;
+      if (index->Contains(victim)) {
+        ASSERT_TRUE(index->Remove(victim).ok());
+      }
+    }
+
+    // Identify a strided probe sample from the repeat session: pruned
+    // accuracy must never drop below the brute-force baseline.
+    std::vector<linalg::Vector> probe_columns;
+    std::vector<std::string> probe_ids;
+    for (std::size_t j = 0; j < next_subject; j += 29) {
+      const std::string id = SyntheticSubjectId(j);
+      if (!index->Contains(id)) continue;
+      auto probe = MakeSyntheticGallerySlice(gallery, 1, j, j + 1);
+      ASSERT_TRUE(probe.ok());
+      probe_columns.push_back(probe->SubjectColumn(0));
+      probe_ids.push_back(id);
+    }
+    ASSERT_GE(probe_columns.size(), 3u);
+    auto probes = connectome::GroupMatrix::FromFeatureColumns(probe_columns,
+                                                              probe_ids);
+    ASSERT_TRUE(probes.ok());
+
+    auto pruned = index->IdentifyBatch(*probes);
+    auto brute = index->IdentifyBatchBruteForce(*probes);
+    ASSERT_TRUE(pruned.ok()) << pruned.status();
+    ASSERT_TRUE(brute.ok()) << brute.status();
+    EXPECT_GE(pruned->accuracy, brute->accuracy) << "round " << round;
+    ASSERT_EQ(pruned->matches.size(), brute->matches.size());
+    for (std::size_t p = 0; p < pruned->matches.size(); ++p) {
+      EXPECT_EQ(pruned->matches[p].subject_id, brute->matches[p].subject_id)
+          << "round " << round << " probe " << pruned->probe_ids[p];
+    }
+  }
+  EXPECT_EQ(next_subject, gallery.num_subjects);
+  EXPECT_GT(index->size(), 2000u);
+
+  // The soak crossed the cadence many times: refreshes really happened.
+  const auto snapshot = metrics::Registry::Global().TakeSnapshot();
+  bool saw_refresh_counter = false;
+  for (const auto& counter : snapshot.counters) {
+    if (counter.name == "service.sketch_refreshes") {
+      saw_refresh_counter = true;
+      EXPECT_GE(counter.value, kRounds);
+    }
+  }
+  EXPECT_TRUE(saw_refresh_counter);
+}
+
+}  // namespace
+}  // namespace neuroprint::service
