@@ -6,13 +6,15 @@
 // `--threads=N` (stripped before google-benchmark sees the flags) sets
 // the worker count for the parallelized kernels and prints a
 // speedup-vs-1-thread table for the two gemm-bound kernels before the
-// microbenchmark suite runs. Before that, two single-thread comparison
-// tables quantify this repo's kernel work: the tiled GEMM micro-kernels
-// against the pre-tiling naive triple loops (kept here as baselines), and
-// sketched leverage scoring against the exact decomposition paths. Pass
-// `--json=PATH` to also emit those comparisons as a JSON record array
-// (the committed BENCH_gemm.json); a CSV lands next to the binary either
-// way.
+// microbenchmark suite runs. Before that, comparison tables quantify this
+// repo's kernel work: the tiled GEMM micro-kernels against the pre-tiling
+// naive triple loops (kept here as baselines), sketched leverage scoring
+// against the exact decomposition paths, the dispatched SIMD kernels
+// against the scalar reference table (per-ISA, with a bitwise-equality
+// assertion), and the blocked bidiagonalization against the serial
+// Householder reduction. Pass `--json=PATH` to also emit those
+// comparisons as a JSON record array (the committed BENCH_gemm.json); a
+// CSV lands next to the binary either way.
 
 #include <benchmark/benchmark.h>
 
@@ -27,6 +29,7 @@
 #include "core/row_sampling.h"
 #include "core/tsne.h"
 #include "linalg/matrix.h"
+#include "linalg/simd/simd.h"
 #include "linalg/stats.h"
 #include "linalg/svd.h"
 #include "signal/filters.h"
@@ -354,6 +357,143 @@ void ReportKernelComparisons(bench::JsonReporter* json) {
   bench::WriteCsvOrDie(csv, "scaling_kernels.csv");
 }
 
+// Per-ISA kernel comparison: times the gemm-bound and correlation kernels
+// under the scalar dispatch table and under the best CPU-supported table
+// (ScopedIsa swap; same process, same inputs). The determinism contract
+// makes the scalar run a bitwise oracle for the vector run, which is
+// asserted here — so the reported speedup can never come from a kernel
+// that silently changed the math. One JSON record per kernel per ISA
+// (BeginRecord stamps dispatch_isa while the override is active).
+void ReportIsaKernels(bench::JsonReporter* json) {
+  namespace simd = linalg::simd;
+  const std::size_t rows = bench::FastMode() ? 6462 : 64620;
+  const std::size_t cols = 100;
+  const linalg::Matrix a = RandomMatrix(rows, cols, 51);
+  const linalg::Matrix b = RandomMatrix(rows, cols, 52);
+  const linalg::Matrix series = RandomMatrix(360, 1200, 53);
+
+  struct Kernel {
+    const char* name;
+    linalg::Matrix (*run)(const linalg::Matrix&, const linalg::Matrix&);
+  };
+  const Kernel kernels[] = {
+      {"mattmul",
+       [](const linalg::Matrix& x, const linalg::Matrix& y) {
+         return linalg::MatTMul(x, y);
+       }},
+      {"gram",
+       [](const linalg::Matrix& x, const linalg::Matrix&) {
+         return linalg::Gram(x);
+       }},
+      {"row_correlation",
+       [](const linalg::Matrix&, const linalg::Matrix& s) {
+         return linalg::RowCorrelation(s);
+       }},
+  };
+
+  ScopedDefaultThreadCount serial(1);
+  const simd::Isa best = simd::BestSupportedIsa();
+  std::printf("per-ISA kernels (1 thread, scalar vs %s):\n",
+              simd::IsaName(best));
+  std::printf("%-24s %11s %11s %8s\n", "kernel", "scalar s",
+              simd::IsaName(best), "speedup");
+  for (const Kernel& kernel : kernels) {
+    double scalar_sec = 0.0;
+    linalg::Matrix scalar_out;
+    {
+      simd::ScopedIsa isa(simd::Isa::kScalar);
+      Stopwatch clock;
+      scalar_out = kernel.run(a, kernel.name == std::string("row_correlation")
+                                     ? series
+                                     : b);
+      scalar_sec = clock.ElapsedSeconds();
+      if (json != nullptr) {
+        json->BeginRecord(std::string("isa/") + kernel.name);
+        json->AddField("rows", static_cast<double>(rows));
+        json->AddField("cols", static_cast<double>(cols));
+        json->AddField("seconds", scalar_sec);
+      }
+    }
+    simd::ScopedIsa isa(best);
+    Stopwatch clock;
+    const linalg::Matrix simd_out = kernel.run(
+        a, kernel.name == std::string("row_correlation") ? series : b);
+    const double simd_sec = clock.ElapsedSeconds();
+    // The contract, enforced: vector kernels may only be faster, never
+    // different.
+    NP_CHECK((scalar_out - simd_out).MaxAbs() == 0.0)
+        << kernel.name << " diverged between scalar and "
+        << simd::IsaName(best);
+    const double speedup = simd_sec > 0.0 ? scalar_sec / simd_sec : 0.0;
+    std::printf("%-24s %10.3fs %10.3fs %7.2fx\n", kernel.name, scalar_sec,
+                simd_sec, speedup);
+    if (json != nullptr) {
+      json->BeginRecord(std::string("isa/") + kernel.name);
+      json->AddField("rows", static_cast<double>(rows));
+      json->AddField("cols", static_cast<double>(cols));
+      json->AddField("seconds", simd_sec);
+      json->AddField("speedup_vs_scalar", speedup);
+    }
+  }
+  std::printf("\n");
+}
+
+// Exact-SVD bidiagonalization comparison: the legacy serial Householder
+// reduction (bidiag_panel = 1) against the blocked panel reduction, at 1
+// thread and at `threads` (the blocked trailing updates are level-3 ops
+// on the tiled GEMM path, so they scale with the pool). force_direct
+// keeps the thin-QR preconditioner out of the way so the measurement is
+// the reduction itself.
+void ReportSvdBidiag(bench::JsonReporter* json, std::size_t threads) {
+  const std::size_t rows = bench::FastMode() ? 400 : 1200;
+  const std::size_t cols = bench::FastMode() ? 80 : 200;
+  const linalg::Matrix a = RandomMatrix(rows, cols, 61);
+  linalg::SvdOptions unblocked;
+  unblocked.force_direct = true;
+  unblocked.bidiag_panel = 1;
+  linalg::SvdOptions blocked;
+  blocked.force_direct = true;
+
+  const auto time_svd = [&a](const linalg::SvdOptions& options) {
+    Stopwatch clock;
+    const auto svd = linalg::Svd(a, options);
+    NP_CHECK(svd.ok()) << svd.status().ToString();
+    benchmark::DoNotOptimize(svd);
+    return clock.ElapsedSeconds();
+  };
+
+  double unblocked_sec = 0.0;
+  double blocked_1t = 0.0;
+  {
+    ScopedDefaultThreadCount serial(1);
+    unblocked_sec = time_svd(unblocked);
+    blocked_1t = time_svd(blocked);
+  }
+  ScopedDefaultThreadCount parallel(threads);
+  const double blocked_nt = time_svd(blocked);
+
+  std::printf("exact-SVD bidiagonalization (%zu x %zu, force_direct):\n",
+              rows, cols);
+  std::printf("  serial Householder %8.3fs   blocked @1t %8.3fs (%.2fx)   "
+              "blocked @%zut %8.3fs (%.2fx)\n\n",
+              unblocked_sec, blocked_1t,
+              blocked_1t > 0.0 ? unblocked_sec / blocked_1t : 0.0, threads,
+              blocked_nt, blocked_nt > 0.0 ? blocked_1t / blocked_nt : 0.0);
+  if (json != nullptr) {
+    json->BeginRecord("svd_bidiag");
+    json->AddField("rows", static_cast<double>(rows));
+    json->AddField("cols", static_cast<double>(cols));
+    json->AddField("unblocked_sec", unblocked_sec);
+    json->AddField("blocked_1t_sec", blocked_1t);
+    json->AddField("blocked_nt_sec", blocked_nt);
+    json->AddField("threads", static_cast<double>(threads));
+    json->AddField("speedup_blocked",
+                   blocked_1t > 0.0 ? unblocked_sec / blocked_1t : 0.0);
+    json->AddField("thread_scaling",
+                   blocked_nt > 0.0 ? blocked_1t / blocked_nt : 0.0);
+  }
+}
+
 // Times one run of `fn` at 1 thread and at `threads`, printing the
 // speedup. The kernels are deterministic across thread counts, so the
 // two runs produce bitwise-identical results and only wall-clock moves.
@@ -398,11 +538,14 @@ int main(int argc, char** argv) {
   const std::size_t flag_threads =
       neuroprint::bench::ParseThreadsFlag(&argc, argv);
   const std::string json_path = neuroprint::bench::ParseJsonFlag(&argc, argv);
+  const std::size_t threads =
+      neuroprint::ResolveThreadCount(neuroprint::ParallelContext{flag_threads});
   neuroprint::bench::JsonReporter json;
   neuroprint::ReportKernelComparisons(&json);
+  neuroprint::ReportIsaKernels(&json);
+  neuroprint::ReportSvdBidiag(&json, threads);
   neuroprint::bench::WriteJsonOrDie(json, json_path);
-  neuroprint::ReportThreadScaling(
-      neuroprint::ResolveThreadCount(neuroprint::ParallelContext{flag_threads}));
+  neuroprint::ReportThreadScaling(threads);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -10,6 +10,7 @@
 #include <sys/resource.h>
 #endif
 
+#include "linalg/simd/simd.h"
 #include "util/check.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
@@ -176,6 +177,12 @@ void JsonReporter::BeginRecord(const std::string& name) {
   // path so the field is always present for schema checks.
   AddField("peak_rss_bytes",
            rss < 0.0 ? std::numeric_limits<double>::quiet_NaN() : rss);
+  // Every record names the kernel ISA it ran under so perf numbers are
+  // attributable: dispatch_isa is what the table resolved to at this
+  // moment (benches may swap it with ScopedIsa mid-run), isa_override the
+  // NEUROPRINT_ISA value latched at first dispatch ("" when unset).
+  AddTextField("dispatch_isa", linalg::simd::IsaName(linalg::simd::ActiveIsa()));
+  AddTextField("isa_override", linalg::simd::IsaOverrideEnv());
 }
 
 void JsonReporter::AddField(const std::string& key, double value) {

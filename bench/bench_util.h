@@ -71,7 +71,11 @@ class JsonReporter {
   /// record automatically carries a "peak_rss_bytes" field — the process
   /// high-water-mark resident set at the time the record was opened
   /// (getrusage; null on platforms without it) — so memory regressions are
-  /// recorded alongside timings without per-bench plumbing.
+  /// recorded alongside timings without per-bench plumbing. It also
+  /// carries "dispatch_isa" (the SIMD table active when the record was
+  /// opened: "scalar"/"avx2"/"neon") and "isa_override" (the raw
+  /// NEUROPRINT_ISA value latched at first dispatch, "" when unset) so
+  /// every perf number is attributable to the kernels that produced it.
   void BeginRecord(const std::string& name);
 
   /// Adds a numeric field to the current record (%.9g; non-finite values

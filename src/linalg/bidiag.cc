@@ -1,0 +1,325 @@
+#include "linalg/bidiag.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "linalg/gemm_kernel.h"
+#include "linalg/simd/simd.h"
+#include "util/trace.h"
+
+namespace neuroprint::linalg {
+namespace {
+
+double SignOf(double magnitude, double sign_source) {
+  return sign_source >= 0.0 ? std::fabs(magnitude) : -std::fabs(magnitude);
+}
+
+// Householder generation on v[0..len): on return H = I - tau w w^T with
+// w = [1; v[1..len)] maps the input vector to beta * e1. v[0] is set to
+// the implicit 1. The vector is pre-scaled by its max magnitude so the
+// sum of squares can neither overflow nor lose everything to underflow
+// (same defense the classic scaled reduction uses).
+void HouseholderReflector(double* v, std::size_t len, double* beta,
+                          double* tau) {
+  const simd::Ops& ops = simd::ActiveOps();
+  double amax = 0.0;
+  for (std::size_t i = 0; i < len; ++i) amax = std::max(amax, std::fabs(v[i]));
+  if (amax == 0.0) {
+    *beta = 0.0;
+    *tau = 0.0;
+    if (len > 0) v[0] = 1.0;
+    return;
+  }
+  for (std::size_t i = 0; i < len; ++i) v[i] /= amax;
+  const double alpha = v[0];
+  const double norm = std::sqrt(ops.nrm2sq(v, len));
+  const double b = -SignOf(norm, alpha);
+  *tau = (b - alpha) / b;
+  const double inv = 1.0 / (alpha - b);
+  for (std::size_t i = 1; i < len; ++i) v[i] *= inv;
+  v[0] = 1.0;
+  *beta = b * amax;
+}
+
+// One dlabrd-style panel over columns [i0, i0 + nb) of the matrix whose
+// transpose is `tmat` (n x m). Householder vectors overwrite tmat in
+// place (column reflectors in tmat rows, row reflectors in tmat
+// columns, unit heads stored as literal 1s); d/e/tauq/taup collect the
+// bidiagonal and reflector scalars. xt/yt (nb x (m - i0), nb x (n - i0),
+// zero-initialized) receive the transposed X and Y blocks of the panel
+// update A22 -= Up * Y2^T + X2 * Rp, applied by the caller as level-3
+// products.
+void PanelBidiagonalize(Matrix& tmat, std::size_t i0, std::size_t nb,
+                        std::vector<double>& tauq, std::vector<double>& taup,
+                        Vector& d, Vector& e, Matrix& xt, Matrix& yt,
+                        const ParallelContext& ctx) {
+  const std::size_t n = tmat.rows();
+  const std::size_t m = tmat.cols();
+  const simd::Ops& ops = simd::ActiveOps();
+  std::vector<double> aux(nb, 0.0);
+  std::vector<double> head(nb, 0.0);
+  std::vector<double> wvec, y1, x1;
+
+  for (std::size_t t = 0; t < nb; ++t) {
+    const std::size_t j = i0 + t;
+    double* colj = tmat.RowPtr(j);  // Column j of A, contiguous here.
+
+    // Apply the panel's previous reflectors to column j (rows [j, m)).
+    for (std::size_t s = 0; s < t; ++s) {
+      ops.axpy(-yt(s, t), tmat.RowPtr(i0 + s) + j, colj + j, m - j);
+      ops.axpy(-colj[i0 + s], xt.RowPtr(s) + (j - i0), colj + j, m - j);
+    }
+
+    // Column (left) reflector; unit head stays in the matrix.
+    HouseholderReflector(colj + j, m - j, &d[j], &tauq[j]);
+
+    if (j + 1 == n) {
+      taup[j] = 0.0;  // Last column: no row reflector, G_j = I.
+      continue;
+    }
+    const std::size_t ntail = n - j - 1;  // Trailing columns (j, n).
+    const std::size_t mtail = m - j - 1;  // Trailing rows (j, m).
+
+    // y_t = tauq * (A22^T u - corrections), the first of the two
+    // level-2 products that touch the whole trailing matrix.
+    y1.assign(ntail, 0.0);
+    ParallelFor(ctx, j + 1, n, GrainForWork(m - j),
+                [&](std::size_t lo, std::size_t hi) {
+                  for (std::size_t q = lo; q < hi; ++q) {
+                    y1[q - j - 1] = ops.dot(tmat.RowPtr(q) + j, colj + j, m - j);
+                  }
+                });
+    for (std::size_t s = 0; s < t; ++s) {
+      aux[s] = ops.dot(tmat.RowPtr(i0 + s) + j, colj + j, m - j);
+    }
+    for (std::size_t s = 0; s < t; ++s) {
+      ops.axpy(-aux[s], yt.RowPtr(s) + (t + 1), y1.data(), ntail);
+    }
+    for (std::size_t s = 0; s < t; ++s) {
+      aux[s] = ops.dot(xt.RowPtr(s) + (j - i0), colj + j, m - j);
+    }
+    if (t > 0) {
+      for (std::size_t q = j + 1; q < n; ++q) {
+        const double* rowq = tmat.RowPtr(q);
+        double acc = 0.0;
+        for (std::size_t s = 0; s < t; ++s) acc += aux[s] * rowq[i0 + s];
+        y1[q - j - 1] -= acc;
+      }
+    }
+    for (std::size_t q = 0; q < ntail; ++q) y1[q] *= tauq[j];
+    std::copy(y1.begin(), y1.end(), yt.RowPtr(t) + (t + 1));
+
+    // Update row j of A (strided in tmat, but only length n - j - 1).
+    for (std::size_t s = 0; s <= t; ++s) head[s] = tmat(i0 + s, j);
+    for (std::size_t q = j + 1; q < n; ++q) {
+      double* rowq = tmat.RowPtr(q);
+      double acc = 0.0;
+      for (std::size_t s = 0; s <= t; ++s) acc += yt(s, q - i0) * head[s];
+      for (std::size_t s = 0; s < t; ++s) {
+        acc += rowq[i0 + s] * xt(s, j - i0);
+      }
+      rowq[j] -= acc;
+    }
+
+    // Row (right) reflector, generated on a contiguous copy and written
+    // back with its unit head.
+    wvec.assign(ntail, 0.0);
+    for (std::size_t q = j + 1; q < n; ++q) wvec[q - j - 1] = tmat(q, j);
+    HouseholderReflector(wvec.data(), ntail, &e[j], &taup[j]);
+    for (std::size_t q = j + 1; q < n; ++q) tmat(q, j) = wvec[q - j - 1];
+
+    // x_t = taup * (A22 w - corrections), the second trailing-matrix
+    // product: chunks own disjoint output slices and fold the rows of
+    // the trailing matrix in ascending order, so the accumulation order
+    // per element matches the serial loop exactly.
+    x1.assign(mtail, 0.0);
+    ParallelFor(ctx, j + 1, m, GrainForWork(ntail),
+                [&](std::size_t lo, std::size_t hi) {
+                  for (std::size_t q = j + 1; q < n; ++q) {
+                    ops.axpy(wvec[q - j - 1], tmat.RowPtr(q) + lo,
+                             x1.data() + (lo - j - 1), hi - lo);
+                  }
+                });
+    for (std::size_t s = 0; s <= t; ++s) {
+      aux[s] = ops.dot(yt.RowPtr(s) + (t + 1), wvec.data(), ntail);
+    }
+    for (std::size_t s = 0; s <= t; ++s) {
+      ops.axpy(-aux[s], tmat.RowPtr(i0 + s) + j + 1, x1.data(), mtail);
+    }
+    if (t > 0) {
+      std::fill(aux.begin(), aux.begin() + static_cast<std::ptrdiff_t>(t),
+                0.0);
+      for (std::size_t q = j + 1; q < n; ++q) {
+        const double* rowq = tmat.RowPtr(q);
+        const double wq = wvec[q - j - 1];
+        for (std::size_t s = 0; s < t; ++s) aux[s] += rowq[i0 + s] * wq;
+      }
+      for (std::size_t s = 0; s < t; ++s) {
+        ops.axpy(-aux[s], xt.RowPtr(s) + (t + 1), x1.data(), mtail);
+      }
+    }
+    for (std::size_t k = 0; k < mtail; ++k) x1[k] *= taup[j];
+    std::copy(x1.begin(), x1.end(), xt.RowPtr(t) + (t + 1));
+  }
+}
+
+// Upper-triangular T factor of the forward block reflector
+// H_0 H_1 ... H_{nb-1} = I - W^T T W (dlarft, forward / rowwise: row s
+// of `w` is the s-th reflector vector, unit head at column s, zeros
+// before). A zero tau yields an all-zero row and column — that
+// reflector drops out of the block product.
+Matrix BuildForwardT(const Matrix& w, const double* taus) {
+  const std::size_t nb = w.rows();
+  const std::size_t len = w.cols();
+  const simd::Ops& ops = simd::ActiveOps();
+  Matrix tf(nb, nb);
+  std::vector<double> vv(nb, 0.0);
+  for (std::size_t s = 0; s < nb; ++s) {
+    const double tau = taus[s];
+    if (tau == 0.0) continue;
+    for (std::size_t r = 0; r < s; ++r) {
+      vv[r] = ops.dot(w.RowPtr(r) + s, w.RowPtr(s) + s, len - s);
+    }
+    for (std::size_t r = 0; r < s; ++r) {
+      double acc = 0.0;
+      for (std::size_t r2 = r; r2 < s; ++r2) acc += tf(r, r2) * vv[r2];
+      tf(r, s) = -tau * acc;
+    }
+    tf(s, s) = tau;
+  }
+  return tf;
+}
+
+// out_rows [row0, row0 + sub.rows()) of `out` -= sub, row-parallel.
+void SubtractRows(Matrix& out, std::size_t row0, const Matrix& sub,
+                  const ParallelContext& ctx) {
+  ParallelFor(ctx, 0, sub.rows(), GrainForWork(sub.cols()),
+              [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t r = lo; r < hi; ++r) {
+                  double* dst = out.RowPtr(row0 + r);
+                  const double* src = sub.RowPtr(r);
+                  for (std::size_t c = 0; c < sub.cols(); ++c) {
+                    dst[c] -= src[c];
+                  }
+                }
+              });
+}
+
+// acc_rows([row0, ...)) of `q` <- (I - W^T T W) * those rows, i.e.
+// q_sub -= W^T * (T * (W * q_sub)): three tiled GEMMs. `w` is nb x len
+// (reflector vectors as rows, spanning q rows [row0, row0 + len)).
+void ApplyBlockReflector(const Matrix& w, const Matrix& tf, Matrix& q,
+                         std::size_t row0, const ParallelContext& ctx) {
+  const std::size_t len = w.cols();
+  const std::size_t nb = w.rows();
+  const std::size_t cols = q.cols();
+  const Matrix qsub = q.Block(row0, 0, len, cols);
+  Matrix w1(nb, cols);
+  TiledGemm(w, false, qsub, false, &w1, ctx);
+  Matrix w2(nb, cols);
+  TiledGemm(tf, false, w1, false, &w2, ctx);
+  Matrix m3(len, cols);
+  TiledGemm(w, true, w2, false, &m3, ctx);
+  SubtractRows(q, row0, m3, ctx);
+}
+
+}  // namespace
+
+Result<BidiagFactorization> BlockedBidiagonalize(const Matrix& a,
+                                                 const BidiagOptions& options) {
+  NP_TRACE_SCOPE("linalg.bidiag");
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  if (m < n) {
+    return Status::InvalidArgument(
+        "BlockedBidiagonalize requires rows >= cols");
+  }
+  if (!a.AllFinite()) {
+    return Status::InvalidArgument("BlockedBidiagonalize: non-finite input");
+  }
+  BidiagFactorization f;
+  f.u = Matrix(m, n);
+  f.v = Matrix::Identity(n);
+  f.d.assign(n, 0.0);
+  f.e.assign(n >= 2 ? n - 1 : 0, 0.0);
+  if (n == 0) return f;
+
+  const std::size_t nb =
+      std::min(options.panel == 0 ? std::size_t{32} : options.panel, n);
+  const ParallelContext& ctx = options.parallel;
+  Matrix tmat = a.Transposed();
+  std::vector<double> tauq(n, 0.0);
+  std::vector<double> taup(n, 0.0);
+
+  std::vector<std::size_t> panel_starts;
+  for (std::size_t i0 = 0; i0 < n; i0 += nb) panel_starts.push_back(i0);
+
+  // Reduction: factor each panel, then one rank-2*nb level-3 update of
+  // the trailing matrix (in transposed layout: T22 -= Y2 Up^T + Rp X2^T).
+  for (const std::size_t i0 : panel_starts) {
+    const std::size_t nb_eff = std::min(nb, n - i0);
+    Matrix xt(nb_eff, m - i0);
+    Matrix yt(nb_eff, n - i0);
+    PanelBidiagonalize(tmat, i0, nb_eff, tauq, taup, f.d, f.e, xt, yt, ctx);
+    const std::size_t i2 = i0 + nb_eff;
+    if (i2 >= n) continue;
+    const Matrix yt_sub = yt.Block(0, nb_eff, nb_eff, n - i2);
+    const Matrix up_t = tmat.Block(i0, i2, nb_eff, m - i2);
+    const Matrix rp_t = tmat.Block(i2, i0, n - i2, nb_eff);
+    const Matrix xt_sub = xt.Block(0, nb_eff, nb_eff, m - i2);
+    Matrix m1(n - i2, m - i2);
+    Matrix m2(n - i2, m - i2);
+    TiledGemm(yt_sub, true, up_t, false, &m1, ctx);
+    TiledGemm(rp_t, false, xt_sub, false, &m2, ctx);
+    ParallelFor(ctx, i2, n, GrainForWork(m - i2),
+                [&](std::size_t lo, std::size_t hi) {
+                  for (std::size_t q = lo; q < hi; ++q) {
+                    double* rowq = tmat.RowPtr(q);
+                    const double* r1 = m1.RowPtr(q - i2);
+                    const double* r2 = m2.RowPtr(q - i2);
+                    for (std::size_t k = i2; k < m; ++k) {
+                      rowq[k] = (rowq[k] - r1[k - i2]) - r2[k - i2];
+                    }
+                  }
+                });
+  }
+
+  // Accumulate U = (H_0 ... H_{n-1}) E_n and V = (G_0 ... G_{n-2}) I_n
+  // by applying the block reflectors backward (last panel first), each
+  // as three level-3 products.
+  for (std::size_t q = 0; q < n; ++q) f.u(q, q) = 1.0;
+  for (std::size_t p = panel_starts.size(); p-- > 0;) {
+    const std::size_t i0 = panel_starts[p];
+    const std::size_t nb_eff = std::min(nb, n - i0);
+
+    // Column reflectors -> U. Vector s lives in tmat row i0 + s from
+    // column i0 + s on (head already a literal 1); entries before the
+    // head hold unrelated row-reflector data and are masked off.
+    Matrix vt(nb_eff, m - i0);
+    for (std::size_t s = 0; s < nb_eff; ++s) {
+      const double* src = tmat.RowPtr(i0 + s) + i0;
+      double* dst = vt.RowPtr(s);
+      std::copy(src + s, src + (m - i0), dst + s);
+    }
+    ApplyBlockReflector(vt, BuildForwardT(vt, &tauq[i0]), f.u, i0, ctx);
+
+    // Row reflectors -> V (rows [i0 + 1, n)). Vector s is tmat column
+    // i0 + s below the diagonal (strided, but only length < n).
+    if (n - i0 >= 2) {
+      const std::size_t rows_v = n - i0 - 1;
+      Matrix wt(nb_eff, rows_v);
+      for (std::size_t q = i0 + 1; q < n; ++q) {
+        const double* rowq = tmat.RowPtr(q);
+        const std::size_t s_hi = std::min(nb_eff, q - i0);
+        for (std::size_t s = 0; s < s_hi; ++s) {
+          if (taup[i0 + s] != 0.0) wt(s, q - i0 - 1) = rowq[i0 + s];
+        }
+      }
+      ApplyBlockReflector(wt, BuildForwardT(wt, &taup[i0]), f.v, i0 + 1, ctx);
+    }
+  }
+  return f;
+}
+
+}  // namespace neuroprint::linalg

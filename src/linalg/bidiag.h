@@ -1,0 +1,61 @@
+// Blocked Householder bidiagonalization (the LAPACK dgebrd/dlabrd
+// scheme): A = U B V^T with B upper bidiagonal, U (m x n) and V (n x n)
+// having orthonormal columns.
+//
+// The classic single-vector reduction applies every reflector to the
+// whole trailing matrix immediately — O(n) full-matrix sweeps of
+// level-2 work. The blocked scheme factors a panel of `panel` columns
+// while touching the trailing matrix only through two matrix-vector
+// products per column (accumulated in the auxiliary X and Y blocks),
+// then applies the panel's rank-2*panel update to the trailing matrix
+// as two level-3 products on the tiled GEMM path, where the thread pool
+// and the SIMD micro-kernels do the heavy lifting.
+//
+// Internally the reduction runs on the *transpose* of A (n x m,
+// row-major): a column Householder vector of A is then a contiguous row,
+// so the hot level-2 products (y = A22^T u, x = A22 w) stream rows
+// through the dispatched simd::Ops kernels instead of striding down
+// columns. Only short (length <= n) accesses stay strided.
+//
+// Determinism: every loop order, chunk boundary, and reduction order is
+// a pure function of the shape (never of the thread count), and all
+// per-element arithmetic goes through the canonical simd lane-split /
+// tiled-GEMM orders, so the factorization is bitwise identical at any
+// thread count and on every dispatched ISA.
+
+#ifndef NEUROPRINT_LINALG_BIDIAG_H_
+#define NEUROPRINT_LINALG_BIDIAG_H_
+
+#include <cstddef>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace neuroprint::linalg {
+
+struct BidiagOptions {
+  /// Panel width. 0 picks the default (32). Width 1 degenerates to an
+  /// unblocked (but still level-3-free) reduction; useful in tests.
+  std::size_t panel = 0;
+  /// Thread knob for the GEMM-shaped steps (never changes results).
+  ParallelContext parallel;
+};
+
+/// A = u * Bidiagonal(d, e) * v^T for an m x n input with m >= n:
+/// u is m x n with orthonormal columns, v is n x n orthogonal,
+/// d[i] = B(i, i) and e[i] = B(i, i + 1).
+struct BidiagFactorization {
+  Matrix u;
+  Vector d;
+  Vector e;  ///< n - 1 entries; empty when n < 2.
+  Matrix v;
+};
+
+/// Fails with InvalidArgument if rows < cols or the input is non-finite.
+Result<BidiagFactorization> BlockedBidiagonalize(
+    const Matrix& a, const BidiagOptions& options = {});
+
+}  // namespace neuroprint::linalg
+
+#endif  // NEUROPRINT_LINALG_BIDIAG_H_

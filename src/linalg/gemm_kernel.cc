@@ -4,16 +4,18 @@
 #include <utility>
 #include <vector>
 
+#include "linalg/simd/simd.h"
 #include "util/check.h"
 #include "util/metrics.h"
 
 namespace neuroprint::linalg {
 namespace {
 
-// Register tile: kMr x kNr accumulators (16 doubles — exactly the SSE2
-// register file, so the inner loop keeps every accumulator in registers).
-constexpr std::size_t kMr = 4;
-constexpr std::size_t kNr = 4;
+// Register tile: kMr x kNr accumulators (16 doubles). The shape is owned
+// by the simd dispatch layer — its micro-kernel contracts one packed
+// kMr-row group against one packed kNr-column group per call.
+constexpr std::size_t kMr = simd::kGemmMr;
+constexpr std::size_t kNr = simd::kGemmNr;
 
 // TiledGram reuses one packed buffer for both operands of a tile, which
 // requires the A and B lane counts to agree.
@@ -107,20 +109,14 @@ void PackB(const Matrix& b, bool trans_b, std::size_t k0, std::size_t kc,
 }
 
 // One register tile: acc = sum over the panel's kc indices, ascending k
-// from 0.0 accumulators — the canonical within-panel order.
-inline void MicroKernel(const double* __restrict ap,
+// from 0.0 accumulators — the canonical within-panel order. The dispatched
+// kernel (scalar/AVX2/NEON) is bit-identical across ISAs: it vectorizes
+// across the kNr independent output lanes and never fuses multiply-add,
+// so the per-element operation sequence is exactly the reference loop's.
+inline void MicroKernel(const simd::Ops& ops, const double* __restrict ap,
                         const double* __restrict bp, std::size_t kc,
                         double acc[kMr][kNr]) {
-  for (std::size_t r = 0; r < kMr; ++r) {
-    for (std::size_t c = 0; c < kNr; ++c) acc[r][c] = 0.0;
-  }
-  for (std::size_t kk = 0; kk < kc; ++kk) {
-    const double* av = ap + kk * kMr;
-    const double* bv = bp + kk * kNr;
-    for (std::size_t r = 0; r < kMr; ++r) {
-      for (std::size_t c = 0; c < kNr; ++c) acc[r][c] += av[r] * bv[c];
-    }
-  }
+  ops.gemm_4x4(ap, bp, kc, &acc[0][0]);
 }
 
 // Folds a tile's panel sums into C: the first panel assigns, later panels
@@ -161,6 +157,7 @@ inline void StoreTileUpper(const double acc[kMr][kNr], std::size_t i0,
 void ComputePanelBlock(const double* ap, std::size_t i0, std::size_t mb,
                        const double* bp, std::size_t n, std::size_t kc,
                        bool overwrite, Matrix* c) {
+  const simd::Ops& ops = simd::ActiveOps();
   const std::size_t igroups = CeilDiv(mb, kMr);
   const std::size_t jgroups = CeilDiv(n, kNr);
   double acc[kMr][kNr];
@@ -168,7 +165,7 @@ void ComputePanelBlock(const double* ap, std::size_t i0, std::size_t mb,
     const double* bg = bp + jg * kc * kNr;
     const std::size_t cols = std::min(kNr, n - jg * kNr);
     for (std::size_t ig = 0; ig < igroups; ++ig) {
-      MicroKernel(ap + ig * kc * kMr, bg, kc, acc);
+      MicroKernel(ops, ap + ig * kc * kMr, bg, kc, acc);
       StoreTile(acc, i0 + ig * kMr, std::min(kMr, mb - ig * kMr), jg * kNr,
                 cols, overwrite, c);
     }
@@ -266,6 +263,7 @@ void RowParallelGemm(const Matrix& a, bool trans_a, const Matrix& b,
 void ComputeGramPanelTiles(const double* pack, std::size_t i0, std::size_t mb,
                            std::size_t n, std::size_t kc, bool overwrite,
                            Matrix* g) {
+  const simd::Ops& ops = simd::ActiveOps();
   const std::size_t jgroups = CeilDiv(n, kNr);
   const std::size_t ig_lo = i0 / kMr;
   const std::size_t ig_hi = CeilDiv(i0 + mb, kMr);
@@ -275,7 +273,7 @@ void ComputeGramPanelTiles(const double* pack, std::size_t i0, std::size_t mb,
     const std::size_t cols = std::min(kNr, n - jg * kNr);
     const std::size_t ig_end = std::min(ig_hi, jg + 1);
     for (std::size_t ig = ig_lo; ig < ig_end; ++ig) {
-      MicroKernel(pack + ig * kc * kMr, bg, kc, acc);
+      MicroKernel(ops, pack + ig * kc * kMr, bg, kc, acc);
       const std::size_t rows = std::min(kMr, (i0 + mb) - ig * kMr);
       if (ig == jg) {
         StoreTileUpper(acc, ig * kMr, rows, jg * kNr, cols, overwrite, g);

@@ -1,0 +1,19 @@
+// Internal: per-ISA kernel table accessors for the dispatch layer.
+// GetAvx2Ops()/GetNeonOps() return nullptr on hosts whose toolchain did
+// not build that ISA's translation unit (the files themselves compile
+// everywhere; the bodies are preprocessor-gated on the target arch).
+
+#ifndef NEUROPRINT_LINALG_SIMD_KERNELS_H_
+#define NEUROPRINT_LINALG_SIMD_KERNELS_H_
+
+#include "linalg/simd/simd.h"
+
+namespace neuroprint::linalg::simd {
+
+const Ops* GetScalarOps();  // never nullptr
+const Ops* GetAvx2Ops();    // nullptr unless built for x86-64
+const Ops* GetNeonOps();    // nullptr unless built for aarch64
+
+}  // namespace neuroprint::linalg::simd
+
+#endif  // NEUROPRINT_LINALG_SIMD_KERNELS_H_

@@ -1,0 +1,222 @@
+// AVX2 kernels. Bitwise-identical to kernels_scalar.cc by construction:
+// one __m256d holds the four canonical lane accumulators, lane-local adds
+// mirror the scalar lane updates, ragged tails fall back to the same
+// scalar statements, and every element sees exactly one multiply and one
+// add (FMA is available at this TU's -mfma but deliberately unused; the
+// TU also compiles with -ffp-contract=off so the compiler cannot fuse
+// behind our back — see CMakeLists.txt).
+//
+// This file is the only place (with kernels_neon.cc) allowed to include
+// <immintrin.h> or name _mm* intrinsics (lint: simd-confinement).
+
+#include "linalg/simd/kernels.h"
+#include "linalg/simd/simd.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include <cstddef>
+
+namespace neuroprint::linalg::simd {
+namespace {
+
+void GemmMicroAvx2(const double* ap, const double* bp, std::size_t kc,
+                   double* acc) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  __m256d acc2 = _mm256_setzero_pd();
+  __m256d acc3 = _mm256_setzero_pd();
+  for (std::size_t kk = 0; kk < kc; ++kk) {
+    const double* av = ap + kk * kGemmMr;
+    const __m256d bv = _mm256_loadu_pd(bp + kk * kGemmNr);
+    acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(_mm256_set1_pd(av[0]), bv));
+    acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(_mm256_set1_pd(av[1]), bv));
+    acc2 = _mm256_add_pd(acc2, _mm256_mul_pd(_mm256_set1_pd(av[2]), bv));
+    acc3 = _mm256_add_pd(acc3, _mm256_mul_pd(_mm256_set1_pd(av[3]), bv));
+  }
+  _mm256_storeu_pd(acc + 0 * kGemmNr, acc0);
+  _mm256_storeu_pd(acc + 1 * kGemmNr, acc1);
+  _mm256_storeu_pd(acc + 2 * kGemmNr, acc2);
+  _mm256_storeu_pd(acc + 3 * kGemmNr, acc3);
+}
+
+inline double FoldLanes(const double lanes[kLanes]) {
+  return ((lanes[0] + lanes[1]) + lanes[2]) + lanes[3];
+}
+
+double DotAvx2(const double* x, const double* y, std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    acc = _mm256_add_pd(
+        acc, _mm256_mul_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i)));
+  }
+  double lanes[kLanes];
+  _mm256_storeu_pd(lanes, acc);
+  for (std::size_t l = 0; i < n; ++i, ++l) lanes[l] += x[i] * y[i];
+  return FoldLanes(lanes);
+}
+
+double SumAvx2(const double* x, std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    acc = _mm256_add_pd(acc, _mm256_loadu_pd(x + i));
+  }
+  double lanes[kLanes];
+  _mm256_storeu_pd(lanes, acc);
+  for (std::size_t l = 0; i < n; ++i, ++l) lanes[l] += x[i];
+  return FoldLanes(lanes);
+}
+
+double Nrm2SqAvx2(const double* x, std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256d v = _mm256_loadu_pd(x + i);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(v, v));
+  }
+  double lanes[kLanes];
+  _mm256_storeu_pd(lanes, acc);
+  for (std::size_t l = 0; i < n; ++i, ++l) lanes[l] += x[i] * x[i];
+  return FoldLanes(lanes);
+}
+
+double CssAvx2(const double* x, std::size_t n, double mean) {
+  const __m256d mu = _mm256_set1_pd(mean);
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256d d = _mm256_sub_pd(_mm256_loadu_pd(x + i), mu);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+  }
+  double lanes[kLanes];
+  _mm256_storeu_pd(lanes, acc);
+  for (std::size_t l = 0; i < n; ++i, ++l) {
+    const double d = x[i] - mean;
+    lanes[l] += d * d;
+  }
+  return FoldLanes(lanes);
+}
+
+double CenterNrm2SqAvx2(double* x, std::size_t n, double mean) {
+  const __m256d mu = _mm256_set1_pd(mean);
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256d d = _mm256_sub_pd(_mm256_loadu_pd(x + i), mu);
+    _mm256_storeu_pd(x + i, d);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+  }
+  double lanes[kLanes];
+  _mm256_storeu_pd(lanes, acc);
+  for (std::size_t l = 0; i < n; ++i, ++l) {
+    const double d = x[i] - mean;
+    x[i] = d;
+    lanes[l] += d * d;
+  }
+  return FoldLanes(lanes);
+}
+
+void CorrMomentsAvx2(const double* x, const double* y, std::size_t n,
+                     double mean_x, double mean_y, double* sxy, double* sxx,
+                     double* syy) {
+  const __m256d mx = _mm256_set1_pd(mean_x);
+  const __m256d my = _mm256_set1_pd(mean_y);
+  __m256d axy = _mm256_setzero_pd();
+  __m256d axx = _mm256_setzero_pd();
+  __m256d ayy = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256d dx = _mm256_sub_pd(_mm256_loadu_pd(x + i), mx);
+    const __m256d dy = _mm256_sub_pd(_mm256_loadu_pd(y + i), my);
+    axy = _mm256_add_pd(axy, _mm256_mul_pd(dx, dy));
+    axx = _mm256_add_pd(axx, _mm256_mul_pd(dx, dx));
+    ayy = _mm256_add_pd(ayy, _mm256_mul_pd(dy, dy));
+  }
+  double lxy[kLanes];
+  double lxx[kLanes];
+  double lyy[kLanes];
+  _mm256_storeu_pd(lxy, axy);
+  _mm256_storeu_pd(lxx, axx);
+  _mm256_storeu_pd(lyy, ayy);
+  for (std::size_t l = 0; i < n; ++i, ++l) {
+    const double dx = x[i] - mean_x;
+    const double dy = y[i] - mean_y;
+    lxy[l] += dx * dy;
+    lxx[l] += dx * dx;
+    lyy[l] += dy * dy;
+  }
+  *sxy = FoldLanes(lxy);
+  *sxx = FoldLanes(lxx);
+  *syy = FoldLanes(lyy);
+}
+
+void AxpyAvx2(double a, const double* x, double* y, std::size_t n) {
+  const __m256d av = _mm256_set1_pd(a);
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256d prod = _mm256_mul_pd(av, _mm256_loadu_pd(x + i));
+    _mm256_storeu_pd(y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), prod));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+void CenterScaleAvx2(double* x, std::size_t n, double mean,
+                     double inv_scale) {
+  const __m256d mu = _mm256_set1_pd(mean);
+  const __m256d inv = _mm256_set1_pd(inv_scale);
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256d d = _mm256_sub_pd(_mm256_loadu_pd(x + i), mu);
+    _mm256_storeu_pd(x + i, _mm256_mul_pd(d, inv));
+  }
+  for (; i < n; ++i) x[i] = (x[i] - mean) * inv_scale;
+}
+
+void ScaleClampAvx2(double* row, const double* denoms, std::size_t n,
+                    double scale) {
+  const __m256d sv = _mm256_set1_pd(scale);
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d neg_one = _mm256_set1_pd(-1.0);
+  std::size_t j = 0;
+  for (; j + kLanes <= n; j += kLanes) {
+    const __m256d denom = _mm256_mul_pd(sv, _mm256_loadu_pd(denoms + j));
+    __m256d v = _mm256_div_pd(_mm256_loadu_pd(row + j), denom);
+    // Ordered, quiet compares + blends reproduce the scalar ternaries
+    // exactly, including NaN pass-through (_mm256_min/max_pd would not).
+    v = _mm256_blendv_pd(v, one, _mm256_cmp_pd(v, one, _CMP_GT_OQ));
+    v = _mm256_blendv_pd(v, neg_one, _mm256_cmp_pd(v, neg_one, _CMP_LT_OQ));
+    _mm256_storeu_pd(row + j, v);
+  }
+  for (; j < n; ++j) {
+    double v = row[j] / (scale * denoms[j]);
+    v = v > 1.0 ? 1.0 : v;
+    v = v < -1.0 ? -1.0 : v;
+    row[j] = v;
+  }
+}
+
+constexpr Ops kAvx2Ops = {
+    Isa::kAvx2,       GemmMicroAvx2,   DotAvx2,
+    SumAvx2,          Nrm2SqAvx2,      CssAvx2,
+    CenterNrm2SqAvx2, CorrMomentsAvx2, AxpyAvx2,
+    CenterScaleAvx2,  ScaleClampAvx2,
+};
+
+}  // namespace
+
+const Ops* GetAvx2Ops() { return &kAvx2Ops; }
+
+}  // namespace neuroprint::linalg::simd
+
+#else  // !x86-64
+
+namespace neuroprint::linalg::simd {
+
+const Ops* GetAvx2Ops() { return nullptr; }
+
+}  // namespace neuroprint::linalg::simd
+
+#endif

@@ -1,0 +1,187 @@
+// Portable reference kernels. These definitions ARE the numeric contract:
+// every vector ISA must reproduce them bit for bit.
+//
+// Reductions use the canonical lane-split order: kLanes (4) interleaved
+// accumulators, lane l taking elements with index i % 4 == l in ascending
+// i, folded left-to-right at the end:
+//
+//   result = ((acc0 + acc1) + acc2) + acc3
+//
+// A 4-wide vector register holding {acc0..acc3} performs exactly these
+// lane-local additions, so AVX2 (one register) and NEON (two registers)
+// match this code bitwise for any n, including ragged tails. Elementwise
+// kernels and the GEMM micro-kernel use one multiply and one add per
+// element — never a fused multiply-add — which vector ISAs reproduce
+// exactly (their TUs compile with -ffp-contract=off so the compiler
+// cannot contract either).
+
+#include <cstddef>
+
+#include "linalg/simd/kernels.h"
+#include "linalg/simd/simd.h"
+
+namespace neuroprint::linalg::simd {
+namespace {
+
+void GemmMicroScalar(const double* ap, const double* bp, std::size_t kc,
+                     double* acc) {
+  for (std::size_t i = 0; i < kGemmMr * kGemmNr; ++i) acc[i] = 0.0;
+  for (std::size_t kk = 0; kk < kc; ++kk) {
+    const double* av = ap + kk * kGemmMr;
+    const double* bv = bp + kk * kGemmNr;
+    for (std::size_t r = 0; r < kGemmMr; ++r) {
+      for (std::size_t c = 0; c < kGemmNr; ++c) {
+        acc[r * kGemmNr + c] += av[r] * bv[c];
+      }
+    }
+  }
+}
+
+// Folds the four lane accumulators in the canonical left-to-right order.
+inline double FoldLanes(const double acc[kLanes]) {
+  return ((acc[0] + acc[1]) + acc[2]) + acc[3];
+}
+
+double DotScalar(const double* x, const double* y, std::size_t n) {
+  double acc[kLanes] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    acc[0] += x[i] * y[i];
+    acc[1] += x[i + 1] * y[i + 1];
+    acc[2] += x[i + 2] * y[i + 2];
+    acc[3] += x[i + 3] * y[i + 3];
+  }
+  for (std::size_t l = 0; i < n; ++i, ++l) acc[l] += x[i] * y[i];
+  return FoldLanes(acc);
+}
+
+double SumScalar(const double* x, std::size_t n) {
+  double acc[kLanes] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    acc[0] += x[i];
+    acc[1] += x[i + 1];
+    acc[2] += x[i + 2];
+    acc[3] += x[i + 3];
+  }
+  for (std::size_t l = 0; i < n; ++i, ++l) acc[l] += x[i];
+  return FoldLanes(acc);
+}
+
+double Nrm2SqScalar(const double* x, std::size_t n) {
+  double acc[kLanes] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    acc[0] += x[i] * x[i];
+    acc[1] += x[i + 1] * x[i + 1];
+    acc[2] += x[i + 2] * x[i + 2];
+    acc[3] += x[i + 3] * x[i + 3];
+  }
+  for (std::size_t l = 0; i < n; ++i, ++l) acc[l] += x[i] * x[i];
+  return FoldLanes(acc);
+}
+
+double CssScalar(const double* x, std::size_t n, double mean) {
+  double acc[kLanes] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const double d0 = x[i] - mean;
+    const double d1 = x[i + 1] - mean;
+    const double d2 = x[i + 2] - mean;
+    const double d3 = x[i + 3] - mean;
+    acc[0] += d0 * d0;
+    acc[1] += d1 * d1;
+    acc[2] += d2 * d2;
+    acc[3] += d3 * d3;
+  }
+  for (std::size_t l = 0; i < n; ++i, ++l) {
+    const double d = x[i] - mean;
+    acc[l] += d * d;
+  }
+  return FoldLanes(acc);
+}
+
+double CenterNrm2SqScalar(double* x, std::size_t n, double mean) {
+  double acc[kLanes] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const double d0 = x[i] - mean;
+    const double d1 = x[i + 1] - mean;
+    const double d2 = x[i + 2] - mean;
+    const double d3 = x[i + 3] - mean;
+    x[i] = d0;
+    x[i + 1] = d1;
+    x[i + 2] = d2;
+    x[i + 3] = d3;
+    acc[0] += d0 * d0;
+    acc[1] += d1 * d1;
+    acc[2] += d2 * d2;
+    acc[3] += d3 * d3;
+  }
+  for (std::size_t l = 0; i < n; ++i, ++l) {
+    const double d = x[i] - mean;
+    x[i] = d;
+    acc[l] += d * d;
+  }
+  return FoldLanes(acc);
+}
+
+void CorrMomentsScalar(const double* x, const double* y, std::size_t n,
+                       double mean_x, double mean_y, double* sxy, double* sxx,
+                       double* syy) {
+  double axy[kLanes] = {0.0, 0.0, 0.0, 0.0};
+  double axx[kLanes] = {0.0, 0.0, 0.0, 0.0};
+  double ayy[kLanes] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      const double dx = x[i + l] - mean_x;
+      const double dy = y[i + l] - mean_y;
+      axy[l] += dx * dy;
+      axx[l] += dx * dx;
+      ayy[l] += dy * dy;
+    }
+  }
+  for (std::size_t l = 0; i < n; ++i, ++l) {
+    const double dx = x[i] - mean_x;
+    const double dy = y[i] - mean_y;
+    axy[l] += dx * dy;
+    axx[l] += dx * dx;
+    ayy[l] += dy * dy;
+  }
+  *sxy = FoldLanes(axy);
+  *sxx = FoldLanes(axx);
+  *syy = FoldLanes(ayy);
+}
+
+void AxpyScalar(double a, const double* x, double* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+void CenterScaleScalar(double* x, std::size_t n, double mean,
+                       double inv_scale) {
+  for (std::size_t i = 0; i < n; ++i) x[i] = (x[i] - mean) * inv_scale;
+}
+
+void ScaleClampScalar(double* row, const double* denoms, std::size_t n,
+                      double scale) {
+  for (std::size_t j = 0; j < n; ++j) {
+    double v = row[j] / (scale * denoms[j]);
+    v = v > 1.0 ? 1.0 : v;
+    v = v < -1.0 ? -1.0 : v;
+    row[j] = v;
+  }
+}
+
+constexpr Ops kScalarOps = {
+    Isa::kScalar,     GemmMicroScalar,   DotScalar,
+    SumScalar,        Nrm2SqScalar,      CssScalar,
+    CenterNrm2SqScalar, CorrMomentsScalar, AxpyScalar,
+    CenterScaleScalar, ScaleClampScalar,
+};
+
+}  // namespace
+
+const Ops* GetScalarOps() { return &kScalarOps; }
+
+}  // namespace neuroprint::linalg::simd

@@ -1,0 +1,129 @@
+// Dispatch resolution for the SIMD kernel tables.
+//
+// The table is picked once, on first use, from NEUROPRINT_ISA and the
+// CPU's capabilities; like NEUROPRINT_THREADS, the variable is latched so
+// mutating it mid-process cannot retune running kernels (and the getenv
+// stays race-free under TSan). ScopedIsa layers a test/bench override on
+// top via one atomic pointer.
+
+#include "linalg/simd/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "linalg/simd/kernels.h"
+#include "util/logging.h"
+
+namespace neuroprint::linalg::simd {
+namespace {
+
+// Non-null only while a ScopedIsa is alive (tests/benches; serial).
+std::atomic<const Ops*> g_override{nullptr};
+
+const Ops* TableFor(Isa isa) {
+  switch (isa) {
+    case Isa::kAvx2:
+      return GetAvx2Ops();
+    case Isa::kNeon:
+      return GetNeonOps();
+    case Isa::kScalar:
+      break;
+  }
+  return GetScalarOps();
+}
+
+const char* EnvIsaValue() {
+  static const char* const value = std::getenv("NEUROPRINT_ISA");
+  return value == nullptr ? "" : value;
+}
+
+const Ops* Resolve() {
+  const char* requested = EnvIsaValue();
+  if (*requested == '\0' || std::strcmp(requested, "native") == 0) {
+    return TableFor(BestSupportedIsa());
+  }
+  if (std::strcmp(requested, "scalar") == 0) return GetScalarOps();
+  if (std::strcmp(requested, "avx2") == 0 ||
+      std::strcmp(requested, "neon") == 0) {
+    const Isa isa =
+        requested[0] == 'a' ? Isa::kAvx2 : Isa::kNeon;
+    if (IsaSupported(isa)) return TableFor(isa);
+    // Unsupported explicit request degrades to the portable reference
+    // kernels (not silently to a different vector ISA) so a reproduction
+    // run still computes the canonical bits.
+    NP_LOG(Warning) << "NEUROPRINT_ISA=" << requested
+                    << " is not supported on this CPU; using scalar kernels";
+    return GetScalarOps();
+  }
+  NP_LOG(Warning) << "unknown NEUROPRINT_ISA value '" << requested
+                  << "' (want scalar|avx2|neon|native); using native";
+  return TableFor(BestSupportedIsa());
+}
+
+const Ops& ResolvedOps() {
+  static const Ops* const resolved = Resolve();
+  return *resolved;
+}
+
+}  // namespace
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kNeon:
+      return "neon";
+    case Isa::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+bool IsaSupported(Isa isa) {
+  if (TableFor(isa) == nullptr || TableFor(isa)->isa != isa) return false;
+  switch (isa) {
+    case Isa::kAvx2:
+#if defined(__x86_64__) || defined(_M_X64)
+      // The micro-kernels avoid FMA arithmetic but the TU is compiled
+      // with -mfma, so the compiler may emit FMA instructions for
+      // address math or spills; require both feature bits.
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+      return false;
+#endif
+    case Isa::kNeon:
+      // NEON is baseline on aarch64; the table existing is the check.
+      return true;
+    case Isa::kScalar:
+      break;
+  }
+  return true;
+}
+
+Isa BestSupportedIsa() {
+  if (IsaSupported(Isa::kAvx2)) return Isa::kAvx2;
+  if (IsaSupported(Isa::kNeon)) return Isa::kNeon;
+  return Isa::kScalar;
+}
+
+const Ops& ActiveOps() {
+  const Ops* override_table = g_override.load(std::memory_order_relaxed);
+  return override_table != nullptr ? *override_table : ResolvedOps();
+}
+
+Isa ActiveIsa() { return ActiveOps().isa; }
+
+const char* IsaOverrideEnv() { return EnvIsaValue(); }
+
+ScopedIsa::ScopedIsa(Isa isa)
+    : previous_(g_override.load(std::memory_order_relaxed)) {
+  const Ops* table = IsaSupported(isa) ? TableFor(isa) : GetScalarOps();
+  g_override.store(table, std::memory_order_relaxed);
+}
+
+ScopedIsa::~ScopedIsa() {
+  g_override.store(previous_, std::memory_order_relaxed);
+}
+
+}  // namespace neuroprint::linalg::simd

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/simd/simd.h"
 #include "util/metrics.h"
 
 namespace neuroprint::linalg {
@@ -17,6 +18,15 @@ namespace {
 bool DegenerateSpread(double spread) {
   return !std::isfinite(spread) || spread <= 0.0;
 }
+
+// True when a norm is far enough from zero/overflow that the product of
+// two safe norms can neither underflow to zero nor overflow to inf —
+// i.e. the product is provably non-degenerate and the vectorized
+// scale_clamp kernel can skip the per-element DegenerateSpread branch.
+// NaN fails both comparisons. The branch taken is a pure function of the
+// norms (never of the ISA or thread count), so both sides of the
+// dispatch stay bit-identical.
+bool SafeNorm(double norm) { return norm >= 1e-150 && norm <= 1e150; }
 
 // Counts degenerate entries once, serially, so the semantic counters are
 // identical at any thread count.
@@ -41,11 +51,10 @@ void CountDegenerate(const Vector& spreads) {
 Vector RowMeans(const Matrix& m) {
   Vector means(m.rows(), 0.0);
   if (m.cols() == 0) return means;
+  const simd::Ops& ops = simd::ActiveOps();
   for (std::size_t i = 0; i < m.rows(); ++i) {
-    const double* row = m.RowPtr(i);
-    double sum = 0.0;
-    for (std::size_t j = 0; j < m.cols(); ++j) sum += row[j];
-    means[i] = sum / static_cast<double>(m.cols());
+    means[i] =
+        ops.sum(m.RowPtr(i), m.cols()) / static_cast<double>(m.cols());
   }
   return means;
 }
@@ -65,13 +74,9 @@ Vector RowStdDevs(const Matrix& m) {
   Vector sds(m.rows(), 0.0);
   if (m.cols() < 2) return sds;
   const Vector means = RowMeans(m);
+  const simd::Ops& ops = simd::ActiveOps();
   for (std::size_t i = 0; i < m.rows(); ++i) {
-    const double* row = m.RowPtr(i);
-    double sum = 0.0;
-    for (std::size_t j = 0; j < m.cols(); ++j) {
-      const double d = row[j] - means[i];
-      sum += d * d;
-    }
+    const double sum = ops.css(m.RowPtr(i), m.cols(), means[i]);
     sds[i] = std::sqrt(sum / static_cast<double>(m.cols() - 1));
   }
   return sds;
@@ -82,6 +87,7 @@ void ZScoreRowsInPlace(Matrix& m, const ParallelContext& ctx) {
   const Vector means = RowMeans(m);
   const Vector sds = RowStdDevs(m);
   CountDegenerate(sds);
+  const simd::Ops& ops = simd::ActiveOps();
   ParallelFor(ctx, 0, m.rows(), GrainForWork(m.cols()),
               [&](std::size_t row_lo, std::size_t row_hi) {
                 for (std::size_t i = row_lo; i < row_hi; ++i) {
@@ -90,10 +96,7 @@ void ZScoreRowsInPlace(Matrix& m, const ParallelContext& ctx) {
                     std::fill(row, row + m.cols(), 0.0);
                     continue;
                   }
-                  const double inv = 1.0 / sds[i];
-                  for (std::size_t j = 0; j < m.cols(); ++j) {
-                    row[j] = (row[j] - means[i]) * inv;
-                  }
+                  ops.center_scale(row, m.cols(), means[i], 1.0 / sds[i]);
                 }
               });
 }
@@ -130,11 +133,9 @@ void ZScoreColsInPlace(Matrix& m) {
 
 Vector RowNormsSquared(const Matrix& m) {
   Vector norms(m.rows(), 0.0);
+  const simd::Ops& ops = simd::ActiveOps();
   for (std::size_t i = 0; i < m.rows(); ++i) {
-    const double* row = m.RowPtr(i);
-    double sum = 0.0;
-    for (std::size_t j = 0; j < m.cols(); ++j) sum += row[j] * row[j];
-    norms[i] = sum;
+    norms[i] = ops.nrm2sq(m.RowPtr(i), m.cols());
   }
   return norms;
 }
@@ -160,16 +161,13 @@ Matrix RowCorrelation(const Matrix& m, const ParallelContext& ctx) {
   Matrix centered = m;
   const Vector means = RowMeans(m);
   Vector norms(p, 0.0);
+  const simd::Ops& ops = simd::ActiveOps();
   ParallelFor(ctx, 0, p, GrainForWork(m.cols()),
               [&](std::size_t row_lo, std::size_t row_hi) {
                 for (std::size_t i = row_lo; i < row_hi; ++i) {
                   double* row = centered.RowPtr(i);
-                  double sum = 0.0;
-                  for (std::size_t j = 0; j < m.cols(); ++j) {
-                    row[j] -= means[i];
-                    sum += row[j] * row[j];
-                  }
-                  norms[i] = std::sqrt(sum);
+                  norms[i] =
+                      std::sqrt(ops.center_nrm2sq(row, m.cols(), means[i]));
                 }
               });
   CountDegenerate(norms);
@@ -225,9 +223,17 @@ Matrix ColumnCrossCorrelation(const Matrix& a, const Matrix& b,
   CountDegenerate(norms_a);
   CountDegenerate(norms_b);
   Matrix corr = MatTMul(ca, cb, ctx);
+  const bool b_norms_safe =
+      std::all_of(norms_b.begin(), norms_b.end(), SafeNorm);
+  const simd::Ops& ops = simd::ActiveOps();
   ParallelFor(ctx, 0, corr.rows(), GrainForWork(corr.cols()),
               [&](std::size_t row_lo, std::size_t row_hi) {
                 for (std::size_t i = row_lo; i < row_hi; ++i) {
+                  if (b_norms_safe && SafeNorm(norms_a[i])) {
+                    ops.scale_clamp(corr.RowPtr(i), norms_b.data(),
+                                    corr.cols(), norms_a[i]);
+                    continue;
+                  }
                   for (std::size_t j = 0; j < corr.cols(); ++j) {
                     const double denom = norms_a[i] * norms_b[j];
                     corr(i, j) = DegenerateSpread(denom)

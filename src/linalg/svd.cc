@@ -6,14 +6,22 @@
 #include <numeric>
 #include <vector>
 
+#include "linalg/bidiag.h"
 #include "linalg/qr.h"
 #include "linalg/vector_ops.h"
 #include "util/metrics.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 #include "util/trace.h"
 
 namespace neuroprint::linalg {
 namespace {
+
+// Direct-path inputs with min(m, n) at or above this use the blocked
+// panel bidiagonalization (level-3 trailing updates on the tiled GEMM
+// path) instead of the classic single-vector reduction. Below it the
+// level-3 machinery costs more than it saves.
+constexpr std::size_t kBlockedBidiagMinDim = 64;
 
 // sqrt(a^2 + b^2) without destructive underflow or overflow.
 double Pythag(double a, double b) {
@@ -32,19 +40,160 @@ double SignOf(double magnitude, double sign_source) {
   return sign_source >= 0.0 ? std::fabs(magnitude) : -std::fabs(magnitude);
 }
 
+// Applies one Givens rotation to columns (ca, cb) of `mat`:
+// (a, b) <- (a*c + b*s, b*c - a*s) per row. The update is elementwise
+// per row, so the chunked parallel loop is bitwise identical to the
+// serial one at any thread count.
+void RotateColumns(Matrix& mat, std::size_t ca, std::size_t cb, double c,
+                   double s, const ParallelContext& ctx) {
+  ParallelFor(ctx, 0, mat.rows(), GrainForWork(4),
+              [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t r = lo; r < hi; ++r) {
+                  double* row = mat.RowPtr(r);
+                  const double a = row[ca];
+                  const double b = row[cb];
+                  row[ca] = a * c + b * s;
+                  row[cb] = b * c - a * s;
+                }
+              });
+}
+
+// Diagonalizes an upper-bidiagonal form by implicit-shift QR (the
+// Golub–Kahan–Reinsch iteration): on entry w holds the n diagonal
+// entries, rv1 the superdiagonal shifted down one slot (rv1[i] =
+// B(i-1, i), rv1[0] = 0), u (m x n) and v (n x n) the accumulated
+// transformations. On exit w holds the unordered non-negative singular
+// values and u/v the rotated vectors. Shared by the classic
+// single-vector reduction and the blocked panel reduction.
+Status DiagonalizeBidiagonal(Matrix& u, Vector& w, std::vector<double>& rv1,
+                             Matrix& v, int max_its,
+                             const ParallelContext& ctx) {
+  const int m = static_cast<int>(u.rows());
+  const int n = static_cast<int>(u.cols());
+  const double eps = std::numeric_limits<double>::epsilon();
+  double anorm = 0.0;
+  for (int i = 0; i < n; ++i) {
+    anorm = std::max(anorm, std::fabs(w[static_cast<std::size_t>(i)]) +
+                                std::fabs(rv1[static_cast<std::size_t>(i)]));
+  }
+  (void)m;
+
+  std::uint64_t qr_its = 0;
+  for (int k = n - 1; k >= 0; --k) {
+    for (int its = 0;; ++its) {
+      bool flag = true;
+      int l = 0;
+      int nm = 0;
+      for (l = k; l >= 0; --l) {
+        nm = l - 1;
+        if (l == 0 || std::fabs(rv1[static_cast<std::size_t>(l)]) <=
+                          eps * anorm) {
+          flag = false;
+          break;
+        }
+        if (std::fabs(w[static_cast<std::size_t>(nm)]) <= eps * anorm) break;
+      }
+      if (flag) {
+        // Cancellation of rv1[l] when w[l-1] is negligible.
+        double c = 0.0;
+        double s = 1.0;
+        for (int i = l; i < k + 1; ++i) {
+          double f = s * rv1[static_cast<std::size_t>(i)];
+          rv1[static_cast<std::size_t>(i)] =
+              c * rv1[static_cast<std::size_t>(i)];
+          if (std::fabs(f) <= eps * anorm) break;
+          double g = w[static_cast<std::size_t>(i)];
+          double h = Pythag(f, g);
+          w[static_cast<std::size_t>(i)] = h;
+          h = 1.0 / h;
+          c = g * h;
+          s = -f * h;
+          RotateColumns(u, static_cast<std::size_t>(nm),
+                        static_cast<std::size_t>(i), c, s, ctx);
+        }
+      }
+      double z = w[static_cast<std::size_t>(k)];
+      if (l == k) {
+        // Convergence: make the singular value non-negative.
+        if (z < 0.0) {
+          w[static_cast<std::size_t>(k)] = -z;
+          for (int j = 0; j < n; ++j) {
+            v(static_cast<std::size_t>(j), static_cast<std::size_t>(k)) =
+                -v(static_cast<std::size_t>(j), static_cast<std::size_t>(k));
+          }
+        }
+        break;
+      }
+      if (its >= max_its) {
+        return Status::NotConverged(StrFormat(
+            "SVD: no convergence for singular value %d after %d iterations",
+            k, max_its));
+      }
+      ++qr_its;
+      // Shift from the bottom 2x2 minor.
+      double x = w[static_cast<std::size_t>(l)];
+      const int nm2 = k - 1;
+      double y = w[static_cast<std::size_t>(nm2)];
+      double g = rv1[static_cast<std::size_t>(nm2)];
+      double h = rv1[static_cast<std::size_t>(k)];
+      double f = ((y - z) * (y + z) + (g - h) * (g + h)) / (2.0 * h * y);
+      g = Pythag(f, 1.0);
+      f = ((x - z) * (x + z) + h * ((y / (f + SignOf(g, f))) - h)) / x;
+      double c = 1.0;
+      double s = 1.0;
+      // QR transformation.
+      for (int j = l; j <= nm2; ++j) {
+        const int i = j + 1;
+        g = rv1[static_cast<std::size_t>(i)];
+        y = w[static_cast<std::size_t>(i)];
+        h = s * g;
+        g = c * g;
+        z = Pythag(f, h);
+        rv1[static_cast<std::size_t>(j)] = z;
+        c = f / z;
+        s = h / z;
+        f = x * c + g * s;
+        g = g * c - x * s;
+        h = y * s;
+        y *= c;
+        RotateColumns(v, static_cast<std::size_t>(j),
+                      static_cast<std::size_t>(i), c, s, ctx);
+        z = Pythag(f, h);
+        w[static_cast<std::size_t>(j)] = z;
+        if (z != 0.0) {
+          z = 1.0 / z;
+          c = f * z;
+          s = h * z;
+        }
+        f = c * g + s * y;
+        x = c * y - s * g;
+        RotateColumns(u, static_cast<std::size_t>(j),
+                      static_cast<std::size_t>(i), c, s, ctx);
+      }
+      rv1[static_cast<std::size_t>(l)] = 0.0;
+      rv1[static_cast<std::size_t>(k)] = f;
+      w[static_cast<std::size_t>(k)] = x;
+    }
+  }
+  // Runs exactly once per bidiagonal diagonalization (the
+  // QR-preconditioned path recurses with force_direct before reaching
+  // here), so this is the true shifted-QR work count.
+  metrics::Count("svd.qr_iterations", qr_its);
+  return Status::OK();
+}
+
 // Golub–Kahan–Reinsch SVD for m >= n. `u` holds A on entry and the left
 // singular vectors (m x n) on exit; `w` gets the n singular values; `v` the
 // right singular vectors (n x n). Classic algorithm (Golub & Reinsch 1970,
 // as popularized by EISPACK/Numerical Recipes), 0-based.
-Status GolubReinsch(Matrix& u, Vector& w, Matrix& v, int max_its) {
+Status GolubReinsch(Matrix& u, Vector& w, Matrix& v, int max_its,
+                    const ParallelContext& ctx) {
   const int m = static_cast<int>(u.rows());
   const int n = static_cast<int>(u.cols());
-  const double eps = std::numeric_limits<double>::epsilon();
   w.assign(static_cast<std::size_t>(n), 0.0);
   v = Matrix(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
   std::vector<double> rv1(static_cast<std::size_t>(n), 0.0);
 
-  double anorm = 0.0;
   double g = 0.0, scale = 0.0, s = 0.0;
   int l = 0;
 
@@ -95,7 +244,6 @@ Status GolubReinsch(Matrix& u, Vector& w, Matrix& v, int max_its) {
         for (int k = l - 1; k < n; ++k) u(i, k) *= scale;
       }
     }
-    anorm = std::max(anorm, std::fabs(w[i]) + std::fabs(rv1[i]));
   }
 
   // Accumulation of right-hand transformations.
@@ -136,116 +284,7 @@ Status GolubReinsch(Matrix& u, Vector& w, Matrix& v, int max_its) {
     ++u(i, i);
   }
 
-  // Diagonalization of the bidiagonal form: QR iteration with implicit
-  // Wilkinson shifts.
-  std::uint64_t qr_its = 0;
-  for (int k = n - 1; k >= 0; --k) {
-    for (int its = 0;; ++its) {
-      bool flag = true;
-      int nm = 0;
-      for (l = k; l >= 0; --l) {
-        nm = l - 1;
-        if (l == 0 || std::fabs(rv1[l]) <= eps * anorm) {
-          flag = false;
-          break;
-        }
-        if (std::fabs(w[nm]) <= eps * anorm) break;
-      }
-      if (flag) {
-        // Cancellation of rv1[l] when w[l-1] is negligible.
-        double c = 0.0;
-        s = 1.0;
-        for (int i = l; i < k + 1; ++i) {
-          double f = s * rv1[i];
-          rv1[i] = c * rv1[i];
-          if (std::fabs(f) <= eps * anorm) break;
-          g = w[i];
-          double h = Pythag(f, g);
-          w[i] = h;
-          h = 1.0 / h;
-          c = g * h;
-          s = -f * h;
-          for (int j = 0; j < m; ++j) {
-            const double y = u(j, nm);
-            const double z = u(j, i);
-            u(j, nm) = y * c + z * s;
-            u(j, i) = z * c - y * s;
-          }
-        }
-      }
-      double z = w[k];
-      if (l == k) {
-        // Convergence: make the singular value non-negative.
-        if (z < 0.0) {
-          w[k] = -z;
-          for (int j = 0; j < n; ++j) v(j, k) = -v(j, k);
-        }
-        break;
-      }
-      if (its >= max_its) {
-        return Status::NotConverged(StrFormat(
-            "SVD: no convergence for singular value %d after %d iterations",
-            k, max_its));
-      }
-      ++qr_its;
-      // Shift from the bottom 2x2 minor.
-      double x = w[l];
-      int nm2 = k - 1;
-      double y = w[nm2];
-      g = rv1[nm2];
-      double h = rv1[k];
-      double f = ((y - z) * (y + z) + (g - h) * (g + h)) / (2.0 * h * y);
-      g = Pythag(f, 1.0);
-      f = ((x - z) * (x + z) + h * ((y / (f + SignOf(g, f))) - h)) / x;
-      double c = 1.0;
-      s = 1.0;
-      // QR transformation.
-      for (int j = l; j <= nm2; ++j) {
-        const int i = j + 1;
-        g = rv1[i];
-        y = w[i];
-        h = s * g;
-        g = c * g;
-        z = Pythag(f, h);
-        rv1[j] = z;
-        c = f / z;
-        s = h / z;
-        f = x * c + g * s;
-        g = g * c - x * s;
-        h = y * s;
-        y *= c;
-        for (int jj = 0; jj < n; ++jj) {
-          x = v(jj, j);
-          z = v(jj, i);
-          v(jj, j) = x * c + z * s;
-          v(jj, i) = z * c - x * s;
-        }
-        z = Pythag(f, h);
-        w[j] = z;
-        if (z != 0.0) {
-          z = 1.0 / z;
-          c = f * z;
-          s = h * z;
-        }
-        f = c * g + s * y;
-        x = c * y - s * g;
-        for (int jj = 0; jj < m; ++jj) {
-          y = u(jj, j);
-          z = u(jj, i);
-          u(jj, j) = y * c + z * s;
-          u(jj, i) = z * c - y * s;
-        }
-      }
-      rv1[l] = 0.0;
-      rv1[k] = f;
-      w[k] = x;
-    }
-  }
-  // GolubReinsch runs exactly once per bidiagonal diagonalization (the
-  // QR-preconditioned path recurses with force_direct before reaching
-  // here), so this is the true shifted-QR work count.
-  metrics::Count("svd.qr_iterations", qr_its);
-  return Status::OK();
+  return DiagonalizeBidiagonal(u, w, rv1, v, max_its, ctx);
 }
 
 // Sorts singular values into descending order, permuting the columns of U
@@ -293,14 +332,38 @@ Result<SvdDecomposition> SvdTall(const Matrix& a, const SvdOptions& options) {
     out.s = std::move(rsvd->s);
     out.v = std::move(rsvd->v);
     out.qr_preconditioned = true;
+    out.blocked_bidiag = rsvd->blocked_bidiag;
     return out;
   }
 
   SvdDecomposition d;
-  d.u = a;
-  const Status status =
-      GolubReinsch(d.u, d.s, d.v, options.max_iterations_per_value);
-  if (!status.ok()) return status;
+  if (options.bidiag_panel != 1 && n >= kBlockedBidiagMinDim) {
+    // Blocked panel bidiagonalization: the trailing-matrix work runs as
+    // level-3 products on the tiled GEMM path, then the shared QR
+    // iteration diagonalizes the explicit U B V^T factorization.
+    BidiagOptions bopt;
+    bopt.panel = options.bidiag_panel;
+    bopt.parallel = options.parallel;
+    Result<BidiagFactorization> f = BlockedBidiagonalize(a, bopt);
+    if (!f.ok()) return f.status();
+    std::vector<double> rv1(n, 0.0);
+    for (std::size_t i = 0; i + 1 < n; ++i) rv1[i + 1] = f->e[i];
+    d.u = std::move(f->u);
+    d.s = std::move(f->d);
+    d.v = std::move(f->v);
+    d.blocked_bidiag = true;
+    metrics::Count("svd.blocked_bidiag", 1);
+    const Status status =
+        DiagonalizeBidiagonal(d.u, d.s, rv1, d.v,
+                              options.max_iterations_per_value,
+                              options.parallel);
+    if (!status.ok()) return status;
+  } else {
+    d.u = a;
+    const Status status = GolubReinsch(
+        d.u, d.s, d.v, options.max_iterations_per_value, options.parallel);
+    if (!status.ok()) return status;
+  }
   SortDescending(d);
   return d;
 }
@@ -353,6 +416,7 @@ Result<SvdDecomposition> Svd(const Matrix& a, const SvdOptions& options) {
   d.s = std::move(t->s);
   d.v = std::move(t->u);
   d.qr_preconditioned = t->qr_preconditioned;
+  d.blocked_bidiag = t->blocked_bidiag;
   if (d.qr_preconditioned) metrics::Count("svd.qr_preconditioned", 1);
   return d;
 }

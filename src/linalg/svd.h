@@ -27,6 +27,11 @@ struct SvdDecomposition {
   /// skinny path was actually taken).
   bool qr_preconditioned = false;
 
+  /// True if the blocked panel bidiagonalization (level-3 trailing
+  /// updates) produced the bidiagonal form (telemetry, like
+  /// qr_preconditioned).
+  bool blocked_bidiag = false;
+
   /// Reconstructs U diag(s) V^T (for tests and diagnostics).
   Matrix Reconstruct() const;
 
@@ -42,6 +47,12 @@ struct SvdOptions {
   double qr_precondition_ratio = 1.6;
   /// Disables the QR fast path (for testing the direct path on tall input).
   bool force_direct = false;
+  /// Panel width of the blocked Householder bidiagonalization used on
+  /// the direct path when min(rows, cols) >= 64 (trailing updates become
+  /// tiled level-3 GEMMs on the thread pool). 0 = auto (32 columns),
+  /// 1 = force the classic unblocked single-vector reduction,
+  /// >= 2 = explicit panel width.
+  std::size_t bidiag_panel = 0;
   /// Thread knob for the gemm-shaped steps (never changes results).
   ParallelContext parallel;
 };

@@ -3,21 +3,23 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/simd/simd.h"
+
+// The reductions here dispatch to the SIMD layer, whose canonical
+// lane-split order (four interleaved partial sums, folded left to right)
+// is bit-identical on every ISA — see linalg/simd/simd.h.
+
 namespace neuroprint::linalg {
 
 double Dot(const Vector& x, const Vector& y) {
   NP_CHECK_EQ(x.size(), y.size());
-  double sum = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) sum += x[i] * y[i];
-  return sum;
+  return simd::ActiveOps().dot(x.data(), y.data(), x.size());
 }
 
 double Norm2(const Vector& x) { return std::sqrt(Norm2Squared(x)); }
 
 double Norm2Squared(const Vector& x) {
-  double sum = 0.0;
-  for (double v : x) sum += v * v;
-  return sum;
+  return simd::ActiveOps().nrm2sq(x.data(), x.size());
 }
 
 double Norm1(const Vector& x) {
@@ -34,7 +36,7 @@ double NormInf(const Vector& x) {
 
 void Axpy(double alpha, const Vector& x, Vector& y) {
   NP_CHECK_EQ(x.size(), y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  simd::ActiveOps().axpy(alpha, x.data(), y.data(), x.size());
 }
 
 void Scale(double alpha, Vector& x) {
@@ -49,20 +51,15 @@ double NormalizeInPlace(Vector& x) {
 
 double Mean(const Vector& x) {
   if (x.empty()) return 0.0;
-  double sum = 0.0;
-  for (double v : x) sum += v;
-  return sum / static_cast<double>(x.size());
+  return simd::ActiveOps().sum(x.data(), x.size()) /
+         static_cast<double>(x.size());
 }
 
 double Variance(const Vector& x) {
   if (x.size() < 2) return 0.0;
   const double mu = Mean(x);
-  double sum = 0.0;
-  for (double v : x) {
-    const double d = v - mu;
-    sum += d * d;
-  }
-  return sum / static_cast<double>(x.size() - 1);
+  return simd::ActiveOps().css(x.data(), x.size(), mu) /
+         static_cast<double>(x.size() - 1);
 }
 
 double StdDev(const Vector& x) { return std::sqrt(Variance(x)); }
@@ -74,13 +71,8 @@ double PearsonCorrelation(const Vector& x, const Vector& y) {
   const double mx = Mean(x);
   const double my = Mean(y);
   double sxy = 0.0, sxx = 0.0, syy = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const double dx = x[i] - mx;
-    const double dy = y[i] - my;
-    sxy += dx * dy;
-    sxx += dx * dx;
-    syy += dy * dy;
-  }
+  simd::ActiveOps().corr_moments(x.data(), y.data(), n, mx, my, &sxy, &sxx,
+                                 &syy);
   // NaN-safe degenerate check: a non-finite input poisons the sums, and
   // NaN fails `<= 0.0`, so test the inverted predicate instead.
   if (!(sxx > 0.0) || !(syy > 0.0) || !std::isfinite(sxx) ||

@@ -21,6 +21,7 @@
 #include "util/trace.h"          // NP_TRACE_SCOPE spans + chrome export.
 
 // Dense linear algebra.
+#include "linalg/bidiag.h"         // Blocked Householder bidiagonalization.
 #include "linalg/cholesky.h"       // SPD factorization and solves.
 #include "linalg/eig_sym.h"        // Symmetric eigendecomposition (Jacobi).
 #include "linalg/gemm_kernel.h"    // Tiled GEMM micro-kernels.
@@ -28,6 +29,7 @@
 #include "linalg/matrix.h"         // Matrix type and gemm-like kernels.
 #include "linalg/qr.h"             // Householder QR, least squares.
 #include "linalg/randomized_svd.h" // Halko randomized range-finder SVD.
+#include "linalg/simd/simd.h"      // Runtime-dispatched SIMD micro-kernels.
 #include "linalg/stats.h"          // Correlation/covariance/z-score kernels.
 #include "linalg/svd.h"            // Thin SVD (Golub-Kahan-Reinsch, Jacobi).
 #include "linalg/vector_ops.h"     // Level-1 vector kernels.

@@ -6,6 +6,7 @@
 #include <limits>
 #include <utility>
 
+#include "linalg/simd/simd.h"
 #include "util/metrics.h"
 #include "util/random.h"
 #include "util/string_util.h"
@@ -28,10 +29,12 @@ bool BeatsBest(double sim, const std::string& id, double best_sim,
   return id < best_id;
 }
 
+// Cosine scores go through the SIMD dispatch layer's dot kernel; the
+// lane-split reduction is bit-identical across ISAs, so shard scan
+// results (and the tie-breaks built on them) never depend on the host.
 double DotProduct(const linalg::Vector& a, const linalg::Vector& b) {
-  double sum = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
-  return sum;
+  NP_CHECK_EQ(a.size(), b.size());
+  return linalg::simd::ActiveOps().dot(a.data(), b.data(), a.size());
 }
 
 bool AllFinite(const linalg::Vector& v) {

@@ -3,9 +3,11 @@
 
 #include <cmath>
 #include <tuple>
+#include <utility>
 
 #include <gtest/gtest.h>
 
+#include "linalg/bidiag.h"
 #include "linalg/cholesky.h"
 #include "linalg/eig_sym.h"
 #include "linalg/lu.h"
@@ -242,6 +244,123 @@ TEST(SvdTest, EmptyMatrix) {
   const auto svd = Svd(Matrix());
   ASSERT_TRUE(svd.ok());
   EXPECT_TRUE(svd->s.empty());
+}
+
+TEST(SvdTest, BlockedBidiagPathMatchesUnblocked) {
+  Rng rng(46);
+  // Aspect ratio below the QR-precondition threshold and n >= 64 so the
+  // direct branch takes the blocked bidiagonalization.
+  const Matrix a = RandomMatrix(80, 72, rng);
+  SvdOptions legacy;
+  legacy.bidiag_panel = 1;  // force the serial Householder reduction
+  const auto blocked = Svd(a);
+  const auto serial = Svd(a, legacy);
+  ASSERT_TRUE(blocked.ok()) << blocked.status();
+  ASSERT_TRUE(serial.ok());
+  // The telemetry flag proves the blocked reduction actually engaged
+  // (and that panel = 1 bypasses it).
+  EXPECT_TRUE(blocked->blocked_bidiag);
+  EXPECT_FALSE(serial->blocked_bidiag);
+  for (std::size_t i = 0; i < blocked->s.size(); ++i) {
+    EXPECT_NEAR(blocked->s[i], serial->s[i], 1e-9 * std::max(1.0, serial->s[0]))
+        << "singular value " << i;
+  }
+  EXPECT_LT((blocked->Reconstruct() - a).MaxAbs(), 1e-10);
+  EXPECT_LT(OrthonormalityError(blocked->u), 1e-11);
+  EXPECT_LT(OrthonormalityError(blocked->v), 1e-11);
+}
+
+TEST(SvdTest, BlockedBidiagEngagesAfterQrPreconditioning) {
+  Rng rng(47);
+  // Tall enough for the thin-QR precondition; the inner SVD then runs on
+  // the 64 x 64 R factor, which clears the blocked-bidiag threshold.
+  const Matrix a = RandomMatrix(200, 64, rng);
+  const auto svd = Svd(a);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_TRUE(svd->qr_preconditioned);
+  EXPECT_TRUE(svd->blocked_bidiag);
+  EXPECT_LT((svd->Reconstruct() - a).MaxAbs(), 1e-10);
+  EXPECT_LT(OrthonormalityError(svd->u), 1e-11);
+}
+
+// ---------------------------------------------------------------------------
+// Blocked bidiagonalization
+
+// Rebuilds the n x n upper-bidiagonal middle factor from (d, e).
+Matrix BidiagonalMatrix(const Vector& d, const Vector& e) {
+  Matrix b(d.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    b(i, i) = d[i];
+    if (i + 1 < d.size()) b(i, i + 1) = e[i];
+  }
+  return b;
+}
+
+TEST(BidiagTest, ReconstructsInputAndOrthogonal) {
+  Rng rng(50);
+  const Matrix a = RandomMatrix(90, 70, rng);
+  const auto f = BlockedBidiagonalize(a);
+  ASSERT_TRUE(f.ok()) << f.status();
+  ASSERT_EQ(f->d.size(), 70u);
+  ASSERT_EQ(f->e.size(), 69u);
+  const Matrix rebuilt = MatMulT(MatMul(f->u, BidiagonalMatrix(f->d, f->e)),
+                                 f->v);
+  EXPECT_LT((rebuilt - a).MaxAbs(), 1e-12 * a.MaxAbs() * 70);
+  EXPECT_LT(OrthonormalityError(f->u), 1e-13);
+  EXPECT_LT(OrthonormalityError(f->v), 1e-13);
+}
+
+TEST(BidiagTest, PanelWidthNeverChangesTheMath) {
+  Rng rng(51);
+  const Matrix a = RandomMatrix(45, 37, rng);
+  for (const std::size_t panel : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{32}, std::size_t{64}}) {
+    BidiagOptions options;
+    options.panel = panel;
+    const auto f = BlockedBidiagonalize(a, options);
+    ASSERT_TRUE(f.ok()) << "panel " << panel;
+    const Matrix rebuilt = MatMulT(MatMul(f->u, BidiagonalMatrix(f->d, f->e)),
+                                   f->v);
+    EXPECT_LT((rebuilt - a).MaxAbs(), 1e-12) << "panel " << panel;
+    EXPECT_LT(OrthonormalityError(f->u), 1e-13) << "panel " << panel;
+    EXPECT_LT(OrthonormalityError(f->v), 1e-13) << "panel " << panel;
+  }
+}
+
+TEST(BidiagTest, HandlesSmallAndDegenerateShapes) {
+  Rng rng(52);
+  const std::pair<std::size_t, std::size_t> shapes[] = {
+      {1, 1}, {2, 1}, {2, 2}, {5, 3}, {33, 33}};
+  for (const auto& [rows, cols] : shapes) {
+    const Matrix a = RandomMatrix(rows, cols, rng);
+    const auto f = BlockedBidiagonalize(a);
+    ASSERT_TRUE(f.ok()) << rows << "x" << cols;
+    const Matrix rebuilt = MatMulT(MatMul(f->u, BidiagonalMatrix(f->d, f->e)),
+                                   f->v);
+    EXPECT_LT((rebuilt - a).MaxAbs(), 1e-12) << rows << "x" << cols;
+  }
+}
+
+TEST(BidiagTest, ZeroColumnsYieldZeroReflectors) {
+  Rng rng(53);
+  Matrix a = RandomMatrix(12, 6, rng);
+  for (std::size_t i = 0; i < a.rows(); ++i) a(i, 2) = 0.0;
+  const auto f = BlockedBidiagonalize(a);
+  ASSERT_TRUE(f.ok());
+  const Matrix rebuilt = MatMulT(MatMul(f->u, BidiagonalMatrix(f->d, f->e)),
+                                 f->v);
+  EXPECT_LT((rebuilt - a).MaxAbs(), 1e-13);
+  EXPECT_LT(OrthonormalityError(f->u), 1e-13);
+}
+
+TEST(BidiagTest, RejectsWideMatrix) {
+  EXPECT_FALSE(BlockedBidiagonalize(Matrix(3, 5, 1.0)).ok());
+}
+
+TEST(BidiagTest, RejectsNonFinite) {
+  Matrix a(4, 3, 1.0);
+  a(1, 2) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(BlockedBidiagonalize(a).ok());
 }
 
 TEST(PseudoInverseTest, InvertsFullRankSquare) {

@@ -261,6 +261,39 @@ TEST(NoRawThreadRule, ExemptsThreadPoolAndIgnoresLookalikes) {
             0);
 }
 
+TEST(SimdConfinementRule, FiresOnIntrinsicHeaderAndIntrinsics) {
+  const std::vector<Finding> findings = LintOne(
+      "linalg/stats.cc",
+      "#include <immintrin.h>\n"
+      "double Sum(const double* x) {\n"
+      "  __m256d acc = _mm256_loadu_pd(x);\n"
+      "  return acc[0];\n"
+      "}\n");
+  // One for the header, one for the type, one for the load intrinsic.
+  EXPECT_EQ(CountRule(findings, "simd-confinement"), 3);
+  EXPECT_EQ(CountRule(LintOne("core/matcher.cc",
+                              "#include <arm_neon.h>\n"
+                              "float64x2_t v = vld1q_f64(p);\n"),
+                      "simd-confinement"),
+            3);
+}
+
+TEST(SimdConfinementRule, ExemptsSimdDirAndIgnoresLookalikes) {
+  EXPECT_EQ(CountRule(LintOne("linalg/simd/kernels_avx2.cc",
+                              "#include <immintrin.h>\n"
+                              "__m256d Zero() { return _mm256_setzero_pd(); }\n"),
+                      "simd-confinement"),
+            0);
+  // Ordinary identifiers that merely resemble vendor prefixes must not
+  // match: _max is not _mm*, vstack is not vst1*.
+  EXPECT_EQ(CountRule(LintOne("core/knn.cc",
+                              "int _max = 0;\n"
+                              "int vstack = 1;\n"
+                              "int mm256 = 2;\n"),
+                      "simd-confinement"),
+            0);
+}
+
 TEST(NoStaticLocalRule, FiresOnMutableFunctionLocal) {
   const std::vector<Finding> findings = LintOne(
       "core/tsne.cc",

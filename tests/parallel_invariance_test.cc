@@ -16,9 +16,13 @@
 #include "core/knn.h"
 #include "core/matcher.h"
 #include "core/tsne.h"
+#include "linalg/bidiag.h"
 #include "linalg/gemm_kernel.h"
 #include "linalg/matrix.h"
+#include "linalg/simd/simd.h"
 #include "linalg/stats.h"
+#include "linalg/svd.h"
+#include "linalg/vector_ops.h"
 #include "preprocess/pipeline.h"
 #include "service/identification_index.h"
 #include "service/synthetic_gallery.h"
@@ -453,6 +457,211 @@ TEST(ParallelInvarianceTest, ServiceIdentifyBatchAcrossShardedProbes) {
                             "IdentifyBatch");
     ExpectBitwiseEqualBatch(base.brute, got.brute, threads,
                             "IdentifyBatchBruteForce");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar vs SIMD kernel parity. The runtime-dispatched vector kernels
+// (linalg/simd/) share one canonical accumulation order with the scalar
+// reference, so every ISA must produce the same bits on every shape —
+// in particular on remainder tails (n % 4 != 0), single-row inputs, the
+// kGemmPanelK boundary (255/256/257), and empty inputs. Combined with
+// the thread sweep this pins the full contract: same bits for any
+// (ISA, thread count) pair.
+
+// Runs `fn` under the scalar kernels and again under the best supported
+// vector ISA (a no-op comparison on hosts where scalar is the best).
+template <typename Fn>
+void ForBothIsas(const Fn& fn) {
+  {
+    linalg::simd::ScopedIsa scoped(linalg::simd::Isa::kScalar);
+    fn(/*scalar=*/true);
+  }
+  {
+    linalg::simd::ScopedIsa scoped(linalg::simd::BestSupportedIsa());
+    fn(/*scalar=*/false);
+  }
+}
+
+void ExpectBitwiseEqualScalar(double a, double b, const char* stage,
+                              std::size_t n) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b))
+      << stage << " at length " << n << ": " << a << " vs " << b;
+}
+
+TEST(SimdParityTest, VectorReductionsEveryTailLength) {
+  // 0..9 covers every lane-tail remainder twice; the larger sizes cover
+  // multi-iteration main loops on both sides of a power of two.
+  for (const std::size_t n : {0ul, 1ul, 2ul, 3ul, 4ul, 5ul, 6ul, 7ul, 8ul,
+                              9ul, 31ul, 255ul, 256ul, 257ul}) {
+    Rng rng(1000 + n);
+    linalg::Vector x(n), y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = rng.Gaussian();
+      y[i] = rng.Gaussian();
+    }
+    struct Results {
+      double dot, norm2sq, mean, variance, pearson;
+    } scalar{}, simd{};
+    ForBothIsas([&](bool is_scalar) {
+      Results& r = is_scalar ? scalar : simd;
+      r.dot = linalg::Dot(x, y);
+      r.norm2sq = linalg::Norm2Squared(x);
+      r.mean = linalg::Mean(x);
+      r.variance = linalg::Variance(x);
+      r.pearson = linalg::PearsonCorrelation(x, y);
+    });
+    ExpectBitwiseEqualScalar(scalar.dot, simd.dot, "Dot", n);
+    ExpectBitwiseEqualScalar(scalar.norm2sq, simd.norm2sq, "Norm2Squared", n);
+    ExpectBitwiseEqualScalar(scalar.mean, simd.mean, "Mean", n);
+    ExpectBitwiseEqualScalar(scalar.variance, simd.variance, "Variance", n);
+    ExpectBitwiseEqualScalar(scalar.pearson, simd.pearson, "Pearson", n);
+  }
+}
+
+TEST(SimdParityTest, AxpyTailLengths) {
+  for (const std::size_t n : {0ul, 1ul, 3ul, 4ul, 5ul, 8ul, 13ul, 257ul}) {
+    Rng rng(2000 + n);
+    linalg::Vector x(n), y0(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = rng.Gaussian();
+      y0[i] = rng.Gaussian();
+    }
+    linalg::Vector scalar_y, simd_y;
+    ForBothIsas([&](bool is_scalar) {
+      linalg::Vector y = y0;
+      linalg::Axpy(0.7331, x, y);
+      (is_scalar ? scalar_y : simd_y) = std::move(y);
+    });
+    ExpectBitwiseEqual(scalar_y, simd_y, "Axpy");
+  }
+}
+
+TEST(SimdParityTest, GemmKernelsAwkwardShapes) {
+  struct Shape {
+    std::size_t m, k, n;
+  };
+  // Remainder register tiles (m % 4, n % 4 != 0), a 1-row input, and K
+  // straddling the kGemmPanelK = 256 canonical panel boundary.
+  constexpr Shape kShapes[] = {{1, 1, 1},   {1, 17, 40},  {4, 4, 4},
+                               {5, 3, 7},   {65, 33, 41}, {8, 255, 6},
+                               {8, 256, 6}, {8, 257, 6},  {63, 129, 30}};
+  for (const Shape& shape : kShapes) {
+    const linalg::Matrix a = RandomMatrix(shape.m, shape.k, 31 + shape.m);
+    const linalg::Matrix b = RandomMatrix(shape.k, shape.n, 32 + shape.n);
+    const linalg::Matrix at = a.Transposed();
+    for (const std::size_t threads : kThreadCounts) {
+      const ParallelContext ctx{threads};
+      linalg::Matrix scalar_mul, simd_mul, scalar_gram, simd_gram;
+      ForBothIsas([&](bool is_scalar) {
+        (is_scalar ? scalar_mul : simd_mul) = linalg::MatMul(a, b, ctx);
+        (is_scalar ? scalar_gram : simd_gram) = linalg::Gram(a, ctx);
+      });
+      ExpectBitwiseEqual(scalar_mul, simd_mul, "MatMul scalar-vs-simd");
+      ExpectBitwiseEqual(scalar_gram, simd_gram, "Gram scalar-vs-simd");
+      // Both must still equal the canonical reference order.
+      linalg::Matrix ref(shape.m, shape.n);
+      linalg::ReferenceGemm(a, false, b, false, &ref);
+      ExpectBitwiseEqual(ref, simd_mul, "MatMul vs ReferenceGemm");
+      linalg::Matrix gram_ref(shape.k, shape.k);
+      linalg::ReferenceGemm(at, false, a, false, &gram_ref);
+      ExpectBitwiseEqual(gram_ref, simd_gram, "Gram vs ReferenceGemm");
+    }
+  }
+}
+
+TEST(SimdParityTest, StatsKernels) {
+  struct Shape {
+    std::size_t rows, cols;
+  };
+  constexpr Shape kShapes[] = {{1, 7}, {3, 1}, {17, 33}, {5, 257}, {8, 64}};
+  for (const Shape& shape : kShapes) {
+    linalg::Matrix m = RandomMatrix(shape.rows, shape.cols, 77 + shape.rows);
+    // A constant row exercises the degenerate-spread branch next to the
+    // vectorized fast path.
+    for (std::size_t j = 0; j < shape.cols; ++j) m(0, j) = 2.5;
+    const linalg::Matrix probes =
+        RandomMatrix(shape.rows, 5, 78 + shape.cols);
+    for (const std::size_t threads : kThreadCounts) {
+      const ParallelContext ctx{threads};
+      linalg::Matrix scalar_z, simd_z, scalar_corr, simd_corr, scalar_xc,
+          simd_xc;
+      linalg::Vector scalar_norms, simd_norms;
+      ForBothIsas([&](bool is_scalar) {
+        linalg::Matrix z = m;
+        linalg::ZScoreRowsInPlace(z, ctx);
+        (is_scalar ? scalar_z : simd_z) = std::move(z);
+        (is_scalar ? scalar_corr : simd_corr) = linalg::RowCorrelation(m, ctx);
+        (is_scalar ? scalar_xc : simd_xc) =
+            linalg::ColumnCrossCorrelation(m, probes, ctx);
+        (is_scalar ? scalar_norms : simd_norms) = linalg::RowNormsSquared(m);
+      });
+      ExpectBitwiseEqual(scalar_z, simd_z, "ZScoreRowsInPlace");
+      ExpectBitwiseEqual(scalar_corr, simd_corr, "RowCorrelation");
+      ExpectBitwiseEqual(scalar_xc, simd_xc, "ColumnCrossCorrelation");
+      ExpectBitwiseEqual(scalar_norms, simd_norms, "RowNormsSquared");
+    }
+  }
+}
+
+TEST(SimdParityTest, DegenerateNormsTakeTheSameBranchOnEveryIsa) {
+  // Subnormal-scale and huge-scale columns force the ColumnCrossCorrelation
+  // slow path (norm products could underflow/overflow); the branch is a
+  // pure function of the norms, so scalar and SIMD must still agree.
+  linalg::Matrix a = RandomMatrix(6, 4, 91);
+  linalg::Matrix b = RandomMatrix(6, 4, 92);
+  for (std::size_t i = 0; i < 6; ++i) {
+    a(i, 1) = a(i, 1) * 1e-160;  // norm below the safe window
+    b(i, 2) = b(i, 2) * 1e160;   // norm above the safe window
+  }
+  linalg::Matrix scalar_xc, simd_xc;
+  ForBothIsas([&](bool is_scalar) {
+    (is_scalar ? scalar_xc : simd_xc) =
+        linalg::ColumnCrossCorrelation(a, b, ParallelContext{1});
+  });
+  ExpectBitwiseEqual(scalar_xc, simd_xc, "ColumnCrossCorrelation degenerate");
+}
+
+// ---------------------------------------------------------------------------
+// Blocked bidiagonalization: the panel reduction, its level-3 trailing
+// updates, and the parallel Givens sweeps of the diagonalization must
+// all be thread-count-invariant.
+
+TEST(ParallelInvarianceTest, BlockedBidiagonalization) {
+  const linalg::Matrix a = RandomMatrix(90, 70, 21);
+  auto run = [&](std::size_t threads) {
+    linalg::BidiagOptions options;
+    options.parallel.num_threads = threads;
+    return linalg::BlockedBidiagonalize(a, options);
+  };
+  const auto base = run(1);
+  ASSERT_TRUE(base.ok()) << base.status();
+  for (const std::size_t threads : kThreadCounts) {
+    const auto got = run(threads);
+    ASSERT_TRUE(got.ok()) << got.status();
+    ExpectBitwiseEqual(base->u, got->u, "bidiag U");
+    ExpectBitwiseEqual(base->v, got->v, "bidiag V");
+    ExpectBitwiseEqual(base->d, got->d, "bidiag d");
+    ExpectBitwiseEqual(base->e, got->e, "bidiag e");
+  }
+}
+
+TEST(ParallelInvarianceTest, BlockedSvd) {
+  const linalg::Matrix a = RandomMatrix(96, 80, 22);
+  auto run = [&](std::size_t threads) {
+    linalg::SvdOptions options;
+    options.parallel.num_threads = threads;
+    return linalg::Svd(a, options);
+  };
+  const auto base = run(1);
+  ASSERT_TRUE(base.ok()) << base.status();
+  ASSERT_TRUE(base->blocked_bidiag);
+  for (const std::size_t threads : kThreadCounts) {
+    const auto got = run(threads);
+    ASSERT_TRUE(got.ok()) << got.status();
+    ExpectBitwiseEqual(base->u, got->u, "svd U");
+    ExpectBitwiseEqual(base->v, got->v, "svd V");
+    ExpectBitwiseEqual(base->s, got->s, "svd s");
   }
 }
 

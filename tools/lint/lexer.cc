@@ -185,8 +185,9 @@ class Lexer {
       // R"delim( ... )delim"  — no escapes, newlines allowed.
       const std::size_t delim_begin = pos_;
       while (pos_ < src_.size() && src_[pos_] != '(') ++pos_;
-      const std::string closer =
-          ")" + src_.substr(delim_begin, pos_ - delim_begin) + "\"";
+      std::string closer = ")";
+      closer.append(src_, delim_begin, pos_ - delim_begin);
+      closer.push_back('"');
       if (pos_ < src_.size()) ++pos_;  // consume '('
       const std::size_t body = pos_;
       const std::size_t close = src_.find(closer, body);

@@ -32,7 +32,7 @@ constexpr const char* kKnownRules[] = {
     "unused-status",    "unused-result",
     "status-never-checked", "nondet-wallclock",
     "nondet-unordered-iter", "nondet-float-accum",
-    "parallel-race",
+    "parallel-race",    "simd-confinement",
 };
 
 bool IsKnownRule(const std::string& rule) {
@@ -416,6 +416,51 @@ void CheckNoRawThread(const SourceFile& file, const FileAnalysis& a,
            "`std::" + t[i + 2].text +
                "` outside util/thread_pool.* skips the deterministic "
                "ParallelFor contract; use util/thread_pool.h"});
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Rule: simd-confinement
+// --------------------------------------------------------------------------
+
+// ISA intrinsics are allowed only inside linalg/simd/, where every kernel
+// family (scalar/AVX2/NEON) implements the one canonical arithmetic order
+// behind the runtime dispatcher. An intrinsic anywhere else would create a
+// second, unchecked vector code path whose results could diverge from the
+// scalar kernels bit-for-bit — exactly what the determinism contract bans.
+// Detected per token: the intrinsic headers in any #include directive, and
+// identifiers with the characteristic vendor prefixes (`_mm`/`__m` for
+// x86, `v...q_f64`-style names and `float64x2_t` for NEON).
+void CheckSimdConfinement(const SourceFile& file, const FileAnalysis& a,
+                          std::vector<Finding>* findings) {
+  if (HasPrefix(file.path, "linalg/simd/")) return;
+  const Tokens& t = a.lex.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdentifier) continue;
+    const std::string& text = t[i].text;
+    if (t[i].in_preprocessor &&
+        (text == "immintrin" || text == "arm_neon" || text == "x86intrin")) {
+      findings->push_back(
+          {file.path, t[i].line, "simd-confinement",
+           "intrinsic header `" + text +
+               ".h` outside linalg/simd/; vector code belongs behind the "
+               "dispatched kernels in linalg/simd/simd.h"});
+      continue;
+    }
+    const bool x86_intrinsic = HasPrefix(text, "_mm") || HasPrefix(text, "__m");
+    const bool neon_intrinsic =
+        HasPrefix(text, "float64x") || HasPrefix(text, "vld1") ||
+        HasPrefix(text, "vst1") || HasPrefix(text, "vaddq") ||
+        HasPrefix(text, "vmulq") || HasPrefix(text, "vfmaq") ||
+        HasPrefix(text, "vdupq") || HasPrefix(text, "vgetq");
+    if (x86_intrinsic || neon_intrinsic) {
+      findings->push_back(
+          {file.path, t[i].line, "simd-confinement",
+           "ISA intrinsic `" + text +
+               "` outside linalg/simd/ creates a second vector code path "
+               "the scalar-parity tests never see; add a kernel to "
+               "linalg/simd/ instead"});
     }
   }
 }
@@ -1171,6 +1216,7 @@ std::vector<Finding> LintFile(const SourceFile& file, const DeclIndex& index) {
   }
 
   CheckNoRawThread(file, a, &findings);
+  CheckSimdConfinement(file, a, &findings);
   CheckWallClock(file, a, &findings);
   CheckUnorderedIteration(file, a, &findings);
   CheckParallelLambdas(file, a, &findings);

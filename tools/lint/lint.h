@@ -12,6 +12,8 @@
 //   no-using-namespace    headers never `using namespace`
 //   no-raw-thread         std::thread only in util/thread_pool.*
 //   no-static-local       no `static` mutable locals outside util/
+//   simd-confinement      intrinsic headers (<immintrin.h>, <arm_neon.h>)
+//                         and ISA intrinsics only in linalg/simd/
 //   -- status-flow family --
 //   unused-status         a Status-returning call (free OR member, single-
 //                         or multi-line) used as a bare statement
