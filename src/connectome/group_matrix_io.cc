@@ -1,10 +1,8 @@
 #include "connectome/group_matrix_io.h"
 
-#include <cstdint>
 #include <cstring>
-#include <fstream>
 #include <limits>
-#include <vector>
+#include <utility>
 
 #include "util/endian.h"
 #include "util/fault.h"
@@ -25,74 +23,58 @@ constexpr std::uint32_t kMaxIdLength = 4096;
 // Values are little-endian on disk; AppendLE/ReadLE from util/endian.h keep
 // the format stable across host byte orders without type-punned loads.
 
-}  // namespace
-
-Status WriteGroupMatrix(const std::string& path, const GroupMatrix& group) {
-  if (group.num_subjects() == 0 || group.num_features() == 0) {
-    return Status::InvalidArgument("WriteGroupMatrix: empty group matrix");
-  }
+// Serialized header for `num_features` x ids.size() values, or
+// InvalidArgument when an id exceeds the length bound.
+Result<std::vector<char>> EncodeNpgmHeader(
+    std::size_t num_features, const std::vector<std::string>& subject_ids) {
   std::vector<char> header;
   header.insert(header.end(), kMagic, kMagic + 4);
   AppendLE(header, kVersion);
-  AppendLE(header, static_cast<std::uint64_t>(group.num_features()));
-  AppendLE(header, static_cast<std::uint64_t>(group.num_subjects()));
-  for (const std::string& id : group.subject_ids()) {
+  AppendLE(header, static_cast<std::uint64_t>(num_features));
+  AppendLE(header, static_cast<std::uint64_t>(subject_ids.size()));
+  for (const std::string& id : subject_ids) {
     if (id.size() > kMaxIdLength) {
       return Status::InvalidArgument("WriteGroupMatrix: subject id too long");
     }
     AppendLE(header, static_cast<std::uint32_t>(id.size()));
     header.insert(header.end(), id.begin(), id.end());
   }
-
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open for write: " + path);
-  out.write(header.data(), static_cast<std::streamsize>(header.size()));
-  std::vector<std::uint8_t> encoded;
-  for (std::size_t j = 0; j < group.num_subjects(); ++j) {
-    const linalg::Vector column = group.SubjectColumn(j);
-    encoded.resize(column.size() * sizeof(double));
-    for (std::size_t i = 0; i < column.size(); ++i) {
-      WriteLE(column[i], encoded.data() + i * sizeof(double));
-    }
-    out.write(reinterpret_cast<const char*>(encoded.data()),
-              static_cast<std::streamsize>(encoded.size()));
-  }
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  return header;
 }
 
-Result<GroupMatrix> ReadGroupMatrix(const std::string& path) {
-  NP_FAULT_POINT("io.group_matrix_read");
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open: " + path);
+}  // namespace
 
+namespace internal {
+
+Result<NpgmHeader> ParseNpgmHeader(std::ifstream& in,
+                                   const std::string& path) {
   char magic[4];
   if (!in.read(magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
     return Status::CorruptData("not a group-matrix file: " + path);
   }
   std::uint32_t version = 0;
-  std::uint64_t features = 0, subjects = 0;
-  if (!ReadLE(in, version) || !ReadLE(in, features) ||
-      !ReadLE(in, subjects)) {
+  NpgmHeader header;
+  if (!ReadLE(in, version) || !ReadLE(in, header.features) ||
+      !ReadLE(in, header.subjects)) {
     return Status::CorruptData("truncated group-matrix header: " + path);
   }
   if (version != kVersion) {
     return Status::Unimplemented(
         StrFormat("unsupported group-matrix version %u", version));
   }
-  if (features == 0 || features > kMaxFeatures || subjects == 0 ||
-      subjects > kMaxSubjects) {
+  if (header.features == 0 || header.features > kMaxFeatures ||
+      header.subjects == 0 || header.subjects > kMaxSubjects) {
     return Status::CorruptData("implausible group-matrix dimensions");
   }
 
-  std::vector<std::string> ids(subjects);
-  for (std::uint64_t j = 0; j < subjects; ++j) {
+  header.subject_ids.resize(header.subjects);
+  for (std::uint64_t j = 0; j < header.subjects; ++j) {
     std::uint32_t length = 0;
     if (!ReadLE(in, length) || length > kMaxIdLength) {
       return Status::CorruptData("bad subject id in group-matrix file");
     }
-    ids[j].resize(length);
-    if (length > 0 && !in.read(ids[j].data(), length)) {
+    header.subject_ids[j].resize(length);
+    if (length > 0 && !in.read(header.subject_ids[j].data(), length)) {
       return Status::CorruptData("truncated subject ids");
     }
   }
@@ -110,15 +92,16 @@ Result<GroupMatrix> ReadGroupMatrix(const std::string& path) {
   }
   in.seekg(data_begin);
   const std::uint64_t expected =
-      features * static_cast<std::uint64_t>(sizeof(double)) * subjects;
+      header.features * static_cast<std::uint64_t>(sizeof(double)) *
+      header.subjects;
   const std::uint64_t available =
       static_cast<std::uint64_t>(file_end - data_begin);
   if (available < expected) {
     return Status::CorruptData(StrFormat(
         "group-matrix values truncated: header promises %llu x %llu "
         "subjects (%llu bytes), file holds %llu",
-        static_cast<unsigned long long>(features),
-        static_cast<unsigned long long>(subjects),
+        static_cast<unsigned long long>(header.features),
+        static_cast<unsigned long long>(header.subjects),
         static_cast<unsigned long long>(expected),
         static_cast<unsigned long long>(available)));
   }
@@ -127,23 +110,112 @@ Result<GroupMatrix> ReadGroupMatrix(const std::string& path) {
         "group-matrix file has %llu trailing bytes after the %llu x %llu "
         "values — subject/feature counts disagree with the payload",
         static_cast<unsigned long long>(available - expected),
-        static_cast<unsigned long long>(features),
-        static_cast<unsigned long long>(subjects)));
+        static_cast<unsigned long long>(header.features),
+        static_cast<unsigned long long>(header.subjects)));
   }
+  header.data_offset = static_cast<std::uint64_t>(data_begin);
+  return header;
+}
 
-  std::vector<linalg::Vector> columns(subjects);
-  std::vector<std::uint8_t> encoded(features * sizeof(double));
-  for (std::uint64_t j = 0; j < subjects; ++j) {
-    columns[j].resize(features);
+}  // namespace internal
+
+Result<GroupMatrixFileWriter> GroupMatrixFileWriter::Create(
+    const std::string& path, std::size_t num_features,
+    const std::vector<std::string>& subject_ids) {
+  if (num_features == 0 || subject_ids.empty()) {
+    return Status::InvalidArgument(
+        "GroupMatrixFileWriter: empty group matrix");
+  }
+  if (subject_ids.size() > kMaxSubjects ||
+      static_cast<std::uint64_t>(num_features) > kMaxFeatures) {
+    return Status::InvalidArgument(
+        "GroupMatrixFileWriter: dimensions exceed the format bounds");
+  }
+  std::vector<char> header;
+  NP_ASSIGN_OR_RETURN(header, EncodeNpgmHeader(num_features, subject_ids));
+
+  GroupMatrixFileWriter writer;
+  writer.path_ = path;
+  writer.num_features_ = num_features;
+  writer.num_subjects_ = subject_ids.size();
+  writer.out_.open(path, std::ios::binary | std::ios::trunc);
+  if (!writer.out_) {
+    return Status::IOError("cannot open for write: " + path);
+  }
+  writer.out_.write(header.data(),
+                    static_cast<std::streamsize>(header.size()));
+  if (!writer.out_) return Status::IOError("write failed: " + path);
+  return writer;
+}
+
+Status GroupMatrixFileWriter::AppendColumn(const linalg::Vector& column) {
+  if (columns_written_ >= num_subjects_) {
+    return Status::FailedPrecondition(StrFormat(
+        "GroupMatrixFileWriter: all %zu columns already written",
+        num_subjects_));
+  }
+  if (column.size() != num_features_) {
+    return Status::InvalidArgument(StrFormat(
+        "GroupMatrixFileWriter: column has %zu values, header promises %zu",
+        column.size(), num_features_));
+  }
+  encoded_.resize(column.size() * sizeof(double));
+  for (std::size_t i = 0; i < column.size(); ++i) {
+    WriteLE(column[i], encoded_.data() + i * sizeof(double));
+  }
+  out_.write(reinterpret_cast<const char*>(encoded_.data()),
+             static_cast<std::streamsize>(encoded_.size()));
+  if (!out_) return Status::IOError("write failed: " + path_);
+  ++columns_written_;
+  return Status::OK();
+}
+
+Status GroupMatrixFileWriter::Finish() {
+  if (columns_written_ != num_subjects_) {
+    return Status::FailedPrecondition(StrFormat(
+        "GroupMatrixFileWriter: %zu of %zu columns written",
+        columns_written_, num_subjects_));
+  }
+  out_.flush();
+  if (!out_) return Status::IOError("write failed: " + path_);
+  out_.close();
+  return Status::OK();
+}
+
+Status WriteGroupMatrix(const std::string& path, const GroupMatrix& group) {
+  if (group.num_subjects() == 0 || group.num_features() == 0) {
+    return Status::InvalidArgument("WriteGroupMatrix: empty group matrix");
+  }
+  auto writer = GroupMatrixFileWriter::Create(path, group.num_features(),
+                                              group.subject_ids());
+  if (!writer.ok()) return writer.status();
+  for (std::size_t j = 0; j < group.num_subjects(); ++j) {
+    NP_RETURN_IF_ERROR(writer->AppendColumn(group.SubjectColumn(j)));
+  }
+  return writer->Finish();
+}
+
+Result<GroupMatrix> ReadGroupMatrix(const std::string& path) {
+  NP_FAULT_POINT("io.group_matrix_read");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open: " + path);
+  internal::NpgmHeader header;
+  NP_ASSIGN_OR_RETURN(header, internal::ParseNpgmHeader(in, path));
+
+  std::vector<linalg::Vector> columns(header.subjects);
+  std::vector<std::uint8_t> encoded(header.features * sizeof(double));
+  for (std::uint64_t j = 0; j < header.subjects; ++j) {
+    columns[j].resize(header.features);
     if (!in.read(reinterpret_cast<char*>(encoded.data()),
                  static_cast<std::streamsize>(encoded.size()))) {
       return Status::CorruptData("truncated group-matrix values");
     }
-    for (std::uint64_t i = 0; i < features; ++i) {
+    for (std::uint64_t i = 0; i < header.features; ++i) {
       columns[j][i] = ReadLE<double>(encoded.data() + i * sizeof(double));
     }
   }
-  auto group = GroupMatrix::FromFeatureColumns(columns, std::move(ids));
+  auto group =
+      GroupMatrix::FromFeatureColumns(columns, std::move(header.subject_ids));
   if (!group.ok()) {
     // Structural inconsistencies surfaced by assembly are file corruption
     // from the reader's point of view, not caller error.

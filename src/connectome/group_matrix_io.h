@@ -10,7 +10,10 @@
 #ifndef NEUROPRINT_CONNECTOME_GROUP_MATRIX_IO_H_
 #define NEUROPRINT_CONNECTOME_GROUP_MATRIX_IO_H_
 
+#include <cstdint>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "connectome/group_matrix.h"
 #include "util/status.h"
@@ -23,6 +26,59 @@ Status WriteGroupMatrix(const std::string& path, const GroupMatrix& group);
 /// Reads a group matrix previously written by WriteGroupMatrix. Returns
 /// CorruptData for malformed or truncated files.
 Result<GroupMatrix> ReadGroupMatrix(const std::string& path);
+
+/// Incremental NPGM writer for cohorts too large to materialize: the
+/// subject ids (and therefore the column count) are fixed up front, then
+/// columns stream in one at a time in subject order. The file is only
+/// valid after Finish() confirms every promised column arrived; a file
+/// produced by WriteGroupMatrix of the same matrix is byte-identical.
+class GroupMatrixFileWriter {
+ public:
+  static Result<GroupMatrixFileWriter> Create(
+      const std::string& path, std::size_t num_features,
+      const std::vector<std::string>& subject_ids);
+
+  GroupMatrixFileWriter(GroupMatrixFileWriter&&) = default;
+  GroupMatrixFileWriter& operator=(GroupMatrixFileWriter&&) = default;
+  GroupMatrixFileWriter(const GroupMatrixFileWriter&) = delete;
+  GroupMatrixFileWriter& operator=(const GroupMatrixFileWriter&) = delete;
+
+  /// Appends the next subject's feature column (must have num_features
+  /// values). FailedPrecondition once every promised column was written.
+  Status AppendColumn(const linalg::Vector& column);
+
+  std::size_t columns_written() const { return columns_written_; }
+
+  /// Flushes and validates that exactly the promised columns arrived.
+  Status Finish();
+
+ private:
+  GroupMatrixFileWriter() = default;
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t num_features_ = 0;
+  std::size_t num_subjects_ = 0;
+  std::size_t columns_written_ = 0;
+  std::vector<std::uint8_t> encoded_;
+};
+
+namespace internal {
+
+/// Parsed + validated NPGM header (shared by ReadGroupMatrix and
+/// FileMatrixStore::Open): magic, version, dimension bounds, ids, and
+/// the exact-payload-size check all happen here, leaving `in` positioned
+/// at the first value byte.
+struct NpgmHeader {
+  std::uint64_t features = 0;
+  std::uint64_t subjects = 0;
+  std::vector<std::string> subject_ids;
+  std::uint64_t data_offset = 0;
+};
+
+Result<NpgmHeader> ParseNpgmHeader(std::ifstream& in, const std::string& path);
+
+}  // namespace internal
 
 }  // namespace neuroprint::connectome
 

@@ -1,6 +1,8 @@
 #include "core/attack.h"
 
+#include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "util/metrics.h"
 #include "util/string_util.h"
@@ -45,6 +47,76 @@ Result<std::vector<std::size_t>> ScreenSubjects(
     metrics::Count("batch.subjects_skipped", report->failed.size());
   }
   return survivors;
+}
+
+// Streamed twin of ScreenSubjects: windows the columns through RAM and
+// applies the identical finiteness screen, producing the same survivors
+// and the same report entries as screening the materialized matrix.
+Result<std::vector<std::size_t>> ScreenSubjectsStreamed(
+    const connectome::MatrixStore& store, std::size_t window_cols,
+    const FailurePolicy& policy, const char* stage, BatchReport* report) {
+  BatchReport local_report;
+  if (report == nullptr) report = &local_report;
+  report->Clear();
+  report->attempted = store.num_subjects();
+
+  const std::size_t w = connectome::DeriveWindowCols(
+      store.num_features(), store.num_subjects(), window_cols);
+  std::vector<std::size_t> survivors;
+  survivors.reserve(store.num_subjects());
+  linalg::Matrix slab;
+  for (std::size_t c0 = 0; c0 < store.num_subjects(); c0 += w) {
+    const std::size_t wc = std::min(w, store.num_subjects() - c0);
+    NP_RETURN_IF_ERROR(store.ReadColumns(c0, wc, &slab));
+    for (std::size_t c = 0; c < wc; ++c) {
+      const std::size_t j = c0 + c;
+      bool finite = true;
+      for (std::size_t i = 0; i < store.num_features() && finite; ++i) {
+        finite = std::isfinite(slab(i, c));
+      }
+      if (finite) {
+        survivors.push_back(j);
+        continue;
+      }
+      BatchItemReport item;
+      item.index = j;
+      item.id = store.subject_ids()[j];
+      item.stage = stage;
+      item.status = Status::CorruptData(StrFormat(
+          "subject %s has non-finite feature values", item.id.c_str()));
+      report->failed.push_back(std::move(item));
+    }
+  }
+  NP_RETURN_IF_ERROR(ResolveBatch(policy, *report));
+  if (!report->failed.empty()) {
+    metrics::Count("batch.subjects_skipped", report->failed.size());
+  }
+  return survivors;
+}
+
+// Windowed gather of the selected feature rows — the streamed analogue of
+// RestrictToFeatures: same values, same subject ids, never more than one
+// column window resident.
+Result<connectome::GroupMatrix> GatherFeatureRows(
+    const connectome::MatrixStore& store, const std::vector<std::size_t>& rows,
+    std::size_t window_cols) {
+  const std::size_t n = store.num_subjects();
+  const std::size_t w =
+      connectome::DeriveWindowCols(store.num_features(), n, window_cols);
+  std::vector<linalg::Vector> columns(n);
+  linalg::Matrix slab;
+  for (std::size_t c0 = 0; c0 < n; c0 += w) {
+    const std::size_t wc = std::min(w, n - c0);
+    NP_RETURN_IF_ERROR(store.ReadColumns(c0, wc, &slab));
+    for (std::size_t c = 0; c < wc; ++c) {
+      columns[c0 + c].resize(rows.size());
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        columns[c0 + c][i] = slab(rows[i], c);
+      }
+    }
+  }
+  return connectome::GroupMatrix::FromFeatureColumns(columns,
+                                                     store.subject_ids());
 }
 
 }  // namespace
@@ -111,6 +183,69 @@ Result<DeanonymizationAttack> DeanonymizationAttack::Fit(
   return attack;
 }
 
+Result<DeanonymizationAttack> DeanonymizationAttack::FitStreamed(
+    const connectome::MatrixStore& known, const AttackOptions& options,
+    const connectome::StreamOptions& stream, BatchReport* report) {
+  trace::ScopedEnable trace_enable(options.trace.enabled);
+  fault::ScopedSchedule fault_schedule(options.fault.schedule);
+  NP_RETURN_IF_ERROR(fault_schedule.status());
+  NP_TRACE_SCOPE("attack.fit");
+  NP_FAULT_POINT("attack.fit");
+  if (options.num_features == 0) {
+    return Status::InvalidArgument("AttackOptions: num_features must be > 0");
+  }
+  if (known.num_subjects() < 2) {
+    return Status::InvalidArgument(
+        "DeanonymizationAttack: need at least 2 known subjects");
+  }
+  std::vector<std::size_t> survivors;
+  NP_ASSIGN_OR_RETURN(
+      survivors, ScreenSubjectsStreamed(known, stream.window_cols,
+                                        options.failure_policy, "fit_screen",
+                                        report));
+  std::optional<connectome::SubsetColumnsStore> screened_known;
+  const connectome::MatrixStore* fit_known = &known;
+  if (survivors.size() < known.num_subjects()) {
+    if (survivors.size() < 2) {
+      return Status::FailedPrecondition(
+          "DeanonymizationAttack: fewer than 2 usable known subjects");
+    }
+    auto subset = connectome::SubsetColumnsStore::Create(known, survivors);
+    if (!subset.ok()) return subset.status();
+    screened_known = std::move(subset).value();
+    fit_known = &*screened_known;
+  }
+  LeverageOptions leverage = options.leverage;
+  if (leverage.parallel.num_threads == 0) {
+    leverage.parallel = options.parallel;
+  }
+  auto scores = ComputeLeverageScoresStreamed(*fit_known, leverage, stream);
+  if (!scores.ok()) return scores.status();
+
+  DeanonymizationAttack attack;
+  attack.leverage_scores_ = std::move(scores).value();
+  attack.selected_features_ =
+      TopKIndices(attack.leverage_scores_, options.num_features);
+  if (attack.selected_features_.size() < 2) {
+    return Status::FailedPrecondition(
+        "DeanonymizationAttack: fewer than 2 usable features");
+  }
+  NP_TRACE_SCOPE("attack.fit.restrict");
+  auto reduced = GatherFeatureRows(*fit_known, attack.selected_features_,
+                                   stream.window_cols);
+  if (!reduced.ok()) return reduced.status();
+  attack.reduced_known_ = std::move(reduced).value();
+  attack.full_feature_count_ = known.num_features();
+  attack.parallel_ = options.parallel;
+  attack.trace_ = options.trace;
+  attack.failure_policy_ = options.failure_policy;
+  attack.fault_ = options.fault;
+  metrics::Count("attack.fits", 1);
+  metrics::SetGauge("attack.selected_features",
+                    static_cast<double>(attack.selected_features_.size()));
+  return attack;
+}
+
 Result<AttackResult> DeanonymizationAttack::Identify(
     const connectome::GroupMatrix& anonymous, BatchReport* report) const {
   trace::ScopedEnable trace_enable(trace_.enabled);
@@ -139,14 +274,57 @@ Result<AttackResult> DeanonymizationAttack::Identify(
   }
   auto reduced = target->RestrictToFeatures(selected_features_);
   if (!reduced.ok()) return reduced.status();
+  return IdentifyReduced(*reduced);
+}
+
+Result<AttackResult> DeanonymizationAttack::IdentifyStreamed(
+    const connectome::MatrixStore& anonymous,
+    const connectome::StreamOptions& stream, BatchReport* report) const {
+  trace::ScopedEnable trace_enable(trace_.enabled);
+  fault::ScopedSchedule fault_schedule(fault_.schedule);
+  NP_RETURN_IF_ERROR(fault_schedule.status());
+  NP_TRACE_SCOPE("attack.identify");
+  NP_FAULT_POINT("attack.identify");
+  if (anonymous.num_subjects() == 0) {
+    return Status::InvalidArgument(
+        "Identify: anonymous dataset has no subjects");
+  }
+  if (anonymous.num_features() != full_feature_count_) {
+    return Status::InvalidArgument(StrFormat(
+        "Identify: anonymous dataset has %zu features, attack was fitted "
+        "on %zu — datasets must share a parcellation",
+        anonymous.num_features(), full_feature_count_));
+  }
+  std::vector<std::size_t> survivors;
+  NP_ASSIGN_OR_RETURN(
+      survivors, ScreenSubjectsStreamed(anonymous, stream.window_cols,
+                                        failure_policy_, "identify_screen",
+                                        report));
+  std::optional<connectome::SubsetColumnsStore> screened;
+  const connectome::MatrixStore* target = &anonymous;
+  if (survivors.size() < anonymous.num_subjects()) {
+    auto subset = connectome::SubsetColumnsStore::Create(anonymous, survivors);
+    if (!subset.ok()) return subset.status();
+    screened = std::move(subset).value();
+    target = &*screened;
+  }
+  auto reduced =
+      GatherFeatureRows(*target, selected_features_, stream.window_cols);
+  if (!reduced.ok()) return reduced.status();
+  return IdentifyReduced(*reduced);
+}
+
+Result<AttackResult> DeanonymizationAttack::IdentifyReduced(
+    const connectome::GroupMatrix& reduced_target) const {
   metrics::Count("attack.identifies", 1);
   metrics::SetGauge("attack.identify_subjects",
-                    static_cast<double>(target->num_subjects()));
+                    static_cast<double>(reduced_target.num_subjects()));
 
   AttackResult result;
   {
     NP_TRACE_SCOPE("attack.identify.similarity");
-    auto similarity = SimilarityMatrix(reduced_known_, *reduced, parallel_);
+    auto similarity =
+        SimilarityMatrix(reduced_known_, reduced_target, parallel_);
     if (!similarity.ok()) return similarity.status();
     result.similarity = std::move(similarity).value();
   }
@@ -162,7 +340,7 @@ Result<AttackResult> DeanonymizationAttack::Identify(
   auto accuracy =
       IdentificationAccuracy(result.predicted_index,
                              reduced_known_.subject_ids(),
-                             target->subject_ids());
+                             reduced_target.subject_ids());
   if (!accuracy.ok()) return accuracy.status();
   result.accuracy = *accuracy;
   return result;

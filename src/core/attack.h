@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "connectome/group_matrix.h"
+#include "connectome/matrix_store.h"
 #include "core/leverage.h"
 #include "core/matcher.h"
 #include "util/batch.h"
@@ -70,6 +71,17 @@ class DeanonymizationAttack {
       const connectome::GroupMatrix& known, const AttackOptions& options = {},
       BatchReport* report = nullptr);
 
+  /// Out-of-core Fit: identical semantics, reports, and — bit for bit —
+  /// the same leverage scores, selected features, and reduced matrix as
+  /// Fit of the materialized store (the window determinism contract of
+  /// connectome/matrix_store.h), while keeping only column windows of the
+  /// cohort resident. `stream` bounds the working set and never changes
+  /// results.
+  static Result<DeanonymizationAttack> FitStreamed(
+      const connectome::MatrixStore& known, const AttackOptions& options = {},
+      const connectome::StreamOptions& stream = {},
+      BatchReport* report = nullptr);
+
   /// Feature rows (into the original feature space) the attack uses.
   const std::vector<std::size_t>& selected_features() const {
     return selected_features_;
@@ -87,7 +99,20 @@ class DeanonymizationAttack {
   Result<AttackResult> Identify(const connectome::GroupMatrix& anonymous,
                                 BatchReport* report = nullptr) const;
 
+  /// Out-of-core Identify: bitwise-identical AttackResult to Identify of
+  /// the materialized store; only the selected feature rows and one
+  /// column window at a time are held in RAM.
+  Result<AttackResult> IdentifyStreamed(
+      const connectome::MatrixStore& anonymous,
+      const connectome::StreamOptions& stream = {},
+      BatchReport* report = nullptr) const;
+
  private:
+  /// Shared tail of Identify / IdentifyStreamed: similarity, argmax,
+  /// predicted ids, and accuracy over the feature-reduced target.
+  Result<AttackResult> IdentifyReduced(
+      const connectome::GroupMatrix& reduced_target) const;
+
   connectome::GroupMatrix reduced_known_;
   std::vector<std::size_t> selected_features_;
   linalg::Vector leverage_scores_;

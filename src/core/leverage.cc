@@ -57,13 +57,13 @@ Result<linalg::Vector> LeverageViaSketch(const linalg::Matrix& a,
   return RowSquaredNorms(rsvd->u, k);
 }
 
-// Gram-matrix fast path: A = U S V^T implies A^T A = V S^2 V^T, so
-// U = A V S^{-1} and the leverage scores are the squared row norms of
-// A V S^{-1} over the leading k columns. Costs two m*n^2 gemm-like passes
-// plus an n x n eigendecomposition instead of an m x n SVD.
-Result<linalg::Vector> LeverageViaGram(const linalg::Matrix& a,
-                                       const LeverageOptions& options) {
-  linalg::Matrix gram = linalg::Gram(a, options.parallel);
+// The shared core of the in-RAM and streamed Gram fast paths: A = U S V^T
+// implies A^T A = V S^2 V^T, so the scaled projection basis V diag(1/sigma)
+// over the leading k columns maps A onto U. Consumes the Gram by value
+// (the ridge retry mutates it).
+Result<linalg::Matrix> LeverageBasisFromGram(linalg::Matrix gram,
+                                             const LeverageOptions& options) {
+  const std::size_t n = gram.rows();
   auto eig = linalg::EigSym(gram);
   if (!eig.ok()) {
     // Rank-deficient / non-converged Gram: retry once with a tiny ridge
@@ -97,16 +97,26 @@ Result<linalg::Vector> LeverageViaGram(const linalg::Matrix& a,
   if (options.rank > 0) k = std::min(k, options.rank);
 
   // Scaled projection basis: V diag(1/sigma) over the leading k columns.
-  linalg::Matrix basis(a.cols(), k);
+  linalg::Matrix basis(n, k);
   for (std::size_t j = 0; j < k; ++j) {
     const double inv_sigma = 1.0 / std::sqrt(eigenvalues[j]);
-    for (std::size_t i = 0; i < a.cols(); ++i) {
+    for (std::size_t i = 0; i < n; ++i) {
       basis(i, j) = eig->eigenvectors(i, j) * inv_sigma;
     }
   }
   metrics::SetGauge("leverage.rank", static_cast<double>(k));
-  const linalg::Matrix u = linalg::MatMul(a, basis, options.parallel);
-  return RowSquaredNorms(u, k);
+  return basis;
+}
+
+// Gram-matrix fast path: costs two m*n^2 gemm-like passes plus an n x n
+// eigendecomposition instead of an m x n SVD.
+Result<linalg::Vector> LeverageViaGram(const linalg::Matrix& a,
+                                       const LeverageOptions& options) {
+  auto basis =
+      LeverageBasisFromGram(linalg::Gram(a, options.parallel), options);
+  if (!basis.ok()) return basis.status();
+  const linalg::Matrix u = linalg::MatMul(a, *basis, options.parallel);
+  return RowSquaredNorms(u, basis->cols());
 }
 
 }  // namespace
@@ -164,6 +174,63 @@ Result<linalg::Vector> ComputeLeverageScores(const linalg::Matrix& a,
   metrics::Count("leverage.path.svd", 1);
   metrics::SetGauge("leverage.rank", static_cast<double>(k));
   return RowSquaredNorms(svd->u, k);
+}
+
+Result<linalg::Vector> ComputeLeverageScoresStreamed(
+    const connectome::MatrixStore& store, const LeverageOptions& options,
+    const connectome::StreamOptions& stream) {
+  NP_TRACE_SCOPE("leverage.compute_streamed");
+  metrics::Count("leverage.streamed_calls", 1);
+  const std::size_t m = store.num_features();
+  const std::size_t n = store.num_subjects();
+  if (m == 0 || n == 0) {
+    return Status::InvalidArgument("ComputeLeverageScores: empty matrix");
+  }
+  if (m < n) {
+    return Status::InvalidArgument(
+        "ComputeLeverageScores: expects a tall features-by-subjects matrix");
+  }
+  if (options.diagnostics != nullptr) *options.diagnostics = {};
+  if (!options.sketch && options.allow_gram_fast_path && m >= 4 * n) {
+    connectome::StreamOptions windows = stream;
+    windows.parallel = options.parallel;
+    auto gram = connectome::StreamedGram(store, windows);
+    if (!gram.ok()) return gram.status();
+    auto basis = LeverageBasisFromGram(std::move(*gram), options);
+    if (basis.ok()) {
+      // Row-tiled projection: each tile's MatMul is a full-width GEMM, so
+      // every score matches the in-RAM RowSquaredNorms(MatMul(a, basis))
+      // bit for bit — MatMul row blocks are independent by construction.
+      const std::size_t k = basis->cols();
+      const std::size_t tile = connectome::DeriveRowTile(m, n, stream.row_tile);
+      linalg::Vector scores(m, 0.0);
+      linalg::Matrix slab;
+      for (std::size_t r0 = 0; r0 < m; r0 += tile) {
+        const std::size_t tr = std::min(tile, m - r0);
+        NP_RETURN_IF_ERROR(store.ReadTile(r0, tr, 0, n, &slab));
+        const linalg::Matrix u =
+            linalg::MatMul(slab, *basis, options.parallel);
+        for (std::size_t i = 0; i < tr; ++i) {
+          const double* row = u.RowPtr(i);
+          double sum = 0.0;
+          for (std::size_t j = 0; j < k; ++j) sum += row[j] * row[j];
+          scores[r0 + i] = sum;
+        }
+      }
+      if (options.diagnostics != nullptr) {
+        options.diagnostics->used_gram_fast_path = true;
+      }
+      metrics::Count("leverage.calls", 1);
+      metrics::Count("leverage.path.gram", 1);
+      return scores;
+    }
+    // Numerical failure: materialize below and let the in-RAM call retry
+    // the identical Gram (it fails the same way — the streamed Gram is
+    // bitwise-equal) and fall through to its exact-SVD path.
+  }
+  auto materialized = connectome::MaterializeStore(store);
+  if (!materialized.ok()) return materialized.status();
+  return ComputeLeverageScores(materialized->data(), options);
 }
 
 std::vector<std::size_t> TopKIndices(const linalg::Vector& scores,

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "connectome/matrix_store.h"
 #include "linalg/matrix.h"
 #include "util/status.h"
 
@@ -78,6 +79,18 @@ struct LeverageOptions {
 /// summing to min(rank, numerical rank)).
 Result<linalg::Vector> ComputeLeverageScores(const linalg::Matrix& a,
                                              const LeverageOptions& options = {});
+
+/// Out-of-core leverage scores: bitwise-identical to ComputeLeverageScores
+/// of the materialized store in every configuration. When the Gram fast
+/// path applies (tall shape, enabled, not sketching) the whole computation
+/// streams — StreamedGram over column windows, then row-tiled projection —
+/// holding only one slab plus the n x n Gram resident. Other shapes /
+/// modes materialize the store and defer to the in-RAM implementation.
+/// `stream.parallel` is ignored; `options.parallel` drives every kernel,
+/// as in the in-RAM call.
+Result<linalg::Vector> ComputeLeverageScoresStreamed(
+    const connectome::MatrixStore& store, const LeverageOptions& options = {},
+    const connectome::StreamOptions& stream = {});
 
 /// Indices of the `t` rows with the largest leverage scores, in descending
 /// score order (ties broken by index for determinism).

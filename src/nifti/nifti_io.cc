@@ -8,6 +8,7 @@
 #include <fstream>
 #include <limits>
 
+#include "nifti/nifti_stream.h"
 #include "util/fault.h"
 #include "util/string_util.h"
 
@@ -74,20 +75,20 @@ bool LooksGzipped(const std::vector<std::uint8_t>& bytes) {
 }
 
 Result<std::vector<std::uint8_t>> GunzipFile(const std::string& path) {
-  gzFile gz = gzopen(path.c_str(), "rb");
-  if (gz == nullptr) return Status::IOError("cannot open gzip file: " + path);
+  // Streamed inflation (nifti_stream.h): bounded 64 KiB input window, and
+  // truncation / corruption surface with exact bytes-consumed accounting
+  // instead of gzread's opaque failure.
+  auto reader = GzipStreamReader::Open(path);
+  if (!reader.ok()) return reader.status();
   std::vector<std::uint8_t> out;
   std::vector<std::uint8_t> chunk(1 << 20);
   while (true) {
-    const int n = gzread(gz, chunk.data(), static_cast<unsigned>(chunk.size()));
-    if (n < 0) {
-      gzclose(gz);
-      return Status::CorruptData("gzip decompression failed: " + path);
-    }
-    if (n == 0) break;
-    out.insert(out.end(), chunk.begin(), chunk.begin() + n);
+    auto n = reader->Read(chunk.data(), chunk.size());
+    if (!n.ok()) return n.status();
+    if (*n == 0) break;
+    out.insert(out.end(), chunk.begin(),
+               chunk.begin() + static_cast<std::ptrdiff_t>(*n));
   }
-  gzclose(gz);
   if (fault::Enabled()) {
     NP_RETURN_IF_ERROR(
         ApplyBufferInjection(fault::Hit("io.gzip_inflate"), out));
@@ -152,36 +153,9 @@ Status DecodeVoxels(const std::vector<std::uint8_t>& bytes,
         "NIfTI voxel data truncated: need %zu bytes at offset %zu, have %zu",
         count * voxel_bytes, offset, bytes.size()));
   }
-  // scl_slope == 0 means "no scaling" per the NIfTI spec.
-  const double slope =
-      header.scl_slope != 0.0f ? static_cast<double>(header.scl_slope) : 1.0;
-  const double inter =
-      header.scl_slope != 0.0f ? static_cast<double>(header.scl_inter) : 0.0;
-
   out.resize(count);
-  const std::uint8_t* src = bytes.data() + offset;
-  for (std::size_t i = 0; i < count; ++i, src += voxel_bytes) {
-    double raw = 0.0;
-    switch (header.datatype) {
-      case DataType::kUint8:
-        raw = static_cast<double>(*src);
-        break;
-      case DataType::kInt16:
-        raw = DecodeValue<std::int16_t>(src, swap);
-        break;
-      case DataType::kInt32:
-        raw = DecodeValue<std::int32_t>(src, swap);
-        break;
-      case DataType::kFloat32:
-        raw = DecodeValue<float>(src, swap);
-        break;
-      case DataType::kFloat64:
-        raw = DecodeValue<double>(src, swap);
-        break;
-    }
-    out[i] = static_cast<float>(slope * raw + inter);
-  }
-  return Status::OK();
+  return internal::DecodeVoxelSpan(bytes.data() + offset, count, header, swap,
+                                   out.data());
 }
 
 // ---------------------------------------------------------------------------
@@ -221,6 +195,45 @@ void IntegerScaling(const std::vector<float>& data, double type_min,
 }
 
 }  // namespace
+
+namespace internal {
+
+Status DecodeVoxelSpan(const std::uint8_t* src, std::size_t count,
+                       const NiftiHeader& header, bool swap, float* out) {
+  const Result<int> bits = BitsPerVoxel(header.datatype);
+  if (!bits.ok()) return bits.status();
+  const std::size_t voxel_bytes = static_cast<std::size_t>(*bits) / 8;
+  // scl_slope == 0 means "no scaling" per the NIfTI spec.
+  const double slope =
+      header.scl_slope != 0.0f ? static_cast<double>(header.scl_slope) : 1.0;
+  const double inter =
+      header.scl_slope != 0.0f ? static_cast<double>(header.scl_inter) : 0.0;
+
+  for (std::size_t i = 0; i < count; ++i, src += voxel_bytes) {
+    double raw = 0.0;
+    switch (header.datatype) {
+      case DataType::kUint8:
+        raw = static_cast<double>(*src);
+        break;
+      case DataType::kInt16:
+        raw = DecodeValue<std::int16_t>(src, swap);
+        break;
+      case DataType::kInt32:
+        raw = DecodeValue<std::int32_t>(src, swap);
+        break;
+      case DataType::kFloat32:
+        raw = DecodeValue<float>(src, swap);
+        break;
+      case DataType::kFloat64:
+        raw = DecodeValue<double>(src, swap);
+        break;
+    }
+    out[i] = static_cast<float>(slope * raw + inter);
+  }
+  return Status::OK();
+}
+
+}  // namespace internal
 
 Result<NiftiImage> ReadNifti(const std::string& path) {
   NP_FAULT_POINT("nifti.read");

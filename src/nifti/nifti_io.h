@@ -48,6 +48,17 @@ Status WriteNifti(const std::string& path, const image::Volume4D& volume,
 Status WriteNifti3D(const std::string& path, const image::Volume3D& volume,
                     const WriteOptions& options = {});
 
+namespace internal {
+
+/// Decodes `count` voxels encoded per `header.datatype` (byte-swapped when
+/// `swap`) from `src`, applying scl_slope / scl_inter, into out[0..count).
+/// Shared by the whole-file and streamed readers so both produce
+/// bit-identical floats. The caller guarantees `src` holds enough bytes.
+Status DecodeVoxelSpan(const std::uint8_t* src, std::size_t count,
+                       const NiftiHeader& header, bool swap, float* out);
+
+}  // namespace internal
+
 }  // namespace neuroprint::nifti
 
 #endif  // NEUROPRINT_NIFTI_NIFTI_IO_H_

@@ -1,0 +1,145 @@
+// Streamed NIfTI access: chunked gzip inflation with bytes-consumed
+// accounting and a frame-at-a-time volume reader, so a 4-D run never has
+// to materialize compressed bytes, plaintext, and voxels side by side.
+//
+// GzipStreamReader is the robustness workhorse: it inflates through a
+// fixed 64 KiB input window and reports truncation with exact counts —
+// a clean Z_STREAM_END is end-of-data, anything short of it is
+// CorruptData naming how many compressed bytes were consumed and how
+// many plaintext bytes came out. GunzipFile and the whole-file NIfTI
+// reader sit on top of it, so every gzip path in the library shares one
+// truncation story.
+//
+// NiftiStreamReader decodes one frame (3-D sub-volume) at a time:
+// uncompressed files seek directly, gzipped files inflate forward and
+// transparently reopen to seek backwards. Frames decode bit-identically
+// to the corresponding span of ReadNifti's voxels.
+
+#ifndef NEUROPRINT_NIFTI_NIFTI_STREAM_H_
+#define NEUROPRINT_NIFTI_NIFTI_STREAM_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "image/volume.h"
+#include "nifti/nifti_header.h"
+#include "nifti/nifti_io.h"
+#include "util/status.h"
+
+// Forward declaration so this header does not leak <zlib.h>.
+struct z_stream_s;
+
+namespace neuroprint::nifti {
+
+/// Chunked gzip decoder over a file. Move-only; the inflate state lives
+/// on the heap so moves never relocate it under zlib's feet.
+class GzipStreamReader {
+ public:
+  static Result<GzipStreamReader> Open(const std::string& path);
+
+  GzipStreamReader(GzipStreamReader&&) noexcept;
+  GzipStreamReader& operator=(GzipStreamReader&&) noexcept;
+  GzipStreamReader(const GzipStreamReader&) = delete;
+  GzipStreamReader& operator=(const GzipStreamReader&) = delete;
+  ~GzipStreamReader();
+
+  /// Inflates up to `count` plaintext bytes into `out`. Returns the number
+  /// produced; 0 means the stream ended cleanly (Z_STREAM_END, every
+  /// member finished). A file that ends mid-member is CorruptData naming
+  /// the compressed bytes consumed and plaintext bytes decoded; damaged
+  /// streams are CorruptData with the same accounting. Concatenated gzip
+  /// members decode seamlessly; trailing non-gzip garbage after a clean
+  /// member end is ignored (matching zlib's gzread).
+  Result<std::size_t> Read(std::uint8_t* out, std::size_t count);
+
+  /// Compressed bytes fed to inflate so far.
+  std::uint64_t compressed_consumed() const { return compressed_consumed_; }
+  /// Plaintext bytes produced so far.
+  std::uint64_t decoded_bytes() const { return decoded_bytes_; }
+  /// True once the stream ended cleanly.
+  bool finished() const { return finished_; }
+
+ private:
+  GzipStreamReader() = default;
+
+  /// Tops up the input window (compacting leftovers) until it holds at
+  /// least `want` bytes or the file is exhausted. IOError on read failure.
+  Status FillInput(std::size_t want);
+
+  std::string path_;
+  std::ifstream file_;
+  std::unique_ptr<z_stream_s> strm_;
+  std::vector<std::uint8_t> input_;
+  std::size_t input_pos_ = 0;
+  std::size_t input_len_ = 0;
+  bool file_exhausted_ = false;
+  bool finished_ = false;
+  std::uint64_t compressed_consumed_ = 0;
+  std::uint64_t decoded_bytes_ = 0;
+};
+
+/// Frame-at-a-time NIfTI reader: Open parses and validates the header
+/// (and only the header), ReadFrame decodes one 3-D frame's voxels with
+/// the same scl scaling as ReadNifti. One frame of floats plus one input
+/// chunk is the whole resident set.
+class NiftiStreamReader {
+ public:
+  /// Opens `path` (.nii or .nii.gz, detected by magic bytes) and decodes
+  /// the header. CorruptData / Unimplemented / IOError as ReadNifti.
+  static Result<NiftiStreamReader> Open(const std::string& path);
+
+  NiftiStreamReader(NiftiStreamReader&&) = default;
+  NiftiStreamReader& operator=(NiftiStreamReader&&) = default;
+
+  const NiftiHeader& header() const { return header_; }
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  std::size_t nz() const { return nz_; }
+  std::size_t nt() const { return nt_; }
+  /// Voxels per frame (nx * ny * nz).
+  std::size_t frame_voxels() const { return nx_ * ny_ * nz_; }
+  image::VoxelSpacing spacing() const;
+
+  /// Decodes frame `t` into `out` (resized to frame_voxels()). Frames may
+  /// be read in any order; on a gzipped file a backwards seek reopens and
+  /// re-inflates from the start. Truncation surfaces as CorruptData with
+  /// the GzipStreamReader byte accounting (gzip) or the ReadNifti
+  /// need/have message (raw).
+  Status ReadFrame(std::size_t t, std::vector<float>* out);
+
+ private:
+  NiftiStreamReader() = default;
+
+  /// Advances the gzip plaintext cursor to `offset` (absolute), reopening
+  /// when the cursor is already past it.
+  Status GzipSeekTo(std::uint64_t offset);
+
+  std::string path_;
+  NiftiHeader header_;
+  bool swapped_ = false;
+  bool gzipped_ = false;
+  std::size_t nx_ = 1, ny_ = 1, nz_ = 1, nt_ = 1;
+  std::size_t voxel_bytes_ = 0;
+  std::uint64_t data_offset_ = 0;
+
+  /// Raw backend.
+  std::ifstream raw_;
+  /// Gzip backend: forward-only cursor over the plaintext.
+  std::unique_ptr<GzipStreamReader> gzip_;
+  std::uint64_t gzip_plain_pos_ = 0;
+
+  /// Per-frame encoded scratch, kept across calls to avoid churn.
+  std::vector<std::uint8_t> encoded_;
+};
+
+/// Whole-image convenience on the streamed path: bit-identical NiftiImage
+/// to ReadNifti, but the compressed bytes and plaintext are never both
+/// resident (frames decode one at a time into the final volume).
+Result<NiftiImage> ReadNiftiStreamed(const std::string& path);
+
+}  // namespace neuroprint::nifti
+
+#endif  // NEUROPRINT_NIFTI_NIFTI_STREAM_H_

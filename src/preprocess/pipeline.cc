@@ -1,11 +1,13 @@
 #include "preprocess/pipeline.h"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 #include <utility>
 
 #include "linalg/stats.h"
 #include "util/metrics.h"
+#include "util/spill.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -370,6 +372,165 @@ Result<PipelineBatchOutput> RunPipelineBatch(
     if (!succeeded[i]) continue;
     out.outputs.push_back(std::move(results[i]));
     out.indices.push_back(i);
+  }
+  return out;
+}
+
+Result<PipelineBatchOutput> RunPipelineBatch(
+    const RunSource& source, std::size_t num_runs,
+    const std::vector<std::string>& ids, const atlas::Atlas& atlas,
+    const PipelineConfig& config) {
+  if (source == nullptr) {
+    return Status::InvalidArgument("RunPipelineBatch: null run source");
+  }
+  if (!ids.empty() && ids.size() != num_runs) {
+    return Status::InvalidArgument(StrFormat(
+        "RunPipelineBatch: %zu ids for %zu runs", ids.size(), num_runs));
+  }
+  trace::ScopedEnable trace_enable(config.trace.enabled);
+  fault::ScopedSchedule fault_schedule(config.fault.schedule);
+  NP_RETURN_IF_ERROR(fault_schedule.status());
+  NP_TRACE_SCOPE("pipeline.batch");
+
+  PipelineBatchOutput out;
+  out.report.attempted = num_runs;
+  if (num_runs == 0) return out;
+
+  PipelineConfig item_config = config;
+  item_config.fault.schedule.clear();
+  const std::size_t window = config.max_in_flight > 0
+                                 ? std::min(config.max_in_flight, num_runs)
+                                 : num_runs;
+
+  // Completed region series spill to disk so only `window` raw runs plus
+  // the light per-run provenance (mask, motion, timings) stay resident
+  // until the batch resolves.
+  auto spill = SpillFile::Create();
+  if (!spill.ok()) return spill.status();
+
+  struct PendingOutput {
+    std::size_t index = 0;
+    std::size_t spill_column = 0;
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    PipelineOutput output;  // region_series empty until restore
+  };
+  std::vector<PendingOutput> pending;
+
+  std::vector<image::Volume4D> window_runs(window);
+  std::vector<PipelineOutput> results(window);
+  std::vector<char> loaded(window, 0);
+  std::vector<char> succeeded(window, 0);
+  std::vector<std::pair<std::size_t, Status>> errors;
+
+  for (std::size_t base = 0; base < num_runs; base += window) {
+    const std::size_t batch = std::min(window, num_runs - base);
+    std::fill(loaded.begin(), loaded.end(), 0);
+    std::fill(succeeded.begin(), succeeded.end(), 0);
+    std::vector<BatchItemReport> window_failed;
+
+    // Load phase — serial: sources are usually IO-bound decoders.
+    for (std::size_t k = 0; k < batch; ++k) {
+      Result<image::Volume4D> run = source(base + k);
+      if (!run.ok()) {
+        BatchItemReport item;
+        item.index = base + k;
+        if (!ids.empty()) item.id = ids[base + k];
+        item.stage = "load";
+        item.status = run.status();
+        window_failed.push_back(std::move(item));
+        continue;
+      }
+      window_runs[k] = std::move(run).value();
+      loaded[k] = 1;
+    }
+
+    ParallelForStatusCollect(
+        config.parallel, 0, batch, 1,
+        [&](std::size_t k) -> Status {
+          if (!loaded[k]) return Status::OK();
+          NP_FAULT_POINT_KEYED("pipeline.batch_item", base + k);
+          Result<PipelineOutput> result =
+              RunPipeline(window_runs[k], atlas, item_config);
+          window_runs[k] = image::Volume4D();  // release the raw run
+          if (!result.ok()) return result.status();
+          results[k] = std::move(result).value();
+          succeeded[k] = 1;
+          return Status::OK();
+        },
+        &errors);
+
+    for (auto& [k, status] : errors) {
+      BatchItemReport item;
+      item.index = base + k;
+      if (!ids.empty()) item.id = ids[base + k];
+      item.stage = "pipeline";
+      item.status = std::move(status);
+      window_failed.push_back(std::move(item));
+    }
+    // Load and pipeline failures interleave; index order keeps the report
+    // identical to the vector overload's.
+    std::sort(window_failed.begin(), window_failed.end(),
+              [](const BatchItemReport& a, const BatchItemReport& b) {
+                return a.index < b.index;
+              });
+    for (BatchItemReport& item : window_failed) {
+      out.report.failed.push_back(std::move(item));
+    }
+
+    for (std::size_t k = 0; k < batch; ++k) {
+      if (!succeeded[k] || results[k].degraded_frames.empty()) continue;
+      BatchItemReport item;
+      item.index = base + k;
+      if (!ids.empty()) item.id = ids[base + k];
+      item.stage = "motion_correction";
+      for (std::size_t frame : results[k].degraded_frames) {
+        item.degradations.push_back(
+            StrFormat("identity_transform_frame_%zu", frame));
+      }
+      out.report.degraded.push_back(std::move(item));
+    }
+
+    // Spill phase — serial, ascending index, so spill columns are in
+    // survivor order.
+    for (std::size_t k = 0; k < batch; ++k) {
+      if (!succeeded[k]) continue;
+      PendingOutput p;
+      p.index = base + k;
+      p.spill_column = spill->num_columns();
+      p.rows = results[k].region_series.rows();
+      p.cols = results[k].region_series.cols();
+      const std::size_t count = p.rows * p.cols;
+      const double dummy = 0.0;
+      const double* data =
+          count > 0 ? results[k].region_series.RowPtr(0) : &dummy;
+      NP_RETURN_IF_ERROR(spill->AppendColumn(data, count));
+      results[k].region_series = linalg::Matrix();
+      p.output = std::move(results[k]);
+      results[k] = PipelineOutput();
+      pending.push_back(std::move(p));
+    }
+  }
+
+  if (!out.report.degraded.empty()) {
+    metrics::Count("batch.subjects_degraded", out.report.degraded.size());
+  }
+  NP_RETURN_IF_ERROR(ResolveBatch(config.failure_policy, out.report));
+  if (!out.report.failed.empty()) {
+    metrics::Count("batch.subjects_skipped", out.report.failed.size());
+  }
+
+  // Restore phase: read the spilled series back in survivor order.
+  std::vector<double> column;
+  for (PendingOutput& p : pending) {
+    NP_RETURN_IF_ERROR(spill->ReadColumn(p.spill_column, &column));
+    linalg::Matrix series(p.rows, p.cols);
+    if (p.rows * p.cols > 0) {
+      std::copy(column.begin(), column.end(), series.RowPtr(0));
+    }
+    p.output.region_series = std::move(series);
+    out.outputs.push_back(std::move(p.output));
+    out.indices.push_back(p.index);
   }
   return out;
 }

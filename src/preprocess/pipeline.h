@@ -20,6 +20,8 @@
 #ifndef NEUROPRINT_PREPROCESS_PIPELINE_H_
 #define NEUROPRINT_PREPROCESS_PIPELINE_H_
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -86,6 +88,12 @@ struct PipelineConfig {
   /// Fault injection for this call: a non-empty schedule replaces the
   /// process schedule (NEUROPRINT_FAULT) for the run (see util/fault.h).
   fault::FaultConfig fault;
+
+  /// Bounded-memory knob for the streaming RunPipelineBatch overload: at
+  /// most this many raw runs are resident at once (0 = the whole batch).
+  /// Completed region series spill to disk (util/spill.h) until the batch
+  /// resolves. Never changes results or report contents, only peak RSS.
+  std::size_t max_in_flight = 0;
 };
 
 /// Preset matching the paper's resting-state processing.
@@ -125,6 +133,24 @@ struct PipelineBatchOutput {
 /// `ids` labels the report entries and may be empty.
 Result<PipelineBatchOutput> RunPipelineBatch(
     const std::vector<image::Volume4D>& runs,
+    const std::vector<std::string>& ids, const atlas::Atlas& atlas,
+    const PipelineConfig& config);
+
+/// Produces run `i` on demand — e.g. decode one NIfTI at a time via
+/// nifti::NiftiStreamReader — so a cohort never has to materialize as a
+/// vector of volumes. A returned error fails that run (stage "load")
+/// under the batch failure policy, like any pipeline failure.
+using RunSource = std::function<Result<image::Volume4D>(std::size_t)>;
+
+/// Bounded-memory batch: identical outputs, report entries, and failure
+/// semantics to the vector overload over the same runs, but raw volumes
+/// are pulled from `source` in windows of config.max_in_flight and each
+/// window's region series spill to disk until the batch resolves. Peak
+/// RSS is O(max_in_flight) raw runs instead of O(num_runs); every run is
+/// attempted before the policy resolves, exactly like the vector
+/// overload. The `io.spill` fault point fires on the spill columns.
+Result<PipelineBatchOutput> RunPipelineBatch(
+    const RunSource& source, std::size_t num_runs,
     const std::vector<std::string>& ids, const atlas::Atlas& atlas,
     const PipelineConfig& config);
 

@@ -4,11 +4,13 @@
 #include <bit>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <utility>
 
 #include "linalg/simd/simd.h"
 #include "util/metrics.h"
 #include "util/random.h"
+#include "util/spill.h"
 #include "util/string_util.h"
 
 namespace neuroprint::service {
@@ -339,6 +341,167 @@ Status IdentificationIndex::EnrollBatch(const connectome::GroupMatrix& subjects,
   NP_RETURN_IF_ERROR(fault_schedule.status());
   NP_TRACE_SCOPE("service.enroll_batch");
   NP_RETURN_IF_ERROR(EnrollMatrixColumns(subjects, report));
+  return MaybeAutoRefresh();
+}
+
+Status IdentificationIndex::EnrollStream(const connectome::MatrixStore& subjects,
+                                         BatchReport* report,
+                                         std::size_t window_cols) {
+  trace::ScopedEnable trace_enable(options_.trace.enabled);
+  fault::ScopedSchedule fault_schedule(options_.fault.schedule);
+  NP_RETURN_IF_ERROR(fault_schedule.status());
+  NP_TRACE_SCOPE("service.enroll_stream");
+
+  BatchReport local_report;
+  if (report == nullptr) report = &local_report;
+  report->Clear();
+  const std::size_t n = subjects.num_subjects();
+  report->attempted = n;
+  if (subjects.num_features() != full_feature_count_) {
+    return Status::InvalidArgument(StrFormat(
+        "EnrollBatch: subjects have %zu features, index holds %zu",
+        subjects.num_features(), full_feature_count_));
+  }
+
+  // Staging in column windows: at most one window of full columns is
+  // resident at a time. Fingerprints are small and stay in RAM; the full
+  // columns the index retains spill to disk until the batch resolves, so
+  // the EnrollMatrixColumns invariant holds unchanged — nothing touches a
+  // shard until every subject has been screened and the policy resolved.
+  std::vector<linalg::Vector> staged_fingerprints(n);
+  std::vector<Status> staged_status(n, Status::OK());
+  std::optional<SpillFile> spill;
+  std::vector<std::size_t> spill_slot;
+  if (options_.retain_full_columns) {
+    auto created = SpillFile::Create();
+    if (!created.ok()) return created.status();
+    spill.emplace(std::move(created).value());
+    spill_slot.assign(n, 0);
+  }
+  const std::size_t window =
+      connectome::DeriveWindowCols(full_feature_count_, n, window_cols);
+  const std::size_t grain = GrainForWork(full_feature_count_);
+  linalg::Matrix slab;
+  for (std::size_t c0 = 0; c0 < n; c0 += window) {
+    const std::size_t count = std::min(window, n - c0);
+    NP_RETURN_IF_ERROR(subjects.ReadColumns(c0, count, &slab));
+    std::vector<linalg::Vector> columns(count);
+    ParallelFor(options_.parallel, 0, count, grain,
+                [&](std::size_t lo, std::size_t hi) {
+                  for (std::size_t c = lo; c < hi; ++c) {
+                    const std::size_t j = c0 + c;
+                    linalg::Vector column(full_feature_count_);
+                    for (std::size_t i = 0; i < full_feature_count_; ++i) {
+                      column[i] = slab(i, c);
+                    }
+                    if (fault::Enabled()) {
+                      const fault::Injection injection =
+                          fault::Hit("service.enroll", j);
+                      if (injection.action == fault::Action::kError) {
+                        staged_status[j] = injection.status;
+                        continue;
+                      }
+                      if (injection.action == fault::Action::kNaN) {
+                        for (double& x : column) {
+                          x = std::numeric_limits<double>::quiet_NaN();
+                        }
+                      } else if (injection.action == fault::Action::kCorrupt) {
+                        fault::ScrambleBytes(injection.seed, column.data(),
+                                             column.size() * sizeof(double));
+                      }
+                    }
+                    if (!AllFinite(column)) {
+                      staged_status[j] = Status::CorruptData(StrFormat(
+                          "subject %s has non-finite feature values",
+                          subjects.subject_ids()[j].c_str()));
+                      continue;
+                    }
+                    staged_fingerprints[j] = MakeFingerprint(column);
+                    if (spill.has_value()) columns[c] = std::move(column);
+                  }
+                });
+    if (spill.has_value()) {
+      for (std::size_t c = 0; c < count; ++c) {
+        const std::size_t j = c0 + c;
+        if (!staged_status[j].ok()) continue;
+        spill_slot[j] = spill->num_columns();
+        NP_RETURN_IF_ERROR(
+            spill->AppendColumn(columns[c].data(), columns[c].size()));
+      }
+    }
+  }
+
+  // Serial pass: duplicate detection (against the index and within the
+  // batch, in batch order) and report assembly — byte-for-byte the
+  // EnrollMatrixColumns screen.
+  std::vector<std::size_t> survivors;
+  survivors.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::string& id = subjects.subject_ids()[j];
+    Status status = staged_status[j];
+    if (status.ok() && Contains(id)) {
+      status = Status::AlreadyExists(
+          StrFormat("subject %s already enrolled", id.c_str()));
+    }
+    if (status.ok()) {
+      for (std::size_t k : survivors) {
+        if (subjects.subject_ids()[k] == id) {
+          status = Status::AlreadyExists(StrFormat(
+              "subject %s duplicated within the batch", id.c_str()));
+          break;
+        }
+      }
+    }
+    if (status.ok()) {
+      survivors.push_back(j);
+      continue;
+    }
+    BatchItemReport item;
+    item.index = j;
+    item.id = id;
+    item.stage = "enroll_screen";
+    item.status = std::move(status);
+    report->failed.push_back(std::move(item));
+  }
+  NP_RETURN_IF_ERROR(ResolveBatch(options_.failure_policy, *report));
+  if (!report->failed.empty()) {
+    metrics::Count("batch.subjects_skipped", report->failed.size());
+  }
+
+  // Read the surviving full columns back before touching any shard, so a
+  // spill failure (file deleted mid-batch, injected `io.spill` fault)
+  // propagates with the index bit-unchanged — no rollback needed.
+  std::vector<linalg::Vector> staged_full(survivors.size());
+  if (spill.has_value()) {
+    std::vector<double> buffer;
+    for (std::size_t s = 0; s < survivors.size(); ++s) {
+      NP_RETURN_IF_ERROR(spill->ReadColumn(spill_slot[survivors[s]], &buffer));
+      staged_full[s] = std::move(buffer);
+      buffer.clear();
+    }
+  }
+
+  // Commit phase: nothing below can fail.
+  for (std::size_t s = 0; s < survivors.size(); ++s) {
+    const std::size_t j = survivors[s];
+    const std::string& id = subjects.subject_ids()[j];
+    Shard& shard = shards_[ShardOf(id)];
+    const auto pos = std::lower_bound(
+        shard.entries.begin(), shard.entries.end(), id,
+        [](const Entry& e, const std::string& want) { return e.id < want; });
+    Entry entry;
+    entry.id = id;
+    entry.fingerprint = std::move(staged_fingerprints[j]);
+    if (options_.retain_full_columns) {
+      entry.full = std::move(staged_full[s]);
+    }
+    shard.entries.insert(pos, std::move(entry));
+    shard.clusters_dirty = true;
+    ++size_;
+    NoteMutation();
+  }
+  metrics::Count("service.enrolls", survivors.size());
+  metrics::SetGauge("service.gallery_size", static_cast<double>(size_));
   return MaybeAutoRefresh();
 }
 

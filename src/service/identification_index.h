@@ -52,6 +52,7 @@
 #include <vector>
 
 #include "connectome/group_matrix.h"
+#include "connectome/matrix_store.h"
 #include "core/leverage.h"
 #include "util/batch.h"
 #include "util/fault.h"
@@ -162,6 +163,20 @@ class IdentificationIndex {
   /// `report`, which may be null).
   Status EnrollBatch(const connectome::GroupMatrix& subjects,
                      BatchReport* report = nullptr);
+
+  /// Out-of-core EnrollBatch: pulls subject columns from `subjects` in
+  /// windows of `window_cols` (0 derives a width from the memory budget,
+  /// see connectome::DeriveWindowCols), so peak RSS is one window of full
+  /// columns plus the fingerprints instead of the whole cohort. When the
+  /// index retains full columns they spill to disk (util/spill.h) during
+  /// staging and are read back only at commit. Index state, report
+  /// contents, and failure semantics are identical to EnrollBatch over
+  /// the materialized store at any window size; a store or spill I/O
+  /// failure (including the `io.stream` / `io.spill` fault points) fails
+  /// the call with the index bit-unchanged.
+  Status EnrollStream(const connectome::MatrixStore& subjects,
+                      BatchReport* report = nullptr,
+                      std::size_t window_cols = 0);
 
   /// Removes one subject. NotFound when the id is not enrolled. The
   /// resulting index state is identical to one that never enrolled the

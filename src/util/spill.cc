@@ -1,0 +1,199 @@
+#include "util/spill.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <limits>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "util/fault.h"
+#include "util/string_util.h"
+
+namespace neuroprint {
+namespace {
+
+std::size_t LatchMemoryBudget() {
+  const char* env = std::getenv("NEUROPRINT_MEMORY_BUDGET_MB");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long long mb = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') return 0;
+  return static_cast<std::size_t>(mb) << 20;
+}
+
+std::string LatchSpillDirectory() {
+  const char* env = std::getenv("NEUROPRINT_SPILL_DIR");
+  return env == nullptr ? std::string() : std::string(env);
+}
+
+std::uint64_t ProcessId() {
+#if defined(__unix__) || defined(__APPLE__)
+  return static_cast<std::uint64_t>(getpid());
+#else
+  return 0;
+#endif
+}
+
+// Applies a fired `io.spill` rule to a column payload in place: kError
+// propagates, kCorrupt scrambles the bytes, kNaN poisons every value.
+Status ApplyColumnInjection(const fault::Injection& injection, double* values,
+                            std::size_t count) {
+  switch (injection.action) {
+    case fault::Action::kNone:
+      return Status::OK();
+    case fault::Action::kError:
+      return injection.status;
+    case fault::Action::kCorrupt:
+      fault::ScrambleBytes(injection.seed, values, count * sizeof(double));
+      return Status::OK();
+    case fault::Action::kNaN:
+      for (std::size_t i = 0; i < count; ++i) {
+        values[i] = std::numeric_limits<double>::quiet_NaN();
+      }
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::size_t MemoryBudgetBytes() {
+  static const std::size_t budget = LatchMemoryBudget();
+  return budget;
+}
+
+const std::string& SpillDirectory() {
+  static const std::string dir = LatchSpillDirectory();
+  return dir;
+}
+
+Result<SpillFile> SpillFile::Create(const std::string& dir) {
+  std::filesystem::path base;
+  if (!dir.empty()) {
+    base = dir;
+  } else if (!SpillDirectory().empty()) {
+    base = SpillDirectory();
+  } else {
+    std::error_code ec;
+    base = std::filesystem::temp_directory_path(ec);
+    if (ec) return Status::IOError("SpillFile: no temp directory available");
+  }
+  // Unique within the machine without wall-clock or randomness: process
+  // id plus a process-wide counter.
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t serial =
+      counter.fetch_add(1, std::memory_order_relaxed);
+  SpillFile file;
+  file.path_ = (base / StrFormat("np_spill_%llu_%llu.bin",
+                                 static_cast<unsigned long long>(ProcessId()),
+                                 static_cast<unsigned long long>(serial)))
+                   .string();
+  file.writer_.open(file.path_, std::ios::binary | std::ios::trunc);
+  if (!file.writer_) {
+    return Status::IOError("SpillFile: cannot create " + file.path_);
+  }
+  return file;
+}
+
+SpillFile::SpillFile(SpillFile&& other) noexcept
+    : path_(std::move(other.path_)),
+      writer_(std::move(other.writer_)),
+      bytes_written_(other.bytes_written_),
+      columns_(std::move(other.columns_)) {
+  other.path_.clear();
+  other.columns_.clear();
+}
+
+SpillFile& SpillFile::operator=(SpillFile&& other) noexcept {
+  if (this == &other) return *this;
+  if (!path_.empty()) {
+    writer_.close();
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  path_ = std::move(other.path_);
+  writer_ = std::move(other.writer_);
+  bytes_written_ = other.bytes_written_;
+  columns_ = std::move(other.columns_);
+  other.path_.clear();
+  other.columns_.clear();
+  return *this;
+}
+
+SpillFile::~SpillFile() {
+  if (path_.empty()) return;
+  writer_.close();
+  std::error_code ec;
+  std::filesystem::remove(path_, ec);
+}
+
+Status SpillFile::AppendColumn(const double* values, std::size_t count) {
+  if (count == 0) {
+    return Status::InvalidArgument("SpillFile: cannot append an empty column");
+  }
+  const std::size_t index = columns_.size();
+  std::vector<double> staged;
+  const double* payload = values;
+  if (fault::Enabled()) {
+    const fault::Injection injection = fault::Hit("io.spill", index);
+    if (injection.action == fault::Action::kError) return injection.status;
+    if (injection.action != fault::Action::kNone) {
+      staged.assign(values, values + count);
+      NP_RETURN_IF_ERROR(
+          ApplyColumnInjection(injection, staged.data(), count));
+      payload = staged.data();
+    }
+  }
+  writer_.write(reinterpret_cast<const char*>(payload),
+                static_cast<std::streamsize>(count * sizeof(double)));
+  writer_.flush();
+  if (!writer_) {
+    return Status::IOError("SpillFile: append failed: " + path_);
+  }
+  ColumnExtent extent;
+  extent.offset = bytes_written_;
+  extent.count = count;
+  columns_.push_back(extent);
+  bytes_written_ += static_cast<std::uint64_t>(count * sizeof(double));
+  return Status::OK();
+}
+
+Status SpillFile::ReadColumn(std::size_t index,
+                             std::vector<double>* out) const {
+  if (index >= columns_.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "SpillFile: column %zu out of range (%zu spilled)", index,
+        columns_.size()));
+  }
+  const ColumnExtent& extent = columns_[index];
+  // A fresh handle per read: if the file was deleted mid-batch the open
+  // fails here with IOError instead of serving stale cached state.
+  std::ifstream reader(path_, std::ios::binary);
+  if (!reader) {
+    return Status::IOError("SpillFile: cannot reopen " + path_ +
+                           " (deleted mid-batch?)");
+  }
+  reader.seekg(static_cast<std::streamoff>(extent.offset));
+  out->resize(static_cast<std::size_t>(extent.count));
+  reader.read(reinterpret_cast<char*>(out->data()),
+              static_cast<std::streamsize>(extent.count * sizeof(double)));
+  if (!reader) {
+    return Status::CorruptData(StrFormat(
+        "SpillFile: column %zu truncated (wanted %llu doubles at offset "
+        "%llu): %s",
+        index, static_cast<unsigned long long>(extent.count),
+        static_cast<unsigned long long>(extent.offset), path_.c_str()));
+  }
+  if (fault::Enabled()) {
+    const fault::Injection injection = fault::Hit("io.spill", index);
+    NP_RETURN_IF_ERROR(
+        ApplyColumnInjection(injection, out->data(), out->size()));
+  }
+  return Status::OK();
+}
+
+}  // namespace neuroprint

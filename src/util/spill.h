@@ -1,0 +1,89 @@
+// Spill-to-disk staging for bounded-memory batch stages.
+//
+// A SpillFile is an append-only on-disk column store: a batch stage
+// writes intermediate double-precision columns in arrival order and
+// reads them back by index during its commit phase, so the stage's
+// resident set stays O(window) instead of O(batch). Columns are raw
+// host-endian doubles — spill files are process-local scratch, never an
+// interchange format (connectome/group_matrix_io.h owns the portable
+// NPGM encoding).
+//
+// Lifecycle: Create() places the file under `dir`, else
+// NEUROPRINT_SPILL_DIR (latched on first use), else the system temp
+// directory; the destructor unlinks it. Reads open a fresh handle per
+// call, so deleting the file mid-batch surfaces IOError on the next
+// read-back instead of crashing — the contract fault_injection_test and
+// out_of_core_test pin down.
+//
+// Fault injection: the `io.spill` point (keyed by column index) fires on
+// both append and read-back; `corrupt`/`nan` rules mangle the column
+// payload deterministically, `error` rules surface the injected Status.
+
+#ifndef NEUROPRINT_UTIL_SPILL_H_
+#define NEUROPRINT_UTIL_SPILL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace neuroprint {
+
+/// Process-wide memory budget in bytes from NEUROPRINT_MEMORY_BUDGET_MB
+/// (latched on first use, like the other NEUROPRINT_* knobs). 0 when the
+/// variable is unset or unparsable — callers then apply their own
+/// default working-set size.
+std::size_t MemoryBudgetBytes();
+
+/// Directory for spill files from NEUROPRINT_SPILL_DIR (latched on first
+/// use). Empty when unset — Create() then uses the system temp directory.
+const std::string& SpillDirectory();
+
+class SpillFile {
+ public:
+  /// Creates an empty spill file. `dir` overrides the NEUROPRINT_SPILL_DIR
+  /// / temp-directory resolution (used by tests); the name is unique
+  /// within the process.
+  static Result<SpillFile> Create(const std::string& dir = "");
+
+  SpillFile(SpillFile&& other) noexcept;
+  SpillFile& operator=(SpillFile&& other) noexcept;
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+  /// Unlinks the backing file.
+  ~SpillFile();
+
+  /// Appends one column of `count` doubles; columns are indexed in
+  /// append order. IOError when the write fails (disk full, file gone).
+  Status AppendColumn(const double* values, std::size_t count);
+
+  /// Reads column `index` back into `out` (resized). InvalidArgument for
+  /// an out-of-range index, IOError when the file cannot be reopened
+  /// (deleted mid-batch), CorruptData on a short read (truncated).
+  Status ReadColumn(std::size_t index, std::vector<double>* out) const;
+
+  std::size_t num_columns() const { return columns_.size(); }
+
+  /// Backing path (tests delete/truncate it to exercise the IO errors).
+  const std::string& path() const { return path_; }
+
+ private:
+  struct ColumnExtent {
+    std::uint64_t offset = 0;
+    std::uint64_t count = 0;
+  };
+
+  SpillFile() = default;
+
+  std::string path_;
+  std::ofstream writer_;
+  std::uint64_t bytes_written_ = 0;
+  std::vector<ColumnExtent> columns_;
+};
+
+}  // namespace neuroprint
+
+#endif  // NEUROPRINT_UTIL_SPILL_H_

@@ -15,6 +15,8 @@
 
 #include "atlas/synthetic_atlas.h"
 #include "connectome/group_matrix.h"
+#include "connectome/group_matrix_io.h"
+#include "connectome/matrix_store.h"
 #include "core/attack.h"
 #include "nifti/nifti_io.h"
 #include "preprocess/pipeline.h"
@@ -475,6 +477,138 @@ TEST(FaultInjectionServiceTest, FaultedProbeIsScreenedUnderSkipPolicy) {
   for (std::size_t p = 0; p < result->matches.size(); ++p) {
     EXPECT_EQ(result->matches[p].subject_id, result->probe_ids[p]);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Out-of-core fault points: `io.stream` (file-backed tile reads) and
+// `io.spill` (spill-file append / read-back).
+
+std::string OutOfCoreTempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(FaultInjectionOutOfCoreTest, StreamPointInjectsErrorIntoFileReads) {
+  const auto gallery = ServiceGallery();
+  auto group = service::MakeSyntheticGallerySlice(gallery, 0, 0, 6);
+  ASSERT_TRUE(group.ok());
+  const std::string path = OutOfCoreTempPath("fault_stream.npgm");
+  ASSERT_TRUE(connectome::WriteGroupMatrix(path, *group).ok());
+  auto store = connectome::FileMatrixStore::Open(path);
+  ASSERT_TRUE(store.ok()) << store.status();
+
+  {
+    fault::ScopedSchedule schedule(
+        "io.stream#2=error:IOError:injected stream error");
+    ASSERT_TRUE(schedule.status().ok());
+    linalg::Matrix tile;
+    // Columns before the poisoned one still read.
+    EXPECT_TRUE((*store)->ReadColumns(0, 2, &tile).ok());
+    const Status hit = (*store)->ReadColumns(0, 6, &tile);
+    EXPECT_EQ(hit.code(), StatusCode::kIOError);
+    EXPECT_EQ(hit.message(), "injected stream error");
+  }
+
+  // The streamed fit propagates an injected store failure regardless of
+  // the failure policy: the store, not a subject, failed.
+  core::AttackOptions options;
+  options.num_features = 16;
+  options.failure_policy = FailurePolicy::SkipAndReport();
+  options.fault.schedule = "io.stream#1=error:IOError:stream died (injected)";
+  const auto attack =
+      core::DeanonymizationAttack::FitStreamed(**store, options);
+  ASSERT_FALSE(attack.ok());
+  EXPECT_EQ(attack.status().code(), StatusCode::kIOError);
+}
+
+TEST(FaultInjectionOutOfCoreTest, StreamPointNanIsScreenedLikeCorruptData) {
+  const auto gallery = ServiceGallery();
+  auto group = service::MakeSyntheticGallerySlice(gallery, 0, 0, 6);
+  ASSERT_TRUE(group.ok());
+  const std::string path = OutOfCoreTempPath("fault_stream_nan.npgm");
+  ASSERT_TRUE(connectome::WriteGroupMatrix(path, *group).ok());
+  auto store = connectome::FileMatrixStore::Open(path);
+  ASSERT_TRUE(store.ok()) << store.status();
+
+  core::AttackOptions options;
+  options.num_features = 12;
+  options.failure_policy = FailurePolicy::SkipAndReport();
+  options.fault.schedule = "io.stream#1=nan";
+  BatchReport report;
+  const auto attack = core::DeanonymizationAttack::FitStreamed(
+      **store, options, {}, &report);
+  ASSERT_TRUE(attack.ok()) << attack.status();
+  EXPECT_EQ(report.attempted, 6u);
+  ASSERT_EQ(report.failed.size(), 1u);
+  EXPECT_EQ(report.failed[0].index, 1u);
+  EXPECT_EQ(report.failed[0].stage, "fit_screen");
+  EXPECT_EQ(report.failed[0].status.code(), StatusCode::kCorruptData);
+}
+
+TEST(FaultInjectionOutOfCoreTest, SpillWriteFailureLeavesIndexUntouched) {
+  const auto gallery = ServiceGallery();
+  auto reference = service::MakeSyntheticGallerySlice(gallery, 0, 0, 12);
+  auto tail = service::MakeSyntheticGallerySlice(gallery, 0, 12, 22);
+  ASSERT_TRUE(reference.ok() && tail.ok());
+  service::IndexOptions options;
+  options.num_features = 24;
+  options.failure_policy = FailurePolicy::SkipAndReport();
+  auto index = service::IdentificationIndex::Create(*reference, options);
+  ASSERT_TRUE(index.ok()) << index.status();
+  const std::string before = index->DebugStateString();
+
+  const connectome::InMemoryMatrixStore store(*tail);
+  {
+    fault::ScopedSchedule schedule(
+        "io.spill#1=error:IOError:spill device full (injected)");
+    ASSERT_TRUE(schedule.status().ok());
+    const Status status = index->EnrollStream(store);
+    EXPECT_EQ(status.code(), StatusCode::kIOError);
+  }
+  EXPECT_EQ(index->DebugStateString(), before);
+  EXPECT_EQ(index->size(), 12u);
+}
+
+TEST(FaultInjectionOutOfCoreTest, SpillReadBackFailureLeavesIndexUntouched) {
+  // @2 targets the second arrival at (io.spill, column 3): the append
+  // succeeds, the commit-time read-back fails — the spill-file-deleted-
+  // mid-batch scenario, injected deterministically.
+  const auto gallery = ServiceGallery();
+  auto reference = service::MakeSyntheticGallerySlice(gallery, 0, 0, 12);
+  auto tail = service::MakeSyntheticGallerySlice(gallery, 0, 12, 22);
+  ASSERT_TRUE(reference.ok() && tail.ok());
+  service::IndexOptions options;
+  options.num_features = 24;
+  auto index = service::IdentificationIndex::Create(*reference, options);
+  ASSERT_TRUE(index.ok()) << index.status();
+  const std::string before = index->DebugStateString();
+
+  const connectome::InMemoryMatrixStore store(*tail);
+  {
+    fault::ScopedSchedule schedule(
+        "io.spill#3@2=error:IOError:spill file vanished (injected)");
+    ASSERT_TRUE(schedule.status().ok());
+    const Status status = index->EnrollStream(store, nullptr, 4);
+    EXPECT_EQ(status.code(), StatusCode::kIOError);
+  }
+  EXPECT_EQ(index->DebugStateString(), before);
+
+  // With no fault armed the same call commits all ten subjects.
+  ASSERT_TRUE(index->EnrollStream(store, nullptr, 4).ok());
+  EXPECT_EQ(index->size(), 22u);
+}
+
+TEST_F(FaultInjectionPipelineTest, SpillFaultFailsBoundedBatch) {
+  preprocess::PipelineConfig config = FastConfig();
+  config.max_in_flight = 1;
+  config.failure_policy = FailurePolicy::SkipAndReport();
+  config.fault.schedule = "io.spill#0=error:IOError:spill device full "
+                          "(injected)";
+  const preprocess::RunSource source =
+      [this](std::size_t i) -> Result<image::Volume4D> { return runs_[i]; };
+  const auto batch =
+      preprocess::RunPipelineBatch(source, 3, {}, atlas_, config);
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), StatusCode::kIOError);
 }
 
 }  // namespace

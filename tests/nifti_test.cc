@@ -10,6 +10,7 @@
 
 #include "nifti/nifti_header.h"
 #include "nifti/nifti_io.h"
+#include "nifti/nifti_stream.h"
 #include "util/random.h"
 
 namespace neuroprint::nifti {
@@ -333,6 +334,187 @@ TEST(NiftiRobustnessTest, GzipMidStreamTruncationRejected) {
   const auto image = ReadNifti(path);
   ASSERT_FALSE(image.ok());
   EXPECT_EQ(image.status().code(), StatusCode::kCorruptData);
+}
+
+// --- Chunked gzip decode: bytes-consumed accounting -------------------------
+
+// Gaussian voxels are incompressible, so this run's .gz payload is well
+// past the decoder's 64 KiB input chunk — truncation points around the
+// chunk boundary exercise the refill path, not just the first window.
+std::string WriteBigGzRun(const std::string& name, std::size_t* raw_bytes) {
+  Rng rng(314);
+  const image::Volume4D run = MakeTestRun(32, 32, 16, 4, rng);
+  const std::string path = TempPath(name);
+  WriteOptions options;
+  options.compression = WriteOptions::Compression::kAlways;
+  EXPECT_TRUE(WriteNifti(path, run, options).ok());
+  if (raw_bytes != nullptr) {
+    // Plaintext size = the uncompressed encoding of the same image.
+    const std::string raw_path = TempPath("raw_" + name);
+    WriteOptions raw_options;
+    raw_options.compression = WriteOptions::Compression::kNever;
+    EXPECT_TRUE(WriteNifti(raw_path, run, raw_options).ok());
+    std::ifstream probe(raw_path, std::ios::binary | std::ios::ate);
+    *raw_bytes = static_cast<std::size_t>(probe.tellg());
+  }
+  return path;
+}
+
+std::size_t FileSize(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  EXPECT_TRUE(in.good()) << path;
+  return static_cast<std::size_t>(in.tellg());
+}
+
+void TruncateFile(const std::string& src, const std::string& dst,
+                  std::size_t keep) {
+  std::ifstream in(src, std::ios::binary);
+  std::string contents(keep, '\0');
+  in.read(contents.data(), static_cast<std::streamsize>(keep));
+  ASSERT_TRUE(in.good());
+  std::ofstream(dst, std::ios::binary | std::ios::trunc)
+      .write(contents.data(), static_cast<std::streamsize>(keep));
+}
+
+TEST(GzipStreamTest, CleanEndReportsFullAccounting) {
+  std::size_t raw_bytes = 0;
+  const std::string path = WriteBigGzRun("gz_clean.nii.gz", &raw_bytes);
+  ASSERT_GT(FileSize(path), std::size_t{64} << 10)
+      << "test needs a payload past the input chunk";
+  auto reader = GzipStreamReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  // Deliberately awkward read size: plaintext chunks straddle every input
+  // refill boundary.
+  std::vector<std::uint8_t> buffer(7777);
+  std::size_t total = 0;
+  for (;;) {
+    const auto got = reader->Read(buffer.data(), buffer.size());
+    ASSERT_TRUE(got.ok()) << got.status();
+    if (*got == 0) break;
+    total += *got;
+  }
+  EXPECT_TRUE(reader->finished());
+  EXPECT_EQ(total, raw_bytes);
+  EXPECT_EQ(reader->decoded_bytes(), raw_bytes);
+  EXPECT_LE(reader->compressed_consumed(), FileSize(path));
+  // A finished stream keeps returning clean end, not an error.
+  const auto again = reader->Read(buffer.data(), buffer.size());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, 0u);
+}
+
+TEST(GzipStreamTest, TruncationAtChunkBoundariesReportsBytesConsumed) {
+  const std::string path = WriteBigGzRun("gz_trunc.nii.gz", nullptr);
+  const std::size_t size = FileSize(path);
+  constexpr std::size_t kChunk = std::size_t{64} << 10;
+  ASSERT_GT(size, kChunk + 2);
+  // Mid-chunk, exactly at the refill boundary, one past it, and one byte
+  // short of the whole stream (inside the gzip trailer).
+  for (const std::size_t keep : {kChunk / 2, kChunk, kChunk + 1, size - 1}) {
+    const std::string cut = TempPath("gz_cut_" + std::to_string(keep));
+    TruncateFile(path, cut, keep);
+    auto reader = GzipStreamReader::Open(cut);
+    ASSERT_TRUE(reader.ok()) << reader.status();
+    std::vector<std::uint8_t> buffer(4096);
+    Status failure = Status::OK();
+    for (;;) {
+      const auto got = reader->Read(buffer.data(), buffer.size());
+      if (!got.ok()) {
+        failure = got.status();
+        break;
+      }
+      ASSERT_NE(*got, 0u) << "truncated stream reported a clean end at keep="
+                          << keep;
+    }
+    EXPECT_EQ(failure.code(), StatusCode::kCorruptData) << "keep=" << keep;
+    EXPECT_NE(failure.message().find("compressed bytes consumed"),
+              std::string::npos)
+        << failure;
+    EXPECT_LE(reader->compressed_consumed(), keep) << "keep=" << keep;
+  }
+}
+
+TEST(GzipStreamTest, ConcatenatedMembersDecodeSeamlessly) {
+  Rng rng(27);
+  const image::Volume4D run_a = MakeTestRun(4, 4, 3, 2, rng);
+  const image::Volume4D run_b = MakeTestRun(5, 3, 2, 1, rng);
+  const std::string path_a = TempPath("gz_member_a.nii.gz");
+  const std::string path_b = TempPath("gz_member_b.nii.gz");
+  WriteOptions options;
+  options.compression = WriteOptions::Compression::kAlways;
+  ASSERT_TRUE(WriteNifti(path_a, run_a, options).ok());
+  ASSERT_TRUE(WriteNifti(path_b, run_b, options).ok());
+  // Plaintext sizes of each member on its own.
+  const auto decoded_size = [](const std::string& path) -> std::size_t {
+    auto reader = GzipStreamReader::Open(path);
+    EXPECT_TRUE(reader.ok());
+    if (!reader.ok()) return 0;
+    std::vector<std::uint8_t> buffer(4096);
+    std::size_t total = 0;
+    for (;;) {
+      const auto got = reader->Read(buffer.data(), buffer.size());
+      EXPECT_TRUE(got.ok()) << got.status();
+      if (!got.ok() || *got == 0) break;
+      total += *got;
+    }
+    return total;
+  };
+  const std::size_t plain_a = decoded_size(path_a);
+  const std::size_t plain_b = decoded_size(path_b);
+  ASSERT_GT(plain_a, 0u);
+  ASSERT_GT(plain_b, 0u);
+  const std::string joined = TempPath("gz_joined.nii.gz");
+  {
+    std::ofstream out(joined, std::ios::binary);
+    for (const std::string& p : {path_a, path_b}) {
+      std::ifstream in(p, std::ios::binary);
+      out << in.rdbuf();
+    }
+  }
+  auto reader = GzipStreamReader::Open(joined);
+  ASSERT_TRUE(reader.ok());
+  std::vector<std::uint8_t> buffer(4096);
+  std::size_t total = 0;
+  for (;;) {
+    const auto got = reader->Read(buffer.data(), buffer.size());
+    ASSERT_TRUE(got.ok()) << got.status();
+    if (*got == 0) break;
+    total += *got;
+  }
+  EXPECT_EQ(total, plain_a + plain_b);
+  EXPECT_TRUE(reader->finished());
+}
+
+TEST(NiftiRobustnessTest, WholeFileGzipTruncationNamesBytesConsumed) {
+  // The whole-file reader sits on the same chunked decoder, so its
+  // truncation error carries the consumed/decoded accounting too.
+  Rng rng(115);
+  const image::Volume4D run = MakeTestRun(8, 8, 8, 3, rng);
+  const std::string path = TempPath("gz_accounting.nii.gz");
+  WriteOptions options;
+  options.compression = WriteOptions::Compression::kAlways;
+  ASSERT_TRUE(WriteNifti(path, run, options).ok());
+  const std::size_t size = FileSize(path);
+  const std::string cut = TempPath("gz_accounting_cut.nii.gz");
+  TruncateFile(path, cut, size * 6 / 10);
+  const auto image = ReadNifti(cut);
+  ASSERT_FALSE(image.ok());
+  EXPECT_EQ(image.status().code(), StatusCode::kCorruptData);
+  EXPECT_NE(image.status().message().find("compressed bytes consumed"),
+            std::string::npos)
+      << image.status();
+  // The streamed reader reports the same class of failure.
+  auto streamed = NiftiStreamReader::Open(cut);
+  if (streamed.ok()) {
+    std::vector<float> frame;
+    Status status = Status::OK();
+    for (std::size_t t = 0; t < streamed->nt() && status.ok(); ++t) {
+      status = streamed->ReadFrame(t, &frame);
+    }
+    EXPECT_EQ(status.code(), StatusCode::kCorruptData);
+  } else {
+    EXPECT_EQ(streamed.status().code(), StatusCode::kCorruptData);
+  }
 }
 
 }  // namespace

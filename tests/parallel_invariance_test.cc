@@ -12,6 +12,7 @@
 
 #include "atlas/synthetic_atlas.h"
 #include "connectome/connectome.h"
+#include "connectome/matrix_store.h"
 #include "core/attack.h"
 #include "core/knn.h"
 #include "core/matcher.h"
@@ -346,6 +347,53 @@ TEST(ParallelInvarianceTest, EndToEndAttackWithTracingEnabled) {
   // The traced runs actually recorded spans.
   EXPECT_GT(trace::EventCount(), 0u);
   trace::ClearEvents();
+}
+
+TEST(ParallelInvarianceTest, EndToEndAttackStreamed) {
+  // The out-of-core fit/identify path must honor the same contract: the
+  // (window size x thread count) grid is one bitwise equivalence class,
+  // anchored to the 1-thread in-RAM run.
+  const auto sim = sim::CohortSimulator::Create(SmallCohort(0));
+  ASSERT_TRUE(sim.ok());
+  const auto known =
+      sim->BuildGroupMatrix(sim::TaskType::kRest, sim::Encoding::kLeftRight);
+  const auto anonymous =
+      sim->BuildGroupMatrix(sim::TaskType::kRest, sim::Encoding::kRightLeft);
+  ASSERT_TRUE(known.ok() && anonymous.ok());
+
+  core::AttackOptions options1;
+  options1.num_features = 40;
+  options1.parallel.num_threads = 1;
+  const auto attack1 = core::DeanonymizationAttack::Fit(*known, options1);
+  ASSERT_TRUE(attack1.ok());
+  const auto result1 = attack1->Identify(*anonymous);
+  ASSERT_TRUE(result1.ok());
+
+  const connectome::InMemoryMatrixStore known_store(*known);
+  const connectome::InMemoryMatrixStore anon_store(*anonymous);
+  for (const std::size_t window : {std::size_t{1}, std::size_t{3}}) {
+    for (const std::size_t threads : kThreadCounts) {
+      core::AttackOptions options = options1;
+      options.parallel.num_threads = threads;
+      connectome::StreamOptions stream;
+      stream.window_cols = window;
+      const auto attack = core::DeanonymizationAttack::FitStreamed(
+          known_store, options, stream);
+      ASSERT_TRUE(attack.ok()) << attack.status();
+      ExpectBitwiseEqual(attack1->leverage_scores(),
+                         attack->leverage_scores(),
+                         "FitStreamed leverage scores");
+      EXPECT_EQ(attack1->selected_features(), attack->selected_features());
+      const auto result = attack->IdentifyStreamed(anon_store, stream);
+      ASSERT_TRUE(result.ok()) << result.status();
+      ExpectBitwiseEqual(result1->similarity, result->similarity,
+                         "IdentifyStreamed similarity");
+      EXPECT_EQ(result1->predicted_index, result->predicted_index);
+      EXPECT_EQ(result1->predicted_ids, result->predicted_ids);
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(result1->accuracy),
+                std::bit_cast<std::uint64_t>(result->accuracy));
+    }
+  }
 }
 
 TEST(ParallelInvarianceTest, TsneEmbedding) {

@@ -18,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include "connectome/matrix_store.h"
 #include "core/attack.h"
 #include "sim/cohort.h"
 
@@ -92,6 +93,54 @@ TEST(RegressionGoldenTest, PinnedSeedAttackMatchesGoldens) {
     EXPECT_EQ(std::bit_cast<std::uint64_t>(score), golden.leverage_bits)
         << "leverage for feature " << selected[i] << " moved to " << std::hex
         << std::bit_cast<std::uint64_t>(score) << " (" << score << ")";
+  }
+}
+
+TEST(RegressionGoldenTest, StreamedAttackMatchesTheSameGoldens) {
+  // The out-of-core path is pinned to the same constants: file-backed or
+  // not, windowed or not, the attack must land on these exact bits.
+  sim::CohortConfig config = sim::HcpLikeConfig(909);
+  config.num_subjects = 8;
+  config.num_regions = 16;
+  config.frames_override = 60;
+  config.parallel.num_threads = 1;
+  const auto sim = sim::CohortSimulator::Create(config);
+  ASSERT_TRUE(sim.ok());
+  const auto known =
+      sim->BuildGroupMatrix(sim::TaskType::kRest, sim::Encoding::kLeftRight);
+  const auto anonymous =
+      sim->BuildGroupMatrix(sim::TaskType::kRest, sim::Encoding::kRightLeft);
+  ASSERT_TRUE(known.ok() && anonymous.ok());
+
+  core::AttackOptions options;
+  options.num_features = 40;
+  options.parallel.num_threads = 1;
+  const connectome::InMemoryMatrixStore known_store(*known);
+  const connectome::InMemoryMatrixStore anon_store(*anonymous);
+  connectome::StreamOptions stream;
+  stream.window_cols = 3;  // Deliberately awkward: 8 subjects, ragged tail.
+  const auto attack = core::DeanonymizationAttack::FitStreamed(
+      known_store, options, stream);
+  ASSERT_TRUE(attack.ok()) << attack.status();
+  const auto result = attack->IdentifyStreamed(anon_store, stream);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(result->accuracy),
+            kGoldenAccuracyBits)
+      << "streamed accuracy moved to " << result->accuracy;
+  const std::vector<std::size_t> expected_index(
+      std::begin(kGoldenPredictedIndex), std::end(kGoldenPredictedIndex));
+  EXPECT_EQ(result->predicted_index, expected_index);
+
+  const std::vector<std::size_t>& selected = attack->selected_features();
+  const linalg::Vector& leverage = attack->leverage_scores();
+  ASSERT_EQ(selected.size(), options.num_features);
+  for (std::size_t i = 0; i < std::size(kGoldenTopFeatures); ++i) {
+    const GoldenFeature& golden = kGoldenTopFeatures[i];
+    ASSERT_EQ(selected[i], golden.index) << "rank " << i;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(leverage[selected[i]]),
+              golden.leverage_bits)
+        << "streamed leverage for feature " << selected[i];
   }
 }
 

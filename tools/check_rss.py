@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Memory-regression gate for bench-smoke.
+
+Compares the ``peak_rss_bytes`` field of fresh bench JSON records against
+the committed baseline and fails when any record grew more than the
+allowed fraction (default 15%). Peak RSS of a fixed fast-mode workload is
+far more machine-portable than wall time — the dominant allocations are
+deterministic matrix/gallery buffers — which is what makes a committed
+absolute baseline workable where timing baselines are not.
+
+Usage:
+    check_rss.py [--baseline PATH] [--tolerance FRACTION] fresh.json...
+
+The baseline maps record name -> peak RSS in bytes (keys starting with
+``_`` are comments). Every baseline record must appear in at least one of
+the fresh files — a silently dropped record would otherwise retire its
+regression check. Fresh records without a baseline entry are listed as
+informational so new benches get noticed and enrolled.
+
+Shrinking memory is never an error; when a fresh value sits well below
+baseline the printed hint suggests re-recording so the gate keeps teeth.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_records(path):
+    with open(path) as fh:
+        records = json.load(fh)
+    if not isinstance(records, list) or not records:
+        sys.exit(f"{path}: expected a non-empty JSON array of bench records")
+    return records
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline",
+        default=str(pathlib.Path(__file__).resolve().parent.parent
+                    / "bench_results" / "rss_baseline.json"),
+        help="committed name -> peak_rss_bytes map")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.15,
+        help="allowed fractional growth over baseline (default 0.15)")
+    parser.add_argument("fresh", nargs="+", help="bench --json output files")
+    args = parser.parse_args()
+
+    with open(args.baseline) as fh:
+        baseline = {k: v for k, v in json.load(fh).items()
+                    if not k.startswith("_")}
+    if not baseline:
+        sys.exit(f"{args.baseline}: no baseline records")
+
+    fresh = {}
+    for path in args.fresh:
+        for record in load_records(path):
+            name = record.get("name", "?")
+            rss = record.get("peak_rss_bytes")
+            if name in fresh:
+                continue  # ru_maxrss is monotone; first record is leanest.
+            fresh[name] = (rss, path)
+
+    failures = []
+    for name, want in sorted(baseline.items()):
+        if name not in fresh:
+            failures.append(f"{name}: baseline record missing from fresh "
+                            f"results ({', '.join(args.fresh)})")
+            continue
+        got, path = fresh[name]
+        if not isinstance(got, (int, float)) or got <= 0:
+            failures.append(f"{name} ({path}): peak_rss_bytes is {got!r}")
+            continue
+        limit = want * (1.0 + args.tolerance)
+        ratio = got / want
+        verdict = "OK"
+        if got > limit:
+            verdict = "FAIL"
+            failures.append(
+                f"{name} ({path}): peak RSS {got / 2**20:.1f} MiB is "
+                f"{ratio:.2f}x the {want / 2**20:.1f} MiB baseline "
+                f"(limit {1.0 + args.tolerance:.2f}x)")
+        elif ratio < 0.7:
+            verdict = "OK (consider re-recording the lower baseline)"
+        print(f"{name}: {got / 2**20:.1f} MiB vs baseline "
+              f"{want / 2**20:.1f} MiB ({ratio:.2f}x) {verdict}")
+
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"{name}: no baseline entry (informational only)")
+
+    if failures:
+        print("\nRSS regression check FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("RSS regression check OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
