@@ -4,6 +4,7 @@
 #include <limits>
 #include <utility>
 
+#include "util/crc32c.h"
 #include "util/endian.h"
 #include "util/fault.h"
 #include "util/string_util.h"
@@ -12,7 +13,11 @@ namespace neuroprint::connectome {
 namespace {
 
 constexpr char kMagic[4] = {'N', 'P', 'G', 'M'};
-constexpr std::uint32_t kVersion = 1;
+// v1: no checksum. v2 appends crc32c(value bytes) after the payload;
+// writers emit v2, readers accept both.
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kMinVersion = 1;
+constexpr std::size_t kCrcTrailerBytes = 4;
 
 // Bounds protecting the reader from allocating absurd sizes on corrupt
 // input.
@@ -52,16 +57,16 @@ Result<NpgmHeader> ParseNpgmHeader(std::ifstream& in,
   if (!in.read(magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
     return Status::CorruptData("not a group-matrix file: " + path);
   }
-  std::uint32_t version = 0;
   NpgmHeader header;
-  if (!ReadLE(in, version) || !ReadLE(in, header.features) ||
+  if (!ReadLE(in, header.version) || !ReadLE(in, header.features) ||
       !ReadLE(in, header.subjects)) {
     return Status::CorruptData("truncated group-matrix header: " + path);
   }
-  if (version != kVersion) {
+  if (header.version < kMinVersion || header.version > kVersion) {
     return Status::Unimplemented(
-        StrFormat("unsupported group-matrix version %u", version));
+        StrFormat("unsupported group-matrix version %u", header.version));
   }
+  header.has_crc = header.version >= 2;
   if (header.features == 0 || header.features > kMaxFeatures ||
       header.subjects == 0 || header.subjects > kMaxSubjects) {
     return Status::CorruptData("implausible group-matrix dimensions");
@@ -79,21 +84,21 @@ Result<NpgmHeader> ParseNpgmHeader(std::ifstream& in,
     }
   }
 
-  // The value payload must account for exactly features x subjects
-  // doubles: fewer means truncation, more means trailing garbage or a
-  // header whose counts disagree with the data — all kCorruptData, and
-  // all caught before allocating `features * 8` bytes against a file
-  // that cannot hold them.
+  // The payload must account for exactly features x subjects doubles
+  // (plus the v2 checksum trailer): fewer means truncation, more means
+  // trailing garbage or a header whose counts disagree with the data —
+  // all kCorruptData, and all caught before allocating `features * 8`
+  // bytes against a file that cannot hold them.
   const std::streampos data_begin = in.tellg();
   in.seekg(0, std::ios::end);
   const std::streampos file_end = in.tellg();
   if (data_begin < 0 || file_end < data_begin) {
     return Status::CorruptData("unreadable group-matrix payload: " + path);
   }
-  in.seekg(data_begin);
   const std::uint64_t expected =
       header.features * static_cast<std::uint64_t>(sizeof(double)) *
-      header.subjects;
+          header.subjects +
+      (header.has_crc ? kCrcTrailerBytes : 0);
   const std::uint64_t available =
       static_cast<std::uint64_t>(file_end - data_begin);
   if (available < expected) {
@@ -113,6 +118,14 @@ Result<NpgmHeader> ParseNpgmHeader(std::ifstream& in,
         static_cast<unsigned long long>(header.features),
         static_cast<unsigned long long>(header.subjects)));
   }
+  if (header.has_crc) {
+    in.seekg(file_end - static_cast<std::streamoff>(kCrcTrailerBytes));
+    if (!ReadLE(in, header.value_crc)) {
+      return Status::CorruptData("unreadable group-matrix checksum: " + path);
+    }
+  }
+  in.clear();
+  in.seekg(data_begin);
   header.data_offset = static_cast<std::uint64_t>(data_begin);
   return header;
 }
@@ -138,13 +151,12 @@ Result<GroupMatrixFileWriter> GroupMatrixFileWriter::Create(
   writer.path_ = path;
   writer.num_features_ = num_features;
   writer.num_subjects_ = subject_ids.size();
-  writer.out_.open(path, std::ios::binary | std::ios::trunc);
-  if (!writer.out_) {
-    return Status::IOError("cannot open for write: " + path);
-  }
-  writer.out_.write(header.data(),
-                    static_cast<std::streamsize>(header.size()));
-  if (!writer.out_) return Status::IOError("write failed: " + path);
+  // Crash safety: everything lands in `path + ".tmp"`; only Finish()
+  // publishes it under the real name.
+  Result<AtomicFileWriter> out = AtomicFileWriter::Create(path);
+  if (!out.ok()) return out.status();
+  writer.out_ = std::move(out).value();
+  NP_RETURN_IF_ERROR(writer.out_.Append(header.data(), header.size()));
   return writer;
 }
 
@@ -163,9 +175,8 @@ Status GroupMatrixFileWriter::AppendColumn(const linalg::Vector& column) {
   for (std::size_t i = 0; i < column.size(); ++i) {
     WriteLE(column[i], encoded_.data() + i * sizeof(double));
   }
-  out_.write(reinterpret_cast<const char*>(encoded_.data()),
-             static_cast<std::streamsize>(encoded_.size()));
-  if (!out_) return Status::IOError("write failed: " + path_);
+  value_crc_ = crc32c::Extend(value_crc_, encoded_.data(), encoded_.size());
+  NP_RETURN_IF_ERROR(out_.Append(encoded_.data(), encoded_.size()));
   ++columns_written_;
   return Status::OK();
 }
@@ -176,10 +187,10 @@ Status GroupMatrixFileWriter::Finish() {
         "GroupMatrixFileWriter: %zu of %zu columns written",
         columns_written_, num_subjects_));
   }
-  out_.flush();
-  if (!out_) return Status::IOError("write failed: " + path_);
-  out_.close();
-  return Status::OK();
+  std::uint8_t trailer[4];
+  WriteLE(value_crc_, trailer);
+  NP_RETURN_IF_ERROR(out_.Append(trailer, sizeof(trailer)));
+  return out_.Commit();
 }
 
 Status WriteGroupMatrix(const std::string& path, const GroupMatrix& group) {
@@ -204,15 +215,28 @@ Result<GroupMatrix> ReadGroupMatrix(const std::string& path) {
 
   std::vector<linalg::Vector> columns(header.subjects);
   std::vector<std::uint8_t> encoded(header.features * sizeof(double));
+  std::uint32_t computed_crc = 0;
   for (std::uint64_t j = 0; j < header.subjects; ++j) {
     columns[j].resize(header.features);
     if (!in.read(reinterpret_cast<char*>(encoded.data()),
                  static_cast<std::streamsize>(encoded.size()))) {
       return Status::CorruptData("truncated group-matrix values");
     }
+    if (header.has_crc) {
+      computed_crc = crc32c::Extend(computed_crc, encoded.data(),
+                                    encoded.size());
+    }
     for (std::uint64_t i = 0; i < header.features; ++i) {
       columns[j][i] = ReadLE<double>(encoded.data() + i * sizeof(double));
     }
+  }
+  if (header.has_crc && computed_crc != header.value_crc) {
+    // Bit rot (or a torn copy) inside the value payload: the dimensions
+    // all line up but the bytes are not the ones the writer checksummed.
+    return Status::CorruptData(StrFormat(
+        "group-matrix value checksum mismatch (stored %08x, computed %08x): "
+        "%s",
+        header.value_crc, computed_crc, path.c_str()));
   }
   auto group =
       GroupMatrix::FromFeatureColumns(columns, std::move(header.subject_ids));

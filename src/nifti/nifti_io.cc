@@ -31,6 +31,11 @@ Status ApplyBufferInjection(const fault::Injection& injection,
     case fault::Action::kNaN:
       return Status::Internal(
           "fault action 'nan' is not supported on raw byte buffers");
+    case fault::Action::kTorn:
+    case fault::Action::kCrash:
+      return Status::Internal(
+          std::string("fault action '") + fault::ActionName(injection.action) +
+          "' targets the durable writers, not read paths");
   }
   return Status::OK();
 }
@@ -50,6 +55,11 @@ Status ApplyVoxelInjection(const fault::Injection& injection,
       std::fill(voxels.begin(), voxels.end(),
                 std::numeric_limits<float>::quiet_NaN());
       return Status::OK();
+    case fault::Action::kTorn:
+    case fault::Action::kCrash:
+      return Status::Internal(
+          std::string("fault action '") + fault::ActionName(injection.action) +
+          "' targets the durable writers, not read paths");
   }
   return Status::OK();
 }

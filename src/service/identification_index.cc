@@ -193,14 +193,28 @@ Status IdentificationIndex::EnrollLocked(const std::string& subject_id,
         "Enroll: subject %s has non-finite feature values",
         subject_id.c_str()));
   }
+  if (Contains(subject_id)) {
+    return Status::AlreadyExists(
+        StrFormat("Enroll: subject %s already enrolled", subject_id.c_str()));
+  }
+  // Write-ahead: the screened column reaches the journal before any
+  // shard changes; a journal error leaves the index bit-unchanged.
+  if (journal_ != nullptr) {
+    std::vector<PendingEnroll> pending(1);
+    pending[0].id = &subject_id;
+    pending[0].column = &column;
+    NP_RETURN_IF_ERROR(JournalEnrolls(pending));
+  }
+  CommitEnroll(subject_id, std::move(column));
+  return Status::OK();
+}
+
+void IdentificationIndex::CommitEnroll(const std::string& subject_id,
+                                       linalg::Vector column) {
   Shard& shard = shards_[ShardOf(subject_id)];
   const auto pos = std::lower_bound(
       shard.entries.begin(), shard.entries.end(), subject_id,
       [](const Entry& e, const std::string& id) { return e.id < id; });
-  if (pos != shard.entries.end() && pos->id == subject_id) {
-    return Status::AlreadyExists(
-        StrFormat("Enroll: subject %s already enrolled", subject_id.c_str()));
-  }
   Entry entry;
   entry.id = subject_id;
   entry.fingerprint = MakeFingerprint(column);
@@ -209,7 +223,6 @@ Status IdentificationIndex::EnrollLocked(const std::string& subject_id,
   shard.clusters_dirty = true;
   ++size_;
   NoteMutation();
-  return Status::OK();
 }
 
 Status IdentificationIndex::Enroll(const std::string& subject_id,
@@ -222,7 +235,8 @@ Status IdentificationIndex::Enroll(const std::string& subject_id,
       EnrollLocked(subject_id, full_features, SubjectHash(subject_id)));
   metrics::Count("service.enrolls", 1);
   metrics::SetGauge("service.gallery_size", static_cast<double>(size_));
-  return MaybeAutoRefresh();
+  NP_RETURN_IF_ERROR(MaybeAutoRefresh());
+  return MaybeCompact();
 }
 
 Status IdentificationIndex::EnrollMatrixColumns(
@@ -311,6 +325,19 @@ Status IdentificationIndex::EnrollMatrixColumns(
     metrics::Count("batch.subjects_skipped", report->failed.size());
   }
 
+  // Write-ahead: one journal record covers the whole surviving batch, so
+  // across a crash the batch commits all-or-nothing, exactly like the
+  // in-memory commit loop below. A journal error (nothing reached disk)
+  // fails the call with the index bit-unchanged.
+  if (journal_ != nullptr && !survivors.empty()) {
+    std::vector<PendingEnroll> pending(survivors.size());
+    for (std::size_t s = 0; s < survivors.size(); ++s) {
+      pending[s].id = &subjects.subject_ids()[survivors[s]];
+      pending[s].column = &staged_columns[survivors[s]];
+    }
+    NP_RETURN_IF_ERROR(JournalEnrolls(pending));
+  }
+
   // Commit phase: nothing below can fail.
   for (std::size_t j : survivors) {
     const std::string& id = subjects.subject_ids()[j];
@@ -341,7 +368,8 @@ Status IdentificationIndex::EnrollBatch(const connectome::GroupMatrix& subjects,
   NP_RETURN_IF_ERROR(fault_schedule.status());
   NP_TRACE_SCOPE("service.enroll_batch");
   NP_RETURN_IF_ERROR(EnrollMatrixColumns(subjects, report));
-  return MaybeAutoRefresh();
+  NP_RETURN_IF_ERROR(MaybeAutoRefresh());
+  return MaybeCompact();
 }
 
 Status IdentificationIndex::EnrollStream(const connectome::MatrixStore& subjects,
@@ -365,14 +393,16 @@ Status IdentificationIndex::EnrollStream(const connectome::MatrixStore& subjects
 
   // Staging in column windows: at most one window of full columns is
   // resident at a time. Fingerprints are small and stay in RAM; the full
-  // columns the index retains spill to disk until the batch resolves, so
-  // the EnrollMatrixColumns invariant holds unchanged — nothing touches a
-  // shard until every subject has been screened and the policy resolved.
+  // columns the index retains — or must journal, since a write-ahead
+  // record carries the full column — spill to disk until the batch
+  // resolves, so the EnrollMatrixColumns invariant holds unchanged —
+  // nothing touches a shard until every subject has been screened and
+  // the policy resolved.
   std::vector<linalg::Vector> staged_fingerprints(n);
   std::vector<Status> staged_status(n, Status::OK());
   std::optional<SpillFile> spill;
   std::vector<std::size_t> spill_slot;
-  if (options_.retain_full_columns) {
+  if (options_.retain_full_columns || journal_ != nullptr) {
     auto created = SpillFile::Create();
     if (!created.ok()) return created.status();
     spill.emplace(std::move(created).value());
@@ -481,6 +511,18 @@ Status IdentificationIndex::EnrollStream(const connectome::MatrixStore& subjects
     }
   }
 
+  // Write-ahead: the surviving batch as one record (see
+  // EnrollMatrixColumns); the journaled columns are the spill read-backs
+  // above, which are the bytes the commit loop enrolls.
+  if (journal_ != nullptr && !survivors.empty()) {
+    std::vector<PendingEnroll> pending(survivors.size());
+    for (std::size_t s = 0; s < survivors.size(); ++s) {
+      pending[s].id = &subjects.subject_ids()[survivors[s]];
+      pending[s].column = &staged_full[s];
+    }
+    NP_RETURN_IF_ERROR(JournalEnrolls(pending));
+  }
+
   // Commit phase: nothing below can fail.
   for (std::size_t s = 0; s < survivors.size(); ++s) {
     const std::size_t j = survivors[s];
@@ -502,7 +544,8 @@ Status IdentificationIndex::EnrollStream(const connectome::MatrixStore& subjects
   }
   metrics::Count("service.enrolls", survivors.size());
   metrics::SetGauge("service.gallery_size", static_cast<double>(size_));
-  return MaybeAutoRefresh();
+  NP_RETURN_IF_ERROR(MaybeAutoRefresh());
+  return MaybeCompact();
 }
 
 Status IdentificationIndex::Remove(const std::string& subject_id) {
@@ -516,13 +559,17 @@ Status IdentificationIndex::Remove(const std::string& subject_id) {
     return Status::NotFound(
         StrFormat("Remove: subject %s not enrolled", subject_id.c_str()));
   }
+  // Write-ahead: the removal is durable before the entry disappears (the
+  // journal append does not touch shards, so `pos` stays valid).
+  NP_RETURN_IF_ERROR(JournalRemove(subject_id));
   shard.entries.erase(pos);
   shard.clusters_dirty = true;
   --size_;
   NoteMutation();
   metrics::Count("service.removals", 1);
   metrics::SetGauge("service.gallery_size", static_cast<double>(size_));
-  return MaybeAutoRefresh();
+  NP_RETURN_IF_ERROR(MaybeAutoRefresh());
+  return MaybeCompact();
 }
 
 bool IdentificationIndex::Contains(const std::string& subject_id) const {
@@ -624,6 +671,12 @@ Status IdentificationIndex::RefreshSketch() {
   sketch_staleness_ = 0;
   metrics::SetGauge("service.sketch_staleness", 0.0);
   metrics::Count("service.sketch_refreshes", 1);
+  // The refitted subspace is snapshot state, not expressible as journal
+  // records: checkpoint immediately so a reopened index matches this one.
+  // On a checkpoint error the refresh stays committed in memory and the
+  // on-disk state still recovers consistently (to the pre-refresh
+  // subspace over the same member set).
+  if (journal_ != nullptr) return Checkpoint();
   return Status::OK();
 }
 

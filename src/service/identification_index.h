@@ -42,12 +42,30 @@
 // bitwise-identical at any thread count (asserted by the `service` and
 // `concurrency` test tiers). Ties on similarity break toward the
 // lexicographically smaller subject id, independent of shard layout.
+//
+//   * Durability (optional; see docs/ANALYSIS.md "Durability & crash
+//     recovery"). CreateDurable/OpenDurable bind the index to a data
+//     directory holding a checksummed snapshot ("NPIX", published
+//     atomically via util/journal.h AtomicFileWriter) plus a write-ahead
+//     journal. Every committed mutation is journaled — fsynced per
+//     DurabilityOptions::sync_every — *before* it touches a shard, so
+//     after a crash OpenDurable recovers exactly the committed state:
+//     snapshot, then replay of every CRC-valid journal record, with the
+//     torn tail of a mid-append crash truncated rather than rejected.
+//     The recovered index's DebugStateString is bit-identical to a
+//     never-crashed index over the same member set (the `durability`
+//     test tier sweeps a crash into every journal/snapshot I/O site to
+//     prove it). Checkpoint() compacts: fresh snapshot, journal
+//     truncated to zero; compaction also triggers automatically once the
+//     journal outgrows DurabilityOptions::compact_min_bytes and
+//     compact_ratio x the snapshot.
 
 #ifndef NEUROPRINT_SERVICE_IDENTIFICATION_INDEX_H_
 #define NEUROPRINT_SERVICE_IDENTIFICATION_INDEX_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -56,6 +74,7 @@
 #include "core/leverage.h"
 #include "util/batch.h"
 #include "util/fault.h"
+#include "util/journal.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
@@ -117,6 +136,31 @@ struct IndexOptions {
   fault::FaultConfig fault;
 };
 
+/// Where and how a durable index persists itself (CreateDurable /
+/// OpenDurable). The data directory holds exactly two live files —
+/// `snapshot.npix` and `journal.wal` — plus, transiently, the
+/// `snapshot.npix.tmp` an in-flight (or crashed) snapshot writer leaves
+/// behind; open sweeps the stale temp away.
+struct DurabilityOptions {
+  /// Data directory. Empty falls back to NEUROPRINT_DATA_DIR (latched at
+  /// first use, like the other env knobs); when both are empty the durable
+  /// factories fail with an error naming the variable. Created (with
+  /// parents) by CreateDurable.
+  std::string data_dir;
+  /// Journal fsync cadence, forwarded to JournalOptions::sync_every: 1
+  /// (default) makes every mutation durable before it commits; N batches
+  /// fsyncs so a crash can lose up to the last N - 1 mutations (recovery
+  /// still yields a clean prefix of the committed sequence).
+  std::size_t sync_every = 1;
+  /// Auto-compaction floor: the journal must reach this many bytes before
+  /// a mutation considers checkpointing. 0 compacts only via Checkpoint().
+  std::uint64_t compact_min_bytes = 4ull << 20;
+  /// ... and must also exceed this multiple of the snapshot's size (a
+  /// journal that out-grows its snapshot costs more to replay than a
+  /// fresh snapshot costs to write).
+  double compact_ratio = 1.0;
+};
+
 /// One probe's identification outcome.
 struct IdentifyMatch {
   std::string subject_id;  ///< Best-matching gallery identity.
@@ -149,6 +193,51 @@ class IdentificationIndex {
   static Result<IdentificationIndex> Create(
       const connectome::GroupMatrix& reference,
       const IndexOptions& options = {}, BatchReport* report = nullptr);
+
+  /// Create() plus durability: creates the data directory, writes the
+  /// initial snapshot, and opens a fresh journal. Every subsequent
+  /// mutation is write-ahead journaled. Fails if the directory cannot be
+  /// resolved (see DurabilityOptions::data_dir) or the initial snapshot
+  /// cannot be published.
+  static Result<IdentificationIndex> CreateDurable(
+      const connectome::GroupMatrix& reference,
+      const DurabilityOptions& durability, const IndexOptions& options = {},
+      BatchReport* report = nullptr);
+
+  /// Reopens a durable index from its data directory: sweeps stale
+  /// snapshot temps, loads the snapshot, replays every CRC-valid journal
+  /// record (a torn tail is truncated, never fatal; records made
+  /// redundant by a prior compaction are skipped), and resumes journaling
+  /// at the validated offset. `options` must match the ones the index
+  /// was created with — the snapshot carries the fitted subspace, not the
+  /// option set.
+  static Result<IdentificationIndex> OpenDurable(
+      const DurabilityOptions& durability, const IndexOptions& options = {});
+
+  /// Writes a point-in-time snapshot of this index to `path` (atomic
+  /// publish, CRC-checksummed). Works on non-durable indexes too.
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// Loads an index from a SaveSnapshot file. `options` must match the
+  /// writer's (in particular retain_full_columns and num_shards). The
+  /// loaded index is not durable; OpenDurable builds on this.
+  static Result<IdentificationIndex> OpenFromSnapshot(
+      const std::string& path, const IndexOptions& options = {});
+
+  /// Durable indexes only: publishes a fresh snapshot and truncates the
+  /// journal to zero (compaction). Crash-safe at every step — a crash
+  /// between the snapshot rename and the truncate just leaves redundant
+  /// journal records for the next open to skip.
+  Status Checkpoint();
+
+  /// True when mutations are write-ahead journaled (CreateDurable /
+  /// OpenDurable).
+  bool durable() const { return journal_ != nullptr; }
+
+  /// Journal bytes pending compaction (0 for a non-durable index).
+  std::uint64_t journal_size_bytes() const {
+    return journal_ == nullptr ? 0 : journal_->size_bytes();
+  }
 
   /// Enrolls one subject (full-feature column, same space the index was
   /// fitted on). Fails with AlreadyExists for a duplicate id,
@@ -270,11 +359,35 @@ class IdentificationIndex {
     bool has_second = false;
   };
 
+  /// An enroll staged for commit: the screened column a journal record
+  /// must capture byte-for-byte (replay re-derives the fingerprint from
+  /// it, so recovery is bit-identical).
+  struct PendingEnroll {
+    const std::string* id = nullptr;
+    const linalg::Vector* column = nullptr;
+  };
+
   IdentificationIndex() = default;
 
   Status EnrollLocked(const std::string& subject_id,
                       const linalg::Vector& full_features,
                       std::uint64_t fault_key);
+  /// Inserts a screened subject into its shard — the commit half of
+  /// every enroll path; cannot fail.
+  void CommitEnroll(const std::string& subject_id, linalg::Vector column);
+  /// Write-ahead journals a batch of staged enrolls as ONE record (no-op
+  /// when not durable). An error means nothing reached the disk and no
+  /// shard may be touched.
+  Status JournalEnrolls(const std::vector<PendingEnroll>& pending);
+  Status JournalRemove(const std::string& subject_id);
+  /// Applies one replayed journal record. Enrolls of already-present ids
+  /// and removals of absent ids are skipped, not errors: a checkpoint
+  /// that crashed before truncating its journal leaves records the
+  /// snapshot already contains. Malformed payloads are CorruptData.
+  Status ApplyJournalRecord(const std::uint8_t* payload, std::size_t size);
+  /// Checkpoint() when the journal has outgrown the compaction trigger.
+  Status MaybeCompact();
+  Result<std::vector<std::uint8_t>> SerializeSnapshot() const;
   Status EnrollMatrixColumns(const connectome::GroupMatrix& subjects,
                              BatchReport* report);
   linalg::Vector MakeFingerprint(const linalg::Vector& full_features) const;
@@ -300,11 +413,22 @@ class IdentificationIndex {
   std::vector<Shard> shards_;
   std::size_t size_ = 0;
   std::size_t sketch_staleness_ = 0;
+  /// Durability state (null journal <=> not durable). The unique_ptr
+  /// makes the index move-only, which every caller already treats it as.
+  std::unique_ptr<JournalWriter> journal_;
+  DurabilityOptions durability_;
+  std::string snapshot_path_;
+  std::uint64_t snapshot_bytes_ = 0;
 };
 
 /// Seeded deterministic FNV-1a of a subject id — the shard hash. Exposed
 /// so tests can assert the assignment is a pure function of the id.
 std::uint64_t SubjectHash(const std::string& subject_id);
+
+/// Latched NEUROPRINT_DATA_DIR (empty when unset): the fallback data
+/// directory for durable indexes when DurabilityOptions::data_dir is
+/// empty.
+const std::string& DataDirectory();
 
 }  // namespace neuroprint::service
 

@@ -330,6 +330,12 @@ Result<linalg::Matrix> CohortSimulator::SimulateRegionSeries(
         fault::ScrambleBytes(injection.seed, series.data(),
                              series.rows() * series.cols() * sizeof(double));
         break;
+      case fault::Action::kTorn:
+      case fault::Action::kCrash:
+        return Status::Internal(
+            std::string("fault point 'cohort.simulate_scan' does not support "
+                        "action '") +
+            fault::ActionName(injection.action) + "'");
     }
   }
   return series;

@@ -1,0 +1,34 @@
+// CRC-32C (Castagnoli, polynomial 0x1EDC6F41) — the checksum guarding
+// every durable byte the service writes (util/journal.h records, index
+// snapshots, NPGM v2 trailers).
+//
+// This is the software slice-by-8 implementation on purpose: the SSE4.2
+// crc32 instruction lives behind the SIMD dispatch confinement rule
+// (intrinsics only under src/linalg/simd/), and checksumming is far from
+// a hot path — the journal writes one small record per mutation and the
+// snapshot/NPGM paths are bounded by disk bandwidth, not table lookups
+// (~1.5 GB/s here). The output matches the iSCSI/RFC 3720 test vectors,
+// so files checksum identically on any host.
+
+#ifndef NEUROPRINT_UTIL_CRC32C_H_
+#define NEUROPRINT_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace neuroprint::crc32c {
+
+/// Extends a running CRC-32C over `size` more bytes. `crc` is the value
+/// returned by a previous Extend/Value call (0 for an empty prefix), so
+/// checksums can be accumulated incrementally across buffer boundaries:
+/// Extend(Extend(0, a, n), b, m) == Value(concat(a, b), n + m).
+std::uint32_t Extend(std::uint32_t crc, const void* data, std::size_t size);
+
+/// CRC-32C of one contiguous buffer.
+inline std::uint32_t Value(const void* data, std::size_t size) {
+  return Extend(0, data, size);
+}
+
+}  // namespace neuroprint::crc32c
+
+#endif  // NEUROPRINT_UTIL_CRC32C_H_

@@ -109,6 +109,7 @@ Result<Rule> ParseRule(const std::string& entry) {
   rule.point = lhs;
 
   // rhs: 'error'[':'code[':'message]] | 'nan' | 'corrupt'
+  //    | 'torn' ':' bytes | 'crash'
   std::string action = rhs;
   std::string rest;
   const std::size_t colon = rhs.find(':');
@@ -122,6 +123,20 @@ Result<Rule> ParseRule(const std::string& entry) {
     rule.action = Action::kCorrupt;
   } else if (action == "error") {
     rule.action = Action::kError;
+  } else if (action == "crash") {
+    rule.action = Action::kCrash;
+  } else if (action == "torn") {
+    rule.action = Action::kTorn;
+    char* end = nullptr;
+    rule.torn_bytes = std::strtoull(rest.c_str(), &end, 10);
+    // torn requires an explicit byte count (torn:0 — the write vanishes
+    // entirely — is legal and distinct from a missing count).
+    if (colon == std::string::npos || rest.empty() || *end != '\0') {
+      return Status::InvalidArgument(
+          "fault action 'torn' needs a byte count, e.g. torn:12: '" + entry +
+          "'");
+    }
+    return rule;
   } else {
     return Status::InvalidArgument("fault rule has unknown action '" + action +
                                    "': '" + entry + "'");
@@ -177,6 +192,7 @@ Injection HitImpl(const char* point, bool has_key, std::uint64_t key) {
   Injection injection;
   injection.action = rule->action;
   injection.seed = Mix64(HashString(point) ^ Mix64(key) ^ count);
+  injection.torn_bytes = rule->torn_bytes;
   if (rule->action == Action::kError) {
     std::string message = rule->message.empty()
                               ? "injected fault at " + std::string(point)
@@ -199,6 +215,10 @@ const char* ActionName(Action action) {
       return "nan";
     case Action::kCorrupt:
       return "corrupt";
+    case Action::kTorn:
+      return "torn";
+    case Action::kCrash:
+      return "crash";
   }
   return "unknown";
 }
@@ -250,6 +270,16 @@ void ResetHitCounters() {
   FaultState& state = State();
   std::lock_guard<std::mutex> lock(state.mu);
   state.hits.clear();
+}
+
+std::uint64_t ArrivalCount(const char* point) {
+  FaultState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  std::uint64_t total = 0;
+  for (const auto& [site, count] : state.hits) {
+    if (site.first == point) total += count;
+  }
+  return total;
 }
 
 ScopedSchedule::ScopedSchedule(const std::string& schedule_text) {

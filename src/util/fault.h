@@ -18,11 +18,25 @@
 //
 //   entry  := point ['#' key] ['@' hit] '=' action
 //   action := 'error' [':' code [':' message]] | 'nan' | 'corrupt'
+//           | 'torn' ':' bytes | 'crash'
 //
 //   point    dotted injection-point name, e.g. cohort.simulate_scan
 //   #key     only fire for this instance key (subject index, frame, ...)
 //   @hit     only fire on the Nth arrival (1-based) at that (point, key)
 //   code     a StatusCode name (default Internal), e.g. CorruptData
+//   bytes    how many bytes of the write survive the simulated crash
+//
+// `torn:N` and `crash` simulate process death at an I/O site and are
+// honored by the durable writers (util/journal.h, points `io.journal` /
+// `io.snapshot`): `torn:N` performs only the first N bytes of the write
+// (a torn write — N = 0 loses it entirely) and then "kills" the writer,
+// while `crash` lets the syscall complete and kills the writer
+// immediately after (crash-after-syscall — e.g. between a rename and the
+// directory fsync). A killed writer object refuses every subsequent
+// operation, so compensating cleanup cannot run — exactly like a real
+// crash — and the test reopens the files to exercise recovery. At
+// Status-only points (NP_FAULT_POINT) both map to an Internal
+// "unsupported action" error, like nan/corrupt.
 //
 // Example:
 //   NEUROPRINT_FAULT='cohort.simulate_scan#2=error:CorruptData:truncated
@@ -62,6 +76,8 @@ enum class Action {
   kError,     ///< Return the injected Status.
   kNaN,       ///< Poison the produced values with quiet NaNs.
   kCorrupt,   ///< Scramble the produced bytes (deterministic in `seed`).
+  kTorn,      ///< Write only `torn_bytes` bytes, then crash the writer.
+  kCrash,     ///< Perform the syscall, then crash the writer.
 };
 
 const char* ActionName(Action action);
@@ -75,6 +91,7 @@ struct Rule {
   Action action = Action::kError;
   StatusCode code = StatusCode::kInternal;
   std::string message;
+  std::uint64_t torn_bytes = 0;  ///< kTorn: bytes that survive the crash.
 };
 
 struct Schedule {
@@ -99,6 +116,13 @@ void ClearSchedule();
 /// Drops every per-(point, key) arrival counter. Schedules with @hit
 /// rules call this between runs to make hit counts reproducible.
 void ResetHitCounters();
+
+/// Total arrivals recorded at `point` since the last counter reset,
+/// summed over every key. Lets sweep-style crash harnesses detect when an
+/// `@hit` index has walked past the last I/O site of a scenario (nothing
+/// fired, so the sweep is complete). Arrivals are only counted while a
+/// schedule is installed.
+std::uint64_t ArrivalCount(const char* point);
 
 /// RAII per-call schedule, used by library entry points honoring
 /// FaultConfig and by tests. An empty `schedule_text` is a no-op; a
@@ -129,6 +153,8 @@ struct Injection {
   /// Deterministic seed for kCorrupt/kNaN payload mangling, derived from
   /// (point, key, arrival index).
   std::uint64_t seed = 0;
+  /// kTorn: how many leading bytes of the write survive.
+  std::uint64_t torn_bytes = 0;
 };
 
 /// Arrival at an unkeyed injection point. Increments the point's arrival

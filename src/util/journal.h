@@ -1,0 +1,191 @@
+// Crash-safe file primitives for the durable identification index:
+// atomic whole-file replacement and an append-only write-ahead journal,
+// both CRC-32C-guarded (util/crc32c.h) and both instrumented with
+// deterministic crash injection.
+//
+// AtomicFileWriter publishes a file all-or-nothing: bytes accumulate in
+// `path + ".tmp"`, and Commit() fsyncs the temp file, renames it over
+// `path`, and fsyncs the parent directory. A crash before the rename
+// leaves the old file untouched; a crash after it leaves the new file
+// fully in place — rename(2) is the atomicity point, so no reader ever
+// observes a half-written snapshot. Leftover `.tmp` files from a crash
+// are inert (recovery unlinks them).
+//
+// JournalWriter appends length-prefixed records:
+//
+//   u32 payload_bytes | u32 crc32c(payload) | payload     (little-endian)
+//
+// Each Append() is a single buffered write followed (per
+// JournalOptions::sync_every) by fsync, so a record is either fully
+// durable or detectably torn: ReplayJournal() walks the file, hands every
+// CRC-valid record to the caller in order, and stops at the first record
+// whose length or checksum fails — the torn tail a crash mid-append
+// leaves behind. The scan reports the valid byte count so the writer can
+// truncate the tail and append from the last good record, rather than
+// rejecting the whole journal (satisfying "pre-op or post-op, never
+// wholesale loss").
+//
+// Crash injection: every syscall site consults the `io.journal` /
+// `io.snapshot` fault points (util/fault.h). An `error` rule makes the
+// site fail cleanly (the writer compensates and stays usable); `torn:N`
+// performs only the first N bytes of a write; `crash` performs the
+// syscall and then abandons. torn/crash flip the writer's sticky
+// `crashed` flag: every later call — including the compensating
+// truncate/unlink paths — refuses with IOError, which is exactly the
+// behavior of a process that died at that instruction. Tests then reopen
+// the on-disk state to prove recovery. The points are unkeyed (@hit
+// sweeps are deterministic because all durable I/O is serial).
+
+#ifndef NEUROPRINT_UTIL_JOURNAL_H_
+#define NEUROPRINT_UTIL_JOURNAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace neuroprint {
+
+/// Bytes of (length, crc) framing preceding every journal payload.
+inline constexpr std::size_t kJournalRecordHeaderBytes = 8;
+
+/// Hard cap on one record's payload; a length field beyond it is treated
+/// as a corrupt tail, bounding what a scrambled length can make the
+/// replayer allocate.
+inline constexpr std::uint32_t kJournalMaxRecordBytes = 1u << 30;
+
+class AtomicFileWriter {
+ public:
+  /// Opens `path + ".tmp"` for writing (truncating any leftover temp from
+  /// a previous crash). `fault_point` names the injection point every
+  /// syscall site consults; the default is the snapshot path's.
+  static Result<AtomicFileWriter> Create(const std::string& path,
+                                         const char* fault_point =
+                                             "io.snapshot");
+
+  /// An unopened writer: every operation fails FailedPrecondition until a
+  /// Create() result is move-assigned in (lets owning classes hold one by
+  /// value).
+  AtomicFileWriter() = default;
+
+  AtomicFileWriter(AtomicFileWriter&& other) noexcept;
+  AtomicFileWriter& operator=(AtomicFileWriter&& other) noexcept;
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+  /// Abandons (unlinks the temp file) unless Commit() succeeded.
+  ~AtomicFileWriter();
+
+  /// Appends bytes to the temp file.
+  Status Append(const void* data, std::size_t size);
+
+  /// fsyncs the temp file, closes it, renames it over `path`, and fsyncs
+  /// the parent directory. After OK the file is durably replaced; after
+  /// an error the target is either untouched or already fully replaced
+  /// (rename is the atomicity point).
+  Status Commit();
+
+  /// Closes and unlinks the temp file (no-op after Commit). A crashed
+  /// writer only closes — a dead process cannot clean up, so the temp
+  /// file stays for recovery to sweep, as it would after a real crash.
+  void Abandon();
+
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  std::string temp_path_;
+  const char* fault_point_ = "io.snapshot";
+  std::uint64_t bytes_written_ = 0;
+  bool committed_ = false;
+  bool crashed_ = false;
+};
+
+/// Atomically replaces `path` with `size` bytes (Create + Append +
+/// Commit in one call).
+Status AtomicWriteFile(const std::string& path, const void* data,
+                       std::size_t size,
+                       const char* fault_point = "io.snapshot");
+
+struct JournalOptions {
+  /// fsync after every Nth appended record. 1 (the default) makes every
+  /// record durable before Append returns — the write-ahead guarantee the
+  /// durable index relies on. Larger values batch fsyncs for throughput
+  /// at the cost of the tail: a crash can lose up to sync_every - 1
+  /// committed records (recovery still yields a clean prefix).
+  std::size_t sync_every = 1;
+};
+
+class JournalWriter {
+ public:
+  /// Opens `path` for appending at `valid_bytes` — the prefix ReplayJournal
+  /// validated — truncating anything past it (the torn tail of a crashed
+  /// append). Creates the file when absent (valid_bytes must then be 0).
+  static Result<JournalWriter> Open(const std::string& path,
+                                    std::uint64_t valid_bytes,
+                                    const JournalOptions& options = {});
+
+  JournalWriter(JournalWriter&& other) noexcept;
+  JournalWriter& operator=(JournalWriter&& other) noexcept;
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+  ~JournalWriter();
+
+  /// Appends one record (framing + payload, a single buffered write) and
+  /// fsyncs per sync_every. On a clean failure the journal is truncated
+  /// back to the previous record boundary, so an error implies the record
+  /// is not on disk and the journal is still well-formed; on a simulated
+  /// crash the torn bytes stay for recovery to find.
+  Status Append(const void* payload, std::size_t size);
+
+  /// fsyncs any buffered records now.
+  Status Sync();
+
+  /// Truncates the journal to `size` bytes (0 after a compaction snapshot)
+  /// and syncs.
+  Status TruncateTo(std::uint64_t size);
+
+  std::uint64_t size_bytes() const { return size_bytes_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  JournalWriter() = default;
+
+  /// fsync + fault gate shared by Append's auto-sync and Sync().
+  Status SyncLocked();
+
+  int fd_ = -1;
+  std::string path_;
+  JournalOptions options_;
+  std::uint64_t size_bytes_ = 0;
+  std::size_t unsynced_records_ = 0;
+  bool crashed_ = false;
+};
+
+/// Outcome of scanning a journal.
+struct JournalScan {
+  std::uint64_t valid_bytes = 0;   ///< Prefix holding whole, CRC-valid records.
+  std::size_t records = 0;         ///< Records in that prefix.
+  std::uint64_t dropped_bytes = 0; ///< Torn/corrupt tail bytes past the prefix.
+};
+
+/// Scans `path`, invoking `fn` on every CRC-valid record in order, and
+/// stops at the first invalid one (short framing, zero or implausible
+/// length, short payload, or checksum mismatch) — the torn tail, reported
+/// via dropped_bytes and truncated by the next JournalWriter::Open. A
+/// missing file is an empty journal. An error from `fn` aborts the scan
+/// and propagates (corruption *within* the valid prefix — a record that
+/// passes CRC but fails to decode — should be surfaced that way, not
+/// skipped).
+Result<JournalScan> ReplayJournal(
+    const std::string& path,
+    const std::function<Status(const std::uint8_t* payload,
+                               std::size_t size)>& fn);
+
+}  // namespace neuroprint
+
+#endif  // NEUROPRINT_UTIL_JOURNAL_H_

@@ -55,6 +55,13 @@ Status ApplyColumnInjection(const fault::Injection& injection, double* values,
         values[i] = std::numeric_limits<double>::quiet_NaN();
       }
       return Status::OK();
+    case fault::Action::kTorn:
+    case fault::Action::kCrash:
+      // Crash simulation is for the durable writers (util/journal.h);
+      // spill files are process-local scratch that die with the process.
+      return Status::Internal(
+          std::string("fault point 'io.spill' does not support action '") +
+          fault::ActionName(injection.action) + "'");
   }
   return Status::OK();
 }
@@ -73,14 +80,27 @@ const std::string& SpillDirectory() {
 
 Result<SpillFile> SpillFile::Create(const std::string& dir) {
   std::filesystem::path base;
+  const char* source = "the `dir` argument";
   if (!dir.empty()) {
     base = dir;
   } else if (!SpillDirectory().empty()) {
     base = SpillDirectory();
+    source = "NEUROPRINT_SPILL_DIR";
   } else {
     std::error_code ec;
     base = std::filesystem::temp_directory_path(ec);
     if (ec) return Status::IOError("SpillFile: no temp directory available");
+    source = "the system temp directory";
+  }
+  // Validate the directory before handing back a writer: a missing or
+  // non-directory spill target should fail here, naming the directory and
+  // where it came from, not deep inside a batch at first append.
+  std::error_code ec;
+  if (!std::filesystem::is_directory(base, ec) || ec) {
+    return Status::IOError(StrFormat(
+        "SpillFile: spill directory '%s' (from %s) does not exist or is not "
+        "a directory",
+        base.string().c_str(), source));
   }
   // Unique within the machine without wall-clock or randomness: process
   // id plus a process-wide counter.

@@ -85,6 +85,45 @@ TEST_F(FaultTest, ParseRejectsMalformedEntries) {
   EXPECT_NE(bad.status().message().find("explode"), std::string::npos);
 }
 
+TEST_F(FaultTest, ParseCrashActions) {
+  const auto schedule =
+      ParseSchedule("io.journal@2=torn:4;io.snapshot=crash;io.journal=torn:0");
+  ASSERT_TRUE(schedule.ok()) << schedule.status();
+  ASSERT_EQ(schedule->rules.size(), 3u);
+  EXPECT_EQ(schedule->rules[0].action, Action::kTorn);
+  EXPECT_EQ(schedule->rules[0].torn_bytes, 4u);
+  EXPECT_EQ(schedule->rules[0].hit, 2u);
+  EXPECT_EQ(schedule->rules[1].action, Action::kCrash);
+  // torn:0 is legal: the whole write is lost, then the writer dies.
+  EXPECT_EQ(schedule->rules[2].action, Action::kTorn);
+  EXPECT_EQ(schedule->rules[2].torn_bytes, 0u);
+}
+
+TEST_F(FaultTest, ParseRejectsMalformedCrashActions) {
+  EXPECT_FALSE(ParseSchedule("p=torn").ok());      // Byte count required.
+  EXPECT_FALSE(ParseSchedule("p=torn:").ok());
+  EXPECT_FALSE(ParseSchedule("p=torn:x").ok());
+  EXPECT_FALSE(ParseSchedule("p=crash:1").ok());   // crash takes no args.
+}
+
+TEST_F(FaultTest, ArrivalCountSumsHitsWhileScheduled) {
+  EXPECT_EQ(ArrivalCount("sweep.point"), 0u);
+  auto schedule = ParseSchedule("sweep.point@99=error");
+  ASSERT_TRUE(schedule.ok());
+  InstallSchedule(std::move(schedule).value());
+  ResetHitCounters();
+  // Arrivals count whether or not the rule fires (hit 99 never does),
+  // across unkeyed and keyed hits at the same point.
+  (void)Hit("sweep.point");
+  (void)Hit("sweep.point", 3);
+  (void)Hit("sweep.point", 4);
+  (void)Hit("other.point");
+  EXPECT_EQ(ArrivalCount("sweep.point"), 3u);
+  EXPECT_EQ(ArrivalCount("other.point"), 1u);
+  ResetHitCounters();
+  EXPECT_EQ(ArrivalCount("sweep.point"), 0u);
+}
+
 TEST_F(FaultTest, DisabledByDefaultAndPointsAreNoOps) {
   ClearSchedule();
   EXPECT_FALSE(Enabled());
@@ -258,6 +297,8 @@ TEST_F(FaultTest, ActionNamesAreStable) {
   EXPECT_STREQ(ActionName(Action::kError), "error");
   EXPECT_STREQ(ActionName(Action::kNaN), "nan");
   EXPECT_STREQ(ActionName(Action::kCorrupt), "corrupt");
+  EXPECT_STREQ(ActionName(Action::kTorn), "torn");
+  EXPECT_STREQ(ActionName(Action::kCrash), "crash");
 }
 
 }  // namespace

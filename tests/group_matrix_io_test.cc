@@ -4,6 +4,7 @@
 
 #include <array>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iterator>
 
@@ -92,6 +93,55 @@ TEST(GroupMatrixIoTest, RejectsTrailingBytes) {
   EXPECT_EQ(restored.status().code(), StatusCode::kCorruptData);
   EXPECT_NE(restored.status().message().find("trailing"), std::string::npos)
       << restored.status();
+}
+
+TEST(GroupMatrixIoTest, ValueCorruptionIsCaughtByChecksum) {
+  // A single flipped bit in the value payload keeps every size field
+  // consistent — only the v2 CRC trailer can catch it.
+  Rng rng(9);
+  const GroupMatrix group = MakeGroup(48, 5, rng);
+  const std::string path = TempPath("group_bitflip.npgm");
+  ASSERT_TRUE(WriteGroupMatrix(path, group).ok());
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.is_open());
+    // A byte inside the last value, before the 4-byte CRC trailer.
+    f.seekp(-7, std::ios::end);
+    char byte = 0;
+    f.seekg(-7, std::ios::end);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x10);
+    f.seekp(-7, std::ios::end);
+    f.write(&byte, 1);
+  }
+  const auto restored = ReadGroupMatrix(path);
+  ASSERT_EQ(restored.status().code(), StatusCode::kCorruptData);
+  EXPECT_NE(restored.status().message().find("checksum mismatch"),
+            std::string::npos)
+      << restored.status();
+
+  // A corrupted trailer (rather than payload) is the same failure.
+  ASSERT_TRUE(WriteGroupMatrix(path, group).ok());
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(-1, std::ios::end);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x01);
+    f.seekp(-1, std::ios::end);
+    f.write(&byte, 1);
+  }
+  EXPECT_EQ(ReadGroupMatrix(path).status().code(), StatusCode::kCorruptData);
+}
+
+TEST(GroupMatrixIoTest, AtomicWriteLeavesNoTempBehind) {
+  Rng rng(10);
+  const GroupMatrix group = MakeGroup(16, 2, rng);
+  const std::string path = TempPath("group_atomic.npgm");
+  ASSERT_TRUE(WriteGroupMatrix(path, group).ok());
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"))
+      << "writer left its publish temp behind";
 }
 
 // Hand-crafts an NPGM file whose header promises `subjects` columns with

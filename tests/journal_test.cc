@@ -1,0 +1,375 @@
+// Tests for the crash-safe file primitives: CRC-32C vectors, atomic
+// whole-file replacement, journal record framing, torn-tail recovery,
+// and the torn/crash fault-injection semantics the durability tier
+// builds on.
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/crc32c.h"
+#include "util/endian.h"
+#include "util/fault.h"
+#include "util/journal.h"
+
+namespace neuroprint {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<std::uint8_t> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(in)) << path;
+  std::vector<std::uint8_t> bytes;
+  char c;
+  while (in.get(c)) bytes.push_back(static_cast<std::uint8_t>(c));
+  return bytes;
+}
+
+std::uint64_t FileSize(const std::string& path) {
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  EXPECT_FALSE(ec) << path;
+  return static_cast<std::uint64_t>(size);
+}
+
+// --- CRC-32C --------------------------------------------------------
+
+TEST(Crc32cTest, KnownVectors) {
+  // iSCSI (RFC 3720) check value.
+  EXPECT_EQ(crc32c::Value("123456789", 9), 0xE3069283u);
+  // 32 zero bytes (RFC 3720 test pattern).
+  const std::vector<std::uint8_t> zeros(32, 0);
+  EXPECT_EQ(crc32c::Value(zeros.data(), zeros.size()), 0x8A9136AAu);
+  // 32 0xff bytes.
+  const std::vector<std::uint8_t> ones(32, 0xff);
+  EXPECT_EQ(crc32c::Value(ones.data(), ones.size()), 0x62A8AB43u);
+  EXPECT_EQ(crc32c::Value(nullptr, 0), 0u);
+}
+
+TEST(Crc32cTest, ExtendComposesLikeOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t whole = crc32c::Value(data.data(), data.size());
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    std::uint32_t crc = crc32c::Extend(0, data.data(), split);
+    crc = crc32c::Extend(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlips) {
+  std::vector<std::uint8_t> data(64);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 37);
+  }
+  const std::uint32_t clean = crc32c::Value(data.data(), data.size());
+  for (std::size_t byte = 0; byte < data.size(); byte += 7) {
+    data[byte] ^= 0x10;
+    EXPECT_NE(crc32c::Value(data.data(), data.size()), clean);
+    data[byte] ^= 0x10;
+  }
+}
+
+// --- AtomicFileWriter -----------------------------------------------
+
+TEST(AtomicFileWriterTest, CommitPublishesExactBytes) {
+  const std::string path = TempPath("atomic_basic.bin");
+  auto writer = AtomicFileWriter::Create(path);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  ASSERT_TRUE(writer->Append("hello ", 6).ok());
+  ASSERT_TRUE(writer->Append("world", 5).ok());
+  EXPECT_EQ(writer->bytes_written(), 11u);
+  ASSERT_TRUE(writer->Commit().ok());
+  const std::vector<std::uint8_t> bytes = ReadAll(path);
+  EXPECT_EQ(std::string(bytes.begin(), bytes.end()), "hello world");
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(AtomicFileWriterTest, AbandonLeavesTargetUntouched) {
+  const std::string path = TempPath("atomic_abandon.bin");
+  ASSERT_TRUE(AtomicWriteFile(path, "old", 3).ok());
+  {
+    auto writer = AtomicFileWriter::Create(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append("new contents", 12).ok());
+    // Destructor abandons: temp unlinked, target untouched.
+  }
+  const std::vector<std::uint8_t> bytes = ReadAll(path);
+  EXPECT_EQ(std::string(bytes.begin(), bytes.end()), "old");
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(AtomicFileWriterTest, TornWriteCrashesWriterAndKeepsOldFile) {
+  const std::string path = TempPath("atomic_torn.bin");
+  ASSERT_TRUE(AtomicWriteFile(path, "old", 3).ok());
+  fault::ScopedSchedule schedule("io.snapshot@2=torn:4");
+  ASSERT_TRUE(schedule.status().ok());
+  fault::ResetHitCounters();
+  auto writer = AtomicFileWriter::Create(path);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  const Status torn = writer->Append("0123456789", 10);
+  EXPECT_EQ(torn.code(), StatusCode::kIOError);
+  // The writer is dead: every later call refuses, including Append.
+  EXPECT_EQ(writer->Append("x", 1).code(), StatusCode::kIOError);
+  EXPECT_EQ(writer->Commit().code(), StatusCode::kIOError);
+  // A dead process cannot clean up: the torn temp file stays...
+  writer->Abandon();
+  EXPECT_TRUE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_EQ(FileSize(path + ".tmp"), 4u);
+  // ...and the published file never changed.
+  const std::vector<std::uint8_t> bytes = ReadAll(path);
+  EXPECT_EQ(std::string(bytes.begin(), bytes.end()), "old");
+}
+
+TEST(AtomicFileWriterTest, CrashAfterRenameStillPublishes) {
+  const std::string path = TempPath("atomic_crash_rename.bin");
+  ASSERT_TRUE(AtomicWriteFile(path, "old", 3).ok());
+  // Arrivals: create gate (1), append write (2), then Commit's gated
+  // sites fsync-temp (3), rename (4), fsync-dir (5); kill the writer
+  // right after the rename syscall completes.
+  fault::ScopedSchedule schedule("io.snapshot@4=crash");
+  ASSERT_TRUE(schedule.status().ok());
+  fault::ResetHitCounters();
+  auto writer = AtomicFileWriter::Create(path);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  ASSERT_TRUE(writer->Append("new", 3).ok());
+  EXPECT_EQ(writer->Commit().code(), StatusCode::kIOError);
+  // rename(2) already happened: the new file is fully in place.
+  const std::vector<std::uint8_t> bytes = ReadAll(path);
+  EXPECT_EQ(std::string(bytes.begin(), bytes.end()), "new");
+}
+
+TEST(AtomicFileWriterTest, CleanErrorInjection) {
+  const std::string path = TempPath("atomic_error.bin");
+  fault::ScopedSchedule schedule(
+      "io.snapshot@2=error:IOError:disk full");
+  ASSERT_TRUE(schedule.status().ok());
+  fault::ResetHitCounters();
+  auto writer = AtomicFileWriter::Create(path);
+  ASSERT_TRUE(writer.ok());
+  const Status status = writer->Append("data", 4);
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_NE(status.message().find("disk full"), std::string::npos);
+  // Clean failure, not a crash: Abandon still cleans up.
+  writer->Abandon();
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+// --- JournalWriter / ReplayJournal ----------------------------------
+
+std::vector<std::vector<std::uint8_t>> ReplayAll(const std::string& path,
+                                                 JournalScan* scan_out) {
+  std::vector<std::vector<std::uint8_t>> records;
+  auto scan = ReplayJournal(
+      path, [&records](const std::uint8_t* payload, std::size_t size) {
+        records.emplace_back(payload, payload + size);
+        return Status::OK();
+      });
+  EXPECT_TRUE(scan.ok()) << scan.status();
+  if (scan.ok() && scan_out != nullptr) *scan_out = *scan;
+  return records;
+}
+
+TEST(JournalTest, AppendReplayRoundTrip) {
+  const std::string path = TempPath("journal_roundtrip.wal");
+  std::filesystem::remove(path);
+  auto journal = JournalWriter::Open(path, 0);
+  ASSERT_TRUE(journal.ok()) << journal.status();
+  ASSERT_TRUE(journal->Append("alpha", 5).ok());
+  ASSERT_TRUE(journal->Append("bb", 2).ok());
+  ASSERT_TRUE(journal->Append("gamma!", 6).ok());
+  EXPECT_EQ(journal->size_bytes(),
+            3 * kJournalRecordHeaderBytes + 5u + 2u + 6u);
+
+  JournalScan scan;
+  const auto records = ReplayAll(path, &scan);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(std::string(records[0].begin(), records[0].end()), "alpha");
+  EXPECT_EQ(std::string(records[1].begin(), records[1].end()), "bb");
+  EXPECT_EQ(std::string(records[2].begin(), records[2].end()), "gamma!");
+  EXPECT_EQ(scan.valid_bytes, journal->size_bytes());
+  EXPECT_EQ(scan.records, 3u);
+  EXPECT_EQ(scan.dropped_bytes, 0u);
+}
+
+TEST(JournalTest, MissingFileIsEmptyJournal) {
+  const std::string path = TempPath("journal_missing.wal");
+  std::filesystem::remove(path);
+  JournalScan scan;
+  const auto records = ReplayAll(path, &scan);
+  EXPECT_TRUE(records.empty());
+  EXPECT_EQ(scan.valid_bytes, 0u);
+}
+
+TEST(JournalTest, EmptyAndOversizedRecordsRejected) {
+  const std::string path = TempPath("journal_bounds.wal");
+  std::filesystem::remove(path);
+  auto journal = JournalWriter::Open(path, 0);
+  ASSERT_TRUE(journal.ok());
+  EXPECT_EQ(journal->Append("", 0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(JournalTest, TornTailTruncatedNotFatal) {
+  const std::string path = TempPath("journal_torn_tail.wal");
+  std::filesystem::remove(path);
+  std::uint64_t two_records = 0;
+  {
+    auto journal = JournalWriter::Open(path, 0);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal->Append("first", 5).ok());
+    ASSERT_TRUE(journal->Append("second", 6).ok());
+    two_records = journal->size_bytes();
+  }
+  // A crash mid-append: half a record's framing plus garbage.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out.write("\x40\x00\x00", 3);
+  }
+  JournalScan scan;
+  const auto records = ReplayAll(path, &scan);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(scan.valid_bytes, two_records);
+  EXPECT_EQ(scan.dropped_bytes, 3u);
+
+  // Reopening at the validated prefix truncates the tail and appends
+  // cleanly from the last good record.
+  auto journal = JournalWriter::Open(path, scan.valid_bytes);
+  ASSERT_TRUE(journal.ok()) << journal.status();
+  EXPECT_EQ(FileSize(path), two_records);
+  ASSERT_TRUE(journal->Append("third", 5).ok());
+  const auto after = ReplayAll(path, nullptr);
+  ASSERT_EQ(after.size(), 3u);
+  EXPECT_EQ(std::string(after[2].begin(), after[2].end()), "third");
+}
+
+TEST(JournalTest, CorruptTailStopsAtLastValidRecord) {
+  const std::string path = TempPath("journal_corrupt_tail.wal");
+  std::filesystem::remove(path);
+  std::uint64_t first_end = 0;
+  {
+    auto journal = JournalWriter::Open(path, 0);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal->Append("keep me", 7).ok());
+    first_end = journal->size_bytes();
+    ASSERT_TRUE(journal->Append("lose me", 7).ok());
+  }
+  // Flip one payload byte of the second record: framing parses but the
+  // CRC fails, so the scan must stop at the first record — never reject
+  // the whole journal.
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>(first_end +
+                                        kJournalRecordHeaderBytes + 2));
+    f.put('X');
+  }
+  JournalScan scan;
+  const auto records = ReplayAll(path, &scan);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(std::string(records[0].begin(), records[0].end()), "keep me");
+  EXPECT_EQ(scan.valid_bytes, first_end);
+  EXPECT_EQ(scan.dropped_bytes, kJournalRecordHeaderBytes + 7u);
+}
+
+TEST(JournalTest, ReplayCallbackErrorPropagates) {
+  const std::string path = TempPath("journal_fn_error.wal");
+  std::filesystem::remove(path);
+  {
+    auto journal = JournalWriter::Open(path, 0);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal->Append("r", 1).ok());
+  }
+  auto scan = ReplayJournal(path, [](const std::uint8_t*, std::size_t) {
+    return Status::CorruptData("undecodable record");
+  });
+  ASSERT_FALSE(scan.ok());
+  EXPECT_EQ(scan.status().code(), StatusCode::kCorruptData);
+}
+
+TEST(JournalTest, CleanAppendErrorRollsBackToRecordBoundary) {
+  const std::string path = TempPath("journal_clean_error.wal");
+  std::filesystem::remove(path);
+  auto journal = JournalWriter::Open(path, 0);
+  ASSERT_TRUE(journal.ok());
+  ASSERT_TRUE(journal->Append("good", 4).ok());
+  const std::uint64_t before = journal->size_bytes();
+  {
+    fault::ScopedSchedule schedule("io.journal=error:IOError:disk full");
+    ASSERT_TRUE(schedule.status().ok());
+    fault::ResetHitCounters();
+    EXPECT_EQ(journal->Append("failed", 6).code(), StatusCode::kIOError);
+  }
+  // Error implies the record is not on disk and the journal still
+  // well-formed: size unchanged, next append lands cleanly.
+  EXPECT_EQ(journal->size_bytes(), before);
+  EXPECT_EQ(FileSize(path), before);
+  ASSERT_TRUE(journal->Append("after", 5).ok());
+  const auto records = ReplayAll(path, nullptr);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(std::string(records[1].begin(), records[1].end()), "after");
+}
+
+TEST(JournalTest, TornAppendLeavesPrefixRecoverable) {
+  const std::string path = TempPath("journal_torn_append.wal");
+  std::filesystem::remove(path);
+  auto journal = JournalWriter::Open(path, 0);
+  ASSERT_TRUE(journal.ok());
+  ASSERT_TRUE(journal->Append("durable", 7).ok());
+  const std::uint64_t durable_bytes = journal->size_bytes();
+  // Counters were reset after the schedule was installed, so the torn
+  // append's buffered write is arrival 1 at io.journal.
+  fault::ScopedSchedule schedule("io.journal@1=torn:5");
+  ASSERT_TRUE(schedule.status().ok());
+  fault::ResetHitCounters();
+  EXPECT_EQ(journal->Append("torn away", 9).code(), StatusCode::kIOError);
+  // The writer is dead (no compensating truncate ran): 5 stray bytes.
+  EXPECT_EQ(journal->Append("x", 1).code(), StatusCode::kIOError);
+  EXPECT_EQ(FileSize(path), durable_bytes + 5);
+
+  JournalScan scan;
+  const auto records = ReplayAll(path, &scan);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(std::string(records[0].begin(), records[0].end()), "durable");
+  EXPECT_EQ(scan.valid_bytes, durable_bytes);
+  EXPECT_EQ(scan.dropped_bytes, 5u);
+}
+
+TEST(JournalTest, SyncEveryBatchesButTruncateResets) {
+  const std::string path = TempPath("journal_sync_every.wal");
+  std::filesystem::remove(path);
+  JournalOptions options;
+  options.sync_every = 3;
+  auto journal = JournalWriter::Open(path, 0, options);
+  ASSERT_TRUE(journal.ok());
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(journal->Append("record", 6).ok());
+  }
+  ASSERT_TRUE(journal->Sync().ok());
+  ASSERT_TRUE(journal->TruncateTo(0).ok());
+  EXPECT_EQ(journal->size_bytes(), 0u);
+  EXPECT_EQ(FileSize(path), 0u);
+  ASSERT_TRUE(journal->Append("fresh", 5).ok());
+  const auto records = ReplayAll(path, nullptr);
+  ASSERT_EQ(records.size(), 1u);
+}
+
+TEST(JournalTest, OpenRejectsShrunkenValidPrefix) {
+  const std::string path = TempPath("journal_shrunk.wal");
+  std::filesystem::remove(path);
+  {
+    auto journal = JournalWriter::Open(path, 0);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal->Append("abc", 3).ok());
+  }
+  auto reopened = JournalWriter::Open(path, 1u << 20);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kCorruptData);
+}
+
+}  // namespace
+}  // namespace neuroprint

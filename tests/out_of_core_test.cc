@@ -145,6 +145,20 @@ TEST(SpillFileTest, DestructorUnlinksBackingFile) {
   EXPECT_FALSE(std::ifstream(path).good());
 }
 
+TEST(SpillFileTest, MissingSpillDirectoryIsAnUpfrontError) {
+  // A misconfigured spill directory must fail at Create() with a message
+  // naming the directory and where it came from — not surface later as a
+  // cryptic open/write failure mid-batch.
+  const std::string missing =
+      ::testing::TempDir() + "/no_such_spill_dir/nested";
+  auto spill = SpillFile::Create(missing);
+  ASSERT_EQ(spill.status().code(), StatusCode::kIOError);
+  EXPECT_NE(spill.status().message().find(missing), std::string::npos)
+      << spill.status();
+  EXPECT_NE(spill.status().message().find("dir"), std::string::npos)
+      << spill.status();
+}
+
 // --- Window derivation ------------------------------------------------------
 
 TEST(StreamOptionsTest, DeriveWindowColsHonorsRequestAndBounds) {
